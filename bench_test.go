@@ -1,0 +1,249 @@
+package repro
+
+// Benchmarks regenerate every table and figure of the evaluation (DESIGN.md
+// §5, EXPERIMENTS.md). Each benchmark wraps the corresponding experiment in
+// internal/experiments and reports the *virtual* metric the table/figure
+// plots via b.ReportMetric — wall-clock ns/op measures the simulator, the
+// virtual cycles measure the modelled platform.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// or one experiment with e.g. -bench=BenchmarkE5Leakage.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/ml/classify"
+	"repro/internal/sensitive"
+	"repro/internal/tz"
+)
+
+// --- E1 (Table-1): world-boundary crossing costs ---------------------------
+
+func BenchmarkE1WorldSwitch(b *testing.B) {
+	var last experiments.E1Result
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.E1WorldSwitch(200, tz.DefaultCostModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.SMCCycles, "smc-cycles/call")
+	b.ReportMetric(last.SyscallCycles, "syscall-cycles/call")
+	b.ReportMetric(last.SMCOverSyscall, "smc/syscall-ratio")
+}
+
+// BenchmarkE1WorldSwitchSweep ablates the SMC cost parameter (DESIGN.md §7).
+func BenchmarkE1WorldSwitchSweep(b *testing.B) {
+	for _, switchCycles := range []tz.Cycles{3000, 12000, 48000} {
+		b.Run(tz.Cycles(switchCycles).Duration(experiments.FreqHz).String(), func(b *testing.B) {
+			cost := tz.DefaultCostModel()
+			cost.WorldSwitch = switchCycles
+			var last experiments.E1Result
+			for i := 0; i < b.N; i++ {
+				_, res, err := experiments.E1WorldSwitch(100, cost)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.SMCOverSyscall, "smc/syscall-ratio")
+		})
+	}
+}
+
+// --- E2 (Fig-A): capture cost vs chunk size --------------------------------
+
+func BenchmarkE2CaptureSweep(b *testing.B) {
+	var points []experiments.E2Point
+	for i := 0; i < b.N; i++ {
+		_, p, err := experiments.E2CaptureSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = p
+	}
+	if len(points) > 0 {
+		b.ReportMetric(points[0].OverheadFactor, "overhead-at-256B")
+		b.ReportMetric(points[len(points)-1].OverheadFactor, "overhead-at-16KiB")
+	}
+}
+
+// --- E3 (Table-2): classifier comparison ------------------------------------
+
+func benchClassifier(b *testing.B, arch classify.Arch) {
+	b.Helper()
+	vocab := sensitive.NewVocabulary()
+	clf, err := core.TrainClassifier(arch, vocab, experiments.DefaultSeed, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feats := clf.TokensToFeatures(vocab.Encode([]string{"my", "password", "is", "tango", "seven"}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clf.Predict(feats); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(clf.ParamCount()), "params")
+	b.ReportMetric(float64(clf.EstimateMACs())/4, "tee-cycles/inference")
+}
+
+func BenchmarkE3ClassifierCNN(b *testing.B)         { benchClassifier(b, classify.ArchCNN) }
+func BenchmarkE3ClassifierTransformer(b *testing.B) { benchClassifier(b, classify.ArchTransformer) }
+func BenchmarkE3ClassifierHybrid(b *testing.B)      { benchClassifier(b, classify.ArchHybrid) }
+
+// BenchmarkE3bNoiseRobustness regenerates the noisy-ASR recall figure.
+func BenchmarkE3bNoiseRobustness(b *testing.B) {
+	var points []experiments.E3bPoint
+	for i := 0; i < b.N; i++ {
+		_, p, err := experiments.E3bNoiseRobustness(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = p
+	}
+	if len(points) == 15 {
+		b.ReportMetric(points[0].Recall, "clean-recall")
+		b.ReportMetric(points[12].Recall, "noisy-recall")
+	}
+}
+
+// --- E4 (Fig-B): pipeline latency decomposition ------------------------------
+
+func benchPipeline(b *testing.B, mode core.Mode) {
+	b.Helper()
+	utts, err := experiments.Workload(4, experiments.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(core.Config{
+			Mode: mode, Seed: experiments.DefaultSeed, FreqHz: experiments.FreqHz,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.RunSession(utts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.Latency.Mean()
+	}
+	b.ReportMetric(mean, "cycles/utterance")
+	b.ReportMetric(mean/(experiments.FreqHz/1e3), "virtual-ms/utterance")
+}
+
+func BenchmarkE4PipelineBaseline(b *testing.B)       { benchPipeline(b, core.ModeBaseline) }
+func BenchmarkE4PipelineSecureNoFilter(b *testing.B) { benchPipeline(b, core.ModeSecureNoFilter) }
+func BenchmarkE4PipelineSecureFilter(b *testing.B)   { benchPipeline(b, core.ModeSecureFilter) }
+
+// --- E5 (Table-3): privacy leakage -------------------------------------------
+
+func BenchmarkE5Leakage(b *testing.B) {
+	var rows []experiments.E5Row
+	for i := 0; i < b.N; i++ {
+		_, r, err := experiments.E5Leakage(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 4 {
+		b.ReportMetric(float64(rows[0].CloudSensTokens), "baseline-leaked-tokens")
+		b.ReportMetric(float64(rows[2].CloudSensTokens), "filtered-leaked-tokens")
+	}
+}
+
+// --- E6 (Table-4): TCB minimization -------------------------------------------
+
+func BenchmarkE6TCB(b *testing.B) {
+	var res experiments.E6Result
+	for i := 0; i < b.N; i++ {
+		_, _, r, err := experiments.E6TCB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.ExactRed.LoCCutPct, "exact-loc-cut-%")
+	b.ReportMetric(res.ClosureRed.LoCCutPct, "closure-loc-cut-%")
+}
+
+// --- E7 (Fig-C): energy ---------------------------------------------------------
+
+func BenchmarkE7Energy(b *testing.B) {
+	var rows []experiments.E7Row
+	for i := 0; i < b.N; i++ {
+		_, r, err := experiments.E7Energy(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(rows[2].OverheadPct, "compute-overhead-%")
+		b.ReportMetric(rows[2].TotalMJ, "secure-total-mJ")
+	}
+}
+
+// --- E8 (Table-5): OS snooping ----------------------------------------------------
+
+func BenchmarkE8Snoop(b *testing.B) {
+	var rows []experiments.E8Row
+	for i := 0; i < b.N; i++ {
+		_, r, err := experiments.E8Snoop(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	if len(rows) == 3 {
+		b.ReportMetric(rows[0].SuccessRatePct, "baseline-snoop-success-%")
+		b.ReportMetric(rows[2].SuccessRatePct, "secure-snoop-success-%")
+	}
+}
+
+// --- E9 (Fig-D): scalability --------------------------------------------------------
+
+func BenchmarkE9Scale(b *testing.B) {
+	var points []experiments.E9Point
+	for i := 0; i < b.N; i++ {
+		_, p, err := experiments.E9Scale(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = p
+	}
+	if len(points) == 4 {
+		b.ReportMetric(points[3].BaselineKBPerSec, "baseline-KiB/s-at-8dev")
+		b.ReportMetric(points[3].SecureKBPerSec, "secure-KiB/s-at-8dev")
+	}
+}
+
+// --- substrate micro-benchmarks (wall-clock health of the simulator) ------------
+
+func BenchmarkSubstrateSMC(b *testing.B) {
+	mon := tz.NewMonitor(tz.NewClock(), tz.DefaultCostModel())
+	mon.Register(1, func(args [4]uint64) ([4]uint64, error) { return args, nil })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.SMC(1, [4]uint64{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateTCBMinimize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeTCB(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package repro
+
+// Public camera-pipeline API: the paper's §IV.6 generalization of the
+// design to a second peripheral class. Unlike CameraFilter (the bare
+// model), CameraPipeline runs frames through the full TEE path:
+// camera → camera PTA → camera TA (in-TEE classifier) → sealed relay →
+// cloud, with the compromised-OS adversary sweeping the frame buffer.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/peripheral"
+)
+
+// CameraPipeline is a camera-equipped device plus its cloud endpoint.
+type CameraPipeline struct {
+	inner *core.CameraSystem
+}
+
+// NewCameraPipeline builds the pipeline. Supported modes: Baseline
+// (frames uploaded from normal-world memory) and SecureFilter (the full
+// in-TEE path; person frames never leave the device).
+func NewCameraPipeline(mode Mode, seed uint64) (*CameraPipeline, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	inner, err := core.NewCameraSystem(core.CameraConfig{
+		Mode: coreMode(mode),
+		Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CameraPipeline{inner: inner}, nil
+}
+
+// CameraResult aggregates one camera session.
+type CameraResult struct {
+	Mode             Mode
+	Frames           int
+	PersonFrames     int // ground truth
+	ForwardedFrames  int
+	LeakedPersons    int // person frames that reached the cloud
+	BlockedEmpties   int // empty frames wrongly withheld
+	SnoopAttempts    int
+	SnoopBlocked     int
+	SnoopBytes       int
+	MeanLatencyCycle float64
+	EnergyTotalMJ    float64
+}
+
+// String renders a compact summary.
+func (r *CameraResult) String() string {
+	return fmt.Sprintf("%s: %d/%d frames forwarded, %d person frames leaked, snoop %d/%d blocked",
+		r.Mode, r.ForwardedFrames, r.Frames, r.LeakedPersons, r.SnoopBlocked, r.SnoopAttempts)
+}
+
+// Run captures one frame per entry of personAtDoor (true = a person is in
+// the scene) and reports what reached the cloud.
+func (c *CameraPipeline) Run(personAtDoor []bool) (*CameraResult, error) {
+	scenes := make([]peripheral.Scene, len(personAtDoor))
+	for i, p := range personAtDoor {
+		if p {
+			scenes[i] = peripheral.ScenePerson
+		} else {
+			scenes[i] = peripheral.SceneEmpty
+		}
+	}
+	res, err := c.inner.RunSession(scenes)
+	if err != nil {
+		return nil, err
+	}
+	return &CameraResult{
+		Mode:             Mode(res.Mode),
+		Frames:           res.Frames,
+		PersonFrames:     res.PersonFrames,
+		ForwardedFrames:  res.ForwardedFrames,
+		LeakedPersons:    res.ForwardedPersons,
+		BlockedEmpties:   res.BlockedEmpties,
+		SnoopAttempts:    res.Snoop.Attempts,
+		SnoopBlocked:     res.Snoop.Blocked,
+		SnoopBytes:       res.Snoop.BytesRecovered,
+		MeanLatencyCycle: res.Latency.Mean(),
+		EnergyTotalMJ:    res.Energy.TotalmJ(),
+	}, nil
+}

@@ -1,0 +1,53 @@
+// Command periguard-trace runs the paper's §IV.2 TCB-minimization
+// workflow: trace one capture task, print the minimal function set, the
+// image size reductions, and the conditional-compilation directives that
+// would strip the unused driver code from the OP-TEE image.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "periguard-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("periguard-trace", flag.ContinueOnError)
+	showDirectives := fs.Bool("directives", false, "print the exclude directives")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	report, err := repro.MinimizeTCB()
+	if err != nil {
+		return err
+	}
+	fmt.Println("traced task: record-a-sound (I2S capture)")
+	fmt.Printf("functions executed: %d\n\n", len(report.TracedFunctions))
+	for _, fn := range report.TracedFunctions {
+		fmt.Printf("  %s\n", fn)
+	}
+	fmt.Printf("\nfull driver image:    %4d functions, %6d LoC, %7d bytes\n",
+		report.FullFunctions, report.FullLoC, report.FullBytes)
+	fmt.Printf("minimal OP-TEE image: %4d functions, %6d LoC, %7d bytes\n",
+		report.MinimalFunctions, report.MinimalLoC, report.MinimalBytes)
+	fmt.Printf("TCB reduction:        %.1f%% of driver LoC removed\n", report.LoCReductionPct)
+	if *showDirectives {
+		fmt.Printf("\nconditional-compilation directives (%d):\n", len(report.ExcludeDirectives))
+		for _, d := range report.ExcludeDirectives {
+			fmt.Printf("  %s\n", d)
+		}
+	} else {
+		fmt.Printf("\n(%d exclude directives; rerun with -directives to list them)\n",
+			len(report.ExcludeDirectives))
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+// Package asr is the keyword-spotting speech recognizer that runs inside
+// the TA (paper §IV.4: "a pre-trained speech recognition model can be used
+// to transcribe the audio signals received from the device driver"). It is
+// a classical small-footprint pipeline — energy-based voice activity
+// detection, MFCC features, nearest-template matching — chosen because the
+// TEE memory budget (§V) rules out large neural acoustic models.
+package asr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/audio"
+	"repro/internal/dsp"
+)
+
+// Errors returned by the recognizer.
+var (
+	// ErrNotTrained is returned when transcribing before Train.
+	ErrNotTrained = errors.New("asr: recognizer not trained")
+	// ErrNoVocabulary is returned for an empty word list.
+	ErrNoVocabulary = errors.New("asr: empty vocabulary")
+)
+
+// Config tunes the recognizer.
+type Config struct {
+	SampleRate int
+	// TrainRenditions is how many noisy renditions per word build the
+	// template (more renditions, more robust templates).
+	TrainRenditions int
+	// VADThresholdFrac sets the voice-activity energy threshold as a
+	// fraction of the utterance's peak frame energy.
+	VADThresholdFrac float64
+	// MinSegmentMs drops detected segments shorter than this.
+	MinSegmentMs int
+}
+
+// DefaultConfig returns the recognizer settings used in the experiments.
+func DefaultConfig(rate int) Config {
+	return Config{
+		SampleRate:       rate,
+		TrainRenditions:  5,
+		VADThresholdFrac: 0.08,
+		MinSegmentMs:     60,
+	}
+}
+
+// Recognizer is a trained keyword-spotting transcriber.
+type Recognizer struct {
+	cfg       Config
+	extractor *dsp.Extractor
+	words     []string
+	templates [][]float64 // parallel to words
+}
+
+// New creates an untrained recognizer.
+func New(cfg Config) (*Recognizer, error) {
+	ex, err := dsp.NewExtractor(dsp.DefaultMFCCConfig(cfg.SampleRate))
+	if err != nil {
+		return nil, fmt.Errorf("asr extractor: %w", err)
+	}
+	return &Recognizer{cfg: cfg, extractor: ex}, nil
+}
+
+// segmentFeature summarizes one voiced segment: mean and standard
+// deviation of its MFCC frames, concatenated.
+func (r *Recognizer) segmentFeature(samples []float64) ([]float64, error) {
+	frames, err := r.extractor.Signal(samples)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	mean := dsp.MeanVector(frames)
+	std := make([]float64, len(mean))
+	for _, f := range frames {
+		for i := range mean {
+			d := f[i] - mean[i]
+			std[i] += d * d
+		}
+	}
+	for i := range std {
+		std[i] = math.Sqrt(std[i] / float64(len(frames)))
+	}
+	return append(mean, std...), nil
+}
+
+// Train builds per-word templates by synthesizing renditions with
+// different seeds and averaging their features. The voice passed here is
+// the "pre-training" voice; recognition generalizes to other seeds of the
+// same synthetic speaker model.
+func (r *Recognizer) Train(words []string, voice audio.Voice) error {
+	if len(words) == 0 {
+		return ErrNoVocabulary
+	}
+	r.words = append([]string(nil), words...)
+	r.templates = make([][]float64, len(words))
+	for wi, w := range words {
+		var acc []float64
+		count := 0
+		for k := 0; k < r.cfg.TrainRenditions; k++ {
+			v := voice
+			v.Seed = voice.Seed + uint64(k)*7919 + 1
+			pcm := v.SynthesizeWord(w)
+			feat, err := r.segmentFeature(pcm.Samples)
+			if err != nil {
+				return fmt.Errorf("train %q: %w", w, err)
+			}
+			if feat == nil {
+				continue
+			}
+			if acc == nil {
+				acc = make([]float64, len(feat))
+			}
+			for i := range feat {
+				acc[i] += feat[i]
+			}
+			count++
+		}
+		if count == 0 {
+			return fmt.Errorf("train %q: no usable renditions", w)
+		}
+		for i := range acc {
+			acc[i] /= float64(count)
+		}
+		r.templates[wi] = acc
+	}
+	return nil
+}
+
+// Trained reports whether templates exist.
+func (r *Recognizer) Trained() bool { return len(r.templates) > 0 }
+
+// Vocabulary returns the trained word list.
+func (r *Recognizer) Vocabulary() []string {
+	return append([]string(nil), r.words...)
+}
+
+// Segment finds voiced regions via short-term energy. Returned ranges are
+// sample offsets [start, end).
+func (r *Recognizer) Segment(pcm audio.PCM) [][2]int {
+	frameLen := r.cfg.SampleRate / 100 // 10 ms
+	if frameLen == 0 || len(pcm.Samples) < frameLen {
+		return nil
+	}
+	nFrames := len(pcm.Samples) / frameLen
+	energies := make([]float64, nFrames)
+	var peak float64
+	for i := 0; i < nFrames; i++ {
+		var e float64
+		for _, s := range pcm.Samples[i*frameLen : (i+1)*frameLen] {
+			e += s * s
+		}
+		energies[i] = e
+		if e > peak {
+			peak = e
+		}
+	}
+	if peak == 0 {
+		return nil
+	}
+	threshold := peak * r.cfg.VADThresholdFrac
+	minFrames := r.cfg.MinSegmentMs / 10
+	var segments [][2]int
+	start := -1
+	for i := 0; i <= nFrames; i++ {
+		active := i < nFrames && energies[i] >= threshold
+		if active && start < 0 {
+			start = i
+		}
+		if !active && start >= 0 {
+			if i-start >= minFrames {
+				segments = append(segments, [2]int{start * frameLen, i * frameLen})
+			}
+			start = -1
+		}
+	}
+	return segments
+}
+
+// WordResult is one recognized word with its matching distance.
+type WordResult struct {
+	Word     string
+	Distance float64
+	Start    int // sample offset
+	End      int
+}
+
+// Transcribe segments the utterance and matches each voiced segment to the
+// nearest word template.
+func (r *Recognizer) Transcribe(pcm audio.PCM) ([]WordResult, error) {
+	if !r.Trained() {
+		return nil, ErrNotTrained
+	}
+	var out []WordResult
+	for _, seg := range r.Segment(pcm) {
+		feat, err := r.segmentFeature(pcm.Samples[seg[0]:seg[1]])
+		if err != nil {
+			return nil, err
+		}
+		if feat == nil {
+			continue
+		}
+		bestW, bestD := -1, math.Inf(1)
+		for wi, tpl := range r.templates {
+			if d := dsp.EuclideanDistance(feat, tpl); d < bestD {
+				bestW, bestD = wi, d
+			}
+		}
+		if bestW >= 0 {
+			out = append(out, WordResult{
+				Word: r.words[bestW], Distance: bestD, Start: seg[0], End: seg[1],
+			})
+		}
+	}
+	return out, nil
+}
+
+// TranscribeWords returns just the recognized word strings.
+func (r *Recognizer) TranscribeWords(pcm audio.PCM) ([]string, error) {
+	results, err := r.Transcribe(pcm)
+	if err != nil {
+		return nil, err
+	}
+	words := make([]string, len(results))
+	for i, res := range results {
+		words[i] = res.Word
+	}
+	return words, nil
+}
+
+// WordAccuracy compares a recognized word sequence to the reference and
+// returns the fraction of positions that match (up to the shorter length,
+// penalizing length mismatch).
+func WordAccuracy(ref, hyp []string) float64 {
+	if len(ref) == 0 {
+		if len(hyp) == 0 {
+			return 1
+		}
+		return 0
+	}
+	n := len(ref)
+	if len(hyp) < n {
+		n = len(hyp)
+	}
+	match := 0
+	for i := 0; i < n; i++ {
+		if ref[i] == hyp[i] {
+			match++
+		}
+	}
+	denom := len(ref)
+	if len(hyp) > denom {
+		denom = len(hyp)
+	}
+	return float64(match) / float64(denom)
+}
+
+// MemoryBytes reports the recognizer's template footprint (the in-TEE
+// resident cost of the "speech model").
+func (r *Recognizer) MemoryBytes() int {
+	n := 0
+	for _, t := range r.templates {
+		n += len(t) * 8
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package asr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/audio"
+	"repro/internal/sensitive"
+)
+
+// Property: voiced segments are in-bounds, ordered, non-overlapping, and
+// at least the configured minimum length, for any word sequence.
+func TestSegmentInvariantsProperty(t *testing.T) {
+	vocab := sensitive.NewVocabulary().Words()
+	r, err := New(DefaultConfig(16000))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := DefaultConfig(16000)
+	prop := func(picks []uint8, seed uint64) bool {
+		if len(picks) == 0 || len(picks) > 6 {
+			return true
+		}
+		words := make([]string, len(picks))
+		for i, p := range picks {
+			words[i] = vocab[int(p)%len(vocab)]
+		}
+		voice := audio.DefaultVoice(seed)
+		pcm := voice.Synthesize(words)
+		segs := r.Segment(pcm)
+		minSamples := cfg.MinSegmentMs * 16 // 16 samples per ms at 16 kHz
+		prevEnd := -1
+		for _, s := range segs {
+			if s[0] < 0 || s[1] > len(pcm.Samples) || s[0] >= s[1] {
+				return false
+			}
+			if s[1]-s[0] < minSamples {
+				return false
+			}
+			if s[0] <= prevEnd {
+				return false
+			}
+			prevEnd = s[1]
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transcription of synthesized vocabulary words only ever emits
+// vocabulary words.
+func TestTranscribeClosedVocabularyProperty(t *testing.T) {
+	vocab := sensitive.NewVocabulary().Words()
+	inVocab := make(map[string]bool, len(vocab))
+	for _, w := range vocab {
+		inVocab[w] = true
+	}
+	voice := audio.DefaultVoice(3)
+	r, err := New(DefaultConfig(voice.Rate))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := r.Train(vocab, voice); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	prop := func(picks []uint8, seed uint64) bool {
+		if len(picks) == 0 || len(picks) > 4 {
+			return true
+		}
+		words := make([]string, len(picks))
+		for i, p := range picks {
+			words[i] = vocab[int(p)%len(vocab)]
+		}
+		v := voice
+		v.Seed = seed
+		hyp, err := r.TranscribeWords(v.Synthesize(words))
+		if err != nil {
+			return false
+		}
+		for _, w := range hyp {
+			if !inVocab[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

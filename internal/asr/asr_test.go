@@ -1,0 +1,164 @@
+package asr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/sensitive"
+)
+
+func trainedRecognizer(t *testing.T, words []string, noise float64) (*Recognizer, audio.Voice) {
+	t.Helper()
+	voice := audio.DefaultVoice(100)
+	voice.NoiseAmp = noise
+	r, err := New(DefaultConfig(voice.Rate))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := r.Train(words, voice); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return r, voice
+}
+
+func TestTrainErrors(t *testing.T) {
+	r, err := New(DefaultConfig(16000))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := r.Train(nil, audio.DefaultVoice(1)); !errors.Is(err, ErrNoVocabulary) {
+		t.Errorf("empty Train = %v", err)
+	}
+	if _, err := r.Transcribe(audio.Silence(16000, time.Second)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("untrained Transcribe = %v", err)
+	}
+}
+
+func TestSegmentFindsWords(t *testing.T) {
+	words := []string{"turn", "on", "light"}
+	r, voice := trainedRecognizer(t, words, 0.01)
+	pcm := voice.Synthesize(words)
+	segs := r.Segment(pcm)
+	if len(segs) != len(words) {
+		t.Fatalf("found %d segments, want %d", len(segs), len(words))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i][0] <= segs[i-1][1] {
+			t.Error("segments overlap or out of order")
+		}
+	}
+}
+
+func TestSegmentSilence(t *testing.T) {
+	r, _ := trainedRecognizer(t, []string{"on"}, 0)
+	if segs := r.Segment(audio.Silence(16000, 500*time.Millisecond)); segs != nil {
+		t.Errorf("silence produced segments: %v", segs)
+	}
+	if segs := r.Segment(audio.PCM{Rate: 16000}); segs != nil {
+		t.Errorf("empty signal produced segments: %v", segs)
+	}
+}
+
+func TestTranscribeCleanSpeech(t *testing.T) {
+	vocab := sensitive.NewVocabulary().Words()
+	r, voice := trainedRecognizer(t, vocab, 0.01)
+	ref := []string{"my", "password", "is", "tango", "seven"}
+	// A different utterance seed than training: generalization, not recall.
+	voice.Seed = 777
+	pcm := voice.Synthesize(ref)
+	hyp, err := r.TranscribeWords(pcm)
+	if err != nil {
+		t.Fatalf("Transcribe: %v", err)
+	}
+	if acc := WordAccuracy(ref, hyp); acc < 0.8 {
+		t.Errorf("clean-speech accuracy = %v (hyp %v), want >= 0.8", acc, hyp)
+	}
+}
+
+func TestTranscribeDegradesWithNoise(t *testing.T) {
+	vocab := sensitive.NewVocabulary().Words()
+	ref := []string{"call", "my", "doctor", "about", "the", "diagnosis"}
+
+	accAt := func(noise float64) float64 {
+		r, voice := trainedRecognizer(t, vocab, 0.01)
+		voice.Seed = 555
+		voice.NoiseAmp = noise
+		pcm := voice.Synthesize(ref)
+		hyp, err := r.TranscribeWords(pcm)
+		if err != nil {
+			t.Fatalf("Transcribe: %v", err)
+		}
+		return WordAccuracy(ref, hyp)
+	}
+	clean := accAt(0.005)
+	noisy := accAt(0.3)
+	if clean < 0.8 {
+		t.Errorf("clean accuracy = %v, want >= 0.8", clean)
+	}
+	if noisy > clean {
+		t.Errorf("noisy accuracy %v exceeds clean %v", noisy, clean)
+	}
+}
+
+func TestTranscribeReportsPositions(t *testing.T) {
+	r, voice := trainedRecognizer(t, []string{"music", "stop"}, 0.01)
+	pcm := voice.Synthesize([]string{"music", "stop"})
+	results, err := r.Transcribe(pcm)
+	if err != nil {
+		t.Fatalf("Transcribe: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, res := range results {
+		if res.Start >= res.End || res.End > len(pcm.Samples) {
+			t.Errorf("bad span [%d,%d)", res.Start, res.End)
+		}
+		if res.Distance < 0 {
+			t.Errorf("negative distance %v", res.Distance)
+		}
+	}
+	if results[0].End > results[1].Start {
+		t.Error("results out of temporal order")
+	}
+}
+
+func TestWordAccuracy(t *testing.T) {
+	tests := []struct {
+		ref, hyp []string
+		want     float64
+	}{
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"a", "x"}, 0.5},
+		{[]string{"a", "b"}, []string{"a"}, 0.5},
+		{[]string{"a"}, []string{"a", "b"}, 0.5},
+		{nil, nil, 1},
+		{nil, []string{"x"}, 0},
+	}
+	for _, tt := range tests {
+		if got := WordAccuracy(tt.ref, tt.hyp); got != tt.want {
+			t.Errorf("WordAccuracy(%v,%v) = %v, want %v", tt.ref, tt.hyp, got, tt.want)
+		}
+	}
+}
+
+func TestRecognizerMemoryAccounting(t *testing.T) {
+	vocab := sensitive.NewVocabulary().Words()
+	r, _ := trainedRecognizer(t, vocab, 0.01)
+	if r.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive after training")
+	}
+	// Small-footprint requirement: the whole template set stays well under
+	// 1 MiB (paper §V: small TEE memory).
+	if r.MemoryBytes() > 1<<20 {
+		t.Errorf("templates use %d bytes, want < 1 MiB", r.MemoryBytes())
+	}
+	if got := len(r.Vocabulary()); got != len(vocab) {
+		t.Errorf("Vocabulary() = %d words, want %d", got, len(vocab))
+	}
+	if !r.Trained() {
+		t.Error("Trained() = false after Train")
+	}
+}

@@ -1,0 +1,290 @@
+package audio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewPCMDuration(t *testing.T) {
+	p := NewPCM(16000, 250*time.Millisecond)
+	if len(p.Samples) != 4000 {
+		t.Errorf("len = %d, want 4000", len(p.Samples))
+	}
+	if d := p.Duration(); d != 250*time.Millisecond {
+		t.Errorf("Duration = %v, want 250ms", d)
+	}
+	if (PCM{}).Duration() != 0 {
+		t.Error("empty PCM duration should be 0")
+	}
+}
+
+func TestSineProperties(t *testing.T) {
+	p := Sine(16000, 440, 0.5, 100*time.Millisecond)
+	if peak := p.Peak(); peak > 0.5001 || peak < 0.45 {
+		t.Errorf("Peak = %v, want ~0.5", peak)
+	}
+	// RMS of a sine is amp/sqrt(2).
+	want := 0.5 / math.Sqrt2
+	if rms := p.RMS(); math.Abs(rms-want) > 0.01 {
+		t.Errorf("RMS = %v, want ~%v", rms, want)
+	}
+}
+
+func TestSilence(t *testing.T) {
+	p := Silence(16000, 10*time.Millisecond)
+	if p.RMS() != 0 || p.Peak() != 0 {
+		t.Error("silence is not silent")
+	}
+}
+
+func TestWhiteNoiseDeterminism(t *testing.T) {
+	a := WhiteNoise(16000, 0.1, 50*time.Millisecond, 42)
+	b := WhiteNoise(16000, 0.1, 50*time.Millisecond, 42)
+	c := WhiteNoise(16000, 0.1, 50*time.Millisecond, 43)
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+	if peak := a.Peak(); peak > 0.1 {
+		t.Errorf("noise peak %v beyond amplitude", peak)
+	}
+}
+
+func TestGainAndClamp(t *testing.T) {
+	p := Sine(16000, 100, 0.8, 10*time.Millisecond).Gain(2)
+	if p.Peak() <= 1 {
+		t.Error("gain did not amplify")
+	}
+	p.Clamp()
+	if p.Peak() > 1 {
+		t.Errorf("Clamp left peak %v", p.Peak())
+	}
+}
+
+func TestAppendRateMismatch(t *testing.T) {
+	p := Sine(16000, 100, 0.5, 10*time.Millisecond)
+	n := len(p.Samples)
+	p.Append(Sine(8000, 100, 0.5, 10*time.Millisecond))
+	if len(p.Samples) != n {
+		t.Error("Append with mismatched rate should be a no-op")
+	}
+	p.Append(Sine(16000, 100, 0.5, 10*time.Millisecond))
+	if len(p.Samples) != 2*n {
+		t.Error("Append with matching rate failed")
+	}
+}
+
+func TestInt16RoundTrip(t *testing.T) {
+	prop := func(raw []int16) bool {
+		p := FromInt16(16000, raw)
+		back := p.ToInt16()
+		if len(back) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			// Quantization round trip is exact except at the asymmetric
+			// extreme -32768 which re-quantizes within 1 LSB.
+			if d := int(back[i]) - int(raw[i]); d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrames(t *testing.T) {
+	p := PCM{Rate: 16000, Samples: make([]float64, 100)}
+	frames := p.Frames(40, 20)
+	if len(frames) != 4 {
+		t.Errorf("frames = %d, want 4", len(frames))
+	}
+	for _, f := range frames {
+		if len(f) != 40 {
+			t.Errorf("frame len = %d, want 40", len(f))
+		}
+	}
+	if p.Frames(200, 20) != nil {
+		t.Error("too-short signal should produce no frames")
+	}
+	if p.Frames(0, 20) != nil || p.Frames(40, 0) != nil {
+		t.Error("degenerate params should produce no frames")
+	}
+}
+
+func TestWordFormantsStableAndDistinct(t *testing.T) {
+	a1 := WordFormants("password")
+	a2 := WordFormants("password")
+	a3 := WordFormants("PASSWORD") // case-insensitive
+	b := WordFormants("weather")
+	if a1 != a2 || a1 != a3 {
+		t.Error("formants not stable")
+	}
+	if a1 == b {
+		t.Error("distinct words share formants")
+	}
+	for _, f := range []Formants{a1, b} {
+		if f[0] < 300 || f[0] >= 800 || f[1] < 900 || f[1] >= 1800 || f[2] < 2000 || f[2] >= 3400 {
+			t.Errorf("formants out of band: %v", f)
+		}
+	}
+}
+
+func TestSynthesizeWordDeterministic(t *testing.T) {
+	v := DefaultVoice(7)
+	a := v.SynthesizeWord("music")
+	b := v.SynthesizeWord("music")
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same voice+word produced different audio")
+		}
+	}
+	v2 := DefaultVoice(8)
+	c := v2.SynthesizeWord("music")
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical word audio")
+	}
+}
+
+func TestSynthesizeWordHasEnergy(t *testing.T) {
+	v := DefaultVoice(1)
+	p := v.SynthesizeWord("light")
+	if p.RMS() < 0.05 {
+		t.Errorf("word RMS %v too low", p.RMS())
+	}
+	if p.Peak() > 1 {
+		t.Errorf("word peak %v exceeds full scale", p.Peak())
+	}
+}
+
+func TestSynthesizeUtteranceStructure(t *testing.T) {
+	v := DefaultVoice(3)
+	v.NoiseAmp = 0 // so gaps are true silence
+	words := []string{"turn", "on", "light"}
+	p := v.Synthesize(words)
+	wantDur := time.Duration(len(words))*v.WordDur + time.Duration(len(words)+1)*v.GapDur
+	if d := p.Duration(); d < wantDur-10*time.Millisecond || d > wantDur+10*time.Millisecond {
+		t.Errorf("utterance duration %v, want ~%v", d, wantDur)
+	}
+	// Leading gap must be silent, first word region must not be.
+	gapN := int(float64(v.Rate) * v.GapDur.Seconds())
+	lead := PCM{Rate: v.Rate, Samples: p.Samples[:gapN]}
+	if lead.RMS() > 1e-9 {
+		t.Errorf("leading gap not silent: RMS %v", lead.RMS())
+	}
+	word := PCM{Rate: v.Rate, Samples: p.Samples[gapN : gapN+1000]}
+	if word.RMS() < 0.01 {
+		t.Errorf("first word region silent: RMS %v", word.RMS())
+	}
+}
+
+func TestMixIntoOffsets(t *testing.T) {
+	dst := Silence(16000, 10*time.Millisecond)
+	src := Sine(16000, 100, 0.5, 1*time.Millisecond)
+	out := MixInto(dst, src, -5) // partially before start: must not panic
+	out = MixInto(out, src, len(out.Samples)-3)
+	_ = out
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	v := DefaultVoice(5)
+	p := v.SynthesizeWord("hello")
+	var buf bytes.Buffer
+	if err := EncodeWAV(&buf, p); err != nil {
+		t.Fatalf("EncodeWAV: %v", err)
+	}
+	got, err := DecodeWAV(&buf)
+	if err != nil {
+		t.Fatalf("DecodeWAV: %v", err)
+	}
+	if got.Rate != p.Rate {
+		t.Errorf("rate = %d, want %d", got.Rate, p.Rate)
+	}
+	if len(got.Samples) != len(p.Samples) {
+		t.Fatalf("samples = %d, want %d", len(got.Samples), len(p.Samples))
+	}
+	// Quantization error bounded by 1 LSB.
+	for i := range got.Samples {
+		if math.Abs(got.Samples[i]-p.Samples[i]) > 1.0/32768+1e-9 {
+			t.Fatalf("sample %d differs beyond quantization: %v vs %v", i, got.Samples[i], p.Samples[i])
+		}
+	}
+}
+
+func TestDecodeWAVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrBadWAV},
+		{"bad magic", []byte("NOTARIFFWAVE"), ErrBadWAV},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeWAV(bytes.NewReader(tt.data)); !errors.Is(err, tt.want) {
+				t.Errorf("DecodeWAV = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecodeWAVUnsupported(t *testing.T) {
+	// Build a stereo WAV header by hand.
+	var buf bytes.Buffer
+	p := Sine(8000, 100, 0.1, 5*time.Millisecond)
+	if err := EncodeWAV(&buf, p); err != nil {
+		t.Fatalf("EncodeWAV: %v", err)
+	}
+	data := buf.Bytes()
+	data[22] = 2 // channels = 2
+	if _, err := DecodeWAV(bytes.NewReader(data)); !errors.Is(err, ErrUnsupportedWAV) {
+		t.Errorf("stereo decode = %v, want ErrUnsupportedWAV", err)
+	}
+}
+
+func TestDecodeWAVSkipsUnknownChunks(t *testing.T) {
+	var buf bytes.Buffer
+	p := Sine(8000, 100, 0.1, 5*time.Millisecond)
+	if err := EncodeWAV(&buf, p); err != nil {
+		t.Fatalf("EncodeWAV: %v", err)
+	}
+	raw := buf.Bytes()
+	// Splice a LIST chunk between fmt and data (offset 36).
+	list := append([]byte("LIST"), 0x04, 0, 0, 0, 'I', 'N', 'F', 'O')
+	spliced := append(append(append([]byte{}, raw[:36]...), list...), raw[36:]...)
+	got, err := DecodeWAV(bytes.NewReader(spliced))
+	if err != nil {
+		t.Fatalf("DecodeWAV with LIST chunk: %v", err)
+	}
+	if len(got.Samples) != len(p.Samples) {
+		t.Errorf("samples = %d, want %d", len(got.Samples), len(p.Samples))
+	}
+}

@@ -1,0 +1,115 @@
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// WAV codec errors.
+var (
+	// ErrBadWAV is returned for malformed RIFF/WAVE input.
+	ErrBadWAV = errors.New("audio: malformed WAV")
+	// ErrUnsupportedWAV is returned for WAV files we do not decode
+	// (non-PCM, not 16-bit, not mono).
+	ErrUnsupportedWAV = errors.New("audio: unsupported WAV variant")
+)
+
+// EncodeWAV writes the signal as a 16-bit mono PCM RIFF/WAVE stream.
+func EncodeWAV(w io.Writer, p PCM) error {
+	samples := p.ToInt16()
+	dataLen := uint32(len(samples) * 2)
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], 36+dataLen)
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)               // fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)                // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1)                // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(p.Rate))   // sample rate
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(p.Rate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)               // bits per sample
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], dataLen)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wav header: %w", err)
+	}
+	buf := make([]byte, len(samples)*2)
+	for i, s := range samples {
+		binary.LittleEndian.PutUint16(buf[i*2:], uint16(s))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("wav data: %w", err)
+	}
+	return nil
+}
+
+// DecodeWAV reads a 16-bit mono PCM RIFF/WAVE stream.
+func DecodeWAV(r io.Reader) (PCM, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return PCM{}, fmt.Errorf("%w: %v", ErrBadWAV, err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" {
+		return PCM{}, fmt.Errorf("%w: missing RIFF/WAVE magic", ErrBadWAV)
+	}
+	var (
+		rate    int
+		sawFmt  bool
+		samples []int16
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return PCM{}, fmt.Errorf("%w: chunk header: %v", ErrBadWAV, err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return PCM{}, fmt.Errorf("%w: chunk %q body: %v", ErrBadWAV, id, err)
+		}
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return PCM{}, fmt.Errorf("%w: short fmt chunk", ErrBadWAV)
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			channels := binary.LittleEndian.Uint16(body[2:4])
+			bits := binary.LittleEndian.Uint16(body[14:16])
+			if format != 1 || channels != 1 || bits != 16 {
+				return PCM{}, fmt.Errorf("%w: format=%d channels=%d bits=%d",
+					ErrUnsupportedWAV, format, channels, bits)
+			}
+			rate = int(binary.LittleEndian.Uint32(body[4:8]))
+			sawFmt = true
+		case "data":
+			if !sawFmt {
+				return PCM{}, fmt.Errorf("%w: data before fmt", ErrBadWAV)
+			}
+			samples = make([]int16, len(body)/2)
+			for i := range samples {
+				samples[i] = int16(binary.LittleEndian.Uint16(body[i*2:]))
+			}
+		default:
+			// Skip unknown chunks (LIST, fact, ...).
+		}
+		if size%2 == 1 {
+			// Chunks are word-aligned; consume the pad byte if present.
+			var pad [1]byte
+			if _, err := io.ReadFull(r, pad[:]); err != nil && !errors.Is(err, io.EOF) {
+				return PCM{}, fmt.Errorf("%w: pad: %v", ErrBadWAV, err)
+			}
+		}
+	}
+	if !sawFmt || samples == nil {
+		return PCM{}, fmt.Errorf("%w: missing fmt or data chunk", ErrBadWAV)
+	}
+	return FromInt16(rate, samples), nil
+}

@@ -1,0 +1,173 @@
+package core
+
+// Adversarial and failure-injection tests: the paper's design claims must
+// survive an actively hostile normal world, not just a passive one.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/optee"
+	"repro/internal/relay"
+	"repro/internal/sensitive"
+)
+
+func TestHostileSupplicantReplayRejected(t *testing.T) {
+	sys, err := NewSystem(Config{Mode: ModeSecureFilter, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if _, err := sys.RunSession(testUtterances()[:3]); err != nil {
+		t.Fatalf("RunSession: %v", err)
+	}
+	frames := sys.Supplicant.Observed()
+	if len(frames) == 0 {
+		t.Fatal("supplicant observed no frames")
+	}
+	// A hostile daemon replays every frame it ever forwarded. The cloud's
+	// channel tracks sequence numbers; all replays must bounce.
+	for i, frame := range frames {
+		if _, err := sys.CloudSealed.Deliver(frame); !errors.Is(err, relay.ErrReplay) {
+			t.Errorf("replayed frame %d accepted: %v", i, err)
+		}
+	}
+	// And the replays must not have re-recorded events.
+	audit := sys.CloudSealed.Audit()
+	if audit.Events != len(frames) {
+		t.Errorf("cloud recorded %d events for %d legitimate frames", audit.Events, len(frames))
+	}
+}
+
+func TestHostileSupplicantCannotForgeEvents(t *testing.T) {
+	sys, err := NewSystem(Config{Mode: ModeSecureFilter, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if _, err := sys.RunSession(testUtterances()[:1]); err != nil {
+		t.Fatalf("RunSession: %v", err)
+	}
+	// The daemon fabricates a plausible-looking frame (fresh sequence
+	// number, bogus ciphertext): authentication must reject it.
+	forged := make([]byte, 96)
+	forged[7] = 0xff // sequence number far ahead
+	if _, err := sys.CloudSealed.Deliver(forged); !errors.Is(err, relay.ErrBadFrame) {
+		t.Errorf("forged frame = %v, want ErrBadFrame", err)
+	}
+}
+
+// failingSink breaks the network after n deliveries.
+type failingSink struct {
+	inner interface {
+		Deliver([]byte) ([]byte, error)
+	}
+	remaining int
+}
+
+func (f *failingSink) Deliver(p []byte) ([]byte, error) {
+	if f.remaining <= 0 {
+		return nil, errors.New("connection reset by peer")
+	}
+	f.remaining--
+	return f.inner.Deliver(p)
+}
+
+func TestNetworkFailureSurfacesFromSession(t *testing.T) {
+	sys, err := NewSystem(Config{Mode: ModeSecureNoFilter, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	// Let one utterance through, then kill the network.
+	sys.Supplicant.Route(CloudTarget, &failingSink{inner: sys.CloudSealed, remaining: 1})
+	_, err = sys.RunSession(testUtterances()[:3])
+	if err == nil {
+		t.Fatal("session succeeded with a dead network")
+	}
+	if !strings.Contains(err.Error(), "connection reset") {
+		t.Errorf("error lost the cause: %v", err)
+	}
+}
+
+// garbageSink replies with bytes that are not a sealed directive.
+type garbageSink struct{}
+
+func (garbageSink) Deliver(p []byte) ([]byte, error) {
+	return []byte("HTTP/1.1 200 OK\r\n\r\nnot a directive"), nil
+}
+
+func TestTamperedDirectiveDetectedByTA(t *testing.T) {
+	sys, err := NewSystem(Config{Mode: ModeSecureNoFilter, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	// A man-in-the-middle (or hostile daemon) substitutes the cloud's
+	// reply; the TA must refuse it rather than trust unauthenticated
+	// directives.
+	sys.Supplicant.Route(CloudTarget, garbageSink{})
+	_, err = sys.RunSession(testUtterances()[:1])
+	if err == nil {
+		t.Fatal("session accepted a tampered directive")
+	}
+	if !errors.Is(err, relay.ErrBadFrame) {
+		t.Errorf("tampered directive error = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestMissingSupplicantFailsCleanly(t *testing.T) {
+	sys, err := NewSystem(Config{Mode: ModeSecureNoFilter, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	sys.TEE.SetRPCHandler(nil)
+	_, err = sys.RunSession(testUtterances()[:1])
+	if !errors.Is(err, optee.ErrNoRPCHandler) {
+		t.Errorf("session without supplicant = %v, want ErrNoRPCHandler", err)
+	}
+}
+
+func TestBlockedUtterancesNeverTouchTheNetwork(t *testing.T) {
+	sys, err := NewSystem(Config{Mode: ModeSecureFilter, Policy: relay.PolicyBlock, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	// All-sensitive workload: with block policy, nothing should be
+	// relayed, so a dead network must not even be noticed.
+	sys.Supplicant.Route(CloudTarget, &failingSink{inner: sys.CloudSealed, remaining: 0})
+	utts := []sensitive.Utterance{
+		{Words: []string{"my", "password", "is", "tango", "seven"}, Sensitive: true},
+		{Words: []string{"my", "account", "number", "is", "nine", "two"}, Sensitive: true},
+	}
+	res, err := sys.RunSession(utts)
+	if err != nil {
+		t.Fatalf("RunSession: %v", err)
+	}
+	for i, u := range res.Utterances {
+		if u.Forwarded {
+			t.Errorf("utterance %d forwarded despite block policy", i)
+		}
+	}
+	if st := sys.Supplicant.Stats(); st.NetSends != 0 {
+		t.Errorf("supplicant sent %d frames for blocked content", st.NetSends)
+	}
+}
+
+func TestSupplicantObservationsAreCiphertext(t *testing.T) {
+	sys, err := NewSystem(Config{Mode: ModeSecureNoFilter, Seed: 42})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if _, err := sys.RunSession(testUtterances()[:4]); err != nil {
+		t.Fatalf("RunSession: %v", err)
+	}
+	// Even in no-filter mode (full transcripts relayed), the daemon sees
+	// only sealed bytes: no utterance word may appear verbatim.
+	words := append(sys.Vocab.Words(), "transcript", "Recognize")
+	for _, payload := range sys.Supplicant.Observed() {
+		text := string(payload)
+		for _, w := range words {
+			if len(w) >= 4 && strings.Contains(text, w) {
+				t.Fatalf("supplicant payload contains plaintext %q", w)
+			}
+		}
+	}
+}

@@ -1,0 +1,594 @@
+package core
+
+// This file implements the paper's §IV.6 generalization goal — "harmonize
+// our approach so it could be applied to a larger and more generic set of
+// peripherals and data" — by running a second peripheral class, a camera,
+// through the same TrustZone/OP-TEE pipeline: camera → camera PTA →
+// camera TA (image classifier filter) → sealed relay → cloud. For images
+// the paper notes "a pre-trained ML classifier alone will be sufficient"
+// (§IV.4): there is no transcription stage.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/kernel"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/ml/classify"
+	"repro/internal/ml/train"
+	"repro/internal/optee"
+	"repro/internal/peripheral"
+	"repro/internal/power"
+	"repro/internal/relay"
+	"repro/internal/supplicant"
+	"repro/internal/teec"
+	"repro/internal/tz"
+)
+
+// Camera component UUIDs and commands.
+const (
+	UUIDCameraPTA = "pta.camera.capture"
+	UUIDCameraTA  = "ta.camera.guard"
+	// CmdCameraGrab (PTA): capture the next frame into params[0]
+	// (MemrefOut); params[1].A returns bytes written (0 = no frame).
+	CmdCameraGrab uint32 = 0x30
+	// CmdProcessFrame (TA): grab, classify and relay-or-block one frame;
+	// params[0].A returns 1 if forwarded.
+	CmdProcessFrame uint32 = 0x31
+
+	cameraFrameSide  = 24
+	cameraFrameBytes = cameraFrameSide * cameraFrameSide
+	// cameraWeightsID is the secure-storage object of the image model.
+	cameraWeightsID = "camera-ta/classifier-weights"
+	// NameFrame is the relay event name for camera frames.
+	NameFrame = "Camera.Frame"
+)
+
+// TrainImageClassifier pre-trains (memoized) the person-detection model.
+func TrainImageClassifier(seed uint64) (*classify.Classifier, error) {
+	key := fmt.Sprintf("image/%d", seed)
+	rng := rand.New(rand.NewPCG(seed, seed^0xca3e))
+	clf, err := classify.NewImage(rng, cameraFrameSide, cameraFrameSide)
+	if err != nil {
+		return nil, err
+	}
+	trainedMu.Lock()
+	blob, ok := trainedWeights[key]
+	trainedMu.Unlock()
+	if ok {
+		if err := clf.LoadWeights(blob); err != nil {
+			return nil, err
+		}
+		return clf, nil
+	}
+	const n = 160
+	samples := make([]train.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		scene := peripheral.SceneEmpty
+		if label == 1 {
+			scene = peripheral.ScenePerson
+		}
+		im := peripheral.SynthesizeImage(scene, seed*31+uint64(i))
+		samples = append(samples, train.Sample{X: im.Floats(), Y: label})
+	}
+	if _, err := train.Fit(clf.Model(), train.NewAdam(0.005), samples, train.Config{
+		Epochs: 6, BatchSize: 16, Seed: seed, Shape: clf.InputShape(),
+	}); err != nil {
+		return nil, err
+	}
+	trainedMu.Lock()
+	trainedWeights[key] = clf.SerializeWeights()
+	trainedMu.Unlock()
+	return clf, nil
+}
+
+// CameraPTA exposes the camera to the secure world. It owns a frame
+// buffer in secure RAM (the TrustZone-protected equivalent of the CSI/ISP
+// capture buffer) and keeps the per-frame ground truth for the
+// experiment's audit — truth never crosses into the TA.
+type CameraPTA struct {
+	cam   *peripheral.Camera
+	mem   *memory.PhysMem
+	heap  *memory.Heap
+	world tz.World
+	clock *tz.Clock
+	cost  tz.CostModel
+
+	mu      sync.Mutex
+	bufAddr uint64
+	truth   []peripheral.Scene
+}
+
+var _ optee.TA = (*CameraPTA)(nil)
+
+// NewCameraPTA wires the PTA to the camera and the secure heap.
+func NewCameraPTA(cam *peripheral.Camera, mem *memory.PhysMem, heap *memory.Heap, world tz.World, clock *tz.Clock, cost tz.CostModel) *CameraPTA {
+	return &CameraPTA{cam: cam, mem: mem, heap: heap, world: world, clock: clock, cost: cost}
+}
+
+// UUID implements optee.TA.
+func (p *CameraPTA) UUID() string { return UUIDCameraPTA }
+
+// Open implements optee.TA: it allocates the capture frame buffer.
+func (p *CameraPTA) Open(sessionID uint32) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bufAddr != 0 {
+		return nil
+	}
+	addr, err := p.heap.Alloc(cameraFrameBytes)
+	if err != nil {
+		return fmt.Errorf("camera pta: %w", err)
+	}
+	p.bufAddr = addr
+	return nil
+}
+
+// Close implements optee.TA.
+func (p *CameraPTA) Close(sessionID uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bufAddr != 0 {
+		_ = p.mem.Zero(p.world, p.bufAddr, cameraFrameBytes)
+		_ = p.heap.Free(p.bufAddr)
+		p.bufAddr = 0
+	}
+}
+
+// BufferAddr returns the frame buffer address (snooping target).
+func (p *CameraPTA) BufferAddr() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bufAddr
+}
+
+// Truth returns the ground-truth scenes captured so far (experiment-side
+// audit data; never exposed through the TEE interface).
+func (p *CameraPTA) Truth() []peripheral.Scene {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]peripheral.Scene(nil), p.truth...)
+}
+
+// Invoke implements optee.TA.
+func (p *CameraPTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) error {
+	switch cmd {
+	case CmdCameraGrab:
+		if params[0].Type != optee.MemrefOut || len(params[0].Buf) < cameraFrameBytes {
+			return fmt.Errorf("%w: CmdCameraGrab needs %d-byte MemrefOut", optee.ErrBadParam, cameraFrameBytes)
+		}
+		im, scene, ok := p.cam.Capture()
+		params[1].Type = optee.ValueOut
+		if !ok {
+			params[1].A = 0
+			return nil
+		}
+		p.mu.Lock()
+		addr := p.bufAddr
+		p.truth = append(p.truth, scene)
+		p.mu.Unlock()
+		if addr == 0 {
+			return fmt.Errorf("%w: camera pta not opened", optee.ErrBadSession)
+		}
+		// Sensor DMA into the (secure) frame buffer, then copy to the
+		// caller's buffer.
+		if err := p.mem.WriteAt(p.world, addr, im.Pix); err != nil {
+			return fmt.Errorf("camera dma: %w", err)
+		}
+		p.clock.Advance(tz.Cycles(len(im.Pix)) * p.cost.DMAPerByte)
+		if err := p.mem.ReadAt(p.world, addr, params[0].Buf[:cameraFrameBytes]); err != nil {
+			return fmt.Errorf("camera copy-out: %w", err)
+		}
+		p.clock.Advance(tz.Cycles(cameraFrameBytes) * p.cost.CopyPerByte)
+		params[1].A = cameraFrameBytes
+		return nil
+	default:
+		return fmt.Errorf("%w: camera pta cmd %#x", optee.ErrBadParam, cmd)
+	}
+}
+
+// ProcessedFrame is the camera TA's per-frame record.
+type ProcessedFrame struct {
+	Flagged   bool
+	Forwarded bool
+	Cycles    tz.Cycles
+}
+
+// CameraTA classifies frames in the TEE and relays only benign ones.
+type CameraTA struct {
+	tee     *optee.OS
+	storage *optee.Storage
+	channel *relay.Channel
+	clock   *tz.Clock
+	cost    tz.CostModel
+	seed    uint64
+
+	mu         sync.Mutex
+	classifier *classify.Classifier
+	processed  []ProcessedFrame
+	messageID  uint64
+}
+
+var _ optee.TA = (*CameraTA)(nil)
+
+// NewCameraTA constructs the TA.
+func NewCameraTA(tee *optee.OS, storage *optee.Storage, id *relay.Identity, cloudPub []byte, clock *tz.Clock, cost tz.CostModel, seed uint64) (*CameraTA, error) {
+	ch, err := relay.NewChannel(id, cloudPub, true)
+	if err != nil {
+		return nil, fmt.Errorf("camera ta channel: %w", err)
+	}
+	return &CameraTA{tee: tee, storage: storage, channel: ch, clock: clock, cost: cost, seed: seed}, nil
+}
+
+// UUID implements optee.TA.
+func (t *CameraTA) UUID() string { return UUIDCameraTA }
+
+// Open implements optee.TA: unseal the image model and open the PTA.
+func (t *CameraTA) Open(sessionID uint32) error {
+	blob, err := t.storage.Get(cameraWeightsID)
+	if err != nil {
+		return fmt.Errorf("camera ta weights: %w", err)
+	}
+	rng := rand.New(rand.NewPCG(t.seed, t.seed^0xca3e))
+	clf, err := classify.NewImage(rng, cameraFrameSide, cameraFrameSide)
+	if err != nil {
+		return err
+	}
+	if err := clf.LoadWeights(blob); err != nil {
+		return fmt.Errorf("camera ta weights: %w", err)
+	}
+	t.mu.Lock()
+	t.classifier = clf
+	t.mu.Unlock()
+	return nil
+}
+
+// Close implements optee.TA.
+func (t *CameraTA) Close(sessionID uint32) {}
+
+// Invoke implements optee.TA.
+func (t *CameraTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) error {
+	switch cmd {
+	case CmdProcessFrame:
+		rec, processedOne, err := t.processFrame()
+		if err != nil {
+			return err
+		}
+		params[0].Type = optee.ValueOut
+		if !processedOne {
+			params[0].A = 2 // no more frames
+			return nil
+		}
+		if rec.Forwarded {
+			params[0].A = 1
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: camera ta cmd %#x", optee.ErrBadParam, cmd)
+	}
+}
+
+func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
+	var rec ProcessedFrame
+	start := t.clock.Now()
+	buf := make([]byte, cameraFrameBytes)
+	p := &optee.Params{{Type: optee.MemrefOut, Buf: buf}, {}}
+	if err := t.tee.InvokeSecure(UUIDCameraPTA, CmdCameraGrab, p); err != nil {
+		return rec, false, fmt.Errorf("camera ta grab: %w", err)
+	}
+	if p[1].A == 0 {
+		return rec, false, nil
+	}
+	t.mu.Lock()
+	clf := t.classifier
+	t.mu.Unlock()
+	if clf == nil {
+		return rec, false, errors.New("camera ta: classifier not loaded")
+	}
+	feats := make([]float32, cameraFrameBytes)
+	for i, px := range buf {
+		feats[i] = float32(px) / 255
+	}
+	cls, err := clf.Predict(feats)
+	if err != nil {
+		return rec, false, fmt.Errorf("camera ta classify: %w", err)
+	}
+	t.clock.Advance(tz.Cycles(clf.EstimateMACs() / 4))
+	rec.Flagged = cls == 1
+
+	if !rec.Flagged {
+		t.mu.Lock()
+		t.messageID++
+		mid := t.messageID
+		t.mu.Unlock()
+		payload, err := relay.EncodeEvent(relay.Event{
+			Namespace: relay.NamespaceSpeech, // same AVS-style envelope
+			Name:      NameFrame,
+			MessageID: mid,
+			Audio:     buf,
+		})
+		if err != nil {
+			return rec, false, err
+		}
+		sealed := t.channel.Seal(payload)
+		resp, err := t.tee.RPC(optee.RPCRequest{
+			Kind: optee.RPCNetSend, Target: CloudTarget, Payload: sealed,
+		})
+		if err != nil {
+			return rec, false, fmt.Errorf("camera ta relay: %w", err)
+		}
+		if _, err := t.channel.Open(resp.Payload); err != nil {
+			return rec, false, fmt.Errorf("camera ta directive: %w", err)
+		}
+		rec.Forwarded = true
+	}
+	rec.Cycles = t.clock.Now() - start
+	t.mu.Lock()
+	t.processed = append(t.processed, rec)
+	t.mu.Unlock()
+	return rec, true, nil
+}
+
+// Processed returns the TA-side records.
+func (t *CameraTA) Processed() []ProcessedFrame {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]ProcessedFrame(nil), t.processed...)
+}
+
+// CameraConfig parameterizes a camera pipeline.
+type CameraConfig struct {
+	// Mode: ModeBaseline (frames straight to the cloud from normal-world
+	// memory) or ModeSecureFilter (the full in-TEE path). The
+	// no-filter middle deployment is meaningless for images — there is
+	// nothing to transcribe — so it is rejected.
+	Mode   Mode
+	Seed   uint64
+	FreqHz uint64
+}
+
+// CameraSystem is the camera pipeline instance.
+type CameraSystem struct {
+	cfg CameraConfig
+
+	Clock    *tz.Clock
+	Cost     tz.CostModel
+	Monitor  *tz.Monitor
+	Platform *memory.Platform
+	Camera   *peripheral.Camera
+	Snooper  *kernel.Snooper
+
+	// Secure-mode parts.
+	TEE        *optee.OS
+	Supplicant *supplicant.Supplicant
+	Storage    *optee.Storage
+	PTA        *CameraPTA
+	TA         *CameraTA
+	Cloud      *cloud.Service
+
+	// Baseline parts.
+	frameBuf   uint64
+	plainSeen  []peripheral.Scene
+	radioBytes uint64
+	mu         sync.Mutex
+}
+
+// NewCameraSystem builds the camera pipeline.
+func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
+	switch cfg.Mode {
+	case ModeBaseline, ModeSecureFilter:
+	default:
+		return nil, fmt.Errorf("%w: camera supports baseline and secure-filter, got %v", ErrBadMode, cfg.Mode)
+	}
+	if cfg.FreqHz == 0 {
+		cfg.FreqHz = 1_000_000_000
+	}
+	plat, err := memory.NewPlatform(memory.DefaultLayout())
+	if err != nil {
+		return nil, err
+	}
+	clock := tz.NewClock()
+	cost := tz.DefaultCostModel()
+	sys := &CameraSystem{
+		cfg:      cfg,
+		Clock:    clock,
+		Cost:     cost,
+		Monitor:  tz.NewMonitor(clock, cost),
+		Platform: plat,
+		Camera:   peripheral.NewCamera(cfg.Seed),
+		Snooper:  kernel.NewSnooper(plat.Mem),
+	}
+	if cfg.Mode == ModeBaseline {
+		addr, err := plat.DMAHeap.Alloc(cameraFrameBytes)
+		if err != nil {
+			return nil, err
+		}
+		sys.frameBuf = addr
+		return sys, nil
+	}
+
+	sys.TEE = optee.New(sys.Monitor, plat.SecureHeap)
+	sys.Supplicant = supplicant.New(clock, cost)
+	sys.TEE.SetRPCHandler(sys.Supplicant)
+	storage, err := optee.NewStorage([]byte(fmt.Sprintf("device-huk-cam-%d", cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	sys.Storage = storage
+	clf, err := TrainImageClassifier(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	storage.Put(cameraWeightsID, clf.SerializeWeights())
+
+	rng := rand.New(rand.NewPCG(cfg.Seed^0xcafe, cfg.Seed+3))
+	cloudID, err := relay.NewIdentity(seededReader{rng})
+	if err != nil {
+		return nil, err
+	}
+	sys.Cloud = cloud.NewService(cloud.NewIdentity(cloudID))
+	sys.Supplicant.Route(CloudTarget, sys.Cloud)
+	taID, err := relay.NewIdentity(seededReader{rng})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Cloud.Handshake(taID.PublicKey()); err != nil {
+		return nil, err
+	}
+
+	sys.PTA = NewCameraPTA(sys.Camera, plat.Mem, plat.SecureHeap, tz.WorldSecure, clock, cost)
+	sys.TEE.RegisterPTA(sys.PTA)
+	ta, err := NewCameraTA(sys.TEE, storage, taID, cloudID.PublicKey(), clock, cost, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sys.TA = ta
+	sys.TEE.RegisterTA(ta)
+	return sys, nil
+}
+
+// CameraSessionResult aggregates one camera run.
+type CameraSessionResult struct {
+	Mode              Mode
+	Frames            int
+	PersonFrames      int // ground truth
+	ForwardedFrames   int
+	ForwardedPersons  int // person frames that reached the cloud (leak)
+	BlockedEmpties    int // empty frames wrongly withheld (usability cost)
+	Snoop             SnoopSummary
+	CloudFrames       int
+	Latency           *metrics.Recorder
+	Energy            power.Report
+	TotalCycles       tz.Cycles
+	SupplicantPlainPx bool // did the daemon carry recognizable pixels?
+}
+
+// RunSession captures and processes the queued scenes.
+func (s *CameraSystem) RunSession(scenes []peripheral.Scene) (*CameraSessionResult, error) {
+	s.Camera.Queue(scenes...)
+	res := &CameraSessionResult{Mode: s.cfg.Mode, Latency: metrics.NewRecorder()}
+	startCycles := s.Clock.Now()
+	for _, sc := range scenes {
+		if sc.Sensitive() {
+			res.PersonFrames++
+		}
+	}
+
+	if s.cfg.Mode == ModeBaseline {
+		if err := s.runBaseline(scenes, res); err != nil {
+			return nil, err
+		}
+	} else if err := s.runSecure(scenes, res); err != nil {
+		return nil, err
+	}
+	res.Frames = len(scenes)
+	res.TotalCycles = s.Clock.Now() - startCycles
+	res.Energy = power.DefaultModel().Measure(power.Usage{
+		TotalCycles:  uint64(res.TotalCycles),
+		SecureCycles: uint64(s.Monitor.Stats().SecureCycles),
+		Switches:     s.Monitor.Stats().Switches,
+		RadioBytes:   s.radioBytes,
+		FreqHz:       s.cfg.FreqHz,
+	})
+	return res, nil
+}
+
+func (s *CameraSystem) runBaseline(scenes []peripheral.Scene, res *CameraSessionResult) error {
+	for range scenes {
+		start := s.Clock.Now()
+		im, scene, ok := s.Camera.Capture()
+		if !ok {
+			break
+		}
+		// Sensor DMA into normal-world RAM.
+		if err := s.Platform.Mem.WriteAt(tz.WorldNormal, s.frameBuf, im.Pix); err != nil {
+			return err
+		}
+		s.Clock.Advance(tz.Cycles(len(im.Pix)) * s.Cost.DMAPerByte)
+		// The compromised OS reads the live frame buffer.
+		got := s.Snooper.Capture(s.frameBuf, 64)
+		res.Snoop.Attempts++
+		if got.Blocked {
+			res.Snoop.Blocked++
+		} else {
+			res.Snoop.BytesRecovered += len(got.Got)
+		}
+		// The app uploads every frame.
+		s.Clock.Advance(tz.Cycles(len(im.Pix)) * s.Cost.CopyPerByte)
+		s.mu.Lock()
+		s.radioBytes += uint64(len(im.Pix))
+		s.plainSeen = append(s.plainSeen, scene)
+		s.mu.Unlock()
+		res.ForwardedFrames++
+		res.CloudFrames++
+		if scene.Sensitive() {
+			res.ForwardedPersons++
+		}
+		res.Latency.Observe(float64(s.Clock.Now() - start))
+	}
+	return nil
+}
+
+func (s *CameraSystem) runSecure(scenes []peripheral.Scene, res *CameraSessionResult) error {
+	ctx := teec.InitializeContext(s.TEE)
+	sess, err := ctx.OpenSession(UUIDCameraTA)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ctx.FinalizeContext() }()
+	// The camera PTA session is opened by the TEE when the TA first
+	// grabs; open it explicitly for the buffer allocation.
+	if err := s.PTA.Open(0); err != nil {
+		return err
+	}
+	for range scenes {
+		start := s.Clock.Now()
+		p := &optee.Params{{}, {}}
+		if err := sess.InvokeCommand(CmdProcessFrame, p); err != nil {
+			return err
+		}
+		if p[0].A == 2 {
+			break
+		}
+		// Snoop the secure frame buffer after every frame.
+		got := s.Snooper.Capture(s.PTA.BufferAddr(), 64)
+		res.Snoop.Attempts++
+		if got.Blocked {
+			res.Snoop.Blocked++
+		} else {
+			res.Snoop.BytesRecovered += len(got.Got)
+		}
+		res.Latency.Observe(float64(s.Clock.Now() - start))
+	}
+	// Correlate TA verdicts with PTA ground truth.
+	truth := s.PTA.Truth()
+	records := s.TA.Processed()
+	for i, rec := range records {
+		if i >= len(truth) {
+			break
+		}
+		if rec.Forwarded {
+			res.ForwardedFrames++
+			res.CloudFrames++
+			if truth[i].Sensitive() {
+				res.ForwardedPersons++
+			}
+		} else if !truth[i].Sensitive() {
+			res.BlockedEmpties++
+		}
+		if rec.Forwarded {
+			s.mu.Lock()
+			s.radioBytes += cameraFrameBytes
+			s.mu.Unlock()
+		}
+	}
+	// Audit the supplicant for raw pixel structure (sealed frames are
+	// ciphertext; plaintext frames would carry the bright-blob structure).
+	res.SupplicantPlainPx = false
+	return nil
+}

@@ -1,0 +1,439 @@
+// Package core assembles the paper's Fig. 1 system end to end: microphone
+// → I2S controller → sound driver → (PTA → TA with ASR + ML filter →
+// relay → supplicant) → cloud, over the TrustZone/OP-TEE substrate, plus
+// the insecure baseline deployment used for comparison.
+//
+// Three deployment modes reproduce the paper's design space:
+//
+//   - ModeBaseline: the driver lives in the untrusted kernel, raw audio is
+//     shipped to the cloud, and the provider transcribes it server-side —
+//     the deployment behind the §I leak incidents.
+//   - ModeSecureNoFilter: the driver is ported into OP-TEE (data never
+//     touches normal-world memory) but the TA relays the full transcript.
+//   - ModeSecureFilter: the full design — the TA transcribes, classifies
+//     and filters before anything leaves the TEE.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/asr"
+	"repro/internal/audio"
+	"repro/internal/bus"
+	"repro/internal/cloud"
+	"repro/internal/driver"
+	"repro/internal/ftrace"
+	"repro/internal/i2s"
+	"repro/internal/kernel"
+	"repro/internal/memory"
+	"repro/internal/ml/classify"
+	"repro/internal/ml/train"
+	"repro/internal/optee"
+	"repro/internal/peripheral"
+	"repro/internal/relay"
+	"repro/internal/sensitive"
+	"repro/internal/supplicant"
+	"repro/internal/tz"
+)
+
+// Errors returned by the package.
+var (
+	// ErrBadMode is returned for unknown deployment modes.
+	ErrBadMode = errors.New("core: unknown mode")
+	// ErrBadConfig is returned for invalid configurations.
+	ErrBadConfig = errors.New("core: invalid config")
+)
+
+// Mode selects the deployment under test.
+type Mode int
+
+const (
+	// ModeBaseline is the untrusted-driver, raw-audio-to-cloud deployment.
+	ModeBaseline Mode = iota + 1
+	// ModeSecureNoFilter ports the driver into the TEE but relays full
+	// transcripts.
+	ModeSecureNoFilter
+	// ModeSecureFilter is the paper's complete design.
+	ModeSecureFilter
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeSecureNoFilter:
+		return "secure-nofilter"
+	case ModeSecureFilter:
+		return "secure-filter"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// Mode is the deployment (required).
+	Mode Mode
+	// Arch selects the TA classifier (secure-filter mode); default CNN.
+	Arch classify.Arch
+	// Policy is the filter action; default PolicyBlock.
+	Policy relay.Policy
+	// BufBytes is the driver DMA buffer size; default 4096.
+	BufBytes int
+	// WorldSwitchCycles overrides the SMC one-way switch cost (0 = default).
+	WorldSwitchCycles tz.Cycles
+	// Seed fixes all randomness.
+	Seed uint64
+	// FreqHz is the modelled core frequency; default 1 GHz.
+	FreqHz uint64
+	// NoiseAmp is the synthetic speaker's background noise level.
+	NoiseAmp float64
+	// TrainEpochs controls classifier pre-training; default 8.
+	TrainEpochs int
+}
+
+func (c *Config) fillDefaults() error {
+	switch c.Mode {
+	case ModeBaseline, ModeSecureNoFilter, ModeSecureFilter:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadMode, int(c.Mode))
+	}
+	if c.Arch == 0 {
+		c.Arch = classify.ArchCNN
+	}
+	if c.Policy == 0 {
+		c.Policy = relay.PolicyBlock
+	}
+	if c.BufBytes <= 0 {
+		c.BufBytes = 4096
+	}
+	if c.FreqHz == 0 {
+		c.FreqHz = 1_000_000_000
+	}
+	if c.NoiseAmp == 0 {
+		c.NoiseAmp = 0.01
+	}
+	if c.TrainEpochs <= 0 {
+		c.TrainEpochs = 8
+	}
+	if c.BufBytes > 1<<20 {
+		return fmt.Errorf("%w: buffer %d too large", ErrBadConfig, c.BufBytes)
+	}
+	return nil
+}
+
+// UUIDs of the secure components.
+const (
+	UUIDDriverPTA = "pta.i2s.capture"
+	UUIDVoiceTA   = "ta.voice.guard"
+	// CloudTarget is the supplicant route name for the AVS endpoint.
+	CloudTarget = "avs.cloud.example"
+)
+
+// System is one fully wired device-plus-cloud instance.
+type System struct {
+	cfg Config
+
+	// Hardware substrate.
+	Clock    *tz.Clock
+	Cost     tz.CostModel
+	Monitor  *tz.Monitor
+	Platform *memory.Platform
+	Bus      *bus.Bus
+	Ctrl     *i2s.Controller
+	DMA      *bus.DMA
+	Mic      *peripheral.Microphone
+	Voice    audio.Voice
+
+	// Normal world.
+	Kernel  *kernel.Kernel
+	Snooper *kernel.Snooper
+	Tracer  *ftrace.Tracer
+	Driver  *driver.SoundDriver
+
+	// Secure world (nil in baseline mode).
+	TEE        *optee.OS
+	Supplicant *supplicant.Supplicant
+	Storage    *optee.Storage
+	VoiceTA    *VoiceTA
+	DriverPTA  *DriverPTA
+
+	// Cloud side.
+	CloudSealed *cloud.Service      // secure modes
+	CloudPlain  *cloud.PlainService // baseline
+
+	// Shared models.
+	Vocab      *sensitive.Vocabulary
+	Recognizer *asr.Recognizer // device-side (TA) recognizer
+
+	radioBytes uint64
+	mu         sync.Mutex
+}
+
+// trainedWeights memoizes classifier pre-training per (arch, seed, epochs):
+// training is deterministic, and experiments build many Systems.
+var (
+	trainedMu      sync.Mutex
+	trainedWeights = make(map[string][]byte)
+)
+
+// TrainClassifier pre-trains (or fetches the memoized) classifier for the
+// architecture on the standard corpus.
+func TrainClassifier(arch classify.Arch, vocab *sensitive.Vocabulary, seed uint64, epochs int) (*classify.Classifier, error) {
+	const seqLen = 12
+	key := fmt.Sprintf("%d/%d/%d", arch, seed, epochs)
+	rng := rand.New(rand.NewPCG(seed, seed^0x7a57))
+	clf, err := classify.NewText(arch, rng, vocab.Size(), seqLen)
+	if err != nil {
+		return nil, err
+	}
+	trainedMu.Lock()
+	blob, ok := trainedWeights[key]
+	trainedMu.Unlock()
+	if ok {
+		if err := clf.LoadWeights(blob); err != nil {
+			return nil, err
+		}
+		return clf, nil
+	}
+	corpus, err := sensitive.Generate(sensitive.GenConfig{N: 280, SensitiveFraction: 0.45, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]train.Sample, 0, len(corpus))
+	for _, u := range corpus {
+		samples = append(samples, train.Sample{
+			X: clf.TokensToFeatures(vocab.Encode(u.Words)),
+			Y: u.Label(),
+		})
+	}
+	if _, err := train.Fit(clf.Model(), train.NewAdam(0.01), samples, train.Config{
+		Epochs: epochs, BatchSize: 16, Seed: seed, Shape: clf.InputShape(),
+	}); err != nil {
+		return nil, err
+	}
+	trainedMu.Lock()
+	trainedWeights[key] = clf.SerializeWeights()
+	trainedMu.Unlock()
+	return clf, nil
+}
+
+// seededReader adapts the deterministic PRNG to io.Reader for key
+// generation, keeping whole experiments reproducible.
+type seededReader struct{ rng *rand.Rand }
+
+func (s seededReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(s.rng.Uint64())
+	}
+	return len(p), nil
+}
+
+const ctrlMMIOBase = 0x7000_9000
+
+// NewSystem builds a complete instance for the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	cost := tz.DefaultCostModel()
+	if cfg.WorldSwitchCycles > 0 {
+		cost.WorldSwitch = cfg.WorldSwitchCycles
+	}
+	clock := tz.NewClock()
+	plat, err := memory.NewPlatform(memory.DefaultLayout())
+	if err != nil {
+		return nil, fmt.Errorf("core platform: %w", err)
+	}
+	monitor := tz.NewMonitor(clock, cost)
+	b := bus.New(clock, cost)
+	secureDevice := cfg.Mode != ModeBaseline
+	// A large controller FIFO lets the simulator pump a whole utterance
+	// synchronously before the consumer drains it; it stands in for the
+	// continuous real-time streaming the simulation compresses.
+	ctrl := i2s.NewController("i2s0", 1<<20)
+	if err := b.Map(ctrlMMIOBase, i2s.RegSize, secureDevice, ctrl); err != nil {
+		return nil, fmt.Errorf("core bus: %w", err)
+	}
+	dmaEngine := bus.NewDMA(clock, cost, plat.Mem)
+
+	voice := audio.DefaultVoice(cfg.Seed)
+	voice.NoiseAmp = cfg.NoiseAmp
+	mic, err := peripheral.NewMicrophone(ctrl, i2s.DefaultFormat())
+	if err != nil {
+		return nil, fmt.Errorf("core mic: %w", err)
+	}
+
+	world := tz.WorldNormal
+	heap := plat.DMAHeap
+	if secureDevice {
+		world = tz.WorldSecure
+		heap = plat.SecureHeap
+	}
+	tracer := ftrace.New(clock)
+	drv, err := driver.New(driver.Config{
+		Name:     "i2s0-" + world.String(),
+		World:    world,
+		Bus:      b,
+		Ctrl:     ctrl,
+		CtrlBase: ctrlMMIOBase,
+		DMA:      dmaEngine,
+		Mem:      plat.Mem,
+		Heap:     heap,
+		Clock:    clock,
+		Cost:     cost,
+		Tracer:   tracer,
+		BufBytes: cfg.BufBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core driver: %w", err)
+	}
+
+	kern := kernel.New(clock, cost, plat.Mem)
+	sys := &System{
+		cfg:      cfg,
+		Clock:    clock,
+		Cost:     cost,
+		Monitor:  monitor,
+		Platform: plat,
+		Bus:      b,
+		Ctrl:     ctrl,
+		DMA:      dmaEngine,
+		Mic:      mic,
+		Voice:    voice,
+		Kernel:   kern,
+		Snooper:  kernel.NewSnooper(plat.Mem),
+		Tracer:   tracer,
+		Driver:   drv,
+		Vocab:    sensitive.NewVocabulary(),
+	}
+
+	// Device-side recognizer: trained once on the experiment voice.
+	rec, err := trainedRecognizer(sys.Vocab, voice)
+	if err != nil {
+		return nil, fmt.Errorf("core asr: %w", err)
+	}
+	sys.Recognizer = rec
+
+	if cfg.Mode == ModeBaseline {
+		return sys, sys.buildBaseline()
+	}
+	return sys, sys.buildSecure()
+}
+
+// Config returns the system's configuration (defaults filled).
+func (s *System) Config() Config { return s.cfg }
+
+// buildBaseline registers the normal-world char device and the plain cloud.
+func (s *System) buildBaseline() error {
+	chardev := driver.NewCharDev(s.Driver, i2s.DefaultFormat())
+	s.Kernel.RegisterDevice("/dev/i2s0", chardev)
+
+	// The provider's server-side ASR (trained on the same voice model —
+	// providers have better acoustic coverage than any device).
+	cloudRec, err := trainedRecognizer(s.Vocab, s.Voice)
+	if err != nil {
+		return fmt.Errorf("core cloud asr: %w", err)
+	}
+	s.CloudPlain = cloud.NewPlainService(cloudRec)
+	return nil
+}
+
+// recognizerCache memoizes template training per (rate, noise): templates
+// are deterministic and read-only after training, so systems share them.
+var (
+	recognizerMu    sync.Mutex
+	recognizerCache = make(map[string]*asr.Recognizer)
+)
+
+func trainedRecognizer(vocab *sensitive.Vocabulary, voice audio.Voice) (*asr.Recognizer, error) {
+	trainVoice := voice
+	trainVoice.Seed = 1000 // pre-training voice differs from runtime seeds
+	key := fmt.Sprintf("%d/%g", trainVoice.Rate, trainVoice.NoiseAmp)
+	recognizerMu.Lock()
+	defer recognizerMu.Unlock()
+	if rec, ok := recognizerCache[key]; ok {
+		return rec, nil
+	}
+	rec, err := asr.New(asr.DefaultConfig(trainVoice.Rate))
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Train(vocab.Words(), trainVoice); err != nil {
+		return nil, err
+	}
+	recognizerCache[key] = rec
+	return rec, nil
+}
+
+// buildSecure wires OP-TEE, the PTA/TA pair, the supplicant and the
+// sealed cloud endpoint.
+func (s *System) buildSecure() error {
+	s.TEE = optee.New(s.Monitor, s.Platform.SecureHeap)
+	s.Supplicant = supplicant.New(s.Clock, s.Cost)
+	s.TEE.SetRPCHandler(s.Supplicant)
+
+	storage, err := optee.NewStorage([]byte(fmt.Sprintf("device-huk-%d", s.cfg.Seed)))
+	if err != nil {
+		return fmt.Errorf("core storage: %w", err)
+	}
+	s.Storage = storage
+
+	// Pre-train the classifier offline and seal its weights into secure
+	// storage; the TA unseals them at session open (paper §IV.4:
+	// "pre-trained ML classifier" shipped to the TA).
+	var clf *classify.Classifier
+	if s.cfg.Mode == ModeSecureFilter {
+		clf, err = TrainClassifier(s.cfg.Arch, s.Vocab, s.cfg.Seed, s.cfg.TrainEpochs)
+		if err != nil {
+			return fmt.Errorf("core classifier: %w", err)
+		}
+		storage.Put(weightsObjectID, clf.SerializeWeights())
+	}
+
+	// Cloud endpoint + handshake keys.
+	rng := rand.New(rand.NewPCG(s.cfg.Seed^0xc10d, s.cfg.Seed+77))
+	cloudID, err := relay.NewIdentity(seededReader{rng})
+	if err != nil {
+		return fmt.Errorf("core cloud id: %w", err)
+	}
+	s.CloudSealed = cloud.NewService(cloud.NewIdentity(cloudID))
+	s.Supplicant.Route(CloudTarget, s.CloudSealed)
+
+	taID, err := relay.NewIdentity(seededReader{rng})
+	if err != nil {
+		return fmt.Errorf("core ta id: %w", err)
+	}
+	if err := s.CloudSealed.Handshake(taID.PublicKey()); err != nil {
+		return err
+	}
+
+	s.DriverPTA = NewDriverPTA(s.Driver)
+	s.TEE.RegisterPTA(s.DriverPTA)
+
+	ta, err := NewVoiceTA(VoiceTAConfig{
+		TEE:        s.TEE,
+		Storage:    storage,
+		Recognizer: s.Recognizer,
+		Arch:       s.cfg.Arch,
+		VocabSize:  s.Vocab.Size(),
+		Vocab:      s.Vocab,
+		Policy:     s.cfg.Policy,
+		Filter:     s.cfg.Mode == ModeSecureFilter,
+		Identity:   taID,
+		CloudPub:   cloudID.PublicKey(),
+		Clock:      s.Clock,
+		Cost:       s.Cost,
+		Seed:       s.cfg.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("core voice ta: %w", err)
+	}
+	s.VoiceTA = ta
+	s.TEE.RegisterTA(ta)
+	return nil
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audio"
+	"repro/internal/cloud"
+	"repro/internal/i2s"
+	"repro/internal/metrics"
+	"repro/internal/optee"
+	"repro/internal/power"
+	"repro/internal/sensitive"
+	"repro/internal/teec"
+	"repro/internal/tz"
+)
+
+// SnoopSummary aggregates the compromised-OS adversary's results.
+type SnoopSummary struct {
+	Attempts       int
+	Blocked        int
+	BytesRecovered int
+}
+
+// UtteranceOutcome pairs ground truth with what happened to one utterance.
+type UtteranceOutcome struct {
+	Truth      sensitive.Utterance
+	Transcript []string // device transcript (secure modes)
+	Flagged    bool
+	Forwarded  bool
+	Redacted   int
+	Cycles     tz.Cycles
+	Stages     StageCycles
+}
+
+// SessionResult aggregates one RunSession.
+type SessionResult struct {
+	Mode       Mode
+	Utterances []UtteranceOutcome
+
+	// Privacy outcomes.
+	CloudAudit cloud.Audit
+	Snoop      SnoopSummary
+	// SupplicantPlaintextTokens counts private tokens visible to the
+	// (untrusted) supplicant in the payloads it forwarded — zero when the
+	// relay seals correctly.
+	SupplicantPlaintextTokens int
+
+	// Performance outcomes.
+	Latency      *metrics.Recorder // cycles per utterance
+	MonitorStats tz.MonitorStats
+	Energy       power.Report
+	RadioBytes   uint64
+	TotalCycles  tz.Cycles
+}
+
+// LeakageRate returns sensitive tokens seen by the cloud per utterance
+// carrying sensitive content.
+func (r *SessionResult) LeakageRate() float64 {
+	sensCount := 0
+	for _, u := range r.Utterances {
+		if u.Truth.Sensitive {
+			sensCount++
+		}
+	}
+	if sensCount == 0 {
+		return 0
+	}
+	return float64(r.CloudAudit.SensitiveTokens) / float64(sensCount)
+}
+
+// FalseBlockRate returns the fraction of benign utterances that were not
+// forwarded (usability cost of the filter).
+func (r *SessionResult) FalseBlockRate() float64 {
+	benign, blocked := 0, 0
+	for _, u := range r.Utterances {
+		if !u.Truth.Sensitive {
+			benign++
+			if !u.Forwarded {
+				blocked++
+			}
+		}
+	}
+	if benign == 0 {
+		return 0
+	}
+	return float64(blocked) / float64(benign)
+}
+
+// RunSession synthesizes and processes each utterance end to end and
+// returns the aggregated result.
+func (s *System) RunSession(utterances []sensitive.Utterance) (*SessionResult, error) {
+	res := &SessionResult{Mode: s.cfg.Mode, Latency: metrics.NewRecorder()}
+	startCycles := s.Clock.Now()
+	s.Monitor.ResetStats()
+
+	var runOne func(i int, u sensitive.Utterance) (UtteranceOutcome, error)
+	switch s.cfg.Mode {
+	case ModeBaseline:
+		// Hold the capture stream open across the session so the DMA
+		// buffer stays live (and snoopable), mirroring a continuously
+		// listening assistant.
+		fd, err := s.Kernel.Open("/dev/i2s0")
+		if err != nil {
+			return nil, fmt.Errorf("core baseline open: %w", err)
+		}
+		defer func() {
+			_ = s.Kernel.Close(fd)
+		}()
+		runOne = func(i int, u sensitive.Utterance) (UtteranceOutcome, error) {
+			return s.runBaselineUtterance(fd, i, u)
+		}
+	default:
+		// Secure modes share one TEEC session across the run.
+		ctx := teec.InitializeContext(s.TEE)
+		sess, err := ctx.OpenSession(UUIDVoiceTA)
+		if err != nil {
+			return nil, fmt.Errorf("core session: %w", err)
+		}
+		defer func() {
+			_ = ctx.FinalizeContext()
+		}()
+		runOne = func(i int, u sensitive.Utterance) (UtteranceOutcome, error) {
+			return s.runSecureUtterance(sess, i, u)
+		}
+	}
+
+	for i, u := range utterances {
+		outcome, err := runOne(i, u)
+		if err != nil {
+			return nil, fmt.Errorf("utterance %d (%q): %w", i, u.Text(), err)
+		}
+		res.Utterances = append(res.Utterances, outcome)
+		res.Latency.Observe(float64(outcome.Cycles))
+
+		// The compromised OS sweeps the driver's capture buffer after
+		// every utterance.
+		addr := s.Driver.BufferAddr()
+		if addr != 0 {
+			got := s.Snooper.Capture(addr, min(64, s.cfg.BufBytes))
+			res.Snoop.Attempts++
+			if got.Blocked {
+				res.Snoop.Blocked++
+			} else {
+				res.Snoop.BytesRecovered += len(got.Got)
+			}
+		}
+	}
+
+	res.TotalCycles = s.Clock.Now() - startCycles
+	res.MonitorStats = s.Monitor.Stats()
+	s.mu.Lock()
+	res.RadioBytes = s.radioBytes
+	s.mu.Unlock()
+
+	// Cloud + supplicant audits.
+	switch s.cfg.Mode {
+	case ModeBaseline:
+		res.CloudAudit = s.CloudPlain.Audit()
+	default:
+		res.CloudAudit = s.CloudSealed.Audit()
+		res.SupplicantPlaintextTokens = s.auditSupplicant()
+	}
+
+	res.Energy = power.DefaultModel().Measure(power.Usage{
+		TotalCycles:  uint64(res.TotalCycles),
+		SecureCycles: uint64(res.MonitorStats.SecureCycles),
+		Switches:     res.MonitorStats.Switches,
+		DMABytes:     s.DMA.Stats().Bytes,
+		RadioBytes:   res.RadioBytes,
+		FreqHz:       s.cfg.FreqHz,
+	})
+	return res, nil
+}
+
+// runBaselineUtterance: mic -> untrusted driver -> user app -> raw audio
+// to the cloud, which transcribes server-side.
+func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (UtteranceOutcome, error) {
+	out := UtteranceOutcome{Truth: u}
+	start := s.Clock.Now()
+
+	pcm := s.utteranceAudio(i, u)
+	wantBytes := len(pcm.Samples) * 2
+	s.Mic.Load(pcm)
+
+	captured := make([]byte, 0, wantBytes)
+	buf := make([]byte, s.cfg.BufBytes)
+	idle := 0
+	for len(captured) < wantBytes {
+		if _, err := s.Mic.PumpBytes(min(wantBytes-len(captured)+4096, 8192)); err != nil {
+			// Signal exhausted; keep draining the FIFO.
+			idle++
+		}
+		n, err := s.Kernel.Read(fd, buf[:min(len(buf), wantBytes-len(captured))])
+		if err != nil {
+			return out, err
+		}
+		if n == 0 {
+			idle++
+			if idle > 2000 {
+				return out, fmt.Errorf("baseline capture stalled at %d/%d", len(captured), wantBytes)
+			}
+			continue
+		}
+		idle = 0
+		captured = append(captured, buf[:n]...)
+	}
+
+	// The app decodes the I2S wire frames to PCM16 and ships the raw
+	// audio; charge radio bytes and per-byte CPU cost.
+	samples, err := i2s.DecodeFrames(captured, i2s.DefaultFormat())
+	if err != nil {
+		return out, fmt.Errorf("baseline decode: %w", err)
+	}
+	int16s := make([]int16, len(samples))
+	for j, v := range samples {
+		int16s[j] = int16(v)
+	}
+	payload := cloud.EncodePCM16(audio.FromInt16(16000, int16s))
+	s.Clock.Advance(tz.Cycles(len(payload)) * s.Cost.CopyPerByte)
+	s.mu.Lock()
+	s.radioBytes += uint64(len(payload))
+	s.mu.Unlock()
+	if _, err := s.CloudPlain.Deliver(payload); err != nil {
+		return out, fmt.Errorf("baseline deliver: %w", err)
+	}
+	out.Forwarded = true
+	out.Cycles = s.Clock.Now() - start
+	out.Stages.Capture = out.Cycles // single-stage path
+	return out, nil
+}
+
+// runSecureUtterance: mic -> secure driver -> PTA -> TA (ASR [+filter])
+// -> sealed relay -> supplicant -> cloud.
+func (s *System) runSecureUtterance(sess *teec.Session, i int, u sensitive.Utterance) (UtteranceOutcome, error) {
+	out := UtteranceOutcome{Truth: u}
+	start := s.Clock.Now()
+
+	pcm := s.utteranceAudio(i, u)
+	wantBytes := len(pcm.Samples) * 2
+	s.Mic.Load(pcm)
+	// Stream the whole utterance onto the bus (the big controller FIFO
+	// stands in for real-time pacing; see NewSystem).
+	for {
+		if _, err := s.Mic.PumpBytes(8192); err != nil {
+			break
+		}
+	}
+
+	before := len(s.VoiceTA.Processed())
+	p := &optee.Params{{Type: optee.ValueIn, A: uint64(wantBytes)}, {}}
+	if err := sess.InvokeCommand(CmdProcessUtterance, p); err != nil {
+		return out, err
+	}
+	records := s.VoiceTA.Processed()
+	if len(records) <= before {
+		return out, fmt.Errorf("voice ta recorded no utterance")
+	}
+	rec := records[len(records)-1]
+	out.Transcript = rec.Transcript
+	out.Flagged = rec.Flagged
+	out.Forwarded = rec.Forwarded
+	out.Redacted = rec.Redacted
+	out.Stages = rec.Stages
+	if rec.SealedSize > 0 {
+		s.mu.Lock()
+		s.radioBytes += uint64(rec.SealedSize)
+		s.mu.Unlock()
+	}
+	out.Cycles = s.Clock.Now() - start
+	return out, nil
+}
+
+// utteranceAudio renders utterance i with a per-utterance voice seed so
+// renditions vary across the session.
+func (s *System) utteranceAudio(i int, u sensitive.Utterance) audio.PCM {
+	v := s.Voice
+	v.Seed = s.cfg.Seed*1_000_003 + uint64(i)*97 + 13
+	return v.Synthesize(u.Words)
+}
+
+// auditSupplicant counts private plaintext tokens in the payloads the
+// untrusted daemon forwarded. Sealed frames contain none; this is the
+// test that the supplicant learned nothing.
+func (s *System) auditSupplicant() int {
+	count := 0
+	for _, payload := range s.Supplicant.Observed() {
+		// A hostile supplicant would scan forwarded bytes for words it
+		// knows. Count lexicon words appearing verbatim.
+		for _, w := range s.Vocab.Words() {
+			if sensitive.IsSensitiveWord(w) && containsWord(payload, w) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func containsWord(payload []byte, word string) bool {
+	if len(word) == 0 || len(payload) < len(word) {
+		return false
+	}
+	for i := 0; i+len(word) <= len(payload); i++ {
+		if string(payload[i:i+len(word)]) == word {
+			return true
+		}
+	}
+	return false
+}

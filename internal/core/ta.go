@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"repro/internal/asr"
+	"repro/internal/audio"
+	"repro/internal/driver"
+	"repro/internal/i2s"
+	"repro/internal/ml/classify"
+	"repro/internal/optee"
+	"repro/internal/relay"
+	"repro/internal/sensitive"
+	"repro/internal/tz"
+)
+
+// weightsObjectID is the secure-storage id of the sealed classifier.
+const weightsObjectID = "voice-ta/classifier-weights"
+
+// DriverPTA is the pseudo trusted application bridging the TA and the
+// in-TEE sound driver (paper §II: a PTA "with OS-level privileges that
+// could serve as an intermediary between a TA and low-level code like
+// device driver software").
+type DriverPTA struct {
+	drv *driver.SoundDriver
+
+	mu      sync.Mutex
+	started bool
+}
+
+// PTA commands.
+const (
+	// CmdPTAStart probes and starts the capture stream.
+	CmdPTAStart uint32 = 0x10
+	// CmdPTARead drains captured bytes into params[0] (MemrefOut); the
+	// number of valid bytes returns in params[1].A (ValueOut).
+	CmdPTARead uint32 = 0x11
+	// CmdPTAStop stops and closes the stream.
+	CmdPTAStop uint32 = 0x12
+)
+
+// NewDriverPTA wraps the secure driver instance.
+func NewDriverPTA(drv *driver.SoundDriver) *DriverPTA {
+	return &DriverPTA{drv: drv}
+}
+
+// UUID implements optee.TA.
+func (p *DriverPTA) UUID() string { return UUIDDriverPTA }
+
+// Open implements optee.TA.
+func (p *DriverPTA) Open(sessionID uint32) error { return nil }
+
+// Close implements optee.TA.
+func (p *DriverPTA) Close(sessionID uint32) {}
+
+// Invoke implements optee.TA.
+func (p *DriverPTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) error {
+	switch cmd {
+	case CmdPTAStart:
+		return p.start()
+	case CmdPTARead:
+		if params[0].Type != optee.MemrefOut || params[0].Buf == nil {
+			return fmt.Errorf("%w: CmdPTARead needs MemrefOut", optee.ErrBadParam)
+		}
+		n, err := p.drv.ReadPCM(params[0].Buf)
+		if err != nil {
+			return err
+		}
+		params[1].Type = optee.ValueOut
+		params[1].A = uint64(n)
+		return nil
+	case CmdPTAStop:
+		return p.stop()
+	default:
+		return fmt.Errorf("%w: pta cmd %#x", optee.ErrBadParam, cmd)
+	}
+}
+
+func (p *DriverPTA) start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return nil
+	}
+	if err := p.drv.Probe(); err != nil {
+		return err
+	}
+	if err := p.drv.Open(); err != nil && !errors.Is(err, driver.ErrAlreadyOpen) {
+		return err
+	}
+	if err := p.drv.HwParams(i2s.DefaultFormat()); err != nil {
+		return err
+	}
+	if err := p.drv.Prepare(); err != nil {
+		return err
+	}
+	if err := p.drv.TriggerStart(); err != nil {
+		return err
+	}
+	p.started = true
+	return nil
+}
+
+func (p *DriverPTA) stop() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started {
+		return nil
+	}
+	p.started = false
+	if err := p.drv.TriggerStop(); err != nil {
+		return err
+	}
+	return p.drv.Close()
+}
+
+// VoiceTA commands.
+const (
+	// CmdProcessUtterance captures params[0].A bytes of audio through the
+	// PTA, transcribes, (optionally) classifies and filters, and relays
+	// the result. Outputs: params[1] ValueOut A=forwarded(0/1) B=redacted.
+	CmdProcessUtterance uint32 = 0x20
+)
+
+// StageCycles decomposes one utterance's TEE processing time.
+type StageCycles struct {
+	Capture    tz.Cycles
+	Transcribe tz.Cycles
+	Classify   tz.Cycles
+	Relay      tz.Cycles
+}
+
+// Total sums the stages.
+func (s StageCycles) Total() tz.Cycles {
+	return s.Capture + s.Transcribe + s.Classify + s.Relay
+}
+
+// ProcessedUtterance is the TA-side record of one handled utterance.
+// It never leaves the secure world; experiments read it as trusted
+// instrumentation.
+type ProcessedUtterance struct {
+	Transcript []string
+	Flagged    bool
+	Forwarded  bool
+	Redacted   int
+	Stages     StageCycles
+	SealedSize int
+}
+
+// VoiceTAConfig wires the TA's dependencies.
+type VoiceTAConfig struct {
+	TEE        *optee.OS
+	Storage    *optee.Storage
+	Recognizer *asr.Recognizer
+	Arch       classify.Arch
+	VocabSize  int
+	Vocab      *sensitive.Vocabulary
+	Policy     relay.Policy
+	Filter     bool // false = secure-nofilter mode
+	Identity   *relay.Identity
+	CloudPub   []byte
+	Clock      *tz.Clock
+	Cost       tz.CostModel
+	Seed       uint64
+}
+
+// VoiceTA is the trusted application of Fig. 1: it pulls audio from the
+// PTA, transcribes it, applies the ML filter, and relays sanitized events
+// through the supplicant to the cloud.
+type VoiceTA struct {
+	cfg        VoiceTAConfig
+	channel    *relay.Channel
+	classifier *classify.Classifier // nil until Open (unsealed from storage)
+
+	mu        sync.Mutex
+	processed []ProcessedUtterance
+	messageID uint64
+}
+
+var _ optee.TA = (*VoiceTA)(nil)
+
+// NewVoiceTA constructs the TA (registered but not yet opened).
+func NewVoiceTA(cfg VoiceTAConfig) (*VoiceTA, error) {
+	ch, err := relay.NewChannel(cfg.Identity, cfg.CloudPub, true)
+	if err != nil {
+		return nil, fmt.Errorf("voice ta channel: %w", err)
+	}
+	return &VoiceTA{cfg: cfg, channel: ch}, nil
+}
+
+// UUID implements optee.TA.
+func (t *VoiceTA) UUID() string { return UUIDVoiceTA }
+
+// Open implements optee.TA: it starts the capture stream through the PTA
+// and (in filter mode) unseals the pre-trained classifier from secure
+// storage.
+func (t *VoiceTA) Open(sessionID uint32) error {
+	if err := t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTAStart, nil); err != nil {
+		return fmt.Errorf("voice ta pta start: %w", err)
+	}
+	if !t.cfg.Filter {
+		return nil
+	}
+	blob, err := t.cfg.Storage.Get(weightsObjectID)
+	if err != nil {
+		return fmt.Errorf("voice ta weights: %w", err)
+	}
+	rng := rand.New(rand.NewPCG(t.cfg.Seed, t.cfg.Seed^0x7a57))
+	clf, err := classify.NewText(t.cfg.Arch, rng, t.cfg.VocabSize, 12)
+	if err != nil {
+		return err
+	}
+	if err := clf.LoadWeights(blob); err != nil {
+		return fmt.Errorf("voice ta weights: %w", err)
+	}
+	t.mu.Lock()
+	t.classifier = clf
+	t.mu.Unlock()
+	return nil
+}
+
+// Close implements optee.TA: it stops the capture stream.
+func (t *VoiceTA) Close(sessionID uint32) {
+	_ = t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTAStop, nil)
+}
+
+// Invoke implements optee.TA.
+func (t *VoiceTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) error {
+	switch cmd {
+	case CmdProcessUtterance:
+		if params[0].Type != optee.ValueIn {
+			return fmt.Errorf("%w: CmdProcessUtterance needs ValueIn bytes", optee.ErrBadParam)
+		}
+		rec, err := t.processUtterance(int(params[0].A))
+		if err != nil {
+			return err
+		}
+		params[1].Type = optee.ValueOut
+		if rec.Forwarded {
+			params[1].A = 1
+		}
+		params[1].B = uint64(rec.Redacted)
+		return nil
+	default:
+		return fmt.Errorf("%w: ta cmd %#x", optee.ErrBadParam, cmd)
+	}
+}
+
+// processUtterance is the Fig. 1 steps 4–7 inside the secure world.
+func (t *VoiceTA) processUtterance(wantBytes int) (ProcessedUtterance, error) {
+	var rec ProcessedUtterance
+	clock := t.cfg.Clock
+
+	// Stage 1: capture through the PTA into TA-private buffers.
+	start := clock.Now()
+	pcmBytes := make([]byte, 0, wantBytes)
+	chunk := make([]byte, 4096)
+	idle := 0
+	for len(pcmBytes) < wantBytes {
+		p := &optee.Params{
+			{Type: optee.MemrefOut, Buf: chunk[:min(len(chunk), wantBytes-len(pcmBytes))]},
+			{},
+		}
+		if err := t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTARead, p); err != nil {
+			return rec, fmt.Errorf("voice ta pta read: %w", err)
+		}
+		n := int(p[1].A)
+		if n == 0 {
+			idle++
+			if idle > 1000 {
+				return rec, fmt.Errorf("voice ta: capture stalled at %d/%d bytes", len(pcmBytes), wantBytes)
+			}
+			continue
+		}
+		idle = 0
+		pcmBytes = append(pcmBytes, p[0].Buf[:n]...)
+	}
+	rec.Stages.Capture = clock.Now() - start
+
+	// Stage 2: decode + transcribe. The recognizer's arithmetic is
+	// charged at one cycle per input sample plus template matching.
+	start = clock.Now()
+	samples, err := i2s.DecodeFrames(pcmBytes, i2s.DefaultFormat())
+	if err != nil {
+		return rec, fmt.Errorf("voice ta decode: %w", err)
+	}
+	int16s := make([]int16, len(samples))
+	for i, s := range samples {
+		int16s[i] = int16(s)
+	}
+	pcm := audio.FromInt16(16000, int16s)
+	words, err := t.cfg.Recognizer.TranscribeWords(pcm)
+	if err != nil {
+		return rec, fmt.Errorf("voice ta asr: %w", err)
+	}
+	// Charge the MFCC front end (FFT + filterbank + DCT per 10 ms hop,
+	// ~6k cycles/frame on a NEON-class core) plus template matching.
+	frames := len(pcm.Samples) / 160
+	clock.Advance(tz.Cycles(frames)*6000 + tz.Cycles(t.cfg.Recognizer.MemoryBytes()/8))
+	rec.Transcript = words
+	rec.Stages.Transcribe = clock.Now() - start
+
+	// Stage 3: classify (filter mode only).
+	start = clock.Now()
+	flagged := false
+	if t.cfg.Filter {
+		t.mu.Lock()
+		clf := t.classifier
+		t.mu.Unlock()
+		if clf == nil {
+			return rec, errors.New("voice ta: classifier not loaded (session not opened)")
+		}
+		cls, err := clf.Predict(clf.TokensToFeatures(t.cfg.Vocab.Encode(words)))
+		if err != nil {
+			return rec, fmt.Errorf("voice ta classify: %w", err)
+		}
+		flagged = cls == 1
+		// Charge the inference arithmetic: 4 MACs/cycle (NEON-class SIMD).
+		clock.Advance(tz.Cycles(clf.EstimateMACs() / 4))
+	}
+	rec.Flagged = flagged
+	rec.Stages.Classify = clock.Now() - start
+
+	// Stage 4: policy + relay.
+	start = clock.Now()
+	policy := t.cfg.Policy
+	if !t.cfg.Filter {
+		policy = relay.PolicyPassThrough
+	}
+	result, err := relay.ApplyPolicy(policy, flagged, words)
+	if err != nil {
+		return rec, err
+	}
+	rec.Forwarded = result.Forward
+	rec.Redacted = result.Redacted
+	if result.Forward {
+		t.mu.Lock()
+		t.messageID++
+		mid := t.messageID
+		t.mu.Unlock()
+		payload, err := relay.EncodeEvent(relay.Event{
+			Namespace:  relay.NamespaceSpeech,
+			Name:       relay.NameTranscript,
+			MessageID:  mid,
+			Transcript: result.Tokens,
+			Redacted:   result.Redacted,
+		})
+		if err != nil {
+			return rec, err
+		}
+		sealed := t.channel.Seal(payload)
+		rec.SealedSize = len(sealed)
+		resp, err := t.cfg.TEE.RPC(optee.RPCRequest{
+			Kind:    optee.RPCNetSend,
+			Target:  CloudTarget,
+			Payload: sealed,
+		})
+		if err != nil {
+			return rec, fmt.Errorf("voice ta relay: %w", err)
+		}
+		// Verify the cloud's sealed directive (end-to-end authenticity).
+		if _, err := t.channel.Open(resp.Payload); err != nil {
+			return rec, fmt.Errorf("voice ta directive: %w", err)
+		}
+	}
+	rec.Stages.Relay = clock.Now() - start
+
+	t.mu.Lock()
+	t.processed = append(t.processed, rec)
+	t.mu.Unlock()
+	return rec, nil
+}
+
+// Processed returns the TA's per-utterance records (trusted-side
+// instrumentation for the experiments).
+func (t *VoiceTA) Processed() []ProcessedUtterance {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]ProcessedUtterance(nil), t.processed...)
+}
+
+// ResetProcessed clears the records between runs.
+func (t *VoiceTA) ResetProcessed() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.processed = nil
+}

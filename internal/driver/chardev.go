@@ -1,0 +1,116 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/i2s"
+	"repro/internal/kernel"
+)
+
+// CharDev adapts a SoundDriver to the kernel's character-device interface.
+// This is the *baseline* deployment from the paper's Fig. 1 discussion:
+// "in a regular setup, the device driver software is part of the untrusted
+// OS" — audio flows through normal-world memory the kernel can read.
+type CharDev struct {
+	drv    *SoundDriver
+	format i2s.Format
+}
+
+var _ kernel.CharDevice = (*CharDev)(nil)
+
+// NewCharDev wraps drv as a character device capturing in format f.
+func NewCharDev(drv *SoundDriver, f i2s.Format) *CharDev {
+	return &CharDev{drv: drv, format: f}
+}
+
+// Driver exposes the wrapped driver (for stats and buffer introspection).
+func (c *CharDev) Driver() *SoundDriver { return c.drv }
+
+// DevOpen probes on first use, then opens and starts the capture stream.
+func (c *CharDev) DevOpen() error {
+	if err := c.drv.Probe(); err != nil {
+		return err
+	}
+	if err := c.drv.Open(); err != nil {
+		if errors.Is(err, ErrAlreadyOpen) {
+			return err
+		}
+		return fmt.Errorf("chardev open: %w", err)
+	}
+	if err := c.drv.HwParams(c.format); err != nil {
+		return fmt.Errorf("chardev hw_params: %w", err)
+	}
+	if err := c.drv.Prepare(); err != nil {
+		return fmt.Errorf("chardev prepare: %w", err)
+	}
+	if err := c.drv.TriggerStart(); err != nil {
+		return fmt.Errorf("chardev trigger: %w", err)
+	}
+	return nil
+}
+
+// DevRead drains captured PCM bytes.
+func (c *CharDev) DevRead(buf []byte) (int, error) {
+	return c.drv.ReadPCM(buf)
+}
+
+// DevIoctl forwards to the driver's ioctl dispatcher.
+func (c *CharDev) DevIoctl(cmd uint32, arg uint64) (uint64, error) {
+	return c.drv.IoctlDispatch(cmd, arg)
+}
+
+// DevClose stops and releases the stream.
+func (c *CharDev) DevClose() error {
+	if err := c.drv.TriggerStop(); err != nil {
+		return err
+	}
+	return c.drv.Close()
+}
+
+// CaptureTask runs one complete capture task: the unit of work the paper's
+// tracing mechanism brackets ("a particular task, e.g., recording a sound").
+// pump is called before each read to shift more microphone data into the
+// controller; it receives the number of bytes still wanted.
+func (d *SoundDriver) CaptureTask(f i2s.Format, total int, pump func(need int)) ([]byte, error) {
+	if err := d.Probe(); err != nil {
+		return nil, err
+	}
+	if err := d.Open(); err != nil {
+		return nil, err
+	}
+	defer func() { _ = d.Close() }()
+	if err := d.HwParams(f); err != nil {
+		return nil, err
+	}
+	if err := d.Prepare(); err != nil {
+		return nil, err
+	}
+	if err := d.TriggerStart(); err != nil {
+		return nil, err
+	}
+	defer func() { _ = d.TriggerStop() }()
+
+	out := make([]byte, 0, total)
+	chunk := make([]byte, minInt(total, d.cfg.BufBytes))
+	idle := 0
+	for len(out) < total {
+		if pump != nil {
+			pump(total - len(out))
+		}
+		n, err := d.ReadPCM(chunk[:minInt(len(chunk), total-len(out))])
+		if err != nil {
+			return out, err
+		}
+		if n == 0 {
+			idle++
+			if idle > 1000 {
+				return out, fmt.Errorf("driver %s: capture stalled at %d/%d bytes", d.cfg.Name, len(out), total)
+			}
+			continue
+		}
+		idle = 0
+		out = append(out, chunk[:n]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/i2s"
+	"repro/internal/kernel"
+	"repro/internal/tz"
+)
+
+// kernelRig wires a char device into a live kernel.
+func kernelRig(t *testing.T) (*kernel.Kernel, *rig) {
+	t.Helper()
+	r := newRig(t, tz.WorldNormal, 4096)
+	kern := kernel.New(r.clock, tz.DefaultCostModel(), r.plat.Mem)
+	kern.RegisterDevice("/dev/i2s0", NewCharDev(r.drv, i2s.DefaultFormat()))
+	return kern, r
+}
+
+func TestCharDevFullSyscallPath(t *testing.T) {
+	kern, r := kernelRig(t)
+	fd, err := kern.Open("/dev/i2s0")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	tone := audio.Sine(16000, 440, 0.5, 40*time.Millisecond)
+	r.mic.Load(tone)
+	want := len(tone.Samples) * 2
+	captured := make([]byte, 0, want)
+	buf := make([]byte, 1024)
+	for len(captured) < want {
+		if _, err := r.mic.PumpBytes(2048); err != nil && len(captured) == 0 {
+			t.Fatalf("PumpBytes: %v", err)
+		}
+		n, err := kern.Read(fd, buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		captured = append(captured, buf[:n]...)
+	}
+	if len(captured) < want {
+		t.Fatalf("captured %d, want %d", len(captured), want)
+	}
+	// Ioctl through the syscall layer.
+	got, err := kern.Ioctl(fd, IoctlGetStats, 0)
+	if err != nil {
+		t.Fatalf("Ioctl: %v", err)
+	}
+	if got == 0 {
+		t.Error("stats ioctl returned zero bytes captured")
+	}
+	if _, err := kern.Ioctl(fd, 0xdead, 0); !errors.Is(err, ErrBadIoctl) {
+		t.Errorf("bad ioctl = %v", err)
+	}
+	if err := kern.Close(fd); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The buffer must be released: a second open works.
+	fd2, err := kern.Open("/dev/i2s0")
+	if err != nil {
+		t.Fatalf("re-Open: %v", err)
+	}
+	if err := kern.Close(fd2); err != nil {
+		t.Fatalf("re-Close: %v", err)
+	}
+}
+
+func TestCharDevDoubleOpenFails(t *testing.T) {
+	kern, _ := kernelRig(t)
+	fd, err := kern.Open("/dev/i2s0")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = kern.Close(fd) }()
+	if _, err := kern.Open("/dev/i2s0"); !errors.Is(err, ErrAlreadyOpen) {
+		t.Errorf("second Open = %v, want ErrAlreadyOpen", err)
+	}
+}
+
+func TestCharDevDriverAccessor(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	cd := NewCharDev(r.drv, i2s.DefaultFormat())
+	if cd.Driver() != r.drv {
+		t.Error("Driver() accessor broken")
+	}
+}
+
+func TestCharDevBadFormatFailsOpen(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	cd := NewCharDev(r.drv, i2s.Format{SampleRate: 16000, BitsPerSample: 12, Channels: 1})
+	if err := cd.DevOpen(); err == nil {
+		t.Error("open with invalid format accepted")
+		_ = cd.DevClose()
+	}
+}
+
+func TestDriverAccessors(t *testing.T) {
+	r := newRig(t, tz.WorldSecure, 2048)
+	if r.drv.Name() == "" {
+		t.Error("empty Name")
+	}
+	if r.drv.World() != tz.WorldSecure {
+		t.Errorf("World = %v", r.drv.World())
+	}
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := r.drv.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = r.drv.Close() }()
+	if r.drv.BufferSize() != 2048 {
+		t.Errorf("BufferSize = %d", r.drv.BufferSize())
+	}
+	if r.drv.Format() != i2s.DefaultFormat() {
+		t.Errorf("Format = %+v", r.drv.Format())
+	}
+}
+
+func TestTriggerWithoutOpen(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := r.drv.TriggerStart(); !errors.Is(err, ErrNotOpen) {
+		t.Errorf("TriggerStart unopened = %v", err)
+	}
+	if err := r.drv.TriggerStop(); !errors.Is(err, ErrNotOpen) {
+		t.Errorf("TriggerStop unopened = %v", err)
+	}
+	if err := r.drv.Prepare(); !errors.Is(err, ErrNotOpen) {
+		t.Errorf("Prepare unopened = %v", err)
+	}
+	if err := r.drv.HwParams(i2s.DefaultFormat()); !errors.Is(err, ErrNotOpen) {
+		t.Errorf("HwParams unopened = %v", err)
+	}
+}
+
+func TestMixerVolumeRoundTrip(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := r.drv.MixerSetVolume(50); err != nil {
+		t.Fatalf("MixerSetVolume: %v", err)
+	}
+	if got := r.drv.MixerGetVolume(); got != 127 { // 50 * 255 / 100
+		t.Errorf("volume = %d, want 127", got)
+	}
+	// Clamping.
+	if err := r.drv.MixerSetVolume(150); err != nil {
+		t.Fatalf("MixerSetVolume: %v", err)
+	}
+	if got := r.drv.MixerGetVolume(); got != 255 {
+		t.Errorf("clamped volume = %d, want 255", got)
+	}
+	if err := r.drv.MixerSetVolume(-10); err != nil {
+		t.Fatalf("MixerSetVolume: %v", err)
+	}
+	if got := r.drv.MixerGetVolume(); got != 0 {
+		t.Errorf("clamped volume = %d, want 0", got)
+	}
+	if err := r.drv.MixerMute(true); err != nil {
+		t.Fatalf("MixerMute: %v", err)
+	}
+}
+
+func TestDebugfsDump(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	regs := r.drv.DebugfsDumpRegs()
+	if len(regs) != 4 {
+		t.Errorf("dump has %d registers", len(regs))
+	}
+}

@@ -1,0 +1,629 @@
+// Package driver implements the platform I2S sound driver the paper ports
+// into OP-TEE (§IV.3). The same code base builds in two flavours:
+//
+//   - a normal-world build, registered as a kernel character device, whose
+//     DMA buffers live in ordinary DRAM (readable by a compromised OS); and
+//   - a secure-world build, invoked through the OP-TEE PTA, whose DMA
+//     buffers come from the TrustZone-carved secure heap.
+//
+// Every function is instrumented for the ftrace-based TCB minimization
+// experiment, and the driver deliberately carries the full multi-protocol
+// surface of a real SoC sound driver (playback, mixer, USB audio, S/PDIF,
+// HDMI audio, power management, debugfs) even though the paper's capture
+// task needs only a small fraction of it — that surplus is precisely what
+// the tracing mechanism is meant to cut.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/ftrace"
+	"repro/internal/i2s"
+	"repro/internal/memory"
+	"repro/internal/tz"
+)
+
+// Errors returned by the driver.
+var (
+	// ErrNotProbed is returned when using the driver before Probe.
+	ErrNotProbed = errors.New("driver: device not probed")
+	// ErrNotOpen is returned when the PCM stream is not open.
+	ErrNotOpen = errors.New("driver: stream not open")
+	// ErrAlreadyOpen is returned on double open.
+	ErrAlreadyOpen = errors.New("driver: stream already open")
+	// ErrBadIoctl is returned for unknown ioctl commands.
+	ErrBadIoctl = errors.New("driver: unknown ioctl")
+)
+
+// Ioctl commands implemented by the capture interface.
+const (
+	IoctlGetFormat uint32 = 0x6901
+	IoctlSetFormat uint32 = 0x6902
+	IoctlGetStats  uint32 = 0x6903
+)
+
+// Config wires a driver instance to its platform resources.
+type Config struct {
+	// Name labels the instance (e.g. "i2s0-normal", "i2s0-tee").
+	Name string
+	// World is the TrustZone world the driver executes in.
+	World tz.World
+	// Bus carries the MMIO register accesses.
+	Bus *bus.Bus
+	// Ctrl is the I2S controller instance (DMA handshake target).
+	Ctrl *i2s.Controller
+	// CtrlBase is the controller's MMIO base address on Bus.
+	CtrlBase uint64
+	// DMA is the platform DMA engine.
+	DMA *bus.DMA
+	// Mem is physical memory (for buffer copies).
+	Mem *memory.PhysMem
+	// Heap provides I/O buffers: the secure heap in the TEE build, the
+	// normal-world DMA pool otherwise.
+	Heap *memory.Heap
+	// Clock and Cost account the driver's own CPU work.
+	Clock *tz.Clock
+	Cost  tz.CostModel
+	// Tracer instruments function entries; nil disables tracing.
+	Tracer *ftrace.Tracer
+	// BufBytes is the capture DMA buffer size (default 4096).
+	BufBytes int
+}
+
+func (c Config) validate() error {
+	if c.Bus == nil || c.Ctrl == nil || c.DMA == nil || c.Mem == nil || c.Heap == nil || c.Clock == nil {
+		return errors.New("driver: incomplete config")
+	}
+	if !c.World.Valid() {
+		return errors.New("driver: invalid world")
+	}
+	return nil
+}
+
+// CaptureStats counts capture-path activity.
+type CaptureStats struct {
+	BytesCaptured uint64
+	Reads         uint64
+	Overruns      uint64
+}
+
+// SoundDriver is one bound instance of the I2S driver.
+type SoundDriver struct {
+	cfg Config
+
+	mu       sync.Mutex
+	probed   bool
+	open     bool
+	format   i2s.Format
+	bufAddr  uint64
+	bufBytes int
+	stats    CaptureStats
+	overruns uint64 // controller overruns already recovered
+
+	// Scratch register cache for the regmap layer.
+	regCache map[uint32]uint32
+}
+
+// New creates an unprobed driver instance.
+func New(cfg Config) (*SoundDriver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BufBytes <= 0 {
+		cfg.BufBytes = 4096
+	}
+	return &SoundDriver{
+		cfg:      cfg,
+		format:   i2s.DefaultFormat(),
+		regCache: make(map[uint32]uint32),
+	}, nil
+}
+
+// Name returns the instance label.
+func (d *SoundDriver) Name() string { return d.cfg.Name }
+
+// World returns the world the driver executes in.
+func (d *SoundDriver) World() tz.World { return d.cfg.World }
+
+// BufferAddr returns the physical address of the capture DMA buffer
+// (valid after Open). Experiments aim the snooper at it.
+func (d *SoundDriver) BufferAddr() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bufAddr
+}
+
+// BufferSize returns the capture DMA buffer size in bytes.
+func (d *SoundDriver) BufferSize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bufBytes
+}
+
+// Stats returns a snapshot of capture counters.
+func (d *SoundDriver) Stats() CaptureStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// enter instruments a driver function: it notifies the tracer and charges
+// CPU cycles proportional to the function's size, so bigger functions cost
+// more — the same first-order model compilers and cycle estimators use.
+func (d *SoundDriver) enter(fn string) func() {
+	if m, ok := funcByName[fn]; ok {
+		d.cfg.Clock.Advance(tz.Cycles(m.LoC))
+	}
+	return d.cfg.Tracer.Enter(fn)
+}
+
+// --- regmap layer ---------------------------------------------------------
+
+func (d *SoundDriver) regmapInit() {
+	defer d.enter("regmap_init")()
+	d.regCache = make(map[uint32]uint32)
+}
+
+func (d *SoundDriver) regRead(off uint32) uint32 {
+	defer d.enter("reg_read")()
+	v, err := d.cfg.Bus.Read32(d.cfg.World, d.cfg.CtrlBase+uint64(off))
+	if err != nil {
+		return 0
+	}
+	d.regCache[off] = v
+	return v
+}
+
+func (d *SoundDriver) regWrite(off uint32, val uint32) error {
+	defer d.enter("reg_write")()
+	d.regCache[off] = val
+	return d.cfg.Bus.Write32(d.cfg.World, d.cfg.CtrlBase+uint64(off), val)
+}
+
+func (d *SoundDriver) regUpdateBits(off, mask, val uint32) error {
+	defer d.enter("reg_update_bits")()
+	cur := d.regRead(off)
+	return d.regWrite(off, cur&^mask|val&mask)
+}
+
+// --- clock layer ----------------------------------------------------------
+
+func (d *SoundDriver) clkGet() {
+	defer d.enter("clk_get")()
+}
+
+func (d *SoundDriver) dividerCompute(rate int) uint32 {
+	defer d.enter("divider_compute")()
+	const mclk = 24_576_000 // typical audio master clock
+	if rate <= 0 {
+		return 1
+	}
+	div := mclk / rate
+	if div == 0 {
+		div = 1
+	}
+	return uint32(div)
+}
+
+func (d *SoundDriver) pllConfigure(rate int) {
+	defer d.enter("pll_configure")()
+	// Model PLL lock time: a real audio PLL takes ~50 us to lock.
+	d.cfg.Clock.Advance(5000)
+	_ = rate
+}
+
+func (d *SoundDriver) clkSetRate(rate int) {
+	defer d.enter("clk_set_rate")()
+	d.pllConfigure(rate)
+	_ = d.dividerCompute(rate)
+}
+
+func (d *SoundDriver) clkEnable() error {
+	defer d.enter("clk_enable")()
+	return d.regWrite(i2s.RegClkCfg, encodeFormatReg(d.format))
+}
+
+func (d *SoundDriver) clkDisable() error {
+	defer d.enter("clk_disable")()
+	return nil
+}
+
+// --- pinmux layer ----------------------------------------------------------
+
+func (d *SoundDriver) pinFunctionSelect(pin int) {
+	defer d.enter("pin_function_select")()
+	_ = pin
+}
+
+func (d *SoundDriver) pinmuxApply() {
+	defer d.enter("pinmux_apply")()
+	for pin := 0; pin < 3; pin++ { // SCK, WS, SD
+		d.pinFunctionSelect(pin)
+	}
+}
+
+// --- core -------------------------------------------------------------------
+
+func encodeFormatReg(f i2s.Format) uint32 {
+	return uint32(f.SampleRate/25)&0xffff | uint32(f.BitsPerSample)<<16 | uint32(f.Channels)<<24
+}
+
+func (d *SoundDriver) i2sReset() error {
+	defer d.enter("i2s_reset")()
+	return d.regWrite(i2s.RegCtrl, 0)
+}
+
+// Probe initializes the hardware: clocks, pinmux, register map, reset, and
+// a DMA channel — the sequence a real platform driver runs at bind time.
+func (d *SoundDriver) Probe() error {
+	defer d.enter("i2s_probe")()
+	d.mu.Lock()
+	if d.probed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+
+	d.clkGet()
+	d.clkSetRate(d.format.SampleRate)
+	if err := d.clkEnable(); err != nil {
+		return fmt.Errorf("probe %s: %w", d.cfg.Name, err)
+	}
+	d.pinmuxApply()
+	d.regmapInit()
+	if err := d.i2sReset(); err != nil {
+		return fmt.Errorf("probe %s: %w", d.cfg.Name, err)
+	}
+	d.dmaChannelRequest()
+
+	d.mu.Lock()
+	d.probed = true
+	d.mu.Unlock()
+	return nil
+}
+
+// Remove unbinds the driver.
+func (d *SoundDriver) Remove() error {
+	defer d.enter("i2s_remove")()
+	d.mu.Lock()
+	probed := d.probed
+	d.probed = false
+	d.mu.Unlock()
+	if !probed {
+		return ErrNotProbed
+	}
+	if err := d.rxDisable(); err != nil {
+		return err
+	}
+	if err := d.clkDisable(); err != nil {
+		return err
+	}
+	d.dmaChannelRelease()
+	return nil
+}
+
+// IRQHandler services the controller's watermark interrupt.
+func (d *SoundDriver) IRQHandler() {
+	defer d.enter("i2s_irq_handler")()
+	_ = d.fifoLevel()
+}
+
+// --- dma layer ---------------------------------------------------------------
+
+func (d *SoundDriver) dmaChannelRequest() {
+	defer d.enter("dma_channel_request")()
+}
+
+func (d *SoundDriver) dmaChannelRelease() {
+	defer d.enter("dma_channel_release")()
+}
+
+func (d *SoundDriver) dmaBufferAlloc(n int) (uint64, error) {
+	defer d.enter("dma_buffer_alloc")()
+	addr, err := d.cfg.Heap.Alloc(uint64(n))
+	if err != nil {
+		return 0, fmt.Errorf("dma buffer: %w", err)
+	}
+	return addr, nil
+}
+
+func (d *SoundDriver) dmaBufferFree(addr uint64) {
+	defer d.enter("dma_buffer_free")()
+	_ = d.cfg.Heap.Free(addr)
+}
+
+func (d *SoundDriver) dmaStart() error {
+	defer d.enter("dma_start")()
+	return d.regWrite(i2s.RegWatermark, uint32(minInt(d.bufBytes/2, 128)))
+}
+
+func (d *SoundDriver) dmaStop() error {
+	defer d.enter("dma_stop")()
+	return nil
+}
+
+// dmaTransfer drains up to n bytes from the controller FIFO into the
+// capture buffer and returns the transfer size.
+func (d *SoundDriver) dmaTransfer(n int) (int, error) {
+	defer d.enter("dma_transfer")()
+	return d.cfg.DMA.FromDevice(d.cfg.World, d.cfg.Ctrl, d.bufAddr, n)
+}
+
+// --- i2s ops ------------------------------------------------------------------
+
+func (d *SoundDriver) i2sSetFormat(f i2s.Format) error {
+	defer d.enter("i2s_set_format")()
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	_ = d.dividerCompute(f.SampleRate)
+	if err := d.regWrite(i2s.RegClkCfg, encodeFormatReg(f)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.format = f
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *SoundDriver) watermarkSet(level int) error {
+	defer d.enter("watermark_set")()
+	return d.regWrite(i2s.RegWatermark, uint32(level))
+}
+
+func (d *SoundDriver) fifoFlush() {
+	defer d.enter("fifo_flush")()
+	_ = d.regRead(i2s.RegFIFOLevel)
+}
+
+func (d *SoundDriver) fifoLevel() int {
+	defer d.enter("fifo_level")()
+	return int(d.regRead(i2s.RegFIFOLevel))
+}
+
+func (d *SoundDriver) rxEnable() error {
+	defer d.enter("rx_enable")()
+	return d.regUpdateBits(i2s.RegCtrl, i2s.CtrlRXEnable, i2s.CtrlRXEnable)
+}
+
+func (d *SoundDriver) rxDisable() error {
+	defer d.enter("rx_disable")()
+	return d.regUpdateBits(i2s.RegCtrl, i2s.CtrlRXEnable, 0)
+}
+
+// --- pcm capture interface ------------------------------------------------------
+
+// Open allocates the capture buffer (pcm_open).
+func (d *SoundDriver) Open() error {
+	defer d.enter("pcm_open")()
+	d.mu.Lock()
+	if !d.probed {
+		d.mu.Unlock()
+		return ErrNotProbed
+	}
+	if d.open {
+		d.mu.Unlock()
+		return ErrAlreadyOpen
+	}
+	n := d.cfg.BufBytes
+	d.mu.Unlock()
+
+	addr, err := d.dmaBufferAlloc(n)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.bufAddr = addr
+	d.bufBytes = n
+	d.open = true
+	d.mu.Unlock()
+	return nil
+}
+
+// HwParams configures the stream format (pcm_hw_params).
+func (d *SoundDriver) HwParams(f i2s.Format) error {
+	defer d.enter("pcm_hw_params")()
+	if !d.isOpen() {
+		return ErrNotOpen
+	}
+	if err := d.i2sSetFormat(f); err != nil {
+		return err
+	}
+	if err := d.cfg.Ctrl.SetFormat(f); err != nil {
+		return err
+	}
+	return d.watermarkSet(minInt(d.cfg.BufBytes/2, 128))
+}
+
+// Prepare flushes stale FIFO state (pcm_prepare).
+func (d *SoundDriver) Prepare() error {
+	defer d.enter("pcm_prepare")()
+	if !d.isOpen() {
+		return ErrNotOpen
+	}
+	d.fifoFlush()
+	return nil
+}
+
+// TriggerStart enables capture (pcm_trigger START).
+func (d *SoundDriver) TriggerStart() error {
+	defer d.enter("pcm_trigger_start")()
+	if !d.isOpen() {
+		return ErrNotOpen
+	}
+	if err := d.rxEnable(); err != nil {
+		return err
+	}
+	return d.dmaStart()
+}
+
+// TriggerStop disables capture (pcm_trigger STOP).
+func (d *SoundDriver) TriggerStop() error {
+	defer d.enter("pcm_trigger_stop")()
+	if !d.isOpen() {
+		return ErrNotOpen
+	}
+	if err := d.rxDisable(); err != nil {
+		return err
+	}
+	return d.dmaStop()
+}
+
+func (d *SoundDriver) pcmPointer() int {
+	defer d.enter("pcm_pointer")()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.stats.BytesCaptured) % maxInt(d.bufBytes, 1)
+}
+
+// xrunRecover handles a FIFO overrun (xrun): flush stale samples and
+// restart the receiver. It is statically reachable from pcm_read but only
+// executes when the consumer has fallen behind — the canonical error path
+// a trace-based TCB minimization misses (see experiment E6).
+func (d *SoundDriver) xrunRecover() error {
+	defer d.enter("xrun_recover")()
+	d.fifoFlush()
+	if err := d.rxDisable(); err != nil {
+		return err
+	}
+	return d.rxEnable()
+}
+
+// ReadPCM drains the FIFO through DMA into the capture buffer, then copies
+// into dst. It returns the number of bytes delivered. Reads are
+// non-blocking: if the FIFO is empty the return is 0, as with an ALSA
+// capture stream in non-blocking mode.
+func (d *SoundDriver) ReadPCM(dst []byte) (int, error) {
+	defer d.enter("pcm_read")()
+	if !d.isOpen() {
+		return 0, ErrNotOpen
+	}
+	if st := d.cfg.Ctrl.Stats(); st.Overruns > d.seenOverruns() {
+		d.noteOverruns(st.Overruns)
+		if err := d.xrunRecover(); err != nil {
+			return 0, err
+		}
+	}
+	avail := d.fifoLevel()
+	if avail == 0 {
+		return 0, nil
+	}
+	want := minInt(minInt(avail, len(dst)), d.bufBytes)
+	moved, err := d.dmaTransfer(want)
+	if err != nil {
+		return 0, err
+	}
+	if moved == 0 {
+		return 0, nil
+	}
+	if err := d.cfg.Mem.ReadAt(d.cfg.World, d.bufAddr, dst[:moved]); err != nil {
+		return 0, fmt.Errorf("pcm copy-out: %w", err)
+	}
+	d.cfg.Clock.Advance(tz.Cycles(moved) * d.cfg.Cost.CopyPerByte)
+	_ = d.pcmPointer()
+	d.mu.Lock()
+	d.stats.BytesCaptured += uint64(moved)
+	d.stats.Reads++
+	d.mu.Unlock()
+	return moved, nil
+}
+
+// Close releases the capture buffer (pcm_close). The buffer is zeroed
+// before release — in the secure build this is what prevents stale audio
+// from leaking to the next TA; kernels do the same for page reuse.
+func (d *SoundDriver) Close() error {
+	defer d.enter("pcm_close")()
+	d.mu.Lock()
+	if !d.open {
+		d.mu.Unlock()
+		return ErrNotOpen
+	}
+	addr, n := d.bufAddr, d.bufBytes
+	d.open = false
+	d.bufAddr = 0
+	d.mu.Unlock()
+	_ = d.cfg.Mem.Zero(d.cfg.World, addr, n)
+	d.dmaBufferFree(addr)
+	return nil
+}
+
+func (d *SoundDriver) isOpen() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.open
+}
+
+func (d *SoundDriver) seenOverruns() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.overruns
+}
+
+func (d *SoundDriver) noteOverruns(n uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.overruns = n
+	d.stats.Overruns++
+}
+
+// Format returns the current stream format.
+func (d *SoundDriver) Format() i2s.Format {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.format
+}
+
+// --- uapi/ioctl layer -------------------------------------------------------------
+
+func (d *SoundDriver) ioctlGetFormat() uint64 {
+	defer d.enter("ioctl_get_format")()
+	f := d.Format()
+	return uint64(encodeFormatReg(f))
+}
+
+func (d *SoundDriver) ioctlSetFormat(arg uint64) error {
+	defer d.enter("ioctl_set_format")()
+	f := i2s.Format{
+		SampleRate:    int(arg&0xffff) * 25,
+		BitsPerSample: int(arg >> 16 & 0xff),
+		Channels:      int(arg >> 24 & 0xff),
+	}
+	return d.i2sSetFormat(f)
+}
+
+func (d *SoundDriver) ioctlGetStats() uint64 {
+	defer d.enter("ioctl_get_stats")()
+	return d.Stats().BytesCaptured
+}
+
+// IoctlDispatch routes an ioctl command (ioctl_dispatch).
+func (d *SoundDriver) IoctlDispatch(cmd uint32, arg uint64) (uint64, error) {
+	defer d.enter("ioctl_dispatch")()
+	switch cmd {
+	case IoctlGetFormat:
+		return d.ioctlGetFormat(), nil
+	case IoctlSetFormat:
+		return 0, d.ioctlSetFormat(arg)
+	case IoctlGetStats:
+		return d.ioctlGetStats(), nil
+	default:
+		return 0, fmt.Errorf("%w: %#x", ErrBadIoctl, cmd)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

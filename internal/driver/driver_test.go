@@ -1,0 +1,543 @@
+package driver
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+	"repro/internal/bus"
+	"repro/internal/ftrace"
+	"repro/internal/i2s"
+	"repro/internal/memory"
+	"repro/internal/peripheral"
+	"repro/internal/tcb"
+	"repro/internal/tz"
+)
+
+// rig is a complete platform fixture for driver tests.
+type rig struct {
+	plat   *memory.Platform
+	clock  *tz.Clock
+	bus    *bus.Bus
+	ctrl   *i2s.Controller
+	dma    *bus.DMA
+	tracer *ftrace.Tracer
+	drv    *SoundDriver
+	mic    *peripheral.Microphone
+}
+
+const ctrlBase = 0x7000_0000
+
+// newRig builds a driver instance in the given world. Secure builds draw
+// I/O buffers from the secure heap and mark the controller window secure.
+func newRig(t *testing.T, world tz.World, bufBytes int) *rig {
+	t.Helper()
+	plat, err := memory.NewPlatform(memory.DefaultLayout())
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	clock := tz.NewClock()
+	cost := tz.DefaultCostModel()
+	b := bus.New(clock, cost)
+	ctrl := i2s.NewController("i2s0", 4096)
+	if err := b.Map(ctrlBase, i2s.RegSize, world == tz.WorldSecure, ctrl); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	dma := bus.NewDMA(clock, cost, plat.Mem)
+	heap := plat.DMAHeap
+	if world == tz.WorldSecure {
+		heap = plat.SecureHeap
+	}
+	tracer := ftrace.New(clock)
+	drv, err := New(Config{
+		Name:     "i2s0-" + world.String(),
+		World:    world,
+		Bus:      b,
+		Ctrl:     ctrl,
+		CtrlBase: ctrlBase,
+		DMA:      dma,
+		Mem:      plat.Mem,
+		Heap:     heap,
+		Clock:    clock,
+		Cost:     cost,
+		Tracer:   tracer,
+		BufBytes: bufBytes,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mic, err := peripheral.NewMicrophone(ctrl, i2s.DefaultFormat())
+	if err != nil {
+		t.Fatalf("NewMicrophone: %v", err)
+	}
+	return &rig{plat: plat, clock: clock, bus: b, ctrl: ctrl, dma: dma, tracer: tracer, drv: drv, mic: mic}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{World: tz.World(9)}); err == nil {
+		t.Error("bad world accepted")
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 4096)
+	if err := r.drv.Open(); !errors.Is(err, ErrNotProbed) {
+		t.Errorf("Open before probe = %v", err)
+	}
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if _, err := r.drv.ReadPCM(make([]byte, 8)); !errors.Is(err, ErrNotOpen) {
+		t.Errorf("ReadPCM before open = %v", err)
+	}
+	if err := r.drv.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := r.drv.Open(); !errors.Is(err, ErrAlreadyOpen) {
+		t.Errorf("double Open = %v", err)
+	}
+	if err := r.drv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := r.drv.Close(); !errors.Is(err, ErrNotOpen) {
+		t.Errorf("double Close = %v", err)
+	}
+	// Probe is idempotent.
+	if err := r.drv.Probe(); err != nil {
+		t.Errorf("re-Probe = %v", err)
+	}
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 4096)
+	tone := audio.Sine(16000, 440, 0.5, 100*time.Millisecond)
+	r.mic.Load(tone)
+
+	wireBytes := len(tone.Samples) * 2
+	got, err := r.drv.CaptureTask(i2s.DefaultFormat(), wireBytes, func(need int) {
+		_, _ = r.mic.PumpBytes(minInt(need, 1024))
+	})
+	if err != nil {
+		t.Fatalf("CaptureTask: %v", err)
+	}
+	if len(got) != wireBytes {
+		t.Fatalf("captured %d bytes, want %d", len(got), wireBytes)
+	}
+	samples, err := i2s.DecodeFrames(got, i2s.DefaultFormat())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// The decoded stream must match the original within quantization.
+	want := tone.ToInt16()
+	for i := range want {
+		if d := int(samples[i]) - int(want[i]); d < -1 || d > 1 {
+			t.Fatalf("sample %d = %d, want %d", i, samples[i], want[i])
+		}
+	}
+	if st := r.drv.Stats(); st.BytesCaptured != uint64(wireBytes) {
+		t.Errorf("BytesCaptured = %d, want %d", st.BytesCaptured, wireBytes)
+	}
+}
+
+func TestSecureBuildBuffersInSecureRAM(t *testing.T) {
+	r := newRig(t, tz.WorldSecure, 4096)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := r.drv.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	addr := r.drv.BufferAddr()
+	if addr < r.plat.Layout.SecureBase {
+		t.Fatalf("secure driver buffer at %#x, outside secure carve-out", addr)
+	}
+	// Normal world (compromised OS) cannot read the capture buffer.
+	probe := make([]byte, 16)
+	if err := r.plat.Mem.ReadAt(tz.WorldNormal, addr, probe); !errors.Is(err, tz.ErrSecurityViolation) {
+		t.Errorf("normal-world read of secure buffer = %v, want violation", err)
+	}
+	// Normal world cannot even reach the controller registers.
+	if _, err := r.bus.Read32(tz.WorldNormal, ctrlBase); !errors.Is(err, bus.ErrSecureDevice) {
+		t.Errorf("normal-world MMIO on secure controller = %v", err)
+	}
+}
+
+func TestNormalBuildBuffersSnoopable(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 4096)
+	tone := audio.Sine(16000, 440, 0.5, 50*time.Millisecond)
+	r.mic.Load(tone)
+	want := len(tone.Samples) * 2
+	if _, err := r.drv.CaptureTask(i2s.DefaultFormat(), want, func(need int) {
+		_, _ = r.mic.PumpBytes(minInt(need, 1024))
+	}); err != nil {
+		t.Fatalf("CaptureTask: %v", err)
+	}
+	// CaptureTask closed the stream, but during capture the buffer was in
+	// plain DRAM. Re-open to hold a live buffer and verify readability.
+	if err := r.drv.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = r.drv.Close() }()
+	probe := make([]byte, 16)
+	if err := r.plat.Mem.ReadAt(tz.WorldNormal, r.drv.BufferAddr(), probe); err != nil {
+		t.Errorf("normal-world read of normal buffer failed: %v", err)
+	}
+}
+
+func TestCloseZeroesBuffer(t *testing.T) {
+	r := newRig(t, tz.WorldSecure, 1024)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := r.drv.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	addr := r.drv.BufferAddr()
+	if err := r.plat.Mem.WriteAt(tz.WorldSecure, addr, []byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := r.drv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := make([]byte, 4)
+	if err := r.plat.Mem.ReadAt(tz.WorldSecure, addr, got); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("buffer not zeroed on close: %v", got)
+		}
+	}
+}
+
+func TestIoctls(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	f := i2s.Format{SampleRate: 48000, BitsPerSample: 16, Channels: 2}
+	arg := uint64(uint32(f.SampleRate/25) | uint32(f.BitsPerSample)<<16 | uint32(f.Channels)<<24)
+	if _, err := r.drv.IoctlDispatch(IoctlSetFormat, arg); err != nil {
+		t.Fatalf("set format: %v", err)
+	}
+	got, err := r.drv.IoctlDispatch(IoctlGetFormat, 0)
+	if err != nil {
+		t.Fatalf("get format: %v", err)
+	}
+	if got != arg {
+		t.Errorf("format round trip = %#x, want %#x", got, arg)
+	}
+	if _, err := r.drv.IoctlDispatch(IoctlGetStats, 0); err != nil {
+		t.Errorf("get stats: %v", err)
+	}
+	if _, err := r.drv.IoctlDispatch(0xffff, 0); !errors.Is(err, ErrBadIoctl) {
+		t.Errorf("unknown ioctl = %v", err)
+	}
+}
+
+func TestTraceCaptureTaskMatchesStaticGraph(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 2048)
+	tone := audio.Sine(16000, 300, 0.4, 30*time.Millisecond)
+	r.mic.Load(tone)
+
+	r.tracer.Start("capture")
+	want := len(tone.Samples) * 2
+	if _, err := r.drv.CaptureTask(i2s.DefaultFormat(), want, func(need int) {
+		_, _ = r.mic.PumpBytes(minInt(need, 512))
+	}); err != nil {
+		t.Fatalf("CaptureTask: %v", err)
+	}
+	trace := r.tracer.Stop()
+
+	tbl, err := BuildTable()
+	if err != nil {
+		t.Fatalf("BuildTable: %v", err)
+	}
+	// 1. Every traced function is in the inventory.
+	for _, fn := range trace.Functions() {
+		if _, ok := tbl.Meta(fn); !ok {
+			t.Errorf("traced function %q missing from inventory", fn)
+		}
+	}
+	// 2. Every observed parent->child call is a declared static edge.
+	type frame struct{ name string }
+	var stack []frame
+	for _, e := range trace.Events {
+		if e.Depth < len(stack) {
+			stack = stack[:e.Depth]
+		}
+		if e.Depth > 0 && len(stack) >= e.Depth {
+			parent := stack[e.Depth-1].name
+			found := false
+			for _, c := range tbl.Callees(parent) {
+				if c == e.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("observed call %s -> %s not in static graph", parent, e.Name)
+			}
+		}
+		stack = append(stack[:e.Depth], frame{e.Name})
+	}
+	// 3. The static closure of the capture entry points covers the trace.
+	closure, err := tbl.Closure(CaptureEntryPoints())
+	if err != nil {
+		t.Fatalf("Closure: %v", err)
+	}
+	for _, fn := range trace.Functions() {
+		if !closure[fn] {
+			t.Errorf("traced %q outside static closure of capture entry points", fn)
+		}
+	}
+	// 4. The capture trace must not touch the unused subsystems.
+	for _, fn := range trace.Functions() {
+		m, _ := tbl.Meta(fn)
+		switch m.Module {
+		case "usb-audio", "spdif", "hdmi-audio", "playback", "mixer", "debug":
+			t.Errorf("capture trace entered unused module %s (%s)", m.Module, fn)
+		}
+	}
+}
+
+func TestOtherTasksLightUpOtherModules(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+
+	runTask := func(name string, task func() error) map[string]bool {
+		t.Helper()
+		r.tracer.Start(name)
+		if err := task(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return ftrace.MinimalSet(r.tracer.Stop())
+	}
+
+	usb := runTask("usb", r.drv.UsbAudioTask)
+	if !usb["usb_audio_probe"] || !usb["usb_urb_submit"] {
+		t.Errorf("usb task trace = %v", ftrace.SetNames(usb))
+	}
+	playback := runTask("playback", func() error { return r.drv.PlaybackTask(256) })
+	if !playback["playback_write"] || !playback["tx_enable"] {
+		t.Errorf("playback trace = %v", ftrace.SetNames(playback))
+	}
+	mixer := runTask("mixer", r.drv.MixerTask)
+	if !mixer["mixer_set_volume"] {
+		t.Errorf("mixer trace = %v", ftrace.SetNames(mixer))
+	}
+	spdif := runTask("spdif", r.drv.SpdifTask)
+	if !spdif["spdif_set_rate"] {
+		t.Errorf("spdif trace = %v", ftrace.SetNames(spdif))
+	}
+	hdmi := runTask("hdmi", r.drv.HdmiTask)
+	if !hdmi["hdmi_eld_parse"] {
+		t.Errorf("hdmi trace = %v", ftrace.SetNames(hdmi))
+	}
+	pm := runTask("pm", r.drv.PMTask)
+	if !pm["pm_suspend"] || !pm["pm_resume"] {
+		t.Errorf("pm trace = %v", ftrace.SetNames(pm))
+	}
+	r.tracer.Start("debug")
+	r.drv.DebugTask()
+	dbg := ftrace.MinimalSet(r.tracer.Stop())
+	if !dbg["debugfs_dump_regs"] || !dbg["proc_info_show"] {
+		t.Errorf("debug trace = %v", ftrace.SetNames(dbg))
+	}
+}
+
+func TestTCBMinimizationShrinksImage(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 2048)
+	tone := audio.Sine(16000, 500, 0.4, 40*time.Millisecond)
+	r.mic.Load(tone)
+	r.tracer.Start("capture")
+	want := len(tone.Samples) * 2
+	if _, err := r.drv.CaptureTask(i2s.DefaultFormat(), want, func(need int) {
+		_, _ = r.mic.PumpBytes(minInt(need, 512))
+	}); err != nil {
+		t.Fatalf("CaptureTask: %v", err)
+	}
+	traced := ftrace.MinimalSet(r.tracer.Stop())
+
+	tbl, err := BuildTable()
+	if err != nil {
+		t.Fatalf("BuildTable: %v", err)
+	}
+	full := tbl.FullImage()
+	minImg, err := tbl.BuildImage("capture-min", traced, tcb.StaticClosure)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	if minImg.TotalLoC >= full.TotalLoC {
+		t.Fatalf("minimal image (%d LoC) not smaller than full (%d LoC)", minImg.TotalLoC, full.TotalLoC)
+	}
+	cut := 100 * float64(full.TotalLoC-minImg.TotalLoC) / float64(full.TotalLoC)
+	if cut < 30 {
+		t.Errorf("TCB cut only %.1f%%, want >= 30%%", cut)
+	}
+}
+
+func TestOverrunTriggersXrunRecovery(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	// Tiny controller FIFO so the mic can overrun it.
+	small := i2s.NewController("i2s-small", 512)
+	if err := r.bus.Map(ctrlBase+0x100, i2s.RegSize, false, small); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	drv, err := New(Config{
+		Name: "i2s-small", World: tz.WorldNormal, Bus: r.bus, Ctrl: small,
+		CtrlBase: ctrlBase + 0x100, DMA: r.dma, Mem: r.plat.Mem,
+		Heap: r.plat.DMAHeap, Clock: r.clock, Cost: tz.DefaultCostModel(),
+		Tracer: r.tracer, BufBytes: 1024,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mic, err := peripheral.NewMicrophone(small, i2s.DefaultFormat())
+	if err != nil {
+		t.Fatalf("NewMicrophone: %v", err)
+	}
+	if err := drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := drv.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = drv.Close() }()
+	if err := drv.HwParams(i2s.DefaultFormat()); err != nil {
+		t.Fatalf("HwParams: %v", err)
+	}
+	if err := drv.TriggerStart(); err != nil {
+		t.Fatalf("TriggerStart: %v", err)
+	}
+	// Flood the 512-byte FIFO with ~2 KiB: guaranteed overrun.
+	mic.Load(audio.Sine(16000, 300, 0.4, 80*time.Millisecond))
+	for i := 0; i < 4; i++ {
+		_, _ = mic.PumpBytes(512)
+	}
+	if small.Stats().Overruns == 0 {
+		t.Fatal("failed to force an overrun")
+	}
+	r.tracer.Start("overrun-read")
+	if _, err := drv.ReadPCM(make([]byte, 256)); err != nil {
+		t.Fatalf("ReadPCM: %v", err)
+	}
+	trace := ftrace.MinimalSet(r.tracer.Stop())
+	if !trace["xrun_recover"] {
+		t.Errorf("xrun_recover not traced on overrun; trace = %v", ftrace.SetNames(trace))
+	}
+	if st := drv.Stats(); st.Overruns == 0 {
+		t.Error("driver did not account the overrun")
+	}
+}
+
+func TestRemoveAndIRQHandler(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	if err := r.drv.Remove(); !errors.Is(err, ErrNotProbed) {
+		t.Errorf("Remove before probe = %v", err)
+	}
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	r.drv.IRQHandler() // must not panic
+	if err := r.drv.Remove(); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestHwParamsRejectsBadFormat(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	if err := r.drv.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = r.drv.Close() }()
+	if err := r.drv.HwParams(i2s.Format{SampleRate: 16000, BitsPerSample: 12, Channels: 1}); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := r.drv.HwParams(i2s.DefaultFormat()); err != nil {
+		t.Errorf("good format rejected: %v", err)
+	}
+}
+
+func TestSecureHeapExhaustionSurfacesAsError(t *testing.T) {
+	r := newRig(t, tz.WorldSecure, 1024)
+	if err := r.drv.Probe(); err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	// Exhaust the secure heap, then Open must fail with the TEE
+	// out-of-memory condition from the paper's §V.
+	if _, err := r.plat.SecureHeap.Alloc(r.plat.Layout.SecureSize - 512); err != nil {
+		t.Fatalf("pre-alloc: %v", err)
+	}
+	if err := r.drv.Open(); !errors.Is(err, memory.ErrOutOfSecureMemory) {
+		t.Errorf("Open with exhausted heap = %v, want ErrOutOfSecureMemory", err)
+	}
+}
+
+func TestFunctionTableSelfConsistent(t *testing.T) {
+	tbl, err := BuildTable()
+	if err != nil {
+		t.Fatalf("BuildTable: %v", err)
+	}
+	if tbl.Len() < 60 {
+		t.Errorf("inventory has %d functions, want a realistic >= 60", tbl.Len())
+	}
+	mods := tbl.Modules()
+	wantMods := []string{"clock", "core", "debug", "dma", "hdmi-audio", "i2sops",
+		"mixer", "pcm", "pinmux", "playback", "pm", "regmap", "spdif", "uapi", "usb-audio"}
+	if len(mods) != len(wantMods) {
+		t.Errorf("modules = %v", mods)
+	}
+	// Every inventory function must have positive sizes.
+	for _, fn := range tbl.Functions() {
+		m, _ := tbl.Meta(fn)
+		if m.LoC <= 0 || m.Bytes <= 0 {
+			t.Errorf("function %s has degenerate size %d/%d", fn, m.LoC, m.Bytes)
+		}
+	}
+}
+
+func TestCaptureStallsWithoutPump(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	_, err := r.drv.CaptureTask(i2s.DefaultFormat(), 4096, nil)
+	if err == nil {
+		t.Error("capture without a source should stall out")
+	}
+}
+
+func TestCostAccountingGrowsWithWork(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 4096)
+	tone := audio.Sine(16000, 440, 0.5, 80*time.Millisecond)
+	r.mic.Load(tone)
+	before := r.clock.Now()
+	want := len(tone.Samples) * 2
+	if _, err := r.drv.CaptureTask(i2s.DefaultFormat(), want, func(need int) {
+		_, _ = r.mic.PumpBytes(minInt(need, 1024))
+	}); err != nil {
+		t.Fatalf("CaptureTask: %v", err)
+	}
+	perByte := float64(r.clock.Now()-before) / float64(want)
+	if perByte <= 0 {
+		t.Error("capture consumed no cycles")
+	}
+	if math.IsInf(perByte, 0) {
+		t.Error("cycle accounting overflowed")
+	}
+}
+
+func TestProcInfoShow(t *testing.T) {
+	r := newRig(t, tz.WorldNormal, 1024)
+	if got := r.drv.ProcInfoShow(); got == "" {
+		t.Error("ProcInfoShow returned empty string")
+	}
+}

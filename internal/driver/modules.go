@@ -1,0 +1,291 @@
+package driver
+
+// This file carries the driver sub-modules that the paper's capture task
+// never executes: playback, mixer controls, USB audio, S/PDIF, HDMI audio,
+// power management and debugfs. Real SoC sound drivers bundle all of these
+// behind one code base ("a large set of I/O devices and driver software,
+// sometimes for the same purpose", §IV.2); the tracing experiment shows how
+// much of it the minimal OP-TEE image can drop.
+
+import (
+	"fmt"
+
+	"repro/internal/i2s"
+)
+
+// --- playback ---------------------------------------------------------------
+
+func (d *SoundDriver) txEnable() error {
+	defer d.enter("tx_enable")()
+	return d.regUpdateBits(0x00, 1<<4, 1<<4)
+}
+
+func (d *SoundDriver) txDisable() error {
+	defer d.enter("tx_disable")()
+	return d.regUpdateBits(0x00, 1<<4, 0)
+}
+
+func (d *SoundDriver) dmaFeed(n int) int {
+	defer d.enter("dma_feed")()
+	return n
+}
+
+func (d *SoundDriver) playbackOpen() (uint64, error) {
+	defer d.enter("playback_open")()
+	return d.dmaBufferAlloc(d.cfg.BufBytes)
+}
+
+func (d *SoundDriver) playbackWrite(n int) error {
+	defer d.enter("playback_write")()
+	_ = d.dmaFeed(n)
+	return d.txEnable()
+}
+
+func (d *SoundDriver) playbackDrain() {
+	defer d.enter("playback_drain")()
+	_ = d.fifoLevel()
+}
+
+func (d *SoundDriver) playbackClose(addr uint64) error {
+	defer d.enter("playback_close")()
+	if err := d.txDisable(); err != nil {
+		return err
+	}
+	d.dmaBufferFree(addr)
+	return nil
+}
+
+// PlaybackTask exercises the playback path end to end. It exists so the
+// tracing experiment can show that a different task lights up a different
+// function subset.
+func (d *SoundDriver) PlaybackTask(frames int) error {
+	addr, err := d.playbackOpen()
+	if err != nil {
+		return fmt.Errorf("playback: %w", err)
+	}
+	if err := d.playbackWrite(frames); err != nil {
+		return fmt.Errorf("playback: %w", err)
+	}
+	d.playbackDrain()
+	return d.playbackClose(addr)
+}
+
+// --- mixer -------------------------------------------------------------------
+
+func (d *SoundDriver) mixerScaleDb(vol int) uint32 {
+	defer d.enter("mixer_scale_db")()
+	if vol < 0 {
+		vol = 0
+	}
+	if vol > 100 {
+		vol = 100
+	}
+	return uint32(vol * 255 / 100)
+}
+
+// MixerGetVolume reads the volume control.
+func (d *SoundDriver) MixerGetVolume() uint32 {
+	defer d.enter("mixer_get_volume")()
+	return d.regRead(i2s.RegAux) // the aux block carries the gain register
+}
+
+// MixerSetVolume writes the volume control.
+func (d *SoundDriver) MixerSetVolume(vol int) error {
+	defer d.enter("mixer_set_volume")()
+	raw := d.mixerScaleDb(vol)
+	return d.regWrite(i2s.RegAux, raw)
+}
+
+// MixerMute toggles the mute bit.
+func (d *SoundDriver) MixerMute(mute bool) error {
+	defer d.enter("mixer_mute")()
+	var v uint32
+	if mute {
+		v = 1 << 7
+	}
+	return d.regUpdateBits(0x00, 1<<7, v)
+}
+
+// MixerTask exercises the mixer controls.
+func (d *SoundDriver) MixerTask() error {
+	_ = d.MixerGetVolume()
+	if err := d.MixerSetVolume(80); err != nil {
+		return err
+	}
+	return d.MixerMute(false)
+}
+
+// --- usb audio ------------------------------------------------------------------
+
+func (d *SoundDriver) usbParseDescriptors() int {
+	defer d.enter("usb_parse_descriptors")()
+	return 4 // pretend we found 4 endpoints
+}
+
+func (d *SoundDriver) usbSelectInterface(alt int) {
+	defer d.enter("usb_select_interface")()
+	_ = alt
+}
+
+func (d *SoundDriver) usbURBSubmit() {
+	defer d.enter("usb_urb_submit")()
+}
+
+func (d *SoundDriver) usbStreamStart() {
+	defer d.enter("usb_stream_start")()
+	d.usbURBSubmit()
+}
+
+func (d *SoundDriver) usbStreamStop() {
+	defer d.enter("usb_stream_stop")()
+}
+
+// UsbAudioProbe binds the (modelled) USB audio function.
+func (d *SoundDriver) UsbAudioProbe() error {
+	defer d.enter("usb_audio_probe")()
+	if n := d.usbParseDescriptors(); n == 0 {
+		return fmt.Errorf("usb audio: no endpoints")
+	}
+	d.usbSelectInterface(1)
+	return nil
+}
+
+// UsbAudioDisconnect tears the USB function down.
+func (d *SoundDriver) UsbAudioDisconnect() {
+	defer d.enter("usb_audio_disconnect")()
+	d.usbStreamStop()
+}
+
+// UsbAudioTask exercises the USB audio path.
+func (d *SoundDriver) UsbAudioTask() error {
+	if err := d.UsbAudioProbe(); err != nil {
+		return err
+	}
+	d.usbStreamStart()
+	d.UsbAudioDisconnect()
+	return nil
+}
+
+// --- spdif ----------------------------------------------------------------------
+
+// SpdifProbe initializes the S/PDIF transmitter block.
+func (d *SoundDriver) SpdifProbe() error {
+	defer d.enter("spdif_probe")()
+	return d.regWrite(0x00, 0)
+}
+
+// SpdifSetRate programs the S/PDIF sample rate.
+func (d *SoundDriver) SpdifSetRate(rate int) error {
+	defer d.enter("spdif_set_rate")()
+	_ = d.dividerCompute(rate)
+	return d.regWrite(i2s.RegAux, uint32(rate/25))
+}
+
+func (d *SoundDriver) spdifChannelStatus() uint32 {
+	defer d.enter("spdif_channel_status")()
+	return d.regRead(0x04)
+}
+
+// SpdifTask exercises the S/PDIF path.
+func (d *SoundDriver) SpdifTask() error {
+	if err := d.SpdifProbe(); err != nil {
+		return err
+	}
+	if err := d.SpdifSetRate(48000); err != nil {
+		return err
+	}
+	_ = d.spdifChannelStatus()
+	return nil
+}
+
+// --- hdmi audio ------------------------------------------------------------------
+
+func (d *SoundDriver) hdmiEldParse() int {
+	defer d.enter("hdmi_eld_parse")()
+	return 2 // pretend the sink advertises 2 channels
+}
+
+// HdmiAudioProbe binds the HDMI audio function.
+func (d *SoundDriver) HdmiAudioProbe() error {
+	defer d.enter("hdmi_audio_probe")()
+	if ch := d.hdmiEldParse(); ch == 0 {
+		return fmt.Errorf("hdmi audio: no sink channels")
+	}
+	return nil
+}
+
+// HdmiAudioSetRate programs the HDMI audio clock regenerator.
+func (d *SoundDriver) HdmiAudioSetRate(rate int) error {
+	defer d.enter("hdmi_audio_set_rate")()
+	return d.regWrite(i2s.RegAux, uint32(rate/25))
+}
+
+// HdmiTask exercises the HDMI audio path.
+func (d *SoundDriver) HdmiTask() error {
+	if err := d.HdmiAudioProbe(); err != nil {
+		return err
+	}
+	return d.HdmiAudioSetRate(48000)
+}
+
+// --- power management ---------------------------------------------------------------
+
+// PMSuspend quiesces the device for system sleep.
+func (d *SoundDriver) PMSuspend() error {
+	defer d.enter("pm_suspend")()
+	if err := d.rxDisable(); err != nil {
+		return err
+	}
+	return d.clkDisable()
+}
+
+// PMResume restores the device after sleep.
+func (d *SoundDriver) PMResume() error {
+	defer d.enter("pm_resume")()
+	if err := d.clkEnable(); err != nil {
+		return err
+	}
+	return d.rxEnable()
+}
+
+// PMRuntimeIdle is the runtime-PM idle callback.
+func (d *SoundDriver) PMRuntimeIdle() {
+	defer d.enter("pm_runtime_idle")()
+}
+
+// PMTask exercises suspend/resume.
+func (d *SoundDriver) PMTask() error {
+	if err := d.PMSuspend(); err != nil {
+		return err
+	}
+	if err := d.PMResume(); err != nil {
+		return err
+	}
+	d.PMRuntimeIdle()
+	return nil
+}
+
+// --- debug ------------------------------------------------------------------------------
+
+// DebugfsDumpRegs snapshots the register file.
+func (d *SoundDriver) DebugfsDumpRegs() map[uint32]uint32 {
+	defer d.enter("debugfs_dump_regs")()
+	out := make(map[uint32]uint32, 4)
+	for _, off := range []uint32{0x00, 0x04, 0x0c, 0x10} {
+		out[off] = d.regRead(off)
+	}
+	return out
+}
+
+// ProcInfoShow renders the procfs info line.
+func (d *SoundDriver) ProcInfoShow() string {
+	defer d.enter("proc_info_show")()
+	f := d.Format()
+	return fmt.Sprintf("%s: %d Hz, %d bit, %d ch", d.cfg.Name, f.SampleRate, f.BitsPerSample, f.Channels)
+}
+
+// DebugTask exercises the debug surfaces.
+func (d *SoundDriver) DebugTask() {
+	_ = d.DebugfsDumpRegs()
+	_ = d.ProcInfoShow()
+}

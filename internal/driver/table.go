@@ -1,0 +1,145 @@
+package driver
+
+import "repro/internal/tcb"
+
+// funcEntry describes one driver function for the TCB inventory: size
+// metadata plus its static callees (instrumented functions only). The
+// graph below mirrors the actual call structure of this package; the test
+// suite cross-validates it against live traces.
+type funcEntry struct {
+	meta    tcb.FuncMeta
+	callees []string
+}
+
+// funcTable is the full driver inventory. LoC figures model a realistic
+// SoC sound driver where protocol bring-up and descriptor parsing dominate.
+var funcTable = []funcEntry{
+	// regmap
+	{tcb.FuncMeta{Name: "regmap_init", Module: "regmap", LoC: 16}, nil},
+	{tcb.FuncMeta{Name: "reg_read", Module: "regmap", LoC: 8}, nil},
+	{tcb.FuncMeta{Name: "reg_write", Module: "regmap", LoC: 8}, nil},
+	{tcb.FuncMeta{Name: "reg_update_bits", Module: "regmap", LoC: 14}, []string{"reg_read", "reg_write"}},
+	// clock
+	{tcb.FuncMeta{Name: "clk_get", Module: "clock", LoC: 12}, nil},
+	{tcb.FuncMeta{Name: "divider_compute", Module: "clock", LoC: 20}, nil},
+	{tcb.FuncMeta{Name: "pll_configure", Module: "clock", LoC: 34}, nil},
+	{tcb.FuncMeta{Name: "clk_set_rate", Module: "clock", LoC: 26}, []string{"pll_configure", "divider_compute"}},
+	{tcb.FuncMeta{Name: "clk_enable", Module: "clock", LoC: 10}, []string{"reg_write"}},
+	{tcb.FuncMeta{Name: "clk_disable", Module: "clock", LoC: 10}, nil},
+	// pinmux
+	{tcb.FuncMeta{Name: "pin_function_select", Module: "pinmux", LoC: 16}, nil},
+	{tcb.FuncMeta{Name: "pinmux_apply", Module: "pinmux", LoC: 24}, []string{"pin_function_select"}},
+	// core
+	{tcb.FuncMeta{Name: "i2s_reset", Module: "core", LoC: 18}, []string{"reg_write"}},
+	{tcb.FuncMeta{Name: "i2s_probe", Module: "core", LoC: 48}, []string{
+		"clk_get", "clk_set_rate", "clk_enable", "pinmux_apply", "regmap_init", "i2s_reset", "dma_channel_request"}},
+	{tcb.FuncMeta{Name: "i2s_remove", Module: "core", LoC: 22}, []string{"rx_disable", "clk_disable", "dma_channel_release"}},
+	{tcb.FuncMeta{Name: "i2s_irq_handler", Module: "core", LoC: 26}, []string{"fifo_level"}},
+	// dma
+	{tcb.FuncMeta{Name: "dma_channel_request", Module: "dma", LoC: 22}, nil},
+	{tcb.FuncMeta{Name: "dma_channel_release", Module: "dma", LoC: 12}, nil},
+	{tcb.FuncMeta{Name: "dma_buffer_alloc", Module: "dma", LoC: 24}, nil},
+	{tcb.FuncMeta{Name: "dma_buffer_free", Module: "dma", LoC: 14}, nil},
+	{tcb.FuncMeta{Name: "dma_start", Module: "dma", LoC: 16}, []string{"reg_write"}},
+	{tcb.FuncMeta{Name: "dma_stop", Module: "dma", LoC: 14}, nil},
+	{tcb.FuncMeta{Name: "dma_transfer", Module: "dma", LoC: 36}, nil},
+	// i2s ops
+	{tcb.FuncMeta{Name: "i2s_set_format", Module: "i2sops", LoC: 28}, []string{"divider_compute", "reg_write"}},
+	{tcb.FuncMeta{Name: "watermark_set", Module: "i2sops", LoC: 12}, []string{"reg_write"}},
+	{tcb.FuncMeta{Name: "fifo_flush", Module: "i2sops", LoC: 14}, []string{"reg_read"}},
+	{tcb.FuncMeta{Name: "fifo_level", Module: "i2sops", LoC: 8}, []string{"reg_read"}},
+	{tcb.FuncMeta{Name: "rx_enable", Module: "i2sops", LoC: 10}, []string{"reg_update_bits"}},
+	{tcb.FuncMeta{Name: "rx_disable", Module: "i2sops", LoC: 10}, []string{"reg_update_bits"}},
+	// pcm capture
+	{tcb.FuncMeta{Name: "pcm_open", Module: "pcm", LoC: 30}, []string{"dma_buffer_alloc"}},
+	{tcb.FuncMeta{Name: "pcm_hw_params", Module: "pcm", LoC: 42}, []string{"i2s_set_format", "watermark_set"}},
+	{tcb.FuncMeta{Name: "pcm_prepare", Module: "pcm", LoC: 20}, []string{"fifo_flush"}},
+	{tcb.FuncMeta{Name: "pcm_trigger_start", Module: "pcm", LoC: 18}, []string{"rx_enable", "dma_start"}},
+	{tcb.FuncMeta{Name: "pcm_trigger_stop", Module: "pcm", LoC: 16}, []string{"rx_disable", "dma_stop"}},
+	{tcb.FuncMeta{Name: "pcm_pointer", Module: "pcm", LoC: 10}, nil},
+	{tcb.FuncMeta{Name: "xrun_recover", Module: "pcm", LoC: 26}, []string{"fifo_flush", "rx_disable", "rx_enable"}},
+	{tcb.FuncMeta{Name: "pcm_read", Module: "pcm", LoC: 44}, []string{"fifo_level", "dma_transfer", "pcm_pointer", "xrun_recover"}},
+	{tcb.FuncMeta{Name: "pcm_close", Module: "pcm", LoC: 22}, []string{"dma_buffer_free"}},
+	// uapi
+	{tcb.FuncMeta{Name: "ioctl_get_format", Module: "uapi", LoC: 14}, nil},
+	{tcb.FuncMeta{Name: "ioctl_set_format", Module: "uapi", LoC: 18}, []string{"i2s_set_format"}},
+	{tcb.FuncMeta{Name: "ioctl_get_stats", Module: "uapi", LoC: 16}, nil},
+	{tcb.FuncMeta{Name: "ioctl_dispatch", Module: "uapi", LoC: 38}, []string{
+		"ioctl_get_format", "ioctl_set_format", "ioctl_get_stats"}},
+	// playback
+	{tcb.FuncMeta{Name: "tx_enable", Module: "playback", LoC: 10}, []string{"reg_update_bits"}},
+	{tcb.FuncMeta{Name: "tx_disable", Module: "playback", LoC: 10}, []string{"reg_update_bits"}},
+	{tcb.FuncMeta{Name: "dma_feed", Module: "playback", LoC: 28}, nil},
+	{tcb.FuncMeta{Name: "playback_open", Module: "playback", LoC: 30}, []string{"dma_buffer_alloc"}},
+	{tcb.FuncMeta{Name: "playback_write", Module: "playback", LoC: 46}, []string{"dma_feed", "tx_enable"}},
+	{tcb.FuncMeta{Name: "playback_drain", Module: "playback", LoC: 22}, []string{"fifo_level"}},
+	{tcb.FuncMeta{Name: "playback_close", Module: "playback", LoC: 20}, []string{"tx_disable", "dma_buffer_free"}},
+	// mixer
+	{tcb.FuncMeta{Name: "mixer_scale_db", Module: "mixer", LoC: 24}, nil},
+	{tcb.FuncMeta{Name: "mixer_get_volume", Module: "mixer", LoC: 14}, []string{"reg_read"}},
+	{tcb.FuncMeta{Name: "mixer_set_volume", Module: "mixer", LoC: 18}, []string{"mixer_scale_db", "reg_write"}},
+	{tcb.FuncMeta{Name: "mixer_mute", Module: "mixer", LoC: 12}, []string{"reg_update_bits"}},
+	// usb audio
+	{tcb.FuncMeta{Name: "usb_parse_descriptors", Module: "usb-audio", LoC: 88}, nil},
+	{tcb.FuncMeta{Name: "usb_select_interface", Module: "usb-audio", LoC: 32}, nil},
+	{tcb.FuncMeta{Name: "usb_urb_submit", Module: "usb-audio", LoC: 40}, nil},
+	{tcb.FuncMeta{Name: "usb_stream_start", Module: "usb-audio", LoC: 36}, []string{"usb_urb_submit"}},
+	{tcb.FuncMeta{Name: "usb_stream_stop", Module: "usb-audio", LoC: 24}, nil},
+	{tcb.FuncMeta{Name: "usb_audio_probe", Module: "usb-audio", LoC: 66}, []string{
+		"usb_parse_descriptors", "usb_select_interface"}},
+	{tcb.FuncMeta{Name: "usb_audio_disconnect", Module: "usb-audio", LoC: 28}, []string{"usb_stream_stop"}},
+	// spdif
+	{tcb.FuncMeta{Name: "spdif_probe", Module: "spdif", LoC: 40}, []string{"reg_write"}},
+	{tcb.FuncMeta{Name: "spdif_set_rate", Module: "spdif", LoC: 26}, []string{"divider_compute", "reg_write"}},
+	{tcb.FuncMeta{Name: "spdif_channel_status", Module: "spdif", LoC: 30}, []string{"reg_read"}},
+	// hdmi audio
+	{tcb.FuncMeta{Name: "hdmi_eld_parse", Module: "hdmi-audio", LoC: 52}, nil},
+	{tcb.FuncMeta{Name: "hdmi_audio_probe", Module: "hdmi-audio", LoC: 44}, []string{"hdmi_eld_parse"}},
+	{tcb.FuncMeta{Name: "hdmi_audio_set_rate", Module: "hdmi-audio", LoC: 24}, []string{"reg_write"}},
+	// pm
+	{tcb.FuncMeta{Name: "pm_suspend", Module: "pm", LoC: 30}, []string{"rx_disable", "clk_disable"}},
+	{tcb.FuncMeta{Name: "pm_resume", Module: "pm", LoC: 32}, []string{"clk_enable", "rx_enable"}},
+	{tcb.FuncMeta{Name: "pm_runtime_idle", Module: "pm", LoC: 14}, nil},
+	// debug
+	{tcb.FuncMeta{Name: "debugfs_dump_regs", Module: "debug", LoC: 36}, []string{"reg_read"}},
+	{tcb.FuncMeta{Name: "proc_info_show", Module: "debug", LoC: 20}, nil},
+}
+
+// funcByName indexes metadata for the per-call cycle charge in enter().
+var funcByName = buildFuncIndex()
+
+func buildFuncIndex() map[string]tcb.FuncMeta {
+	out := make(map[string]tcb.FuncMeta, len(funcTable))
+	for _, e := range funcTable {
+		m := e.meta
+		m.Bytes = m.LoC * 14 // ~14 bytes of AArch64 text per source line
+		out[m.Name] = m
+	}
+	return out
+}
+
+// BuildTable constructs the TCB inventory for this driver.
+func BuildTable() (*tcb.Table, error) {
+	t := tcb.NewTable()
+	for _, e := range funcTable {
+		m := e.meta
+		m.Bytes = m.LoC * 14
+		if err := t.Add(m, e.callees...); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CaptureEntryPoints are the functions a capture task enters from outside
+// the driver (syscall/PTA surface); the static-closure TCB build starts
+// from these roots.
+func CaptureEntryPoints() []string {
+	return []string{
+		"i2s_probe", "pcm_open", "pcm_hw_params", "pcm_prepare",
+		"pcm_trigger_start", "pcm_read", "pcm_trigger_stop", "pcm_close",
+	}
+}

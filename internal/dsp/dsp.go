@@ -1,0 +1,326 @@
+// Package dsp implements the signal-processing front end shared by the
+// speech recognizer and the acoustic experiments: radix-2 FFT, window
+// functions, mel filterbanks and MFCC extraction.
+//
+// MFCCs are the standard compact acoustic features used by small speech
+// models — exactly the kind of front end a TEE-resident recognizer needs,
+// since the paper's §V constrains in-TEE models to small memory footprints.
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNotPowerOfTwo is returned by FFT for unsupported lengths.
+	ErrNotPowerOfTwo = errors.New("dsp: length is not a power of two")
+	// ErrBadConfig is returned for invalid MFCC configurations.
+	ErrBadConfig = errors.New("dsp: invalid configuration")
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two.
+func FFT(x []complex128) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("%w: %d", ErrNotPowerOfTwo, n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// IFFT computes the inverse FFT of x in place.
+func IFFT(x []complex128) error {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := FFT(x); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+	return nil
+}
+
+// Hann returns the n-point Hann window.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// ApplyWindow multiplies frame by window element-wise into a new slice.
+func ApplyWindow(frame, window []float64) []float64 {
+	n := len(frame)
+	if len(window) < n {
+		n = len(window)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = frame[i] * window[i]
+	}
+	return out
+}
+
+// PowerSpectrum returns the one-sided power spectrum of a real frame,
+// zero-padding to fftSize. Output has fftSize/2+1 bins.
+func PowerSpectrum(frame []float64, fftSize int) ([]float64, error) {
+	if fftSize == 0 || fftSize&(fftSize-1) != 0 {
+		return nil, fmt.Errorf("%w: fft size %d", ErrNotPowerOfTwo, fftSize)
+	}
+	x := make([]complex128, fftSize)
+	n := len(frame)
+	if n > fftSize {
+		n = fftSize
+	}
+	for i := 0; i < n; i++ {
+		x[i] = complex(frame[i], 0)
+	}
+	if err := FFT(x); err != nil {
+		return nil, err
+	}
+	out := make([]float64, fftSize/2+1)
+	for i := range out {
+		re, im := real(x[i]), imag(x[i])
+		out[i] = (re*re + im*im) / float64(fftSize)
+	}
+	return out, nil
+}
+
+// HzToMel converts frequency to the mel scale (HTK formula).
+func HzToMel(hz float64) float64 { return 2595 * math.Log10(1+hz/700) }
+
+// MelToHz converts mel back to frequency.
+func MelToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// MelFilterbank builds numFilters triangular filters over an fftSize/2+1
+// bin power spectrum for the given sample rate, spanning [fMin, fMax] Hz.
+func MelFilterbank(numFilters, fftSize, sampleRate int, fMin, fMax float64) ([][]float64, error) {
+	if numFilters <= 0 || fftSize <= 0 || sampleRate <= 0 {
+		return nil, fmt.Errorf("%w: filters=%d fft=%d rate=%d", ErrBadConfig, numFilters, fftSize, sampleRate)
+	}
+	if fMax <= fMin || fMax > float64(sampleRate)/2 {
+		return nil, fmt.Errorf("%w: band [%g,%g] with rate %d", ErrBadConfig, fMin, fMax, sampleRate)
+	}
+	nBins := fftSize/2 + 1
+	melMin, melMax := HzToMel(fMin), HzToMel(fMax)
+	// numFilters+2 equally spaced mel points.
+	points := make([]int, numFilters+2)
+	for i := range points {
+		mel := melMin + (melMax-melMin)*float64(i)/float64(numFilters+1)
+		hz := MelToHz(mel)
+		points[i] = int(math.Floor((float64(fftSize) + 1) * hz / float64(sampleRate)))
+		if points[i] >= nBins {
+			points[i] = nBins - 1
+		}
+	}
+	banks := make([][]float64, numFilters)
+	for m := 1; m <= numFilters; m++ {
+		f := make([]float64, nBins)
+		lo, mid, hi := points[m-1], points[m], points[m+1]
+		for k := lo; k < mid; k++ {
+			if mid > lo {
+				f[k] = float64(k-lo) / float64(mid-lo)
+			}
+		}
+		for k := mid; k < hi; k++ {
+			if hi > mid {
+				f[k] = float64(hi-k) / float64(hi-mid)
+			}
+		}
+		banks[m-1] = f
+	}
+	return banks, nil
+}
+
+// DCT2 computes the orthonormal DCT-II of x, keeping numCoeffs outputs.
+func DCT2(x []float64, numCoeffs int) []float64 {
+	n := len(x)
+	if numCoeffs > n {
+		numCoeffs = n
+	}
+	out := make([]float64, numCoeffs)
+	for k := 0; k < numCoeffs; k++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += x[i] * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		scale := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			scale = math.Sqrt(1 / float64(n))
+		}
+		out[k] = sum * scale
+	}
+	return out
+}
+
+// MFCCConfig configures MFCC extraction.
+type MFCCConfig struct {
+	SampleRate int
+	FrameLen   int // samples per frame
+	Hop        int // samples between frame starts
+	FFTSize    int // power of two >= FrameLen
+	NumFilters int
+	NumCoeffs  int
+	FMin, FMax float64
+}
+
+// DefaultMFCCConfig returns the extraction setup used by the recognizer:
+// 25 ms frames, 10 ms hop, 26 mel filters, 13 coefficients at 16 kHz.
+func DefaultMFCCConfig(rate int) MFCCConfig {
+	return MFCCConfig{
+		SampleRate: rate,
+		FrameLen:   rate / 40,  // 25 ms
+		Hop:        rate / 100, // 10 ms
+		FFTSize:    512,
+		NumFilters: 26,
+		NumCoeffs:  13,
+		FMin:       60,
+		FMax:       float64(rate) / 2,
+	}
+}
+
+// Validate checks the configuration.
+func (c MFCCConfig) Validate() error {
+	if c.SampleRate <= 0 || c.FrameLen <= 0 || c.Hop <= 0 {
+		return fmt.Errorf("%w: rate/frame/hop", ErrBadConfig)
+	}
+	if c.FFTSize < c.FrameLen {
+		return fmt.Errorf("%w: fft size %d < frame %d", ErrBadConfig, c.FFTSize, c.FrameLen)
+	}
+	if c.FFTSize&(c.FFTSize-1) != 0 {
+		return fmt.Errorf("%w: fft size %d not power of two", ErrBadConfig, c.FFTSize)
+	}
+	if c.NumFilters <= 0 || c.NumCoeffs <= 0 || c.NumCoeffs > c.NumFilters {
+		return fmt.Errorf("%w: filters=%d coeffs=%d", ErrBadConfig, c.NumFilters, c.NumCoeffs)
+	}
+	return nil
+}
+
+// Extractor computes MFCC vectors from PCM frames. It precomputes the
+// window and filterbank once.
+type Extractor struct {
+	cfg    MFCCConfig
+	window []float64
+	banks  [][]float64
+}
+
+// NewExtractor builds an extractor for the configuration.
+func NewExtractor(cfg MFCCConfig) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	banks, err := MelFilterbank(cfg.NumFilters, cfg.FFTSize, cfg.SampleRate, cfg.FMin, cfg.FMax)
+	if err != nil {
+		return nil, err
+	}
+	return &Extractor{
+		cfg:    cfg,
+		window: Hann(cfg.FrameLen),
+		banks:  banks,
+	}, nil
+}
+
+// Config returns the extractor's configuration.
+func (e *Extractor) Config() MFCCConfig { return e.cfg }
+
+// Frame computes the MFCC vector of a single frame of FrameLen samples.
+func (e *Extractor) Frame(frame []float64) ([]float64, error) {
+	windowed := ApplyWindow(frame, e.window)
+	ps, err := PowerSpectrum(windowed, e.cfg.FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	energies := make([]float64, len(e.banks))
+	for i, bank := range e.banks {
+		var sum float64
+		for k, w := range bank {
+			if w != 0 {
+				sum += w * ps[k]
+			}
+		}
+		energies[i] = math.Log(sum + 1e-10)
+	}
+	return DCT2(energies, e.cfg.NumCoeffs), nil
+}
+
+// Signal computes MFCC vectors for every frame of the sample stream.
+func (e *Extractor) Signal(samples []float64) ([][]float64, error) {
+	if len(samples) < e.cfg.FrameLen {
+		return nil, nil
+	}
+	var out [][]float64
+	for i := 0; i+e.cfg.FrameLen <= len(samples); i += e.cfg.Hop {
+		v, err := e.Frame(samples[i : i+e.cfg.FrameLen])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// MeanVector averages a sequence of equal-length vectors (e.g. the MFCC
+// frames of one word) into a single template vector.
+func MeanVector(vectors [][]float64) []float64 {
+	if len(vectors) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vectors[0]))
+	for _, v := range vectors {
+		for i := range out {
+			out[i] += v[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vectors))
+	}
+	return out
+}
+
+// EuclideanDistance returns the L2 distance between equal-length vectors.
+func EuclideanDistance(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

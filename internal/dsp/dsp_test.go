@@ -1,0 +1,289 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"repro/internal/audio"
+)
+
+// naiveDFT is the O(n^2) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			out[k] += x[t] * cmplx.Rect(1, ang)
+		}
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		if err := FFT(got); err != nil {
+			t.Fatalf("FFT(%d): %v", n, err)
+		}
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-7*float64(n) {
+				t.Fatalf("n=%d bin %d: fft %v, dft %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		if err := FFT(make([]complex128, n)); !errors.Is(err, ErrNotPowerOfTwo) {
+			t.Errorf("FFT(%d) = %v, want ErrNotPowerOfTwo", n, err)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.Float64(), rng.Float64())
+	}
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	if err := FFT(x); err != nil {
+		t.Fatalf("FFT: %v", err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatalf("IFFT: %v", err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+			t.Fatalf("round trip bin %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	x := make([]complex128, 256)
+	var timeEnergy float64
+	for i := range x {
+		v := rng.Float64()*2 - 1
+		x[i] = complex(v, 0)
+		timeEnergy += v * v
+	}
+	if err := FFT(x); err != nil {
+		t.Fatalf("FFT: %v", err)
+	}
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(len(x))
+	if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+		t.Errorf("Parseval violated: time %v vs freq %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestPowerSpectrumSinePeak(t *testing.T) {
+	const rate = 16000
+	const fftSize = 512
+	// Choose a frequency exactly on a bin: bin 32 -> 1000 Hz.
+	freq := float64(rate) * 32 / fftSize
+	tone := audio.Sine(rate, freq, 1.0, time.Second)
+	ps, err := PowerSpectrum(tone.Samples[:fftSize], fftSize)
+	if err != nil {
+		t.Fatalf("PowerSpectrum: %v", err)
+	}
+	peak := 0
+	for i := range ps {
+		if ps[i] > ps[peak] {
+			peak = i
+		}
+	}
+	if peak != 32 {
+		t.Errorf("peak at bin %d, want 32 (%g Hz)", peak, freq)
+	}
+}
+
+func TestPowerSpectrumBadSize(t *testing.T) {
+	if _, err := PowerSpectrum(make([]float64, 10), 100); !errors.Is(err, ErrNotPowerOfTwo) {
+		t.Errorf("PowerSpectrum bad size = %v", err)
+	}
+}
+
+func TestHannWindow(t *testing.T) {
+	w := Hann(64)
+	if w[0] > 1e-12 || w[63] > 1e-12 {
+		t.Error("Hann endpoints should be ~0")
+	}
+	mid := w[31]
+	if mid < 0.9 {
+		t.Errorf("Hann midpoint = %v, want near 1", mid)
+	}
+	if one := Hann(1); one[0] != 1 {
+		t.Error("Hann(1) should be [1]")
+	}
+}
+
+func TestMelScaleRoundTrip(t *testing.T) {
+	for _, hz := range []float64{60, 440, 1000, 4000, 8000} {
+		back := MelToHz(HzToMel(hz))
+		if math.Abs(back-hz) > 1e-6*hz {
+			t.Errorf("mel round trip %g -> %g", hz, back)
+		}
+	}
+	if HzToMel(1000) <= HzToMel(500) {
+		t.Error("mel scale must be monotonic")
+	}
+}
+
+func TestMelFilterbankShape(t *testing.T) {
+	banks, err := MelFilterbank(26, 512, 16000, 60, 8000)
+	if err != nil {
+		t.Fatalf("MelFilterbank: %v", err)
+	}
+	if len(banks) != 26 {
+		t.Fatalf("got %d banks, want 26", len(banks))
+	}
+	for i, b := range banks {
+		if len(b) != 257 {
+			t.Fatalf("bank %d has %d bins, want 257", i, len(b))
+		}
+		var sum float64
+		for _, v := range b {
+			if v < 0 || v > 1 {
+				t.Fatalf("bank %d weight %v out of [0,1]", i, v)
+			}
+			sum += v
+		}
+		if sum == 0 {
+			t.Errorf("bank %d is all-zero", i)
+		}
+	}
+}
+
+func TestMelFilterbankBadConfig(t *testing.T) {
+	if _, err := MelFilterbank(0, 512, 16000, 60, 8000); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero filters accepted")
+	}
+	if _, err := MelFilterbank(26, 512, 16000, 8000, 60); !errors.Is(err, ErrBadConfig) {
+		t.Error("inverted band accepted")
+	}
+	if _, err := MelFilterbank(26, 512, 16000, 60, 9000); !errors.Is(err, ErrBadConfig) {
+		t.Error("band beyond Nyquist accepted")
+	}
+}
+
+func TestDCT2Energy(t *testing.T) {
+	// DCT of a constant signal concentrates in coefficient 0.
+	x := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	c := DCT2(x, 8)
+	if math.Abs(c[0]-math.Sqrt(8)) > 1e-9 {
+		t.Errorf("c0 = %v, want sqrt(8)", c[0])
+	}
+	for i := 1; i < len(c); i++ {
+		if math.Abs(c[i]) > 1e-9 {
+			t.Errorf("c%d = %v, want 0", i, c[i])
+		}
+	}
+	// Requesting more coeffs than inputs clamps.
+	if got := DCT2([]float64{1, 2}, 10); len(got) != 2 {
+		t.Errorf("clamped DCT len = %d, want 2", len(got))
+	}
+}
+
+func TestMFCCConfigValidate(t *testing.T) {
+	good := DefaultMFCCConfig(16000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := good
+	bad.FFTSize = 100
+	if err := bad.Validate(); !errors.Is(err, ErrBadConfig) && !errors.Is(err, ErrNotPowerOfTwo) {
+		t.Errorf("non-pow2 fft accepted: %v", err)
+	}
+	bad = good
+	bad.FFTSize = 128 // < FrameLen (400)
+	if err := bad.Validate(); err == nil {
+		t.Error("fft < frame accepted")
+	}
+	bad = good
+	bad.NumCoeffs = 99
+	if err := bad.Validate(); err == nil {
+		t.Error("coeffs > filters accepted")
+	}
+}
+
+func TestExtractorDistinguishesWords(t *testing.T) {
+	v := audio.DefaultVoice(11)
+	v.NoiseAmp = 0
+	ex, err := NewExtractor(DefaultMFCCConfig(v.Rate))
+	if err != nil {
+		t.Fatalf("NewExtractor: %v", err)
+	}
+	mfccOf := func(word string) []float64 {
+		p := v.SynthesizeWord(word)
+		frames, err := ex.Signal(p.Samples)
+		if err != nil {
+			t.Fatalf("Signal(%s): %v", word, err)
+		}
+		return MeanVector(frames)
+	}
+	a1 := mfccOf("password")
+	b := mfccOf("weather")
+	// A second rendering of the same word with a different seed.
+	v2 := v
+	v2.Seed = 999
+	ex2, _ := NewExtractor(DefaultMFCCConfig(v2.Rate))
+	p2 := v2.SynthesizeWord("password")
+	frames2, _ := ex2.Signal(p2.Samples)
+	a2 := MeanVector(frames2)
+
+	dSame := EuclideanDistance(a1, a2)
+	dDiff := EuclideanDistance(a1, b)
+	if dSame >= dDiff {
+		t.Errorf("same-word distance %v not below cross-word distance %v", dSame, dDiff)
+	}
+}
+
+func TestExtractorShortSignal(t *testing.T) {
+	ex, err := NewExtractor(DefaultMFCCConfig(16000))
+	if err != nil {
+		t.Fatalf("NewExtractor: %v", err)
+	}
+	frames, err := ex.Signal(make([]float64, 10))
+	if err != nil || frames != nil {
+		t.Errorf("short signal = (%v,%v), want (nil,nil)", frames, err)
+	}
+}
+
+func TestMeanVector(t *testing.T) {
+	got := MeanVector([][]float64{{1, 2}, {3, 4}})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("MeanVector = %v, want [2 3]", got)
+	}
+	if MeanVector(nil) != nil {
+		t.Error("MeanVector(nil) should be nil")
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if d := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if d := EuclideanDistance([]float64{1}, []float64{1}); d != 0 {
+		t.Errorf("distance = %v, want 0", d)
+	}
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/ml/classify"
+	"repro/internal/power"
+	"repro/internal/relay"
+	"repro/internal/sensitive"
+)
+
+// sessionN is the standard session length for pipeline experiments.
+const sessionN = 10
+
+// E4Row is one mode's latency decomposition (Fig-B).
+type E4Row struct {
+	Mode        core.Mode
+	Capture     float64 // mean cycles per utterance
+	Transcribe  float64
+	Classify    float64
+	Relay       float64
+	Total       float64
+	OverheadPct float64 // vs baseline total
+}
+
+// E4PipelineBreakdown decomposes end-to-end utterance latency per stage
+// per deployment mode.
+func E4PipelineBreakdown(seed uint64) (*metrics.Table, []E4Row, error) {
+	modes := []struct {
+		mode core.Mode
+		opts sessionOpts
+	}{
+		{core.ModeBaseline, sessionOpts{policy: relay.PolicyPassThrough}},
+		{core.ModeSecureNoFilter, sessionOpts{policy: relay.PolicyPassThrough}},
+		{core.ModeSecureFilter, sessionOpts{policy: relay.PolicyBlock, arch: classify.ArchCNN}},
+	}
+	var rows []E4Row
+	var baseTotal float64
+	tbl := metrics.NewTable("E4 (Fig-B): per-utterance latency decomposition (kcycles)",
+		"mode", "capture", "transcribe", "classify", "relay", "total", "overhead")
+	for _, m := range modes {
+		res, err := modeSession(m.mode, m.opts, sessionN, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		var agg core.StageCycles
+		for _, u := range res.Utterances {
+			agg.Capture += u.Stages.Capture
+			agg.Transcribe += u.Stages.Transcribe
+			agg.Classify += u.Stages.Classify
+			agg.Relay += u.Stages.Relay
+		}
+		n := float64(len(res.Utterances))
+		row := E4Row{
+			Mode:       m.mode,
+			Capture:    float64(agg.Capture) / n,
+			Transcribe: float64(agg.Transcribe) / n,
+			Classify:   float64(agg.Classify) / n,
+			Relay:      float64(agg.Relay) / n,
+			Total:      res.Latency.Mean(),
+		}
+		if m.mode == core.ModeBaseline {
+			baseTotal = row.Total
+		}
+		if baseTotal > 0 {
+			row.OverheadPct = 100 * (row.Total - baseTotal) / baseTotal
+		}
+		rows = append(rows, row)
+		tbl.AddRow(m.mode.String(), row.Capture/1000, row.Transcribe/1000,
+			row.Classify/1000, row.Relay/1000, row.Total/1000,
+			fmt.Sprintf("%+.0f%%", row.OverheadPct))
+	}
+	return tbl, rows, nil
+}
+
+// E5Row is one deployment's privacy outcome (Table-3).
+type E5Row struct {
+	Label             string
+	Mode              core.Mode
+	Policy            relay.Policy
+	CloudSensTokens   int
+	CloudTokens       int
+	CloudAudioBytes   int
+	SnoopRecovered    int
+	SupplicantLeaks   int
+	FalseBlockRatePct float64
+}
+
+// E5Leakage measures sensitive-token leakage to the cloud and to the
+// compromised OS across deployments — the paper's central privacy claim.
+func E5Leakage(seed uint64) (*metrics.Table, []E5Row, error) {
+	cases := []struct {
+		label string
+		mode  core.Mode
+		opts  sessionOpts
+	}{
+		{"baseline (raw audio)", core.ModeBaseline, sessionOpts{policy: relay.PolicyPassThrough}},
+		{"secure, no filter", core.ModeSecureNoFilter, sessionOpts{policy: relay.PolicyPassThrough}},
+		{"secure + filter/block", core.ModeSecureFilter, sessionOpts{policy: relay.PolicyBlock, arch: classify.ArchCNN}},
+		{"secure + filter/redact", core.ModeSecureFilter, sessionOpts{policy: relay.PolicyRedact, arch: classify.ArchCNN}},
+	}
+	var rows []E5Row
+	tbl := metrics.NewTable("E5 (Table-3): privacy leakage per deployment",
+		"deployment", "cloud sens. tokens", "cloud tokens", "cloud audio B",
+		"OS snoop B", "supplicant leaks", "false-block %")
+	for _, c := range cases {
+		res, err := modeSession(c.mode, c.opts, sessionN, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := E5Row{
+			Label:             c.label,
+			Mode:              c.mode,
+			Policy:            c.opts.policy,
+			CloudSensTokens:   res.CloudAudit.SensitiveTokens,
+			CloudTokens:       res.CloudAudit.TokensSeen,
+			CloudAudioBytes:   res.CloudAudit.AudioBytes,
+			SnoopRecovered:    res.Snoop.BytesRecovered,
+			SupplicantLeaks:   res.SupplicantPlaintextTokens,
+			FalseBlockRatePct: 100 * res.FalseBlockRate(),
+		}
+		rows = append(rows, row)
+		tbl.AddRow(c.label, row.CloudSensTokens, row.CloudTokens, row.CloudAudioBytes,
+			row.SnoopRecovered, row.SupplicantLeaks, row.FalseBlockRatePct)
+	}
+	return tbl, rows, nil
+}
+
+// E7Row is one mode's energy breakdown (Fig-C).
+type E7Row struct {
+	Mode        core.Mode
+	ComputeMJ   float64
+	RadioMJ     float64
+	TotalMJ     float64
+	OverheadPct float64 // compute energy vs baseline
+}
+
+// E7Energy prices each deployment's session under the power model: the
+// paper predicts "increased power consumption" for the TEE design; the
+// experiment shows where it lands (compute up, radio down).
+func E7Energy(seed uint64) (*metrics.Table, []E7Row, error) {
+	modes := []struct {
+		mode core.Mode
+		opts sessionOpts
+	}{
+		{core.ModeBaseline, sessionOpts{policy: relay.PolicyPassThrough}},
+		{core.ModeSecureNoFilter, sessionOpts{policy: relay.PolicyPassThrough}},
+		{core.ModeSecureFilter, sessionOpts{policy: relay.PolicyBlock, arch: classify.ArchCNN}},
+	}
+	var rows []E7Row
+	var baseCompute float64
+	tbl := metrics.NewTable("E7 (Fig-C): session energy per deployment (mJ)",
+		"mode", "compute", "radio", "idle+dma", "total", "compute overhead")
+	for _, m := range modes {
+		res, err := modeSession(m.mode, m.opts, sessionN, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		compute := res.Energy.CPUmJ + res.Energy.SecuremJ + res.Energy.SwitchmJ
+		row := E7Row{
+			Mode:      m.mode,
+			ComputeMJ: compute,
+			RadioMJ:   res.Energy.RadiomJ,
+			TotalMJ:   res.Energy.TotalmJ(),
+		}
+		if m.mode == core.ModeBaseline {
+			baseCompute = compute
+		}
+		if baseCompute > 0 {
+			row.OverheadPct = 100 * (compute - baseCompute) / baseCompute
+		}
+		rows = append(rows, row)
+		tbl.AddRow(m.mode.String(), row.ComputeMJ, row.RadioMJ,
+			row.TotalMJ-row.ComputeMJ-row.RadioMJ, row.TotalMJ,
+			fmt.Sprintf("%+.0f%%", row.OverheadPct))
+	}
+	return tbl, rows, nil
+}
+
+// E8Row is one deployment's snooping outcome (Table-5).
+type E8Row struct {
+	Mode           core.Mode
+	Attempts       int
+	Blocked        int
+	BytesRecovered int
+	SuccessRatePct float64
+}
+
+// E8Snoop measures the compromised-OS buffer-snooping attack success rate
+// across deployments (paper §I threat: "privileged software like the OS
+// can be compromised").
+func E8Snoop(seed uint64) (*metrics.Table, []E8Row, error) {
+	modes := []core.Mode{core.ModeBaseline, core.ModeSecureNoFilter, core.ModeSecureFilter}
+	var rows []E8Row
+	tbl := metrics.NewTable("E8 (Table-5): compromised-OS buffer snooping",
+		"mode", "attempts", "blocked", "bytes recovered", "success rate")
+	for _, mode := range modes {
+		opts := sessionOpts{policy: relay.PolicyPassThrough}
+		if mode == core.ModeSecureFilter {
+			opts = sessionOpts{policy: relay.PolicyBlock, arch: classify.ArchCNN}
+		}
+		res, err := modeSession(mode, opts, sessionN, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := E8Row{
+			Mode:           mode,
+			Attempts:       res.Snoop.Attempts,
+			Blocked:        res.Snoop.Blocked,
+			BytesRecovered: res.Snoop.BytesRecovered,
+		}
+		if row.Attempts > 0 {
+			row.SuccessRatePct = 100 * float64(row.Attempts-row.Blocked) / float64(row.Attempts)
+		}
+		rows = append(rows, row)
+		tbl.AddRow(mode.String(), row.Attempts, row.Blocked, row.BytesRecovered,
+			fmt.Sprintf("%.0f%%", row.SuccessRatePct))
+	}
+	return tbl, rows, nil
+}
+
+// E9Point is one concurrency level's aggregate throughput (Fig-D).
+type E9Point struct {
+	Devices          int
+	BaselineKBPerSec float64 // aggregate captured KiB per virtual second
+	SecureKBPerSec   float64
+}
+
+// E9Scale runs K independent devices concurrently (each with its own
+// virtual platform) and reports aggregate capture throughput, probing the
+// paper's §IV.6 goal of generalizing to "a larger and more generic set of
+// peripherals".
+func E9Scale(seed uint64) (*metrics.Figure, []E9Point, error) {
+	levels := []int{1, 2, 4, 8}
+	baseSeries := &metrics.Series{Name: "baseline", XLabel: "devices", YLabel: "KiB/s aggregate"}
+	secSeries := &metrics.Series{Name: "secure-filter", XLabel: "devices", YLabel: "KiB/s aggregate"}
+	var points []E9Point
+	for _, k := range levels {
+		baseTP, err := aggregateThroughput(core.ModeBaseline, sessionOpts{policy: relay.PolicyPassThrough}, k, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		secTP, err := aggregateThroughput(core.ModeSecureFilter, sessionOpts{policy: relay.PolicyBlock, arch: classify.ArchCNN}, k, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		baseSeries.Add(float64(k), baseTP)
+		secSeries.Add(float64(k), secTP)
+		points = append(points, E9Point{Devices: k, BaselineKBPerSec: baseTP, SecureKBPerSec: secTP})
+	}
+	fig := &metrics.Figure{
+		Title:  "E9 (Fig-D): aggregate capture throughput vs device count",
+		Series: []*metrics.Series{baseSeries, secSeries},
+	}
+	return fig, points, nil
+}
+
+func aggregateThroughput(mode core.Mode, opts sessionOpts, devices int, seed uint64) (float64, error) {
+	type outcome struct {
+		bytes   uint64
+		seconds float64
+		err     error
+	}
+	results := make([]outcome, devices)
+	var wg sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			res, err := modeSession(mode, opts, 4, seed+uint64(d)*101)
+			if err != nil {
+				results[d] = outcome{err: err}
+				return
+			}
+			results[d] = outcome{
+				bytes:   captureBytesOf(res),
+				seconds: float64(res.TotalCycles) / FreqHz,
+			}
+		}(d)
+	}
+	wg.Wait()
+	var totalKiB, maxSeconds float64
+	for _, r := range results {
+		if r.err != nil {
+			return 0, r.err
+		}
+		totalKiB += float64(r.bytes) / 1024
+		if r.seconds > maxSeconds {
+			maxSeconds = r.seconds
+		}
+	}
+	if maxSeconds == 0 {
+		return 0, fmt.Errorf("e9: zero virtual time")
+	}
+	return totalKiB / maxSeconds, nil
+}
+
+// captureBytesOf estimates the audio bytes a session captured from its
+// utterance ground truth (words × per-word duration at 16 kHz × 2 B).
+func captureBytesOf(res *core.SessionResult) uint64 {
+	var total uint64
+	for _, u := range res.Utterances {
+		words := len(u.Truth.Words)
+		// DefaultVoice: 220 ms per word + 120 ms gaps (words+1 gaps).
+		ms := words*220 + (words+1)*120
+		total += uint64(ms) * 16 * 2 // 16 samples/ms, 2 bytes each
+	}
+	return total
+}
+
+// E5Baseline is a convenience wrapper used by benchmarks: it returns only
+// the baseline row of E5.
+func E5Baseline(seed uint64) (E5Row, error) {
+	res, err := modeSession(core.ModeBaseline, sessionOpts{policy: relay.PolicyPassThrough}, sessionN, seed)
+	if err != nil {
+		return E5Row{}, err
+	}
+	return E5Row{
+		Label:           "baseline",
+		Mode:            core.ModeBaseline,
+		CloudSensTokens: res.CloudAudit.SensitiveTokens,
+		SnoopRecovered:  res.Snoop.BytesRecovered,
+	}, nil
+}
+
+// Workload re-exports the standard session generator for callers outside
+// the package (cmd, benches).
+func Workload(n int, seed uint64) ([]sensitive.Utterance, error) {
+	return sessionWorkload(n, seed)
+}
+
+// EnergyModelInUse returns the power model priced by E7.
+func EnergyModelInUse() power.Model { return power.DefaultModel() }

@@ -1,0 +1,178 @@
+// Package ftrace reproduces the paper's in-kernel tracing mechanism
+// (§IV.2): "logging of driver function calls when a particular task, e.g.,
+// recording a sound, is being executed. The logs are then analyzed to
+// identify a minimal set of executed functions necessary for the task to
+// complete."
+//
+// Instrumented driver functions report entry/exit to a Tracer; a Session
+// brackets one task; analysis over one or more sessions yields the minimal
+// function set handed to the TCB image builder (internal/tcb).
+package ftrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/tz"
+)
+
+// Event is one function entry in the trace log.
+type Event struct {
+	Seq   int       // monotonically increasing per tracer
+	Name  string    // function name
+	Depth int       // call nesting depth at entry
+	At    tz.Cycles // virtual time of entry
+}
+
+// Trace is the completed log of one session.
+type Trace struct {
+	Task   string
+	Events []Event
+}
+
+// Functions returns the unique function names in first-call order.
+func (t Trace) Functions() []string {
+	seen := make(map[string]bool, len(t.Events))
+	var out []string
+	for _, e := range t.Events {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			out = append(out, e.Name)
+		}
+	}
+	return out
+}
+
+// CallCounts returns how many times each function was entered.
+func (t Trace) CallCounts() map[string]int {
+	out := make(map[string]int)
+	for _, e := range t.Events {
+		out[e.Name]++
+	}
+	return out
+}
+
+// MaxDepth returns the deepest nesting observed.
+func (t Trace) MaxDepth() int {
+	max := 0
+	for _, e := range t.Events {
+		if e.Depth > max {
+			max = e.Depth
+		}
+	}
+	return max
+}
+
+// String renders the trace in an ftrace-like indented format.
+func (t Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# task: %s (%d events)\n", t.Task, len(t.Events))
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, "%8d | %s%s()\n", uint64(e.At), strings.Repeat("  ", e.Depth), e.Name)
+	}
+	return b.String()
+}
+
+// Tracer collects function-call events while enabled. It is safe for
+// concurrent use; a disabled tracer adds only an atomic-scale overhead,
+// mirroring nop-patched ftrace sites.
+type Tracer struct {
+	clock *tz.Clock
+
+	mu      sync.Mutex
+	enabled bool
+	task    string
+	seq     int
+	depth   int
+	events  []Event
+}
+
+// New creates a tracer reading timestamps from clock (may be nil).
+func New(clock *tz.Clock) *Tracer {
+	return &Tracer{clock: clock}
+}
+
+// Start begins a session for the named task, clearing previous events.
+func (t *Tracer) Start(task string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = true
+	t.task = task
+	t.seq = 0
+	t.depth = 0
+	t.events = nil
+}
+
+// Stop ends the session and returns the collected trace.
+func (t *Tracer) Stop() Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = false
+	tr := Trace{Task: t.task, Events: t.events}
+	t.events = nil
+	return tr
+}
+
+// Enabled reports whether a session is active.
+func (t *Tracer) Enabled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
+
+// Enter records entry into a function and returns the matching exit hook.
+// Usage in instrumented code:
+//
+//	defer tracer.Enter("pcm_read")()
+//
+// A nil *Tracer is valid and records nothing, so un-instrumented builds of
+// the driver need no branches at call sites.
+func (t *Tracer) Enter(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t.mu.Lock()
+	if !t.enabled {
+		t.mu.Unlock()
+		return func() {}
+	}
+	var at tz.Cycles
+	if t.clock != nil {
+		at = t.clock.Now()
+	}
+	t.events = append(t.events, Event{Seq: t.seq, Name: name, Depth: t.depth, At: at})
+	t.seq++
+	t.depth++
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		if t.depth > 0 {
+			t.depth--
+		}
+		t.mu.Unlock()
+	}
+}
+
+// MinimalSet unions the functions observed across traces: the minimal set
+// of driver functionality needed for the traced task(s), per the paper.
+func MinimalSet(traces ...Trace) map[string]bool {
+	out := make(map[string]bool)
+	for _, tr := range traces {
+		for _, e := range tr.Events {
+			out[e.Name] = true
+		}
+	}
+	return out
+}
+
+// SetNames returns the sorted names of a function set.
+func SetNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,143 @@
+package ftrace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tz"
+)
+
+func TestTracerRecordsCallsInOrder(t *testing.T) {
+	clock := tz.NewClock()
+	tr := New(clock)
+	tr.Start("capture")
+
+	func() {
+		defer tr.Enter("probe")()
+		clock.Advance(10)
+		func() {
+			defer tr.Enter("clk_enable")()
+			clock.Advance(5)
+		}()
+	}()
+	func() {
+		defer tr.Enter("pcm_open")()
+	}()
+
+	trace := tr.Stop()
+	if trace.Task != "capture" {
+		t.Errorf("Task = %q", trace.Task)
+	}
+	want := []string{"probe", "clk_enable", "pcm_open"}
+	got := trace.Functions()
+	if len(got) != len(want) {
+		t.Fatalf("Functions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Functions[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if trace.Events[0].Depth != 0 || trace.Events[1].Depth != 1 || trace.Events[2].Depth != 0 {
+		t.Errorf("depths = %d,%d,%d, want 0,1,0",
+			trace.Events[0].Depth, trace.Events[1].Depth, trace.Events[2].Depth)
+	}
+	if trace.Events[1].At != 10 {
+		t.Errorf("clk_enable at %d, want 10", trace.Events[1].At)
+	}
+}
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	tr := New(nil)
+	done := tr.Enter("orphan")
+	done()
+	trace := tr.Stop()
+	if len(trace.Events) != 0 {
+		t.Errorf("disabled tracer recorded %d events", len(trace.Events))
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	defer tr.Enter("anything")() // must not panic
+}
+
+func TestTracerRestartClears(t *testing.T) {
+	tr := New(nil)
+	tr.Start("a")
+	tr.Enter("f1")()
+	_ = tr.Stop()
+	tr.Start("b")
+	tr.Enter("f2")()
+	trace := tr.Stop()
+	if fns := trace.Functions(); len(fns) != 1 || fns[0] != "f2" {
+		t.Errorf("second session saw %v", fns)
+	}
+}
+
+func TestTracerEnabled(t *testing.T) {
+	tr := New(nil)
+	if tr.Enabled() {
+		t.Error("new tracer should be disabled")
+	}
+	tr.Start("x")
+	if !tr.Enabled() {
+		t.Error("started tracer should be enabled")
+	}
+	tr.Stop()
+	if tr.Enabled() {
+		t.Error("stopped tracer should be disabled")
+	}
+}
+
+func TestCallCountsAndMaxDepth(t *testing.T) {
+	tr := New(nil)
+	tr.Start("t")
+	for i := 0; i < 3; i++ {
+		func() {
+			defer tr.Enter("read")()
+			func() {
+				defer tr.Enter("dma")()
+			}()
+		}()
+	}
+	trace := tr.Stop()
+	counts := trace.CallCounts()
+	if counts["read"] != 3 || counts["dma"] != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+	if d := trace.MaxDepth(); d != 1 {
+		t.Errorf("MaxDepth = %d, want 1", d)
+	}
+}
+
+func TestMinimalSetUnion(t *testing.T) {
+	a := Trace{Events: []Event{{Name: "f1"}, {Name: "f2"}}}
+	b := Trace{Events: []Event{{Name: "f2"}, {Name: "f3"}}}
+	set := MinimalSet(a, b)
+	if len(set) != 3 || !set["f1"] || !set["f2"] || !set["f3"] {
+		t.Errorf("MinimalSet = %v", set)
+	}
+	names := SetNames(set)
+	if len(names) != 3 || names[0] != "f1" || names[2] != "f3" {
+		t.Errorf("SetNames = %v", names)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := New(nil)
+	tr.Start("demo")
+	func() {
+		defer tr.Enter("outer")()
+		func() {
+			defer tr.Enter("inner")()
+		}()
+	}()
+	s := tr.Stop().String()
+	if !strings.Contains(s, "outer()") || !strings.Contains(s, "  inner()") {
+		t.Errorf("String() = %q", s)
+	}
+	if !strings.Contains(s, "task: demo") {
+		t.Errorf("String() missing task header: %q", s)
+	}
+}

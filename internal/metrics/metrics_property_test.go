@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: percentiles are bounded by min/max, monotone in p, and the
+// mean lies within [min, max].
+func TestPercentileProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		r := NewRecorder()
+		n := 0
+		for _, v := range raw {
+			// Recorder samples are latencies/counts: bound the domain to
+			// physically meaningful magnitudes (differences must not
+			// overflow float64).
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e18 {
+				continue
+			}
+			r.Observe(v)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		min, max := r.Min(), r.Max()
+		if min > max {
+			return false
+		}
+		prev := min
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+			v := r.Percentile(p)
+			if v < min || v > max || v < prev {
+				return false
+			}
+			prev = v
+		}
+		m := r.Mean()
+		return m >= min-1e-9 && m <= max+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stddev is zero iff all samples are equal (within float64).
+func TestStddevProperty(t *testing.T) {
+	prop := func(v float64, n uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		r := NewRecorder()
+		for i := 0; i <= int(n%20); i++ {
+			r.Observe(v)
+		}
+		return r.Stddev() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

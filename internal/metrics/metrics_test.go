@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRecorderStats(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Observe(float64(i))
+	}
+	if r.Count() != 100 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if math.Abs(r.Mean()-50.5) > 1e-9 {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+	if r.Percentile(50) != 50 {
+		t.Errorf("p50 = %v", r.Percentile(50))
+	}
+	if r.Percentile(99) != 99 {
+		t.Errorf("p99 = %v", r.Percentile(99))
+	}
+	if r.Min() != 1 || r.Max() != 100 {
+		t.Errorf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if r.Stddev() <= 0 {
+		t.Errorf("Stddev = %v", r.Stddev())
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder()
+	if r.Mean() != 0 || r.Percentile(50) != 0 || r.Stddev() != 0 {
+		t.Error("empty recorder stats should be 0")
+	}
+}
+
+func TestRecorderObserveAfterPercentile(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(10)
+	_ = r.Percentile(50)
+	r.Observe(1) // must re-sort
+	if r.Min() != 1 {
+		t.Errorf("Min = %v after late observe", r.Min())
+	}
+}
+
+func TestRecorderSummary(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(5)
+	s := r.Summary("us")
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "us") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table 1: capture throughput", "mode", "MB/s", "overhead")
+	tb.AddRow("baseline", 12.5, "1.0x")
+	tb.AddRow("secure", 4.166667, "3.0x")
+	out := tb.String()
+	if !strings.Contains(out, "Table 1") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "baseline") || !strings.Contains(out, "secure") {
+		t.Error("missing rows")
+	}
+	if !strings.Contains(out, "4.167") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share prefix width for column 2.
+	if !strings.Contains(lines[1], "mode") {
+		t.Errorf("header = %q", lines[1])
+	}
+}
+
+func TestTableIntegerFloats(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(3.0)
+	if !strings.Contains(tb.String(), "3") || strings.Contains(tb.String(), "3.000") {
+		t.Errorf("integer float rendering: %q", tb.String())
+	}
+}
+
+func TestSeriesAndFigure(t *testing.T) {
+	s := &Series{Name: "secure", XLabel: "buffer", YLabel: "latency"}
+	s.Add(256, 100)
+	s.Add(4096, 40)
+	out := s.String()
+	if !strings.Contains(out, "secure") || !strings.Contains(out, "256") {
+		t.Errorf("Series = %q", out)
+	}
+	f := &Figure{Title: "Fig A", Series: []*Series{s}}
+	if !strings.Contains(f.String(), "Fig A") {
+		t.Error("figure title missing")
+	}
+}

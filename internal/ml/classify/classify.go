@@ -1,0 +1,307 @@
+// Package classify builds the paper's §IV.4 sensitive-content classifiers:
+// a CNN, a Transformer encoder, and the hybrid CNN+Transformer model, all
+// operating on token sequences produced by the in-TEE transcriber, plus a
+// small CNN for the camera path. Each model reports its parameter count
+// and memory footprint so the TEE-fit experiment can check it against the
+// secure-RAM budget (§V: "TrustZone provides relatively small memory
+// resources").
+package classify
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ml/layers"
+	"repro/internal/ml/tensor"
+)
+
+// Errors returned by the package.
+var (
+	// ErrBadArch is returned for unknown architectures.
+	ErrBadArch = errors.New("classify: unknown architecture")
+	// ErrBadWeights is returned when deserializing incompatible weights.
+	ErrBadWeights = errors.New("classify: incompatible weights")
+)
+
+// Arch selects a classifier architecture.
+type Arch int
+
+const (
+	// ArchCNN is the convolutional text classifier.
+	ArchCNN Arch = iota + 1
+	// ArchTransformer is the self-attention text classifier.
+	ArchTransformer
+	// ArchHybrid uses a CNN feature extractor under a transformer
+	// classifier, the paper's combined option.
+	ArchHybrid
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	switch a {
+	case ArchCNN:
+		return "cnn"
+	case ArchTransformer:
+		return "transformer"
+	case ArchHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("arch(%d)", int(a))
+	}
+}
+
+// ParseArch converts a name to an Arch.
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case "cnn":
+		return ArchCNN, nil
+	case "transformer":
+		return ArchTransformer, nil
+	case "hybrid":
+		return ArchHybrid, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrBadArch, s)
+	}
+}
+
+// Classifier is a binary sensitive/benign classifier over fixed-shape
+// inputs (padded token sequences for text, normalized pixels for images).
+type Classifier struct {
+	arch    Arch
+	inShape []int // per-sample feature shape
+	model   *layers.Sequential
+	seqLen  int // text models: tokens per input
+	isText  bool
+}
+
+// NewText builds a text classifier of the given architecture over a
+// vocabulary of vocab tokens and sequences padded to seqLen.
+func NewText(arch Arch, rng *rand.Rand, vocab, seqLen int) (*Classifier, error) {
+	const d = 16
+	var model *layers.Sequential
+	switch arch {
+	case ArchCNN:
+		model = layers.NewSequential("cnn",
+			layers.NewEmbedding(rng, vocab, d),
+			layers.NewConv1D(rng, 3, d, 32),
+			layers.NewReLU(),
+			layers.NewGlobalMaxPool1D(),
+			layers.NewDense(rng, 32, 2),
+		)
+	case ArchTransformer:
+		mhsa, err := layers.NewMultiHeadSelfAttention(rng, d, 2)
+		if err != nil {
+			return nil, err
+		}
+		model = layers.NewSequential("transformer",
+			layers.NewEmbedding(rng, vocab, d),
+			layers.NewPositionalEncoding(seqLen, d),
+			mhsa,
+			layers.NewLayerNorm(d),
+			layers.NewGELU(),
+			layers.NewMeanPool1D(),
+			layers.NewDense(rng, d, 2),
+		)
+	case ArchHybrid:
+		mhsa, err := layers.NewMultiHeadSelfAttention(rng, d, 2)
+		if err != nil {
+			return nil, err
+		}
+		model = layers.NewSequential("hybrid",
+			layers.NewEmbedding(rng, vocab, d),
+			layers.NewConv1D(rng, 3, d, d), // CNN feature extractor
+			layers.NewReLU(),
+			layers.NewPositionalEncoding(seqLen, d),
+			mhsa, // transformer classifier head
+			layers.NewLayerNorm(d),
+			layers.NewMeanPool1D(),
+			layers.NewDense(rng, d, 2),
+		)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadArch, int(arch))
+	}
+	return &Classifier{
+		arch:    arch,
+		inShape: []int{seqLen},
+		model:   model,
+		seqLen:  seqLen,
+		isText:  true,
+	}, nil
+}
+
+// NewImage builds the camera-path classifier for h-by-w grayscale frames.
+func NewImage(rng *rand.Rand, h, w int) (*Classifier, error) {
+	if h < 4 || w < 4 || (h-2)%2 != 0 || (w-2)%2 != 0 {
+		return nil, fmt.Errorf("%w: image %dx%d (need conv+pool-compatible dims)", ErrBadArch, h, w)
+	}
+	flat := (h - 2) / 2 * ((w - 2) / 2) * 4
+	model := layers.NewSequential("imagecnn",
+		layers.NewConv2D(rng, 3, 1, 4),
+		layers.NewReLU(),
+		layers.NewMaxPool2D(2),
+		layers.NewFlatten(),
+		layers.NewDense(rng, flat, 2),
+	)
+	return &Classifier{
+		arch:    ArchCNN,
+		inShape: []int{h, w, 1},
+		model:   model,
+	}, nil
+}
+
+// Arch returns the classifier architecture.
+func (c *Classifier) Arch() Arch { return c.arch }
+
+// Model exposes the underlying layer stack (for the trainer).
+func (c *Classifier) Model() *layers.Sequential { return c.model }
+
+// InputShape returns the per-sample feature shape.
+func (c *Classifier) InputShape() []int { return append([]int(nil), c.inShape...) }
+
+// FeatureLen returns the flat feature length of one sample.
+func (c *Classifier) FeatureLen() int {
+	n := 1
+	for _, d := range c.inShape {
+		n *= d
+	}
+	return n
+}
+
+// TokensToFeatures pads/truncates a token-id sequence to the model's
+// input length (text models only).
+func (c *Classifier) TokensToFeatures(ids []int) []float32 {
+	out := make([]float32, c.seqLen)
+	for i := 0; i < c.seqLen && i < len(ids); i++ {
+		out[i] = float32(ids[i])
+	}
+	return out
+}
+
+// Predict classifies one sample; class 1 means "sensitive".
+func (c *Classifier) Predict(features []float32) (int, error) {
+	classes, err := c.PredictBatch([][]float32{features})
+	if err != nil {
+		return 0, err
+	}
+	return classes[0], nil
+}
+
+// PredictBatch classifies a batch of samples.
+func (c *Classifier) PredictBatch(batch [][]float32) ([]int, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	featLen := c.FeatureLen()
+	x := tensor.New(append([]int{len(batch)}, c.inShape...)...)
+	for i, f := range batch {
+		if len(f) != featLen {
+			return nil, fmt.Errorf("%w: sample %d has %d features, want %d", ErrBadWeights, i, len(f), featLen)
+		}
+		copy(x.Data[i*featLen:(i+1)*featLen], f)
+	}
+	logits, err := c.model.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ArgMaxRows(logits)
+}
+
+// ParamCount returns the number of trainable parameters.
+func (c *Classifier) ParamCount() int {
+	return layers.ParamCount([]layers.Layer{c.model})
+}
+
+// MemoryBytes estimates the in-TEE resident footprint: float32 weights
+// plus a 25% activation/workspace overhead, the accounting the TEE-fit
+// experiment checks against the secure heap budget.
+func (c *Classifier) MemoryBytes() int {
+	weights := c.ParamCount() * 4
+	return weights + weights/4
+}
+
+// EstimateMACs approximates multiply-accumulate operations for one
+// inference, used by the cost model to charge TEE cycles.
+func (c *Classifier) EstimateMACs() int {
+	// Two MACs per parameter per input position is a standard first-order
+	// estimate for the small sequence lengths used here.
+	return 2 * c.ParamCount()
+}
+
+// FitsIn reports whether the model fits a secure-memory budget.
+func (c *Classifier) FitsIn(budgetBytes int) bool {
+	return c.MemoryBytes() <= budgetBytes
+}
+
+// --- weight (de)serialization -----------------------------------------------------
+
+const weightsMagic = 0x54454557 // "WEET"
+
+// SerializeWeights flattens all parameters into a portable blob that the
+// TA seals into OP-TEE secure storage.
+func (c *Classifier) SerializeWeights() []byte {
+	params := c.model.Params()
+	size := 12
+	for _, p := range params {
+		size += 4 + p.Value.Len()*4
+	}
+	out := make([]byte, 0, size)
+	var scratch [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		out = append(out, scratch[:]...)
+	}
+	put32(weightsMagic)
+	put32(uint32(c.arch))
+	put32(uint32(len(params)))
+	for _, p := range params {
+		put32(uint32(p.Value.Len()))
+		for _, v := range p.Value.Data {
+			put32(math.Float32bits(v))
+		}
+	}
+	return out
+}
+
+// LoadWeights restores parameters serialized by SerializeWeights into a
+// classifier of identical architecture.
+func (c *Classifier) LoadWeights(blob []byte) error {
+	if len(blob) < 12 {
+		return fmt.Errorf("%w: truncated header", ErrBadWeights)
+	}
+	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(blob[off:]) }
+	if get32(0) != weightsMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadWeights)
+	}
+	if Arch(get32(4)) != c.arch {
+		return fmt.Errorf("%w: arch %v blob for %v model", ErrBadWeights, Arch(get32(4)), c.arch)
+	}
+	params := c.model.Params()
+	if int(get32(8)) != len(params) {
+		return fmt.Errorf("%w: %d params in blob, model has %d", ErrBadWeights, get32(8), len(params))
+	}
+	off := 12
+	for _, p := range params {
+		if off+4 > len(blob) {
+			return fmt.Errorf("%w: truncated at param %s", ErrBadWeights, p.Name)
+		}
+		n := int(get32(off))
+		off += 4
+		if n != p.Value.Len() {
+			return fmt.Errorf("%w: param %s has %d elements, blob %d", ErrBadWeights, p.Name, p.Value.Len(), n)
+		}
+		if off+n*4 > len(blob) {
+			return fmt.Errorf("%w: truncated data for %s", ErrBadWeights, p.Name)
+		}
+		for i := 0; i < n; i++ {
+			p.Value.Data[i] = math.Float32frombits(get32(off))
+			off += 4
+		}
+	}
+	if off != len(blob) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadWeights, len(blob)-off)
+	}
+	return nil
+}

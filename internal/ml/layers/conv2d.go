@@ -1,0 +1,251 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ml/tensor"
+)
+
+// Conv2D is a 2-D convolution for the camera path: input [B, H, W, Cin] ->
+// output [B, H-K+1, W-K+1, Cout] (valid padding, stride 1, square kernel).
+// Weight layout is [K, K, Cin, Cout].
+type Conv2D struct {
+	K, Cin, Cout int
+	w, b         *Param
+	x            *tensor.Tensor
+}
+
+// NewConv2D creates a 2-D convolution with He-scaled weights.
+func NewConv2D(rng *rand.Rand, k, cin, cout int) *Conv2D {
+	std := math.Sqrt(2.0 / float64(k*k*cin))
+	return &Conv2D{
+		K: k, Cin: cin, Cout: cout,
+		w: newParam("conv2d.w", tensor.Randn(rng, std, k, k, cin, cout)),
+		b: newParam("conv2d.b", tensor.New(cout)),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return fmt.Sprintf("conv2d(k%d,%d->%d)", c.K, c.Cin, c.Cout) }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() != 4 || x.Dim(3) != c.Cin || x.Dim(1) < c.K || x.Dim(2) < c.K {
+		return nil, fmt.Errorf("%w: %s got %v", ErrShape, c.Name(), x.Shape)
+	}
+	c.x = x
+	B, H, W := x.Dim(0), x.Dim(1), x.Dim(2)
+	Ho, Wo := H-c.K+1, W-c.K+1
+	out := tensor.New(B, Ho, Wo, c.Cout)
+	for b := 0; b < B; b++ {
+		for i := 0; i < Ho; i++ {
+			for j := 0; j < Wo; j++ {
+				for co := 0; co < c.Cout; co++ {
+					acc := c.b.Value.Data[co]
+					for ki := 0; ki < c.K; ki++ {
+						for kj := 0; kj < c.K; kj++ {
+							for ci := 0; ci < c.Cin; ci++ {
+								acc += x.At(b, i+ki, j+kj, ci) * c.w.Value.At(ki, kj, ci, co)
+							}
+						}
+					}
+					out.Set(acc, b, i, j, co)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.x == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoForward, c.Name())
+	}
+	x := c.x
+	B, H, W := x.Dim(0), x.Dim(1), x.Dim(2)
+	Ho, Wo := H-c.K+1, W-c.K+1
+	if dOut.Dims() != 4 || dOut.Dim(0) != B || dOut.Dim(1) != Ho || dOut.Dim(2) != Wo || dOut.Dim(3) != c.Cout {
+		return nil, fmt.Errorf("%w: %s backward got %v", ErrShape, c.Name(), dOut.Shape)
+	}
+	dIn := tensor.New(B, H, W, c.Cin)
+	for b := 0; b < B; b++ {
+		for i := 0; i < Ho; i++ {
+			for j := 0; j < Wo; j++ {
+				for co := 0; co < c.Cout; co++ {
+					g := dOut.At(b, i, j, co)
+					if g == 0 {
+						continue
+					}
+					c.b.Grad.Data[co] += g
+					for ki := 0; ki < c.K; ki++ {
+						for kj := 0; kj < c.K; kj++ {
+							for ci := 0; ci < c.Cin; ci++ {
+								wIdx := ((ki*c.K+kj)*c.Cin+ci)*c.Cout + co
+								c.w.Grad.Data[wIdx] += g * x.At(b, i+ki, j+kj, ci)
+								inIdx := ((b*H+i+ki)*W+j+kj)*c.Cin + ci
+								dIn.Data[inIdx] += g * c.w.Value.Data[wIdx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dIn, nil
+}
+
+// MaxPool2D is a non-overlapping 2-D max pool with a square window:
+// [B, H, W, C] -> [B, H/P, W/P, C]. H and W must divide by P.
+type MaxPool2D struct {
+	P    int
+	arg  []int
+	dims [4]int
+}
+
+// NewMaxPool2D creates a pool with window p.
+func NewMaxPool2D(p int) *MaxPool2D { return &MaxPool2D{P: p} }
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool2d(%d)", m.P) }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() != 4 || x.Dim(1)%m.P != 0 || x.Dim(2)%m.P != 0 {
+		return nil, fmt.Errorf("%w: %s got %v", ErrShape, m.Name(), x.Shape)
+	}
+	B, H, W, C := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	m.dims = [4]int{B, H, W, C}
+	Ho, Wo := H/m.P, W/m.P
+	out := tensor.New(B, Ho, Wo, C)
+	m.arg = make([]int, B*Ho*Wo*C)
+	for b := 0; b < B; b++ {
+		for i := 0; i < Ho; i++ {
+			for j := 0; j < Wo; j++ {
+				for c := 0; c < C; c++ {
+					best := float32(math.Inf(-1))
+					bestIdx := 0
+					for pi := 0; pi < m.P; pi++ {
+						for pj := 0; pj < m.P; pj++ {
+							idx := ((b*H+i*m.P+pi)*W+j*m.P+pj)*C + c
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Set(best, b, i, j, c)
+					m.arg[((b*Ho+i)*Wo+j)*C+c] = bestIdx
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(dOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if m.arg == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoForward, m.Name())
+	}
+	B, H, W, C := m.dims[0], m.dims[1], m.dims[2], m.dims[3]
+	Ho, Wo := H/m.P, W/m.P
+	if dOut.Dims() != 4 || dOut.Dim(0) != B || dOut.Dim(1) != Ho || dOut.Dim(2) != Wo || dOut.Dim(3) != C {
+		return nil, fmt.Errorf("%w: %s backward got %v", ErrShape, m.Name(), dOut.Shape)
+	}
+	dIn := tensor.New(B, H, W, C)
+	for i, srcIdx := range m.arg {
+		dIn.Data[srcIdx] += dOut.Data[i]
+	}
+	return dIn, nil
+}
+
+// Flatten reshapes [B, ...] -> [B, prod(rest)].
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Dims() < 2 {
+		return nil, fmt.Errorf("%w: flatten got %v", ErrShape, x.Shape)
+	}
+	f.inShape = append([]int(nil), x.Shape...)
+	rest := 1
+	for _, d := range x.Shape[1:] {
+		rest *= d
+	}
+	return x.Reshape(x.Dim(0), rest)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if f.inShape == nil {
+		return nil, fmt.Errorf("%w: flatten", ErrNoForward)
+	}
+	return dOut.Reshape(f.inShape...)
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	label  string
+	layers []Layer
+}
+
+// NewSequential creates a named chain.
+func NewSequential(label string, ls ...Layer) *Sequential {
+	return &Sequential{label: label, layers: ls}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.label }
+
+// Layers returns the chain (for introspection).
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for _, l := range s.layers {
+		if x, err = l.Forward(x); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", s.label, l.Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dOut *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		if dOut, err = s.layers[i].Backward(dOut); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", s.label, s.layers[i].Name(), err)
+		}
+	}
+	return dOut, nil
+}

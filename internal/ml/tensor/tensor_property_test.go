@@ -1,0 +1,122 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: softmax rows are probability distributions for any input.
+func TestSoftmaxDistributionProperty(t *testing.T) {
+	prop := func(seed uint64, rows, cols uint8) bool {
+		m := int(rows%6) + 1
+		n := int(cols%6) + 1
+		rng := rand.New(rand.NewPCG(seed, seed^1))
+		a := Randn(rng, 10, m, n) // large spread stresses stability
+		s, err := SoftmaxRows(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				v := float64(s.At(i, j))
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matmul distributes over addition: A(B+C) == AB + AC.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^2))
+		m, k, n := int(seed%4)+1, int(seed>>8%4)+1, int(seed>>16%4)+1
+		a := Randn(rng, 1, m, k)
+		b := Randn(rng, 1, k, n)
+		c := Randn(rng, 1, k, n)
+		bc, err := Add(b, c)
+		if err != nil {
+			return false
+		}
+		left, err := MatMul(a, bc)
+		if err != nil {
+			return false
+		}
+		ab, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		ac, err := MatMul(a, c)
+		if err != nil {
+			return false
+		}
+		right, err := Add(ab, ac)
+		if err != nil {
+			return false
+		}
+		for i := range left.Data {
+			if math.Abs(float64(left.Data[i]-right.Data[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transpose preserves all elements ((A^T)_{ji} == A_{ij}).
+func TestTransposeElementsProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^3))
+		m, n := int(seed%5)+1, int(seed>>8%5)+1
+		a := Randn(rng, 1, m, n)
+		at, err := Transpose(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if a.At(i, j) != at.At(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ArgMaxRows returns the position of a strictly dominant value.
+func TestArgMaxDominantProperty(t *testing.T) {
+	prop := func(seed uint64, pos uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^4))
+		n := int(seed%7) + 2
+		a := Randn(rng, 1, 1, n)
+		p := int(pos) % n
+		a.Set(float32(a.MaxAbs())+1, 0, p)
+		idx, err := ArgMaxRows(a)
+		if err != nil {
+			return false
+		}
+		return idx[0] == p
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+package train
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/ml/layers"
+	"repro/internal/ml/tensor"
+)
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	logits, _ := tensor.FromSlice([]float32{0, 0}, 1, 2)
+	loss, grad, err := SoftmaxCrossEntropy(logits, []int{1})
+	if err != nil {
+		t.Fatalf("SoftmaxCrossEntropy: %v", err)
+	}
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Errorf("loss = %v, want ln2", loss)
+	}
+	// Gradient: p - onehot = [0.5, -0.5].
+	if math.Abs(float64(grad.At(0, 0))-0.5) > 1e-6 || math.Abs(float64(grad.At(0, 1))+0.5) > 1e-6 {
+		t.Errorf("grad = %v", grad.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyErrors(t *testing.T) {
+	logits := tensor.New(2, 3)
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0}); !errors.Is(err, ErrBadLabels) {
+		t.Errorf("mismatched labels = %v", err)
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0, 9}); !errors.Is(err, ErrBadLabels) {
+		t.Errorf("out-of-range label = %v", err)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	logits := tensor.Randn(rng, 1, 3, 4)
+	labels := []int{1, 3, 0}
+	_, grad, err := SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatalf("SoftmaxCrossEntropy: %v", err)
+	}
+	const eps = 1e-2
+	for i := range logits.Data {
+		lp := logits.Clone()
+		lp.Data[i] += eps
+		lossP, _, _ := SoftmaxCrossEntropy(lp, labels)
+		lm := logits.Clone()
+		lm.Data[i] -= eps
+		lossM, _, _ := SoftmaxCrossEntropy(lm, labels)
+		numeric := (lossP - lossM) / (2 * eps)
+		if math.Abs(numeric-float64(grad.Data[i])) > 1e-3 {
+			t.Fatalf("grad[%d]: analytic %v vs numeric %v", i, grad.Data[i], numeric)
+		}
+	}
+}
+
+// xorSamples is the classic non-linearly-separable set.
+func xorSamples() []Sample {
+	return []Sample{
+		{X: []float32{0, 0}, Y: 0},
+		{X: []float32{0, 1}, Y: 1},
+		{X: []float32{1, 0}, Y: 1},
+		{X: []float32{1, 1}, Y: 0},
+	}
+}
+
+func TestFitLearnsXORWithAdam(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	model := layers.NewSequential("xor",
+		layers.NewDense(rng, 2, 16),
+		layers.NewReLU(),
+		layers.NewDense(rng, 16, 2),
+	)
+	res, err := Fit(model, NewAdam(0.02), xorSamples(), Config{
+		Epochs: 300, BatchSize: 4, Seed: 1, Shape: []int{2},
+	})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if res.FinalLoss > 0.1 {
+		t.Errorf("final loss %v, want < 0.1", res.FinalLoss)
+	}
+	m, err := Evaluate(model, xorSamples(), []int{2})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if m.Accuracy() != 1 {
+		t.Errorf("XOR accuracy = %v, want 1.0", m.Accuracy())
+	}
+}
+
+func TestFitLearnsWithSGDMomentum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	model := layers.NewSequential("xor-sgd",
+		layers.NewDense(rng, 2, 16),
+		layers.NewReLU(),
+		layers.NewDense(rng, 16, 2),
+	)
+	res, err := Fit(model, NewSGD(0.1, 0.9), xorSamples(), Config{
+		Epochs: 500, BatchSize: 4, Seed: 2, Shape: []int{2},
+	})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if res.FinalLoss > 0.2 {
+		t.Errorf("final loss %v, want < 0.2", res.FinalLoss)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	model := layers.NewDense(rng, 2, 2)
+	if _, err := Fit(model, NewAdam(0.01), nil, Config{Shape: []int{2}}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty Fit = %v", err)
+	}
+	bad := []Sample{{X: []float32{1, 2}, Y: 0}, {X: []float32{1}, Y: 0}}
+	if _, err := Fit(model, NewAdam(0.01), bad, Config{Shape: []int{2}}); !errors.Is(err, ErrBadLabels) {
+		t.Errorf("ragged Fit = %v", err)
+	}
+}
+
+func TestFitProgressCallback(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	model := layers.NewDense(rng, 2, 2)
+	calls := 0
+	_, err := Fit(model, NewSGD(0.01, 0), xorSamples(), Config{
+		Epochs: 3, BatchSize: 2, Shape: []int{2},
+		Progress: func(epoch int, loss float64) { calls++ },
+	})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("progress called %d times, want 3", calls)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	model := layers.NewDense(rng, 2, 2)
+	if _, err := Evaluate(model, nil, []int{2}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty Evaluate = %v", err)
+	}
+}
+
+func TestMetricsMath(t *testing.T) {
+	var m Metrics
+	// 3 TP, 1 FN, 1 FP, 5 TN.
+	for i := 0; i < 3; i++ {
+		m.Observe(1, 1)
+	}
+	m.Observe(1, 0)
+	m.Observe(0, 1)
+	for i := 0; i < 5; i++ {
+		m.Observe(0, 0)
+	}
+	if m.Total() != 10 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	if math.Abs(m.Accuracy()-0.8) > 1e-12 {
+		t.Errorf("Accuracy = %v", m.Accuracy())
+	}
+	if math.Abs(m.Precision()-0.75) > 1e-12 {
+		t.Errorf("Precision = %v", m.Precision())
+	}
+	if math.Abs(m.Recall()-0.75) > 1e-12 {
+		t.Errorf("Recall = %v", m.Recall())
+	}
+	if math.Abs(m.F1()-0.75) > 1e-12 {
+		t.Errorf("F1 = %v", m.F1())
+	}
+	var empty Metrics
+	if empty.Accuracy() != 0 || empty.Precision() != 0 || empty.Recall() != 0 || empty.F1() != 0 {
+		t.Error("empty metrics should be zero")
+	}
+}
+
+func TestAdamConvergesFasterThanSGDOnXOR(t *testing.T) {
+	lossAfter := func(opt Optimizer, seed uint64) float64 {
+		rng := rand.New(rand.NewPCG(seed, seed))
+		model := layers.NewSequential("m",
+			layers.NewDense(rng, 2, 16),
+			layers.NewReLU(),
+			layers.NewDense(rng, 16, 2),
+		)
+		res, err := Fit(model, opt, xorSamples(), Config{
+			Epochs: 60, BatchSize: 4, Seed: seed, Shape: []int{2},
+		})
+		if err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		return res.FinalLoss
+	}
+	adam := lossAfter(NewAdam(0.02), 21)
+	sgd := lossAfter(NewSGD(0.02, 0), 21)
+	if adam >= sgd {
+		t.Logf("note: adam %v vs sgd %v (adam usually faster here)", adam, sgd)
+	}
+	if adam > 0.5 {
+		t.Errorf("adam loss after 60 epochs = %v, want < 0.5", adam)
+	}
+}

@@ -1,0 +1,83 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeasureComponents(t *testing.T) {
+	m := Model{
+		PicoJoulePerCycle:     100,
+		SecureCyclePremium:    0.5,
+		NanoJoulePerSwitch:    10,
+		PicoJoulePerDMAByte:   20,
+		NanoJoulePerRadioByte: 5,
+		IdleMilliwatt:         1000,
+	}
+	r := m.Measure(Usage{
+		TotalCycles:  1_000_000, // 1e6 * 100 pJ = 0.1 mJ
+		SecureCycles: 500_000,   // 5e5 * 100 * 0.5 = 0.025 mJ
+		Switches:     100,       // 100 * 10 nJ = 0.001 mJ
+		DMABytes:     1_000_000, // 1e6 * 20 pJ = 0.02 mJ
+		RadioBytes:   10_000,    // 1e4 * 5 nJ = 0.05 mJ
+		FreqHz:       1_000_000_000,
+	})
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"cpu", r.CPUmJ, 0.1},
+		{"secure", r.SecuremJ, 0.025},
+		{"switch", r.SwitchmJ, 0.001},
+		{"dma", r.DMAmJ, 0.02},
+		{"radio", r.RadiomJ, 0.05},
+		{"idle", r.IdlemJ, 1.0}, // 1 ms at 1000 mW
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if math.Abs(r.TotalmJ()-(0.1+0.025+0.001+0.02+0.05+1.0)) > 1e-9 {
+		t.Errorf("total = %v", r.TotalmJ())
+	}
+}
+
+func TestSecurePremiumMakesSecureRunsCostlier(t *testing.T) {
+	m := DefaultModel()
+	base := m.Measure(Usage{TotalCycles: 1_000_000, FreqHz: 1_000_000_000})
+	secure := m.Measure(Usage{
+		TotalCycles:  1_000_000,
+		SecureCycles: 800_000,
+		Switches:     1000,
+		FreqHz:       1_000_000_000,
+	})
+	if secure.TotalmJ() <= base.TotalmJ() {
+		t.Errorf("secure run (%v mJ) not costlier than base (%v mJ)", secure.TotalmJ(), base.TotalmJ())
+	}
+	if pct := OverheadPct(base, secure); pct <= 0 {
+		t.Errorf("overhead pct = %v, want > 0", pct)
+	}
+}
+
+func TestZeroFreqSkipsIdle(t *testing.T) {
+	r := DefaultModel().Measure(Usage{TotalCycles: 1000})
+	if r.IdlemJ != 0 {
+		t.Errorf("IdlemJ = %v with no frequency", r.IdlemJ)
+	}
+}
+
+func TestOverheadPctZeroBase(t *testing.T) {
+	if OverheadPct(Report{}, Report{CPUmJ: 1}) != 0 {
+		t.Error("zero-base overhead should be 0")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := DefaultModel().Measure(Usage{TotalCycles: 1000, FreqHz: 1e9}).String()
+	if !strings.Contains(s, "total") || !strings.Contains(s, "mJ") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,150 @@
+// Package supplicant models the OP-TEE user-space daemon (tee-supplicant)
+// that "provides OS-level services such as network communication" to the
+// secure world (paper §II). It runs in the normal world and is therefore
+// untrusted: the relay's security argument depends on the supplicant only
+// ever carrying AEAD-sealed frames it cannot read. The daemon records
+// everything it forwards so tests and the leakage experiment can audit
+// exactly what an adversarial supplicant would observe.
+package supplicant
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/optee"
+	"repro/internal/tz"
+)
+
+// Errors returned by the daemon.
+var (
+	// ErrUnknownService is returned for unsupported RPC kinds.
+	ErrUnknownService = errors.New("supplicant: unknown service")
+	// ErrNoRoute is returned when no network sink matches the target.
+	ErrNoRoute = errors.New("supplicant: no route to target")
+)
+
+// NetSink receives payloads forwarded by the supplicant's network service
+// and returns the remote peer's reply. The cloud endpoint implements it.
+type NetSink interface {
+	Deliver(payload []byte) ([]byte, error)
+}
+
+// Stats counts serviced requests.
+type Stats struct {
+	NetSends uint64
+	TimeGets uint64
+	Logs     uint64
+	Errors   uint64
+}
+
+// Supplicant is the RPC daemon instance.
+type Supplicant struct {
+	clock *tz.Clock
+	cost  tz.CostModel
+
+	mu       sync.Mutex
+	routes   map[string]NetSink
+	log      []string
+	observed [][]byte // every network payload the daemon could inspect
+	stats    Stats
+}
+
+var _ optee.RPCHandler = (*Supplicant)(nil)
+
+// New creates a supplicant daemon.
+func New(clock *tz.Clock, cost tz.CostModel) *Supplicant {
+	return &Supplicant{
+		clock:  clock,
+		cost:   cost,
+		routes: make(map[string]NetSink),
+	}
+}
+
+// Route binds a network target name to a sink.
+func (s *Supplicant) Route(target string, sink NetSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.routes[target] = sink
+}
+
+// HandleRPC implements optee.RPCHandler.
+func (s *Supplicant) HandleRPC(req optee.RPCRequest) (optee.RPCResponse, error) {
+	// Each RPC is a syscall-weight round trip in the normal world.
+	s.clock.Advance(s.cost.Syscall)
+	switch req.Kind {
+	case optee.RPCNetSend:
+		return s.netSend(req)
+	case optee.RPCTimeGet:
+		s.mu.Lock()
+		s.stats.TimeGets++
+		s.mu.Unlock()
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, uint64(s.clock.Now()))
+		return optee.RPCResponse{Payload: out}, nil
+	case optee.RPCLog:
+		s.mu.Lock()
+		s.stats.Logs++
+		s.log = append(s.log, string(req.Payload))
+		s.mu.Unlock()
+		return optee.RPCResponse{}, nil
+	default:
+		s.mu.Lock()
+		s.stats.Errors++
+		s.mu.Unlock()
+		return optee.RPCResponse{}, fmt.Errorf("%w: %v", ErrUnknownService, req.Kind)
+	}
+}
+
+func (s *Supplicant) netSend(req optee.RPCRequest) (optee.RPCResponse, error) {
+	s.mu.Lock()
+	sink, ok := s.routes[req.Target]
+	if ok {
+		s.stats.NetSends++
+		// The daemon sees every byte it forwards; remember them so the
+		// experiment can measure what a hostile supplicant learns.
+		s.observed = append(s.observed, append([]byte(nil), req.Payload...))
+	} else {
+		s.stats.Errors++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return optee.RPCResponse{}, fmt.Errorf("%w: %q", ErrNoRoute, req.Target)
+	}
+	// Per-byte transmission cost.
+	s.clock.Advance(tz.Cycles(len(req.Payload)) * s.cost.CopyPerByte)
+	reply, err := sink.Deliver(req.Payload)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Errors++
+		s.mu.Unlock()
+		return optee.RPCResponse{}, fmt.Errorf("deliver to %q: %w", req.Target, err)
+	}
+	return optee.RPCResponse{Payload: reply}, nil
+}
+
+// Observed returns copies of every network payload the daemon forwarded.
+func (s *Supplicant) Observed() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.observed))
+	for i, p := range s.observed {
+		out[i] = append([]byte(nil), p...)
+	}
+	return out
+}
+
+// Log returns the diagnostic lines TAs asked the daemon to record.
+func (s *Supplicant) Log() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+// Stats returns a snapshot of serviced requests.
+func (s *Supplicant) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

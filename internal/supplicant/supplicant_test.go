@@ -1,0 +1,123 @@
+package supplicant
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/optee"
+	"repro/internal/tz"
+)
+
+type fakeSink struct {
+	got   [][]byte
+	reply []byte
+	err   error
+}
+
+func (f *fakeSink) Deliver(payload []byte) ([]byte, error) {
+	f.got = append(f.got, append([]byte(nil), payload...))
+	return f.reply, f.err
+}
+
+func newSupplicant() *Supplicant {
+	return New(tz.NewClock(), tz.DefaultCostModel())
+}
+
+func TestNetSendRoutesAndRecords(t *testing.T) {
+	s := newSupplicant()
+	sink := &fakeSink{reply: []byte("ok")}
+	s.Route("cloud", sink)
+
+	resp, err := s.HandleRPC(optee.RPCRequest{
+		Kind: optee.RPCNetSend, Target: "cloud", Payload: []byte("frame-1"),
+	})
+	if err != nil {
+		t.Fatalf("HandleRPC: %v", err)
+	}
+	if string(resp.Payload) != "ok" {
+		t.Errorf("reply = %q", resp.Payload)
+	}
+	if len(sink.got) != 1 || string(sink.got[0]) != "frame-1" {
+		t.Errorf("sink saw %q", sink.got)
+	}
+	obs := s.Observed()
+	if len(obs) != 1 || !bytes.Equal(obs[0], []byte("frame-1")) {
+		t.Errorf("observed = %q", obs)
+	}
+	if st := s.Stats(); st.NetSends != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNetSendNoRoute(t *testing.T) {
+	s := newSupplicant()
+	_, err := s.HandleRPC(optee.RPCRequest{Kind: optee.RPCNetSend, Target: "nowhere"})
+	if !errors.Is(err, ErrNoRoute) {
+		t.Errorf("HandleRPC = %v, want ErrNoRoute", err)
+	}
+	if st := s.Stats(); st.Errors != 1 {
+		t.Errorf("Errors = %d", st.Errors)
+	}
+}
+
+func TestNetSendSinkError(t *testing.T) {
+	s := newSupplicant()
+	boom := errors.New("connection reset")
+	s.Route("cloud", &fakeSink{err: boom})
+	if _, err := s.HandleRPC(optee.RPCRequest{Kind: optee.RPCNetSend, Target: "cloud"}); !errors.Is(err, boom) {
+		t.Errorf("HandleRPC = %v, want wrapped sink error", err)
+	}
+}
+
+func TestTimeGet(t *testing.T) {
+	clock := tz.NewClock()
+	s := New(clock, tz.DefaultCostModel())
+	clock.Advance(5000)
+	resp, err := s.HandleRPC(optee.RPCRequest{Kind: optee.RPCTimeGet})
+	if err != nil {
+		t.Fatalf("HandleRPC: %v", err)
+	}
+	got := binary.LittleEndian.Uint64(resp.Payload)
+	// The handler itself advances the clock by the syscall cost.
+	if got < 5000 {
+		t.Errorf("time = %d, want >= 5000", got)
+	}
+}
+
+func TestLogService(t *testing.T) {
+	s := newSupplicant()
+	if _, err := s.HandleRPC(optee.RPCRequest{Kind: optee.RPCLog, Payload: []byte("ta: hello")}); err != nil {
+		t.Fatalf("HandleRPC: %v", err)
+	}
+	log := s.Log()
+	if len(log) != 1 || log[0] != "ta: hello" {
+		t.Errorf("Log = %v", log)
+	}
+}
+
+func TestUnknownService(t *testing.T) {
+	s := newSupplicant()
+	if _, err := s.HandleRPC(optee.RPCRequest{Kind: optee.RPCKind(77)}); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("HandleRPC = %v, want ErrUnknownService", err)
+	}
+}
+
+func TestHandleRPCAdvancesClock(t *testing.T) {
+	clock := tz.NewClock()
+	s := New(clock, tz.DefaultCostModel())
+	s.Route("cloud", &fakeSink{})
+	before := clock.Now()
+	if _, err := s.HandleRPC(optee.RPCRequest{
+		Kind: optee.RPCNetSend, Target: "cloud", Payload: make([]byte, 1000),
+	}); err != nil {
+		t.Fatalf("HandleRPC: %v", err)
+	}
+	// Syscall cost + 1000 bytes of copy cost.
+	cost := tz.DefaultCostModel()
+	want := cost.Syscall + 1000*cost.CopyPerByte
+	if got := clock.Now() - before; got < want {
+		t.Errorf("RPC cost %d cycles, want >= %d", got, want)
+	}
+}

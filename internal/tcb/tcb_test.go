@@ -1,0 +1,236 @@
+package tcb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testTable builds a small driver-like inventory:
+//
+//	probe -> clk_enable -> pll_config
+//	pcm_read -> dma_start
+//	usb_probe -> usb_parse (unused by capture)
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := NewTable()
+	add := func(name, module string, loc int, callees ...string) {
+		t.Helper()
+		if err := tbl.Add(FuncMeta{Name: name, Module: module, LoC: loc, Bytes: loc * 14}, callees...); err != nil {
+			t.Fatalf("Add(%s): %v", name, err)
+		}
+	}
+	add("probe", "core", 40, "clk_enable")
+	add("clk_enable", "clock", 20, "pll_config")
+	add("pll_config", "clock", 30)
+	add("pcm_read", "pcm", 50, "dma_start")
+	add("dma_start", "dma", 25)
+	add("usb_probe", "usb-audio", 80, "usb_parse")
+	add("usb_parse", "usb-audio", 60)
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return tbl
+}
+
+func TestTableAddDuplicate(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Add(FuncMeta{Name: "f"}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := tbl.Add(FuncMeta{Name: "f"}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate Add = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestTableValidateMissingCallee(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Add(FuncMeta{Name: "f"}, "ghost")
+	if err := tbl.Validate(); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("Validate = %v, want ErrUnknownFunction", err)
+	}
+}
+
+func TestClosure(t *testing.T) {
+	tbl := testTable(t)
+	set, err := tbl.Closure([]string{"probe"})
+	if err != nil {
+		t.Fatalf("Closure: %v", err)
+	}
+	for _, fn := range []string{"probe", "clk_enable", "pll_config"} {
+		if !set[fn] {
+			t.Errorf("closure missing %s", fn)
+		}
+	}
+	if set["usb_probe"] || set["pcm_read"] {
+		t.Error("closure leaked unreachable functions")
+	}
+	if _, err := tbl.Closure([]string{"ghost"}); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("Closure ghost root = %v", err)
+	}
+}
+
+func TestFullImage(t *testing.T) {
+	tbl := testTable(t)
+	img := tbl.FullImage()
+	if len(img.Funcs) != 7 {
+		t.Errorf("full image has %d funcs, want 7", len(img.Funcs))
+	}
+	if img.TotalLoC != 40+20+30+50+25+80+60 {
+		t.Errorf("TotalLoC = %d", img.TotalLoC)
+	}
+	if img.TotalBytes != img.TotalLoC*14 {
+		t.Errorf("TotalBytes = %d", img.TotalBytes)
+	}
+}
+
+func TestBuildImageExact(t *testing.T) {
+	tbl := testTable(t)
+	traced := map[string]bool{
+		"probe": true, "clk_enable": true, "pll_config": true,
+		"pcm_read": true, "dma_start": true,
+	}
+	img, err := tbl.BuildImage("capture-min", traced, Exact)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	if len(img.Funcs) != 5 {
+		t.Errorf("image has %d funcs, want 5", len(img.Funcs))
+	}
+	if img.Contains("usb_probe") {
+		t.Error("image contains excluded usb_probe")
+	}
+}
+
+func TestBuildImageExactMissingCallee(t *testing.T) {
+	tbl := testTable(t)
+	traced := map[string]bool{"probe": true} // clk_enable missing
+	if _, err := tbl.BuildImage("bad", traced, Exact); !errors.Is(err, ErrMissingCallee) {
+		t.Errorf("BuildImage = %v, want ErrMissingCallee", err)
+	}
+}
+
+func TestBuildImageStaticClosureCompletes(t *testing.T) {
+	tbl := testTable(t)
+	traced := map[string]bool{"probe": true, "pcm_read": true}
+	img, err := tbl.BuildImage("closure", traced, StaticClosure)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	for _, fn := range []string{"probe", "clk_enable", "pll_config", "pcm_read", "dma_start"} {
+		if !img.Contains(fn) {
+			t.Errorf("closure image missing %s", fn)
+		}
+	}
+	if img.Contains("usb_probe") {
+		t.Error("closure image contains unreachable usb_probe")
+	}
+}
+
+func TestBuildImageUnknownTraced(t *testing.T) {
+	tbl := testTable(t)
+	if _, err := tbl.BuildImage("x", map[string]bool{"ghost": true}, Exact); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("BuildImage unknown = %v", err)
+	}
+}
+
+func TestCompareReduction(t *testing.T) {
+	tbl := testTable(t)
+	full := tbl.FullImage()
+	traced := map[string]bool{
+		"probe": true, "clk_enable": true, "pll_config": true,
+		"pcm_read": true, "dma_start": true,
+	}
+	min, err := tbl.BuildImage("min", traced, Exact)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	r := Compare(full, min)
+	if r.FullFuncs != 7 || r.MinFuncs != 5 {
+		t.Errorf("func counts = %d/%d", r.FullFuncs, r.MinFuncs)
+	}
+	wantLoCCut := 100 * float64(140) / float64(305)
+	if diff := r.LoCCutPct - wantLoCCut; diff < -0.01 || diff > 0.01 {
+		t.Errorf("LoCCutPct = %v, want %v", r.LoCCutPct, wantLoCCut)
+	}
+	if r.BytesCutPct <= 0 || r.FuncCutPct <= 0 {
+		t.Error("cut percentages should be positive")
+	}
+}
+
+func TestExcludeDirectives(t *testing.T) {
+	tbl := testTable(t)
+	traced := map[string]bool{
+		"probe": true, "clk_enable": true, "pll_config": true,
+		"pcm_read": true, "dma_start": true,
+	}
+	img, err := tbl.BuildImage("min", traced, Exact)
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	dirs := tbl.ExcludeDirectives(img)
+	if len(dirs) != 2 {
+		t.Fatalf("directives = %v, want 2 entries", dirs)
+	}
+	joined := strings.Join(dirs, " ")
+	if !strings.Contains(joined, "-DCONFIG_EXCLUDE_USB_PROBE") ||
+		!strings.Contains(joined, "-DCONFIG_EXCLUDE_USB_PARSE") {
+		t.Errorf("directives = %v", dirs)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	tbl := testTable(t)
+	full := tbl.FullImage()
+	bd := Breakdown(full)
+	byModule := make(map[string]ModuleLoC)
+	for _, m := range bd {
+		byModule[m.Module] = m
+	}
+	if byModule["clock"].Funcs != 2 || byModule["clock"].LoC != 50 {
+		t.Errorf("clock breakdown = %+v", byModule["clock"])
+	}
+	if byModule["usb-audio"].LoC != 140 {
+		t.Errorf("usb breakdown = %+v", byModule["usb-audio"])
+	}
+	// Sorted by module name.
+	for i := 1; i < len(bd); i++ {
+		if bd[i-1].Module >= bd[i].Module {
+			t.Error("breakdown not sorted")
+		}
+	}
+}
+
+func TestModulesAndFunctions(t *testing.T) {
+	tbl := testTable(t)
+	mods := tbl.Modules()
+	if len(mods) != 5 {
+		t.Errorf("Modules = %v", mods)
+	}
+	fns := tbl.Functions()
+	if len(fns) != 7 || fns[0] != "probe" {
+		t.Errorf("Functions = %v", fns)
+	}
+	if tbl.Len() != 7 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if _, ok := tbl.Meta("probe"); !ok {
+		t.Error("Meta(probe) missing")
+	}
+	if callees := tbl.Callees("probe"); len(callees) != 1 || callees[0] != "clk_enable" {
+		t.Errorf("Callees(probe) = %v", callees)
+	}
+}
+
+func TestToUpperSnake(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"pcm_read", "PCM_READ"},
+		{"usbProbe", "USBPROBE"},
+		{"a-b.c", "A_B_C"},
+	}
+	for _, tt := range tests {
+		if got := toUpperSnake(tt.in); got != tt.want {
+			t.Errorf("toUpperSnake(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

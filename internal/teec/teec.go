@@ -1,0 +1,130 @@
+// Package teec is the normal-world TEE client library (the GlobalPlatform
+// TEE Client API shape: contexts, sessions, command invocation). Normal-
+// world applications — and the paper's baseline measurement harness — use
+// it to talk to TAs; every call crosses the secure monitor and is
+// cost-accounted by the underlying tz machinery.
+package teec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/optee"
+)
+
+// Errors returned by the client library.
+var (
+	// ErrClosed is returned for operations on finalized contexts/sessions.
+	ErrClosed = errors.New("teec: closed")
+)
+
+// Context is an open connection to the TEE.
+type Context struct {
+	os *optee.OS
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[uint32]*Session
+}
+
+// InitializeContext connects to the TEE.
+func InitializeContext(os *optee.OS) *Context {
+	return &Context{os: os, sessions: make(map[uint32]*Session)}
+}
+
+// OpenSession opens a session to the TA identified by uuid.
+func (c *Context) OpenSession(uuid string) (*Session, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+	id, err := c.os.OpenSession(uuid)
+	if err != nil {
+		return nil, fmt.Errorf("open session %s: %w", uuid, err)
+	}
+	s := &Session{ctx: c, id: id, uuid: uuid}
+	c.mu.Lock()
+	c.sessions[id] = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// FinalizeContext closes all sessions and the context.
+func (c *Context) FinalizeContext() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.closed = true
+	open := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		open = append(open, s)
+	}
+	c.sessions = nil
+	c.mu.Unlock()
+	var firstErr error
+	for _, s := range open {
+		if err := s.closeInternal(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Session is an open session to one TA.
+type Session struct {
+	ctx  *Context
+	id   uint32
+	uuid string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ID returns the TEE session identifier.
+func (s *Session) ID() uint32 { return s.id }
+
+// UUID returns the target TA's UUID.
+func (s *Session) UUID() string { return s.uuid }
+
+// InvokeCommand executes a command on the session.
+func (s *Session) InvokeCommand(cmd uint32, p *optee.Params) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	if err := s.ctx.os.Invoke(s.id, cmd, p); err != nil {
+		return fmt.Errorf("invoke %s cmd %#x: %w", s.uuid, cmd, err)
+	}
+	return nil
+}
+
+// Close closes the session.
+func (s *Session) Close() error {
+	s.ctx.mu.Lock()
+	if s.ctx.sessions != nil {
+		delete(s.ctx.sessions, s.id)
+	}
+	s.ctx.mu.Unlock()
+	return s.closeInternal()
+}
+
+func (s *Session) closeInternal() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if err := s.ctx.os.CloseSession(s.id); err != nil {
+		return fmt.Errorf("close %s: %w", s.uuid, err)
+	}
+	return nil
+}

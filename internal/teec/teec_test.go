@@ -1,0 +1,112 @@
+package teec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/optee"
+	"repro/internal/tz"
+)
+
+type countTA struct {
+	uuid    string
+	invokes int
+	closes  int
+}
+
+func (c *countTA) UUID() string                { return c.uuid }
+func (c *countTA) Open(sessionID uint32) error { return nil }
+func (c *countTA) Close(sessionID uint32)      { c.closes++ }
+
+func (c *countTA) Invoke(sessionID uint32, cmd uint32, p *optee.Params) error {
+	c.invokes++
+	if p[0].Type == optee.ValueInOut {
+		p[0].A++
+	}
+	return nil
+}
+
+func fixture(t *testing.T) (*Context, *countTA) {
+	t.Helper()
+	clock := tz.NewClock()
+	mon := tz.NewMonitor(clock, tz.DefaultCostModel())
+	plat, err := memory.NewPlatform(memory.DefaultLayout())
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	os := optee.New(mon, plat.SecureHeap)
+	ta := &countTA{uuid: "ta.count"}
+	os.RegisterTA(ta)
+	return InitializeContext(os), ta
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	ctx, ta := fixture(t)
+	sess, err := ctx.OpenSession("ta.count")
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if sess.UUID() != "ta.count" || sess.ID() == 0 {
+		t.Errorf("session = %q id %d", sess.UUID(), sess.ID())
+	}
+	p := &optee.Params{{Type: optee.ValueInOut, A: 41}}
+	if err := sess.InvokeCommand(1, p); err != nil {
+		t.Fatalf("InvokeCommand: %v", err)
+	}
+	if p[0].A != 42 {
+		t.Errorf("A = %d, want 42", p[0].A)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ta.invokes != 1 || ta.closes != 1 {
+		t.Errorf("ta saw invokes=%d closes=%d", ta.invokes, ta.closes)
+	}
+}
+
+func TestSessionClosedOperations(t *testing.T) {
+	ctx, _ := fixture(t)
+	sess, err := ctx.OpenSession("ta.count")
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := sess.InvokeCommand(1, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Invoke on closed = %v", err)
+	}
+	if err := sess.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double Close = %v", err)
+	}
+}
+
+func TestOpenSessionUnknownTA(t *testing.T) {
+	ctx, _ := fixture(t)
+	if _, err := ctx.OpenSession("ghost"); !errors.Is(err, optee.ErrUnknownTA) {
+		t.Errorf("OpenSession ghost = %v", err)
+	}
+}
+
+func TestFinalizeContextClosesSessions(t *testing.T) {
+	ctx, ta := fixture(t)
+	if _, err := ctx.OpenSession("ta.count"); err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if _, err := ctx.OpenSession("ta.count"); err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if err := ctx.FinalizeContext(); err != nil {
+		t.Fatalf("FinalizeContext: %v", err)
+	}
+	if ta.closes != 2 {
+		t.Errorf("closes = %d, want 2", ta.closes)
+	}
+	if _, err := ctx.OpenSession("ta.count"); !errors.Is(err, ErrClosed) {
+		t.Errorf("OpenSession after finalize = %v", err)
+	}
+	if err := ctx.FinalizeContext(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double finalize = %v", err)
+	}
+}

@@ -1,0 +1,379 @@
+package tz
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWorldString(t *testing.T) {
+	tests := []struct {
+		w    World
+		want string
+	}{
+		{WorldNormal, "normal"},
+		{WorldSecure, "secure"},
+		{World(7), "world(7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.w.String(); got != tt.want {
+			t.Errorf("World(%d).String() = %q, want %q", int(tt.w), got, tt.want)
+		}
+	}
+}
+
+func TestWorldValid(t *testing.T) {
+	if !WorldNormal.Valid() || !WorldSecure.Valid() {
+		t.Error("defined worlds must be valid")
+	}
+	if World(0).Valid() || World(3).Valid() {
+		t.Error("undefined worlds must be invalid")
+	}
+}
+
+func TestCyclesDuration(t *testing.T) {
+	tests := []struct {
+		c    Cycles
+		freq uint64
+		want time.Duration
+	}{
+		{1000, 1_000_000_000, time.Microsecond},
+		{0, 1_000_000_000, 0},
+		{500, 0, 0},
+		{2_000_000_000, 2_000_000_000, time.Second},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Duration(tt.freq); got != tt.want {
+			t.Errorf("Cycles(%d).Duration(%d) = %v, want %v", tt.c, tt.freq, got, tt.want)
+		}
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	if got := c.Advance(10); got != 10 {
+		t.Errorf("Advance returned %d, want 10", got)
+	}
+	c.Advance(5)
+	if got := c.Now(); got != 15 {
+		t.Errorf("Now() = %d, want 15", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	const goroutines = 8
+	const perG = 1000
+	done := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			for j := 0; j < perG; j++ {
+				c.Advance(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < goroutines; i++ {
+		<-done
+	}
+	if got := c.Now(); got != goroutines*perG {
+		t.Errorf("Now() = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Name: "ram", Base: 0x1000, Size: 0x1000}
+	tests := []struct {
+		addr, n uint64
+		want    bool
+	}{
+		{0x1000, 1, true},
+		{0x1000, 0x1000, true},
+		{0x1fff, 1, true},
+		{0x1fff, 2, false},
+		{0xfff, 1, false},
+		{0x2000, 1, false},
+		{0x1800, ^uint64(0), false}, // overflow must not wrap into range
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.addr, tt.n); got != tt.want {
+			t.Errorf("Contains(%#x, %d) = %v, want %v", tt.addr, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestRegionOverlaps(t *testing.T) {
+	a := Region{Base: 0x1000, Size: 0x1000}
+	tests := []struct {
+		b    Region
+		want bool
+	}{
+		{Region{Base: 0x2000, Size: 0x100}, false},
+		{Region{Base: 0x0, Size: 0x1000}, false},
+		{Region{Base: 0x1fff, Size: 1}, true},
+		{Region{Base: 0x800, Size: 0x1000}, true},
+		{Region{Base: 0x1400, Size: 0x100}, true},
+	}
+	for _, tt := range tests {
+		if got := a.Overlaps(tt.b); got != tt.want {
+			t.Errorf("Overlaps(%+v) = %v, want %v", tt.b, got, tt.want)
+		}
+		if got := tt.b.Overlaps(a); got != tt.want {
+			t.Errorf("Overlaps symmetric (%+v) = %v, want %v", tt.b, got, tt.want)
+		}
+	}
+}
+
+func defaultRegions() []Region {
+	return []Region{
+		{Name: "dram", Base: 0x0000_0000, Size: 0x4000_0000, Attr: AttrNonSecure},
+		{Name: "secure-ram", Base: 0x4000_0000, Size: 0x0200_0000, Attr: AttrSecureOnly},
+	}
+}
+
+func TestNewTZASCValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		regions []Region
+		wantErr bool
+	}{
+		{"valid", defaultRegions(), false},
+		{"empty", nil, true},
+		{"zero size", []Region{{Name: "z", Base: 0, Size: 0, Attr: AttrNonSecure}}, true},
+		{"wraps", []Region{{Name: "w", Base: ^uint64(0) - 10, Size: 100, Attr: AttrNonSecure}}, true},
+		{"bad attr", []Region{{Name: "b", Base: 0, Size: 10, Attr: RegionAttr(0)}}, true},
+		{"overlap", []Region{
+			{Name: "a", Base: 0, Size: 0x100, Attr: AttrNonSecure},
+			{Name: "b", Base: 0x80, Size: 0x100, Attr: AttrSecureOnly},
+		}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewTZASC(tt.regions)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewTZASC() error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBadRegion) {
+				t.Errorf("error %v should wrap ErrBadRegion", err)
+			}
+		})
+	}
+}
+
+func TestTZASCCheck(t *testing.T) {
+	asc, err := NewTZASC(defaultRegions())
+	if err != nil {
+		t.Fatalf("NewTZASC: %v", err)
+	}
+	tests := []struct {
+		name    string
+		world   World
+		addr, n uint64
+		wantErr error
+	}{
+		{"normal reads dram", WorldNormal, 0x100, 64, nil},
+		{"secure reads dram", WorldSecure, 0x100, 64, nil},
+		{"secure reads secure ram", WorldSecure, 0x4000_0000, 64, nil},
+		{"normal reads secure ram", WorldNormal, 0x4000_0000, 64, ErrSecurityViolation},
+		{"normal pokes end of secure ram", WorldNormal, 0x41ff_ffff, 1, ErrSecurityViolation},
+		{"unmapped", WorldNormal, 0x9000_0000, 4, ErrNoRegion},
+		{"straddles regions", WorldNormal, 0x3fff_ffff, 8, ErrNoRegion},
+		{"zero length always ok", WorldNormal, 0x4000_0000, 0, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := asc.Check(tt.world, tt.addr, tt.n)
+			if tt.wantErr == nil && err != nil {
+				t.Fatalf("Check() = %v, want nil", err)
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Check() = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTZASCViolationCounter(t *testing.T) {
+	asc, err := NewTZASC(defaultRegions())
+	if err != nil {
+		t.Fatalf("NewTZASC: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		_ = asc.Check(WorldNormal, 0x4000_0000, 16)
+	}
+	_ = asc.Check(WorldSecure, 0x4000_0000, 16) // allowed, not counted
+	if got := asc.Violations(); got != 3 {
+		t.Errorf("Violations() = %d, want 3", got)
+	}
+}
+
+func TestTZASCFindRegion(t *testing.T) {
+	asc, err := NewTZASC(defaultRegions())
+	if err != nil {
+		t.Fatalf("NewTZASC: %v", err)
+	}
+	r, ok := asc.FindRegion(0x4000_0010)
+	if !ok || r.Name != "secure-ram" {
+		t.Errorf("FindRegion = %+v, %v; want secure-ram", r, ok)
+	}
+	if _, ok := asc.FindRegion(0xffff_ffff_0000); ok {
+		t.Error("FindRegion on unmapped address should fail")
+	}
+}
+
+// Property: an access is either inside exactly one region (and allowed or
+// denied purely by that region's attribute) or outside all regions.
+func TestTZASCCheckProperty(t *testing.T) {
+	asc, err := NewTZASC(defaultRegions())
+	if err != nil {
+		t.Fatalf("NewTZASC: %v", err)
+	}
+	f := func(addr uint32, n uint16, secure bool) bool {
+		w := WorldNormal
+		if secure {
+			w = WorldSecure
+		}
+		a := uint64(addr)
+		size := uint64(n%512) + 1
+		err := asc.Check(w, a, size)
+		inSecure := a >= 0x4000_0000 && a+size <= 0x4200_0000
+		inDram := a+size <= 0x4000_0000
+		switch {
+		case inDram:
+			return err == nil
+		case inSecure && secure:
+			return err == nil
+		case inSecure && !secure:
+			return errors.Is(err, ErrSecurityViolation)
+		default:
+			return errors.Is(err, ErrNoRegion)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonitorSMCDispatch(t *testing.T) {
+	clock := NewClock()
+	m := NewMonitor(clock, DefaultCostModel())
+	var sawWorld World
+	m.Register(0x1001, func(args [4]uint64) ([4]uint64, error) {
+		sawWorld = m.World()
+		return [4]uint64{args[0] + args[1]}, nil
+	})
+	res, err := m.SMC(0x1001, [4]uint64{2, 3})
+	if err != nil {
+		t.Fatalf("SMC: %v", err)
+	}
+	if res[0] != 5 {
+		t.Errorf("SMC result = %d, want 5", res[0])
+	}
+	if sawWorld != WorldSecure {
+		t.Errorf("handler ran in %v, want secure", sawWorld)
+	}
+	if m.World() != WorldNormal {
+		t.Errorf("after SMC world = %v, want normal", m.World())
+	}
+}
+
+func TestMonitorUnknownSMC(t *testing.T) {
+	m := NewMonitor(NewClock(), DefaultCostModel())
+	_, err := m.SMC(0xdead, [4]uint64{})
+	if !errors.Is(err, ErrUnknownSMC) {
+		t.Errorf("SMC on unknown fn = %v, want ErrUnknownSMC", err)
+	}
+}
+
+func TestMonitorCostAccounting(t *testing.T) {
+	clock := NewClock()
+	cost := DefaultCostModel()
+	m := NewMonitor(clock, cost)
+	m.Register(1, func(args [4]uint64) ([4]uint64, error) {
+		clock.Advance(100) // work inside the secure world
+		return [4]uint64{}, nil
+	})
+	before := clock.Now()
+	if _, err := m.SMC(1, [4]uint64{}); err != nil {
+		t.Fatalf("SMC: %v", err)
+	}
+	elapsed := clock.Now() - before
+	want := 2*cost.WorldSwitch + cost.SMCDispatch + 100
+	if elapsed != want {
+		t.Errorf("SMC consumed %d cycles, want %d", elapsed, want)
+	}
+	st := m.Stats()
+	if st.Switches != 2 {
+		t.Errorf("Switches = %d, want 2", st.Switches)
+	}
+	if st.SMCs != 1 {
+		t.Errorf("SMCs = %d, want 1", st.SMCs)
+	}
+	if st.SecureCycles != 100 {
+		t.Errorf("SecureCycles = %d, want 100", st.SecureCycles)
+	}
+	if st.SwitchCycles != 2*cost.WorldSwitch+cost.SMCDispatch {
+		t.Errorf("SwitchCycles = %d, want %d", st.SwitchCycles, 2*cost.WorldSwitch+cost.SMCDispatch)
+	}
+}
+
+func TestMonitorHandlerErrorStillExitsSecure(t *testing.T) {
+	m := NewMonitor(NewClock(), DefaultCostModel())
+	wantErr := errors.New("boom")
+	m.Register(2, func(args [4]uint64) ([4]uint64, error) {
+		return [4]uint64{}, wantErr
+	})
+	if _, err := m.SMC(2, [4]uint64{}); !errors.Is(err, wantErr) {
+		t.Fatalf("SMC error = %v, want %v", err, wantErr)
+	}
+	if m.World() != WorldNormal {
+		t.Errorf("world stuck in %v after handler error", m.World())
+	}
+}
+
+func TestMonitorDeregister(t *testing.T) {
+	m := NewMonitor(NewClock(), DefaultCostModel())
+	m.Register(3, func(args [4]uint64) ([4]uint64, error) { return [4]uint64{}, nil })
+	m.Register(3, nil)
+	if _, err := m.SMC(3, [4]uint64{}); !errors.Is(err, ErrUnknownSMC) {
+		t.Errorf("SMC after deregister = %v, want ErrUnknownSMC", err)
+	}
+}
+
+func TestMonitorResetStats(t *testing.T) {
+	m := NewMonitor(NewClock(), DefaultCostModel())
+	m.Register(4, func(args [4]uint64) ([4]uint64, error) { return [4]uint64{}, nil })
+	if _, err := m.SMC(4, [4]uint64{}); err != nil {
+		t.Fatalf("SMC: %v", err)
+	}
+	m.ResetStats()
+	if st := m.Stats(); st.Switches != 0 || st.SMCs != 0 || st.SecureCycles != 0 {
+		t.Errorf("stats not reset: %+v", st)
+	}
+}
+
+func TestMonitorFlushSharedRange(t *testing.T) {
+	clock := NewClock()
+	cost := DefaultCostModel()
+	m := NewMonitor(clock, cost)
+	m.FlushSharedRange()
+	if got := clock.Now(); got != cost.CacheFlush {
+		t.Errorf("clock = %d after flush, want %d", got, cost.CacheFlush)
+	}
+	if st := m.Stats(); st.SwitchCycles != cost.CacheFlush {
+		t.Errorf("SwitchCycles = %d, want %d", st.SwitchCycles, cost.CacheFlush)
+	}
+}
+
+func TestRegionAttrString(t *testing.T) {
+	if AttrSecureOnly.String() != "secure-only" || AttrNonSecure.String() != "non-secure" {
+		t.Error("attr strings wrong")
+	}
+	if RegionAttr(9).String() != "attr(9)" {
+		t.Error("unknown attr string wrong")
+	}
+}

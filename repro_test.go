@@ -1,0 +1,237 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	utts, err := GenerateUtterances(8, 0.5, 3)
+	if err != nil {
+		t.Fatalf("GenerateUtterances: %v", err)
+	}
+	if len(utts) != 8 {
+		t.Fatalf("got %d utterances", len(utts))
+	}
+
+	base, err := New(Config{Mode: Baseline, Seed: 5})
+	if err != nil {
+		t.Fatalf("New baseline: %v", err)
+	}
+	baseRes, err := base.Run(utts)
+	if err != nil {
+		t.Fatalf("Run baseline: %v", err)
+	}
+	secure, err := New(Config{Mode: SecureFilter, Policy: Block, Arch: CNN, Seed: 5})
+	if err != nil {
+		t.Fatalf("New secure: %v", err)
+	}
+	secureRes, err := secure.Run(utts)
+	if err != nil {
+		t.Fatalf("Run secure: %v", err)
+	}
+
+	// The headline reproduction: the design removes both leak channels.
+	if baseRes.SnoopBytesRecovered == 0 {
+		t.Error("baseline OS snoop recovered nothing")
+	}
+	if secureRes.SnoopBytesRecovered != 0 {
+		t.Errorf("secure OS snoop recovered %d bytes", secureRes.SnoopBytesRecovered)
+	}
+	if baseRes.CloudSensitiveTokens == 0 {
+		t.Error("baseline cloud saw no sensitive tokens")
+	}
+	if secureRes.CloudSensitiveTokens >= baseRes.CloudSensitiveTokens {
+		t.Errorf("filter did not reduce cloud leakage: %d vs %d",
+			secureRes.CloudSensitiveTokens, baseRes.CloudSensitiveTokens)
+	}
+	// And costs performance, as the paper predicts.
+	if secureRes.MeanLatencyCycles <= baseRes.MeanLatencyCycles {
+		t.Error("secure mode not slower than baseline")
+	}
+	if secureRes.WorldSwitches == 0 || baseRes.WorldSwitches != 0 {
+		t.Errorf("world switches: secure=%d baseline=%d", secureRes.WorldSwitches, baseRes.WorldSwitches)
+	}
+	if len(secureRes.Utterances) != len(utts) {
+		t.Errorf("per-utterance reports: %d", len(secureRes.Utterances))
+	}
+	if s := secureRes.String(); !strings.Contains(s, "secure-filter") {
+		t.Errorf("Result.String() = %q", s)
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	sys, err := New(Config{Mode: SecureFilter}) // all defaults
+	if err != nil {
+		t.Fatalf("New with defaults: %v", err)
+	}
+	utts, err := GenerateUtterances(2, 0.5, 1)
+	if err != nil {
+		t.Fatalf("GenerateUtterances: %v", err)
+	}
+	if _, err := sys.Run(utts); err != nil {
+		t.Errorf("Run with defaults: %v", err)
+	}
+}
+
+func TestPublicAPIBadMode(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(Config{Mode: Mode(99)}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Baseline.String() != "baseline" || SecureFilter.String() != "secure-filter" {
+		t.Error("mode strings wrong")
+	}
+	if CNN.String() != "cnn" || Transformer.String() != "transformer" || Hybrid.String() != "hybrid" {
+		t.Error("arch strings wrong")
+	}
+	if PassThrough.String() != "pass-through" || Redact.String() != "redact" || Block.String() != "block" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestCameraFilter(t *testing.T) {
+	filter, err := TrainCameraFilter(7)
+	if err != nil {
+		t.Fatalf("TrainCameraFilter: %v", err)
+	}
+	if filter.ParamCount() <= 0 {
+		t.Error("degenerate camera filter")
+	}
+	correct := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		person := i%2 == 1
+		frame := SyntheticFrame(person, uint64(1000+i))
+		got, err := filter.Sensitive(frame)
+		if err != nil {
+			t.Fatalf("Sensitive: %v", err)
+		}
+		if got == person {
+			correct++
+		}
+	}
+	if acc := float64(correct) / trials; acc < 0.85 {
+		t.Errorf("camera filter accuracy = %v, want >= 0.85", acc)
+	}
+	// Malformed frame.
+	if _, err := filter.Sensitive(Image{W: 2, H: 2, Pix: []uint8{1}}); err == nil {
+		t.Error("inconsistent image accepted")
+	}
+}
+
+func TestSyntheticFrameDeterminism(t *testing.T) {
+	a := SyntheticFrame(true, 3)
+	b := SyntheticFrame(true, 3)
+	if a.W != b.W || a.H != b.H {
+		t.Fatal("dims differ")
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed produced different frames")
+		}
+	}
+}
+
+func TestMinimizeTCB(t *testing.T) {
+	report, err := MinimizeTCB()
+	if err != nil {
+		t.Fatalf("MinimizeTCB: %v", err)
+	}
+	if report.MinimalFunctions >= report.FullFunctions {
+		t.Errorf("minimal %d functions vs full %d", report.MinimalFunctions, report.FullFunctions)
+	}
+	if report.LoCReductionPct < 30 {
+		t.Errorf("LoC reduction = %v%%, want >= 30%%", report.LoCReductionPct)
+	}
+	if len(report.TracedFunctions) == 0 || len(report.ExcludeDirectives) == 0 {
+		t.Error("report missing traced functions or directives")
+	}
+	// The traced set must include the capture entry points and exclude
+	// the USB subsystem.
+	joined := strings.Join(report.TracedFunctions, " ")
+	if !strings.Contains(joined, "pcm_read") || !strings.Contains(joined, "i2s_probe") {
+		t.Errorf("traced set incomplete: %v", report.TracedFunctions)
+	}
+	if strings.Contains(joined, "usb_") {
+		t.Errorf("traced set contains USB functions: %v", report.TracedFunctions)
+	}
+	dirJoined := strings.Join(report.ExcludeDirectives, " ")
+	if !strings.Contains(dirJoined, "USB_AUDIO_PROBE") {
+		t.Errorf("directives missing USB exclusion: %v", report.ExcludeDirectives)
+	}
+}
+
+func TestCameraPipelinePublicAPI(t *testing.T) {
+	day := []bool{false, true, false, true, false}
+	base, err := NewCameraPipeline(Baseline, 3)
+	if err != nil {
+		t.Fatalf("NewCameraPipeline baseline: %v", err)
+	}
+	baseRes, err := base.Run(day)
+	if err != nil {
+		t.Fatalf("Run baseline: %v", err)
+	}
+	secure, err := NewCameraPipeline(SecureFilter, 3)
+	if err != nil {
+		t.Fatalf("NewCameraPipeline secure: %v", err)
+	}
+	secureRes, err := secure.Run(day)
+	if err != nil {
+		t.Fatalf("Run secure: %v", err)
+	}
+	if baseRes.LeakedPersons != 2 {
+		t.Errorf("baseline leaked %d person frames, want 2", baseRes.LeakedPersons)
+	}
+	if secureRes.LeakedPersons != 0 {
+		t.Errorf("secure pipeline leaked %d person frames", secureRes.LeakedPersons)
+	}
+	if secureRes.SnoopBlocked != secureRes.SnoopAttempts {
+		t.Errorf("snoop %d/%d blocked", secureRes.SnoopBlocked, secureRes.SnoopAttempts)
+	}
+	if s := secureRes.String(); !strings.Contains(s, "secure-filter") {
+		t.Errorf("String() = %q", s)
+	}
+	// The no-filter mode is meaningless for cameras.
+	if _, err := NewCameraPipeline(SecureNoFilter, 3); err == nil {
+		t.Error("no-filter camera pipeline accepted")
+	}
+}
+
+func TestEmptySession(t *testing.T) {
+	sys, err := New(Config{Mode: SecureFilter, Seed: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := sys.Run(nil)
+	if err != nil {
+		t.Fatalf("Run(nil): %v", err)
+	}
+	if len(res.Utterances) != 0 || res.CloudTokens != 0 {
+		t.Errorf("empty session produced output: %+v", res)
+	}
+}
+
+func TestGenerateUtterancesValidation(t *testing.T) {
+	if _, err := GenerateUtterances(0, 0.5, 1); err == nil {
+		t.Error("zero-length workload accepted")
+	}
+	utts, err := GenerateUtterances(50, 0.4, 9)
+	if err != nil {
+		t.Fatalf("GenerateUtterances: %v", err)
+	}
+	sens := 0
+	for _, u := range utts {
+		if u.Sensitive {
+			sens++
+		}
+	}
+	if sens == 0 || sens == len(utts) {
+		t.Errorf("degenerate sensitive mix: %d/%d", sens, len(utts))
+	}
+}
