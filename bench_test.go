@@ -13,10 +13,12 @@ package repro
 // or one experiment with e.g. -bench=BenchmarkE5Leakage.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/ml/classify"
 	"repro/internal/sensitive"
 	"repro/internal/tz"
@@ -224,6 +226,40 @@ func BenchmarkE9Scale(b *testing.B) {
 	if len(points) == 4 {
 		b.ReportMetric(points[3].BaselineKBPerSec, "baseline-KiB/s-at-8dev")
 		b.ReportMetric(points[3].SecureKBPerSec, "secure-KiB/s-at-8dev")
+	}
+}
+
+// --- E10 (Fig-E): fleet throughput -----------------------------------------------
+
+// BenchmarkFleetThroughput sweeps a devices × shards grid. The reported
+// wall-clock items/s is the simulator's fleet throughput (the perf
+// trajectory BENCH_fleet.json snapshots); virtual p99 tracks the modelled
+// per-item latency under TA batching.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, devices := range []int{16, 64} {
+		for _, shards := range []int{2, 8} {
+			b.Run(fmt.Sprintf("devices=%d/shards=%d", devices, shards), func(b *testing.B) {
+				var last *fleet.Result
+				for i := 0; i < b.N; i++ {
+					res, err := fleet.Run(fleet.Config{
+						Devices:    devices,
+						Shards:     shards,
+						Utterances: 2,
+						Frames:     2,
+						Seed:       experiments.DefaultSeed,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.LostFrames() != 0 {
+						b.Fatalf("lost %d frames", res.LostFrames())
+					}
+					last = res
+				}
+				b.ReportMetric(last.Throughput(), "items/s")
+				b.ReportMetric(last.Latency.Percentile(99)/1e3, "virtual-us-p99/item")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,170 @@
+// Command periguard-fleet runs a mixed-mode device population against a
+// sharded provider ingest tier and prints per-mode throughput, the
+// batched-inference latency distribution, per-shard counters and the
+// aggregate privacy audit. With -json it also writes a machine-readable
+// snapshot (the BENCH_fleet.json perf trajectory).
+//
+// Example:
+//
+//	periguard-fleet -devices 1000 -shards 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "periguard-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("periguard-fleet", flag.ContinueOnError)
+	devices := fs.Int("devices", 1000, "population size")
+	shards := fs.Int("shards", 8, "ingest shards")
+	shardWorkers := fs.Int("shard-workers", 4, "workers per shard")
+	deviceWorkers := fs.Int("workers", 0, "concurrent device pipelines (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 4, "TA utterance batch size for secure speakers")
+	utterances := fs.Int("utterances", 4, "utterances per speaker")
+	frames := fs.Int("frames", 6, "frames per doorbell")
+	doorbells := fs.Float64("doorbells", 0.25, "doorbell fraction of the population (0 = none)")
+	seed := fs.Uint64("seed", 1, "root seed (devices, workloads and model derive from it)")
+	jsonPath := fs.String("json", "", "write a JSON snapshot to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	doorbellFrac := *doorbells
+	if doorbellFrac == 0 {
+		doorbellFrac = -1 // flag 0 means "none", not "library default"
+	}
+	cfg := fleet.Config{
+		Devices:          *devices,
+		Shards:           *shards,
+		ShardWorkers:     *shardWorkers,
+		DeviceWorkers:    *deviceWorkers,
+		Batch:            *batch,
+		Utterances:       *utterances,
+		Frames:           *frames,
+		DoorbellFraction: doorbellFrac,
+		Seed:             *seed,
+	}
+	fmt.Printf("PeriGuard fleet: %d devices, %d shards, batch %d, seed %d\n",
+		*devices, *shards, *batch, *seed)
+	start := time.Now()
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed in %v (build %v, run %v)\n\n",
+		time.Since(start).Round(time.Millisecond),
+		res.BuildWall.Round(time.Millisecond),
+		res.RunWall.Round(time.Millisecond))
+
+	// Latencies below are virtual milliseconds: cycles / 1e6 at 1 GHz.
+	groups := metrics.NewTable("Per-mode results",
+		"group", "devices", "items", "items/s(wall)", "p50(vms)", "p99(vms)",
+		"cloud events", "sens tokens", "person frames")
+	for _, k := range res.GroupKeys() {
+		g := res.Groups[k]
+		groups.AddRow(k.String(), g.Devices, g.Items,
+			metrics.Throughput(g.Items, res.RunWall.Seconds()),
+			g.Latency.Percentile(50)/1e6,
+			g.Latency.Percentile(99)/1e6,
+			g.CloudEvents, g.SensitiveTokens, g.PersonFrames)
+	}
+	fmt.Println(groups)
+
+	shardsTbl := metrics.NewTable("Ingest shards",
+		"shard", "devices", "frames", "errors", "queue peak")
+	for _, s := range res.ShardStats {
+		shardsTbl.AddRow(s.Name, s.Devices, s.Frames, s.Errors, s.QueuePeak)
+	}
+	fmt.Println(shardsTbl)
+
+	fmt.Printf("aggregate: %d items at %.0f items/s; ingested %d cloud events (%d lost); "+
+		"provider observed %d tokens, %d sensitive, %d audio bytes\n",
+		res.TotalItems, res.Throughput(), res.IngestedFrames(), res.LostFrames(),
+		res.Audit.TokensSeen, res.Audit.SensitiveTokens, res.Audit.AudioBytes)
+	fmt.Printf("batched inference latency: p50 %.2f vms, p99 %.2f vms (virtual ms at 1 GHz)\n",
+		res.Latency.Percentile(50)/1e6, res.Latency.Percentile(99)/1e6)
+
+	if *jsonPath != "" {
+		if err := writeSnapshot(*jsonPath, res); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot written to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// snapshot is the stable JSON shape later PRs benchmark against.
+type snapshot struct {
+	Devices       int                `json:"devices"`
+	Shards        int                `json:"shards"`
+	Batch         int                `json:"batch"`
+	Seed          uint64             `json:"seed"`
+	RunWallMs     float64            `json:"run_wall_ms"`
+	ItemsPerSec   float64            `json:"items_per_sec"`
+	TotalItems    int                `json:"total_items"`
+	CloudEvents   uint64             `json:"cloud_events"`
+	LostFrames    int                `json:"lost_frames"`
+	SensTokens    int                `json:"sensitive_tokens"`
+	LatencyP50Vms float64            `json:"latency_p50_vms"`
+	LatencyP99Vms float64            `json:"latency_p99_vms"`
+	Groups        map[string]groupJS `json:"groups"`
+}
+
+type groupJS struct {
+	Devices     int     `json:"devices"`
+	Items       int     `json:"items"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	P50Vms      float64 `json:"p50_vms"`
+	P99Vms      float64 `json:"p99_vms"`
+	CloudEvents int     `json:"cloud_events"`
+	SensTokens  int     `json:"sensitive_tokens"`
+}
+
+func writeSnapshot(path string, res *fleet.Result) error {
+	snap := snapshot{
+		Devices:       res.Config.Devices,
+		Shards:        res.Config.Shards,
+		Batch:         res.Config.Batch,
+		Seed:          res.Config.Seed,
+		RunWallMs:     float64(res.RunWall.Microseconds()) / 1e3,
+		ItemsPerSec:   res.Throughput(),
+		TotalItems:    res.TotalItems,
+		CloudEvents:   res.IngestedFrames(),
+		LostFrames:    res.LostFrames(),
+		SensTokens:    res.Audit.SensitiveTokens,
+		LatencyP50Vms: res.Latency.Percentile(50) / 1e6,
+		LatencyP99Vms: res.Latency.Percentile(99) / 1e6,
+		Groups:        map[string]groupJS{},
+	}
+	for _, k := range res.GroupKeys() {
+		g := res.Groups[k]
+		snap.Groups[k.String()] = groupJS{
+			Devices:     g.Devices,
+			Items:       g.Items,
+			ItemsPerSec: metrics.Throughput(g.Items, res.RunWall.Seconds()),
+			P50Vms:      g.Latency.Percentile(50) / 1e6,
+			P99Vms:      g.Latency.Percentile(99) / 1e6,
+			CloudEvents: g.CloudEvents,
+			SensTokens:  g.SensitiveTokens,
+		}
+	}
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -1,0 +1,63 @@
+// Fleet walks through the orchestration layer: a mixed population of
+// smart speakers and camera doorbells (all three deployment modes),
+// multiplexed into a sharded provider ingest behind a consistent-hash
+// router, with secure speakers batching TA inference. It prints the
+// fleet-level version of the paper's privacy claim: the provider's
+// aggregated audit shows the secure-filter slice leaking almost nothing
+// while baseline devices leak everything they hear.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+func main() {
+	cfg := fleet.Config{
+		Devices:          48, // 3:1 speakers to doorbells
+		Shards:           4,  // provider ingest partitions
+		Batch:            4,  // utterances per TA world-switch round trip
+		Utterances:       4,  // per speaker
+		Frames:           4,  // per doorbell
+		DoorbellFraction: 0.25,
+		Seed:             2024,
+	}
+
+	fmt.Printf("fleet: %d devices across %d ingest shards (seed %d)\n\n",
+		cfg.Devices, cfg.Shards, cfg.Seed)
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("processed %d items in %v (%.0f items/s), %d cloud events, %d lost\n\n",
+		res.TotalItems, res.RunWall.Round(1e6), res.Throughput(),
+		res.IngestedFrames(), res.LostFrames())
+
+	fmt.Println("what the provider learned, by population slice:")
+	for _, k := range res.GroupKeys() {
+		g := res.Groups[k]
+		switch k.Kind {
+		case core.DeviceSpeaker:
+			fmt.Printf("   %-24s %2d devices: %3d sensitive tokens observed (p99 %.2f virtual ms/utterance)\n",
+				k, g.Devices, g.SensitiveTokens, g.Latency.Percentile(99)/1e6)
+		case core.DeviceDoorbell:
+			fmt.Printf("   %-24s %2d devices: %3d person frames exposed\n",
+				k, g.Devices, g.PersonFrames)
+		}
+	}
+
+	fmt.Println("\ningest tier:")
+	for _, s := range res.ShardStats {
+		fmt.Printf("   %s: %3d devices, %3d frames, %d errors\n",
+			s.Name, s.Devices, s.Frames, s.Errors)
+	}
+
+	fmt.Printf("\naggregate audit: %d events, %d tokens (%d sensitive), %d audio bytes\n",
+		res.Audit.Events, res.Audit.TokensSeen, res.Audit.SensitiveTokens, res.Audit.AudioBytes)
+	fmt.Println("(the sealed relay means every one of those events was decrypted by the")
+	fmt.Println(" provider as the legitimate peer — filtering happened on-device, in the TEE)")
+}

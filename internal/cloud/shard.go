@@ -1,0 +1,324 @@
+// Fleet-scale ingest. A single Service terminates one device's channel;
+// a provider serving millions of devices runs many such terminators
+// behind a sharded frontend. Shard hosts the per-device endpoints hashed
+// to it and serializes their ingest through a bounded worker pool (the
+// channel doubles as admission control: a full queue pushes back on the
+// radio rather than buffering unboundedly). Router places devices on
+// shards with a consistent-hash ring so membership changes move only
+// neighbouring devices.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Provider is the ingest-side contract every backend flavour satisfies
+// (sealed Service, baseline PlainService): deliver one frame, account for
+// what was learned.
+type Provider interface {
+	Deliver(frame []byte) ([]byte, error)
+	Audit() Audit
+	Reset()
+}
+
+var (
+	_ Provider = (*Service)(nil)
+	_ Provider = (*PlainService)(nil)
+)
+
+// Merge folds b's counters and transcripts into a copy of a, so per-shard
+// and per-fleet views aggregate from per-device audits.
+func (a Audit) Merge(b Audit) Audit {
+	a.Events += b.Events
+	a.TokensSeen += b.TokensSeen
+	a.SensitiveTokens += b.SensitiveTokens
+	a.AudioBytes += b.AudioBytes
+	a.Transcripts = append(a.Transcripts, b.Transcripts...)
+	return a
+}
+
+// Errors returned by the ingest tier.
+var (
+	// ErrUnknownDevice is returned for frames from unregistered devices.
+	ErrUnknownDevice = errors.New("cloud: unknown device")
+	// ErrShardClosed is returned for ingest after Close.
+	ErrShardClosed = errors.New("cloud: shard closed")
+	// ErrNoShards is returned when a router is built without shards.
+	ErrNoShards = errors.New("cloud: router needs at least one shard")
+)
+
+// ingestJob carries one frame through a shard worker and its reply back
+// to the delivering goroutine.
+type ingestJob struct {
+	endpoint Provider
+	frame    []byte
+	reply    chan ingestReply
+}
+
+type ingestReply struct {
+	directive []byte
+	err       error
+}
+
+// ShardStats is a snapshot of one shard's ingest counters.
+type ShardStats struct {
+	Name      string
+	Devices   int
+	Frames    uint64 // frames fully processed
+	Errors    uint64 // frames whose endpoint rejected them
+	QueuePeak int    // high-water mark of admitted-but-not-yet-served frames
+}
+
+// Shard is one ingest partition: a set of device endpoints plus a bounded
+// worker pool that processes their frames.
+type Shard struct {
+	name     string
+	jobs     chan ingestJob
+	wg       sync.WaitGroup
+	inflight sync.WaitGroup // Ingests between admission and reply
+
+	mu        sync.Mutex
+	endpoints map[string]Provider
+	closed    bool
+	frames    uint64
+	errs      uint64
+	pending   int // admitted frames not yet picked up by a worker
+	queuePeak int
+}
+
+// NewShard starts a shard with the given worker count and admission-queue
+// depth (both floored at 1).
+func NewShard(name string, workers, queueDepth int) *Shard {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	s := &Shard{
+		name:      name,
+		jobs:      make(chan ingestJob, queueDepth),
+		endpoints: make(map[string]Provider),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Shard) worker() {
+	defer s.wg.Done()
+	for job := range s.jobs {
+		s.mu.Lock()
+		s.pending--
+		s.mu.Unlock()
+		directive, err := job.endpoint.Deliver(job.frame)
+		s.mu.Lock()
+		if err != nil {
+			s.errs++
+		} else {
+			s.frames++
+		}
+		s.mu.Unlock()
+		job.reply <- ingestReply{directive: directive, err: err}
+	}
+}
+
+// Name returns the shard's ring label.
+func (s *Shard) Name() string { return s.name }
+
+// Register binds a device ID to its channel-terminating endpoint.
+func (s *Shard) Register(deviceID string, p Provider) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.endpoints[deviceID] = p
+}
+
+// Ingest processes one frame from the device through the worker pool,
+// blocking while the admission queue is full (backpressure) and until the
+// frame's directive is ready.
+func (s *Shard) Ingest(deviceID string, frame []byte) ([]byte, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrShardClosed
+	}
+	endpoint, ok := s.endpoints[deviceID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q on shard %s", ErrUnknownDevice, deviceID, s.name)
+	}
+	// Admitted while holding the lock, so Close cannot tear the queue
+	// down under an in-flight frame; pending tracks admitted frames no
+	// worker has picked up yet — its high-water mark is the real
+	// backpressure signal.
+	s.pending++
+	if s.pending > s.queuePeak {
+		s.queuePeak = s.pending
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	reply := make(chan ingestReply, 1)
+	s.jobs <- ingestJob{endpoint: endpoint, frame: frame, reply: reply}
+	r := <-reply
+	return r.directive, r.err
+}
+
+// Audit merges the audits of every endpoint hosted on the shard.
+func (s *Shard) Audit() Audit {
+	s.mu.Lock()
+	endpoints := make([]Provider, 0, len(s.endpoints))
+	for _, p := range s.endpoints {
+		endpoints = append(endpoints, p)
+	}
+	s.mu.Unlock()
+	var a Audit
+	for _, p := range endpoints {
+		a = a.Merge(p.Audit())
+	}
+	return a
+}
+
+// Stats snapshots the shard's counters.
+func (s *Shard) Stats() ShardStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShardStats{
+		Name:      s.name,
+		Devices:   len(s.endpoints),
+		Frames:    s.frames,
+		Errors:    s.errs,
+		QueuePeak: s.queuePeak,
+	}
+}
+
+// Close waits for admitted frames, then drains the workers. Ingest after
+// Close fails with ErrShardClosed.
+func (s *Shard) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// Router maps device IDs onto shards with a consistent-hash ring.
+type Router struct {
+	shards []*Shard
+	ring   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard *Shard
+}
+
+// NewRouter builds the ring with `replicas` virtual nodes per shard
+// (floored at 1; 64 is a sensible default for even spread).
+func NewRouter(shards []*Shard, replicas int) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, ErrNoShards
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := &Router{shards: shards}
+	for _, s := range shards {
+		for v := 0; v < replicas; v++ {
+			r.ring = append(r.ring, ringPoint{
+				hash:  ringHash(fmt.Sprintf("%s#%d", s.Name(), v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
+	return r, nil
+}
+
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	// FNV avalanches poorly on short keys that differ only in a suffix
+	// (exactly what "shard#replica" and "device-N" are); a splitmix64
+	// finalizer spreads ring points and device keys evenly.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardFor returns the shard owning the device ID (first ring point at or
+// after the key's hash, wrapping).
+func (r *Router) ShardFor(deviceID string) *Shard {
+	h := ringHash(deviceID)
+	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
+	if i == len(r.ring) {
+		i = 0
+	}
+	return r.ring[i].shard
+}
+
+// Register places the device's endpoint on its ring shard and returns
+// that shard.
+func (r *Router) Register(deviceID string, p Provider) *Shard {
+	s := r.ShardFor(deviceID)
+	s.Register(deviceID, p)
+	return s
+}
+
+// Ingest routes one frame to the owning shard.
+func (r *Router) Ingest(deviceID string, frame []byte) ([]byte, error) {
+	return r.ShardFor(deviceID).Ingest(deviceID, frame)
+}
+
+// Audit aggregates every shard's audit.
+func (r *Router) Audit() Audit {
+	var a Audit
+	for _, s := range r.shards {
+		a = a.Merge(s.Audit())
+	}
+	return a
+}
+
+// Stats snapshots every shard.
+func (r *Router) Stats() []ShardStats {
+	out := make([]ShardStats, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
+
+// Close drains all shards.
+func (r *Router) Close() {
+	for _, s := range r.shards {
+		s.Close()
+	}
+}
+
+// Uplink adapts one device's ID to the router's ingest so it can stand in
+// as the device's network sink (supplicant.NetSink without the import).
+type Uplink struct {
+	DeviceID string
+	Router   *Router
+}
+
+// Deliver implements the device-side sink by routing through the ring.
+func (u *Uplink) Deliver(frame []byte) ([]byte, error) {
+	return u.Router.Ingest(u.DeviceID, frame)
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sensitive"
+)
+
+// TestBatchedSessionMatchesUnbatched: the TA's batched path must produce
+// the same privacy outcome as the per-utterance path while paying fewer
+// world-switch round trips.
+func TestBatchedSessionMatchesUnbatched(t *testing.T) {
+	utts, err := sensitive.Generate(sensitive.GenConfig{N: 8, SensitiveFraction: 0.5, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: ModeSecureFilter, Seed: 21}
+
+	single, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := single.RunSession(utts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batched, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := batched.RunSessionBatched(utts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(one.Utterances) != len(many.Utterances) {
+		t.Fatalf("utterance counts differ: %d vs %d", len(one.Utterances), len(many.Utterances))
+	}
+	for i := range one.Utterances {
+		u, b := one.Utterances[i], many.Utterances[i]
+		if u.Flagged != b.Flagged || u.Forwarded != b.Forwarded || u.Redacted != b.Redacted {
+			t.Fatalf("utterance %d outcome differs: %+v vs %+v", i, u, b)
+		}
+	}
+	if one.CloudAudit.SensitiveTokens != many.CloudAudit.SensitiveTokens ||
+		one.CloudAudit.Events != many.CloudAudit.Events {
+		t.Fatalf("cloud audits differ: %+v vs %+v", one.CloudAudit, many.CloudAudit)
+	}
+
+	if many.MonitorStats.Switches >= one.MonitorStats.Switches {
+		t.Fatalf("batching did not amortize world switches: %d (batched) vs %d (single)",
+			many.MonitorStats.Switches, one.MonitorStats.Switches)
+	}
+}
+
+// TestBatchClampsToMaxBatch: oversized batch requests are clamped, not
+// rejected.
+func TestBatchClampsToMaxBatch(t *testing.T) {
+	utts, err := sensitive.Generate(sensitive.GenConfig{N: 3, SensitiveFraction: 0.4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{Mode: ModeSecureNoFilter, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunSessionBatched(utts, MaxBatch*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utterances) != len(utts) {
+		t.Fatalf("processed %d utterances, want %d", len(res.Utterances), len(utts))
+	}
+}
+
+// TestDeriveSeedStable: per-device seed derivation is deterministic,
+// non-zero and collision-free over a large fleet index range.
+func TestDeriveSeedStable(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 10_000; i++ {
+		s := DeriveSeed(42, SaltDeviceSeed, i)
+		if s == 0 {
+			t.Fatalf("zero seed at index %d", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between devices %d and %d", prev, i)
+		}
+		seen[s] = i
+		if s != DeriveSeed(42, SaltDeviceSeed, i) {
+			t.Fatalf("derivation unstable at index %d", i)
+		}
+	}
+}

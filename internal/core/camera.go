@@ -11,7 +11,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"sync"
 
 	"repro/internal/cloud"
@@ -49,17 +48,18 @@ const (
 )
 
 // TrainImageClassifier pre-trains (memoized) the person-detection model.
+// The lock is held across training so concurrent fleet builders sharing a
+// ModelSeed train once; see TrainClassifier.
 func TrainImageClassifier(seed uint64) (*classify.Classifier, error) {
 	key := fmt.Sprintf("image/%d", seed)
-	rng := rand.New(rand.NewPCG(seed, seed^0xca3e))
+	rng := NewRNG(seed, seed^SaltImage)
 	clf, err := classify.NewImage(rng, cameraFrameSide, cameraFrameSide)
 	if err != nil {
 		return nil, err
 	}
 	trainedMu.Lock()
-	blob, ok := trainedWeights[key]
-	trainedMu.Unlock()
-	if ok {
+	defer trainedMu.Unlock()
+	if blob, ok := trainedWeights[key]; ok {
 		if err := clf.LoadWeights(blob); err != nil {
 			return nil, err
 		}
@@ -81,9 +81,7 @@ func TrainImageClassifier(seed uint64) (*classify.Classifier, error) {
 	}); err != nil {
 		return nil, err
 	}
-	trainedMu.Lock()
 	trainedWeights[key] = clf.SerializeWeights()
-	trainedMu.Unlock()
 	return clf, nil
 }
 
@@ -234,7 +232,7 @@ func (t *CameraTA) Open(sessionID uint32) error {
 	if err != nil {
 		return fmt.Errorf("camera ta weights: %w", err)
 	}
-	rng := rand.New(rand.NewPCG(t.seed, t.seed^0xca3e))
+	rng := NewRNG(t.seed, t.seed^SaltImage)
 	clf, err := classify.NewImage(rng, cameraFrameSide, cameraFrameSide)
 	if err != nil {
 		return err
@@ -347,9 +345,12 @@ type CameraConfig struct {
 	// memory) or ModeSecureFilter (the full in-TEE path). The
 	// no-filter middle deployment is meaningless for images — there is
 	// nothing to transcribe — so it is rejected.
-	Mode   Mode
-	Seed   uint64
-	FreqHz uint64
+	Mode Mode
+	Seed uint64
+	// ModelSeed fixes image-classifier pre-training (0 = Seed); see
+	// Config.ModelSeed.
+	ModelSeed uint64
+	FreqHz    uint64
 }
 
 // CameraSystem is the camera pipeline instance.
@@ -388,6 +389,9 @@ func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
 	if cfg.FreqHz == 0 {
 		cfg.FreqHz = 1_000_000_000
 	}
+	if cfg.ModelSeed == 0 {
+		cfg.ModelSeed = cfg.Seed
+	}
 	plat, err := memory.NewPlatform(memory.DefaultLayout())
 	if err != nil {
 		return nil, err
@@ -420,20 +424,20 @@ func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
 		return nil, err
 	}
 	sys.Storage = storage
-	clf, err := TrainImageClassifier(cfg.Seed)
+	clf, err := TrainImageClassifier(cfg.ModelSeed)
 	if err != nil {
 		return nil, err
 	}
 	storage.Put(cameraWeightsID, clf.SerializeWeights())
 
-	rng := rand.New(rand.NewPCG(cfg.Seed^0xcafe, cfg.Seed+3))
-	cloudID, err := relay.NewIdentity(seededReader{rng})
+	keyRand := NewSeedReader(cfg.Seed^0xcafe, cfg.Seed+3)
+	cloudID, err := relay.NewIdentity(keyRand)
 	if err != nil {
 		return nil, err
 	}
 	sys.Cloud = cloud.NewService(cloud.NewIdentity(cloudID))
 	sys.Supplicant.Route(CloudTarget, sys.Cloud)
-	taID, err := relay.NewIdentity(seededReader{rng})
+	taID, err := relay.NewIdentity(keyRand)
 	if err != nil {
 		return nil, err
 	}
@@ -443,13 +447,31 @@ func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
 
 	sys.PTA = NewCameraPTA(sys.Camera, plat.Mem, plat.SecureHeap, tz.WorldSecure, clock, cost)
 	sys.TEE.RegisterPTA(sys.PTA)
-	ta, err := NewCameraTA(sys.TEE, storage, taID, cloudID.PublicKey(), clock, cost, cfg.Seed)
+	ta, err := NewCameraTA(sys.TEE, storage, taID, cloudID.PublicKey(), clock, cost, cfg.ModelSeed)
 	if err != nil {
 		return nil, err
 	}
 	sys.TA = ta
 	sys.TEE.RegisterTA(ta)
 	return sys, nil
+}
+
+// SetUplink reroutes the doorbell's sealed traffic through sink; see
+// System.SetUplink. Baseline doorbells never uplink (raw frames stay on
+// the device in this model), so the call is a no-op there.
+func (s *CameraSystem) SetUplink(sink supplicant.NetSink) {
+	if s.Supplicant != nil {
+		s.Supplicant.Route(CloudTarget, sink)
+	}
+}
+
+// CloudEndpoint returns the provider-side terminator of the doorbell's
+// traffic (nil for baseline doorbells, which never uplink).
+func (s *CameraSystem) CloudEndpoint() cloud.Provider {
+	if s.Cloud == nil {
+		return nil
+	}
+	return s.Cloud
 }
 
 // CameraSessionResult aggregates one camera run.

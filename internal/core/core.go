@@ -88,6 +88,12 @@ type Config struct {
 	WorldSwitchCycles tz.Cycles
 	// Seed fixes all randomness.
 	Seed uint64
+	// ModelSeed fixes classifier pre-training independently of Seed
+	// (0 = Seed). A fleet gives every device a distinct Seed but one
+	// shared ModelSeed, modelling a provider that provisions a single
+	// pre-trained model to the whole population (and letting the trainer
+	// memoize one model instead of one per device).
+	ModelSeed uint64
 	// FreqHz is the modelled core frequency; default 1 GHz.
 	FreqHz uint64
 	// NoiseAmp is the synthetic speaker's background noise level.
@@ -119,6 +125,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.TrainEpochs <= 0 {
 		c.TrainEpochs = 8
+	}
+	if c.ModelSeed == 0 {
+		c.ModelSeed = c.Seed
 	}
 	if c.BufBytes > 1<<20 {
 		return fmt.Errorf("%w: buffer %d too large", ErrBadConfig, c.BufBytes)
@@ -165,6 +174,11 @@ type System struct {
 	// Cloud side.
 	CloudSealed *cloud.Service      // secure modes
 	CloudPlain  *cloud.PlainService // baseline
+	// uplink is where baseline device→cloud traffic leaves the device;
+	// it defaults to CloudPlain and is rerouted by SetUplink when the
+	// device joins a fleet ingest tier. Secure modes route through the
+	// supplicant instead.
+	uplink supplicant.NetSink
 
 	// Shared models.
 	Vocab      *sensitive.Vocabulary
@@ -182,19 +196,20 @@ var (
 )
 
 // TrainClassifier pre-trains (or fetches the memoized) classifier for the
-// architecture on the standard corpus.
+// architecture on the standard corpus. The lock is held across training —
+// as in trainedRecognizer — so a fleet building thousands of devices with
+// one shared ModelSeed trains the model exactly once.
 func TrainClassifier(arch classify.Arch, vocab *sensitive.Vocabulary, seed uint64, epochs int) (*classify.Classifier, error) {
 	const seqLen = 12
 	key := fmt.Sprintf("%d/%d/%d", arch, seed, epochs)
-	rng := rand.New(rand.NewPCG(seed, seed^0x7a57))
+	rng := NewRNG(seed, seed^SaltClassifier)
 	clf, err := classify.NewText(arch, rng, vocab.Size(), seqLen)
 	if err != nil {
 		return nil, err
 	}
 	trainedMu.Lock()
-	blob, ok := trainedWeights[key]
-	trainedMu.Unlock()
-	if ok {
+	defer trainedMu.Unlock()
+	if blob, ok := trainedWeights[key]; ok {
 		if err := clf.LoadWeights(blob); err != nil {
 			return nil, err
 		}
@@ -216,9 +231,7 @@ func TrainClassifier(arch classify.Arch, vocab *sensitive.Vocabulary, seed uint6
 	}); err != nil {
 		return nil, err
 	}
-	trainedMu.Lock()
 	trainedWeights[key] = clf.SerializeWeights()
-	trainedMu.Unlock()
 	return clf, nil
 }
 
@@ -340,7 +353,31 @@ func (s *System) buildBaseline() error {
 		return fmt.Errorf("core cloud asr: %w", err)
 	}
 	s.CloudPlain = cloud.NewPlainService(cloudRec)
+	s.uplink = s.CloudPlain
 	return nil
+}
+
+// SetUplink reroutes the device's cloud-bound traffic through sink (the
+// fleet ingest tier). The device's own cloud endpoint keeps terminating
+// the channel — the sink decides on which shard/worker that happens.
+func (s *System) SetUplink(sink supplicant.NetSink) {
+	if s.cfg.Mode == ModeBaseline {
+		s.mu.Lock()
+		s.uplink = sink
+		s.mu.Unlock()
+		return
+	}
+	s.Supplicant.Route(CloudTarget, sink)
+}
+
+// CloudEndpoint returns the provider-side terminator of this device's
+// traffic: the sealed service in secure modes, the plain service in
+// baseline. Fleet shards host it.
+func (s *System) CloudEndpoint() cloud.Provider {
+	if s.cfg.Mode == ModeBaseline {
+		return s.CloudPlain
+	}
+	return s.CloudSealed
 }
 
 // recognizerCache memoizes template training per (rate, noise): templates
@@ -388,7 +425,7 @@ func (s *System) buildSecure() error {
 	// "pre-trained ML classifier" shipped to the TA).
 	var clf *classify.Classifier
 	if s.cfg.Mode == ModeSecureFilter {
-		clf, err = TrainClassifier(s.cfg.Arch, s.Vocab, s.cfg.Seed, s.cfg.TrainEpochs)
+		clf, err = TrainClassifier(s.cfg.Arch, s.Vocab, s.cfg.ModelSeed, s.cfg.TrainEpochs)
 		if err != nil {
 			return fmt.Errorf("core classifier: %w", err)
 		}
@@ -396,15 +433,15 @@ func (s *System) buildSecure() error {
 	}
 
 	// Cloud endpoint + handshake keys.
-	rng := rand.New(rand.NewPCG(s.cfg.Seed^0xc10d, s.cfg.Seed+77))
-	cloudID, err := relay.NewIdentity(seededReader{rng})
+	keyRand := NewSeedReader(s.cfg.Seed^0xc10d, s.cfg.Seed+77)
+	cloudID, err := relay.NewIdentity(keyRand)
 	if err != nil {
 		return fmt.Errorf("core cloud id: %w", err)
 	}
 	s.CloudSealed = cloud.NewService(cloud.NewIdentity(cloudID))
 	s.Supplicant.Route(CloudTarget, s.CloudSealed)
 
-	taID, err := relay.NewIdentity(seededReader{rng})
+	taID, err := relay.NewIdentity(keyRand)
 	if err != nil {
 		return fmt.Errorf("core ta id: %w", err)
 	}
@@ -428,7 +465,7 @@ func (s *System) buildSecure() error {
 		CloudPub:   cloudID.PublicKey(),
 		Clock:      s.Clock,
 		Cost:       s.Cost,
-		Seed:       s.cfg.Seed,
+		Seed:       s.cfg.ModelSeed,
 	})
 	if err != nil {
 		return fmt.Errorf("core voice ta: %w", err)

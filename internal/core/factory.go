@@ -1,0 +1,182 @@
+package core
+
+// Device factory: a uniform construction-and-run surface over the two
+// peripheral classes (smart speaker, camera doorbell) so orchestration
+// layers (internal/fleet) can instantiate mixed populations without
+// caring which concrete pipeline sits behind a spec.
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/metrics"
+	"repro/internal/ml/classify"
+	"repro/internal/peripheral"
+	"repro/internal/relay"
+	"repro/internal/sensitive"
+	"repro/internal/supplicant"
+)
+
+// DeviceKind selects the peripheral class.
+type DeviceKind int
+
+const (
+	// DeviceSpeaker is the paper's smart speaker (mic → ASR → filter).
+	DeviceSpeaker DeviceKind = iota + 1
+	// DeviceDoorbell is the §IV.6 camera doorbell (frames → image filter).
+	DeviceDoorbell
+)
+
+// String returns the kind name.
+func (k DeviceKind) String() string {
+	switch k {
+	case DeviceSpeaker:
+		return "speaker"
+	case DeviceDoorbell:
+		return "doorbell"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ErrBadKind is returned for unknown device kinds.
+var ErrBadKind = fmt.Errorf("%w: unknown device kind", ErrBadConfig)
+
+// DeviceSpec parameterizes one fleet member.
+type DeviceSpec struct {
+	Kind DeviceKind
+	Mode Mode
+	// Arch and Policy apply to secure-filter speakers.
+	Arch   classify.Arch
+	Policy relay.Policy
+	// Seed is the device's own randomness; ModelSeed the provisioned
+	// model's (0 = Seed). Fleets share one ModelSeed across members.
+	Seed      uint64
+	ModelSeed uint64
+	FreqHz    uint64
+	NoiseAmp  float64
+	BufBytes  int
+	// Batch > 1 enables TA-side batched processing on secure speakers
+	// (capped at MaxBatch).
+	Batch int
+}
+
+// Device is one constructed fleet member. Exactly one of Speaker and
+// Doorbell is non-nil, matching Spec.Kind.
+type Device struct {
+	Spec     DeviceSpec
+	Speaker  *System
+	Doorbell *CameraSystem
+}
+
+// NewDevice builds the pipeline for the spec.
+func NewDevice(spec DeviceSpec) (*Device, error) {
+	switch spec.Kind {
+	case DeviceSpeaker:
+		sys, err := NewSystem(Config{
+			Mode:      spec.Mode,
+			Arch:      spec.Arch,
+			Policy:    spec.Policy,
+			BufBytes:  spec.BufBytes,
+			Seed:      spec.Seed,
+			ModelSeed: spec.ModelSeed,
+			FreqHz:    spec.FreqHz,
+			NoiseAmp:  spec.NoiseAmp,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("speaker: %w", err)
+		}
+		return &Device{Spec: spec, Speaker: sys}, nil
+	case DeviceDoorbell:
+		sys, err := NewCameraSystem(CameraConfig{
+			Mode:      spec.Mode,
+			Seed:      spec.Seed,
+			ModelSeed: spec.ModelSeed,
+			FreqHz:    spec.FreqHz,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("doorbell: %w", err)
+		}
+		return &Device{Spec: spec, Doorbell: sys}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, int(spec.Kind))
+	}
+}
+
+// SetUplink reroutes the device's cloud-bound traffic through sink.
+func (d *Device) SetUplink(sink supplicant.NetSink) {
+	if d.Speaker != nil {
+		d.Speaker.SetUplink(sink)
+		return
+	}
+	d.Doorbell.SetUplink(sink)
+}
+
+// CloudEndpoint returns the provider-side terminator of the device's
+// traffic (nil for devices that never uplink: baseline doorbells).
+func (d *Device) CloudEndpoint() cloud.Provider {
+	if d.Speaker != nil {
+		return d.Speaker.CloudEndpoint()
+	}
+	return d.Doorbell.CloudEndpoint()
+}
+
+// DeviceWorkload is the input stream for one device run; the field
+// matching the device's kind is used.
+type DeviceWorkload struct {
+	Utterances []sensitive.Utterance
+	Scenes     []peripheral.Scene
+}
+
+// DeviceResult pairs a spec with the session outcome of its kind.
+type DeviceResult struct {
+	Spec    DeviceSpec
+	Session *SessionResult       // speakers
+	Camera  *CameraSessionResult // doorbells
+}
+
+// Run processes the workload end to end. Secure speakers with
+// Spec.Batch > 1 take the TA-batched path.
+func (d *Device) Run(w DeviceWorkload) (*DeviceResult, error) {
+	if d.Speaker != nil {
+		res, err := d.Speaker.RunSessionBatched(w.Utterances, d.Spec.Batch)
+		if err != nil {
+			return nil, err
+		}
+		return &DeviceResult{Spec: d.Spec, Session: res}, nil
+	}
+	res, err := d.Doorbell.RunSession(w.Scenes)
+	if err != nil {
+		return nil, err
+	}
+	return &DeviceResult{Spec: d.Spec, Camera: res}, nil
+}
+
+// Latency returns the run's per-item virtual-cycle recorder.
+func (r *DeviceResult) Latency() *metrics.Recorder {
+	if r.Session != nil {
+		return r.Session.Latency
+	}
+	return r.Camera.Latency
+}
+
+// CloudEvents returns how many cloud-bound payloads the device emitted
+// (the number its shard must have ingested for no frame to be lost).
+func (r *DeviceResult) CloudEvents() int {
+	if r.Session != nil {
+		n := 0
+		if r.Spec.Mode == ModeBaseline {
+			return len(r.Session.Utterances)
+		}
+		for _, u := range r.Session.Utterances {
+			if u.Forwarded {
+				n++
+			}
+		}
+		return n
+	}
+	if r.Spec.Mode == ModeBaseline {
+		return 0 // baseline doorbells never uplink in this model
+	}
+	return r.Camera.ForwardedFrames
+}

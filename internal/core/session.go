@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/audio"
@@ -134,25 +135,39 @@ func (s *System) RunSession(utterances []sensitive.Utterance) (*SessionResult, e
 
 		// The compromised OS sweeps the driver's capture buffer after
 		// every utterance.
-		addr := s.Driver.BufferAddr()
-		if addr != 0 {
-			got := s.Snooper.Capture(addr, min(64, s.cfg.BufBytes))
-			res.Snoop.Attempts++
-			if got.Blocked {
-				res.Snoop.Blocked++
-			} else {
-				res.Snoop.BytesRecovered += len(got.Got)
-			}
-		}
+		s.sweepSnoop(res)
 	}
 
+	s.finalizeSession(res, startCycles)
+	return res, nil
+}
+
+// sweepSnoop models the compromised OS reading the driver's live capture
+// buffer (blocked by the TZASC in secure modes).
+func (s *System) sweepSnoop(res *SessionResult) {
+	addr := s.Driver.BufferAddr()
+	if addr == 0 {
+		return
+	}
+	got := s.Snooper.Capture(addr, min(64, s.cfg.BufBytes))
+	res.Snoop.Attempts++
+	if got.Blocked {
+		res.Snoop.Blocked++
+	} else {
+		res.Snoop.BytesRecovered += len(got.Got)
+	}
+}
+
+// finalizeSession fills the cross-cutting tail of a session result:
+// virtual time, monitor stats, radio bytes, cloud/supplicant audits and
+// the energy model.
+func (s *System) finalizeSession(res *SessionResult, startCycles tz.Cycles) {
 	res.TotalCycles = s.Clock.Now() - startCycles
 	res.MonitorStats = s.Monitor.Stats()
 	s.mu.Lock()
 	res.RadioBytes = s.radioBytes
 	s.mu.Unlock()
 
-	// Cloud + supplicant audits.
 	switch s.cfg.Mode {
 	case ModeBaseline:
 		res.CloudAudit = s.CloudPlain.Audit()
@@ -169,7 +184,6 @@ func (s *System) RunSession(utterances []sensitive.Utterance) (*SessionResult, e
 		RadioBytes:   res.RadioBytes,
 		FreqHz:       s.cfg.FreqHz,
 	})
-	return res, nil
 }
 
 // runBaselineUtterance: mic -> untrusted driver -> user app -> raw audio
@@ -219,8 +233,9 @@ func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (Utt
 	s.Clock.Advance(tz.Cycles(len(payload)) * s.Cost.CopyPerByte)
 	s.mu.Lock()
 	s.radioBytes += uint64(len(payload))
+	sink := s.uplink
 	s.mu.Unlock()
-	if _, err := s.CloudPlain.Deliver(payload); err != nil {
+	if _, err := sink.Deliver(payload); err != nil {
 		return out, fmt.Errorf("baseline deliver: %w", err)
 	}
 	out.Forwarded = true
@@ -268,6 +283,88 @@ func (s *System) runSecureUtterance(sess *teec.Session, i int, u sensitive.Utter
 	}
 	out.Cycles = s.Clock.Now() - start
 	return out, nil
+}
+
+// RunSessionBatched is RunSession for the secure modes with TA-side
+// batching: utterances are queued onto the bus in groups of `batch` and
+// each group is processed by ONE CmdProcessBatch invocation, so the
+// session pays one world-switch round trip per group instead of per
+// utterance, and the classifier runs one batched forward pass per group.
+// Baseline mode has no TA to batch into and falls back to RunSession.
+func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) (*SessionResult, error) {
+	if s.cfg.Mode == ModeBaseline || batch <= 1 {
+		return s.RunSession(utterances)
+	}
+	if batch > MaxBatch {
+		batch = MaxBatch
+	}
+	res := &SessionResult{Mode: s.cfg.Mode, Latency: metrics.NewRecorder()}
+	startCycles := s.Clock.Now()
+	s.Monitor.ResetStats()
+
+	ctx := teec.InitializeContext(s.TEE)
+	sess, err := ctx.OpenSession(UUIDVoiceTA)
+	if err != nil {
+		return nil, fmt.Errorf("core session: %w", err)
+	}
+	defer func() {
+		_ = ctx.FinalizeContext()
+	}()
+
+	for lo := 0; lo < len(utterances); lo += batch {
+		hi := min(lo+batch, len(utterances))
+		group := utterances[lo:hi]
+
+		// Queue the whole group onto the bus; the mic appends signals, so
+		// the FIFO holds the utterances back to back.
+		lens := make([]byte, 0, 4*len(group))
+		for i, u := range group {
+			pcm := s.utteranceAudio(lo+i, u)
+			s.Mic.Load(pcm)
+			var word [4]byte
+			binary.LittleEndian.PutUint32(word[:], uint32(len(pcm.Samples)*2))
+			lens = append(lens, word[:]...)
+		}
+		for {
+			if _, err := s.Mic.PumpBytes(8192); err != nil {
+				break
+			}
+		}
+
+		before := len(s.VoiceTA.Processed())
+		p := &optee.Params{{Type: optee.MemrefIn, Buf: lens}, {}}
+		if err := sess.InvokeCommand(CmdProcessBatch, p); err != nil {
+			return nil, fmt.Errorf("batch at %d: %w", lo, err)
+		}
+		records := s.VoiceTA.Processed()
+		if len(records) != before+len(group) {
+			return nil, fmt.Errorf("batch at %d: %d records for %d utterances", lo, len(records)-before, len(group))
+		}
+		for i, rec := range records[before:] {
+			out := UtteranceOutcome{
+				Truth:      group[i],
+				Transcript: rec.Transcript,
+				Flagged:    rec.Flagged,
+				Forwarded:  rec.Forwarded,
+				Redacted:   rec.Redacted,
+				Cycles:     rec.Stages.Total(),
+				Stages:     rec.Stages,
+			}
+			if rec.SealedSize > 0 {
+				s.mu.Lock()
+				s.radioBytes += uint64(rec.SealedSize)
+				s.mu.Unlock()
+			}
+			res.Utterances = append(res.Utterances, out)
+			res.Latency.Observe(float64(out.Cycles))
+		}
+
+		// The compromised OS sweeps the capture buffer between batches.
+		s.sweepSnoop(res)
+	}
+
+	s.finalizeSession(res, startCycles)
+	return res, nil
 }
 
 // utteranceAudio renders utterance i with a per-utterance voice seed so

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"sync"
 
 	"repro/internal/asr"
@@ -123,7 +123,17 @@ const (
 	// PTA, transcribes, (optionally) classifies and filters, and relays
 	// the result. Outputs: params[1] ValueOut A=forwarded(0/1) B=redacted.
 	CmdProcessUtterance uint32 = 0x20
+	// CmdProcessBatch processes several queued utterances in ONE TA
+	// invocation, amortizing the world-switch round trip and batching the
+	// classifier forward pass across the queue. params[0] is a MemrefIn of
+	// little-endian uint32 utterance byte lengths; outputs: params[1]
+	// ValueOut A=forwarded count, B=total redacted tokens.
+	CmdProcessBatch uint32 = 0x21
 )
+
+// MaxBatch bounds one CmdProcessBatch invocation; it keeps the batch's
+// wire bytes comfortably inside the controller FIFO.
+const MaxBatch = 8
 
 // StageCycles decomposes one utterance's TEE processing time.
 type StageCycles struct {
@@ -208,7 +218,7 @@ func (t *VoiceTA) Open(sessionID uint32) error {
 	if err != nil {
 		return fmt.Errorf("voice ta weights: %w", err)
 	}
-	rng := rand.New(rand.NewPCG(t.cfg.Seed, t.cfg.Seed^0x7a57))
+	rng := NewRNG(t.cfg.Seed, t.cfg.Seed^SaltClassifier)
 	clf, err := classify.NewText(t.cfg.Arch, rng, t.cfg.VocabSize, 12)
 	if err != nil {
 		return err
@@ -244,18 +254,37 @@ func (t *VoiceTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) err
 		}
 		params[1].B = uint64(rec.Redacted)
 		return nil
+	case CmdProcessBatch:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 || len(params[0].Buf)%4 != 0 {
+			return fmt.Errorf("%w: CmdProcessBatch needs MemrefIn of uint32 lengths", optee.ErrBadParam)
+		}
+		lengths := make([]int, len(params[0].Buf)/4)
+		if len(lengths) > MaxBatch {
+			return fmt.Errorf("%w: batch of %d exceeds MaxBatch %d", optee.ErrBadParam, len(lengths), MaxBatch)
+		}
+		for i := range lengths {
+			lengths[i] = int(binary.LittleEndian.Uint32(params[0].Buf[4*i:]))
+		}
+		recs, err := t.processBatch(lengths)
+		if err != nil {
+			return err
+		}
+		params[1].Type = optee.ValueOut
+		for _, rec := range recs {
+			if rec.Forwarded {
+				params[1].A++
+			}
+			params[1].B += uint64(rec.Redacted)
+		}
+		return nil
 	default:
 		return fmt.Errorf("%w: ta cmd %#x", optee.ErrBadParam, cmd)
 	}
 }
 
-// processUtterance is the Fig. 1 steps 4–7 inside the secure world.
-func (t *VoiceTA) processUtterance(wantBytes int) (ProcessedUtterance, error) {
-	var rec ProcessedUtterance
-	clock := t.cfg.Clock
-
-	// Stage 1: capture through the PTA into TA-private buffers.
-	start := clock.Now()
+// captureStage pulls wantBytes of wire audio through the PTA into
+// TA-private buffers (Fig. 1 step 4).
+func (t *VoiceTA) captureStage(wantBytes int) ([]byte, error) {
 	pcmBytes := make([]byte, 0, wantBytes)
 	chunk := make([]byte, 4096)
 	idle := 0
@@ -265,27 +294,30 @@ func (t *VoiceTA) processUtterance(wantBytes int) (ProcessedUtterance, error) {
 			{},
 		}
 		if err := t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTARead, p); err != nil {
-			return rec, fmt.Errorf("voice ta pta read: %w", err)
+			return nil, fmt.Errorf("voice ta pta read: %w", err)
 		}
 		n := int(p[1].A)
 		if n == 0 {
 			idle++
 			if idle > 1000 {
-				return rec, fmt.Errorf("voice ta: capture stalled at %d/%d bytes", len(pcmBytes), wantBytes)
+				return nil, fmt.Errorf("voice ta: capture stalled at %d/%d bytes", len(pcmBytes), wantBytes)
 			}
 			continue
 		}
 		idle = 0
 		pcmBytes = append(pcmBytes, p[0].Buf[:n]...)
 	}
-	rec.Stages.Capture = clock.Now() - start
+	return pcmBytes, nil
+}
 
-	// Stage 2: decode + transcribe. The recognizer's arithmetic is
-	// charged at one cycle per input sample plus template matching.
-	start = clock.Now()
+// transcribeStage decodes the wire bytes and runs the in-TEE recognizer
+// (Fig. 1 step 5). The recognizer's arithmetic is charged as the MFCC
+// front end (FFT + filterbank + DCT per 10 ms hop, ~6k cycles/frame on a
+// NEON-class core) plus template matching.
+func (t *VoiceTA) transcribeStage(pcmBytes []byte) ([]string, error) {
 	samples, err := i2s.DecodeFrames(pcmBytes, i2s.DefaultFormat())
 	if err != nil {
-		return rec, fmt.Errorf("voice ta decode: %w", err)
+		return nil, fmt.Errorf("voice ta decode: %w", err)
 	}
 	int16s := make([]int16, len(samples))
 	for i, s := range samples {
@@ -294,77 +326,120 @@ func (t *VoiceTA) processUtterance(wantBytes int) (ProcessedUtterance, error) {
 	pcm := audio.FromInt16(16000, int16s)
 	words, err := t.cfg.Recognizer.TranscribeWords(pcm)
 	if err != nil {
-		return rec, fmt.Errorf("voice ta asr: %w", err)
+		return nil, fmt.Errorf("voice ta asr: %w", err)
 	}
-	// Charge the MFCC front end (FFT + filterbank + DCT per 10 ms hop,
-	// ~6k cycles/frame on a NEON-class core) plus template matching.
 	frames := len(pcm.Samples) / 160
-	clock.Advance(tz.Cycles(frames)*6000 + tz.Cycles(t.cfg.Recognizer.MemoryBytes()/8))
-	rec.Transcript = words
-	rec.Stages.Transcribe = clock.Now() - start
+	t.cfg.Clock.Advance(tz.Cycles(frames)*6000 + tz.Cycles(t.cfg.Recognizer.MemoryBytes()/8))
+	return words, nil
+}
 
-	// Stage 3: classify (filter mode only).
-	start = clock.Now()
-	flagged := false
-	if t.cfg.Filter {
-		t.mu.Lock()
-		clf := t.classifier
-		t.mu.Unlock()
-		if clf == nil {
-			return rec, errors.New("voice ta: classifier not loaded (session not opened)")
-		}
-		cls, err := clf.Predict(clf.TokensToFeatures(t.cfg.Vocab.Encode(words)))
-		if err != nil {
-			return rec, fmt.Errorf("voice ta classify: %w", err)
-		}
-		flagged = cls == 1
-		// Charge the inference arithmetic: 4 MACs/cycle (NEON-class SIMD).
-		clock.Advance(tz.Cycles(clf.EstimateMACs() / 4))
+// classifyStage runs the ML filter over a batch of transcripts in one
+// forward pass, charging 4 MACs/cycle (NEON-class SIMD) per sample.
+func (t *VoiceTA) classifyStage(transcripts [][]string) ([]bool, error) {
+	t.mu.Lock()
+	clf := t.classifier
+	t.mu.Unlock()
+	if clf == nil {
+		return nil, errors.New("voice ta: classifier not loaded (session not opened)")
 	}
-	rec.Flagged = flagged
-	rec.Stages.Classify = clock.Now() - start
+	batch := make([][]float32, len(transcripts))
+	for i, words := range transcripts {
+		batch[i] = clf.TokensToFeatures(t.cfg.Vocab.Encode(words))
+	}
+	classes, err := clf.PredictBatch(batch)
+	if err != nil {
+		return nil, fmt.Errorf("voice ta classify: %w", err)
+	}
+	t.cfg.Clock.Advance(tz.Cycles(clf.EstimateMACs() * len(batch) / 4))
+	flagged := make([]bool, len(classes))
+	for i, cls := range classes {
+		flagged[i] = cls == 1
+	}
+	return flagged, nil
+}
 
-	// Stage 4: policy + relay.
-	start = clock.Now()
+// relayStage applies the filter policy and, when forwarding, seals the
+// event and relays it through the supplicant, verifying the cloud's
+// sealed directive (Fig. 1 steps 6–7).
+func (t *VoiceTA) relayStage(words []string, flagged bool, rec *ProcessedUtterance) error {
 	policy := t.cfg.Policy
 	if !t.cfg.Filter {
 		policy = relay.PolicyPassThrough
 	}
 	result, err := relay.ApplyPolicy(policy, flagged, words)
 	if err != nil {
-		return rec, err
+		return err
 	}
 	rec.Forwarded = result.Forward
 	rec.Redacted = result.Redacted
-	if result.Forward {
-		t.mu.Lock()
-		t.messageID++
-		mid := t.messageID
-		t.mu.Unlock()
-		payload, err := relay.EncodeEvent(relay.Event{
-			Namespace:  relay.NamespaceSpeech,
-			Name:       relay.NameTranscript,
-			MessageID:  mid,
-			Transcript: result.Tokens,
-			Redacted:   result.Redacted,
-		})
+	if !result.Forward {
+		return nil
+	}
+	t.mu.Lock()
+	t.messageID++
+	mid := t.messageID
+	t.mu.Unlock()
+	payload, err := relay.EncodeEvent(relay.Event{
+		Namespace:  relay.NamespaceSpeech,
+		Name:       relay.NameTranscript,
+		MessageID:  mid,
+		Transcript: result.Tokens,
+		Redacted:   result.Redacted,
+	})
+	if err != nil {
+		return err
+	}
+	sealed := t.channel.Seal(payload)
+	rec.SealedSize = len(sealed)
+	resp, err := t.cfg.TEE.RPC(optee.RPCRequest{
+		Kind:    optee.RPCNetSend,
+		Target:  CloudTarget,
+		Payload: sealed,
+	})
+	if err != nil {
+		return fmt.Errorf("voice ta relay: %w", err)
+	}
+	if _, err := t.channel.Open(resp.Payload); err != nil {
+		return fmt.Errorf("voice ta directive: %w", err)
+	}
+	return nil
+}
+
+// processUtterance is the Fig. 1 steps 4–7 inside the secure world.
+func (t *VoiceTA) processUtterance(wantBytes int) (ProcessedUtterance, error) {
+	var rec ProcessedUtterance
+	clock := t.cfg.Clock
+
+	start := clock.Now()
+	pcmBytes, err := t.captureStage(wantBytes)
+	if err != nil {
+		return rec, err
+	}
+	rec.Stages.Capture = clock.Now() - start
+
+	start = clock.Now()
+	words, err := t.transcribeStage(pcmBytes)
+	if err != nil {
+		return rec, err
+	}
+	rec.Transcript = words
+	rec.Stages.Transcribe = clock.Now() - start
+
+	start = clock.Now()
+	flagged := false
+	if t.cfg.Filter {
+		flags, err := t.classifyStage([][]string{words})
 		if err != nil {
 			return rec, err
 		}
-		sealed := t.channel.Seal(payload)
-		rec.SealedSize = len(sealed)
-		resp, err := t.cfg.TEE.RPC(optee.RPCRequest{
-			Kind:    optee.RPCNetSend,
-			Target:  CloudTarget,
-			Payload: sealed,
-		})
-		if err != nil {
-			return rec, fmt.Errorf("voice ta relay: %w", err)
-		}
-		// Verify the cloud's sealed directive (end-to-end authenticity).
-		if _, err := t.channel.Open(resp.Payload); err != nil {
-			return rec, fmt.Errorf("voice ta directive: %w", err)
-		}
+		flagged = flags[0]
+	}
+	rec.Flagged = flagged
+	rec.Stages.Classify = clock.Now() - start
+
+	start = clock.Now()
+	if err := t.relayStage(words, flagged, &rec); err != nil {
+		return rec, err
 	}
 	rec.Stages.Relay = clock.Now() - start
 
@@ -372,6 +447,61 @@ func (t *VoiceTA) processUtterance(wantBytes int) (ProcessedUtterance, error) {
 	t.processed = append(t.processed, rec)
 	t.mu.Unlock()
 	return rec, nil
+}
+
+// processBatch drains a queue of utterances in one invocation: capture
+// and transcribe each, classify them all in one batched forward pass,
+// then relay the survivors. The caller paid one world-switch round trip
+// for the whole batch instead of one per utterance.
+func (t *VoiceTA) processBatch(lengths []int) ([]ProcessedUtterance, error) {
+	clock := t.cfg.Clock
+	recs := make([]ProcessedUtterance, len(lengths))
+	transcripts := make([][]string, len(lengths))
+
+	for i, wantBytes := range lengths {
+		start := clock.Now()
+		pcmBytes, err := t.captureStage(wantBytes)
+		if err != nil {
+			return nil, fmt.Errorf("batch utterance %d: %w", i, err)
+		}
+		recs[i].Stages.Capture = clock.Now() - start
+
+		start = clock.Now()
+		words, err := t.transcribeStage(pcmBytes)
+		if err != nil {
+			return nil, fmt.Errorf("batch utterance %d: %w", i, err)
+		}
+		transcripts[i] = words
+		recs[i].Transcript = words
+		recs[i].Stages.Transcribe = clock.Now() - start
+	}
+
+	if t.cfg.Filter {
+		start := clock.Now()
+		flags, err := t.classifyStage(transcripts)
+		if err != nil {
+			return nil, err
+		}
+		spent := clock.Now() - start
+		for i := range recs {
+			recs[i].Flagged = flags[i]
+			// The batched forward pass is shared work; attribute it evenly.
+			recs[i].Stages.Classify = spent / tz.Cycles(len(recs))
+		}
+	}
+
+	for i := range recs {
+		start := clock.Now()
+		if err := t.relayStage(transcripts[i], recs[i].Flagged, &recs[i]); err != nil {
+			return nil, fmt.Errorf("batch utterance %d: %w", i, err)
+		}
+		recs[i].Stages.Relay = clock.Now() - start
+	}
+
+	t.mu.Lock()
+	t.processed = append(t.processed, recs...)
+	t.mu.Unlock()
+	return recs, nil
 }
 
 // Processed returns the TA's per-utterance records (trusted-side

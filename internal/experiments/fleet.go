@@ -1,0 +1,71 @@
+package experiments
+
+// E10 (Fig-E / Table-6): fleet scaling. The paper's design is evaluated
+// one device at a time; the production question is how the sealed-relay
+// architecture behaves when a provider ingests a whole population. E10
+// sweeps the fleet size at a fixed shard count and reports, per point,
+// wall-clock throughput of the simulator, the virtual per-item latency
+// distribution, and the per-mode leakage — demonstrating that the
+// privacy separation between baseline and secure-filter deployments is
+// preserved (and auditable) at fleet scale.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// E10Point is one fleet size in the sweep.
+type E10Point struct {
+	Devices        int
+	Shards         int
+	ItemsPerSec    float64 // wall-clock simulator throughput
+	P50Us          float64 // virtual per-item latency, merged population
+	P99Us          float64
+	BaselineLeak   float64 // sensitive tokens per baseline speaker
+	FilteredLeak   float64 // sensitive tokens per secure-filter speaker
+	LostFrames     int
+	IngestedFrames uint64
+}
+
+// E10FleetScale sweeps the population size at 4 shards.
+func E10FleetScale(seed uint64) (*metrics.Table, []E10Point, error) {
+	tbl := metrics.NewTable("E10: fleet scaling (4 shards)",
+		"devices", "items/s(wall)", "p50(us)", "p99(us)",
+		"base leak/dev", "filt leak/dev", "lost frames")
+	var points []E10Point
+	for _, devices := range []int{8, 16, 32} {
+		res, err := fleet.Run(fleet.Config{
+			Devices:    devices,
+			Shards:     4,
+			Utterances: 2,
+			Frames:     2,
+			Seed:       seed,
+			FreqHz:     FreqHz,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet of %d: %w", devices, err)
+		}
+		p := E10Point{
+			Devices:        devices,
+			Shards:         4,
+			ItemsPerSec:    res.Throughput(),
+			P50Us:          cyclesToUs(res.Latency.Percentile(50)),
+			P99Us:          cyclesToUs(res.Latency.Percentile(99)),
+			LostFrames:     res.LostFrames(),
+			IngestedFrames: res.IngestedFrames(),
+		}
+		if g := res.Groups[fleet.GroupKey{Kind: core.DeviceSpeaker, Mode: core.ModeBaseline}]; g != nil {
+			p.BaselineLeak = float64(g.SensitiveTokens) / float64(g.Devices)
+		}
+		if g := res.Groups[fleet.GroupKey{Kind: core.DeviceSpeaker, Mode: core.ModeSecureFilter}]; g != nil {
+			p.FilteredLeak = float64(g.SensitiveTokens) / float64(g.Devices)
+		}
+		points = append(points, p)
+		tbl.AddRow(p.Devices, p.ItemsPerSec, p.P50Us, p.P99Us,
+			p.BaselineLeak, p.FilteredLeak, p.LostFrames)
+	}
+	return tbl, points, nil
+}

@@ -1,0 +1,453 @@
+// Package fleet is the orchestration layer that scales the paper's
+// single-device pipeline to a device population. It instantiates N
+// concurrent device pipelines (smart speakers and camera doorbells in a
+// mix of deployment modes, via the core device factory), multiplexes
+// their cloud-bound traffic into a sharded ingest tier (per-shard
+// provider endpoints behind a consistent-hash router, bounded worker
+// pools, channel backpressure), and drives secure speakers through the
+// TA's batched-inference path so a device pays one world-switch round
+// trip per utterance batch instead of per utterance.
+//
+// Everything below the orchestration is the unmodified per-device
+// simulation: virtual-cycle latencies stay deterministic per root seed;
+// only wall-clock throughput depends on the host.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/peripheral"
+	"repro/internal/sensitive"
+)
+
+// ErrBadConfig is returned for invalid fleet configurations.
+var ErrBadConfig = errors.New("fleet: invalid config")
+
+// Config parameterizes one fleet run.
+type Config struct {
+	// Devices is the population size.
+	Devices int
+	// DoorbellFraction is the share of camera doorbells (the rest are
+	// smart speakers). 0 means default (0.25); pass any negative value
+	// for an explicitly speakers-only fleet.
+	DoorbellFraction float64
+	// Mix weights the three deployment modes across speakers
+	// (baseline : secure-nofilter : secure-filter); default 1:1:1.
+	// Doorbells alternate baseline and secure-filter (the middle mode is
+	// meaningless for images).
+	Mix [3]int
+
+	// Shards is the number of ingest partitions; default 4.
+	Shards int
+	// ShardWorkers is the worker-pool size per shard; default 4.
+	ShardWorkers int
+	// ShardQueue is the per-shard admission-queue depth (backpressure);
+	// default 2×ShardWorkers.
+	ShardQueue int
+	// HashReplicas is the consistent-hash ring points per shard;
+	// default 64.
+	HashReplicas int
+
+	// DeviceWorkers bounds concurrently running device pipelines;
+	// default GOMAXPROCS.
+	DeviceWorkers int
+	// Batch is the TA batch size for secure speakers (1 disables
+	// batching); default 4, capped at core.MaxBatch.
+	Batch int
+
+	// Utterances per speaker (default 4) and Frames per doorbell
+	// (default 6).
+	Utterances int
+	Frames     int
+	// SensitiveFraction of the workload carries private content.
+	// 0 means default (0.4); negative means an explicitly all-benign
+	// workload; 1 means all-sensitive.
+	SensitiveFraction float64
+
+	// Seed is the root seed: device seeds, workloads and the shared
+	// provisioned model all derive from it. Default 1.
+	Seed uint64
+	// FreqHz is the modelled core frequency; default 1 GHz.
+	FreqHz uint64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Devices <= 0 {
+		c.Devices = 16
+	}
+	if c.DoorbellFraction > 1 {
+		return fmt.Errorf("%w: doorbell fraction %g", ErrBadConfig, c.DoorbellFraction)
+	}
+	switch {
+	case c.DoorbellFraction == 0:
+		c.DoorbellFraction = 0.25
+	case c.DoorbellFraction < 0:
+		c.DoorbellFraction = 0
+	}
+	if c.Mix == ([3]int{}) {
+		c.Mix = [3]int{1, 1, 1}
+	}
+	for _, w := range c.Mix {
+		if w < 0 {
+			return fmt.Errorf("%w: negative mix weight", ErrBadConfig)
+		}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.ShardWorkers <= 0 {
+		c.ShardWorkers = 4
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = 2 * c.ShardWorkers
+	}
+	if c.HashReplicas <= 0 {
+		c.HashReplicas = 64
+	}
+	if c.DeviceWorkers <= 0 {
+		c.DeviceWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 4
+	}
+	if c.Batch > core.MaxBatch {
+		c.Batch = core.MaxBatch
+	}
+	if c.Utterances <= 0 {
+		c.Utterances = 4
+	}
+	if c.Frames <= 0 {
+		c.Frames = 6
+	}
+	if c.SensitiveFraction > 1 {
+		return fmt.Errorf("%w: sensitive fraction %g", ErrBadConfig, c.SensitiveFraction)
+	}
+	switch {
+	case c.SensitiveFraction == 0:
+		c.SensitiveFraction = 0.4
+	case c.SensitiveFraction < 0:
+		c.SensitiveFraction = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FreqHz == 0 {
+		c.FreqHz = 1_000_000_000
+	}
+	return nil
+}
+
+// DeviceID names fleet member i on the ingest tier.
+func DeviceID(i int) string { return fmt.Sprintf("device-%05d", i) }
+
+// Plan lays out the population deterministically: device i's kind comes
+// from the doorbell fraction, its mode from the weighted mix, its seed
+// from the root seed. The shared ModelSeed models one provider-trained
+// model provisioned to every device.
+func Plan(cfg Config) ([]core.DeviceSpec, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	specs := make([]core.DeviceSpec, cfg.Devices)
+	doorbells := int(float64(cfg.Devices) * cfg.DoorbellFraction)
+	stride := cfg.Devices
+	if doorbells > 0 {
+		stride = cfg.Devices / doorbells
+	}
+	speakerModes := weightedModes(cfg.Mix)
+	nSpeaker, nDoorbell := 0, 0
+	for i := range specs {
+		spec := core.DeviceSpec{
+			Seed:      core.DeriveSeed(cfg.Seed, core.SaltDeviceSeed, i),
+			ModelSeed: cfg.Seed,
+			FreqHz:    cfg.FreqHz,
+			Batch:     cfg.Batch,
+		}
+		// Interleave doorbells evenly through the population.
+		if doorbells > 0 && i%stride == 0 && nDoorbell < doorbells {
+			spec.Kind = core.DeviceDoorbell
+			if nDoorbell%2 == 0 {
+				spec.Mode = core.ModeBaseline
+			} else {
+				spec.Mode = core.ModeSecureFilter
+			}
+			nDoorbell++
+		} else {
+			spec.Kind = core.DeviceSpeaker
+			spec.Mode = speakerModes[nSpeaker%len(speakerModes)]
+			nSpeaker++
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+func weightedModes(mix [3]int) []core.Mode {
+	var out []core.Mode
+	modes := []core.Mode{core.ModeBaseline, core.ModeSecureNoFilter, core.ModeSecureFilter}
+	for i, w := range mix {
+		for j := 0; j < w; j++ {
+			out = append(out, modes[i])
+		}
+	}
+	return out
+}
+
+// GroupKey identifies one (kind, mode) slice of the population.
+type GroupKey struct {
+	Kind core.DeviceKind
+	Mode core.Mode
+}
+
+// String renders "speaker/secure-filter"-style labels.
+func (k GroupKey) String() string { return k.Kind.String() + "/" + k.Mode.String() }
+
+// GroupStats aggregates one population slice.
+type GroupStats struct {
+	Devices int
+	// Items processed: utterances for speakers, frames for doorbells.
+	Items int
+	// CloudEvents the slice pushed through the ingest tier.
+	CloudEvents int
+	// SensitiveTokens the provider observed from this slice (speakers).
+	SensitiveTokens int
+	// PersonFrames that reached the provider (doorbells; baseline
+	// doorbells count locally-uploaded person frames).
+	PersonFrames int
+	// Latency is the merged per-item virtual-cycle recorder.
+	Latency *metrics.Recorder
+}
+
+// Result aggregates one fleet run.
+type Result struct {
+	Config Config
+
+	// BuildWall and RunWall split construction from steady-state
+	// processing; throughput figures use RunWall only.
+	BuildWall time.Duration
+	RunWall   time.Duration
+
+	// Groups slices the fleet by (kind, mode).
+	Groups map[GroupKey]*GroupStats
+	// Latency merges every device's per-item recorder.
+	Latency *metrics.Recorder
+
+	// Audit is the cross-shard aggregate of everything the provider
+	// tier ingested; ShardStats the per-shard counters.
+	Audit      cloud.Audit
+	ShardStats []cloud.ShardStats
+
+	// ExpectedCloudEvents is the sum of per-device expectations; a lossless
+	// ingest tier has Audit.Events == ExpectedCloudEvents and zero shard
+	// errors.
+	ExpectedCloudEvents int
+	// TotalItems counts utterances + frames processed fleet-wide.
+	TotalItems int
+}
+
+// IngestedFrames sums frames processed across shards.
+func (r *Result) IngestedFrames() uint64 {
+	var n uint64
+	for _, s := range r.ShardStats {
+		n += s.Frames
+	}
+	return n
+}
+
+// LostFrames is the gap between emitted and ingested cloud events.
+func (r *Result) LostFrames() int {
+	return r.ExpectedCloudEvents - int(r.IngestedFrames())
+}
+
+// Throughput returns items/s over the run phase.
+func (r *Result) Throughput() float64 {
+	return metrics.Throughput(r.TotalItems, r.RunWall.Seconds())
+}
+
+// GroupKeys returns the populated group keys in stable order.
+func (r *Result) GroupKeys() []GroupKey {
+	keys := make([]GroupKey, 0, len(r.Groups))
+	for k := range r.Groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Kind != keys[j].Kind {
+			return keys[i].Kind < keys[j].Kind
+		}
+		return keys[i].Mode < keys[j].Mode
+	})
+	return keys
+}
+
+// Run executes one fleet: plan → build → wire ingest → process → audit.
+func Run(cfg Config) (*Result, error) {
+	specs, err := Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	_ = cfg.fillDefaults() // Plan validated; normalize our copy too
+
+	// Build the population concurrently. Model training is memoized per
+	// ModelSeed, so the first builder trains and the rest load weights.
+	buildStart := time.Now()
+	devices := make([]*core.Device, len(specs))
+	if err := eachDevice(len(specs), cfg.DeviceWorkers, func(i int) error {
+		d, err := core.NewDevice(specs[i])
+		if err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+		devices[i] = d
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	buildWall := time.Since(buildStart)
+
+	// Wire the ingest tier: shards, ring, uplinks.
+	shards := make([]*cloud.Shard, cfg.Shards)
+	for i := range shards {
+		shards[i] = cloud.NewShard(fmt.Sprintf("shard-%02d", i), cfg.ShardWorkers, cfg.ShardQueue)
+	}
+	router, err := cloud.NewRouter(shards, cfg.HashReplicas)
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	for i, d := range devices {
+		if ep := d.CloudEndpoint(); ep != nil {
+			id := DeviceID(i)
+			router.Register(id, ep)
+			d.SetUplink(&cloud.Uplink{DeviceID: id, Router: router})
+		}
+	}
+
+	// Process every device's workload concurrently.
+	results := make([]*core.DeviceResult, len(devices))
+	runStart := time.Now()
+	if err := eachDevice(len(devices), cfg.DeviceWorkers, func(i int) error {
+		w, err := workloadFor(cfg, specs[i], i)
+		if err != nil {
+			return fmt.Errorf("device %d workload: %w", i, err)
+		}
+		res, err := devices[i].Run(w)
+		if err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	runWall := time.Since(runStart)
+
+	return aggregate(cfg, buildWall, runWall, results, router), nil
+}
+
+// eachDevice runs fn(0..n-1) on a bounded worker pool, returning the
+// first error.
+func eachDevice(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// workloadFor derives device i's labelled workload from the root seed.
+func workloadFor(cfg Config, spec core.DeviceSpec, i int) (core.DeviceWorkload, error) {
+	wseed := core.DeriveSeed(cfg.Seed, core.SaltWorkload, i)
+	if spec.Kind == core.DeviceSpeaker {
+		utts, err := sensitive.Generate(sensitive.GenConfig{
+			N: cfg.Utterances, SensitiveFraction: cfg.SensitiveFraction, Seed: wseed,
+		})
+		if err != nil {
+			return core.DeviceWorkload{}, err
+		}
+		return core.DeviceWorkload{Utterances: utts}, nil
+	}
+	rng := core.NewRNG(wseed, wseed^core.SaltWorkload)
+	scenes := make([]peripheral.Scene, cfg.Frames)
+	for j := range scenes {
+		if rng.Float64() < cfg.SensitiveFraction {
+			scenes[j] = peripheral.ScenePerson
+		} else {
+			scenes[j] = peripheral.SceneEmpty
+		}
+	}
+	return core.DeviceWorkload{Scenes: scenes}, nil
+}
+
+func aggregate(cfg Config, buildWall, runWall time.Duration, results []*core.DeviceResult, router *cloud.Router) *Result {
+	out := &Result{
+		Config:    cfg,
+		BuildWall: buildWall,
+		RunWall:   runWall,
+		Groups:    make(map[GroupKey]*GroupStats),
+		Latency:   metrics.NewRecorder(),
+	}
+	for _, res := range results {
+		key := GroupKey{Kind: res.Spec.Kind, Mode: res.Spec.Mode}
+		g := out.Groups[key]
+		if g == nil {
+			g = &GroupStats{Latency: metrics.NewRecorder()}
+			out.Groups[key] = g
+		}
+		g.Devices++
+		g.CloudEvents += res.CloudEvents()
+		out.ExpectedCloudEvents += res.CloudEvents()
+		g.Latency.Merge(res.Latency())
+		out.Latency.Merge(res.Latency())
+		items := 0
+		if res.Session != nil {
+			items = len(res.Session.Utterances)
+			g.SensitiveTokens += res.Session.CloudAudit.SensitiveTokens
+		} else {
+			items = res.Camera.Frames
+			g.PersonFrames += res.Camera.ForwardedPersons
+		}
+		g.Items += items
+		out.TotalItems += items
+	}
+	out.ShardStats = router.Stats()
+	out.Audit = router.Audit()
+	return out
+}

@@ -1,0 +1,45 @@
+package metrics
+
+import "testing"
+
+func TestRecorderMerge(t *testing.T) {
+	a, b, c := NewRecorder(), NewRecorder(), NewRecorder()
+	for i := 1; i <= 50; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 51; i <= 100; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(b, c, nil)
+	if a.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", a.Count())
+	}
+	// Percentiles must come from the merged population, not the first
+	// recorder's.
+	if got := a.Percentile(99); got != 99 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+	if got := a.Max(); got != 100 {
+		t.Fatalf("max = %v, want 100", got)
+	}
+}
+
+func TestRecorderMergeAfterSort(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Observe(10)
+	_ = a.Percentile(50) // forces the sorted state
+	b.Observe(5)
+	a.Merge(b)
+	if got := a.Min(); got != 5 {
+		t.Fatalf("min after merge = %v, want 5", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100, 4); got != 25 {
+		t.Fatalf("throughput = %v, want 25", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Fatalf("throughput at zero elapsed = %v, want 0", got)
+	}
+}

@@ -29,6 +29,28 @@ func (r *Recorder) Observe(v float64) {
 // Count returns the number of samples.
 func (r *Recorder) Count() int { return len(r.samples) }
 
+// Merge folds the others' samples into r (cross-shard / cross-device
+// aggregation: percentiles of the merged population, not averages of
+// per-shard percentiles).
+func (r *Recorder) Merge(others ...*Recorder) {
+	for _, o := range others {
+		if o == nil {
+			continue
+		}
+		r.samples = append(r.samples, o.samples...)
+	}
+	r.sorted = false
+}
+
+// Throughput converts an item count over elapsed seconds to items/s
+// (0 when elapsed is not positive).
+func Throughput(items int, elapsedSeconds float64) float64 {
+	if elapsedSeconds <= 0 {
+		return 0
+	}
+	return float64(items) / elapsedSeconds
+}
+
 // Mean returns the sample mean (incremental form, immune to the sum
 // overflowing even for extreme samples).
 func (r *Recorder) Mean() float64 {
