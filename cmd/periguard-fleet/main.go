@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/fleet"
@@ -39,8 +40,20 @@ func run(args []string) error {
 	doorbells := fs.Float64("doorbells", 0.25, "doorbell fraction of the population (0 = none)")
 	seed := fs.Uint64("seed", 1, "root seed (devices, workloads and model derive from it)")
 	jsonPath := fs.String("json", "", "write a JSON snapshot to this path")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	doorbellFrac := *doorbells
@@ -113,6 +126,7 @@ type snapshot struct {
 	Shards        int                `json:"shards"`
 	Batch         int                `json:"batch"`
 	Seed          uint64             `json:"seed"`
+	BuildWallMs   float64            `json:"build_wall_ms"`
 	RunWallMs     float64            `json:"run_wall_ms"`
 	ItemsPerSec   float64            `json:"items_per_sec"`
 	TotalItems    int                `json:"total_items"`
@@ -140,6 +154,7 @@ func writeSnapshot(path string, res *fleet.Result) error {
 		Shards:        res.Config.Shards,
 		Batch:         res.Config.Batch,
 		Seed:          res.Config.Seed,
+		BuildWallMs:   float64(res.BuildWall.Microseconds()) / 1e3,
 		RunWallMs:     float64(res.RunWall.Microseconds()) / 1e3,
 		ItemsPerSec:   res.Throughput(),
 		TotalItems:    res.TotalItems,

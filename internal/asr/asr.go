@@ -4,6 +4,12 @@
 // a classical small-footprint pipeline — energy-based voice activity
 // detection, MFCC features, nearest-template matching — chosen because the
 // TEE memory budget (§V) rules out large neural acoustic models.
+//
+// The trained state is split so a fleet can share it: Model is the
+// immutable template pack (train once, read from everywhere), Session is
+// a cheap per-device view holding the MFCC extractor and matching
+// scratch. A Session is single-goroutine state; a Model is safe to share
+// across any number of Sessions.
 package asr
 
 import (
@@ -46,67 +52,43 @@ func DefaultConfig(rate int) Config {
 	}
 }
 
-// Recognizer is a trained keyword-spotting transcriber.
-type Recognizer struct {
+// Model is an immutable trained template pack. It holds no mutable
+// state, so one Model is safely shared by every device (and the cloud's
+// server-side recognizer) in a fleet; per-device scratch lives in the
+// Sessions it vends.
+type Model struct {
 	cfg       Config
-	extractor *dsp.Extractor
 	words     []string
 	templates [][]float64 // parallel to words
 }
 
-// New creates an untrained recognizer.
-func New(cfg Config) (*Recognizer, error) {
-	ex, err := dsp.NewExtractor(dsp.DefaultMFCCConfig(cfg.SampleRate))
-	if err != nil {
-		return nil, fmt.Errorf("asr extractor: %w", err)
-	}
-	return &Recognizer{cfg: cfg, extractor: ex}, nil
-}
-
-// segmentFeature summarizes one voiced segment: mean and standard
-// deviation of its MFCC frames, concatenated.
-func (r *Recognizer) segmentFeature(samples []float64) ([]float64, error) {
-	frames, err := r.extractor.Signal(samples)
-	if err != nil {
-		return nil, err
-	}
-	if len(frames) == 0 {
-		return nil, nil
-	}
-	mean := dsp.MeanVector(frames)
-	std := make([]float64, len(mean))
-	for _, f := range frames {
-		for i := range mean {
-			d := f[i] - mean[i]
-			std[i] += d * d
-		}
-	}
-	for i := range std {
-		std[i] = math.Sqrt(std[i] / float64(len(frames)))
-	}
-	return append(mean, std...), nil
-}
-
-// Train builds per-word templates by synthesizing renditions with
+// TrainModel builds per-word templates by synthesizing renditions with
 // different seeds and averaging their features. The voice passed here is
 // the "pre-training" voice; recognition generalizes to other seeds of the
 // same synthetic speaker model.
-func (r *Recognizer) Train(words []string, voice audio.Voice) error {
+func TrainModel(cfg Config, words []string, voice audio.Voice) (*Model, error) {
 	if len(words) == 0 {
-		return ErrNoVocabulary
+		return nil, ErrNoVocabulary
 	}
-	r.words = append([]string(nil), words...)
-	r.templates = make([][]float64, len(words))
+	m := &Model{
+		cfg:       cfg,
+		words:     append([]string(nil), words...),
+		templates: make([][]float64, len(words)),
+	}
+	s, err := m.NewSession()
+	if err != nil {
+		return nil, err
+	}
 	for wi, w := range words {
 		var acc []float64
 		count := 0
-		for k := 0; k < r.cfg.TrainRenditions; k++ {
+		for k := 0; k < cfg.TrainRenditions; k++ {
 			v := voice
 			v.Seed = voice.Seed + uint64(k)*7919 + 1
 			pcm := v.SynthesizeWord(w)
-			feat, err := r.segmentFeature(pcm.Samples)
+			feat, err := s.segmentFeature(pcm.Samples)
 			if err != nil {
-				return fmt.Errorf("train %q: %w", w, err)
+				return nil, fmt.Errorf("train %q: %w", w, err)
 			}
 			if feat == nil {
 				continue
@@ -120,38 +102,117 @@ func (r *Recognizer) Train(words []string, voice audio.Voice) error {
 			count++
 		}
 		if count == 0 {
-			return fmt.Errorf("train %q: no usable renditions", w)
+			return nil, fmt.Errorf("train %q: no usable renditions", w)
 		}
 		for i := range acc {
 			acc[i] /= float64(count)
 		}
-		r.templates[wi] = acc
+		m.templates[wi] = acc
 	}
-	return nil
+	return m, nil
 }
 
-// Trained reports whether templates exist.
-func (r *Recognizer) Trained() bool { return len(r.templates) > 0 }
+// Config returns the model's recognizer configuration.
+func (m *Model) Config() Config { return m.cfg }
 
 // Vocabulary returns the trained word list.
-func (r *Recognizer) Vocabulary() []string {
-	return append([]string(nil), r.words...)
+func (m *Model) Vocabulary() []string {
+	return append([]string(nil), m.words...)
 }
 
-// Segment finds voiced regions via short-term energy. Returned ranges are
-// sample offsets [start, end).
-func (r *Recognizer) Segment(pcm audio.PCM) [][2]int {
-	frameLen := r.cfg.SampleRate / 100 // 10 ms
+// MemoryBytes reports the template footprint (the in-TEE resident cost
+// of the "speech model").
+func (m *Model) MemoryBytes() int {
+	n := 0
+	for _, t := range m.templates {
+		n += len(t) * 8
+	}
+	return n
+}
+
+// NewSession creates a per-device view of the model: the MFCC extractor
+// plus matching scratch. Sessions are cheap (a few KB) and must not be
+// shared across goroutines.
+func (m *Model) NewSession() (*Session, error) {
+	ex, err := dsp.NewExtractor(dsp.DefaultMFCCConfig(m.cfg.SampleRate))
+	if err != nil {
+		return nil, fmt.Errorf("asr extractor: %w", err)
+	}
+	return &Session{model: m, extractor: ex}, nil
+}
+
+// Session is one device's transcription state over a shared Model.
+type Session struct {
+	model     *Model
+	extractor *dsp.Extractor
+
+	// Scratch reused across Transcribe calls.
+	feat     []float64 // segment feature (mean ++ std)
+	energies []float64 // VAD frame energies
+	segments [][2]int  // VAD segment spans
+}
+
+// Model returns the shared template pack behind the session.
+func (s *Session) Model() *Model { return s.model }
+
+// segmentFeature summarizes one voiced segment: mean and standard
+// deviation of its MFCC frames, concatenated. The returned slice aliases
+// session scratch and is valid until the next segmentFeature call.
+func (s *Session) segmentFeature(samples []float64) ([]float64, error) {
+	frames, err := s.extractor.Signal(samples)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	nc := len(frames[0])
+	if cap(s.feat) < 2*nc {
+		s.feat = make([]float64, 2*nc)
+	}
+	s.feat = s.feat[:2*nc]
+	mean, std := s.feat[:nc], s.feat[nc:]
+	for i := range mean {
+		mean[i], std[i] = 0, 0
+	}
+	for _, v := range frames {
+		for i := range mean {
+			mean[i] += v[i]
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(frames))
+	}
+	for _, f := range frames {
+		for i := range mean {
+			d := f[i] - mean[i]
+			std[i] += d * d
+		}
+	}
+	for i := range std {
+		std[i] = math.Sqrt(std[i] / float64(len(frames)))
+	}
+	return s.feat, nil
+}
+
+// Segment finds voiced regions via short-term energy. Returned ranges
+// are sample offsets [start, end); the slice aliases session scratch and
+// is valid until the next Segment or Transcribe call.
+func (s *Session) Segment(pcm audio.PCM) [][2]int {
+	frameLen := s.model.cfg.SampleRate / 100 // 10 ms
 	if frameLen == 0 || len(pcm.Samples) < frameLen {
 		return nil
 	}
 	nFrames := len(pcm.Samples) / frameLen
-	energies := make([]float64, nFrames)
+	if cap(s.energies) < nFrames {
+		s.energies = make([]float64, nFrames)
+	}
+	energies := s.energies[:nFrames]
 	var peak float64
 	for i := 0; i < nFrames; i++ {
 		var e float64
-		for _, s := range pcm.Samples[i*frameLen : (i+1)*frameLen] {
-			e += s * s
+		for _, v := range pcm.Samples[i*frameLen : (i+1)*frameLen] {
+			e += v * v
 		}
 		energies[i] = e
 		if e > peak {
@@ -161,9 +222,9 @@ func (r *Recognizer) Segment(pcm audio.PCM) [][2]int {
 	if peak == 0 {
 		return nil
 	}
-	threshold := peak * r.cfg.VADThresholdFrac
-	minFrames := r.cfg.MinSegmentMs / 10
-	var segments [][2]int
+	threshold := peak * s.model.cfg.VADThresholdFrac
+	minFrames := s.model.cfg.MinSegmentMs / 10
+	segments := s.segments[:0]
 	start := -1
 	for i := 0; i <= nFrames; i++ {
 		active := i < nFrames && energies[i] >= threshold
@@ -177,6 +238,7 @@ func (r *Recognizer) Segment(pcm audio.PCM) [][2]int {
 			start = -1
 		}
 	}
+	s.segments = segments
 	return segments
 }
 
@@ -188,30 +250,45 @@ type WordResult struct {
 	End      int
 }
 
-// Transcribe segments the utterance and matches each voiced segment to the
-// nearest word template.
-func (r *Recognizer) Transcribe(pcm audio.PCM) ([]WordResult, error) {
-	if !r.Trained() {
-		return nil, ErrNotTrained
-	}
+// Transcribe segments the utterance and matches each voiced segment to
+// the nearest word template. Matching early-abandons a template as soon
+// as its running squared distance exceeds the best seen, which cannot
+// change the selected word: a partial sum already at or above the best
+// squared distance can only grow, and the final comparison on completed
+// sums uses the same sqrt-space strict inequality as an exhaustive scan.
+func (s *Session) Transcribe(pcm audio.PCM) ([]WordResult, error) {
 	var out []WordResult
-	for _, seg := range r.Segment(pcm) {
-		feat, err := r.segmentFeature(pcm.Samples[seg[0]:seg[1]])
+	for _, seg := range s.Segment(pcm) {
+		feat, err := s.segmentFeature(pcm.Samples[seg[0]:seg[1]])
 		if err != nil {
 			return nil, err
 		}
 		if feat == nil {
 			continue
 		}
-		bestW, bestD := -1, math.Inf(1)
-		for wi, tpl := range r.templates {
-			if d := dsp.EuclideanDistance(feat, tpl); d < bestD {
-				bestW, bestD = wi, d
+		bestW := -1
+		bestD := math.Inf(1)
+		bestSq := math.Inf(1)
+		for wi, tpl := range s.model.templates {
+			sum, abandoned := 0.0, false
+			for i := range feat {
+				d := feat[i] - tpl[i]
+				sum += d * d
+				if sum >= bestSq {
+					abandoned = true
+					break
+				}
+			}
+			if abandoned {
+				continue
+			}
+			if d := math.Sqrt(sum); d < bestD {
+				bestW, bestD, bestSq = wi, d, sum
 			}
 		}
 		if bestW >= 0 {
 			out = append(out, WordResult{
-				Word: r.words[bestW], Distance: bestD, Start: seg[0], End: seg[1],
+				Word: s.model.words[bestW], Distance: bestD, Start: seg[0], End: seg[1],
 			})
 		}
 	}
@@ -219,8 +296,8 @@ func (r *Recognizer) Transcribe(pcm audio.PCM) ([]WordResult, error) {
 }
 
 // TranscribeWords returns just the recognized word strings.
-func (r *Recognizer) TranscribeWords(pcm audio.PCM) ([]string, error) {
-	results, err := r.Transcribe(pcm)
+func (s *Session) TranscribeWords(pcm audio.PCM) ([]string, error) {
+	results, err := s.Transcribe(pcm)
 	if err != nil {
 		return nil, err
 	}
@@ -229,6 +306,98 @@ func (r *Recognizer) TranscribeWords(pcm audio.PCM) ([]string, error) {
 		words[i] = res.Word
 	}
 	return words, nil
+}
+
+// MemoryBytes reports the shared model's template footprint.
+func (s *Session) MemoryBytes() int { return s.model.MemoryBytes() }
+
+// Recognizer is the train-then-transcribe convenience wrapper: one Model
+// plus one Session behind the original single-type API. Experiments and
+// tests that build a private recognizer use it; fleet-scale callers
+// train a Model once and vend Sessions instead.
+type Recognizer struct {
+	cfg     Config
+	model   *Model
+	session *Session
+	segSess *Session // lazily built for pre-training Segment calls
+}
+
+// New creates an untrained recognizer.
+func New(cfg Config) (*Recognizer, error) {
+	// Validate the MFCC configuration up front, as the historical API did.
+	if _, err := dsp.NewExtractor(dsp.DefaultMFCCConfig(cfg.SampleRate)); err != nil {
+		return nil, fmt.Errorf("asr extractor: %w", err)
+	}
+	return &Recognizer{cfg: cfg}, nil
+}
+
+// Train builds the template pack; see TrainModel.
+func (r *Recognizer) Train(words []string, voice audio.Voice) error {
+	m, err := TrainModel(r.cfg, words, voice)
+	if err != nil {
+		return err
+	}
+	s, err := m.NewSession()
+	if err != nil {
+		return err
+	}
+	r.model, r.session = m, s
+	return nil
+}
+
+// Trained reports whether templates exist.
+func (r *Recognizer) Trained() bool { return r.model != nil }
+
+// Model returns the trained template pack (nil before Train).
+func (r *Recognizer) Model() *Model { return r.model }
+
+// Vocabulary returns the trained word list.
+func (r *Recognizer) Vocabulary() []string {
+	if r.model == nil {
+		return nil
+	}
+	return r.model.Vocabulary()
+}
+
+// Segment finds voiced regions via short-term energy; see Session.Segment.
+// Segmentation needs no templates, so it also works before Train (over a
+// session on an empty model, built once and cached).
+func (r *Recognizer) Segment(pcm audio.PCM) [][2]int {
+	if r.session != nil {
+		return r.session.Segment(pcm)
+	}
+	if r.segSess == nil {
+		s, err := (&Model{cfg: r.cfg}).NewSession()
+		if err != nil {
+			return nil // New() validated the config; unreachable in practice
+		}
+		r.segSess = s
+	}
+	return r.segSess.Segment(pcm)
+}
+
+// Transcribe matches each voiced segment; see Session.Transcribe.
+func (r *Recognizer) Transcribe(pcm audio.PCM) ([]WordResult, error) {
+	if r.session == nil {
+		return nil, ErrNotTrained
+	}
+	return r.session.Transcribe(pcm)
+}
+
+// TranscribeWords returns just the recognized word strings.
+func (r *Recognizer) TranscribeWords(pcm audio.PCM) ([]string, error) {
+	if r.session == nil {
+		return nil, ErrNotTrained
+	}
+	return r.session.TranscribeWords(pcm)
+}
+
+// MemoryBytes reports the recognizer's template footprint.
+func (r *Recognizer) MemoryBytes() int {
+	if r.model == nil {
+		return 0
+	}
+	return r.model.MemoryBytes()
 }
 
 // WordAccuracy compares a recognized word sequence to the reference and
@@ -256,14 +425,4 @@ func WordAccuracy(ref, hyp []string) float64 {
 		denom = len(hyp)
 	}
 	return float64(match) / float64(denom)
-}
-
-// MemoryBytes reports the recognizer's template footprint (the in-TEE
-// resident cost of the "speech model").
-func (r *Recognizer) MemoryBytes() int {
-	n := 0
-	for _, t := range r.templates {
-		n += len(t) * 8
-	}
-	return n
 }

@@ -1,0 +1,183 @@
+package asr
+
+// Golden equivalence for the optimized recognizer: scratch-reusing
+// segment features and early-abandon template matching must reproduce
+// the pre-refactor full-scan pipeline bit for bit — same segments, same
+// winning words, same distances. naiveTranscribe below is the historical
+// implementation kept verbatim against the same trained templates.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/audio"
+	"repro/internal/dsp"
+)
+
+// naiveSegmentFeature is the historical allocate-per-call feature path.
+func naiveSegmentFeature(ex *dsp.Extractor, samples []float64) ([]float64, error) {
+	frames, err := ex.Signal(samples)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	mean := dsp.MeanVector(frames)
+	std := make([]float64, len(mean))
+	for _, f := range frames {
+		for i := range mean {
+			d := f[i] - mean[i]
+			std[i] += d * d
+		}
+	}
+	for i := range std {
+		std[i] = math.Sqrt(std[i] / float64(len(frames)))
+	}
+	return append(mean, std...), nil
+}
+
+// naiveTranscribe is the historical exhaustive-scan matcher.
+func naiveTranscribe(m *Model, s *Session, pcm audio.PCM) ([]WordResult, error) {
+	ex, err := dsp.NewExtractor(dsp.DefaultMFCCConfig(m.cfg.SampleRate))
+	if err != nil {
+		return nil, err
+	}
+	var out []WordResult
+	for _, seg := range s.Segment(pcm) {
+		feat, err := naiveSegmentFeature(ex, pcm.Samples[seg[0]:seg[1]])
+		if err != nil {
+			return nil, err
+		}
+		if feat == nil {
+			continue
+		}
+		bestW, bestD := -1, math.Inf(1)
+		for wi, tpl := range m.templates {
+			if d := dsp.EuclideanDistance(feat, tpl); d < bestD {
+				bestW, bestD = wi, d
+			}
+		}
+		if bestW >= 0 {
+			out = append(out, WordResult{
+				Word: m.words[bestW], Distance: bestD, Start: seg[0], End: seg[1],
+			})
+		}
+	}
+	return out, nil
+}
+
+func TestTranscribeMatchesNaiveBitExact(t *testing.T) {
+	words := []string{"password", "weather", "music", "light", "timer", "garage"}
+	voice := audio.DefaultVoice(31)
+	voice.NoiseAmp = 0.01
+	model, err := TrainModel(DefaultConfig(voice.Rate), words, voice)
+	if err != nil {
+		t.Fatalf("TrainModel: %v", err)
+	}
+	sess, err := model.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	utterances := [][]string{
+		{"password"},
+		{"music", "light"},
+		{"timer", "garage", "weather"},
+		{"weather", "password", "music", "light"},
+	}
+	for ui, u := range utterances {
+		v := voice
+		v.Seed = 5000 + uint64(ui)*37
+		pcm := v.Synthesize(u)
+		// Segments alias session scratch; copy for the reference pass.
+		naiveSess, err := model.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naiveTranscribe(model, naiveSess, pcm)
+		if err != nil {
+			t.Fatalf("naiveTranscribe: %v", err)
+		}
+		got, err := sess.Transcribe(pcm)
+		if err != nil {
+			t.Fatalf("Transcribe: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("utterance %d: %d results, want %d", ui, len(got), len(want))
+		}
+		if len(want) == 0 {
+			t.Fatalf("utterance %d: reference recognized nothing (test is vacuous)", ui)
+		}
+		for i := range want {
+			if got[i].Word != want[i].Word || got[i].Start != want[i].Start || got[i].End != want[i].End {
+				t.Fatalf("utterance %d result %d: got %+v, want %+v", ui, i, got[i], want[i])
+			}
+			if math.Float64bits(got[i].Distance) != math.Float64bits(want[i].Distance) {
+				t.Fatalf("utterance %d result %d: distance %v != %v (not bit-identical)",
+					ui, i, got[i].Distance, want[i].Distance)
+			}
+		}
+	}
+}
+
+func TestSessionsShareImmutableModel(t *testing.T) {
+	words := []string{"on", "off"}
+	voice := audio.DefaultVoice(3)
+	model, err := TrainModel(DefaultConfig(voice.Rate), words, voice)
+	if err != nil {
+		t.Fatalf("TrainModel: %v", err)
+	}
+	a, err := model.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := model.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Model() != model || b.Model() != model {
+		t.Fatal("sessions do not share the trained model")
+	}
+	pcm := voice.Synthesize([]string{"on"})
+	wa, err := a.TranscribeWords(pcm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := b.TranscribeWords(pcm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wa) != len(wb) {
+		t.Fatalf("sessions disagree: %v vs %v", wa, wb)
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("sessions disagree: %v vs %v", wa, wb)
+		}
+	}
+	if model.MemoryBytes() == 0 {
+		t.Error("trained model reports zero template footprint")
+	}
+}
+
+func BenchmarkTranscribe(b *testing.B) {
+	words := []string{"password", "weather", "music", "light", "timer", "garage"}
+	voice := audio.DefaultVoice(31)
+	voice.NoiseAmp = 0.01
+	model, err := TrainModel(DefaultConfig(voice.Rate), words, voice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := model.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcm := voice.Synthesize([]string{"weather", "password", "music", "light"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Transcribe(pcm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

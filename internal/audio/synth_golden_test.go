@@ -1,0 +1,117 @@
+package audio
+
+// Golden-equivalence tests for the fused synthesizer: the optimized
+// render path must reproduce the historical (allocate-and-concatenate)
+// implementation to within the oscillator resync tolerance (~1e-14
+// absolute; we assert 1e-12), because downstream transcripts — and with
+// them the fleet's privacy audit counters — depend on the sample
+// values. naiveSynthesize* below is the pre-optimization implementation
+// kept verbatim as the reference. Everything around the sine oscillator
+// (noise streams, envelope, gaps, clamping) is exactly reproduced, so
+// the only divergence is the bounded rotation-recurrence drift.
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func naiveSynthesizeWord(v Voice, word string) PCM {
+	f := WordFormants(word)
+	rng := rand.New(rand.NewPCG(v.Seed, fnvMix(word, v.Seed)))
+	p := NewPCM(v.Rate, v.WordDur)
+	n := len(p.Samples)
+	if n == 0 {
+		return p
+	}
+	detune := 1 + (rng.Float64()-0.5)*0.03
+	amps := [3]float64{0.5, 0.3, 0.2}
+	phases := [3]float64{rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi, rng.Float64() * 2 * math.Pi}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(v.Rate)
+		var s float64
+		for k := 0; k < 3; k++ {
+			s += amps[k] * math.Sin(2*math.Pi*f[k]*detune*t+phases[k])
+		}
+		env := 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+		p.Samples[i] = s * env * 0.6
+	}
+	if v.NoiseAmp > 0 {
+		noise := WhiteNoise(v.Rate, v.NoiseAmp, v.WordDur, rng.Uint64())
+		p = MixInto(p, noise, 0)
+	}
+	return p.Clamp()
+}
+
+func naiveSynthesize(v Voice, words []string) PCM {
+	out := Silence(v.Rate, v.GapDur)
+	for i, w := range words {
+		if i > 0 {
+			out.Append(Silence(v.Rate, v.GapDur))
+		}
+		out.Append(naiveSynthesizeWord(v, w))
+	}
+	out.Append(Silence(v.Rate, v.GapDur))
+	if v.NoiseAmp > 0 {
+		noise := WhiteNoise(v.Rate, v.NoiseAmp/2, out.Duration(), v.Seed^0xabcdef)
+		out = MixInto(out, noise, 0)
+	}
+	return out
+}
+
+func samplesEqual(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d samples, want %d", label, len(got), len(want))
+	}
+	const tol = 1e-12
+	for i := range want {
+		if d := math.Abs(want[i] - got[i]); d > tol {
+			t.Fatalf("%s: sample %d = %v, want %v (|diff| %g > %g)", label, i, got[i], want[i], d, tol)
+		}
+	}
+}
+
+func TestSynthesizeWordMatchesNaive(t *testing.T) {
+	for _, noise := range []float64{0, 0.01, 0.3} {
+		for seed := uint64(1); seed < 6; seed++ {
+			v := DefaultVoice(seed)
+			v.NoiseAmp = noise
+			for _, w := range []string{"password", "weather", "on"} {
+				want := naiveSynthesizeWord(v, w)
+				got := v.SynthesizeWord(w)
+				samplesEqual(t, w, want.Samples, got.Samples)
+			}
+		}
+	}
+}
+
+func TestSynthesizeMatchesNaive(t *testing.T) {
+	utterances := [][]string{
+		nil,
+		{"on"},
+		{"my", "password", "is", "tango", "seven"},
+		{"turn", "on", "the", "light"},
+	}
+	for _, noise := range []float64{0, 0.01, 0.2} {
+		for seed := uint64(1); seed < 8; seed += 3 {
+			v := DefaultVoice(seed)
+			v.NoiseAmp = noise
+			for _, words := range utterances {
+				want := naiveSynthesize(v, words)
+				got := v.Synthesize(words)
+				samplesEqual(t, "utterance", want.Samples, got.Samples)
+			}
+		}
+	}
+}
+
+func BenchmarkSynthesizeUtterance(b *testing.B) {
+	v := DefaultVoice(1)
+	words := []string{"my", "password", "is", "tango", "seven"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Seed = 1_000_003 + uint64(i)*97 + 13
+		_ = v.Synthesize(words)
+	}
+}

@@ -165,37 +165,55 @@ func buildAudit(obs []Observation) Audit {
 	return a
 }
 
+// Transcriber is the server-side ASR contract PlainService needs; both
+// *asr.Recognizer and the fleet-shared *asr.Session satisfy it.
+type Transcriber interface {
+	TranscribeWords(pcm audio.PCM) ([]string, error)
+}
+
+var (
+	_ Transcriber = (*asr.Recognizer)(nil)
+	_ Transcriber = (*asr.Session)(nil)
+)
+
 // PlainService is the baseline backend: it ingests raw (unfiltered,
 // unsealed) audio, transcribes it with the provider's own large speech
 // model, and records the result. This is the deployment the paper's §I
 // incidents describe.
 type PlainService struct {
-	recognizer *asr.Recognizer
-
-	mu       sync.Mutex
-	observed []Observation
+	mu         sync.Mutex
+	recognizer Transcriber
+	observed   []Observation
+	decodeBuf  []float64 // per-service decode scratch (guarded by mu)
 }
 
 // NewPlainService creates the baseline backend. The recognizer stands in
 // for the provider's server-side ASR; callers train it on the experiment
 // voice (providers have far better models than any device).
-func NewPlainService(recognizer *asr.Recognizer) *PlainService {
+func NewPlainService(recognizer Transcriber) *PlainService {
 	return &PlainService{recognizer: recognizer}
 }
 
 var _ supplicant.NetSink = (*PlainService)(nil)
 
 // Deliver implements supplicant.NetSink for raw 16-bit PCM payloads.
+// Transcription happens under the service lock: recognizer sessions
+// carry scratch state, and the lock serializes them even if a shard
+// pool ever delivers two of a device's frames concurrently.
 func (p *PlainService) Deliver(payload []byte) ([]byte, error) {
-	pcm, err := decodePCM16(payload)
+	p.mu.Lock()
+	floats, err := audio.DecodePCM16Into(p.decodeBuf, payload)
 	if err != nil {
+		p.mu.Unlock()
 		return nil, err
 	}
+	p.decodeBuf = floats
+	pcm := audio.PCM{Rate: 16000, Samples: floats}
 	tokens, err := p.recognizer.TranscribeWords(pcm)
 	if err != nil {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("cloud asr: %w", err)
 	}
-	p.mu.Lock()
 	p.observed = append(p.observed, Observation{
 		Kind: "audio", Tokens: tokens, AudioBytes: len(payload),
 	})
@@ -218,14 +236,11 @@ func (p *PlainService) Reset() {
 }
 
 func decodePCM16(payload []byte) (audio.PCM, error) {
-	if len(payload)%2 != 0 {
-		return audio.PCM{}, fmt.Errorf("cloud: odd PCM payload %d", len(payload))
+	samples, err := audio.DecodePCM16Into(nil, payload)
+	if err != nil {
+		return audio.PCM{}, fmt.Errorf("cloud: %w", err)
 	}
-	samples := make([]int16, len(payload)/2)
-	for i := range samples {
-		samples[i] = int16(uint16(payload[2*i]) | uint16(payload[2*i+1])<<8)
-	}
-	return audio.FromInt16(16000, samples), nil
+	return audio.PCM{Rate: 16000, Samples: samples}, nil
 }
 
 // EncodePCM16 is the inverse wire helper used by device-side senders.

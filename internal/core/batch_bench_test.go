@@ -1,0 +1,37 @@
+package core
+
+// Microbenchmark for the TA batch hot path (CmdProcessBatch): one
+// secure-filter speaker processing utterance batches end to end —
+// synthesis, capture through the secure driver, in-TEE transcription,
+// batched classification and sealed relay. b.ReportAllocs tracks the
+// pooled-scratch guarantee: steady-state batches must not allocate per
+// item beyond the per-utterance records themselves.
+
+import (
+	"testing"
+
+	"repro/internal/sensitive"
+)
+
+func BenchmarkTABatch(b *testing.B) {
+	utts, err := sensitive.Generate(sensitive.GenConfig{N: 8, SensitiveFraction: 0.5, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystem(Config{Mode: ModeSecureFilter, Seed: 23})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.RunSessionBatched(utts, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Utterances) != len(utts) {
+			b.Fatalf("processed %d utterances, want %d", len(res.Utterances), len(utts))
+		}
+	}
+	b.ReportMetric(float64(len(utts)), "utterances/op")
+}

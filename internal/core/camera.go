@@ -210,6 +210,11 @@ type CameraTA struct {
 	classifier *classify.Classifier
 	processed  []ProcessedFrame
 	messageID  uint64
+
+	// Per-TA frame scratch: invocations are serialized per device, so
+	// the grab buffer and feature vector are reused across frames.
+	frameBuf  []byte
+	frameFeat []float32
 }
 
 var _ optee.TA = (*CameraTA)(nil)
@@ -274,7 +279,11 @@ func (t *CameraTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) er
 func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 	var rec ProcessedFrame
 	start := t.clock.Now()
-	buf := make([]byte, cameraFrameBytes)
+	if t.frameBuf == nil {
+		t.frameBuf = make([]byte, cameraFrameBytes)
+		t.frameFeat = make([]float32, cameraFrameBytes)
+	}
+	buf := t.frameBuf
 	p := &optee.Params{{Type: optee.MemrefOut, Buf: buf}, {}}
 	if err := t.tee.InvokeSecure(UUIDCameraPTA, CmdCameraGrab, p); err != nil {
 		return rec, false, fmt.Errorf("camera ta grab: %w", err)
@@ -288,7 +297,7 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 	if clf == nil {
 		return rec, false, errors.New("camera ta: classifier not loaded")
 	}
-	feats := make([]float32, cameraFrameBytes)
+	feats := t.frameFeat
 	for i, px := range buf {
 		feats[i] = float32(px) / 255
 	}

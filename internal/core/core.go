@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand/v2"
 	"sync"
 
@@ -180,12 +181,24 @@ type System struct {
 	// supplicant instead.
 	uplink supplicant.NetSink
 
-	// Shared models.
+	// Shared models. ASRModel is the immutable trained template pack
+	// (shared across every device with the same training conditions);
+	// Recognizer is this device's private transcription session over it.
 	Vocab      *sensitive.Vocabulary
-	Recognizer *asr.Recognizer // device-side (TA) recognizer
+	ASRModel   *asr.Model
+	Recognizer *asr.Session // device-side (TA) recognizer session
 
 	radioBytes uint64
 	mu         sync.Mutex
+
+	// Session scratch: utterances are synthesized, captured and encoded
+	// one at a time per system, so these buffers are reused across the
+	// whole run (the mic and the uplink both copy what they consume).
+	synthBuf     []float64
+	baseCaptured []byte
+	baseRead     []byte
+	baseSamples  []int32
+	basePayload  []byte
 }
 
 // trainedWeights memoizes classifier pre-training per (arch, seed, epochs):
@@ -325,12 +338,18 @@ func NewSystem(cfg Config) (*System, error) {
 		Vocab:    sensitive.NewVocabulary(),
 	}
 
-	// Device-side recognizer: trained once on the experiment voice.
-	rec, err := trainedRecognizer(sys.Vocab, voice)
+	// Device-side recognizer: the template pack is trained once per
+	// training condition and shared fleet-wide; the session (extractor +
+	// matching scratch) is private to this device.
+	model, err := trainedModel(sys.Vocab, voice)
 	if err != nil {
 		return nil, fmt.Errorf("core asr: %w", err)
 	}
-	sys.Recognizer = rec
+	sys.ASRModel = model
+	sys.Recognizer, err = model.NewSession()
+	if err != nil {
+		return nil, fmt.Errorf("core asr session: %w", err)
+	}
 
 	if cfg.Mode == ModeBaseline {
 		return sys, sys.buildBaseline()
@@ -347,12 +366,18 @@ func (s *System) buildBaseline() error {
 	s.Kernel.RegisterDevice("/dev/i2s0", chardev)
 
 	// The provider's server-side ASR (trained on the same voice model —
-	// providers have better acoustic coverage than any device).
-	cloudRec, err := trainedRecognizer(s.Vocab, s.Voice)
+	// providers have better acoustic coverage than any device). The
+	// template pack is shared with the device side; the cloud endpoint
+	// gets its own session.
+	cloudModel, err := trainedModel(s.Vocab, s.Voice)
 	if err != nil {
 		return fmt.Errorf("core cloud asr: %w", err)
 	}
-	s.CloudPlain = cloud.NewPlainService(cloudRec)
+	cloudSess, err := cloudModel.NewSession()
+	if err != nil {
+		return fmt.Errorf("core cloud asr session: %w", err)
+	}
+	s.CloudPlain = cloud.NewPlainService(cloudSess)
 	s.uplink = s.CloudPlain
 	return nil
 }
@@ -380,31 +405,43 @@ func (s *System) CloudEndpoint() cloud.Provider {
 	return s.CloudSealed
 }
 
-// recognizerCache memoizes template training per (rate, noise): templates
-// are deterministic and read-only after training, so systems share them.
+// recognizerCache memoizes template training per (rate, noise, vocab):
+// the trained asr.Model is immutable, so every system under the same
+// training conditions shares one template pack and only pays for a
+// per-device session. The key includes a digest of the vocabulary the
+// templates are trained on — two configurations that share a sample rate
+// and noise level but speak different word lists must not share a model.
 var (
 	recognizerMu    sync.Mutex
-	recognizerCache = make(map[string]*asr.Recognizer)
+	recognizerCache = make(map[string]*asr.Model)
 )
 
-func trainedRecognizer(vocab *sensitive.Vocabulary, voice audio.Voice) (*asr.Recognizer, error) {
+// vocabDigest fingerprints the ordered word list for cache keying.
+func vocabDigest(words []string) uint64 {
+	h := fnv.New64a()
+	for _, w := range words {
+		_, _ = h.Write([]byte(w))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func trainedModel(vocab *sensitive.Vocabulary, voice audio.Voice) (*asr.Model, error) {
 	trainVoice := voice
 	trainVoice.Seed = 1000 // pre-training voice differs from runtime seeds
-	key := fmt.Sprintf("%d/%g", trainVoice.Rate, trainVoice.NoiseAmp)
+	words := vocab.Words()
+	key := fmt.Sprintf("%d/%g/%016x", trainVoice.Rate, trainVoice.NoiseAmp, vocabDigest(words))
 	recognizerMu.Lock()
 	defer recognizerMu.Unlock()
-	if rec, ok := recognizerCache[key]; ok {
-		return rec, nil
+	if m, ok := recognizerCache[key]; ok {
+		return m, nil
 	}
-	rec, err := asr.New(asr.DefaultConfig(trainVoice.Rate))
+	m, err := asr.TrainModel(asr.DefaultConfig(trainVoice.Rate), words, trainVoice)
 	if err != nil {
 		return nil, err
 	}
-	if err := rec.Train(vocab.Words(), trainVoice); err != nil {
-		return nil, err
-	}
-	recognizerCache[key] = rec
-	return rec, nil
+	recognizerCache[key] = m
+	return m, nil
 }
 
 // buildSecure wires OP-TEE, the PTA/TA pair, the supplicant and the

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/audio"
 	"repro/internal/cloud"
 	"repro/internal/metrics"
 	"repro/internal/ml/classify"
@@ -59,6 +60,72 @@ type DeviceSpec struct {
 	// Batch > 1 enables TA-side batched processing on secure speakers
 	// (capped at MaxBatch).
 	Batch int
+}
+
+// Pretrain warms every shared-model cache the given population needs —
+// the ASR template pack per training condition, the text classifier per
+// (arch, model seed) and the image classifier per model seed — so that
+// lazily constructed devices only ever hit memoized models. It mirrors
+// the defaulting rules the per-device constructors apply.
+func Pretrain(specs []DeviceSpec) error {
+	vocab := sensitive.NewVocabulary()
+	type textKey struct {
+		arch classify.Arch
+		seed uint64
+	}
+	asrDone := make(map[float64]bool)
+	textDone := make(map[textKey]bool)
+	imageDone := make(map[uint64]bool)
+	for _, spec := range specs {
+		switch spec.Kind {
+		case DeviceSpeaker:
+			// Run the spec through the same defaulting NewSystem applies,
+			// so the warmed cache keys are exactly the ones lazy
+			// construction will look up.
+			cfg := Config{
+				Mode:      spec.Mode,
+				Arch:      spec.Arch,
+				Policy:    spec.Policy,
+				BufBytes:  spec.BufBytes,
+				Seed:      spec.Seed,
+				ModelSeed: spec.ModelSeed,
+				FreqHz:    spec.FreqHz,
+				NoiseAmp:  spec.NoiseAmp,
+			}
+			if err := cfg.fillDefaults(); err != nil {
+				return fmt.Errorf("pretrain: %w", err)
+			}
+			if !asrDone[cfg.NoiseAmp] {
+				voice := audio.DefaultVoice(cfg.Seed)
+				voice.NoiseAmp = cfg.NoiseAmp
+				if _, err := trainedModel(vocab, voice); err != nil {
+					return fmt.Errorf("pretrain asr: %w", err)
+				}
+				asrDone[cfg.NoiseAmp] = true
+			}
+			if cfg.Mode == ModeSecureFilter {
+				k := textKey{cfg.Arch, cfg.ModelSeed}
+				if !textDone[k] {
+					if _, err := TrainClassifier(cfg.Arch, vocab, cfg.ModelSeed, cfg.TrainEpochs); err != nil {
+						return fmt.Errorf("pretrain classifier: %w", err)
+					}
+					textDone[k] = true
+				}
+			}
+		case DeviceDoorbell:
+			modelSeed := spec.ModelSeed
+			if modelSeed == 0 {
+				modelSeed = spec.Seed // CameraConfig defaulting
+			}
+			if spec.Mode == ModeSecureFilter && !imageDone[modelSeed] {
+				if _, err := TrainImageClassifier(modelSeed); err != nil {
+					return fmt.Errorf("pretrain image classifier: %w", err)
+				}
+				imageDone[modelSeed] = true
+			}
+		}
+	}
+	return nil
 }
 
 // Device is one constructed fleet member. Exactly one of Speaker and

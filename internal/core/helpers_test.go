@@ -32,8 +32,10 @@ func TestUtteranceAudioVariesAcrossIndexButDeterministic(t *testing.T) {
 		t.Fatalf("NewSystem: %v", err)
 	}
 	u := sensitive.Utterance{Words: []string{"play", "music"}}
-	a := sys.utteranceAudio(0, u)
-	b := sys.utteranceAudio(1, u)
+	// utteranceAudio returns scratch-backed PCM valid until the next
+	// call; retain copies to compare renditions.
+	a := sys.utteranceAudio(0, u).Clone()
+	b := sys.utteranceAudio(1, u).Clone()
 	c := sys.utteranceAudio(0, u)
 	if len(a.Samples) != len(b.Samples) {
 		t.Fatal("lengths differ")

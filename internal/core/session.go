@@ -196,8 +196,14 @@ func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (Utt
 	wantBytes := len(pcm.Samples) * 2
 	s.Mic.Load(pcm)
 
-	captured := make([]byte, 0, wantBytes)
-	buf := make([]byte, s.cfg.BufBytes)
+	if cap(s.baseCaptured) < wantBytes {
+		s.baseCaptured = make([]byte, 0, wantBytes)
+	}
+	captured := s.baseCaptured[:0]
+	if cap(s.baseRead) < s.cfg.BufBytes {
+		s.baseRead = make([]byte, s.cfg.BufBytes)
+	}
+	buf := s.baseRead[:s.cfg.BufBytes]
 	idle := 0
 	for len(captured) < wantBytes {
 		if _, err := s.Mic.PumpBytes(min(wantBytes-len(captured)+4096, 8192)); err != nil {
@@ -220,16 +226,25 @@ func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (Utt
 	}
 
 	// The app decodes the I2S wire frames to PCM16 and ships the raw
-	// audio; charge radio bytes and per-byte CPU cost.
-	samples, err := i2s.DecodeFrames(captured, i2s.DefaultFormat())
+	// audio; charge radio bytes and per-byte CPU cost. The historical
+	// path decoded to float64 and re-quantized through EncodePCM16; the
+	// round trip is exact for 16-bit samples, so the payload is built
+	// from the decoded samples directly, into reusable scratch.
+	s.baseCaptured = captured
+	samples, err := i2s.DecodeFramesInto(s.baseSamples, captured, i2s.DefaultFormat())
 	if err != nil {
 		return out, fmt.Errorf("baseline decode: %w", err)
 	}
-	int16s := make([]int16, len(samples))
-	for j, v := range samples {
-		int16s[j] = int16(v)
+	s.baseSamples = samples
+	if cap(s.basePayload) < len(samples)*2 {
+		s.basePayload = make([]byte, len(samples)*2)
 	}
-	payload := cloud.EncodePCM16(audio.FromInt16(16000, int16s))
+	payload := s.basePayload[:len(samples)*2]
+	for j, v := range samples {
+		u := uint16(int16(v))
+		payload[2*j] = byte(u)
+		payload[2*j+1] = byte(u >> 8)
+	}
 	s.Clock.Advance(tz.Cycles(len(payload)) * s.Cost.CopyPerByte)
 	s.mu.Lock()
 	s.radioBytes += uint64(len(payload))
@@ -368,11 +383,15 @@ func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) 
 }
 
 // utteranceAudio renders utterance i with a per-utterance voice seed so
-// renditions vary across the session.
+// renditions vary across the session. The returned PCM aliases the
+// system's synthesis scratch: it is valid until the next utteranceAudio
+// call (the microphone copies on Load).
 func (s *System) utteranceAudio(i int, u sensitive.Utterance) audio.PCM {
 	v := s.Voice
 	v.Seed = s.cfg.Seed*1_000_003 + uint64(i)*97 + 13
-	return v.Synthesize(u.Words)
+	pcm := v.SynthesizeInto(s.synthBuf, u.Words)
+	s.synthBuf = pcm.Samples[:0]
+	return pcm
 }
 
 // auditSupplicant counts private plaintext tokens in the payloads the

@@ -164,7 +164,7 @@ type ProcessedUtterance struct {
 type VoiceTAConfig struct {
 	TEE        *optee.OS
 	Storage    *optee.Storage
-	Recognizer *asr.Recognizer
+	Recognizer *asr.Session
 	Arch       classify.Arch
 	VocabSize  int
 	Vocab      *sensitive.Vocabulary
@@ -282,15 +282,36 @@ func (t *VoiceTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) err
 	}
 }
 
+// taScratch is the reusable buffer set for one in-flight TA invocation:
+// capture accumulation, the PTA read chunk, and the decode pipeline's
+// sample buffers. Pooled so the batched path (CmdProcessBatch) processes
+// every queued utterance without per-item heap allocation, whichever TA
+// instance (device) is running — the pool is package-level because fleet
+// devices process in bounded worker pools, so a handful of scratch sets
+// serves thousands of devices.
+type taScratch struct {
+	pcmBytes []byte
+	chunk    []byte
+	samples  []int32
+	floats   []float64
+}
+
+var taScratchPool = sync.Pool{
+	New: func() any { return &taScratch{chunk: make([]byte, 4096)} },
+}
+
 // captureStage pulls wantBytes of wire audio through the PTA into
-// TA-private buffers (Fig. 1 step 4).
-func (t *VoiceTA) captureStage(wantBytes int) ([]byte, error) {
-	pcmBytes := make([]byte, 0, wantBytes)
-	chunk := make([]byte, 4096)
+// TA-private buffers (Fig. 1 step 4). The returned slice belongs to the
+// scratch set and is valid until the scratch is released.
+func (t *VoiceTA) captureStage(sc *taScratch, wantBytes int) ([]byte, error) {
+	if cap(sc.pcmBytes) < wantBytes {
+		sc.pcmBytes = make([]byte, 0, wantBytes)
+	}
+	pcmBytes := sc.pcmBytes[:0]
 	idle := 0
 	for len(pcmBytes) < wantBytes {
 		p := &optee.Params{
-			{Type: optee.MemrefOut, Buf: chunk[:min(len(chunk), wantBytes-len(pcmBytes))]},
+			{Type: optee.MemrefOut, Buf: sc.chunk[:min(len(sc.chunk), wantBytes-len(pcmBytes))]},
 			{},
 		}
 		if err := t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTARead, p); err != nil {
@@ -307,6 +328,7 @@ func (t *VoiceTA) captureStage(wantBytes int) ([]byte, error) {
 		idle = 0
 		pcmBytes = append(pcmBytes, p[0].Buf[:n]...)
 	}
+	sc.pcmBytes = pcmBytes
 	return pcmBytes, nil
 }
 
@@ -314,16 +336,22 @@ func (t *VoiceTA) captureStage(wantBytes int) ([]byte, error) {
 // (Fig. 1 step 5). The recognizer's arithmetic is charged as the MFCC
 // front end (FFT + filterbank + DCT per 10 ms hop, ~6k cycles/frame on a
 // NEON-class core) plus template matching.
-func (t *VoiceTA) transcribeStage(pcmBytes []byte) ([]string, error) {
-	samples, err := i2s.DecodeFrames(pcmBytes, i2s.DefaultFormat())
+func (t *VoiceTA) transcribeStage(sc *taScratch, pcmBytes []byte) ([]string, error) {
+	samples, err := i2s.DecodeFramesInto(sc.samples, pcmBytes, i2s.DefaultFormat())
 	if err != nil {
 		return nil, fmt.Errorf("voice ta decode: %w", err)
 	}
-	int16s := make([]int16, len(samples))
-	for i, s := range samples {
-		int16s[i] = int16(s)
+	sc.samples = samples
+	if cap(sc.floats) < len(samples) {
+		sc.floats = make([]float64, len(samples))
 	}
-	pcm := audio.FromInt16(16000, int16s)
+	floats := sc.floats[:len(samples)]
+	for i, s := range samples {
+		// int16 truncation then the FromInt16 scaling of the historical
+		// decode path, fused into one pass over pooled scratch.
+		floats[i] = float64(int16(s)) / 32768
+	}
+	pcm := audio.PCM{Rate: 16000, Samples: floats}
 	words, err := t.cfg.Recognizer.TranscribeWords(pcm)
 	if err != nil {
 		return nil, fmt.Errorf("voice ta asr: %w", err)
@@ -409,16 +437,18 @@ func (t *VoiceTA) relayStage(words []string, flagged bool, rec *ProcessedUtteran
 func (t *VoiceTA) processUtterance(wantBytes int) (ProcessedUtterance, error) {
 	var rec ProcessedUtterance
 	clock := t.cfg.Clock
+	sc := taScratchPool.Get().(*taScratch)
+	defer taScratchPool.Put(sc)
 
 	start := clock.Now()
-	pcmBytes, err := t.captureStage(wantBytes)
+	pcmBytes, err := t.captureStage(sc, wantBytes)
 	if err != nil {
 		return rec, err
 	}
 	rec.Stages.Capture = clock.Now() - start
 
 	start = clock.Now()
-	words, err := t.transcribeStage(pcmBytes)
+	words, err := t.transcribeStage(sc, pcmBytes)
 	if err != nil {
 		return rec, err
 	}
@@ -457,17 +487,22 @@ func (t *VoiceTA) processBatch(lengths []int) ([]ProcessedUtterance, error) {
 	clock := t.cfg.Clock
 	recs := make([]ProcessedUtterance, len(lengths))
 	transcripts := make([][]string, len(lengths))
+	// One pooled scratch set serves the whole batch: capture and decode
+	// buffers are recycled item to item, so batched classification does
+	// not allocate per utterance.
+	sc := taScratchPool.Get().(*taScratch)
+	defer taScratchPool.Put(sc)
 
 	for i, wantBytes := range lengths {
 		start := clock.Now()
-		pcmBytes, err := t.captureStage(wantBytes)
+		pcmBytes, err := t.captureStage(sc, wantBytes)
 		if err != nil {
 			return nil, fmt.Errorf("batch utterance %d: %w", i, err)
 		}
 		recs[i].Stages.Capture = clock.Now() - start
 
 		start = clock.Now()
-		words, err := t.transcribeStage(pcmBytes)
+		words, err := t.transcribeStage(sc, pcmBytes)
 		if err != nil {
 			return nil, fmt.Errorf("batch utterance %d: %w", i, err)
 		}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 )
 
 // Errors returned by the package.
@@ -235,11 +236,63 @@ func (c MFCCConfig) Validate() error {
 }
 
 // Extractor computes MFCC vectors from PCM frames. It precomputes the
-// window and filterbank once.
+// window, the FFT plan, the flattened mel filterbank and the DCT cosine
+// table once, and owns scratch buffers sized for the configuration, so
+// Frame and Signal perform zero heap allocations in steady state.
+//
+// The scratch makes an Extractor single-goroutine state: share the
+// configuration, not the instance. Slices returned by Frame and Signal
+// alias the scratch and are only valid until the next Frame/Signal call;
+// callers that retain vectors must copy them.
 type Extractor struct {
 	cfg    MFCCConfig
 	window []float64
-	banks  [][]float64
+	fft    *FFTPlan
+	mel    *melPlan
+	dct    *dctPlan
+
+	// Per-instance scratch (steady-state zero-allocation hot path).
+	buf      []complex128 // FFT working buffer, FFTSize
+	ps       []float64    // one-sided power spectrum, FFTSize/2+1
+	energies []float64    // log mel energies, NumFilters
+	out      []float64    // Frame result, NumCoeffs
+	feats    []float64    // flat per-signal MFCC storage (grown on demand)
+	frames   [][]float64  // Signal result headers into feats
+}
+
+// extractorPlans bundles the immutable precomputed state for one MFCC
+// configuration: window, FFT plan, flattened filterbank and DCT table.
+// Plans carry no mutable state, so one set is shared by every extractor
+// with the same configuration (a fleet creates thousands).
+type extractorPlans struct {
+	window []float64
+	fft    *FFTPlan
+	mel    *melPlan
+	dct    *dctPlan
+}
+
+var planCache sync.Map // MFCCConfig -> *extractorPlans
+
+func plansFor(cfg MFCCConfig) (*extractorPlans, error) {
+	if p, ok := planCache.Load(cfg); ok {
+		return p.(*extractorPlans), nil
+	}
+	banks, err := MelFilterbank(cfg.NumFilters, cfg.FFTSize, cfg.SampleRate, cfg.FMin, cfg.FMax)
+	if err != nil {
+		return nil, err
+	}
+	fft, err := NewFFTPlan(cfg.FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	plans := &extractorPlans{
+		window: Hann(cfg.FrameLen),
+		fft:    fft,
+		mel:    newMelPlan(banks),
+		dct:    newDCTPlan(cfg.NumFilters, cfg.NumCoeffs),
+	}
+	p, _ := planCache.LoadOrStore(cfg, plans)
+	return p.(*extractorPlans), nil
 }
 
 // NewExtractor builds an extractor for the configuration.
@@ -247,14 +300,20 @@ func NewExtractor(cfg MFCCConfig) (*Extractor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	banks, err := MelFilterbank(cfg.NumFilters, cfg.FFTSize, cfg.SampleRate, cfg.FMin, cfg.FMax)
+	plans, err := plansFor(cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Extractor{
-		cfg:    cfg,
-		window: Hann(cfg.FrameLen),
-		banks:  banks,
+		cfg:      cfg,
+		window:   plans.window,
+		fft:      plans.fft,
+		mel:      plans.mel,
+		dct:      plans.dct,
+		buf:      make([]complex128, cfg.FFTSize),
+		ps:       make([]float64, cfg.FFTSize/2+1),
+		energies: make([]float64, cfg.NumFilters),
+		out:      make([]float64, min(cfg.NumCoeffs, cfg.NumFilters)),
 	}, nil
 }
 
@@ -262,39 +321,68 @@ func NewExtractor(cfg MFCCConfig) (*Extractor, error) {
 func (e *Extractor) Config() MFCCConfig { return e.cfg }
 
 // Frame computes the MFCC vector of a single frame of FrameLen samples.
+// The returned slice aliases the extractor's scratch: it is valid until
+// the next Frame or Signal call.
 func (e *Extractor) Frame(frame []float64) ([]float64, error) {
-	windowed := ApplyWindow(frame, e.window)
-	ps, err := PowerSpectrum(windowed, e.cfg.FFTSize)
-	if err != nil {
+	if err := e.frameInto(e.out, frame); err != nil {
 		return nil, err
 	}
-	energies := make([]float64, len(e.banks))
-	for i, bank := range e.banks {
-		var sum float64
-		for k, w := range bank {
-			if w != 0 {
-				sum += w * ps[k]
-			}
-		}
-		energies[i] = math.Log(sum + 1e-10)
+	return e.out, nil
+}
+
+// frameInto runs window → FFT → power spectrum → mel filterbank → DCT
+// into dst without allocating.
+func (e *Extractor) frameInto(dst, frame []float64) error {
+	n := len(frame)
+	if len(e.window) < n {
+		n = len(e.window)
 	}
-	return DCT2(energies, e.cfg.NumCoeffs), nil
+	if n > e.cfg.FFTSize {
+		n = e.cfg.FFTSize
+	}
+	for i := 0; i < n; i++ {
+		e.buf[i] = complex(frame[i]*e.window[i], 0)
+	}
+	for i := n; i < len(e.buf); i++ {
+		e.buf[i] = 0
+	}
+	if err := e.fft.Transform(e.buf); err != nil {
+		return err
+	}
+	inv := float64(e.cfg.FFTSize)
+	for i := range e.ps {
+		re, im := real(e.buf[i]), imag(e.buf[i])
+		e.ps[i] = (re*re + im*im) / inv
+	}
+	e.mel.apply(e.ps, e.energies)
+	e.dct.apply(e.energies, dst)
+	return nil
 }
 
 // Signal computes MFCC vectors for every frame of the sample stream.
+// The returned vectors alias the extractor's scratch: they are valid
+// until the next Frame or Signal call.
 func (e *Extractor) Signal(samples []float64) ([][]float64, error) {
 	if len(samples) < e.cfg.FrameLen {
 		return nil, nil
 	}
-	var out [][]float64
-	for i := 0; i+e.cfg.FrameLen <= len(samples); i += e.cfg.Hop {
-		v, err := e.Frame(samples[i : i+e.cfg.FrameLen])
-		if err != nil {
+	nFrames := (len(samples)-e.cfg.FrameLen)/e.cfg.Hop + 1
+	nc := len(e.out)
+	if cap(e.feats) < nFrames*nc {
+		e.feats = make([]float64, nFrames*nc)
+		e.frames = make([][]float64, nFrames)
+	}
+	e.feats = e.feats[:nFrames*nc]
+	e.frames = e.frames[:nFrames]
+	for f := 0; f < nFrames; f++ {
+		i := f * e.cfg.Hop
+		dst := e.feats[f*nc : (f+1)*nc]
+		if err := e.frameInto(dst, samples[i:i+e.cfg.FrameLen]); err != nil {
 			return nil, err
 		}
-		out = append(out, v)
+		e.frames[f] = dst
 	}
-	return out, nil
+	return e.frames, nil
 }
 
 // MeanVector averages a sequence of equal-length vectors (e.g. the MFCC

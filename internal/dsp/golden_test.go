@@ -1,0 +1,226 @@
+package dsp
+
+// Golden-equivalence and allocation guarantees for the planned MFCC hot
+// path. naiveFrame/naiveSignal are the pre-refactor Extractor pipeline
+// kept verbatim (window → zero-padded complex FFT → one-sided power
+// spectrum → full-scan mel filterbank → cosine-sum DCT); the optimized
+// Extractor must reproduce them bit for bit, because recognizer
+// transcripts — and with them the fleet privacy audit — depend on exact
+// feature values.
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/audio"
+)
+
+// naiveFrame is the historical Extractor.Frame implementation.
+func naiveFrame(cfg MFCCConfig, window []float64, banks [][]float64, frame []float64) ([]float64, error) {
+	windowed := ApplyWindow(frame, window)
+	ps, err := PowerSpectrum(windowed, cfg.FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	energies := make([]float64, len(banks))
+	for i, bank := range banks {
+		var sum float64
+		for k, w := range bank {
+			if w != 0 {
+				sum += w * ps[k]
+			}
+		}
+		energies[i] = math.Log(sum + 1e-10)
+	}
+	return DCT2(energies, cfg.NumCoeffs), nil
+}
+
+func naiveSignal(cfg MFCCConfig, window []float64, banks [][]float64, samples []float64) ([][]float64, error) {
+	if len(samples) < cfg.FrameLen {
+		return nil, nil
+	}
+	var out [][]float64
+	for i := 0; i+cfg.FrameLen <= len(samples); i += cfg.Hop {
+		v, err := naiveFrame(cfg, window, banks, samples[i:i+cfg.FrameLen])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func referenceSetup(t *testing.T, cfg MFCCConfig) ([]float64, [][]float64) {
+	t.Helper()
+	banks, err := MelFilterbank(cfg.NumFilters, cfg.FFTSize, cfg.SampleRate, cfg.FMin, cfg.FMax)
+	if err != nil {
+		t.Fatalf("MelFilterbank: %v", err)
+	}
+	return Hann(cfg.FrameLen), banks
+}
+
+func TestExtractorFrameMatchesNaiveBitExact(t *testing.T) {
+	cfg := DefaultMFCCConfig(16000)
+	window, banks := referenceSetup(t, cfg)
+	ex, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatalf("NewExtractor: %v", err)
+	}
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 20; trial++ {
+		frame := make([]float64, cfg.FrameLen)
+		for i := range frame {
+			frame[i] = rng.Float64()*2 - 1
+		}
+		want, err := naiveFrame(cfg, window, banks, frame)
+		if err != nil {
+			t.Fatalf("naiveFrame: %v", err)
+		}
+		got, err := ex.Frame(frame)
+		if err != nil {
+			t.Fatalf("Frame: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d coeffs, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("trial %d coeff %d: optimized %v != naive %v (not bit-identical)",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExtractorSignalMatchesNaiveBitExact(t *testing.T) {
+	cfg := DefaultMFCCConfig(16000)
+	window, banks := referenceSetup(t, cfg)
+	ex, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatalf("NewExtractor: %v", err)
+	}
+	v := audio.DefaultVoice(21)
+	for _, word := range []string{"password", "weather", "music"} {
+		pcm := v.SynthesizeWord(word)
+		want, err := naiveSignal(cfg, window, banks, pcm.Samples)
+		if err != nil {
+			t.Fatalf("naiveSignal: %v", err)
+		}
+		got, err := ex.Signal(pcm.Samples)
+		if err != nil {
+			t.Fatalf("Signal: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d frames, want %d", word, len(got), len(want))
+		}
+		for f := range want {
+			for i := range want[f] {
+				if math.Float64bits(want[f][i]) != math.Float64bits(got[f][i]) {
+					t.Fatalf("%s frame %d coeff %d: optimized %v != naive %v",
+						word, f, i, got[f][i], want[f][i])
+				}
+			}
+		}
+	}
+}
+
+func TestFFTPlanMatchesFFTBitExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, n := range []int{2, 8, 64, 512} {
+		plan, err := NewFFTPlan(n)
+		if err != nil {
+			t.Fatalf("NewFFTPlan(%d): %v", n, err)
+		}
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		b := make([]complex128, n)
+		copy(b, a)
+		if err := FFT(a); err != nil {
+			t.Fatalf("FFT: %v", err)
+		}
+		if err := plan.Transform(b); err != nil {
+			t.Fatalf("Transform: %v", err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d bin %d: plan %v != fft %v", n, i, b[i], a[i])
+			}
+		}
+	}
+	if _, err := NewFFTPlan(100); err == nil {
+		t.Error("NewFFTPlan accepted non-power-of-two length")
+	}
+	plan, _ := NewFFTPlan(8)
+	if err := plan.Transform(make([]complex128, 4)); err == nil {
+		t.Error("Transform accepted mismatched length")
+	}
+}
+
+// TestExtractorFrameZeroAllocs is the steady-state allocation guarantee
+// the TEE hot path depends on: after warm-up, Frame must not touch the
+// heap at all.
+func TestExtractorFrameZeroAllocs(t *testing.T) {
+	cfg := DefaultMFCCConfig(16000)
+	ex, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatalf("NewExtractor: %v", err)
+	}
+	frame := make([]float64, cfg.FrameLen)
+	for i := range frame {
+		frame[i] = math.Sin(float64(i) / 7)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ex.Frame(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Extractor.Frame allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestExtractorSignalZeroAllocsSteadyState(t *testing.T) {
+	cfg := DefaultMFCCConfig(16000)
+	ex, err := NewExtractor(cfg)
+	if err != nil {
+		t.Fatalf("NewExtractor: %v", err)
+	}
+	samples := make([]float64, 4*cfg.FrameLen)
+	for i := range samples {
+		samples[i] = math.Cos(float64(i) / 11)
+	}
+	// First call grows the per-signal scratch; steady state follows.
+	if _, err := ex.Signal(samples); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ex.Signal(samples); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Extractor.Signal allocates %v times per call in steady state, want 0", allocs)
+	}
+}
+
+func BenchmarkExtractorFrame(b *testing.B) {
+	cfg := DefaultMFCCConfig(16000)
+	ex, err := NewExtractor(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]float64, cfg.FrameLen)
+	for i := range frame {
+		frame[i] = math.Sin(float64(i) / 5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Frame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package dsp
+
+// Precomputed transform plans for the MFCC hot path. The per-utterance
+// cost of the TEE recognizer is dominated by the frame loop (FFT +
+// filterbank + DCT every 10 ms hop), so everything derivable from the
+// configuration alone — twiddle factors, bit-reversal permutation, mel
+// filter spans, DCT cosines — is computed once and reused.
+//
+// Every plan reproduces the corresponding naive routine bit for bit:
+// the twiddle tables are filled with the same incremental w *= wl
+// recurrence FFT uses, and the cosine/filter tables evaluate the same
+// expressions on the same arguments, so planned and unplanned paths
+// produce identical float64 results (the golden-equivalence tests in
+// dsp_test.go hold them to exact equality).
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFTPlan caches the bit-reversal permutation and per-stage twiddle
+// factors for a fixed power-of-two length, making repeated transforms
+// allocation-free.
+type FFTPlan struct {
+	n        int
+	rev      []int        // rev[i] = bit-reversed index of i
+	twiddle  []complex128 // per-stage tables, concatenated
+	stageOff []int        // offset of each stage's table in twiddle
+}
+
+// NewFFTPlan builds a plan for length n (a power of two).
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrNotPowerOfTwo, n)
+	}
+	p := &FFTPlan{n: n, rev: make([]int, n)}
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		p.rev[i] = j
+	}
+	// Fill each stage's twiddles with the same running product the naive
+	// FFT accumulates, so planned butterflies see identical values.
+	for length := 2; length <= n; length <<= 1 {
+		p.stageOff = append(p.stageOff, len(p.twiddle))
+		wl := cmplx.Rect(1, -2*math.Pi/float64(length))
+		w := complex(1, 0)
+		for j := 0; j < length/2; j++ {
+			p.twiddle = append(p.twiddle, w)
+			w *= wl
+		}
+	}
+	return p, nil
+}
+
+// Size returns the planned transform length.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Transform computes the in-place FFT of x, which must have the planned
+// length. It performs no heap allocations.
+func (p *FFTPlan) Transform(x []complex128) error {
+	if len(x) != p.n {
+		return fmt.Errorf("%w: plan for %d given %d", ErrNotPowerOfTwo, p.n, len(x))
+	}
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	stage := 0
+	for length := 2; length <= p.n; length <<= 1 {
+		tw := p.twiddle[p.stageOff[stage]:]
+		half := length / 2
+		for i := 0; i < p.n; i += length {
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * tw[j]
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+			}
+		}
+		stage++
+	}
+	return nil
+}
+
+// melPlan is the flattened filterbank: every filter's non-zero span
+// stored contiguously in one weight slice, applied with stride indexing
+// instead of scanning all bins of a per-filter row.
+type melPlan struct {
+	lo  []int     // first spectrum bin of filter m's span
+	off []int     // w[off[m]:off[m+1]] are filter m's weights
+	w   []float64 // all spans, concatenated
+}
+
+// newMelPlan flattens the banks produced by MelFilterbank. Trimming
+// leading/trailing zero weights only removes +0.0 additions, so applying
+// the plan matches the full scan bit for bit.
+func newMelPlan(banks [][]float64) *melPlan {
+	p := &melPlan{
+		lo:  make([]int, len(banks)),
+		off: make([]int, len(banks)+1),
+	}
+	for m, bank := range banks {
+		lo, hi := 0, len(bank)
+		for lo < hi && bank[lo] == 0 {
+			lo++
+		}
+		for hi > lo && bank[hi-1] == 0 {
+			hi--
+		}
+		p.lo[m] = lo
+		p.w = append(p.w, bank[lo:hi]...)
+		p.off[m+1] = len(p.w)
+	}
+	return p
+}
+
+// apply fills energies[m] with log(filter_m · ps + 1e-10) for every
+// filter, allocation-free.
+func (p *melPlan) apply(ps, energies []float64) {
+	for m := range p.lo {
+		w := p.w[p.off[m]:p.off[m+1]]
+		bins := ps[p.lo[m]:]
+		var sum float64
+		for i, wt := range w {
+			sum += wt * bins[i]
+		}
+		energies[m] = math.Log(sum + 1e-10)
+	}
+}
+
+// dctPlan caches the DCT-II cosine table and scale factors used by the
+// MFCC output stage.
+type dctPlan struct {
+	n, coeffs int
+	cos       []float64 // cos[k*n+i] = cos(pi*k*(i+0.5)/n)
+	scale     []float64 // per-coefficient orthonormal scale
+}
+
+// newDCTPlan builds the table for n-point inputs and numCoeffs outputs.
+func newDCTPlan(n, numCoeffs int) *dctPlan {
+	if numCoeffs > n {
+		numCoeffs = n
+	}
+	p := &dctPlan{
+		n:      n,
+		coeffs: numCoeffs,
+		cos:    make([]float64, numCoeffs*n),
+		scale:  make([]float64, numCoeffs),
+	}
+	for k := 0; k < numCoeffs; k++ {
+		for i := 0; i < n; i++ {
+			p.cos[k*n+i] = math.Cos(math.Pi * float64(k) * (float64(i) + 0.5) / float64(n))
+		}
+		if k == 0 {
+			p.scale[k] = math.Sqrt(1 / float64(n))
+		} else {
+			p.scale[k] = math.Sqrt(2 / float64(n))
+		}
+	}
+	return p
+}
+
+// apply writes the planned DCT of x into out (len p.coeffs).
+func (p *dctPlan) apply(x, out []float64) {
+	for k := 0; k < p.coeffs; k++ {
+		row := p.cos[k*p.n : (k+1)*p.n]
+		var sum float64
+		for i, v := range x {
+			sum += v * row[i]
+		}
+		out[k] = sum * p.scale[k]
+	}
+}

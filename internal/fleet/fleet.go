@@ -230,8 +230,11 @@ type GroupStats struct {
 type Result struct {
 	Config Config
 
-	// BuildWall and RunWall split construction from steady-state
-	// processing; throughput figures use RunWall only.
+	// BuildWall and RunWall split shared-model provisioning from the
+	// processing phase; throughput figures use RunWall only. With lazy
+	// device construction, BuildWall covers the one-time training of the
+	// shared model pack, while RunWall covers per-device (lazy) pipeline
+	// construction plus workload processing.
 	BuildWall time.Duration
 	RunWall   time.Duration
 
@@ -287,7 +290,17 @@ func (r *Result) GroupKeys() []GroupKey {
 	return keys
 }
 
-// Run executes one fleet: plan → build → wire ingest → process → audit.
+// Run executes one fleet: plan → pretrain shared models → wire ingest →
+// lazily build and process each device → audit.
+//
+// Device provisioning is lazy: the build phase trains only the shared
+// immutable model pack (ASR templates, text and image classifiers), and
+// each device pipeline is constructed by the worker that is about to
+// feed it its first workload item, then released as soon as its result
+// is recorded. A thousand-device fleet therefore holds device pipelines
+// for at most DeviceWorkers devices at a time instead of the whole
+// population, which keeps the working set (and the GC) fleet-size
+// independent.
 func Run(cfg Config) (*Result, error) {
 	specs, err := Plan(cfg)
 	if err != nil {
@@ -295,23 +308,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 	_ = cfg.fillDefaults() // Plan validated; normalize our copy too
 
-	// Build the population concurrently. Model training is memoized per
-	// ModelSeed, so the first builder trains and the rest load weights.
+	// Build phase: train the shared model pack once up front. Every
+	// lazily constructed device below hits these caches.
 	buildStart := time.Now()
-	devices := make([]*core.Device, len(specs))
-	if err := eachDevice(len(specs), cfg.DeviceWorkers, func(i int) error {
-		d, err := core.NewDevice(specs[i])
-		if err != nil {
-			return fmt.Errorf("device %d: %w", i, err)
-		}
-		devices[i] = d
-		return nil
-	}); err != nil {
+	if err := core.Pretrain(specs); err != nil {
 		return nil, err
 	}
 	buildWall := time.Since(buildStart)
 
-	// Wire the ingest tier: shards, ring, uplinks.
+	// Wire the ingest tier: shards and ring exist before any device.
 	shards := make([]*cloud.Shard, cfg.Shards)
 	for i := range shards {
 		shards[i] = cloud.NewShard(fmt.Sprintf("shard-%02d", i), cfg.ShardWorkers, cfg.ShardQueue)
@@ -321,23 +326,27 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer router.Close()
-	for i, d := range devices {
+
+	// Run phase: construct each device on first workload item, register
+	// its endpoint on the ring, process, and drop the pipeline. The
+	// endpoints stay registered for the post-run audit.
+	results := make([]*core.DeviceResult, len(specs))
+	runStart := time.Now()
+	if err := eachDevice(len(specs), cfg.DeviceWorkers, func(i int) error {
+		w, err := workloadFor(cfg, specs[i], i)
+		if err != nil {
+			return fmt.Errorf("device %d workload: %w", i, err)
+		}
+		d, err := core.NewDevice(specs[i])
+		if err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
 		if ep := d.CloudEndpoint(); ep != nil {
 			id := DeviceID(i)
 			router.Register(id, ep)
 			d.SetUplink(&cloud.Uplink{DeviceID: id, Router: router})
 		}
-	}
-
-	// Process every device's workload concurrently.
-	results := make([]*core.DeviceResult, len(devices))
-	runStart := time.Now()
-	if err := eachDevice(len(devices), cfg.DeviceWorkers, func(i int) error {
-		w, err := workloadFor(cfg, specs[i], i)
-		if err != nil {
-			return fmt.Errorf("device %d workload: %w", i, err)
-		}
-		res, err := devices[i].Run(w)
+		res, err := d.Run(w)
 		if err != nil {
 			return fmt.Errorf("device %d: %w", i, err)
 		}

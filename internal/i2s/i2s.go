@@ -84,18 +84,57 @@ func EncodeFrames(samples []int32, f Format) ([]byte, error) {
 			ErrBadFormat, len(samples), f.Channels)
 	}
 	bpw := f.BytesPerWord()
-	out := make([]byte, 0, len(samples)*bpw)
-	for _, s := range samples {
-		u := uint32(s) << (32 - uint(f.BitsPerSample)) // left-justify in 32-bit slot
+	return encodeFramesInto(make([]byte, len(samples)*bpw), samples, f), nil
+}
+
+// EncodeFramesInto is EncodeFrames into dst's capacity, reusing it when
+// large enough so steady-state encode loops do not allocate.
+func EncodeFramesInto(dst []byte, samples []int32, f Format) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if len(samples)%f.Channels != 0 {
+		return nil, fmt.Errorf("%w: %d samples not a multiple of %d channels",
+			ErrBadFormat, len(samples), f.Channels)
+	}
+	n := len(samples) * f.BytesPerWord()
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	return encodeFramesInto(dst[:n], samples, f), nil
+}
+
+// encodeFramesInto writes the wire encoding of samples into out, which
+// must be len(samples)*BytesPerWord() long. The 16-bit layout gets a
+// direct two-byte store; other widths take the generic MSB-first loop.
+func encodeFramesInto(out []byte, samples []int32, f Format) []byte {
+	bpw := f.BytesPerWord()
+	if bpw == 2 && f.BitsPerSample == 16 {
+		for i, s := range samples {
+			u := uint32(s) << 16
+			out[2*i] = byte(u >> 24)
+			out[2*i+1] = byte(u >> 16)
+		}
+		return out
+	}
+	shift := 32 - uint(f.BitsPerSample)
+	for i, s := range samples {
+		u := uint32(s) << shift // left-justify in 32-bit slot
 		for b := 0; b < bpw; b++ {
-			out = append(out, byte(u>>(24-8*uint(b)))) // MSB first
+			out[i*bpw+b] = byte(u >> (24 - 8*uint(b))) // MSB first
 		}
 	}
-	return out, nil
+	return out
 }
 
 // DecodeFrames parses wire bytes back into signed samples.
 func DecodeFrames(wire []byte, f Format) ([]int32, error) {
+	return DecodeFramesInto(nil, wire, f)
+}
+
+// DecodeFramesInto is DecodeFrames appending into dst[:0], reusing its
+// capacity so steady-state decode loops do not allocate.
+func DecodeFramesInto(dst []int32, wire []byte, f Format) ([]int32, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,38 +142,85 @@ func DecodeFrames(wire []byte, f Format) ([]int32, error) {
 	if len(wire)%bpw != 0 {
 		return nil, fmt.Errorf("%w: %d bytes with %d-byte words", ErrShortFrame, len(wire), bpw)
 	}
-	out := make([]int32, 0, len(wire)/bpw)
-	for i := 0; i < len(wire); i += bpw {
+	n := len(wire) / bpw
+	if cap(dst) < n {
+		dst = make([]int32, 0, n)
+	}
+	out := dst[:n]
+	if bpw == 2 && f.BitsPerSample == 16 {
+		for i := range out {
+			u := uint32(wire[2*i])<<24 | uint32(wire[2*i+1])<<16
+			out[i] = int32(u) >> 16
+		}
+		return out, nil
+	}
+	shift := 32 - uint(f.BitsPerSample)
+	for i := range out {
 		var u uint32
 		for b := 0; b < bpw; b++ {
-			u |= uint32(wire[i+b]) << (24 - 8*uint(b))
+			u |= uint32(wire[i*bpw+b]) << (24 - 8*uint(b))
 		}
 		// Arithmetic shift right to sign-extend from the left-justified slot.
-		s := int32(u) >> (32 - uint(f.BitsPerSample))
-		out = append(out, s)
+		out[i] = int32(u) >> shift
 	}
 	return out, nil
 }
 
-// fifo is a bounded byte ring buffer.
+// fifo is a bounded byte ring buffer. The backing storage grows on
+// demand up to the configured capacity, so a controller configured with
+// a generous FIFO (the simulator uses 1 MiB to stand in for real-time
+// pacing) only pays for the bytes actually buffered.
 type fifo struct {
-	buf   []byte
-	start int
-	n     int
+	buf      []byte
+	start    int
+	n        int
+	capacity int
 }
 
-func newFIFO(capacity int) *fifo { return &fifo{buf: make([]byte, capacity)} }
+func newFIFO(capacity int) *fifo { return &fifo{capacity: capacity} }
+
+// grow re-linearizes the ring into a larger backing slice.
+func (q *fifo) grow(need int) {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 256
+	}
+	for size < need {
+		size *= 2
+	}
+	if size > q.capacity {
+		size = q.capacity
+	}
+	nb := make([]byte, size)
+	if q.n > 0 {
+		end := q.start + q.n
+		if end <= len(q.buf) {
+			copy(nb, q.buf[q.start:end])
+		} else {
+			first := copy(nb, q.buf[q.start:])
+			copy(nb[first:], q.buf[:end-len(q.buf)])
+		}
+	}
+	q.buf = nb
+	q.start = 0
+}
 
 // push appends b, returning the number of bytes that did NOT fit (overrun).
 func (q *fifo) push(b []byte) int {
-	space := len(q.buf) - q.n
+	space := q.capacity - q.n
 	take := len(b)
 	if take > space {
 		take = space
 	}
-	for i := 0; i < take; i++ {
-		q.buf[(q.start+q.n+i)%len(q.buf)] = b[i]
+	if take == 0 {
+		return len(b)
 	}
+	if q.n+take > len(q.buf) {
+		q.grow(q.n + take)
+	}
+	head := (q.start + q.n) % len(q.buf)
+	first := copy(q.buf[head:], b[:take])
+	copy(q.buf, b[first:take])
 	q.n += take
 	return len(b) - take
 }
@@ -145,15 +231,19 @@ func (q *fifo) pop(n int) []byte {
 		n = q.n
 	}
 	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		out[i] = q.buf[(q.start+i)%len(q.buf)]
+	if n == 0 {
+		return out
 	}
+	first := copy(out, q.buf[q.start:])
+	copy(out[first:], q.buf[:n-first])
 	q.start = (q.start + n) % len(q.buf)
 	q.n -= n
 	return out
 }
 
 func (q *fifo) len() int { return q.n }
+
+func (q *fifo) cap() int { return q.capacity }
 
 // Register offsets of the controller's MMIO window.
 const (
@@ -325,8 +415,8 @@ func (c *Controller) WriteReg(off uint32, val uint32) error {
 		c.format = f
 		return nil
 	case RegWatermark:
-		if int(val) > len(c.rx.buf) {
-			return fmt.Errorf("i2s %s: watermark %d beyond fifo %d", c.name, val, len(c.rx.buf))
+		if int(val) > c.rx.cap() {
+			return fmt.Errorf("i2s %s: watermark %d beyond fifo %d", c.name, val, c.rx.cap())
 		}
 		c.watermark = int(val)
 		return nil
@@ -399,6 +489,6 @@ func (c *Controller) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ctrl = 0
-	c.rx = newFIFO(len(c.rx.buf))
+	c.rx = newFIFO(c.rx.cap())
 	c.stats = ControllerStats{}
 }

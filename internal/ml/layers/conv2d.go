@@ -42,19 +42,24 @@ func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	B, H, W := x.Dim(0), x.Dim(1), x.Dim(2)
 	Ho, Wo := H-c.K+1, W-c.K+1
 	out := tensor.New(B, Ho, Wo, c.Cout)
+	// Flat row-major indexing: x is [B,H,W,Cin], w is [K,K,Cin,Cout].
+	// Accumulation order matches the historical At/Set loops exactly.
+	xd, wd, bd, od := x.Data, c.w.Value.Data, c.b.Value.Data, out.Data
 	for b := 0; b < B; b++ {
 		for i := 0; i < Ho; i++ {
 			for j := 0; j < Wo; j++ {
 				for co := 0; co < c.Cout; co++ {
-					acc := c.b.Value.Data[co]
+					acc := bd[co]
 					for ki := 0; ki < c.K; ki++ {
 						for kj := 0; kj < c.K; kj++ {
+							xrow := xd[((b*H+i+ki)*W+j+kj)*c.Cin:]
+							wrow := wd[(ki*c.K+kj)*c.Cin*c.Cout+co:]
 							for ci := 0; ci < c.Cin; ci++ {
-								acc += x.At(b, i+ki, j+kj, ci) * c.w.Value.At(ki, kj, ci, co)
+								acc += xrow[ci] * wrow[ci*c.Cout]
 							}
 						}
 					}
-					out.Set(acc, b, i, j, co)
+					od[((b*Ho+i)*Wo+j)*c.Cout+co] = acc
 				}
 			}
 		}
@@ -78,18 +83,19 @@ func (c *Conv2D) Backward(dOut *tensor.Tensor) (*tensor.Tensor, error) {
 		for i := 0; i < Ho; i++ {
 			for j := 0; j < Wo; j++ {
 				for co := 0; co < c.Cout; co++ {
-					g := dOut.At(b, i, j, co)
+					g := dOut.Data[((b*Ho+i)*Wo+j)*c.Cout+co]
 					if g == 0 {
 						continue
 					}
 					c.b.Grad.Data[co] += g
 					for ki := 0; ki < c.K; ki++ {
 						for kj := 0; kj < c.K; kj++ {
+							xrow := x.Data[((b*H+i+ki)*W+j+kj)*c.Cin:]
+							irow := dIn.Data[((b*H+i+ki)*W+j+kj)*c.Cin:]
 							for ci := 0; ci < c.Cin; ci++ {
 								wIdx := ((ki*c.K+kj)*c.Cin+ci)*c.Cout + co
-								c.w.Grad.Data[wIdx] += g * x.At(b, i+ki, j+kj, ci)
-								inIdx := ((b*H+i+ki)*W+j+kj)*c.Cin + ci
-								dIn.Data[inIdx] += g * c.w.Value.Data[wIdx]
+								c.w.Grad.Data[wIdx] += g * xrow[ci]
+								irow[ci] += g * c.w.Value.Data[wIdx]
 							}
 						}
 					}

@@ -272,17 +272,22 @@ func (c *Conv1D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	B, L := x.Dim(0), x.Dim(1)
 	Lout := L - c.K + 1
 	out := tensor.New(B, Lout, c.Cout)
-	w, b := c.w.Value, c.b.Value.Data
+	// Flat row-major indexing: x is [B,L,Cin], w is [K,Cin,Cout]. The
+	// accumulation order matches the historical At/Set loops exactly; only
+	// the index arithmetic is hoisted out of the inner loop.
+	xd, wd, bd, od := x.Data, c.w.Value.Data, c.b.Value.Data, out.Data
 	for bi := 0; bi < B; bi++ {
 		for t := 0; t < Lout; t++ {
 			for co := 0; co < c.Cout; co++ {
-				acc := b[co]
+				acc := bd[co]
 				for k := 0; k < c.K; k++ {
+					xrow := xd[(bi*L+t+k)*c.Cin:]
+					wrow := wd[k*c.Cin*c.Cout+co:]
 					for ci := 0; ci < c.Cin; ci++ {
-						acc += x.At(bi, t+k, ci) * w.At(k, ci, co)
+						acc += xrow[ci] * wrow[ci*c.Cout]
 					}
 				}
-				out.Set(acc, bi, t, co)
+				od[(bi*Lout+t)*c.Cout+co] = acc
 			}
 		}
 	}
@@ -301,19 +306,22 @@ func (c *Conv1D) Backward(dOut *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("%w: %s backward got %v", ErrShape, c.Name(), dOut.Shape)
 	}
 	dIn := tensor.New(B, L, c.Cin)
-	w := c.w.Value
+	xd, wd := x.Data, c.w.Value.Data
 	for bi := 0; bi < B; bi++ {
 		for t := 0; t < Lout; t++ {
 			for co := 0; co < c.Cout; co++ {
-				g := dOut.At(bi, t, co)
+				g := dOut.Data[(bi*Lout+t)*c.Cout+co]
 				if g == 0 {
 					continue
 				}
 				c.b.Grad.Data[co] += g
 				for k := 0; k < c.K; k++ {
+					xrow := xd[(bi*L+t+k)*c.Cin:]
+					irow := dIn.Data[(bi*L+t+k)*c.Cin:]
 					for ci := 0; ci < c.Cin; ci++ {
-						c.w.Grad.Data[(k*c.Cin+ci)*c.Cout+co] += g * x.At(bi, t+k, ci)
-						dIn.Data[(bi*L+t+k)*c.Cin+ci] += g * w.At(k, ci, co)
+						wIdx := (k*c.Cin+ci)*c.Cout + co
+						c.w.Grad.Data[wIdx] += g * xrow[ci]
+						irow[ci] += g * wd[wIdx]
 					}
 				}
 			}
@@ -352,13 +360,14 @@ func (p *GlobalMaxPool1D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	out := tensor.New(B, C)
 	for b := 0; b < B; b++ {
 		for c := 0; c < C; c++ {
-			best, bestT := x.At(b, 0, c), 0
+			base := b * L * C
+			best, bestT := x.Data[base+c], 0
 			for t := 1; t < L; t++ {
-				if v := x.At(b, t, c); v > best {
+				if v := x.Data[base+t*C+c]; v > best {
 					best, bestT = v, t
 				}
 			}
-			out.Set(best, b, c)
+			out.Data[b*C+c] = best
 			p.arg[b*C+c] = bestT
 		}
 	}
@@ -405,11 +414,12 @@ func (p *MeanPool1D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	out := tensor.New(p.B, p.C)
 	for b := 0; b < p.B; b++ {
 		for c := 0; c < p.C; c++ {
+			base := b * p.L * p.C
 			var s float32
 			for t := 0; t < p.L; t++ {
-				s += x.At(b, t, c)
+				s += x.Data[base+t*p.C+c]
 			}
-			out.Set(s/float32(p.L), b, c)
+			out.Data[b*p.C+c] = s / float32(p.L)
 		}
 	}
 	return out, nil

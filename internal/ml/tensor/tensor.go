@@ -103,14 +103,17 @@ func (t *Tensor) At(idx ...int) float32 { return t.Data[t.offset(idx)] }
 // Set writes the element at the multi-index.
 func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.offset(idx)] = v }
 
+// offset keeps its panic messages free of the index slice on purpose:
+// formatting idx forces every variadic At/Set call to heap-allocate its
+// index, which used to dominate the conv-layer hot loops.
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.Shape) {
-		panic(fmt.Sprintf("tensor: index rank %d for shape %v", len(idx), t.Shape))
+		panic("tensor: index rank mismatch for shape")
 	}
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.Shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of shape %v", idx, t.Shape))
+			panic("tensor: index out of shape")
 		}
 		off = off*t.Shape[i] + x
 	}

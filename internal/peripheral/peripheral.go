@@ -35,6 +35,11 @@ type Microphone struct {
 	signal audio.PCM
 	pos    int
 	pushed uint64
+
+	// Pump scratch (guarded by mu): quantized samples and their wire
+	// encoding are recycled across PumpBytes calls.
+	sampleBuf []int32
+	wireBuf   []byte
 }
 
 // NewMicrophone wires a microphone to the controller with the format.
@@ -48,19 +53,29 @@ func NewMicrophone(ctrl *i2s.Controller, f i2s.Format) (*Microphone, error) {
 	return &Microphone{ctrl: ctrl, format: f}, nil
 }
 
-// Load queues a PCM signal behind any remaining samples.
+// Load queues a PCM signal behind any remaining samples. The samples are
+// copied into the microphone's own buffer (compacted in place), so the
+// caller may reuse p's backing slice immediately and repeated loads do
+// not re-clone the queued remainder.
 func (m *Microphone) Load(p audio.PCM) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.pos >= len(m.signal.Samples) {
-		m.signal = p.Clone()
+		m.signal.Rate = p.Rate
+		m.signal.Samples = append(m.signal.Samples[:0], p.Samples...)
 		m.pos = 0
 		return
 	}
-	rest := audio.PCM{Rate: m.signal.Rate, Samples: m.signal.Samples[m.pos:]}
-	combined := rest.Clone()
-	combined.Append(p)
-	m.signal = combined
+	// Compact the unplayed remainder to the front, then append — same
+	// result as cloning remainder+new, without the quadratic re-copy.
+	rem := copy(m.signal.Samples, m.signal.Samples[m.pos:])
+	m.signal.Samples = m.signal.Samples[:rem]
+	if m.signal.Rate == 0 {
+		m.signal.Rate = p.Rate
+	}
+	if p.Rate == m.signal.Rate {
+		m.signal.Samples = append(m.signal.Samples, p.Samples...)
+	}
 	m.pos = 0
 }
 
@@ -93,9 +108,15 @@ func (m *Microphone) PumpBytes(n int) (int, error) {
 	chunk := m.signal.Samples[m.pos : m.pos+wantSamples]
 	m.pos += wantSamples
 	f := m.format
-	m.mu.Unlock()
-
-	samples := make([]int32, len(chunk))
+	// Quantize under the lock (chunk aliases the signal buffer, which a
+	// concurrent Load may compact in place), detaching the scratch while
+	// it is in flight — a rare concurrent pump simply allocates fresh.
+	sampleBuf, wireBuf := m.sampleBuf, m.wireBuf
+	m.sampleBuf, m.wireBuf = nil, nil
+	if cap(sampleBuf) < len(chunk) {
+		sampleBuf = make([]int32, len(chunk))
+	}
+	samples := sampleBuf[:len(chunk)]
 	for i, s := range chunk {
 		v := math.Round(s * 32768)
 		if v > 32767 {
@@ -105,19 +126,28 @@ func (m *Microphone) PumpBytes(n int) (int, error) {
 		}
 		samples[i] = int32(v)
 	}
-	wire, err := i2s.EncodeFrames(samples, f)
+	m.mu.Unlock()
+
+	wire, err := i2s.EncodeFramesInto(wireBuf, samples, f)
 	if err != nil {
-		return 0, err
-	}
-	if err := m.ctrl.PushWire(wire); err != nil {
-		// The receiver rejected the data (e.g. RX disabled); rewind so the
-		// signal is not silently consumed.
 		m.mu.Lock()
 		m.pos -= wantSamples
 		m.mu.Unlock()
 		return 0, err
 	}
+	// PushWire runs outside m.mu: the controller copies the bytes into
+	// its FIFO and may invoke the IRQ callback synchronously, which must
+	// be free to call back into the microphone.
+	pushErr := m.ctrl.PushWire(wire)
 	m.mu.Lock()
+	m.sampleBuf, m.wireBuf = samples[:0], wire[:0]
+	if pushErr != nil {
+		// The receiver rejected the data (e.g. RX disabled); rewind so the
+		// signal is not silently consumed.
+		m.pos -= wantSamples
+		m.mu.Unlock()
+		return 0, pushErr
+	}
 	m.pushed += uint64(len(wire))
 	m.mu.Unlock()
 	return len(wire), nil

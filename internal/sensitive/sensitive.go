@@ -134,6 +134,30 @@ func NewVocabulary() *Vocabulary {
 	return v
 }
 
+// NewVocabularyFromWords builds a vocabulary over an explicit word list
+// (deduplicated, lowercased order preserved via sorting) — used by
+// callers that speak a different lexicon than the built-in corpus, and
+// by tests that need two distinct vocabularies.
+func NewVocabularyFromWords(words []string) *Vocabulary {
+	set := make(map[string]bool)
+	for _, w := range words {
+		set[strings.ToLower(w)] = true
+	}
+	uniq := make([]string, 0, len(set))
+	for w := range set {
+		uniq = append(uniq, w)
+	}
+	sort.Strings(uniq)
+	v := &Vocabulary{
+		byWord: make(map[string]int, len(uniq)+2),
+		words:  append([]string{"<pad>", "<unk>"}, uniq...),
+	}
+	for i, w := range v.words {
+		v.byWord[w] = i
+	}
+	return v
+}
+
 // Size returns the vocabulary size including PAD and UNK.
 func (v *Vocabulary) Size() int { return len(v.words) }
 
