@@ -263,6 +263,37 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetThroughputAttested is the control-plane overhead probe:
+// the same fleet as BenchmarkFleetThroughput's 64/8 point, but with the
+// attested handshake and a staged 10%-canary model rollout live. The
+// items/s it reports must stay within ~10% of the unattested figure —
+// attestation and rollout are per-device one-offs, not per-item costs.
+func BenchmarkFleetThroughputAttested(b *testing.B) {
+	var last *fleet.Result
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Run(fleet.Config{
+			Devices:    64,
+			Shards:     8,
+			Utterances: 2,
+			Frames:     2,
+			Seed:       experiments.DefaultSeed,
+			Rollout:    &fleet.RolloutSpec{CanaryFraction: 0.1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LostFrames() != 0 {
+			b.Fatalf("lost %d frames", res.LostFrames())
+		}
+		if res.Rollout == nil || !res.Rollout.Converged {
+			b.Fatalf("rollout did not converge: %v", res.ModelVersions)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Throughput(), "items/s")
+	b.ReportMetric(last.Latency.Percentile(99)/1e3, "virtual-us-p99/item")
+}
+
 // --- substrate micro-benchmarks (wall-clock health of the simulator) ------------
 
 func BenchmarkSubstrateSMC(b *testing.B) {

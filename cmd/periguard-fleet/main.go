@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/fleet"
@@ -39,6 +41,10 @@ func run(args []string) error {
 	frames := fs.Int("frames", 6, "frames per doorbell")
 	doorbells := fs.Float64("doorbells", 0.25, "doorbell fraction of the population (0 = none)")
 	seed := fs.Uint64("seed", 1, "root seed (devices, workloads and model derive from it)")
+	attestOn := fs.Bool("attest", false, "require attested handshakes before ingest")
+	rollout := fs.Bool("rollout", false, "stage an online model rollout during the run (implies -attest)")
+	canary := fs.Float64("canary", 0.1, "canary fraction of the secure population for -rollout")
+	rogues := fs.Int("rogues", 0, "unattested adversarial clients to throw at the ingest tier")
 	jsonPath := fs.String("json", "", "write a JSON snapshot to this path")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	if err := fs.Parse(args); err != nil {
@@ -70,9 +76,14 @@ func run(args []string) error {
 		Frames:           *frames,
 		DoorbellFraction: doorbellFrac,
 		Seed:             *seed,
+		Attest:           *attestOn,
+		Rogues:           *rogues,
 	}
-	fmt.Printf("PeriGuard fleet: %d devices, %d shards, batch %d, seed %d\n",
-		*devices, *shards, *batch, *seed)
+	if *rollout {
+		cfg.Rollout = &fleet.RolloutSpec{CanaryFraction: *canary}
+	}
+	fmt.Printf("PeriGuard fleet: %d devices, %d shards, batch %d, seed %d (attest %v, rollout %v)\n",
+		*devices, *shards, *batch, *seed, *attestOn || *rollout || *rogues > 0, *rollout)
 	start := time.Now()
 	res, err := fleet.Run(cfg)
 	if err != nil {
@@ -98,11 +109,23 @@ func run(args []string) error {
 	fmt.Println(groups)
 
 	shardsTbl := metrics.NewTable("Ingest shards",
-		"shard", "devices", "frames", "errors", "queue peak")
+		"shard", "devices", "frames", "errors", "rejected", "queue peak", "model versions")
 	for _, s := range res.ShardStats {
-		shardsTbl.AddRow(s.Name, s.Devices, s.Frames, s.Errors, s.QueuePeak)
+		shardsTbl.AddRow(s.Name, s.Devices, s.Frames, s.Errors, s.Rejected, s.QueuePeak,
+			versionString(res.ShardModelVersions[s.Name]))
 	}
 	fmt.Println(shardsTbl)
+
+	if res.AttestedDevices > 0 {
+		fmt.Printf("attestation: %d devices attested; fleet model versions %s; "+
+			"rogue frames %d/%d rejected, %d unattested events ingested\n",
+			res.AttestedDevices, versionString(res.ModelVersions),
+			res.RogueRejected, res.RogueAttempts, res.UnattestedIngested)
+	}
+	if r := res.Rollout; r != nil {
+		fmt.Printf("rollout: v%d -> v%d, canary %d, converged %v, ingest minimum v%d\n",
+			r.BaseVersion, r.ToVersion, r.Canary, r.Converged, r.MinVersion)
+	}
 
 	fmt.Printf("aggregate: %d items at %.0f items/s; ingested %d cloud events (%d lost); "+
 		"provider observed %d tokens, %d sensitive, %d audio bytes\n",
@@ -120,7 +143,8 @@ func run(args []string) error {
 	return nil
 }
 
-// snapshot is the stable JSON shape later PRs benchmark against.
+// snapshot is the stable JSON shape later PRs benchmark against; the
+// schema is documented in docs/ARCHITECTURE.md ("fleet snapshot schema").
 type snapshot struct {
 	Devices       int                `json:"devices"`
 	Shards        int                `json:"shards"`
@@ -136,6 +160,15 @@ type snapshot struct {
 	LatencyP50Vms float64            `json:"latency_p50_vms"`
 	LatencyP99Vms float64            `json:"latency_p99_vms"`
 	Groups        map[string]groupJS `json:"groups"`
+	ShardStats    []shardJS          `json:"shard_stats"`
+
+	// Attested-run fields (omitted on plain runs).
+	AttestedDevices    int            `json:"attested_devices,omitempty"`
+	ModelVersions      map[string]int `json:"model_versions,omitempty"`
+	Rollout            *rolloutJS     `json:"rollout,omitempty"`
+	RogueAttempts      int            `json:"rogue_attempts,omitempty"`
+	RogueRejected      int            `json:"rogue_rejected,omitempty"`
+	UnattestedIngested int            `json:"unattested_ingested,omitempty"`
 }
 
 type groupJS struct {
@@ -148,22 +181,78 @@ type groupJS struct {
 	SensTokens  int     `json:"sensitive_tokens"`
 }
 
+// shardJS carries per-shard counters, including the model version of
+// every attested model-bearing device hosted on the shard — the field
+// that makes rollout progress observable from the snapshot.
+type shardJS struct {
+	Name          string         `json:"name"`
+	Devices       int            `json:"devices"`
+	Frames        uint64         `json:"frames"`
+	Errors        uint64         `json:"errors"`
+	Rejected      uint64         `json:"rejected"`
+	QueuePeak     int            `json:"queue_peak"`
+	ModelVersions map[string]int `json:"model_versions,omitempty"`
+}
+
+type rolloutJS struct {
+	BaseVersion uint64 `json:"base_version"`
+	ToVersion   uint64 `json:"to_version"`
+	Canary      int    `json:"canary"`
+	Converged   bool   `json:"converged"`
+	MinVersion  uint64 `json:"min_version"`
+}
+
+// versionKeys renders a version tally with string keys (JSON objects
+// cannot have integer keys).
+func versionKeys(in map[uint64]int) map[string]int {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(in))
+	for v, n := range in {
+		out[fmt.Sprintf("%d", v)] = n
+	}
+	return out
+}
+
+// versionString renders a tally like "v1:3 v2:61" in version order.
+func versionString(in map[uint64]int) string {
+	if len(in) == 0 {
+		return "-"
+	}
+	versions := make([]uint64, 0, len(in))
+	for v := range in {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	parts := make([]string, len(versions))
+	for i, v := range versions {
+		parts[i] = fmt.Sprintf("v%d:%d", v, in[v])
+	}
+	return strings.Join(parts, " ")
+}
+
 func writeSnapshot(path string, res *fleet.Result) error {
 	snap := snapshot{
-		Devices:       res.Config.Devices,
-		Shards:        res.Config.Shards,
-		Batch:         res.Config.Batch,
-		Seed:          res.Config.Seed,
-		BuildWallMs:   float64(res.BuildWall.Microseconds()) / 1e3,
-		RunWallMs:     float64(res.RunWall.Microseconds()) / 1e3,
-		ItemsPerSec:   res.Throughput(),
-		TotalItems:    res.TotalItems,
-		CloudEvents:   res.IngestedFrames(),
-		LostFrames:    res.LostFrames(),
-		SensTokens:    res.Audit.SensitiveTokens,
-		LatencyP50Vms: res.Latency.Percentile(50) / 1e6,
-		LatencyP99Vms: res.Latency.Percentile(99) / 1e6,
-		Groups:        map[string]groupJS{},
+		Devices:            res.Config.Devices,
+		Shards:             res.Config.Shards,
+		Batch:              res.Config.Batch,
+		Seed:               res.Config.Seed,
+		BuildWallMs:        float64(res.BuildWall.Microseconds()) / 1e3,
+		RunWallMs:          float64(res.RunWall.Microseconds()) / 1e3,
+		ItemsPerSec:        res.Throughput(),
+		TotalItems:         res.TotalItems,
+		CloudEvents:        res.IngestedFrames(),
+		LostFrames:         res.LostFrames(),
+		SensTokens:         res.Audit.SensitiveTokens,
+		LatencyP50Vms:      res.Latency.Percentile(50) / 1e6,
+		LatencyP99Vms:      res.Latency.Percentile(99) / 1e6,
+		Groups:             map[string]groupJS{},
+		AttestedDevices:    res.AttestedDevices,
+		ModelVersions:      versionKeys(res.ModelVersions),
+		RogueAttempts:      res.RogueAttempts,
+		RogueRejected:      res.RogueRejected,
+		UnattestedIngested: res.UnattestedIngested,
 	}
 	for _, k := range res.GroupKeys() {
 		g := res.Groups[k]
@@ -175,6 +264,26 @@ func writeSnapshot(path string, res *fleet.Result) error {
 			P99Vms:      g.Latency.Percentile(99) / 1e6,
 			CloudEvents: g.CloudEvents,
 			SensTokens:  g.SensitiveTokens,
+		}
+	}
+	for _, s := range res.ShardStats {
+		snap.ShardStats = append(snap.ShardStats, shardJS{
+			Name:          s.Name,
+			Devices:       s.Devices,
+			Frames:        s.Frames,
+			Errors:        s.Errors,
+			Rejected:      s.Rejected,
+			QueuePeak:     s.QueuePeak,
+			ModelVersions: versionKeys(res.ShardModelVersions[s.Name]),
+		})
+	}
+	if r := res.Rollout; r != nil {
+		snap.Rollout = &rolloutJS{
+			BaseVersion: r.BaseVersion,
+			ToVersion:   r.ToVersion,
+			Canary:      r.Canary,
+			Converged:   r.Converged,
+			MinVersion:  r.MinVersion,
 		}
 	}
 	blob, err := json.MarshalIndent(snap, "", "  ")

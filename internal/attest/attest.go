@@ -1,0 +1,205 @@
+// Package attest implements remote attestation and authenticated model
+// provisioning for the device fleet — the two pieces of glue the
+// edge-to-cloud confidential-computing literature places between device
+// enclaves and cloud services: before a provider ingests a single event
+// from a device, the device proves *what code it runs* and *which model
+// pack it holds*; and when the provider publishes a new model version,
+// devices accept it only after checking it against a manifest
+// authenticated with their own device key.
+//
+// The trust model mirrors symmetric-key TrustZone attestation: each
+// device owns a unique attestation key derived from its hardware unique
+// key (here: a seed derived from the fleet root seed, see
+// core.DeriveSeed), and the provisioning authority — which enrolled the
+// device — knows the same key. Evidence is an HMAC-SHA256 over a
+// verifier-issued challenge nonce, the TA code digest and the model-pack
+// version, so a report cannot be replayed (nonces are single-use), forged
+// (MAC), or issued for tampered code (digest policy). The Verifier doubles
+// as the ingest-tier admission gate: shards consult it on every frame and
+// reject traffic from devices that never attested or attested with a
+// model older than the fleet's minimum version.
+//
+// Model rollout rides on the same keys: a Pack is a versioned, digest-
+// addressed bundle of classifier weights, and a ManifestToken is the
+// verifier's per-device MAC over (version, digest). A device accepts a
+// pack only if the token verifies under its own key and the pack's
+// recomputed digest matches — a tampered payload or a forged manifest is
+// rejected inside the TEE before anything touches sealed storage. Rollout
+// staging (canary cohort, then the full fleet) lives in Rollout.
+package attest
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the package.
+var (
+	// ErrBadReport is returned for malformed or wrongly-MACed reports.
+	ErrBadReport = errors.New("attest: bad report")
+	// ErrReplay is returned when a report reuses a consumed nonce.
+	ErrReplay = errors.New("attest: replayed nonce")
+	// ErrUnknownDevice is returned when no key is enrolled for a device.
+	ErrUnknownDevice = errors.New("attest: unknown device")
+	// ErrMeasurement is returned when the reported code digest is not in
+	// the verifier's allowed set.
+	ErrMeasurement = errors.New("attest: measurement rejected")
+	// ErrUnattested is returned by the admission gate for devices that
+	// never produced a valid report.
+	ErrUnattested = errors.New("attest: device not attested")
+	// ErrStaleModel is returned by the admission gate for devices attested
+	// with a model pack older than the fleet minimum.
+	ErrStaleModel = errors.New("attest: stale model version")
+	// ErrBadManifest is returned when a manifest token fails to verify.
+	ErrBadManifest = errors.New("attest: bad manifest")
+	// ErrBadPack is returned for undecodable or digest-mismatched packs.
+	ErrBadPack = errors.New("attest: bad model pack")
+)
+
+// DeviceKey is a device's symmetric attestation key, shared between the
+// device's TEE and the provisioning authority that enrolled it.
+type DeviceKey [32]byte
+
+// KeyFromSeed expands a derived seed (core.DeriveSeed output) into a
+// DeviceKey. Both the device and the verifier derive the same key from
+// the same enrollment seed.
+func KeyFromSeed(seed uint64) DeviceKey {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], seed)
+	return DeviceKey(sha256.Sum256(append([]byte("periguard-attest-key-v1:"), buf[:]...)))
+}
+
+// Digest identifies a measured code image (a TA binary).
+type Digest [32]byte
+
+// MeasureCode produces the deterministic code digest for a component —
+// the simulation's stand-in for hashing the TA image at load time.
+func MeasureCode(parts ...string) Digest {
+	h := sha256.New()
+	h.Write([]byte("periguard-code-v1"))
+	for _, p := range parts {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Nonce is a single-use verifier challenge.
+type Nonce [16]byte
+
+// Measurement is what a device claims about itself: the code identity of
+// its TA and the version of the model pack it currently holds.
+type Measurement struct {
+	Code         Digest
+	ModelVersion uint64
+}
+
+// Report is one piece of attestation evidence: a measurement bound to a
+// challenge nonce and a device identity under the device key.
+type Report struct {
+	DeviceID string
+	Nonce    Nonce
+	Measurement
+	MAC [32]byte
+}
+
+// reportMAC computes the evidence MAC.
+func reportMAC(key DeviceKey, deviceID string, nonce Nonce, m Measurement) [32]byte {
+	h := hmac.New(sha256.New, key[:])
+	h.Write([]byte("periguard-report-v1"))
+	h.Write(nonce[:])
+	h.Write(m.Code[:])
+	var ver [8]byte
+	binary.LittleEndian.PutUint64(ver[:], m.ModelVersion)
+	h.Write(ver[:])
+	h.Write([]byte(deviceID))
+	var mac [32]byte
+	copy(mac[:], h.Sum(nil))
+	return mac
+}
+
+// Marshal serializes the report for transport through a TEE memref
+// parameter: nonce(16) | code(32) | version(8) | idlen(2) | id | mac(32).
+func (r Report) Marshal() []byte {
+	out := make([]byte, 0, 16+32+8+2+len(r.DeviceID)+32)
+	out = append(out, r.Nonce[:]...)
+	out = append(out, r.Code[:]...)
+	out = binary.LittleEndian.AppendUint64(out, r.ModelVersion)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(r.DeviceID)))
+	out = append(out, r.DeviceID...)
+	out = append(out, r.MAC[:]...)
+	return out
+}
+
+// UnmarshalReport parses a Marshal-ed report.
+func UnmarshalReport(b []byte) (Report, error) {
+	var r Report
+	const fixed = 16 + 32 + 8 + 2
+	if len(b) < fixed+32 {
+		return r, fmt.Errorf("%w: %d bytes", ErrBadReport, len(b))
+	}
+	copy(r.Nonce[:], b[:16])
+	copy(r.Code[:], b[16:48])
+	r.ModelVersion = binary.LittleEndian.Uint64(b[48:56])
+	idLen := int(binary.LittleEndian.Uint16(b[56:58]))
+	if len(b) != fixed+idLen+32 {
+		return r, fmt.Errorf("%w: length mismatch", ErrBadReport)
+	}
+	r.DeviceID = string(b[fixed : fixed+idLen])
+	copy(r.MAC[:], b[fixed+idLen:])
+	return r, nil
+}
+
+// Attestor is the device-side signer. It lives with the device key —
+// inside the TEE for secure devices, in the device agent for the
+// baseline deployments that have no TEE to measure (their "software
+// attestation" is exactly as trustworthy as the normal world, which the
+// verifier's digest policy makes explicit).
+type Attestor struct {
+	deviceID string
+	key      DeviceKey
+}
+
+// NewAttestor binds a device identity to its key.
+func NewAttestor(deviceID string, key DeviceKey) *Attestor {
+	return &Attestor{deviceID: deviceID, key: key}
+}
+
+// DeviceID returns the bound identity.
+func (a *Attestor) DeviceID() string { return a.deviceID }
+
+// Attest signs the measurement over the challenge nonce.
+func (a *Attestor) Attest(nonce Nonce, m Measurement) Report {
+	return Report{
+		DeviceID:    a.deviceID,
+		Nonce:       nonce,
+		Measurement: m,
+		MAC:         reportMAC(a.key, a.deviceID, nonce, m),
+	}
+}
+
+// VerifyManifest checks a rollout manifest token against the device key
+// and a candidate pack: the token must MAC-verify for this device, name
+// the pack's version, and carry the digest the pack's payload actually
+// hashes to. A pack tampered in transit (or a manifest forged without
+// the key) fails here, before anything is persisted.
+func (a *Attestor) VerifyManifest(tok ManifestToken, p Pack) error {
+	if tok.DeviceID != a.deviceID {
+		return fmt.Errorf("%w: token for %q, device is %q", ErrBadManifest, tok.DeviceID, a.deviceID)
+	}
+	if !hmac.Equal(tok.MAC[:], manifestMAC(a.key, tok.DeviceID, tok.Version, tok.Digest)) {
+		return fmt.Errorf("%w: bad MAC", ErrBadManifest)
+	}
+	if tok.Version != p.Version {
+		return fmt.Errorf("%w: token version %d, pack version %d", ErrBadManifest, tok.Version, p.Version)
+	}
+	if got := p.Digest(); got != tok.Digest {
+		return fmt.Errorf("%w: payload digest mismatch", ErrBadPack)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+)
+
+func testRegistry(t *testing.T) (map[string]DeviceKey, func(string) (DeviceKey, bool)) {
+	t.Helper()
+	keys := map[string]DeviceKey{
+		"device-00000": KeyFromSeed(101),
+		"device-00001": KeyFromSeed(102),
+	}
+	return keys, func(id string) (DeviceKey, bool) {
+		k, ok := keys[id]
+		return k, ok
+	}
+}
+
+func TestAttestRoundTrip(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	m := Measurement{Code: MeasureCode("ta.voice.guard"), ModelVersion: 1}
+	v.AllowMeasurement(m.Code, true)
+
+	a := NewAttestor("device-00000", keys["device-00000"])
+	nonce := v.Challenge("device-00000")
+	rep := a.Attest(nonce, m)
+	if err := v.Verify(rep); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	got, ok := v.Attested("device-00000")
+	if !ok || got != m {
+		t.Fatalf("attested = %+v, %v; want %+v", got, ok, m)
+	}
+	if err := v.Admit("device-00000"); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	code := MeasureCode("ta.voice.guard")
+	v.AllowMeasurement(code, true)
+	a := NewAttestor("device-00000", keys["device-00000"])
+
+	nonce := v.Challenge("device-00000")
+	rep := a.Attest(nonce, Measurement{Code: code, ModelVersion: 1})
+	if err := v.Verify(rep); err != nil {
+		t.Fatalf("first verify: %v", err)
+	}
+	// Replaying the identical (valid) report must fail: the nonce was
+	// consumed.
+	if err := v.Verify(rep); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay: got %v, want ErrReplay", err)
+	}
+	// A fresh challenge invalidates evidence minted for the old nonce.
+	_ = v.Challenge("device-00000")
+	if err := v.Verify(rep); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale nonce: got %v, want ErrReplay", err)
+	}
+}
+
+func TestForgedReportRejected(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	code := MeasureCode("ta.voice.guard")
+	v.AllowMeasurement(code, true)
+
+	// Wrong key (device-00001's key signing for device-00000).
+	imposter := NewAttestor("device-00000", keys["device-00001"])
+	nonce := v.Challenge("device-00000")
+	if err := v.Verify(imposter.Attest(nonce, Measurement{Code: code, ModelVersion: 1})); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("forged key: got %v, want ErrBadReport", err)
+	}
+	// Nonce was consumed by the failed attempt — no offline retry.
+	legit := NewAttestor("device-00000", keys["device-00000"])
+	if err := v.Verify(legit.Attest(nonce, Measurement{Code: code, ModelVersion: 1})); !errors.Is(err, ErrReplay) {
+		t.Fatalf("burned nonce: got %v, want ErrReplay", err)
+	}
+	// Tampered measurement under a valid report breaks the MAC.
+	nonce = v.Challenge("device-00000")
+	rep := legit.Attest(nonce, Measurement{Code: code, ModelVersion: 1})
+	rep.ModelVersion = 99
+	if err := v.Verify(rep); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("tampered version: got %v, want ErrBadReport", err)
+	}
+}
+
+func TestMeasurementPolicy(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	v.AllowMeasurement(MeasureCode("ta.voice.guard"), true)
+
+	a := NewAttestor("device-00000", keys["device-00000"])
+	nonce := v.Challenge("device-00000")
+	rogue := a.Attest(nonce, Measurement{Code: MeasureCode("ta.evil"), ModelVersion: 1})
+	if err := v.Verify(rogue); !errors.Is(err, ErrMeasurement) {
+		t.Fatalf("unknown digest: got %v, want ErrMeasurement", err)
+	}
+	if err := v.Admit("device-00000"); !errors.Is(err, ErrUnattested) {
+		t.Fatalf("admit after rejected report: got %v, want ErrUnattested", err)
+	}
+}
+
+func TestStaleModelAdmission(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	code := MeasureCode("ta.voice.guard")
+	baseline := MeasureCode("normal-world/baseline")
+	v.AllowMeasurement(code, true)
+	v.AllowMeasurement(baseline, false)
+
+	a0 := NewAttestor("device-00000", keys["device-00000"])
+	if err := v.Verify(a0.Attest(v.Challenge("device-00000"), Measurement{Code: code, ModelVersion: 1})); err != nil {
+		t.Fatal(err)
+	}
+	a1 := NewAttestor("device-00001", keys["device-00001"])
+	if err := v.Verify(a1.Attest(v.Challenge("device-00001"), Measurement{Code: baseline})); err != nil {
+		t.Fatal(err)
+	}
+
+	v.SetMinVersion(2)
+	if err := v.Admit("device-00000"); !errors.Is(err, ErrStaleModel) {
+		t.Fatalf("stale device: got %v, want ErrStaleModel", err)
+	}
+	// Unversioned (baseline) digests are exempt from the version policy.
+	if err := v.Admit("device-00001"); err != nil {
+		t.Fatalf("baseline device: %v", err)
+	}
+
+	// Re-attesting at the minimum restores admission.
+	if err := v.Verify(a0.Attest(v.Challenge("device-00000"), Measurement{Code: code, ModelVersion: 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Admit("device-00000"); err != nil {
+		t.Fatalf("updated device: %v", err)
+	}
+	counts := v.VersionCounts()
+	if counts[2] != 1 || len(counts) != 1 {
+		t.Fatalf("version counts = %v, want map[2:1]", counts)
+	}
+}
+
+func TestReportMarshalRoundTrip(t *testing.T) {
+	keys, _ := testRegistry(t)
+	a := NewAttestor("device-00000", keys["device-00000"])
+	rep := a.Attest(Nonce{1, 2, 3}, Measurement{Code: MeasureCode("x"), ModelVersion: 42})
+	got, err := UnmarshalReport(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rep {
+		t.Fatalf("round trip: got %+v, want %+v", got, rep)
+	}
+	if _, err := UnmarshalReport(rep.Marshal()[:10]); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("truncated: got %v, want ErrBadReport", err)
+	}
+}

@@ -1,0 +1,194 @@
+package attest
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Verifier is the cloud-side attestation service and ingest admission
+// gate. It issues single-use challenge nonces, verifies device reports
+// against an enrolled-key registry and a code-digest policy, and answers
+// per-frame admission queries for the shard tier (cloud.AdmissionGate):
+// a device is admitted only while its latest verified measurement exists
+// and meets the fleet's minimum model version.
+type Verifier struct {
+	lookup func(deviceID string) (DeviceKey, bool)
+
+	// mu is an RWMutex because Admit sits on the per-frame ingest path
+	// of every shard: admission queries take the read lock so the
+	// sharded frontend never serializes on the verifier.
+	mu         sync.RWMutex
+	seed       uint64
+	nonceCtr   uint64
+	issued     map[string]Nonce // outstanding challenge per device
+	allowed    map[Digest]bool  // digest -> versioned (subject to min-version policy)
+	attested   map[string]Measurement
+	minVersion uint64
+}
+
+// NewVerifier creates a verifier over an enrollment registry. The seed
+// makes the challenge stream deterministic for a reproducible fleet run;
+// lookup returns the key enrolled for a device ID.
+func NewVerifier(seed uint64, lookup func(deviceID string) (DeviceKey, bool)) *Verifier {
+	return &Verifier{
+		lookup:   lookup,
+		seed:     seed,
+		issued:   make(map[string]Nonce),
+		allowed:  make(map[Digest]bool),
+		attested: make(map[string]Measurement),
+	}
+}
+
+// AllowMeasurement adds a code digest to the acceptance policy.
+// versioned marks digests whose devices carry the provisioned model pack
+// and are therefore subject to the minimum-version admission policy;
+// unversioned digests (the baseline normal-world agent, which holds no
+// model) are admitted on attestation alone.
+func (v *Verifier) AllowMeasurement(d Digest, versioned bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.allowed[d] = versioned
+}
+
+// Challenge issues a fresh single-use nonce for the device. A new
+// challenge supersedes any outstanding one.
+func (v *Verifier) Challenge(deviceID string) Nonce {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.nonceCtr++
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], v.seed)
+	binary.LittleEndian.PutUint64(buf[8:], v.nonceCtr)
+	sum := sha256.Sum256(append(buf[:], deviceID...))
+	var n Nonce
+	copy(n[:], sum[:])
+	v.issued[deviceID] = n
+	return n
+}
+
+// Verify checks one report: the nonce must be the device's outstanding
+// challenge (consumed on success *and* on MAC failure, so evidence cannot
+// be retried offline), the MAC must verify under the enrolled key, and
+// the code digest must be in the allowed set. On success the measurement
+// becomes the device's current attested state.
+func (v *Verifier) Verify(r Report) error {
+	key, ok := v.lookup(r.DeviceID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDevice, r.DeviceID)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	nonce, ok := v.issued[r.DeviceID]
+	if !ok || nonce != r.Nonce {
+		return fmt.Errorf("%w: %q", ErrReplay, r.DeviceID)
+	}
+	delete(v.issued, r.DeviceID) // single use
+	want := reportMAC(key, r.DeviceID, r.Nonce, r.Measurement)
+	if !hmac.Equal(want[:], r.MAC[:]) {
+		return fmt.Errorf("%w: %q MAC", ErrBadReport, r.DeviceID)
+	}
+	if _, ok := v.allowed[r.Code]; !ok {
+		return fmt.Errorf("%w: %q", ErrMeasurement, r.DeviceID)
+	}
+	v.attested[r.DeviceID] = r.Measurement
+	return nil
+}
+
+// SetMinVersion raises the fleet's minimum admitted model version for
+// versioned (model-bearing) devices; devices attested below it are
+// rejected at ingest until they update and re-attest.
+func (v *Verifier) SetMinVersion(min uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.minVersion = min
+}
+
+// Admit implements the ingest admission gate (cloud.AdmissionGate): one
+// cheap policy check per frame.
+func (v *Verifier) Admit(deviceID string) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	m, ok := v.attested[deviceID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnattested, deviceID)
+	}
+	if v.allowed[m.Code] && m.ModelVersion < v.minVersion {
+		return fmt.Errorf("%w: %q at v%d, fleet minimum v%d",
+			ErrStaleModel, deviceID, m.ModelVersion, v.minVersion)
+	}
+	return nil
+}
+
+// Attested returns the device's current verified measurement.
+func (v *Verifier) Attested(deviceID string) (Measurement, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	m, ok := v.attested[deviceID]
+	return m, ok
+}
+
+// AttestedCount returns how many devices hold a verified measurement.
+func (v *Verifier) AttestedCount() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.attested)
+}
+
+// VersionCounts tallies attested model-bearing devices per model
+// version (unversioned digests — baseline agents — are excluded). This
+// is the fleet-convergence signal the rollout experiment reads.
+func (v *Verifier) VersionCounts() map[uint64]int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[uint64]int)
+	for _, m := range v.attested {
+		if v.allowed[m.Code] {
+			out[m.ModelVersion]++
+		}
+	}
+	return out
+}
+
+// Manifest signs a per-device rollout manifest for the pack: the MAC
+// binds (device, version, payload digest) under the device's enrolled
+// key, so only the provisioning authority can authorize a pack for a
+// device, and only for exactly this payload.
+func (v *Verifier) Manifest(deviceID string, p Pack) (ManifestToken, error) {
+	return v.ManifestForDigest(deviceID, p.Version, p.Digest())
+}
+
+// ManifestForDigest is Manifest for an already-computed pack digest:
+// packs are immutable once published, so fleet-scale provisioning
+// hashes each pack once and signs per device from the cached digest.
+func (v *Verifier) ManifestForDigest(deviceID string, version uint64, d Digest) (ManifestToken, error) {
+	key, ok := v.lookup(deviceID)
+	if !ok {
+		return ManifestToken{}, fmt.Errorf("%w: %q", ErrUnknownDevice, deviceID)
+	}
+	return ManifestToken{
+		DeviceID: deviceID,
+		Version:  version,
+		Digest:   d,
+		MAC:      macArray(manifestMAC(key, deviceID, version, d)),
+	}, nil
+}
+
+func macArray(b []byte) [32]byte {
+	var out [32]byte
+	copy(out[:], b)
+	return out
+}
+
+func manifestMAC(key DeviceKey, deviceID string, version uint64, digest Digest) []byte {
+	h := hmac.New(sha256.New, key[:])
+	h.Write([]byte("periguard-manifest-v1"))
+	var ver [8]byte
+	binary.LittleEndian.PutUint64(ver[:], version)
+	h.Write(ver[:])
+	h.Write(digest[:])
+	h.Write([]byte(deviceID))
+	return h.Sum(nil)
+}

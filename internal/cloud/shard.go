@@ -5,7 +5,11 @@
 // channel doubles as admission control: a full queue pushes back on the
 // radio rather than buffering unboundedly). Router places devices on
 // shards with a consistent-hash ring so membership changes move only
-// neighbouring devices.
+// neighbouring devices. An optional AdmissionGate (the attestation
+// verifier, in attested fleets) is consulted on every frame before it
+// reaches a worker: frames from devices that never attested, or that
+// attested with a stale model pack, are rejected and counted without
+// ever touching the device's endpoint.
 package cloud
 
 import (
@@ -41,10 +45,21 @@ func (a Audit) Merge(b Audit) Audit {
 	return a
 }
 
+// AdmissionGate decides, per frame, whether a device's traffic may
+// reach its endpoint. attest.Verifier implements it; a nil gate admits
+// everything (the pre-attestation deployment).
+type AdmissionGate interface {
+	// Admit returns nil to accept the device's frame, or the policy
+	// error that rejected it (e.g. attest.ErrUnattested).
+	Admit(deviceID string) error
+}
+
 // Errors returned by the ingest tier.
 var (
 	// ErrUnknownDevice is returned for frames from unregistered devices.
 	ErrUnknownDevice = errors.New("cloud: unknown device")
+	// ErrRejected wraps admission-gate rejections.
+	ErrRejected = errors.New("cloud: admission rejected")
 	// ErrShardClosed is returned for ingest after Close.
 	ErrShardClosed = errors.New("cloud: shard closed")
 	// ErrNoShards is returned when a router is built without shards.
@@ -70,6 +85,7 @@ type ShardStats struct {
 	Devices   int
 	Frames    uint64 // frames fully processed
 	Errors    uint64 // frames whose endpoint rejected them
+	Rejected  uint64 // frames the admission gate turned away
 	QueuePeak int    // high-water mark of admitted-but-not-yet-served frames
 }
 
@@ -82,10 +98,12 @@ type Shard struct {
 	inflight sync.WaitGroup // Ingests between admission and reply
 
 	mu        sync.Mutex
+	gate      AdmissionGate
 	endpoints map[string]Provider
 	closed    bool
 	frames    uint64
 	errs      uint64
+	rejected  uint64
 	pending   int // admitted frames not yet picked up by a worker
 	queuePeak int
 }
@@ -139,6 +157,21 @@ func (s *Shard) Register(deviceID string, p Provider) {
 	s.endpoints[deviceID] = p
 }
 
+// Deregister removes a device's endpoint; later frames from the ID fail
+// with ErrUnknownDevice. Removing an unknown ID is not an error.
+func (s *Shard) Deregister(deviceID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.endpoints, deviceID)
+}
+
+// SetGate installs (or clears, with nil) the admission gate.
+func (s *Shard) SetGate(g AdmissionGate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = g
+}
+
 // Ingest processes one frame from the device through the worker pool,
 // blocking while the admission queue is full (backpressure) and until the
 // frame's directive is ready.
@@ -152,6 +185,13 @@ func (s *Shard) Ingest(deviceID string, frame []byte) ([]byte, error) {
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q on shard %s", ErrUnknownDevice, deviceID, s.name)
+	}
+	if s.gate != nil {
+		if err := s.gate.Admit(deviceID); err != nil {
+			s.rejected++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q on shard %s: %v", ErrRejected, deviceID, s.name, err)
+		}
 	}
 	// Admitted while holding the lock, so Close cannot tear the queue
 	// down under an in-flight frame; pending tracks admitted frames no
@@ -195,6 +235,7 @@ func (s *Shard) Stats() ShardStats {
 		Devices:   len(s.endpoints),
 		Frames:    s.frames,
 		Errors:    s.errs,
+		Rejected:  s.rejected,
 		QueuePeak: s.queuePeak,
 	}
 }
@@ -279,6 +320,18 @@ func (r *Router) Register(deviceID string, p Provider) *Shard {
 	s := r.ShardFor(deviceID)
 	s.Register(deviceID, p)
 	return s
+}
+
+// Deregister removes the device's endpoint from its ring shard.
+func (r *Router) Deregister(deviceID string) {
+	r.ShardFor(deviceID).Deregister(deviceID)
+}
+
+// SetGate installs the admission gate on every shard.
+func (r *Router) SetGate(g AdmissionGate) {
+	for _, s := range r.shards {
+		s.SetGate(g)
+	}
 }
 
 // Ingest routes one frame to the owning shard.

@@ -84,6 +84,44 @@ func TestShardIngestAndAudit(t *testing.T) {
 	}
 }
 
+// allowGate admits only the device IDs in its set.
+type allowGate struct{ allowed map[string]bool }
+
+func (g *allowGate) Admit(deviceID string) error {
+	if g.allowed[deviceID] {
+		return nil
+	}
+	return errors.New("not attested")
+}
+
+func TestShardAdmissionGate(t *testing.T) {
+	s := NewShard("s0", 1, 2)
+	defer s.Close()
+	good, bad := &countingProvider{}, &countingProvider{}
+	s.Register("attested", good)
+	s.Register("rogue", bad)
+	s.SetGate(&allowGate{allowed: map[string]bool{"attested": true}})
+
+	if _, err := s.Ingest("attested", []byte("x")); err != nil {
+		t.Fatalf("attested device rejected: %v", err)
+	}
+	if _, err := s.Ingest("rogue", []byte("x")); !errors.Is(err, ErrRejected) {
+		t.Fatalf("rogue: got %v, want ErrRejected", err)
+	}
+	if bad.Audit().Events != 0 {
+		t.Fatalf("rejected frame reached the endpoint: %d events", bad.Audit().Events)
+	}
+	st := s.Stats()
+	if st.Frames != 1 || st.Rejected != 1 || st.Errors != 0 {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	// Clearing the gate restores open admission.
+	s.SetGate(nil)
+	if _, err := s.Ingest("rogue", []byte("x")); err != nil {
+		t.Fatalf("gateless ingest: %v", err)
+	}
+}
+
 func TestShardErrors(t *testing.T) {
 	s := NewShard("s0", 1, 1)
 	if _, err := s.Ingest("ghost", nil); !errors.Is(err, ErrUnknownDevice) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/attest"
 	"repro/internal/cloud"
 	"repro/internal/kernel"
 	"repro/internal/memory"
@@ -38,6 +39,10 @@ const (
 	// CmdProcessFrame (TA): grab, classify and relay-or-block one frame;
 	// params[0].A returns 1 if forwarded.
 	CmdProcessFrame uint32 = 0x31
+	// CmdCameraAttest / CmdCameraUpdateModel: the camera twins of the
+	// voice TA's CmdAttest / CmdUpdateModel, same parameter layouts.
+	CmdCameraAttest      uint32 = 0x32
+	CmdCameraUpdateModel uint32 = 0x33
 
 	cameraFrameSide  = 24
 	cameraFrameBytes = cameraFrameSide * cameraFrameSide
@@ -46,6 +51,14 @@ const (
 	// NameFrame is the relay event name for camera frames.
 	NameFrame = "Camera.Frame"
 )
+
+// CameraTADigest is the measured code identity of the camera TA.
+var CameraTADigest = attest.MeasureCode("periguard", UUIDCameraTA)
+
+// cameraPackObjectID is the secure-storage id of a provisioned pack.
+func cameraPackObjectID(version uint64) string {
+	return fmt.Sprintf("camera-ta/model-pack-v%d", version)
+}
 
 // TrainImageClassifier pre-trains (memoized) the person-detection model.
 // The lock is held across training so concurrent fleet builders sharing a
@@ -204,12 +217,14 @@ type CameraTA struct {
 	channel *relay.Channel
 	clock   *tz.Clock
 	cost    tz.CostModel
-	seed    uint64
 
-	mu         sync.Mutex
-	classifier *classify.Classifier
-	processed  []ProcessedFrame
-	messageID  uint64
+	mu           sync.Mutex
+	classifier   *classify.Classifier
+	seed         uint64
+	attestor     *attest.Attestor
+	modelVersion uint64
+	processed    []ProcessedFrame
+	messageID    uint64
 
 	// Per-TA frame scratch: invocations are serialized per device, so
 	// the grab buffer and feature vector are reused across frames.
@@ -219,37 +234,133 @@ type CameraTA struct {
 
 var _ optee.TA = (*CameraTA)(nil)
 
-// NewCameraTA constructs the TA.
-func NewCameraTA(tee *optee.OS, storage *optee.Storage, id *relay.Identity, cloudPub []byte, clock *tz.Clock, cost tz.CostModel, seed uint64) (*CameraTA, error) {
+// NewCameraTA constructs the TA. attestor may be nil outside attested
+// fleets; modelVersion is the provisioned pack version the TA boots with.
+func NewCameraTA(tee *optee.OS, storage *optee.Storage, id *relay.Identity, cloudPub []byte, clock *tz.Clock, cost tz.CostModel, seed uint64, attestor *attest.Attestor, modelVersion uint64) (*CameraTA, error) {
 	ch, err := relay.NewChannel(id, cloudPub, true)
 	if err != nil {
 		return nil, fmt.Errorf("camera ta channel: %w", err)
 	}
-	return &CameraTA{tee: tee, storage: storage, channel: ch, clock: clock, cost: cost, seed: seed}, nil
+	return &CameraTA{
+		tee: tee, storage: storage, channel: ch, clock: clock, cost: cost,
+		seed: seed, attestor: attestor, modelVersion: modelVersion,
+	}, nil
 }
 
 // UUID implements optee.TA.
 func (t *CameraTA) UUID() string { return UUIDCameraTA }
 
-// Open implements optee.TA: unseal the image model and open the PTA.
-func (t *CameraTA) Open(sessionID uint32) error {
-	blob, err := t.storage.Get(cameraWeightsID)
-	if err != nil {
-		return fmt.Errorf("camera ta weights: %w", err)
+// ModelVersion returns the version of the model pack the TA holds.
+func (t *CameraTA) ModelVersion() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.modelVersion
+}
+
+// attestReport signs the TA's current measurement over a challenge
+// nonce; the camera twin of VoiceTA.attestReport.
+func (t *CameraTA) attestReport(nonce attest.Nonce) (attest.Report, error) {
+	t.mu.Lock()
+	attestor, version := t.attestor, t.modelVersion
+	t.mu.Unlock()
+	if attestor == nil {
+		return attest.Report{}, errors.New("camera ta: attestation not provisioned")
 	}
-	rng := NewRNG(t.seed, t.seed^SaltImage)
+	t.clock.Advance(2000) // HMAC evidence; see VoiceTA.attestReport
+	return attestor.Attest(nonce, attest.Measurement{Code: CameraTADigest, ModelVersion: version}), nil
+}
+
+// updateModel authenticates a published pack against the per-device
+// manifest, persists it through sealed storage and hot-swaps the image
+// classifier; see VoiceTA.updateModel for the speaker-side twin.
+func (t *CameraTA) updateModel(packBytes, tokenBytes []byte) (uint64, error) {
+	t.mu.Lock()
+	attestor := t.attestor
+	t.mu.Unlock()
+	if attestor == nil {
+		return 0, errors.New("camera ta: attestation not provisioned")
+	}
+	pack, err := attest.DecodePack(packBytes)
+	if err != nil {
+		return 0, fmt.Errorf("camera ta update: %w", err)
+	}
+	tok, err := attest.UnmarshalManifestToken(tokenBytes)
+	if err != nil {
+		return 0, fmt.Errorf("camera ta update: %w", err)
+	}
+	if err := attestor.VerifyManifest(tok, pack); err != nil {
+		return 0, fmt.Errorf("camera ta update: %w", err)
+	}
+	clf, err := t.buildClassifier(pack.ModelSeed, pack.Image)
+	if err != nil {
+		return 0, fmt.Errorf("camera ta update: %w", err)
+	}
+	// Version check and install form one critical section; see
+	// VoiceTA.updateModel for the downgrade-race rationale.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pack.Version == t.modelVersion {
+		return t.modelVersion, nil // idempotent re-delivery
+	}
+	if pack.Version < t.modelVersion {
+		return 0, fmt.Errorf("camera ta update: %w: pack v%d older than installed v%d",
+			attest.ErrBadPack, pack.Version, t.modelVersion)
+	}
+	t.storage.Put(cameraPackObjectID(pack.Version), packBytes)
+	t.storage.Put(cameraWeightsID, pack.Image)
+	t.clock.Advance(tz.Cycles(len(packBytes)) * t.cost.CopyPerByte)
+	t.classifier = clf
+	t.seed = pack.ModelSeed
+	t.modelVersion = pack.Version
+	return pack.Version, nil
+}
+
+// buildClassifier reconstructs the image-classifier skeleton for a model
+// seed and restores the given serialized weights.
+func (t *CameraTA) buildClassifier(seed uint64, blob []byte) (*classify.Classifier, error) {
+	rng := NewRNG(seed, seed^SaltImage)
 	clf, err := classify.NewImage(rng, cameraFrameSide, cameraFrameSide)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := clf.LoadWeights(blob); err != nil {
-		return fmt.Errorf("camera ta weights: %w", err)
+		return nil, fmt.Errorf("camera ta weights: %w", err)
+	}
+	return clf, nil
+}
+
+// loadedClassifier returns the live image classifier, unsealing it from
+// secure storage on first use; an installed rollout pack takes
+// precedence (updateModel swaps the pointer directly). Mirrors
+// VoiceTA.loadedClassifier, so management sessions stay lightweight.
+func (t *CameraTA) loadedClassifier() (*classify.Classifier, error) {
+	t.mu.Lock()
+	clf := t.classifier
+	seed := t.seed
+	t.mu.Unlock()
+	if clf != nil {
+		return clf, nil
+	}
+	blob, err := t.storage.Get(cameraWeightsID)
+	if err != nil {
+		return nil, fmt.Errorf("camera ta weights: %w", err)
+	}
+	built, err := t.buildClassifier(seed, blob)
+	if err != nil {
+		return nil, err
 	}
 	t.mu.Lock()
-	t.classifier = clf
+	if t.classifier == nil {
+		t.classifier = built
+	}
+	clf = t.classifier
 	t.mu.Unlock()
-	return nil
+	return clf, nil
 }
+
+// Open implements optee.TA. The instance keeps its state (classifier,
+// model version) across sessions; unsealing is deferred to first use.
+func (t *CameraTA) Open(sessionID uint32) error { return nil }
 
 // Close implements optee.TA.
 func (t *CameraTA) Close(sessionID uint32) {}
@@ -271,6 +382,41 @@ func (t *CameraTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) er
 			params[0].A = 1
 		}
 		return nil
+	case CmdCameraAttest:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) != len(attest.Nonce{}) {
+			return fmt.Errorf("%w: CmdCameraAttest needs a %d-byte MemrefIn nonce", optee.ErrBadParam, len(attest.Nonce{}))
+		}
+		if params[1].Type != optee.MemrefOut || params[1].Buf == nil {
+			return fmt.Errorf("%w: CmdCameraAttest needs a MemrefOut report buffer", optee.ErrBadParam)
+		}
+		var nonce attest.Nonce
+		copy(nonce[:], params[0].Buf)
+		rep, err := t.attestReport(nonce)
+		if err != nil {
+			return err
+		}
+		blob := rep.Marshal()
+		if len(params[1].Buf) < len(blob) {
+			return fmt.Errorf("%w: report buffer %d < %d", optee.ErrBadParam, len(params[1].Buf), len(blob))
+		}
+		copy(params[1].Buf, blob)
+		params[2].Type = optee.ValueOut
+		params[2].A = uint64(len(blob))
+		return nil
+	case CmdCameraUpdateModel:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 {
+			return fmt.Errorf("%w: CmdCameraUpdateModel needs a MemrefIn pack", optee.ErrBadParam)
+		}
+		if params[1].Type != optee.MemrefIn || len(params[1].Buf) == 0 {
+			return fmt.Errorf("%w: CmdCameraUpdateModel needs a MemrefIn manifest", optee.ErrBadParam)
+		}
+		version, err := t.updateModel(params[0].Buf, params[1].Buf)
+		if err != nil {
+			return err
+		}
+		params[2].Type = optee.ValueOut
+		params[2].A = version
+		return nil
 	default:
 		return fmt.Errorf("%w: camera ta cmd %#x", optee.ErrBadParam, cmd)
 	}
@@ -291,11 +437,9 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 	if p[1].A == 0 {
 		return rec, false, nil
 	}
-	t.mu.Lock()
-	clf := t.classifier
-	t.mu.Unlock()
-	if clf == nil {
-		return rec, false, errors.New("camera ta: classifier not loaded")
+	clf, err := t.loadedClassifier()
+	if err != nil {
+		return rec, false, err
 	}
 	feats := t.frameFeat
 	for i, px := range buf {
@@ -360,6 +504,10 @@ type CameraConfig struct {
 	// Config.ModelSeed.
 	ModelSeed uint64
 	FreqHz    uint64
+	// DeviceID / AttestKeySeed / ModelVersion: see Config.
+	DeviceID      string
+	AttestKeySeed uint64
+	ModelVersion  uint64
 }
 
 // CameraSystem is the camera pipeline instance.
@@ -400,6 +548,9 @@ func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
 	}
 	if cfg.ModelSeed == 0 {
 		cfg.ModelSeed = cfg.Seed
+	}
+	if cfg.AttestKeySeed != 0 && cfg.ModelVersion == 0 {
+		cfg.ModelVersion = 1
 	}
 	plat, err := memory.NewPlatform(memory.DefaultLayout())
 	if err != nil {
@@ -456,7 +607,11 @@ func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
 
 	sys.PTA = NewCameraPTA(sys.Camera, plat.Mem, plat.SecureHeap, tz.WorldSecure, clock, cost)
 	sys.TEE.RegisterPTA(sys.PTA)
-	ta, err := NewCameraTA(sys.TEE, storage, taID, cloudID.PublicKey(), clock, cost, cfg.ModelSeed)
+	var attestor *attest.Attestor
+	if cfg.AttestKeySeed != 0 {
+		attestor = attest.NewAttestor(cfg.DeviceID, attest.KeyFromSeed(cfg.AttestKeySeed))
+	}
+	ta, err := NewCameraTA(sys.TEE, storage, taID, cloudID.PublicKey(), clock, cost, cfg.ModelSeed, attestor, cfg.ModelVersion)
 	if err != nil {
 		return nil, err
 	}
@@ -481,6 +636,66 @@ func (s *CameraSystem) CloudEndpoint() cloud.Provider {
 		return nil
 	}
 	return s.Cloud
+}
+
+// withTA runs fn over a short-lived management session to the camera
+// TA, paying the same session/SMC costs as the speaker twin.
+func (s *CameraSystem) withTA(fn func(sess *teec.Session) error) error {
+	if s.TA == nil {
+		return ErrNoTEE
+	}
+	ctx := teec.InitializeContext(s.TEE)
+	sess, err := ctx.OpenSession(UUIDCameraTA)
+	if err != nil {
+		return fmt.Errorf("camera management session: %w", err)
+	}
+	defer func() { _ = ctx.FinalizeContext() }()
+	return fn(sess)
+}
+
+// Attest asks the camera TA for attestation evidence; see System.Attest.
+func (s *CameraSystem) Attest(nonce attest.Nonce) (attest.Report, error) {
+	var rep attest.Report
+	err := s.withTA(func(sess *teec.Session) error {
+		buf := make([]byte, 512)
+		p := &optee.Params{
+			{Type: optee.MemrefIn, Buf: nonce[:]},
+			{Type: optee.MemrefOut, Buf: buf},
+			{},
+		}
+		if err := sess.InvokeCommand(CmdCameraAttest, p); err != nil {
+			return err
+		}
+		got, err := attest.UnmarshalReport(buf[:p[2].A])
+		if err != nil {
+			return err
+		}
+		rep = got
+		return nil
+	})
+	return rep, err
+}
+
+// UpdateModel delivers a published model pack to the camera TA; see
+// System.UpdateModel.
+func (s *CameraSystem) UpdateModel(pack attest.Pack, tok attest.ManifestToken) error {
+	return s.withTA(func(sess *teec.Session) error {
+		p := &optee.Params{
+			{Type: optee.MemrefIn, Buf: pack.Encode()},
+			{Type: optee.MemrefIn, Buf: tok.Marshal()},
+			{},
+		}
+		return sess.InvokeCommand(CmdCameraUpdateModel, p)
+	})
+}
+
+// ModelVersion returns the model-pack version the doorbell holds (0 for
+// baseline doorbells).
+func (s *CameraSystem) ModelVersion() uint64 {
+	if s.TA == nil {
+		return 0
+	}
+	return s.TA.ModelVersion()
 }
 
 // CameraSessionResult aggregates one camera run.

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/asr"
+	"repro/internal/attest"
 	"repro/internal/audio"
 	"repro/internal/bus"
 	"repro/internal/cloud"
@@ -101,6 +102,15 @@ type Config struct {
 	NoiseAmp float64
 	// TrainEpochs controls classifier pre-training; default 8.
 	TrainEpochs int
+
+	// DeviceID names the device on an attested ingest tier ("" outside
+	// fleets); AttestKeySeed derives its attestation key via
+	// attest.KeyFromSeed (0 disables attestation); ModelVersion is the
+	// provisioned model-pack version the device boots with (0 = 1 when
+	// attestation is enabled).
+	DeviceID      string
+	AttestKeySeed uint64
+	ModelVersion  uint64
 }
 
 func (c *Config) fillDefaults() error {
@@ -129,6 +139,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.ModelSeed == 0 {
 		c.ModelSeed = c.Seed
+	}
+	if c.AttestKeySeed != 0 && c.ModelVersion == 0 {
+		c.ModelVersion = 1
 	}
 	if c.BufBytes > 1<<20 {
 		return fmt.Errorf("%w: buffer %d too large", ErrBadConfig, c.BufBytes)
@@ -489,20 +502,29 @@ func (s *System) buildSecure() error {
 	s.DriverPTA = NewDriverPTA(s.Driver)
 	s.TEE.RegisterPTA(s.DriverPTA)
 
+	// The attestation key lives with the TA: evidence is signed inside
+	// the TEE, never by the normal world.
+	var attestor *attest.Attestor
+	if s.cfg.AttestKeySeed != 0 {
+		attestor = attest.NewAttestor(s.cfg.DeviceID, attest.KeyFromSeed(s.cfg.AttestKeySeed))
+	}
+
 	ta, err := NewVoiceTA(VoiceTAConfig{
-		TEE:        s.TEE,
-		Storage:    storage,
-		Recognizer: s.Recognizer,
-		Arch:       s.cfg.Arch,
-		VocabSize:  s.Vocab.Size(),
-		Vocab:      s.Vocab,
-		Policy:     s.cfg.Policy,
-		Filter:     s.cfg.Mode == ModeSecureFilter,
-		Identity:   taID,
-		CloudPub:   cloudID.PublicKey(),
-		Clock:      s.Clock,
-		Cost:       s.Cost,
-		Seed:       s.cfg.ModelSeed,
+		TEE:          s.TEE,
+		Storage:      storage,
+		Recognizer:   s.Recognizer,
+		Arch:         s.cfg.Arch,
+		VocabSize:    s.Vocab.Size(),
+		Vocab:        s.Vocab,
+		Policy:       s.cfg.Policy,
+		Filter:       s.cfg.Mode == ModeSecureFilter,
+		Identity:     taID,
+		CloudPub:     cloudID.PublicKey(),
+		Clock:        s.Clock,
+		Cost:         s.Cost,
+		Seed:         s.cfg.ModelSeed,
+		Attestor:     attestor,
+		ModelVersion: s.cfg.ModelVersion,
 	})
 	if err != nil {
 		return fmt.Errorf("core voice ta: %w", err)

@@ -298,7 +298,8 @@ func TestSealedWeightsLoadedFromSecureStorage(t *testing.T) {
 	if len(blob) == 0 {
 		t.Fatal("empty sealed weights")
 	}
-	// Corrupt the sealed object: the TA session must now fail to open.
+	// Corrupt the sealed object: the TA must now fail when it unseals
+	// the weights (at first classify), so the session errors out.
 	if !sys.Storage.Tamper(weightsObjectID, len(blob)/2) {
 		t.Fatal("tamper failed")
 	}

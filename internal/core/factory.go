@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/attest"
 	"repro/internal/audio"
 	"repro/internal/cloud"
 	"repro/internal/metrics"
@@ -17,6 +18,14 @@ import (
 	"repro/internal/sensitive"
 	"repro/internal/supplicant"
 )
+
+// BaselineAgentDigest is the measured identity of the normal-world
+// baseline agent. Baseline deployments have no TEE, so their
+// "attestation" is software-only — exactly as trustworthy as the OS it
+// runs on. The verifier's policy makes that explicit by enrolling this
+// digest as unversioned (baseline devices hold no provisioned model and
+// are exempt from the minimum-version admission policy).
+var BaselineAgentDigest = attest.MeasureCode("periguard", "normal-world/baseline-agent")
 
 // DeviceKind selects the peripheral class.
 type DeviceKind int
@@ -60,6 +69,13 @@ type DeviceSpec struct {
 	// Batch > 1 enables TA-side batched processing on secure speakers
 	// (capped at MaxBatch).
 	Batch int
+	// DeviceID names the device on an attested ingest tier;
+	// AttestKeySeed derives its attestation key (0 disables attestation);
+	// ModelVersion is the provisioned pack version it boots with (0 = 1
+	// when attestation is enabled). See Config.
+	DeviceID      string
+	AttestKeySeed uint64
+	ModelVersion  uint64
 }
 
 // Pretrain warms every shared-model cache the given population needs —
@@ -134,6 +150,10 @@ type Device struct {
 	Spec     DeviceSpec
 	Speaker  *System
 	Doorbell *CameraSystem
+
+	// softAttestor signs for baseline devices, which have no TEE to
+	// attest from; see BaselineAgentDigest.
+	softAttestor *attest.Attestor
 }
 
 // NewDevice builds the pipeline for the spec.
@@ -141,33 +161,86 @@ func NewDevice(spec DeviceSpec) (*Device, error) {
 	switch spec.Kind {
 	case DeviceSpeaker:
 		sys, err := NewSystem(Config{
-			Mode:      spec.Mode,
-			Arch:      spec.Arch,
-			Policy:    spec.Policy,
-			BufBytes:  spec.BufBytes,
-			Seed:      spec.Seed,
-			ModelSeed: spec.ModelSeed,
-			FreqHz:    spec.FreqHz,
-			NoiseAmp:  spec.NoiseAmp,
+			Mode:          spec.Mode,
+			Arch:          spec.Arch,
+			Policy:        spec.Policy,
+			BufBytes:      spec.BufBytes,
+			Seed:          spec.Seed,
+			ModelSeed:     spec.ModelSeed,
+			FreqHz:        spec.FreqHz,
+			NoiseAmp:      spec.NoiseAmp,
+			DeviceID:      spec.DeviceID,
+			AttestKeySeed: spec.AttestKeySeed,
+			ModelVersion:  spec.ModelVersion,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("speaker: %w", err)
 		}
-		return &Device{Spec: spec, Speaker: sys}, nil
+		d := &Device{Spec: spec, Speaker: sys}
+		d.initSoftAttestor()
+		return d, nil
 	case DeviceDoorbell:
 		sys, err := NewCameraSystem(CameraConfig{
-			Mode:      spec.Mode,
-			Seed:      spec.Seed,
-			ModelSeed: spec.ModelSeed,
-			FreqHz:    spec.FreqHz,
+			Mode:          spec.Mode,
+			Seed:          spec.Seed,
+			ModelSeed:     spec.ModelSeed,
+			FreqHz:        spec.FreqHz,
+			DeviceID:      spec.DeviceID,
+			AttestKeySeed: spec.AttestKeySeed,
+			ModelVersion:  spec.ModelVersion,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("doorbell: %w", err)
 		}
-		return &Device{Spec: spec, Doorbell: sys}, nil
+		d := &Device{Spec: spec, Doorbell: sys}
+		d.initSoftAttestor()
+		return d, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, int(spec.Kind))
 	}
+}
+
+func (d *Device) initSoftAttestor() {
+	if d.Spec.AttestKeySeed != 0 && d.Spec.Mode == ModeBaseline {
+		d.softAttestor = attest.NewAttestor(d.Spec.DeviceID, attest.KeyFromSeed(d.Spec.AttestKeySeed))
+	}
+}
+
+// Attest produces the device's attestation evidence for a verifier
+// challenge: secure devices sign inside their TA; baseline devices sign
+// with the software agent (BaselineAgentDigest, model version 0).
+func (d *Device) Attest(nonce attest.Nonce) (attest.Report, error) {
+	if d.Spec.Mode == ModeBaseline {
+		if d.softAttestor == nil {
+			return attest.Report{}, fmt.Errorf("device %s: attestation not provisioned", d.Spec.DeviceID)
+		}
+		return d.softAttestor.Attest(nonce, attest.Measurement{Code: BaselineAgentDigest}), nil
+	}
+	if d.Speaker != nil {
+		return d.Speaker.Attest(nonce)
+	}
+	return d.Doorbell.Attest(nonce)
+}
+
+// UpdateModel delivers a published model pack to the device; baseline
+// devices hold no on-device model and return nil.
+func (d *Device) UpdateModel(pack attest.Pack, tok attest.ManifestToken) error {
+	if d.Spec.Mode == ModeBaseline {
+		return nil
+	}
+	if d.Speaker != nil {
+		return d.Speaker.UpdateModel(pack, tok)
+	}
+	return d.Doorbell.UpdateModel(pack, tok)
+}
+
+// ModelVersion returns the model-pack version the device holds (0 for
+// baseline devices).
+func (d *Device) ModelVersion() uint64 {
+	if d.Speaker != nil {
+		return d.Speaker.ModelVersion()
+	}
+	return d.Doorbell.ModelVersion()
 }
 
 // SetUplink reroutes the device's cloud-bound traffic through sink.

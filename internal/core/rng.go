@@ -26,6 +26,13 @@ const (
 	SaltDeviceSeed uint64 = 0xf1ee7
 	// SaltWorkload derives per-device workload seeds.
 	SaltWorkload uint64 = 0x40ad
+	// SaltAttestKey derives per-device attestation-key seeds (the
+	// simulated hardware unique key both the device TEE and the
+	// provisioning authority expand into the shared attestation key).
+	SaltAttestKey uint64 = 0xa77e57
+	// SaltModelRollout derives the training seed of a published model-pack
+	// version from the fleet root seed and the pack version.
+	SaltModelRollout uint64 = 0x70115
 )
 
 // NewRNG returns the deterministic PCG stream for the pair. It is the

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/asr"
+	"repro/internal/attest"
 	"repro/internal/audio"
 	"repro/internal/driver"
 	"repro/internal/i2s"
@@ -19,6 +20,16 @@ import (
 
 // weightsObjectID is the secure-storage id of the sealed classifier.
 const weightsObjectID = "voice-ta/classifier-weights"
+
+// packObjectID is the secure-storage id of a provisioned model pack.
+func packObjectID(version uint64) string {
+	return fmt.Sprintf("voice-ta/model-pack-v%d", version)
+}
+
+// VoiceTADigest is the measured code identity of the voice TA — what a
+// loader hashing the TA image would report, and what the fleet verifier
+// expects from secure speakers.
+var VoiceTADigest = attest.MeasureCode("periguard", UUIDVoiceTA)
 
 // DriverPTA is the pseudo trusted application bridging the TA and the
 // in-TEE sound driver (paper §II: a PTA "with OS-level privileges that
@@ -129,6 +140,16 @@ const (
 	// little-endian uint32 utterance byte lengths; outputs: params[1]
 	// ValueOut A=forwarded count, B=total redacted tokens.
 	CmdProcessBatch uint32 = 0x21
+	// CmdAttest produces attestation evidence: params[0] is a MemrefIn
+	// challenge nonce, params[1] a MemrefOut the marshalled report is
+	// written into, params[2].A (ValueOut) the report length.
+	CmdAttest uint32 = 0x22
+	// CmdUpdateModel installs a newer model pack: params[0] is a MemrefIn
+	// encoded attest.Pack, params[1] a MemrefIn marshalled manifest token.
+	// The TA verifies the manifest against its device key, seals the pack
+	// into secure storage and hot-swaps the classifier without disturbing
+	// in-flight batches; params[2].A (ValueOut) returns the new version.
+	CmdUpdateModel uint32 = 0x23
 )
 
 // MaxBatch bounds one CmdProcessBatch invocation; it keeps the batch's
@@ -175,19 +196,27 @@ type VoiceTAConfig struct {
 	Clock      *tz.Clock
 	Cost       tz.CostModel
 	Seed       uint64
+	// Attestor signs measurement reports with the device's attestation
+	// key (nil outside attested fleets); ModelVersion is the provisioned
+	// model-pack version the TA boots with.
+	Attestor     *attest.Attestor
+	ModelVersion uint64
 }
 
 // VoiceTA is the trusted application of Fig. 1: it pulls audio from the
 // PTA, transcribes it, applies the ML filter, and relays sanitized events
 // through the supplicant to the cloud.
 type VoiceTA struct {
-	cfg        VoiceTAConfig
-	channel    *relay.Channel
-	classifier *classify.Classifier // nil until Open (unsealed from storage)
+	cfg     VoiceTAConfig
+	channel *relay.Channel
 
-	mu        sync.Mutex
-	processed []ProcessedUtterance
-	messageID uint64
+	mu           sync.Mutex
+	classifier   *classify.Classifier // nil until first classify (unsealed from storage) or updateModel
+	opens        int                  // open-session refcount; capture runs while > 0
+	modelVersion uint64
+	modelSeed    uint64
+	processed    []ProcessedUtterance
+	messageID    uint64
 }
 
 var _ optee.TA = (*VoiceTA)(nil)
@@ -198,43 +227,74 @@ func NewVoiceTA(cfg VoiceTAConfig) (*VoiceTA, error) {
 	if err != nil {
 		return nil, fmt.Errorf("voice ta channel: %w", err)
 	}
-	return &VoiceTA{cfg: cfg, channel: ch}, nil
+	return &VoiceTA{
+		cfg:          cfg,
+		channel:      ch,
+		modelVersion: cfg.ModelVersion,
+		modelSeed:    cfg.Seed,
+	}, nil
 }
 
 // UUID implements optee.TA.
 func (t *VoiceTA) UUID() string { return UUIDVoiceTA }
 
-// Open implements optee.TA: it starts the capture stream through the PTA
-// and (in filter mode) unseals the pre-trained classifier from secure
-// storage.
-func (t *VoiceTA) Open(sessionID uint32) error {
-	if err := t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTAStart, nil); err != nil {
-		return fmt.Errorf("voice ta pta start: %w", err)
-	}
-	if !t.cfg.Filter {
-		return nil
-	}
-	blob, err := t.cfg.Storage.Get(weightsObjectID)
-	if err != nil {
-		return fmt.Errorf("voice ta weights: %w", err)
-	}
-	rng := NewRNG(t.cfg.Seed, t.cfg.Seed^SaltClassifier)
-	clf, err := classify.NewText(t.cfg.Arch, rng, t.cfg.VocabSize, 12)
-	if err != nil {
-		return err
-	}
-	if err := clf.LoadWeights(blob); err != nil {
-		return fmt.Errorf("voice ta weights: %w", err)
-	}
+// ModelVersion returns the version of the model pack the TA holds.
+func (t *VoiceTA) ModelVersion() uint64 {
 	t.mu.Lock()
-	t.classifier = clf
+	defer t.mu.Unlock()
+	return t.modelVersion
+}
+
+// Open implements optee.TA. The TA is a single multi-session instance:
+// the first session starts the capture stream through the PTA; further
+// sessions (a management session attesting or updating the model while
+// a processing session is live) share the running instance, and capture
+// stops only when the last session closes. The refcount slot is
+// reserved before the side effects, so an interleaved Close of another
+// session can never observe a zero count while this one is opening.
+// Classifier unsealing is deferred to first classify
+// (loadedClassifier), keeping management sessions lightweight.
+func (t *VoiceTA) Open(sessionID uint32) error {
+	t.mu.Lock()
+	t.opens++
+	first := t.opens == 1
 	t.mu.Unlock()
+	if first {
+		if err := t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTAStart, nil); err != nil {
+			t.mu.Lock()
+			t.opens--
+			t.mu.Unlock()
+			return fmt.Errorf("voice ta pta start: %w", err)
+		}
+	}
 	return nil
 }
 
-// Close implements optee.TA: it stops the capture stream.
+// buildClassifier reconstructs the classifier skeleton for a model seed
+// and restores the given serialized weights into it.
+func (t *VoiceTA) buildClassifier(seed uint64, blob []byte) (*classify.Classifier, error) {
+	rng := NewRNG(seed, seed^SaltClassifier)
+	clf, err := classify.NewText(t.cfg.Arch, rng, t.cfg.VocabSize, 12)
+	if err != nil {
+		return nil, err
+	}
+	if err := clf.LoadWeights(blob); err != nil {
+		return nil, fmt.Errorf("voice ta weights: %w", err)
+	}
+	return clf, nil
+}
+
+// Close implements optee.TA: the last session stops the capture stream.
 func (t *VoiceTA) Close(sessionID uint32) {
-	_ = t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTAStop, nil)
+	t.mu.Lock()
+	if t.opens > 0 {
+		t.opens--
+	}
+	last := t.opens == 0
+	t.mu.Unlock()
+	if last {
+		_ = t.cfg.TEE.InvokeSecure(UUIDDriverPTA, CmdPTAStop, nil)
+	}
 }
 
 // Invoke implements optee.TA.
@@ -277,9 +337,111 @@ func (t *VoiceTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) err
 			params[1].B += uint64(rec.Redacted)
 		}
 		return nil
+	case CmdAttest:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) != len(attest.Nonce{}) {
+			return fmt.Errorf("%w: CmdAttest needs a %d-byte MemrefIn nonce", optee.ErrBadParam, len(attest.Nonce{}))
+		}
+		if params[1].Type != optee.MemrefOut || params[1].Buf == nil {
+			return fmt.Errorf("%w: CmdAttest needs a MemrefOut report buffer", optee.ErrBadParam)
+		}
+		var nonce attest.Nonce
+		copy(nonce[:], params[0].Buf)
+		rep, err := t.attestReport(nonce)
+		if err != nil {
+			return err
+		}
+		blob := rep.Marshal()
+		if len(params[1].Buf) < len(blob) {
+			return fmt.Errorf("%w: report buffer %d < %d", optee.ErrBadParam, len(params[1].Buf), len(blob))
+		}
+		copy(params[1].Buf, blob)
+		params[2].Type = optee.ValueOut
+		params[2].A = uint64(len(blob))
+		return nil
+	case CmdUpdateModel:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 {
+			return fmt.Errorf("%w: CmdUpdateModel needs a MemrefIn pack", optee.ErrBadParam)
+		}
+		if params[1].Type != optee.MemrefIn || len(params[1].Buf) == 0 {
+			return fmt.Errorf("%w: CmdUpdateModel needs a MemrefIn manifest", optee.ErrBadParam)
+		}
+		version, err := t.updateModel(params[0].Buf, params[1].Buf)
+		if err != nil {
+			return err
+		}
+		params[2].Type = optee.ValueOut
+		params[2].A = version
+		return nil
 	default:
 		return fmt.Errorf("%w: ta cmd %#x", optee.ErrBadParam, cmd)
 	}
+}
+
+// attestReport signs the TA's current measurement — its code digest and
+// the model-pack version it holds — over the verifier's challenge.
+func (t *VoiceTA) attestReport(nonce attest.Nonce) (attest.Report, error) {
+	if t.cfg.Attestor == nil {
+		return attest.Report{}, errors.New("voice ta: attestation not provisioned")
+	}
+	t.mu.Lock()
+	m := attest.Measurement{Code: VoiceTADigest, ModelVersion: t.modelVersion}
+	t.mu.Unlock()
+	// HMAC evidence over the measurement (~1k cycles of SHA-256 on a
+	// NEON-class core, rounded up for the report assembly).
+	t.cfg.Clock.Advance(2000)
+	return t.cfg.Attestor.Attest(nonce, m), nil
+}
+
+// updateModel is the online-rollout sink: it authenticates a published
+// model pack against the per-device manifest, persists it through sealed
+// storage, and hot-swaps the live classifier. Swapping happens under the
+// TA lock while in-flight batches keep the classifier pointer they read
+// at classify time, so no batch is dropped or torn mid-run.
+func (t *VoiceTA) updateModel(packBytes, tokenBytes []byte) (uint64, error) {
+	if t.cfg.Attestor == nil {
+		return 0, errors.New("voice ta: attestation not provisioned")
+	}
+	pack, err := attest.DecodePack(packBytes)
+	if err != nil {
+		return 0, fmt.Errorf("voice ta update: %w", err)
+	}
+	tok, err := attest.UnmarshalManifestToken(tokenBytes)
+	if err != nil {
+		return 0, fmt.Errorf("voice ta update: %w", err)
+	}
+	if err := t.cfg.Attestor.VerifyManifest(tok, pack); err != nil {
+		return 0, fmt.Errorf("voice ta update: %w", err)
+	}
+	var clf *classify.Classifier
+	if t.cfg.Filter {
+		if clf, err = t.buildClassifier(pack.ModelSeed, pack.Text); err != nil {
+			return 0, fmt.Errorf("voice ta update: %w", err)
+		}
+	}
+	// Version check and install form one critical section, so two
+	// concurrent updates cannot interleave into a downgrade: the loser
+	// of the race re-checks against the winner's installed version.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pack.Version == t.modelVersion {
+		return t.modelVersion, nil // idempotent re-delivery
+	}
+	if pack.Version < t.modelVersion {
+		return 0, fmt.Errorf("voice ta update: %w: pack v%d older than installed v%d",
+			attest.ErrBadPack, pack.Version, t.modelVersion)
+	}
+	// Persist through sealed storage: the versioned pack for provenance,
+	// and the current-weights object the next unseal picks up.
+	t.cfg.Storage.Put(packObjectID(pack.Version), packBytes)
+	if t.cfg.Filter {
+		t.cfg.Storage.Put(weightsObjectID, pack.Text)
+		t.classifier = clf
+	}
+	// Charge the copy+seal of the pack through the TEE.
+	t.cfg.Clock.Advance(tz.Cycles(len(packBytes)) * t.cfg.Cost.CopyPerByte)
+	t.modelVersion = pack.Version
+	t.modelSeed = pack.ModelSeed
+	return pack.Version, nil
 }
 
 // taScratch is the reusable buffer set for one in-flight TA invocation:
@@ -361,14 +523,43 @@ func (t *VoiceTA) transcribeStage(sc *taScratch, pcmBytes []byte) ([]string, err
 	return words, nil
 }
 
+// loadedClassifier returns the live classifier, unsealing it from
+// secure storage on first use (an installed rollout pack takes
+// precedence: updateModel swaps the pointer directly).
+func (t *VoiceTA) loadedClassifier() (*classify.Classifier, error) {
+	t.mu.Lock()
+	clf := t.classifier
+	seed := t.modelSeed
+	t.mu.Unlock()
+	if clf != nil {
+		return clf, nil
+	}
+	if !t.cfg.Filter {
+		return nil, errors.New("voice ta: classifier disabled (no-filter mode)")
+	}
+	blob, err := t.cfg.Storage.Get(weightsObjectID)
+	if err != nil {
+		return nil, fmt.Errorf("voice ta weights: %w", err)
+	}
+	built, err := t.buildClassifier(seed, blob)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.classifier == nil {
+		t.classifier = built
+	}
+	clf = t.classifier
+	t.mu.Unlock()
+	return clf, nil
+}
+
 // classifyStage runs the ML filter over a batch of transcripts in one
 // forward pass, charging 4 MACs/cycle (NEON-class SIMD) per sample.
 func (t *VoiceTA) classifyStage(transcripts [][]string) ([]bool, error) {
-	t.mu.Lock()
-	clf := t.classifier
-	t.mu.Unlock()
-	if clf == nil {
-		return nil, errors.New("voice ta: classifier not loaded (session not opened)")
+	clf, err := t.loadedClassifier()
+	if err != nil {
+		return nil, err
 	}
 	batch := make([][]float32, len(transcripts))
 	for i, words := range transcripts {

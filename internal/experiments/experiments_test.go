@@ -299,6 +299,37 @@ func TestE9ShapesHold(t *testing.T) {
 	}
 }
 
+// TestE11ShapesHold asserts the attested-rollout claims: a staged
+// rollout completes with zero unattested events ingested, the model
+// version converges fleet-wide, and no frames are lost.
+func TestE11ShapesHold(t *testing.T) {
+	tbl, res, err := E11AttestedRollout(DefaultSeed)
+	if err != nil {
+		t.Fatalf("E11: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if !res.Converged || res.ToVersion != 2 {
+		t.Fatalf("rollout did not converge to v2: %+v", res)
+	}
+	if len(res.VersionCounts) != 1 || res.VersionCounts[2] == 0 {
+		t.Fatalf("fleet versions not converged: %v", res.VersionCounts)
+	}
+	if res.LostFrames != 0 {
+		t.Fatalf("lost %d frames", res.LostFrames)
+	}
+	if res.UnattestedIngested != 0 {
+		t.Fatalf("%d unattested events ingested", res.UnattestedIngested)
+	}
+	if res.RogueAttempts == 0 || res.RogueRejected != res.RogueAttempts {
+		t.Fatalf("rogues not fully rejected: %d/%d", res.RogueRejected, res.RogueAttempts)
+	}
+	if res.AttestedDevices == 0 || res.ItemsPerSec <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
 func TestDriverRigCaptureBytes(t *testing.T) {
 	rig, err := newDriverRig(tz.WorldNormal, 4096)
 	if err != nil {

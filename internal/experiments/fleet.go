@@ -69,3 +69,64 @@ func E10FleetScale(seed uint64) (*metrics.Table, []E10Point, error) {
 	}
 	return tbl, points, nil
 }
+
+// E11Result is the attested-rollout experiment outcome.
+type E11Result struct {
+	Devices         int
+	AttestedDevices int
+	Canary          int
+	ToVersion       uint64
+	Converged       bool
+	VersionCounts   map[uint64]int
+	ItemsPerSec     float64
+	LostFrames      int
+	// Adversarial-ingest outcome: every rogue frame must be rejected at
+	// the shard frontend and none may reach an endpoint.
+	RogueAttempts      int
+	RogueRejected      int
+	UnattestedIngested int
+}
+
+// E11AttestedRollout runs the attested fleet with a staged (10% canary →
+// full fleet) model rollout and adversarial unattested clients. The
+// claims under test: no unattested event is ever ingested (the shard
+// admission gate backs the attestation verifier), the fleet converges on
+// the published model version with zero lost frames, and the handshake +
+// rollout control plane does not disturb the data plane's privacy audit.
+func E11AttestedRollout(seed uint64) (*metrics.Table, E11Result, error) {
+	res, err := fleet.Run(fleet.Config{
+		Devices:    64,
+		Shards:     4,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       seed,
+		FreqHz:     FreqHz,
+		Rollout:    &fleet.RolloutSpec{CanaryFraction: 0.1},
+		Rogues:     4,
+	})
+	if err != nil {
+		return nil, E11Result{}, fmt.Errorf("attested fleet: %w", err)
+	}
+	out := E11Result{
+		Devices:            res.Config.Devices,
+		AttestedDevices:    res.AttestedDevices,
+		ItemsPerSec:        res.Throughput(),
+		LostFrames:         res.LostFrames(),
+		VersionCounts:      res.ModelVersions,
+		RogueAttempts:      res.RogueAttempts,
+		RogueRejected:      res.RogueRejected,
+		UnattestedIngested: res.UnattestedIngested,
+	}
+	if res.Rollout != nil {
+		out.Canary = res.Rollout.Canary
+		out.ToVersion = res.Rollout.ToVersion
+		out.Converged = res.Rollout.Converged
+	}
+	tbl := metrics.NewTable("E11: attested rollout (10% canary, 4 rogues)",
+		"devices", "attested", "canary", "to-ver", "converged",
+		"items/s(wall)", "lost frames", "rogue rej/att", "unattested ingested")
+	tbl.AddRow(out.Devices, out.AttestedDevices, out.Canary, out.ToVersion, out.Converged,
+		out.ItemsPerSec, out.LostFrames,
+		fmt.Sprintf("%d/%d", out.RogueRejected, out.RogueAttempts), out.UnattestedIngested)
+	return tbl, out, nil
+}

@@ -1,0 +1,320 @@
+package fleet
+
+// Attested fleet handshakes and online model rollout. With Config.Attest
+// the run enrolls every device's derived attestation key with a
+// cloud-side verifier, installs the verifier as the ingest tier's
+// admission gate, and has each device produce TA-signed evidence before
+// its endpoint joins the ring — so a frame from a device that never
+// attested (or that attested with a stale model) is rejected at the
+// shard frontend without touching an endpoint. With Config.Rollout the
+// provider additionally publishes a version-2 model pack behind a canary
+// quota: the first cohort of secure devices updates (manifest-verified,
+// sealed, hot-swapped in the TA) before processing, the rest hold the
+// base pack until every canary device completes successfully, then the
+// rollout opens and the whole fleet converges on the new version.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/attest"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/ml/classify"
+	"repro/internal/sensitive"
+)
+
+// RolloutSpec stages an online model rollout during the run.
+type RolloutSpec struct {
+	// ToModelSeed is the training seed of the published version-2 pack
+	// (0 = derived from the root seed via SaltModelRollout).
+	ToModelSeed uint64
+	// CanaryFraction of the secure (model-bearing) population updates
+	// first; default 0.1, clamped to (0, 1].
+	CanaryFraction float64
+}
+
+// RolloutReport summarizes a staged rollout after the run.
+type RolloutReport struct {
+	BaseVersion uint64
+	ToVersion   uint64
+	// Canary is the canary-cohort size the rollout was staged behind
+	// (counted over the devices that actually run the classifier).
+	Canary int
+	// Converged reports whether every model-bearing device finished the
+	// run attested at ToVersion.
+	Converged bool
+	// MinVersion is the fleet minimum the verifier enforces at ingest
+	// after the rollout opened (0 if the rollout never completed).
+	MinVersion uint64
+}
+
+// attestState bundles the run's attestation/rollout machinery.
+type attestState struct {
+	verifier *attest.Verifier
+	rollout  *attest.Rollout
+	canary   int
+	base     attest.Pack
+	next     attest.Pack
+	// Pack digests are computed once per immutable pack, not once per
+	// device, and reused for every per-device manifest.
+	baseDigest attest.Digest
+	nextDigest attest.Digest
+}
+
+// newAttestState enrolls the population's keys, builds the verifier and
+// its measurement policy, and — when a rollout is staged — trains and
+// publishes the packs. Pack training hits the same shared-model caches
+// the device constructors use, so it belongs to the build phase.
+func newAttestState(cfg Config, specs []core.DeviceSpec) (*attestState, error) {
+	keys := make(map[string]attest.DeviceKey, len(specs))
+	for i := range specs {
+		keys[specs[i].DeviceID] = attest.KeyFromSeed(specs[i].AttestKeySeed)
+	}
+	v := attest.NewVerifier(cfg.Seed, func(id string) (attest.DeviceKey, bool) {
+		k, ok := keys[id]
+		return k, ok
+	})
+	v.AllowMeasurement(core.VoiceTADigest, true)
+	v.AllowMeasurement(core.CameraTADigest, true)
+	v.AllowMeasurement(core.BaselineAgentDigest, false)
+
+	st := &attestState{verifier: v}
+	if cfg.Rollout == nil {
+		return st, nil
+	}
+	// Train only the classifier classes the population actually runs:
+	// an all-speaker fleet must not pay for an image model (and vice
+	// versa). Mirrors the kind/mode logic in core.Pretrain. The same
+	// scan sizes the canary cohort over the devices that *exercise* the
+	// classifier — a secure-nofilter speaker updating successfully says
+	// nothing about the new model, so it cannot hold a canary slot.
+	needText, needImage := false, false
+	exercising := 0
+	for i := range specs {
+		if specs[i].Mode != core.ModeSecureFilter {
+			continue
+		}
+		exercising++
+		switch specs[i].Kind {
+		case core.DeviceSpeaker:
+			needText = true
+		case core.DeviceDoorbell:
+			needImage = true
+		}
+	}
+	base, err := buildPack(1, cfg.Seed, needText, needImage)
+	if err != nil {
+		return nil, fmt.Errorf("fleet rollout: base pack: %w", err)
+	}
+	nextSeed := cfg.Rollout.ToModelSeed
+	if nextSeed == 0 {
+		nextSeed = core.DeriveSeed(cfg.Seed, core.SaltModelRollout, 2)
+	}
+	next, err := buildPack(2, nextSeed, needText, needImage)
+	if err != nil {
+		return nil, fmt.Errorf("fleet rollout: next pack: %w", err)
+	}
+	st.base, st.next = base, next
+	st.baseDigest, st.nextDigest = base.Digest(), next.Digest()
+	st.canary = int(float64(exercising)*cfg.Rollout.CanaryFraction + 0.5)
+	if st.canary < 1 && exercising > 0 {
+		st.canary = 1
+	}
+	if st.canary > exercising {
+		st.canary = exercising
+	}
+	st.rollout = attest.NewRollout(base)
+	if err := st.rollout.Publish(next, st.canary); err != nil {
+		return nil, fmt.Errorf("fleet rollout: %w", err)
+	}
+	return st, nil
+}
+
+// buildPack trains (or fetches from the shared caches) the classifier
+// weights for a pack version; payload classes the population does not
+// run stay empty. The fleet population runs the CNN text classifier and
+// the standard image classifier, both at the default epoch budget — the
+// same models Pretrain warms.
+func buildPack(version, modelSeed uint64, needText, needImage bool) (attest.Pack, error) {
+	pack := attest.Pack{Version: version, ModelSeed: modelSeed}
+	if needText {
+		text, err := core.TrainClassifier(classify.ArchCNN, sensitive.NewVocabulary(), modelSeed, 8)
+		if err != nil {
+			return attest.Pack{}, err
+		}
+		pack.Text = text.SerializeWeights()
+	}
+	if needImage {
+		image, err := core.TrainImageClassifier(modelSeed)
+		if err != nil {
+			return attest.Pack{}, err
+		}
+		pack.Image = image.SerializeWeights()
+	}
+	return pack, nil
+}
+
+// manifest signs the per-device token for one of the run's two packs,
+// reusing the digest computed once at publish time.
+func (st *attestState) manifest(id string, pack attest.Pack) (attest.ManifestToken, error) {
+	d := st.nextDigest
+	if pack.Version == st.base.Version {
+		d = st.baseDigest
+	}
+	return st.verifier.ManifestForDigest(id, pack.Version, d)
+}
+
+// provision brings the device to its current rollout target. Devices
+// that exercise the classifier (secure-filter) go through the staged
+// cohort: canaries update before processing, the rest hold the base
+// pack until the canary verdict, and devices joining after the rollout
+// opened get the newest version immediately. Secure devices that never
+// run the classifier (nofilter speakers) sit outside the staging — the
+// new pack cannot misbehave on them, so they take it at once and the
+// canary verdict stays meaningful.
+func (st *attestState) provision(d *core.Device, id string) error {
+	if st.rollout == nil || d.Spec.Mode == core.ModeBaseline {
+		return nil
+	}
+	pack := st.next
+	if d.Spec.Mode == core.ModeSecureFilter {
+		pack = st.rollout.Target(id)
+	}
+	if pack.Version <= d.ModelVersion() {
+		return nil
+	}
+	tok, err := st.manifest(id, pack)
+	if err != nil {
+		return err
+	}
+	return d.UpdateModel(pack, tok)
+}
+
+// handshake runs the challenge/report/verify exchange that admits the
+// device's traffic at the ingest tier.
+func (st *attestState) handshake(d *core.Device, id string) error {
+	nonce := st.verifier.Challenge(id)
+	rep, err := d.Attest(nonce)
+	if err != nil {
+		return fmt.Errorf("attest %s: %w", id, err)
+	}
+	if err := st.verifier.Verify(rep); err != nil {
+		return fmt.Errorf("verify %s: %w", id, err)
+	}
+	return nil
+}
+
+// converge is the post-workload rollout step for staged (secure-filter)
+// devices: report the outcome (canary successes open the rollout), then
+// — if the device is still on the base pack — wait for the canary
+// verdict, update to the newest version and re-attest so the verifier
+// observes convergence. Only cohort members can be waiting here, and a
+// cohort slot is denied only once every slot is granted to a device
+// that started earlier, so the bounded worker pool cannot deadlock.
+func (st *attestState) converge(d *core.Device, id string) error {
+	if st.rollout == nil || d.Spec.Mode != core.ModeSecureFilter {
+		return nil
+	}
+	st.rollout.ReportSuccess(id)
+	if d.ModelVersion() >= st.rollout.LatestVersion() {
+		return nil
+	}
+	if !st.rollout.AwaitFull() {
+		return nil // rollout aborted; keep the base pack
+	}
+	if err := st.provision(d, id); err != nil {
+		return err
+	}
+	return st.handshake(d, id)
+}
+
+// rogueEndpoint is an adversarial client that registered an endpoint on
+// the ingest tier without ever attesting. The admission gate must keep
+// its delivered count at zero.
+type rogueEndpoint struct {
+	mu        sync.Mutex
+	delivered int
+}
+
+var _ cloud.Provider = (*rogueEndpoint)(nil)
+
+func (r *rogueEndpoint) Deliver(frame []byte) ([]byte, error) {
+	r.mu.Lock()
+	r.delivered++
+	r.mu.Unlock()
+	return []byte("{}"), nil
+}
+
+func (r *rogueEndpoint) Audit() cloud.Audit {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return cloud.Audit{Events: r.delivered}
+}
+
+func (r *rogueEndpoint) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.delivered = 0
+}
+
+// fillAttestResult derives the attested-run observability fields: the
+// fleet-wide and per-shard model-version tallies (for model-bearing
+// devices, as the verifier recorded them) and the rollout report.
+func fillAttestResult(res *Result, cfg Config, specs []core.DeviceSpec, st *attestState, router *cloud.Router) {
+	res.AttestedDevices = st.verifier.AttestedCount()
+	res.ModelVersions = st.verifier.VersionCounts()
+	res.ShardModelVersions = make(map[string]map[uint64]int)
+	for i := range specs {
+		if specs[i].Mode == core.ModeBaseline {
+			continue // no model pack; excluded from version tallies
+		}
+		id := specs[i].DeviceID
+		m, ok := st.verifier.Attested(id)
+		if !ok {
+			continue
+		}
+		shard := router.ShardFor(id).Name()
+		byVersion := res.ShardModelVersions[shard]
+		if byVersion == nil {
+			byVersion = make(map[uint64]int)
+			res.ShardModelVersions[shard] = byVersion
+		}
+		byVersion[m.ModelVersion]++
+	}
+	if st.rollout == nil {
+		return
+	}
+	rep := &RolloutReport{
+		BaseVersion: st.base.Version,
+		ToVersion:   st.next.Version,
+		Canary:      st.canary,
+	}
+	rep.Converged = st.rollout.Full() && len(res.ModelVersions) == 1 &&
+		res.ModelVersions[rep.ToVersion] > 0
+	if st.rollout.Full() {
+		rep.MinVersion = st.next.Version // enforced at ingest; see Run
+	}
+	res.Rollout = rep
+}
+
+// runRogues registers unattested clients and fires their frames at the
+// ring, tallying attempts, gate rejections, and (what must stay zero)
+// frames that reached an endpoint. The rogue endpoints are deregistered
+// afterwards so the audited shard stats describe the real population.
+func runRogues(cfg Config, router *cloud.Router) (attempts, rejected, ingested int) {
+	for i := 0; i < cfg.Rogues; i++ {
+		id := fmt.Sprintf("rogue-%03d", i)
+		ep := &rogueEndpoint{}
+		router.Register(id, ep)
+		for j := 0; j < cfg.Utterances; j++ {
+			attempts++
+			if _, err := router.Ingest(id, []byte("unattested payload")); err != nil {
+				rejected++
+			}
+		}
+		ingested += ep.Audit().Events
+		router.Deregister(id)
+	}
+	return attempts, rejected, ingested
+}

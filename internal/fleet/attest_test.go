@@ -1,0 +1,157 @@
+package fleet
+
+import "testing"
+
+// TestAttestedFleetMatchesPlainAudit: attestation is pure control plane —
+// with no rollout staged, an attested run must reproduce the plain run's
+// audit exactly (same root seed, same workloads, same model).
+func TestAttestedFleetMatchesPlainAudit(t *testing.T) {
+	base := Config{Devices: 24, Shards: 4, Utterances: 2, Frames: 2, Seed: 9}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attested := base
+	attested.Attest = true
+	got, err := Run(attested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Audit.Events != plain.Audit.Events ||
+		got.Audit.TokensSeen != plain.Audit.TokensSeen ||
+		got.Audit.SensitiveTokens != plain.Audit.SensitiveTokens ||
+		got.Audit.AudioBytes != plain.Audit.AudioBytes {
+		t.Fatalf("attested audit differs from plain:\n%+v\n%+v", got.Audit, plain.Audit)
+	}
+	if got.LostFrames() != 0 {
+		t.Fatalf("attested run lost %d frames", got.LostFrames())
+	}
+	for _, s := range got.ShardStats {
+		if s.Rejected != 0 {
+			t.Fatalf("shard %s rejected %d frames from attested devices", s.Name, s.Rejected)
+		}
+	}
+	// Every uplinking device attested; baseline doorbells (no uplink) are
+	// exempt.
+	uplinking := 0
+	for _, s := range got.ShardStats {
+		uplinking += s.Devices
+	}
+	if got.AttestedDevices < uplinking {
+		t.Fatalf("%d attested < %d uplinking devices", got.AttestedDevices, uplinking)
+	}
+	// Without a rollout, every model-bearing device reports version 1.
+	if len(got.ModelVersions) != 1 || got.ModelVersions[1] == 0 {
+		t.Fatalf("model versions = %v, want all v1", got.ModelVersions)
+	}
+}
+
+// TestAttestedRolloutConverges is the staged-rollout integration test:
+// zero unattested events ingested, zero frames lost, and every
+// model-bearing device attested at the new version by the end.
+func TestAttestedRolloutConverges(t *testing.T) {
+	res, err := Run(Config{
+		Devices:    32,
+		Shards:     4,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       13,
+		Rollout:    &RolloutSpec{CanaryFraction: 0.2},
+		Rogues:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostFrames() != 0 {
+		t.Fatalf("lost %d frames during rollout", res.LostFrames())
+	}
+	if res.Rollout == nil || !res.Rollout.Converged {
+		t.Fatalf("rollout did not converge: %+v (versions %v)", res.Rollout, res.ModelVersions)
+	}
+	if res.Rollout.BaseVersion != 1 || res.Rollout.ToVersion != 2 {
+		t.Fatalf("rollout versions %d -> %d, want 1 -> 2", res.Rollout.BaseVersion, res.Rollout.ToVersion)
+	}
+	if res.Rollout.Canary < 1 {
+		t.Fatalf("canary cohort %d", res.Rollout.Canary)
+	}
+	if len(res.ModelVersions) != 1 || res.ModelVersions[2] == 0 {
+		t.Fatalf("fleet did not converge on v2: %v", res.ModelVersions)
+	}
+	// Per-shard rollout progress sums to the fleet-wide tally.
+	perShard := 0
+	for _, byVersion := range res.ShardModelVersions {
+		for v, n := range byVersion {
+			if v != 2 {
+				t.Fatalf("shard tally has stragglers at v%d: %v", v, res.ShardModelVersions)
+			}
+			perShard += n
+		}
+	}
+	if perShard != res.ModelVersions[2] {
+		t.Fatalf("shard tallies sum to %d, fleet-wide %d", perShard, res.ModelVersions[2])
+	}
+	// The unattested adversaries got nothing through.
+	if res.RogueAttempts == 0 || res.RogueRejected != res.RogueAttempts {
+		t.Fatalf("rogues: %d/%d rejected", res.RogueRejected, res.RogueAttempts)
+	}
+	if res.UnattestedIngested != 0 {
+		t.Fatalf("%d unattested events reached an endpoint", res.UnattestedIngested)
+	}
+	rejected := uint64(0)
+	for _, s := range res.ShardStats {
+		rejected += s.Rejected
+	}
+	if rejected != uint64(res.RogueAttempts) {
+		t.Fatalf("shards counted %d rejections, rogues attempted %d", rejected, res.RogueAttempts)
+	}
+}
+
+// TestRolloutSpeakersOnly exercises the rollout on a speakers-only
+// population (text-classifier pack path only).
+func TestRolloutSpeakersOnly(t *testing.T) {
+	res, err := Run(Config{
+		Devices:          12,
+		DoorbellFraction: -1,
+		Shards:           2,
+		Utterances:       2,
+		Seed:             21,
+		Rollout:          &RolloutSpec{}, // defaults: 10% canary, derived seed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rollout.Converged {
+		t.Fatalf("speakers-only rollout did not converge: %v", res.ModelVersions)
+	}
+	if res.LostFrames() != 0 {
+		t.Fatalf("lost %d frames", res.LostFrames())
+	}
+}
+
+// TestPlanEnrollsAttestKeys: attested plans derive a distinct non-zero
+// key seed per device; plain plans leave attestation disabled.
+func TestPlanEnrollsAttestKeys(t *testing.T) {
+	attested, err := Plan(Config{Devices: 16, Seed: 5, Attest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range attested {
+		if s.AttestKeySeed == 0 || s.ModelVersion != 1 || s.DeviceID == "" {
+			t.Fatalf("spec not enrolled: %+v", s)
+		}
+		if seen[s.AttestKeySeed] {
+			t.Fatalf("attestation key seed %d reused", s.AttestKeySeed)
+		}
+		seen[s.AttestKeySeed] = true
+	}
+	plain, err := Plan(Config{Devices: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plain {
+		if s.AttestKeySeed != 0 || s.ModelVersion != 0 {
+			t.Fatalf("plain plan enrolled attestation: %+v", s)
+		}
+	}
+}

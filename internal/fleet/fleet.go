@@ -8,6 +8,15 @@
 // TA's batched-inference path so a device pays one world-switch round
 // trip per utterance batch instead of per utterance.
 //
+// In attested deployments (Config.Attest) the orchestration also runs
+// the trust handshake the confidential-computing model demands: every
+// device's TEE signs a measurement report over a verifier challenge
+// before its endpoint joins the ring, the verifier gates every ingested
+// frame, and a staged model rollout (Config.Rollout) moves the fleet
+// from one sealed model-pack version to the next — canary cohort first,
+// full fleet after the canary verdict — with hot-swaps that never drop
+// an in-flight batch. See internal/attest for the protocol pieces.
+//
 // Everything below the orchestration is the unmodified per-device
 // simulation: virtual-cycle latencies stay deterministic per root seed;
 // only wall-clock throughput depends on the host.
@@ -77,6 +86,18 @@ type Config struct {
 	Seed uint64
 	// FreqHz is the modelled core frequency; default 1 GHz.
 	FreqHz uint64
+
+	// Attest enables remote attestation: every device produces TA-signed
+	// evidence before its endpoint joins the ring, and the ingest tier
+	// rejects frames from unattested or stale-model devices.
+	Attest bool
+	// Rollout stages an online model rollout during the run (implies
+	// Attest); see RolloutSpec.
+	Rollout *RolloutSpec
+	// Rogues adds adversarial clients that register ingest endpoints
+	// without attesting; the admission gate must reject every frame they
+	// send. Setting Rogues implies Attest.
+	Rogues int
 }
 
 func (c *Config) fillDefaults() error {
@@ -142,6 +163,23 @@ func (c *Config) fillDefaults() error {
 	if c.FreqHz == 0 {
 		c.FreqHz = 1_000_000_000
 	}
+	if c.Rollout != nil {
+		c.Attest = true
+		if c.Rollout.CanaryFraction <= 0 {
+			c.Rollout.CanaryFraction = 0.1
+		}
+		if c.Rollout.CanaryFraction > 1 {
+			return fmt.Errorf("%w: canary fraction %g", ErrBadConfig, c.Rollout.CanaryFraction)
+		}
+	}
+	if c.Rogues < 0 {
+		return fmt.Errorf("%w: %d rogues", ErrBadConfig, c.Rogues)
+	}
+	// Rogue clients only make sense against an admission gate; asking
+	// for them turns the gate on rather than silently doing nothing.
+	if c.Rogues > 0 {
+		c.Attest = true
+	}
 	return nil
 }
 
@@ -170,6 +208,14 @@ func Plan(cfg Config) ([]core.DeviceSpec, error) {
 			ModelSeed: cfg.Seed,
 			FreqHz:    cfg.FreqHz,
 			Batch:     cfg.Batch,
+			DeviceID:  DeviceID(i),
+		}
+		if cfg.Attest {
+			// Enrollment: the device's attestation-key seed is derived from
+			// the root seed exactly like its other per-device streams; the
+			// verifier derives the same key from the same registry.
+			spec.AttestKeySeed = core.DeriveSeed(cfg.Seed, core.SaltAttestKey, i)
+			spec.ModelVersion = 1
 		}
 		// Interleave doorbells evenly through the population.
 		if doorbells > 0 && i%stride == 0 && nDoorbell < doorbells {
@@ -254,6 +300,25 @@ type Result struct {
 	ExpectedCloudEvents int
 	// TotalItems counts utterances + frames processed fleet-wide.
 	TotalItems int
+
+	// Attested-run observability (zero values outside Attest mode).
+
+	// AttestedDevices counts devices holding a verified measurement.
+	AttestedDevices int
+	// ModelVersions tallies model-bearing devices per attested pack
+	// version, fleet-wide.
+	ModelVersions map[uint64]int
+	// ShardModelVersions is the same tally per ingest shard (rollout
+	// progress as the provider observes it).
+	ShardModelVersions map[string]map[uint64]int
+	// Rollout summarizes the staged rollout, if one was configured.
+	Rollout *RolloutReport
+	// RogueAttempts/RogueRejected/UnattestedIngested account for the
+	// adversarial unattested clients: every attempt must be rejected and
+	// no frame may reach an endpoint.
+	RogueAttempts      int
+	RogueRejected      int
+	UnattestedIngested int
 }
 
 // IngestedFrames sums frames processed across shards.
@@ -290,8 +355,9 @@ func (r *Result) GroupKeys() []GroupKey {
 	return keys
 }
 
-// Run executes one fleet: plan → pretrain shared models → wire ingest →
-// lazily build and process each device → audit.
+// Run executes one fleet: plan → pretrain shared models (and, for a
+// staged rollout, train and publish the model packs) → wire ingest →
+// lazily build, attest and process each device → audit.
 //
 // Device provisioning is lazy: the build phase trains only the shared
 // immutable model pack (ASR templates, text and image classifiers), and
@@ -301,6 +367,15 @@ func (r *Result) GroupKeys() []GroupKey {
 // for at most DeviceWorkers devices at a time instead of the whole
 // population, which keeps the working set (and the GC) fleet-size
 // independent.
+//
+// In Attest mode each worker additionally runs the handshake before the
+// device's endpoint joins the ring (provision to the rollout target →
+// challenge → TA-signed report → verify), and after the workload the
+// rollout convergence step (canary success reporting, then update +
+// re-attest once the rollout opens). Default runs are bit-deterministic
+// per root seed; rollout runs keep every aggregate invariant (zero lost
+// frames, converged versions) but which devices serve as canaries
+// depends on worker scheduling.
 func Run(cfg Config) (*Result, error) {
 	specs, err := Plan(cfg)
 	if err != nil {
@@ -309,10 +384,17 @@ func Run(cfg Config) (*Result, error) {
 	_ = cfg.fillDefaults() // Plan validated; normalize our copy too
 
 	// Build phase: train the shared model pack once up front. Every
-	// lazily constructed device below hits these caches.
+	// lazily constructed device below hits these caches. Rollout packs
+	// are trained here too — publishing is a provider-side build step.
 	buildStart := time.Now()
 	if err := core.Pretrain(specs); err != nil {
 		return nil, err
+	}
+	var st *attestState
+	if cfg.Attest {
+		if st, err = newAttestState(cfg, specs); err != nil {
+			return nil, err
+		}
 	}
 	buildWall := time.Since(buildStart)
 
@@ -326,6 +408,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer router.Close()
+	if st != nil {
+		router.SetGate(st.verifier)
+		if st.rollout != nil {
+			defer st.rollout.Abort() // wake any waiter on early return
+		}
+	}
 
 	// Run phase: construct each device on first workload item, register
 	// its endpoint on the ring, process, and drop the pipeline. The
@@ -333,31 +421,76 @@ func Run(cfg Config) (*Result, error) {
 	results := make([]*core.DeviceResult, len(specs))
 	runStart := time.Now()
 	if err := eachDevice(len(specs), cfg.DeviceWorkers, func(i int) error {
-		w, err := workloadFor(cfg, specs[i], i)
-		if err != nil {
-			return fmt.Errorf("device %d workload: %w", i, err)
+		err := runOneDevice(cfg, specs[i], i, st, router, results)
+		if err != nil && st != nil && st.rollout != nil {
+			st.rollout.Abort()
 		}
-		d, err := core.NewDevice(specs[i])
-		if err != nil {
-			return fmt.Errorf("device %d: %w", i, err)
-		}
-		if ep := d.CloudEndpoint(); ep != nil {
-			id := DeviceID(i)
-			router.Register(id, ep)
-			d.SetUplink(&cloud.Uplink{DeviceID: id, Router: router})
-		}
-		res, err := d.Run(w)
-		if err != nil {
-			return fmt.Errorf("device %d: %w", i, err)
-		}
-		results[i] = res
-		return nil
+		return err
 	}); err != nil {
 		return nil, err
 	}
 	runWall := time.Since(runStart)
 
-	return aggregate(cfg, buildWall, runWall, results, router), nil
+	// The rollout completed: raise the fleet's minimum admitted model
+	// version, so from here on a straggler still attested at the base
+	// version would be rejected at ingest (attest.ErrStaleModel).
+	if st != nil && st.rollout != nil && st.rollout.Full() {
+		st.verifier.SetMinVersion(st.next.Version)
+	}
+
+	// Rogue traffic fires before the audit snapshot so the per-shard
+	// rejection counters it provokes are visible in the result.
+	var rogueAttempts, rogueRejected, unattestedIngested int
+	if st != nil {
+		rogueAttempts, rogueRejected, unattestedIngested = runRogues(cfg, router)
+	}
+	res := aggregate(cfg, buildWall, runWall, results, router)
+	if st != nil {
+		res.RogueAttempts, res.RogueRejected, res.UnattestedIngested = rogueAttempts, rogueRejected, unattestedIngested
+		fillAttestResult(res, cfg, specs, st, router)
+	}
+	return res, nil
+}
+
+// runOneDevice is the per-worker pipeline: workload → build → provision
+// to the rollout target → attested handshake → register → process →
+// rollout convergence.
+func runOneDevice(cfg Config, spec core.DeviceSpec, i int, st *attestState, router *cloud.Router, results []*core.DeviceResult) error {
+	w, err := workloadFor(cfg, spec, i)
+	if err != nil {
+		return fmt.Errorf("device %d workload: %w", i, err)
+	}
+	d, err := core.NewDevice(spec)
+	if err != nil {
+		return fmt.Errorf("device %d: %w", i, err)
+	}
+	id := spec.DeviceID
+	ep := d.CloudEndpoint()
+	if st != nil {
+		if err := st.provision(d, id); err != nil {
+			return fmt.Errorf("device %d provision: %w", i, err)
+		}
+		if ep != nil {
+			if err := st.handshake(d, id); err != nil {
+				return fmt.Errorf("device %d: %w", i, err)
+			}
+		}
+	}
+	if ep != nil {
+		router.Register(id, ep)
+		d.SetUplink(&cloud.Uplink{DeviceID: id, Router: router})
+	}
+	res, err := d.Run(w)
+	if err != nil {
+		return fmt.Errorf("device %d: %w", i, err)
+	}
+	if st != nil {
+		if err := st.converge(d, id); err != nil {
+			return fmt.Errorf("device %d converge: %w", i, err)
+		}
+	}
+	results[i] = res
+	return nil
 }
 
 // eachDevice runs fn(0..n-1) on a bounded worker pool, returning the

@@ -1,3 +1,22 @@
+// Secure storage: the TEE-side persistent object store (GlobalPlatform
+// Trusted Storage in real OP-TEE). Objects are sealed with AES-256-GCM
+// under a key derived from the device's hardware unique key, giving two
+// properties the rest of the system leans on: confidentiality (a
+// normal-world attacker who steals the backing bytes learns nothing —
+// SealedBytes is the test hook for exactly that view) and tamper
+// evidence (any bit flip fails authentication on Get — Tamper is the
+// matching hook).
+//
+// TAs use it for the assets that must survive reboots without ever
+// existing in normal-world plaintext: the pre-trained classifier
+// weights unsealed on first use, and — since the rollout subsystem —
+// every provisioned model pack, stored both as a versioned history
+// object ("voice-ta/model-pack-vN") and as the current-weights object
+// the next unseal picks up. The sealing key never leaves the
+// type; callers only see plaintext on the secure-world side of Get.
+// (The package-level doc lives in optee.go; this header documents the
+// storage subsystem.)
+
 package optee
 
 import (
