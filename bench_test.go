@@ -294,6 +294,66 @@ func BenchmarkFleetThroughputAttested(b *testing.B) {
 	b.ReportMetric(last.Latency.Percentile(99)/1e3, "virtual-us-p99/item")
 }
 
+// BenchmarkFleetChurn measures elasticity overhead: the same 64-device
+// attested fleet at 0%, 10% and 30% churn (joins + leaves at the same
+// rate) with a mid-run shard drain and a weighted shard addition. The
+// items/s deltas against churn=0% are the cost of elastic membership;
+// the run fails if any frame is lost to the rebalance or a priority
+// frame is shed.
+func BenchmarkFleetChurn(b *testing.B) {
+	for _, churn := range []float64{0, 0.1, 0.3} {
+		b.Run(fmt.Sprintf("churn=%d%%", int(churn*100)), func(b *testing.B) {
+			var last *fleet.Result
+			for i := 0; i < b.N; i++ {
+				cfg := fleet.Config{
+					Devices:    64,
+					Shards:     4,
+					Utterances: 2,
+					Frames:     2,
+					Seed:       experiments.DefaultSeed,
+					Attest:     true,
+					Policy:     "shed",
+				}
+				if churn > 0 {
+					cfg.Churn = &fleet.ChurnSpec{JoinFraction: churn, LeaveFraction: churn}
+					cfg.Rebalance = &fleet.RebalanceSpec{
+						AtFraction: 0.5, DrainShard: 0, AddShards: 1, AddWeight: 2,
+					}
+				}
+				res, err := fleet.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.LostFrames() != 0 {
+					b.Fatalf("lost %d frames", res.LostFrames())
+				}
+				if churn > 0 && (res.Joined == 0 || res.Left == 0) {
+					b.Fatalf("churn inactive: joined %d left %d", res.Joined, res.Left)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Throughput(), "items/s")
+			b.ReportMetric(float64(last.RebalancedFrames()), "rebalanced-frames")
+			b.ReportMetric(float64(last.PriorityFrames()), "priority-frames")
+		})
+	}
+}
+
+// BenchmarkE12ElasticFleet wraps the full elastic-churn experiment
+// (static-vs-churned invariant check included).
+func BenchmarkE12ElasticFleet(b *testing.B) {
+	var last experiments.E12Result
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.E12ElasticFleet(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ItemsPerSec, "items/s")
+	b.ReportMetric(float64(last.Compared), "devices-verified-identical")
+}
+
 // --- substrate micro-benchmarks (wall-clock health of the simulator) ------------
 
 func BenchmarkSubstrateSMC(b *testing.B) {

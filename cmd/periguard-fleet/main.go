@@ -45,6 +45,10 @@ func run(args []string) error {
 	rollout := fs.Bool("rollout", false, "stage an online model rollout during the run (implies -attest)")
 	canary := fs.Float64("canary", 0.1, "canary fraction of the secure population for -rollout")
 	rogues := fs.Int("rogues", 0, "unattested adversarial clients to throw at the ingest tier")
+	churn := fs.Float64("churn", 0, "mid-run churn rate: fraction of the population that joins AND leaves (0 = static)")
+	rebalance := fs.Bool("rebalance", false, "mid-run tier rebalance: drain shard-00 and add a weight-2 shard at 50% completion")
+	policy := fs.String("policy", "fixed", "admission policy: fixed (blocking queue), shed (load-shedding), fair (per-tenant fair share)")
+	tenants := fs.Int("tenants", 4, "tenant count device traffic is striped across (fair-share accounting)")
 	jsonPath := fs.String("json", "", "write a JSON snapshot to this path")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	if err := fs.Parse(args); err != nil {
@@ -78,9 +82,17 @@ func run(args []string) error {
 		Seed:             *seed,
 		Attest:           *attestOn,
 		Rogues:           *rogues,
+		Policy:           *policy,
+		Tenants:          *tenants,
 	}
 	if *rollout {
 		cfg.Rollout = &fleet.RolloutSpec{CanaryFraction: *canary}
+	}
+	if *churn > 0 {
+		cfg.Churn = &fleet.ChurnSpec{JoinFraction: *churn, LeaveFraction: *churn}
+	}
+	if *rebalance {
+		cfg.Rebalance = &fleet.RebalanceSpec{AtFraction: 0.5, DrainShard: 0, AddShards: 1, AddWeight: 2}
 	}
 	fmt.Printf("PeriGuard fleet: %d devices, %d shards, batch %d, seed %d (attest %v, rollout %v)\n",
 		*devices, *shards, *batch, *seed, *attestOn || *rollout || *rogues > 0, *rollout)
@@ -109,12 +121,24 @@ func run(args []string) error {
 	fmt.Println(groups)
 
 	shardsTbl := metrics.NewTable("Ingest shards",
-		"shard", "devices", "frames", "errors", "rejected", "queue peak", "model versions")
+		"shard", "w", "devices", "frames", "errors", "rejected", "shed", "prio",
+		"rebal", "queue peak", "drained", "model versions")
 	for _, s := range res.ShardStats {
-		shardsTbl.AddRow(s.Name, s.Devices, s.Frames, s.Errors, s.Rejected, s.QueuePeak,
+		shardsTbl.AddRow(s.Name, s.Weight, s.Devices, s.Frames, s.Errors, s.Rejected,
+			s.Shed, s.Prioritized, s.Rebalanced, s.QueuePeak, s.Drained,
 			versionString(res.ShardModelVersions[s.Name]))
 	}
 	fmt.Println(shardsTbl)
+
+	if res.Joined > 0 || res.Left > 0 {
+		fmt.Printf("churn: %d joined mid-run, %d left cleanly\n", res.Joined, res.Left)
+	}
+	if rb := res.Rebalance; rb != nil && rb.Fired {
+		fmt.Printf("rebalance: added %v, drained %q, %d frames redirected\n",
+			rb.AddedShards, rb.DrainedShard, res.RebalancedFrames())
+	}
+	fmt.Printf("admission: policy %s, %d shed, %d priority-lane frames\n",
+		res.PolicyName, res.ShedFrames(), res.PriorityFrames())
 
 	if res.AttestedDevices > 0 {
 		fmt.Printf("attestation: %d devices attested; fleet model versions %s; "+
@@ -125,6 +149,10 @@ func run(args []string) error {
 	if r := res.Rollout; r != nil {
 		fmt.Printf("rollout: v%d -> v%d, canary %d, converged %v, ingest minimum v%d\n",
 			r.BaseVersion, r.ToVersion, r.Canary, r.Converged, r.MinVersion)
+		if r.AbortReason != "" {
+			fmt.Printf("rollout aborted (%s): %d devices held on v%d with rollback records\n",
+				r.AbortReason, len(r.Rollbacks), r.BaseVersion)
+		}
 	}
 
 	fmt.Printf("aggregate: %d items at %.0f items/s; ingested %d cloud events (%d lost); "+
@@ -144,7 +172,8 @@ func run(args []string) error {
 }
 
 // snapshot is the stable JSON shape later PRs benchmark against; the
-// schema is documented in docs/ARCHITECTURE.md ("fleet snapshot schema").
+// schema is documented field-for-field in docs/OPERATIONS.md ("snapshot
+// schema") and schema_test.go keeps the two from drifting.
 type snapshot struct {
 	Devices       int                `json:"devices"`
 	Shards        int                `json:"shards"`
@@ -161,6 +190,15 @@ type snapshot struct {
 	LatencyP99Vms float64            `json:"latency_p99_vms"`
 	Groups        map[string]groupJS `json:"groups"`
 	ShardStats    []shardJS          `json:"shard_stats"`
+
+	// Admission/elasticity accounting (admission_policy always present;
+	// the counters are omitted when zero, churn/rebalance when inactive).
+	AdmissionPolicy  string   `json:"admission_policy"`
+	ShedFrames       uint64   `json:"shed_frames,omitempty"`
+	PriorityFrames   uint64   `json:"priority_frames,omitempty"`
+	RebalancedFrames uint64   `json:"rebalanced_frames,omitempty"`
+	Churn            *churnJS `json:"churn,omitempty"`
+	Rebalance        *rebalJS `json:"rebalance,omitempty"`
 
 	// Attested-run fields (omitted on plain runs).
 	AttestedDevices    int            `json:"attested_devices,omitempty"`
@@ -183,23 +221,52 @@ type groupJS struct {
 
 // shardJS carries per-shard counters, including the model version of
 // every attested model-bearing device hosted on the shard — the field
-// that makes rollout progress observable from the snapshot.
+// that makes rollout progress observable from the snapshot. Drained
+// shards appear with drained=true and their final (retired) counters.
 type shardJS struct {
 	Name          string         `json:"name"`
 	Devices       int            `json:"devices"`
+	Weight        int            `json:"weight"`
 	Frames        uint64         `json:"frames"`
 	Errors        uint64         `json:"errors"`
 	Rejected      uint64         `json:"rejected"`
+	Shed          uint64         `json:"shed"`
+	Prioritized   uint64         `json:"prioritized"`
+	Rebalanced    uint64         `json:"rebalanced"`
 	QueuePeak     int            `json:"queue_peak"`
+	Drained       bool           `json:"drained"`
 	ModelVersions map[string]int `json:"model_versions,omitempty"`
 }
 
+// churnJS summarizes mid-run population churn.
+type churnJS struct {
+	Joined int `json:"joined"`
+	Left   int `json:"left"`
+}
+
+// rebalJS summarizes the scheduled mid-run tier rebalance.
+type rebalJS struct {
+	Fired        bool     `json:"fired"`
+	AddedShards  []string `json:"added_shards"`
+	DrainedShard string   `json:"drained_shard"`
+}
+
 type rolloutJS struct {
-	BaseVersion uint64 `json:"base_version"`
+	BaseVersion uint64       `json:"base_version"`
+	ToVersion   uint64       `json:"to_version"`
+	Canary      int          `json:"canary"`
+	Converged   bool         `json:"converged"`
+	MinVersion  uint64       `json:"min_version"`
+	AbortReason string       `json:"abort_reason"`
+	Rollbacks   []rollbackJS `json:"rollbacks"`
+}
+
+// rollbackJS is one structured rollback record of an aborted rollout.
+type rollbackJS struct {
+	Device      string `json:"device"`
+	FromVersion uint64 `json:"from_version"`
 	ToVersion   uint64 `json:"to_version"`
-	Canary      int    `json:"canary"`
-	Converged   bool   `json:"converged"`
-	MinVersion  uint64 `json:"min_version"`
+	Reason      string `json:"reason"`
 }
 
 // versionKeys renders a version tally with string keys (JSON objects
@@ -248,11 +315,25 @@ func writeSnapshot(path string, res *fleet.Result) error {
 		LatencyP50Vms:      res.Latency.Percentile(50) / 1e6,
 		LatencyP99Vms:      res.Latency.Percentile(99) / 1e6,
 		Groups:             map[string]groupJS{},
+		AdmissionPolicy:    res.PolicyName,
+		ShedFrames:         res.ShedFrames(),
+		PriorityFrames:     res.PriorityFrames(),
+		RebalancedFrames:   res.RebalancedFrames(),
 		AttestedDevices:    res.AttestedDevices,
 		ModelVersions:      versionKeys(res.ModelVersions),
 		RogueAttempts:      res.RogueAttempts,
 		RogueRejected:      res.RogueRejected,
 		UnattestedIngested: res.UnattestedIngested,
+	}
+	if res.Joined > 0 || res.Left > 0 {
+		snap.Churn = &churnJS{Joined: res.Joined, Left: res.Left}
+	}
+	if rb := res.Rebalance; rb != nil {
+		snap.Rebalance = &rebalJS{
+			Fired:        rb.Fired,
+			AddedShards:  append([]string{}, rb.AddedShards...),
+			DrainedShard: rb.DrainedShard,
+		}
 	}
 	for _, k := range res.GroupKeys() {
 		g := res.Groups[k]
@@ -270,10 +351,15 @@ func writeSnapshot(path string, res *fleet.Result) error {
 		snap.ShardStats = append(snap.ShardStats, shardJS{
 			Name:          s.Name,
 			Devices:       s.Devices,
+			Weight:        s.Weight,
 			Frames:        s.Frames,
 			Errors:        s.Errors,
 			Rejected:      s.Rejected,
+			Shed:          s.Shed,
+			Prioritized:   s.Prioritized,
+			Rebalanced:    s.Rebalanced,
 			QueuePeak:     s.QueuePeak,
+			Drained:       s.Drained,
 			ModelVersions: versionKeys(res.ShardModelVersions[s.Name]),
 		})
 	}
@@ -284,6 +370,16 @@ func writeSnapshot(path string, res *fleet.Result) error {
 			Canary:      r.Canary,
 			Converged:   r.Converged,
 			MinVersion:  r.MinVersion,
+			AbortReason: r.AbortReason,
+			Rollbacks:   []rollbackJS{},
+		}
+		for _, rb := range r.Rollbacks {
+			snap.Rollout.Rollbacks = append(snap.Rollout.Rollbacks, rollbackJS{
+				Device:      rb.Device,
+				FromVersion: rb.FromVersion,
+				ToVersion:   rb.ToVersion,
+				Reason:      rb.Reason,
+			})
 		}
 	}
 	blob, err := json.MarshalIndent(snap, "", "  ")

@@ -1,0 +1,143 @@
+package main
+
+// Snapshot-schema drift guard. docs/OPERATIONS.md documents the -json
+// snapshot field-for-field inside a ```snapshot-schema fenced block;
+// this test derives the schema from the snapshot struct by reflection
+// and requires the two lists to match byte-for-byte, then runs a real
+// (small, fully-featured) fleet through run() and round-trips its output
+// with DisallowUnknownFields. Documentation drift and struct drift both
+// fail CI.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// schemaPaths walks a snapshot type and emits one path per leaf field,
+// using "." for struct/map nesting ("*" for map keys) and "[]" for
+// slices.
+func schemaPaths(t reflect.Type, prefix string, out *[]string) {
+	switch t.Kind() {
+	case reflect.Pointer:
+		schemaPaths(t.Elem(), prefix, out)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if tag == "" || tag == "-" {
+				continue
+			}
+			path := tag
+			if prefix != "" {
+				path = prefix + "." + tag
+			}
+			schemaPaths(f.Type, path, out)
+		}
+	case reflect.Map:
+		schemaPaths(t.Elem(), prefix+".*", out)
+	case reflect.Slice:
+		schemaPaths(t.Elem(), prefix+"[]", out)
+	default:
+		*out = append(*out, prefix)
+	}
+}
+
+// documentedSchema extracts the ```snapshot-schema block from the
+// operator's handbook.
+func documentedSchema(t *testing.T) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "OPERATIONS.md"))
+	if err != nil {
+		t.Fatalf("operator handbook missing: %v", err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	var fields []string
+	in := false
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "```snapshot-schema"):
+			in = true
+		case in && strings.HasPrefix(line, "```"):
+			return fields
+		case in:
+			if f := strings.TrimSpace(line); f != "" {
+				fields = append(fields, f)
+			}
+		}
+	}
+	t.Fatal("docs/OPERATIONS.md has no ```snapshot-schema block")
+	return nil
+}
+
+// TestSnapshotSchemaMatchesHandbook: the documented field list equals
+// the struct-derived one, byte for byte.
+func TestSnapshotSchemaMatchesHandbook(t *testing.T) {
+	var derived []string
+	schemaPaths(reflect.TypeOf(snapshot{}), "", &derived)
+	documented := documentedSchema(t)
+	sort.Strings(derived)
+	sorted := append([]string(nil), documented...)
+	sort.Strings(sorted)
+	if !reflect.DeepEqual(sorted, documented) {
+		t.Fatalf("snapshot-schema block must be sorted:\n%s", strings.Join(documented, "\n"))
+	}
+	if !reflect.DeepEqual(derived, sorted) {
+		t.Fatalf("docs/OPERATIONS.md snapshot schema drifted from the snapshot struct.\nderived:\n%s\n\ndocumented:\n%s",
+			strings.Join(derived, "\n"), strings.Join(sorted, "\n"))
+	}
+}
+
+// TestSnapshotSmoke runs a small fully-featured fleet through the CLI
+// entry point and round-trips the written snapshot against the struct
+// with unknown fields disallowed — the output and the documented schema
+// cannot drift apart silently.
+func TestSnapshotSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	err := run([]string{
+		"-devices", "12", "-shards", "2", "-utterances", "2", "-frames", "2",
+		"-rollout", "-rogues", "2", "-churn", "0.3", "-rebalance",
+		"-policy", "shed", "-json", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var snap snapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("snapshot does not match its schema: %v", err)
+	}
+	if snap.AdmissionPolicy != "shed" {
+		t.Fatalf("admission_policy %q", snap.AdmissionPolicy)
+	}
+	if snap.Churn == nil || snap.Churn.Joined == 0 || snap.Churn.Left == 0 {
+		t.Fatalf("churn block missing or empty: %+v", snap.Churn)
+	}
+	if snap.Rebalance == nil || !snap.Rebalance.Fired ||
+		snap.Rebalance.DrainedShard == "" || len(snap.Rebalance.AddedShards) == 0 {
+		t.Fatalf("rebalance block missing or empty: %+v", snap.Rebalance)
+	}
+	drained := false
+	for _, s := range snap.ShardStats {
+		drained = drained || s.Drained
+	}
+	if !drained {
+		t.Fatal("no drained shard in shard_stats")
+	}
+	if snap.LostFrames != 0 {
+		t.Fatalf("lost %d frames", snap.LostFrames)
+	}
+	if snap.Rollout == nil || snap.Rollout.Rollbacks == nil {
+		t.Fatalf("rollout block incomplete: %+v", snap.Rollout)
+	}
+}

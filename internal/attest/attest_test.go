@@ -38,6 +38,35 @@ func TestAttestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReleaseRevokesAdmission: a device that releases its session (fleet
+// churn: clean leave) is rejected at ingest until it re-attests.
+func TestReleaseRevokesAdmission(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	m := Measurement{Code: MeasureCode("ta.voice.guard"), ModelVersion: 1}
+	v.AllowMeasurement(m.Code, true)
+	a := NewAttestor("device-00000", keys["device-00000"])
+
+	if err := v.Verify(a.Attest(v.Challenge("device-00000"), m)); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	v.Release("device-00000")
+	if err := v.Admit("device-00000"); !errors.Is(err, ErrUnattested) {
+		t.Fatalf("released device admitted: %v", err)
+	}
+	if _, ok := v.Attested("device-00000"); ok {
+		t.Fatal("released device still attested")
+	}
+	v.Release("device-00000") // idempotent
+	// A fresh handshake restores admission.
+	if err := v.Verify(a.Attest(v.Challenge("device-00000"), m)); err != nil {
+		t.Fatalf("re-attest: %v", err)
+	}
+	if err := v.Admit("device-00000"); err != nil {
+		t.Fatalf("re-admit: %v", err)
+	}
+}
+
 func TestReplayRejected(t *testing.T) {
 	keys, lookup := testRegistry(t)
 	v := NewVerifier(7, lookup)

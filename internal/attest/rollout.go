@@ -132,14 +132,15 @@ type Rollout struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	packs   map[uint64]Pack
-	base    uint64
-	latest  uint64
-	canary  int
-	granted map[string]uint64 // device -> granted latest version
-	succOK  map[string]bool   // canary devices that completed on latest
-	full    bool
-	aborted bool
+	packs       map[uint64]Pack
+	base        uint64
+	latest      uint64
+	canary      int
+	granted     map[string]uint64 // device -> granted latest version
+	succOK      map[string]bool   // canary devices that completed on latest
+	full        bool
+	aborted     bool
+	abortReason string
 }
 
 // NewRollout creates the service with the fleet's base (already
@@ -244,10 +245,28 @@ func (r *Rollout) AwaitFull() bool {
 }
 
 // Abort wakes all waiters without opening the rollout (a canary device
-// failed, or the run is shutting down).
-func (r *Rollout) Abort() {
+// failed, or the run is shutting down). The reason is recorded so every
+// device held on the base pack can be attributed to it — an aborted
+// rollout must leave a structured trail, not a silently stale fleet.
+// The first reason wins; Abort after the rollout opened is a no-op for
+// waiters (AwaitFull already returned true) but still records the
+// reason.
+func (r *Rollout) Abort(reason string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.aborted = true
+	if reason == "" {
+		reason = "aborted"
+	}
+	if !r.aborted {
+		r.aborted = true
+		r.abortReason = reason
+	}
 	r.cond.Broadcast()
+}
+
+// Aborted reports whether the rollout was aborted, and why.
+func (r *Rollout) Aborted() (bool, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aborted, r.abortReason
 }

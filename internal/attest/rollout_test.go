@@ -147,9 +147,17 @@ func TestRolloutAwaitAndAbort(t *testing.T) {
 	}
 	wg.Add(1)
 	go func() { defer wg.Done(); results[1] = r2.AwaitFull() }()
-	r2.Abort()
+	r2.Abort("canary failed")
 	wg.Wait()
 	if results[1] {
 		t.Fatal("aborted waiter reported full rollout")
+	}
+	if aborted, reason := r2.Aborted(); !aborted || reason != "canary failed" {
+		t.Fatalf("abort record = %v %q, want true %q", aborted, reason, "canary failed")
+	}
+	// The first reason wins.
+	r2.Abort("second opinion")
+	if _, reason := r2.Aborted(); reason != "canary failed" {
+		t.Fatalf("abort reason overwritten: %q", reason)
 	}
 }

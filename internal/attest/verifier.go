@@ -122,6 +122,17 @@ func (v *Verifier) Admit(deviceID string) error {
 	return nil
 }
 
+// Release forgets a device's attested state and any outstanding
+// challenge: a device leaving the fleet releases its session, after
+// which its frames are rejected at ingest (ErrUnattested) until it
+// re-attests. Releasing an unknown device is a no-op.
+func (v *Verifier) Release(deviceID string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.attested, deviceID)
+	delete(v.issued, deviceID)
+}
+
 // Attested returns the device's current verified measurement.
 func (v *Verifier) Attested(deviceID string) (Measurement, bool) {
 	v.mu.RLock()

@@ -1,15 +1,23 @@
 // Fleet-scale ingest. A single Service terminates one device's channel;
 // a provider serving millions of devices runs many such terminators
 // behind a sharded frontend. Shard hosts the per-device endpoints hashed
-// to it and serializes their ingest through a bounded worker pool (the
-// channel doubles as admission control: a full queue pushes back on the
-// radio rather than buffering unboundedly). Router places devices on
-// shards with a consistent-hash ring so membership changes move only
-// neighbouring devices. An optional AdmissionGate (the attestation
-// verifier, in attested fleets) is consulted on every frame before it
-// reaches a worker: frames from devices that never attested, or that
-// attested with a stale model pack, are rejected and counted without
-// ever touching the device's endpoint.
+// to it and serializes their ingest through a bounded worker pool with
+// two lanes: a bulk lane whose fullness pushes back on the radio, and a
+// priority lane for flagged/security events that workers drain first.
+// Router places devices on shards with a weighted consistent-hash ring
+// (virtual nodes per shard × shard weight) so membership changes move
+// only neighbouring devices — and the membership *can* change at
+// runtime: AddShard grows the ring, SetWeight retunes it, and Drain
+// retires a shard without dropping an in-flight frame (stop accepting,
+// flush the queue, hand the ownership ranges and their endpoints to the
+// ring successors, retire the audit counters into the router's history).
+//
+// Two pluggable checks run per frame before it reaches a worker, in
+// order: the AdmissionGate (the attestation verifier in attested fleets
+// — an identity decision: may this device ingest at all?) and the
+// AdmissionPolicy (a capacity decision: does this frame fit right now,
+// or is it shed?). Rejections, sheds, priority admissions and frames
+// redirected by a rebalance are all counted per shard (ShardStats).
 package cloud
 
 import (
@@ -18,6 +26,8 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+
+	"repro/internal/supplicant"
 )
 
 // Provider is the ingest-side contract every backend flavour satisfies
@@ -60,10 +70,17 @@ var (
 	ErrUnknownDevice = errors.New("cloud: unknown device")
 	// ErrRejected wraps admission-gate rejections.
 	ErrRejected = errors.New("cloud: admission rejected")
-	// ErrShardClosed is returned for ingest after Close.
+	// ErrShed is returned for frames the admission policy dropped under
+	// queue pressure. Senders treat it as a retriable drop, not a fault.
+	// It wraps supplicant.ErrShed so the RPC daemon ferrying a sealed
+	// frame can classify the refusal separately from transport errors.
+	ErrShed = fmt.Errorf("cloud: frame shed by admission policy (%w)", supplicant.ErrShed)
+	// ErrShardClosed is returned for ingest after Close (or Drain).
 	ErrShardClosed = errors.New("cloud: shard closed")
 	// ErrNoShards is returned when a router is built without shards.
 	ErrNoShards = errors.New("cloud: router needs at least one shard")
+	// ErrLastShard is returned when draining would empty the ring.
+	ErrLastShard = errors.New("cloud: cannot drain the last shard")
 )
 
 // ingestJob carries one frame through a shard worker and its reply back
@@ -71,6 +88,7 @@ var (
 type ingestJob struct {
 	endpoint Provider
 	frame    []byte
+	meta     FrameMeta
 	reply    chan ingestReply
 }
 
@@ -81,31 +99,45 @@ type ingestReply struct {
 
 // ShardStats is a snapshot of one shard's ingest counters.
 type ShardStats struct {
-	Name      string
-	Devices   int
-	Frames    uint64 // frames fully processed
-	Errors    uint64 // frames whose endpoint rejected them
-	Rejected  uint64 // frames the admission gate turned away
-	QueuePeak int    // high-water mark of admitted-but-not-yet-served frames
+	Name        string
+	Devices     int
+	Weight      int    // ring weight (virtual nodes = replicas × weight)
+	Frames      uint64 // frames fully processed
+	Errors      uint64 // frames whose endpoint rejected them
+	Rejected    uint64 // frames the admission gate turned away
+	Shed        uint64 // bulk frames the admission policy dropped
+	Prioritized uint64 // frames admitted through the priority lane
+	Rebalanced  uint64 // frames redirected here after a ring change
+	QueuePeak   int    // high-water mark of admitted-but-not-yet-served frames
+	Drained     bool   // shard was drained out of the ring
 }
 
 // Shard is one ingest partition: a set of device endpoints plus a bounded
-// worker pool that processes their frames.
+// worker pool that processes their frames. Bulk frames queue on the
+// fixed-depth lane (fullness blocks the sender — backpressure); priority
+// frames queue on a lane workers always drain first.
 type Shard struct {
 	name     string
-	jobs     chan ingestJob
+	jobs     chan ingestJob // bulk lane
+	prio     chan ingestJob // priority lane
+	depth    int            // bulk-lane capacity, the policy's reference
 	wg       sync.WaitGroup
 	inflight sync.WaitGroup // Ingests between admission and reply
 
-	mu        sync.Mutex
-	gate      AdmissionGate
-	endpoints map[string]Provider
-	closed    bool
-	frames    uint64
-	errs      uint64
-	rejected  uint64
-	pending   int // admitted frames not yet picked up by a worker
-	queuePeak int
+	mu          sync.Mutex
+	gate        AdmissionGate
+	policy      AdmissionPolicy
+	endpoints   map[string]Provider
+	closed      bool
+	frames      uint64
+	errs        uint64
+	rejected    uint64
+	shed        uint64
+	prioritized uint64
+	rebalanced  uint64
+	pending     int // admitted frames (both lanes) not yet picked up by a worker
+	bulkPending int // bulk-lane share of pending: the policy's occupancy signal
+	queuePeak   int
 }
 
 // NewShard starts a shard with the given worker count and admission-queue
@@ -120,6 +152,8 @@ func NewShard(name string, workers, queueDepth int) *Shard {
 	s := &Shard{
 		name:      name,
 		jobs:      make(chan ingestJob, queueDepth),
+		prio:      make(chan ingestJob, queueDepth),
+		depth:     queueDepth,
 		endpoints: make(map[string]Provider),
 	}
 	s.wg.Add(workers)
@@ -129,22 +163,61 @@ func NewShard(name string, workers, queueDepth int) *Shard {
 	return s
 }
 
+// worker drains the two lanes, always preferring the priority lane when
+// it has a frame ready. A closed lane is parked (nil channel) so the
+// loop exits only once both lanes are closed and empty.
 func (s *Shard) worker() {
 	defer s.wg.Done()
-	for job := range s.jobs {
-		s.mu.Lock()
-		s.pending--
-		s.mu.Unlock()
-		directive, err := job.endpoint.Deliver(job.frame)
-		s.mu.Lock()
-		if err != nil {
-			s.errs++
-		} else {
-			s.frames++
+	prio, bulk := s.prio, s.jobs
+	for prio != nil || bulk != nil {
+		if prio != nil {
+			select {
+			case job, ok := <-prio:
+				if !ok {
+					prio = nil
+					continue
+				}
+				s.serve(job)
+				continue
+			default:
+			}
 		}
-		s.mu.Unlock()
-		job.reply <- ingestReply{directive: directive, err: err}
+		select {
+		case job, ok := <-prio:
+			if !ok {
+				prio = nil
+				continue
+			}
+			s.serve(job)
+		case job, ok := <-bulk:
+			if !ok {
+				bulk = nil
+				continue
+			}
+			s.serve(job)
+		}
 	}
+}
+
+func (s *Shard) serve(job ingestJob) {
+	s.mu.Lock()
+	s.pending--
+	if !job.meta.Priority {
+		s.bulkPending--
+	}
+	if s.policy != nil {
+		s.policy.Served(job.meta)
+	}
+	s.mu.Unlock()
+	directive, err := job.endpoint.Deliver(job.frame)
+	s.mu.Lock()
+	if err != nil {
+		s.errs++
+	} else {
+		s.frames++
+	}
+	s.mu.Unlock()
+	job.reply <- ingestReply{directive: directive, err: err}
 }
 
 // Name returns the shard's ring label.
@@ -165,6 +238,17 @@ func (s *Shard) Deregister(deviceID string) {
 	delete(s.endpoints, deviceID)
 }
 
+// endpointsSnapshot copies the registration map (for ring migrations).
+func (s *Shard) endpointsSnapshot() map[string]Provider {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Provider, len(s.endpoints))
+	for id, p := range s.endpoints {
+		out[id] = p
+	}
+	return out
+}
+
 // SetGate installs (or clears, with nil) the admission gate.
 func (s *Shard) SetGate(g AdmissionGate) {
 	s.mu.Lock()
@@ -172,14 +256,37 @@ func (s *Shard) SetGate(g AdmissionGate) {
 	s.gate = g
 }
 
-// Ingest processes one frame from the device through the worker pool,
-// blocking while the admission queue is full (backpressure) and until the
-// frame's directive is ready.
+// SetPolicy installs (or clears, with nil) the admission policy.
+func (s *Shard) SetPolicy(p AdmissionPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
+}
+
+// noteRebalanced counts a frame that reached this shard only after a
+// ring change redirected it away from its previously resolved owner.
+func (s *Shard) noteRebalanced() {
+	s.mu.Lock()
+	s.rebalanced++
+	s.mu.Unlock()
+}
+
+// Ingest processes one bulk frame from the device; see IngestMeta.
 func (s *Shard) Ingest(deviceID string, frame []byte) ([]byte, error) {
+	return s.IngestMeta(deviceID, frame, FrameMeta{})
+}
+
+// IngestMeta processes one frame through the worker pool. The admission
+// gate runs first (identity), then — for bulk frames only — the
+// admission policy (capacity): a shed frame returns ErrShed without ever
+// queueing. Admitted frames block while their lane is full
+// (backpressure) and until the frame's directive is ready; priority
+// frames are served before queued bulk frames.
+func (s *Shard) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byte, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrShardClosed
+		return nil, fmt.Errorf("%w: %s", ErrShardClosed, s.name)
 	}
 	endpoint, ok := s.endpoints[deviceID]
 	if !ok {
@@ -192,6 +299,25 @@ func (s *Shard) Ingest(deviceID string, frame []byte) ([]byte, error) {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("%w: %q on shard %s: %v", ErrRejected, deviceID, s.name, err)
 		}
+	}
+	// The priority lane is enforced here, not in the policy: ShouldShed
+	// is never consulted for a priority frame, so no policy — however
+	// buggy — can shed one. The occupancy it sees is the bulk lane's
+	// alone, judged against the bulk lane's capacity: a burst of
+	// priority traffic must not make the policy shed bulk frames out of
+	// an empty bulk queue.
+	if s.policy != nil && !meta.Priority && s.policy.ShouldShed(meta, s.bulkPending, s.depth) {
+		s.shed++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q on shard %s", ErrShed, deviceID, s.name)
+	}
+	if meta.Priority {
+		s.prioritized++
+	} else {
+		s.bulkPending++
+	}
+	if s.policy != nil {
+		s.policy.Admitted(meta)
 	}
 	// Admitted while holding the lock, so Close cannot tear the queue
 	// down under an in-flight frame; pending tracks admitted frames no
@@ -206,7 +332,12 @@ func (s *Shard) Ingest(deviceID string, frame []byte) ([]byte, error) {
 	defer s.inflight.Done()
 
 	reply := make(chan ingestReply, 1)
-	s.jobs <- ingestJob{endpoint: endpoint, frame: frame, reply: reply}
+	job := ingestJob{endpoint: endpoint, frame: frame, meta: meta, reply: reply}
+	if meta.Priority {
+		s.prio <- job
+	} else {
+		s.jobs <- job
+	}
 	r := <-reply
 	return r.directive, r.err
 }
@@ -231,12 +362,15 @@ func (s *Shard) Stats() ShardStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ShardStats{
-		Name:      s.name,
-		Devices:   len(s.endpoints),
-		Frames:    s.frames,
-		Errors:    s.errs,
-		Rejected:  s.rejected,
-		QueuePeak: s.queuePeak,
+		Name:        s.name,
+		Devices:     len(s.endpoints),
+		Frames:      s.frames,
+		Errors:      s.errs,
+		Rejected:    s.rejected,
+		Shed:        s.shed,
+		Prioritized: s.prioritized,
+		Rebalanced:  s.rebalanced,
+		QueuePeak:   s.queuePeak,
 	}
 }
 
@@ -252,13 +386,24 @@ func (s *Shard) Close() {
 	s.mu.Unlock()
 	s.inflight.Wait()
 	close(s.jobs)
+	close(s.prio)
 	s.wg.Wait()
 }
 
-// Router maps device IDs onto shards with a consistent-hash ring.
+// Router maps device IDs onto shards with a weighted consistent-hash
+// ring. Membership is elastic: shards can be added, reweighted and
+// drained at runtime; the router migrates endpoint registrations to the
+// new owners atomically with each ring change and redirects frames that
+// raced with the change, so no frame is lost to a rebalance.
 type Router struct {
-	shards []*Shard
-	ring   []ringPoint // sorted by hash
+	mu       sync.RWMutex
+	replicas int
+	gate     AdmissionGate
+	policy   AdmissionPolicy
+	shards   []*Shard
+	weights  map[string]int
+	ring     []ringPoint // sorted by hash
+	retired  []ShardStats
 }
 
 type ringPoint struct {
@@ -266,8 +411,10 @@ type ringPoint struct {
 	shard *Shard
 }
 
-// NewRouter builds the ring with `replicas` virtual nodes per shard
-// (floored at 1; 64 is a sensible default for even spread).
+// NewRouter builds the ring with `replicas` virtual nodes per
+// weight-unit per shard (floored at 1; 64 is a sensible default for even
+// spread). Every shard starts at weight 1; use AddShard or SetWeight for
+// heavier ones.
 func NewRouter(shards []*Shard, replicas int) (*Router, error) {
 	if len(shards) == 0 {
 		return nil, ErrNoShards
@@ -275,9 +422,24 @@ func NewRouter(shards []*Shard, replicas int) (*Router, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
-	r := &Router{shards: shards}
+	r := &Router{replicas: replicas, shards: shards, weights: make(map[string]int, len(shards))}
 	for _, s := range shards {
-		for v := 0; v < replicas; v++ {
+		r.weights[s.Name()] = 1
+	}
+	r.rebuildRingLocked()
+	return r, nil
+}
+
+// rebuildRingLocked recomputes the ring from the active shard list and
+// weights. Caller holds r.mu for writing (or is the constructor).
+func (r *Router) rebuildRingLocked() {
+	r.ring = r.ring[:0]
+	for _, s := range r.shards {
+		w := r.weights[s.Name()]
+		if w < 1 {
+			w = 1
+		}
+		for v := 0; v < r.replicas*w; v++ {
 			r.ring = append(r.ring, ringPoint{
 				hash:  ringHash(fmt.Sprintf("%s#%d", s.Name(), v)),
 				shard: s,
@@ -285,7 +447,25 @@ func NewRouter(shards []*Shard, replicas int) (*Router, error) {
 		}
 	}
 	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].hash < r.ring[j].hash })
-	return r, nil
+}
+
+// migrateLocked moves every endpoint whose ring owner changed to its new
+// owner and returns how many moved. Registration moves are atomic with
+// the ring swap (caller holds r.mu for writing), so a resolver never
+// observes a half-migrated tier.
+func (r *Router) migrateLocked() int {
+	moved := 0
+	for _, s := range r.shards {
+		for id, ep := range s.endpointsSnapshot() {
+			owner := r.shardForLocked(id)
+			if owner != s {
+				owner.Register(id, ep)
+				s.Deregister(id)
+				moved++
+			}
+		}
+	}
+	return moved
 }
 
 func ringHash(key string) uint64 {
@@ -306,6 +486,15 @@ func ringHash(key string) uint64 {
 // ShardFor returns the shard owning the device ID (first ring point at or
 // after the key's hash, wrapping).
 func (r *Router) ShardFor(deviceID string) *Shard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shardForLocked(deviceID)
+}
+
+func (r *Router) shardForLocked(deviceID string) *Shard {
+	if len(r.ring) == 0 {
+		return nil
+	}
 	h := ringHash(deviceID)
 	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
 	if i == len(r.ring) {
@@ -314,64 +503,228 @@ func (r *Router) ShardFor(deviceID string) *Shard {
 	return r.ring[i].shard
 }
 
+// AddShard joins a fresh shard to the ring with the given weight
+// (floored at 1): the router's gate and policy are installed on it, the
+// ring gains replicas×weight points, and endpoints in the ownership
+// ranges it takes over migrate to it before any frame can resolve there.
+func (r *Router) AddShard(s *Shard, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.SetGate(r.gate)
+	s.SetPolicy(r.policy)
+	r.shards = append(r.shards, s)
+	r.weights[s.Name()] = weight
+	r.rebuildRingLocked()
+	r.migrateLocked()
+}
+
+// SetWeight retunes a shard's share of the ring (floored at 1) and
+// migrates endpoints to the rebalanced owners. Unknown names are a no-op.
+func (r *Router) SetWeight(name string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.weights[name]; !ok {
+		return
+	}
+	r.weights[name] = weight
+	r.rebuildRingLocked()
+	r.migrateLocked()
+}
+
+// Drain retires a shard from the ring without dropping a frame: its ring
+// points are removed and its endpoints handed to the ring successors
+// (atomically, so new frames resolve to the successors), then the shard
+// stops accepting and flushes its queue — frames already admitted are
+// served to completion, frames that raced the ring swap are redirected
+// by Ingest — and finally its counters are retired into the router's
+// stats history (Drained=true).
+func (r *Router) Drain(name string) error {
+	r.mu.Lock()
+	var victim *Shard
+	for i, s := range r.shards {
+		if s.Name() == name {
+			if len(r.shards) == 1 {
+				r.mu.Unlock()
+				return ErrLastShard
+			}
+			victim = s
+			r.shards = append(r.shards[:i], r.shards[i+1:]...)
+			break
+		}
+	}
+	if victim == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("cloud: drain: unknown shard %q", name)
+	}
+	delete(r.weights, name)
+	r.rebuildRingLocked()
+	// Hand the victim's endpoints to their ring successors. The victim
+	// is out of the ring, so every endpoint resolves elsewhere.
+	for id, ep := range victim.endpointsSnapshot() {
+		r.shardForLocked(id).Register(id, ep)
+		victim.Deregister(id)
+	}
+	r.mu.Unlock()
+
+	// Flush outside the router lock: admitted frames finish against the
+	// victim's workers while new frames already resolve to successors.
+	victim.Close()
+
+	r.mu.Lock()
+	st := victim.Stats()
+	st.Drained = true
+	r.retired = append(r.retired, st)
+	r.mu.Unlock()
+	return nil
+}
+
 // Register places the device's endpoint on its ring shard and returns
-// that shard.
+// that shard. The read lock spans resolve+register so a concurrent
+// rebalance cannot strand the registration on a stale owner.
 func (r *Router) Register(deviceID string, p Provider) *Shard {
-	s := r.ShardFor(deviceID)
-	s.Register(deviceID, p)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.shardForLocked(deviceID)
+	if s != nil {
+		s.Register(deviceID, p)
+	}
 	return s
 }
 
 // Deregister removes the device's endpoint from its ring shard.
 func (r *Router) Deregister(deviceID string) {
-	r.ShardFor(deviceID).Deregister(deviceID)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if s := r.shardForLocked(deviceID); s != nil {
+		s.Deregister(deviceID)
+	}
 }
 
-// SetGate installs the admission gate on every shard.
+// SetGate installs the admission gate on every shard (including shards
+// added later).
 func (r *Router) SetGate(g AdmissionGate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gate = g
 	for _, s := range r.shards {
 		s.SetGate(g)
 	}
 }
 
-// Ingest routes one frame to the owning shard.
-func (r *Router) Ingest(deviceID string, frame []byte) ([]byte, error) {
-	return r.ShardFor(deviceID).Ingest(deviceID, frame)
+// SetPolicy installs the admission policy on every shard (including
+// shards added later). Stateful policies installed this way track
+// occupancy tier-wide.
+func (r *Router) SetPolicy(p AdmissionPolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = p
+	for _, s := range r.shards {
+		s.SetPolicy(p)
+	}
 }
 
-// Audit aggregates every shard's audit.
+// Policy returns the installed admission policy (nil if none).
+func (r *Router) Policy() AdmissionPolicy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.policy
+}
+
+// Ingest routes one bulk frame to the owning shard; see IngestMeta.
+func (r *Router) Ingest(deviceID string, frame []byte) ([]byte, error) {
+	return r.IngestMeta(deviceID, frame, FrameMeta{})
+}
+
+// IngestMeta routes one frame to the owning shard. If a rebalance races
+// the resolution — the resolved shard drained, or the device's endpoint
+// migrated before the frame arrived — the frame is re-resolved against
+// the current ring and redirected (counted in ShardStats.Rebalanced)
+// rather than dropped. The retry gives up when a re-resolution stops
+// making progress (same owner twice), so genuine unknown-device and
+// closed-tier errors still surface.
+func (r *Router) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byte, error) {
+	var last *Shard
+	var lastErr error
+	for {
+		s := r.ShardFor(deviceID)
+		if s == nil {
+			return nil, ErrNoShards
+		}
+		if s == last {
+			return nil, lastErr
+		}
+		directive, err := s.IngestMeta(deviceID, frame, meta)
+		switch {
+		case err == nil:
+			if last != nil {
+				s.noteRebalanced()
+			}
+			return directive, nil
+		case errors.Is(err, ErrShardClosed) || errors.Is(err, ErrUnknownDevice):
+			// Membership changed between resolve and ingest; re-resolve.
+			last, lastErr = s, err
+		default:
+			return nil, err
+		}
+	}
+}
+
+// Audit aggregates every active shard's audit. Drained shards hand their
+// endpoints to successors before retiring, so their traffic is counted
+// exactly once.
 func (r *Router) Audit() Audit {
+	r.mu.RLock()
+	shards := append([]*Shard(nil), r.shards...)
+	r.mu.RUnlock()
 	var a Audit
-	for _, s := range r.shards {
+	for _, s := range shards {
 		a = a.Merge(s.Audit())
 	}
 	return a
 }
 
-// Stats snapshots every shard.
+// Stats snapshots every active shard (with its ring weight) followed by
+// the retired stats of every drained shard.
 func (r *Router) Stats() []ShardStats {
-	out := make([]ShardStats, len(r.shards))
-	for i, s := range r.shards {
-		out[i] = s.Stats()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ShardStats, 0, len(r.shards)+len(r.retired))
+	for _, s := range r.shards {
+		st := s.Stats()
+		st.Weight = r.weights[s.Name()]
+		out = append(out, st)
 	}
+	out = append(out, r.retired...)
 	return out
 }
 
-// Close drains all shards.
+// Close drains all active shards.
 func (r *Router) Close() {
-	for _, s := range r.shards {
+	r.mu.RLock()
+	shards := append([]*Shard(nil), r.shards...)
+	r.mu.RUnlock()
+	for _, s := range shards {
 		s.Close()
 	}
 }
 
 // Uplink adapts one device's ID to the router's ingest so it can stand in
 // as the device's network sink (supplicant.NetSink without the import).
+// Meta is the cleartext connection metadata the frontend reads per frame
+// (tenant label, traffic class).
 type Uplink struct {
 	DeviceID string
 	Router   *Router
+	Meta     FrameMeta
 }
 
 // Deliver implements the device-side sink by routing through the ring.
 func (u *Uplink) Deliver(frame []byte) ([]byte, error) {
-	return u.Router.Ingest(u.DeviceID, frame)
+	return u.Router.IngestMeta(u.DeviceID, frame, u.Meta)
 }

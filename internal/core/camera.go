@@ -207,7 +207,10 @@ func (p *CameraPTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) e
 type ProcessedFrame struct {
 	Flagged   bool
 	Forwarded bool
-	Cycles    tz.Cycles
+	// Shed marks a forwarded frame the ingest frontend dropped under
+	// queue pressure (cloud.ErrShed); see ProcessedUtterance.Shed.
+	Shed   bool
+	Cycles tz.Cycles
 }
 
 // CameraTA classifies frames in the TEE and relays only benign ones.
@@ -470,11 +473,18 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 		resp, err := t.tee.RPC(optee.RPCRequest{
 			Kind: optee.RPCNetSend, Target: CloudTarget, Payload: sealed,
 		})
-		if err != nil {
+		switch {
+		case err == nil:
+			if _, err := t.channel.Open(resp.Payload); err != nil {
+				return rec, false, fmt.Errorf("camera ta directive: %w", err)
+			}
+		case errors.Is(err, cloud.ErrShed):
+			// Frontend shed the frame under pressure: emitted, accounted,
+			// dropped — not a fault. (Doorbell events ride the priority
+			// lane in the fleet, so this is the direct-ingest path only.)
+			rec.Shed = true
+		default:
 			return rec, false, fmt.Errorf("camera ta relay: %w", err)
-		}
-		if _, err := t.channel.Open(resp.Payload); err != nil {
-			return rec, false, fmt.Errorf("camera ta directive: %w", err)
 		}
 		rec.Forwarded = true
 	}
@@ -705,6 +715,7 @@ type CameraSessionResult struct {
 	PersonFrames      int // ground truth
 	ForwardedFrames   int
 	ForwardedPersons  int // person frames that reached the cloud (leak)
+	ShedFrames        int // forwarded frames the frontend dropped by admission policy
 	BlockedEmpties    int // empty frames wrongly withheld (usability cost)
 	Snoop             SnoopSummary
 	CloudFrames       int
@@ -821,7 +832,12 @@ func (s *CameraSystem) runSecure(scenes []peripheral.Scene, res *CameraSessionRe
 		if rec.Forwarded {
 			res.ForwardedFrames++
 			res.CloudFrames++
-			if truth[i].Sensitive() {
+			if rec.Shed {
+				res.ShedFrames++
+			}
+			// A shed frame was emitted but never reached the provider,
+			// so it cannot count toward the leak metric.
+			if truth[i].Sensitive() && !rec.Shed {
 				res.ForwardedPersons++
 			}
 		} else if !truth[i].Sensitive() {

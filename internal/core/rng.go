@@ -33,6 +33,9 @@ const (
 	// SaltModelRollout derives the training seed of a published model-pack
 	// version from the fleet root seed and the pack version.
 	SaltModelRollout uint64 = 0x70115
+	// SaltChurn derives the fleet churn arrival stream (joiner arrival
+	// placement, leaver selection) from the fleet root seed.
+	SaltChurn uint64 = 0xc40a9
 )
 
 // NewRNG returns the deterministic PCG stream for the pair. It is the

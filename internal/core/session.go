@@ -97,15 +97,22 @@ type UtteranceOutcome struct {
 	Transcript []string // device transcript (secure modes)
 	Flagged    bool
 	Forwarded  bool
-	Redacted   int
-	Cycles     tz.Cycles
-	Stages     StageCycles
+	// Shed marks an emitted event the ingest frontend dropped under
+	// queue pressure (cloud.ErrShed): the device treats it as a
+	// retriable network drop, not a session fault.
+	Shed     bool
+	Redacted int
+	Cycles   tz.Cycles
+	Stages   StageCycles
 }
 
 // SessionResult aggregates one RunSession.
 type SessionResult struct {
 	Mode       Mode
 	Utterances []UtteranceOutcome
+	// ShedEvents counts emitted events the ingest frontend dropped by
+	// admission policy (per-utterance detail in Utterances[i].Shed).
+	ShedEvents int
 
 	// Privacy outcomes.
 	CloudAudit cloud.Audit
@@ -200,6 +207,9 @@ func (s *System) RunSession(utterances []sensitive.Utterance) (*SessionResult, e
 			return nil, fmt.Errorf("utterance %d (%q): %w", i, u.Text(), err)
 		}
 		res.Utterances = append(res.Utterances, outcome)
+		if outcome.Shed {
+			res.ShedEvents++
+		}
 		res.Latency.Observe(float64(outcome.Cycles))
 
 		// The compromised OS sweeps the driver's capture buffer after
@@ -320,7 +330,12 @@ func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (Utt
 	sink := s.uplink
 	s.mu.Unlock()
 	if _, err := sink.Deliver(payload); err != nil {
-		return out, fmt.Errorf("baseline deliver: %w", err)
+		// A shed frame was emitted and paid for; the frontend dropped it
+		// under pressure. That is an admission outcome, not a fault.
+		if !errors.Is(err, cloud.ErrShed) {
+			return out, fmt.Errorf("baseline deliver: %w", err)
+		}
+		out.Shed = true
 	}
 	out.Forwarded = true
 	out.Cycles = s.Clock.Now() - start
@@ -358,6 +373,7 @@ func (s *System) runSecureUtterance(sess *teec.Session, i int, u sensitive.Utter
 	out.Transcript = rec.Transcript
 	out.Flagged = rec.Flagged
 	out.Forwarded = rec.Forwarded
+	out.Shed = rec.Shed
 	out.Redacted = rec.Redacted
 	out.Stages = rec.Stages
 	if rec.SealedSize > 0 {
@@ -430,6 +446,7 @@ func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) 
 				Transcript: rec.Transcript,
 				Flagged:    rec.Flagged,
 				Forwarded:  rec.Forwarded,
+				Shed:       rec.Shed,
 				Redacted:   rec.Redacted,
 				Cycles:     rec.Stages.Total(),
 				Stages:     rec.Stages,
@@ -440,6 +457,9 @@ func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) 
 				s.mu.Unlock()
 			}
 			res.Utterances = append(res.Utterances, out)
+			if out.Shed {
+				res.ShedEvents++
+			}
 			res.Latency.Observe(float64(out.Cycles))
 		}
 

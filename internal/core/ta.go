@@ -9,6 +9,7 @@ import (
 	"repro/internal/asr"
 	"repro/internal/attest"
 	"repro/internal/audio"
+	"repro/internal/cloud"
 	"repro/internal/driver"
 	"repro/internal/i2s"
 	"repro/internal/ml/classify"
@@ -176,6 +177,11 @@ type ProcessedUtterance struct {
 	Transcript []string
 	Flagged    bool
 	Forwarded  bool
+	// Shed marks a forwarded event the ingest frontend dropped under
+	// queue pressure (the relay saw cloud.ErrShed instead of a sealed
+	// directive). The event was emitted and cost-accounted; it simply
+	// never reached the provider.
+	Shed       bool
 	Redacted   int
 	Stages     StageCycles
 	SealedSize int
@@ -616,6 +622,13 @@ func (t *VoiceTA) relayStage(words []string, flagged bool, rec *ProcessedUtteran
 		Payload: sealed,
 	})
 	if err != nil {
+		// The frontend shed the frame under queue pressure: a retriable
+		// network drop, not a session fault. There is no directive to
+		// verify; the TA records the shed and moves on.
+		if errors.Is(err, cloud.ErrShed) {
+			rec.Shed = true
+			return nil
+		}
 		return fmt.Errorf("voice ta relay: %w", err)
 	}
 	if _, err := t.channel.Open(resp.Payload); err != nil {

@@ -330,6 +330,39 @@ func TestE11ShapesHold(t *testing.T) {
 	}
 }
 
+// TestE12ShapesHold asserts the elastic-fleet acceptance claims: 30%
+// churn with a mid-run shard drain loses zero frames to rebalancing,
+// never sheds a priority frame, keeps the non-churned sub-population's
+// audit counters bit-identical to a static run, and still converges a
+// staged rollout (raising the ingest floor) when joiners arrive mid-way.
+func TestE12ShapesHold(t *testing.T) {
+	tbl, res, err := E12ElasticFleet(DefaultSeed)
+	if err != nil {
+		t.Fatalf("E12: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if res.Joined == 0 || res.Left == 0 {
+		t.Fatalf("churn inactive: %+v", res)
+	}
+	if !res.AuditIdentical || res.Compared == 0 {
+		t.Fatalf("non-churned sub-population diverged: %+v", res)
+	}
+	if res.LostFrames != 0 {
+		t.Fatalf("lost %d frames to rebalancing", res.LostFrames)
+	}
+	if res.DrainedShard == "" || res.AddedShards == 0 {
+		t.Fatalf("rebalance did not run: %+v", res)
+	}
+	if res.PriorityFrames == 0 {
+		t.Fatal("no frames rode the priority lane")
+	}
+	if !res.RolloutConverged || res.MinVersion != 2 {
+		t.Fatalf("elastic rollout leg failed: %+v", res)
+	}
+}
+
 func TestDriverRigCaptureBytes(t *testing.T) {
 	rig, err := newDriverRig(tz.WorldNormal, 4096)
 	if err != nil {

@@ -70,6 +70,139 @@ func E10FleetScale(seed uint64) (*metrics.Table, []E10Point, error) {
 	return tbl, points, nil
 }
 
+// E12Result is the elastic-fleet experiment outcome.
+type E12Result struct {
+	Devices int
+	Joined  int
+	Left    int
+	// Invariant leg: the non-churned sub-population compared bit-for-bit
+	// against a static run of the same seed.
+	Compared       int
+	AuditIdentical bool
+	// Elasticity accounting.
+	DrainedShard     string
+	AddedShards      int
+	RebalancedFrames uint64
+	PriorityFrames   uint64
+	ShedFrames       uint64
+	LostFrames       int
+	ItemsPerSec      float64
+	// Rollout leg: joiners arrive around a staged rollout and the whole
+	// elastic fleet must converge on the published version, which then
+	// becomes the ingest floor.
+	RolloutConverged bool
+	MinVersion       uint64
+}
+
+// e12Fingerprint reduces a device result to the audit counters the churn
+// invariant protects.
+func e12Fingerprint(r *core.DeviceResult) string {
+	if r == nil {
+		return "<nil>"
+	}
+	if r.Session != nil {
+		a := r.Session.CloudAudit
+		return fmt.Sprintf("s:%d/%d/%d/%d/%d", a.Events, a.TokensSeen,
+			a.SensitiveTokens, a.AudioBytes, len(r.Session.Utterances))
+	}
+	c := r.Camera
+	return fmt.Sprintf("c:%d/%d/%d/%d", c.Frames, c.PersonFrames,
+		c.ForwardedFrames, c.ForwardedPersons)
+}
+
+// E12ElasticFleet is the elastic-churn experiment. Leg one: an attested
+// 64-device fleet runs once statically and once with 30% joins, 30%
+// leaves and a mid-run rebalance (drain shard-00, add a weight-2 shard at
+// the halfway point); the claims under test are zero frames lost to the
+// rebalance, priority (doorbell/flagged-event) frames never shed, and —
+// the invariant — bit-identical audit counters for every device that did
+// not churn. Leg two: joiners arrive around a staged model rollout and
+// the elastic fleet must still converge on the published version, with
+// the verifier's ingest floor raised behind it.
+func E12ElasticFleet(seed uint64) (*metrics.Table, E12Result, error) {
+	base := fleet.Config{
+		Devices:    64,
+		Shards:     4,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       seed,
+		FreqHz:     FreqHz,
+		Attest:     true,
+	}
+	static, err := fleet.Run(base)
+	if err != nil {
+		return nil, E12Result{}, fmt.Errorf("static fleet: %w", err)
+	}
+	elastic := base
+	elastic.Churn = &fleet.ChurnSpec{JoinFraction: 0.3, LeaveFraction: 0.3}
+	elastic.Rebalance = &fleet.RebalanceSpec{AtFraction: 0.5, DrainShard: 0, AddShards: 1, AddWeight: 2}
+	// The invariant leg keeps the fixed (never-shed) policy: a shedding
+	// policy's drops depend on host scheduling, and this leg asserts
+	// bit-identical audits. Shedding behaviour is pinned by the
+	// internal/cloud property tests and the snapshot smoke test.
+	res, err := fleet.Run(elastic)
+	if err != nil {
+		return nil, E12Result{}, fmt.Errorf("elastic fleet: %w", err)
+	}
+
+	out := E12Result{
+		Devices:          base.Devices,
+		Joined:           res.Joined,
+		Left:             res.Left,
+		AuditIdentical:   true,
+		RebalancedFrames: res.RebalancedFrames(),
+		PriorityFrames:   res.PriorityFrames(),
+		ShedFrames:       res.ShedFrames(),
+		LostFrames:       res.LostFrames(),
+		ItemsPerSec:      res.Throughput(),
+	}
+	if res.Rebalance != nil {
+		out.DrainedShard = res.Rebalance.DrainedShard
+		out.AddedShards = len(res.Rebalance.AddedShards)
+	}
+	left := make(map[int]bool, len(res.Leavers))
+	for _, i := range res.Leavers {
+		left[i] = true
+	}
+	for i := 0; i < base.Devices; i++ {
+		if left[i] {
+			continue
+		}
+		if e12Fingerprint(res.DeviceResults[i]) != e12Fingerprint(static.DeviceResults[i]) {
+			out.AuditIdentical = false
+			break
+		}
+		out.Compared++
+	}
+
+	// Leg two: churned joins against a staged rollout.
+	rollout := base
+	rollout.Devices = 48
+	rollout.Rollout = &fleet.RolloutSpec{CanaryFraction: 0.1}
+	rollout.Churn = &fleet.ChurnSpec{JoinFraction: 0.3}
+	rres, err := fleet.Run(rollout)
+	if err != nil {
+		return nil, E12Result{}, fmt.Errorf("elastic rollout fleet: %w", err)
+	}
+	if rres.Rollout != nil {
+		out.RolloutConverged = rres.Rollout.Converged
+		out.MinVersion = rres.Rollout.MinVersion
+	}
+
+	tbl := metrics.NewTable("E12: elastic fleet (30% churn, mid-run drain + weighted add)",
+		"devices", "joined", "left", "non-churned identical", "drained", "added",
+		"rebal frames", "prio frames", "shed", "lost", "items/s(wall)",
+		"rollout converged", "min-ver")
+	tbl.AddRow(out.Devices, out.Joined, out.Left,
+		fmt.Sprintf("%v (%d compared)", out.AuditIdentical, out.Compared), out.DrainedShard, out.AddedShards,
+		out.RebalancedFrames, out.PriorityFrames, out.ShedFrames, out.LostFrames,
+		out.ItemsPerSec, out.RolloutConverged, out.MinVersion)
+	if !out.AuditIdentical {
+		return tbl, out, fmt.Errorf("elastic fleet: non-churned sub-population diverged from the static run")
+	}
+	return tbl, out, nil
+}
+
 // E11Result is the attested-rollout experiment outcome.
 type E11Result struct {
 	Devices         int

@@ -47,6 +47,24 @@ type RolloutReport struct {
 	// MinVersion is the fleet minimum the verifier enforces at ingest
 	// after the rollout opened (0 if the rollout never completed).
 	MinVersion uint64
+	// AbortReason is why the rollout aborted ("" if it was never
+	// aborted, or aborted only after opening fleet-wide).
+	AbortReason string
+	// Rollbacks records every device held on (or returned to) the base
+	// pack because the rollout aborted — the structured trail an aborted
+	// rollout must leave instead of a silently stale fleet.
+	Rollbacks []RollbackRecord
+}
+
+// RollbackRecord attributes one device's stale pack to a rollout abort.
+type RollbackRecord struct {
+	// Device is the affected device ID.
+	Device string
+	// FromVersion is the pack version the device stays on;
+	// ToVersion the version it was destined for.
+	FromVersion, ToVersion uint64
+	// Reason is the rollout's abort reason.
+	Reason string
 }
 
 // attestState bundles the run's attestation/rollout machinery.
@@ -60,6 +78,9 @@ type attestState struct {
 	// device, and reused for every per-device manifest.
 	baseDigest attest.Digest
 	nextDigest attest.Digest
+
+	mu        sync.Mutex
+	rollbacks []RollbackRecord
 }
 
 // newAttestState enrolls the population's keys, builds the verifier and
@@ -212,7 +233,11 @@ func (st *attestState) handshake(d *core.Device, id string) error {
 // observes convergence. Only cohort members can be waiting here, and a
 // cohort slot is denied only once every slot is granted to a device
 // that started earlier, so the bounded worker pool cannot deadlock.
-func (st *attestState) converge(d *core.Device, id string) error {
+//
+// A leaving device reports its outcome (its truncated workload did
+// complete on its granted version) but never waits for the verdict —
+// it is departing, and a blocked leaver could wedge the worker pool.
+func (st *attestState) converge(d *core.Device, id string, leaving bool) error {
 	if st.rollout == nil || d.Spec.Mode != core.ModeSecureFilter {
 		return nil
 	}
@@ -220,13 +245,29 @@ func (st *attestState) converge(d *core.Device, id string) error {
 	if d.ModelVersion() >= st.rollout.LatestVersion() {
 		return nil
 	}
+	if leaving {
+		return nil
+	}
 	if !st.rollout.AwaitFull() {
-		return nil // rollout aborted; keep the base pack
+		// Rollout aborted: the device keeps the base pack, and the abort
+		// leaves a structured trail instead of a silently stale fleet.
+		_, reason := st.rollout.Aborted()
+		st.recordRollback(id, d.ModelVersion(), st.rollout.LatestVersion(), reason)
+		return nil
 	}
 	if err := st.provision(d, id); err != nil {
 		return err
 	}
 	return st.handshake(d, id)
+}
+
+// recordRollback appends one abort-attributed rollback record.
+func (st *attestState) recordRollback(id string, from, to uint64, reason string) {
+	st.mu.Lock()
+	st.rollbacks = append(st.rollbacks, RollbackRecord{
+		Device: id, FromVersion: from, ToVersion: to, Reason: reason,
+	})
+	st.mu.Unlock()
 }
 
 // rogueEndpoint is an adversarial client that registered an endpoint on
@@ -294,6 +335,14 @@ func fillAttestResult(res *Result, cfg Config, specs []core.DeviceSpec, st *atte
 		res.ModelVersions[rep.ToVersion] > 0
 	if st.rollout.Full() {
 		rep.MinVersion = st.next.Version // enforced at ingest; see Run
+	}
+	st.mu.Lock()
+	rep.Rollbacks = append([]RollbackRecord(nil), st.rollbacks...)
+	st.mu.Unlock()
+	if len(rep.Rollbacks) > 0 {
+		rep.AbortReason = rep.Rollbacks[0].Reason
+	} else if aborted, reason := st.rollout.Aborted(); aborted && !st.rollout.Full() {
+		rep.AbortReason = reason
 	}
 	res.Rollout = rep
 }

@@ -1,0 +1,272 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fingerprint reduces one device's run to the counters the churn
+// invariant protects: everything the provider learned from it plus its
+// own outcome tallies.
+func fingerprint(r *core.DeviceResult) string {
+	if r == nil {
+		return "<nil>"
+	}
+	if r.Session != nil {
+		a := r.Session.CloudAudit
+		forwarded, flagged := 0, 0
+		for _, u := range r.Session.Utterances {
+			if u.Forwarded {
+				forwarded++
+			}
+			if u.Flagged {
+				flagged++
+			}
+		}
+		return fmt.Sprintf("speaker events=%d tokens=%d sens=%d bytes=%d utts=%d fwd=%d flag=%d radio=%d",
+			a.Events, a.TokensSeen, a.SensitiveTokens, a.AudioBytes,
+			len(r.Session.Utterances), forwarded, flagged, r.Session.RadioBytes)
+	}
+	c := r.Camera
+	return fmt.Sprintf("doorbell frames=%d persons=%d fwd=%d fwdPersons=%d blocked=%d",
+		c.Frames, c.PersonFrames, c.ForwardedFrames, c.ForwardedPersons, c.BlockedEmpties)
+}
+
+// TestChurnInvariant is the tentpole's correctness claim: run the same
+// fleet twice — once static, once with 25% joins, 25% leaves, a mid-run
+// shard drain and a weighted shard addition — and every device that did
+// not churn must produce bit-identical audit counters. Rebalancing and
+// churn may move traffic; they may never change it.
+func TestChurnInvariant(t *testing.T) {
+	base := Config{
+		Devices:    32,
+		Shards:     4,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       13,
+		Attest:     true,
+	}
+	static, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	churned := base
+	churned.Churn = &ChurnSpec{JoinFraction: 0.25, LeaveFraction: 0.25}
+	churned.Rebalance = &RebalanceSpec{AtFraction: 0.5, DrainShard: 0, AddShards: 1, AddWeight: 2}
+	elastic, err := Run(churned)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if elastic.Joined == 0 || elastic.Left == 0 {
+		t.Fatalf("churn did not churn: joined %d, left %d", elastic.Joined, elastic.Left)
+	}
+	if elastic.LostFrames() != 0 {
+		t.Fatalf("lost %d frames under churn", elastic.LostFrames())
+	}
+	if elastic.Audit.Events != elastic.ExpectedCloudEvents-int(elastic.ShedFrames()) {
+		t.Fatalf("audit events %d, expected %d (departed audits lost?)",
+			elastic.Audit.Events, elastic.ExpectedCloudEvents)
+	}
+	if elastic.Rebalance == nil || !elastic.Rebalance.Fired ||
+		elastic.Rebalance.DrainedShard != "shard-00" || len(elastic.Rebalance.AddedShards) != 1 {
+		t.Fatalf("rebalance did not run as scheduled: %+v", elastic.Rebalance)
+	}
+	sawDrained := false
+	for _, s := range elastic.ShardStats {
+		sawDrained = sawDrained || s.Drained
+	}
+	if !sawDrained {
+		t.Fatal("drained shard missing from stats")
+	}
+
+	left := make(map[int]bool, len(elastic.Leavers))
+	for _, i := range elastic.Leavers {
+		left[i] = true
+	}
+	compared := 0
+	for i := 0; i < base.Devices; i++ {
+		if left[i] {
+			continue
+		}
+		if got, want := fingerprint(elastic.DeviceResults[i]), fingerprint(static.DeviceResults[i]); got != want {
+			t.Fatalf("non-churned device %d diverged under churn:\n churn: %s\nstatic: %s", i, got, want)
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Fatal("no non-churned devices compared")
+	}
+
+	// Leavers departed cleanly: truncated workloads, released sessions.
+	for _, i := range elastic.Leavers {
+		res := elastic.DeviceResults[i]
+		if res.Session != nil && len(res.Session.Utterances) >= base.Utterances {
+			t.Fatalf("leaver %d processed a full workload (%d items)", i, len(res.Session.Utterances))
+		}
+	}
+	// Released sessions are gone from the verifier's view: every device
+	// that attests (all but baseline doorbells, which never uplink) and
+	// did not leave is still attested; every leaver is released.
+	want := 0
+	for i, res := range elastic.DeviceResults {
+		attests := !(res.Spec.Kind == core.DeviceDoorbell && res.Spec.Mode == core.ModeBaseline)
+		if attests && !left[i] {
+			want++
+		}
+	}
+	if elastic.AttestedDevices != want {
+		t.Fatalf("attested %d devices at end of run, want %d (leavers released)",
+			elastic.AttestedDevices, want)
+	}
+	// The priority lane carried the doorbell (flagged-event) traffic and
+	// nothing was shed from it — or at all, at this load.
+	if elastic.PriorityFrames() == 0 {
+		t.Fatal("no frames rode the priority lane")
+	}
+	if elastic.ShedFrames() != 0 {
+		t.Fatalf("fixed policy shed %d frames", elastic.ShedFrames())
+	}
+}
+
+// TestChurnDeterminism: the same churned config reruns to the same
+// aggregate accounting (arrival order is seeded, not scheduled).
+func TestChurnDeterminism(t *testing.T) {
+	cfg := Config{
+		Devices:    16,
+		Shards:     3,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       5,
+		Churn:      &ChurnSpec{JoinFraction: 0.3, LeaveFraction: 0.2},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Churn = &ChurnSpec{JoinFraction: 0.3, LeaveFraction: 0.2}
+	b, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Joined != b.Joined || a.Left != b.Left {
+		t.Fatalf("churn counts differ: %d/%d vs %d/%d", a.Joined, a.Left, b.Joined, b.Left)
+	}
+	if a.Audit.Events != b.Audit.Events || a.Audit.TokensSeen != b.Audit.TokensSeen ||
+		a.Audit.SensitiveTokens != b.Audit.SensitiveTokens || a.Audit.AudioBytes != b.Audit.AudioBytes {
+		t.Fatalf("audits differ across identical churned seeds:\n%+v\n%+v", a.Audit, b.Audit)
+	}
+	for i := range a.DeviceResults {
+		if got, want := fingerprint(a.DeviceResults[i]), fingerprint(b.DeviceResults[i]); got != want {
+			t.Fatalf("device %d differs across reruns:\n%s\n%s", i, got, want)
+		}
+	}
+}
+
+// TestJoinersAttestAtCurrentMinVersion: joiners arriving around a staged
+// rollout run the full provision→attest→handshake flow against the
+// verifier's state at join time, and the whole elastic fleet converges
+// on the published version — which then becomes the ingest floor.
+func TestJoinersAttestAtCurrentMinVersion(t *testing.T) {
+	res, err := Run(Config{
+		Devices:    24,
+		Shards:     3,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       17,
+		Rollout:    &RolloutSpec{CanaryFraction: 0.1},
+		Churn:      &ChurnSpec{JoinFraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Joined == 0 {
+		t.Fatal("no joiners")
+	}
+	if res.Rollout == nil || !res.Rollout.Converged {
+		t.Fatalf("elastic rollout did not converge: %+v versions %v", res.Rollout, res.ModelVersions)
+	}
+	if res.Rollout.MinVersion != res.Rollout.ToVersion {
+		t.Fatalf("ingest floor %d, want %d", res.Rollout.MinVersion, res.Rollout.ToVersion)
+	}
+	if res.LostFrames() != 0 {
+		t.Fatalf("lost %d frames", res.LostFrames())
+	}
+	if len(res.ModelVersions) != 1 || res.ModelVersions[res.Rollout.ToVersion] == 0 {
+		t.Fatalf("fleet (joiners included) not converged: %v", res.ModelVersions)
+	}
+}
+
+// TestRolloutAbortEmitsRollbacks is the PR's bugfix regression test:
+// Rollout.Abort used to leave devices silently on the base pack; now
+// every device held back by an abort leaves a structured rollback record
+// with the abort reason.
+func TestRolloutAbortEmitsRollbacks(t *testing.T) {
+	cfg := Config{
+		Devices:          4,
+		DoorbellFraction: -1,
+		Mix:              [3]int{0, 0, 1}, // all secure-filter speakers
+		Utterances:       1,
+		Seed:             9,
+		Rollout:          &RolloutSpec{CanaryFraction: 0.25},
+	}
+	specs, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cfg.fillDefaults()
+	if err := core.Pretrain(specs); err != nil {
+		t.Fatal(err)
+	}
+	st, err := newAttestState(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A phantom canary takes the single slot, so the real device is held
+	// on the base pack; then the canary "fails" and the rollout aborts.
+	_ = st.rollout.Target("phantom-canary")
+	d, err := core.NewDevice(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := specs[0].DeviceID
+	if err := st.provision(d, id); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ModelVersion(); got != st.base.Version {
+		t.Fatalf("held device at v%d, want base v%d", got, st.base.Version)
+	}
+	st.rollout.Abort("canary failed healthcheck")
+	if err := st.converge(d, id, false); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(st.rollbacks) != 1 {
+		t.Fatalf("rollback records: %+v, want 1", st.rollbacks)
+	}
+	rb := st.rollbacks[0]
+	if rb.Device != id || rb.FromVersion != st.base.Version ||
+		rb.ToVersion != st.next.Version || rb.Reason != "canary failed healthcheck" {
+		t.Fatalf("bad rollback record: %+v", rb)
+	}
+
+	// A leaver never blocks on the verdict even while the rollout is
+	// still staged (regression guard for worker-pool wedging).
+	d2, err := core.NewDevice(specs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.provision(d2, specs[1].DeviceID); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.converge(d2, specs[1].DeviceID, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.rollbacks) != 1 {
+		t.Fatalf("leaver must not add a rollback record: %+v", st.rollbacks)
+	}
+}

@@ -87,6 +87,24 @@ type Config struct {
 	// FreqHz is the modelled core frequency; default 1 GHz.
 	FreqHz uint64
 
+	// Churn drives mid-run population churn: joiners that arrive while
+	// the base population is processing (full provision → attest →
+	// handshake on arrival) and leavers that depart early, releasing
+	// their sessions cleanly. Nil means a static population.
+	Churn *ChurnSpec
+	// Rebalance schedules a mid-run ingest-tier rebalance (add weighted
+	// shards and/or drain one) at a configurable point in the run. Nil
+	// means a static tier.
+	Rebalance *RebalanceSpec
+	// Policy selects the per-shard admission policy: "" or "fixed"
+	// (blocking fixed-depth queue, the PR-1 behaviour), "shed"
+	// (load-shedding above the queue high-water mark), "fair" (per-tenant
+	// fair share). Priority frames are never shed under any policy.
+	Policy string
+	// Tenants is the number of billing tenants device traffic is striped
+	// across (the fair-share policy's unit of accounting); default 4.
+	Tenants int
+
 	// Attest enables remote attestation: every device produces TA-signed
 	// evidence before its endpoint joins the ring, and the ingest tier
 	// rejects frames from unattested or stale-model devices.
@@ -163,6 +181,22 @@ func (c *Config) fillDefaults() error {
 	if c.FreqHz == 0 {
 		c.FreqHz = 1_000_000_000
 	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if _, ok := cloud.PolicyByName(c.Policy); !ok {
+		return fmt.Errorf("%w: admission policy %q", ErrBadConfig, c.Policy)
+	}
+	if c.Churn != nil {
+		if err := c.Churn.fillDefaults(c.Seed); err != nil {
+			return err
+		}
+	}
+	if c.Rebalance != nil {
+		if err := c.Rebalance.fillDefaults(c.Shards); err != nil {
+			return err
+		}
+	}
 	if c.Rollout != nil {
 		c.Attest = true
 		if c.Rollout.CanaryFraction <= 0 {
@@ -186,6 +220,28 @@ func (c *Config) fillDefaults() error {
 // DeviceID names fleet member i on the ingest tier.
 func DeviceID(i int) string { return fmt.Sprintf("device-%05d", i) }
 
+// memberSpec derives the identity fields every fleet member — base
+// population and churn joiners alike — gets the same way from its
+// global index: device seed, shared model seed, attestation enrollment.
+// Kind and mode are assigned by the caller's interleaving loop.
+func memberSpec(cfg Config, i int) core.DeviceSpec {
+	spec := core.DeviceSpec{
+		Seed:      core.DeriveSeed(cfg.Seed, core.SaltDeviceSeed, i),
+		ModelSeed: cfg.Seed,
+		FreqHz:    cfg.FreqHz,
+		Batch:     cfg.Batch,
+		DeviceID:  DeviceID(i),
+	}
+	if cfg.Attest {
+		// Enrollment: the device's attestation-key seed is derived from
+		// the root seed exactly like its other per-device streams; the
+		// verifier derives the same key from the same registry.
+		spec.AttestKeySeed = core.DeriveSeed(cfg.Seed, core.SaltAttestKey, i)
+		spec.ModelVersion = 1
+	}
+	return spec
+}
+
 // Plan lays out the population deterministically: device i's kind comes
 // from the doorbell fraction, its mode from the weighted mix, its seed
 // from the root seed. The shared ModelSeed models one provider-trained
@@ -203,20 +259,7 @@ func Plan(cfg Config) ([]core.DeviceSpec, error) {
 	speakerModes := weightedModes(cfg.Mix)
 	nSpeaker, nDoorbell := 0, 0
 	for i := range specs {
-		spec := core.DeviceSpec{
-			Seed:      core.DeriveSeed(cfg.Seed, core.SaltDeviceSeed, i),
-			ModelSeed: cfg.Seed,
-			FreqHz:    cfg.FreqHz,
-			Batch:     cfg.Batch,
-			DeviceID:  DeviceID(i),
-		}
-		if cfg.Attest {
-			// Enrollment: the device's attestation-key seed is derived from
-			// the root seed exactly like its other per-device streams; the
-			// verifier derives the same key from the same registry.
-			spec.AttestKeySeed = core.DeriveSeed(cfg.Seed, core.SaltAttestKey, i)
-			spec.ModelVersion = 1
-		}
+		spec := memberSpec(cfg, i)
 		// Interleave doorbells evenly through the population.
 		if doorbells > 0 && i%stride == 0 && nDoorbell < doorbells {
 			spec.Kind = core.DeviceDoorbell
@@ -289,10 +332,31 @@ type Result struct {
 	// Latency merges every device's per-item recorder.
 	Latency *metrics.Recorder
 
-	// Audit is the cross-shard aggregate of everything the provider
-	// tier ingested; ShardStats the per-shard counters.
+	// Audit is the cross-shard aggregate of everything the provider tier
+	// ingested — including what departed (churned-out) devices delivered
+	// before releasing their endpoints; ShardStats the per-shard counters
+	// (drained shards appear with Drained=true).
 	Audit      cloud.Audit
 	ShardStats []cloud.ShardStats
+
+	// DeviceResults holds every device's per-run outcome, indexed like
+	// the population plan (base devices 0..Devices-1, then joiners).
+	// The churn invariant is checked against these: a non-churned
+	// device's result is bit-identical to its result in a static run.
+	DeviceResults []*core.DeviceResult
+
+	// Churn/elasticity observability (zero values on static runs).
+
+	// Joined and Left count mid-run arrivals and clean departures;
+	// Leavers lists the departed base-device indices (sorted), so the
+	// non-churned sub-population is recoverable from the result.
+	Joined, Left int
+	Leavers      []int
+	// PolicyName is the admission policy the ingest tier ran.
+	PolicyName string
+	// Rebalance summarizes the scheduled mid-run rebalance, if one was
+	// configured.
+	Rebalance *RebalanceReport
 
 	// ExpectedCloudEvents is the sum of per-device expectations; a lossless
 	// ingest tier has Audit.Events == ExpectedCloudEvents and zero shard
@@ -321,7 +385,8 @@ type Result struct {
 	UnattestedIngested int
 }
 
-// IngestedFrames sums frames processed across shards.
+// IngestedFrames sums frames processed across shards (drained shards
+// included — their pre-drain frames are retired, not forgotten).
 func (r *Result) IngestedFrames() uint64 {
 	var n uint64
 	for _, s := range r.ShardStats {
@@ -330,9 +395,40 @@ func (r *Result) IngestedFrames() uint64 {
 	return n
 }
 
-// LostFrames is the gap between emitted and ingested cloud events.
+// ShedFrames sums frames the admission policy dropped across shards.
+func (r *Result) ShedFrames() uint64 {
+	var n uint64
+	for _, s := range r.ShardStats {
+		n += s.Shed
+	}
+	return n
+}
+
+// PriorityFrames sums frames admitted through the priority lane.
+func (r *Result) PriorityFrames() uint64 {
+	var n uint64
+	for _, s := range r.ShardStats {
+		n += s.Prioritized
+	}
+	return n
+}
+
+// RebalancedFrames sums frames redirected to a new owner after a ring
+// change raced their delivery.
+func (r *Result) RebalancedFrames() uint64 {
+	var n uint64
+	for _, s := range r.ShardStats {
+		n += s.Rebalanced
+	}
+	return n
+}
+
+// LostFrames is the gap between emitted and accounted-for cloud events:
+// every emitted frame must be either ingested by an endpoint or
+// explicitly shed by the admission policy. Anything else — e.g. a frame
+// dropped by a rebalance — is a loss.
 func (r *Result) LostFrames() int {
-	return r.ExpectedCloudEvents - int(r.IngestedFrames())
+	return r.ExpectedCloudEvents - int(r.IngestedFrames()) - int(r.ShedFrames())
 }
 
 // Throughput returns items/s over the run phase.
@@ -376,6 +472,15 @@ func (r *Result) GroupKeys() []GroupKey {
 // per root seed; rollout runs keep every aggregate invariant (zero lost
 // frames, converged versions) but which devices serve as canaries
 // depends on worker scheduling.
+//
+// With Config.Churn the population is elastic: joiners arrive mid-run
+// and run the same full per-device flow against the verifier's *current*
+// state (a joiner after the rollout opened is provisioned to, and gated
+// at, the raised minimum version), and leavers depart early — audit
+// folded into the run accounting, endpoint deregistered, attested
+// session released. With Config.Rebalance the ingest tier itself churns
+// mid-run (weighted shards added, a shard drained) under live traffic.
+// Churn and rebalance never change a non-churned device's results.
 func Run(cfg Config) (*Result, error) {
 	specs, err := Plan(cfg)
 	if err != nil {
@@ -383,16 +488,25 @@ func Run(cfg Config) (*Result, error) {
 	}
 	_ = cfg.fillDefaults() // Plan validated; normalize our copy too
 
+	var joiners []core.DeviceSpec
+	if cfg.Churn != nil {
+		joiners = planJoiners(cfg, specs)
+	}
+	all := specs
+	if len(joiners) > 0 {
+		all = append(append(make([]core.DeviceSpec, 0, len(specs)+len(joiners)), specs...), joiners...)
+	}
+
 	// Build phase: train the shared model pack once up front. Every
 	// lazily constructed device below hits these caches. Rollout packs
 	// are trained here too — publishing is a provider-side build step.
 	buildStart := time.Now()
-	if err := core.Pretrain(specs); err != nil {
+	if err := core.Pretrain(all); err != nil {
 		return nil, err
 	}
 	var st *attestState
 	if cfg.Attest {
-		if st, err = newAttestState(cfg, specs); err != nil {
+		if st, err = newAttestState(cfg, all); err != nil {
 			return nil, err
 		}
 	}
@@ -408,28 +522,51 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer router.Close()
+	policy, _ := cloud.PolicyByName(cfg.Policy) // validated in fillDefaults
+	router.SetPolicy(policy)
 	if st != nil {
 		router.SetGate(st.verifier)
 		if st.rollout != nil {
-			defer st.rollout.Abort() // wake any waiter on early return
+			// Wake any waiter on early return.
+			defer st.rollout.Abort("run ended before the rollout opened")
 		}
 	}
 
 	// Run phase: construct each device on first workload item, register
 	// its endpoint on the ring, process, and drop the pipeline. The
-	// endpoints stay registered for the post-run audit.
-	results := make([]*core.DeviceResult, len(specs))
+	// endpoints stay registered for the post-run audit (leavers excepted:
+	// their audit is folded into the run accounting at departure).
+	r := &runner{cfg: cfg, st: st, router: router, results: make([]*core.DeviceResult, len(all))}
+	order := make([]int, len(all))
+	for i := range order {
+		order[i] = i
+	}
+	if cfg.Churn != nil {
+		r.churn = newChurnPlan(cfg, len(specs), len(joiners))
+		order = r.churn.arrival
+	}
+	if cfg.Rebalance != nil {
+		r.reb = newRebalancer(cfg, router, len(all))
+	}
 	runStart := time.Now()
-	if err := eachDevice(len(specs), cfg.DeviceWorkers, func(i int) error {
-		err := runOneDevice(cfg, specs[i], i, st, router, results)
+	if err := eachDevice(order, cfg.DeviceWorkers, func(i int) error {
+		err := r.runOne(all[i], i)
 		if err != nil && st != nil && st.rollout != nil {
-			st.rollout.Abort()
+			st.rollout.Abort(fmt.Sprintf("device failure: %v", err))
 		}
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	runWall := time.Since(runStart)
+	if r.reb != nil {
+		r.reb.mu.Lock()
+		rebErr := r.reb.err
+		r.reb.mu.Unlock()
+		if rebErr != nil {
+			return nil, rebErr
+		}
+	}
 
 	// The rollout completed: raise the fleet's minimum admitted model
 	// version, so from here on a straggler still attested at the base
@@ -444,21 +581,36 @@ func Run(cfg Config) (*Result, error) {
 	if st != nil {
 		rogueAttempts, rogueRejected, unattestedIngested = runRogues(cfg, router)
 	}
-	res := aggregate(cfg, buildWall, runWall, results, router)
+	res := aggregate(cfg, buildWall, runWall, r, router)
+	res.Joined = len(joiners)
 	if st != nil {
 		res.RogueAttempts, res.RogueRejected, res.UnattestedIngested = rogueAttempts, rogueRejected, unattestedIngested
-		fillAttestResult(res, cfg, specs, st, router)
+		fillAttestResult(res, cfg, all, st, router)
 	}
 	return res, nil
 }
 
-// runOneDevice is the per-worker pipeline: workload → build → provision
-// to the rollout target → attested handshake → register → process →
-// rollout convergence.
-func runOneDevice(cfg Config, spec core.DeviceSpec, i int, st *attestState, router *cloud.Router, results []*core.DeviceResult) error {
-	w, err := workloadFor(cfg, spec, i)
+// runner carries the per-run shared state of the device workers.
+type runner struct {
+	cfg     Config
+	st      *attestState
+	router  *cloud.Router
+	results []*core.DeviceResult
+	churn   *churnPlan
+	reb     *rebalancer
+}
+
+// runOne is the per-worker pipeline: workload → build → provision to the
+// rollout target → attested handshake → register → process → rollout
+// convergence → (leavers) clean release.
+func (r *runner) runOne(spec core.DeviceSpec, i int) error {
+	w, err := workloadFor(r.cfg, spec, i)
 	if err != nil {
 		return fmt.Errorf("device %d workload: %w", i, err)
+	}
+	leaving := r.churn != nil && r.churn.leaver[i]
+	if leaving {
+		w = r.churn.truncateWorkload(w)
 	}
 	d, err := core.NewDevice(spec)
 	if err != nil {
@@ -466,38 +618,61 @@ func runOneDevice(cfg Config, spec core.DeviceSpec, i int, st *attestState, rout
 	}
 	id := spec.DeviceID
 	ep := d.CloudEndpoint()
-	if st != nil {
-		if err := st.provision(d, id); err != nil {
+	if r.st != nil {
+		if err := r.st.provision(d, id); err != nil {
 			return fmt.Errorf("device %d provision: %w", i, err)
 		}
 		if ep != nil {
-			if err := st.handshake(d, id); err != nil {
+			if err := r.st.handshake(d, id); err != nil {
 				return fmt.Errorf("device %d: %w", i, err)
 			}
 		}
 	}
 	if ep != nil {
-		router.Register(id, ep)
-		d.SetUplink(&cloud.Uplink{DeviceID: id, Router: router})
+		r.router.Register(id, ep)
+		d.SetUplink(&cloud.Uplink{DeviceID: id, Router: r.router, Meta: cloud.FrameMeta{
+			// The frontend reads tenant and traffic class from the
+			// connection, never from sealed content: doorbell events are
+			// the fleet's flagged/security traffic and ride the priority
+			// lane; speaker telemetry is bulk.
+			Tenant:   tenantFor(r.cfg, i),
+			Priority: spec.Kind == core.DeviceDoorbell,
+		}})
 	}
 	res, err := d.Run(w)
 	if err != nil {
 		return fmt.Errorf("device %d: %w", i, err)
 	}
-	if st != nil {
-		if err := st.converge(d, id); err != nil {
+	if r.st != nil {
+		if err := r.st.converge(d, id, leaving); err != nil {
 			return fmt.Errorf("device %d converge: %w", i, err)
 		}
 	}
-	results[i] = res
+	if leaving {
+		// Clean departure: account for what the provider saw from this
+		// device, hand the ring back its slot, release the attested
+		// session so the identity cannot keep ingesting.
+		if ep != nil {
+			r.churn.depart(ep.Audit())
+			r.router.Deregister(id)
+		}
+		if r.st != nil {
+			r.st.verifier.Release(id)
+		}
+		r.churn.noteLeft()
+	}
+	r.results[i] = res
+	if r.reb != nil {
+		r.reb.noteDone()
+	}
 	return nil
 }
 
-// eachDevice runs fn(0..n-1) on a bounded worker pool, returning the
-// first error.
-func eachDevice(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
+// eachDevice runs fn over the device indices in arrival order on a
+// bounded worker pool, returning the first error.
+func eachDevice(order []int, workers int, fn func(i int) error) error {
+	if workers > len(order) {
+		workers = len(order)
 	}
 	var (
 		wg       sync.WaitGroup
@@ -520,7 +695,7 @@ func eachDevice(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for _, i := range order {
 		mu.Lock()
 		failed := firstErr != nil
 		mu.Unlock()
@@ -558,15 +733,17 @@ func workloadFor(cfg Config, spec core.DeviceSpec, i int) (core.DeviceWorkload, 
 	return core.DeviceWorkload{Scenes: scenes}, nil
 }
 
-func aggregate(cfg Config, buildWall, runWall time.Duration, results []*core.DeviceResult, router *cloud.Router) *Result {
+func aggregate(cfg Config, buildWall, runWall time.Duration, r *runner, router *cloud.Router) *Result {
 	out := &Result{
-		Config:    cfg,
-		BuildWall: buildWall,
-		RunWall:   runWall,
-		Groups:    make(map[GroupKey]*GroupStats),
-		Latency:   metrics.NewRecorder(),
+		Config:        cfg,
+		BuildWall:     buildWall,
+		RunWall:       runWall,
+		Groups:        make(map[GroupKey]*GroupStats),
+		Latency:       metrics.NewRecorder(),
+		DeviceResults: r.results,
+		PolicyName:    router.Policy().Name(),
 	}
-	for _, res := range results {
+	for _, res := range r.results {
 		key := GroupKey{Kind: res.Spec.Kind, Mode: res.Spec.Mode}
 		g := out.Groups[key]
 		if g == nil {
@@ -591,5 +768,20 @@ func aggregate(cfg Config, buildWall, runWall time.Duration, results []*core.Dev
 	}
 	out.ShardStats = router.Stats()
 	out.Audit = router.Audit()
+	if r.churn != nil {
+		// Leavers deregistered their endpoints; what they delivered
+		// before departing was captured then and is folded in here.
+		r.churn.mu.Lock()
+		out.Audit = out.Audit.Merge(r.churn.departed)
+		out.Left = r.churn.left
+		r.churn.mu.Unlock()
+		for i := range r.churn.leaver {
+			out.Leavers = append(out.Leavers, i)
+		}
+		sort.Ints(out.Leavers)
+	}
+	if r.reb != nil {
+		out.Rebalance = r.reb.report()
+	}
 	return out
 }

@@ -23,6 +23,13 @@ var (
 	ErrUnknownService = errors.New("supplicant: unknown service")
 	// ErrNoRoute is returned when no network sink matches the target.
 	ErrNoRoute = errors.New("supplicant: no route to target")
+	// ErrShed marks a delivery the remote frontend refused under
+	// admission pressure (load shedding). It lives here, on the NetSink
+	// contract, so both sides of the daemon can classify it: sinks
+	// (cloud.ErrShed wraps it) signal "carried correctly, dropped by
+	// policy", and the daemon counts it as Stats.Shed rather than a
+	// transport error.
+	ErrShed = errors.New("supplicant: delivery shed by remote admission policy")
 )
 
 // NetSink receives payloads forwarded by the supplicant's network service
@@ -37,6 +44,10 @@ type Stats struct {
 	TimeGets uint64
 	Logs     uint64
 	Errors   uint64
+	// Shed counts deliveries the remote frontend dropped by admission
+	// policy (ErrShed) — payloads the daemon carried correctly, kept
+	// separate from transport Errors.
+	Shed uint64
 }
 
 // Supplicant is the RPC daemon instance.
@@ -117,7 +128,11 @@ func (s *Supplicant) netSend(req optee.RPCRequest) (optee.RPCResponse, error) {
 	reply, err := sink.Deliver(req.Payload)
 	if err != nil {
 		s.mu.Lock()
-		s.stats.Errors++
+		if errors.Is(err, ErrShed) {
+			s.stats.Shed++ // carried correctly, refused by policy — not a fault
+		} else {
+			s.stats.Errors++
+		}
 		s.mu.Unlock()
 		return optee.RPCResponse{}, fmt.Errorf("deliver to %q: %w", req.Target, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/optee"
@@ -48,6 +49,24 @@ func TestNetSendRoutesAndRecords(t *testing.T) {
 	}
 	if st := s.Stats(); st.NetSends != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestNetSendClassifiesShed: a delivery the remote frontend shed by
+// admission policy is counted as Shed, not as a transport error — the
+// daemon carried the payload correctly.
+func TestNetSendClassifiesShed(t *testing.T) {
+	s := newSupplicant()
+	sink := &fakeSink{err: fmt.Errorf("frontend says: %w", ErrShed)}
+	s.Route("cloud", sink)
+	_, err := s.HandleRPC(optee.RPCRequest{
+		Kind: optee.RPCNetSend, Target: "cloud", Payload: []byte("frame"),
+	})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("HandleRPC = %v, want ErrShed in chain", err)
+	}
+	if st := s.Stats(); st.Shed != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want Shed=1 Errors=0", st)
 	}
 }
 
