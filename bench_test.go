@@ -354,6 +354,24 @@ func BenchmarkE12ElasticFleet(b *testing.B) {
 	b.ReportMetric(float64(last.Compared), "devices-verified-identical")
 }
 
+// BenchmarkE13AttestationLifecycle wraps the attestation-lifecycle
+// experiment (static-vs-rotated invariant, revocation probes, per-tenant
+// federation) so the lifecycle control plane's overhead stays visible in
+// the perf harness.
+func BenchmarkE13AttestationLifecycle(b *testing.B) {
+	var last experiments.E13Result
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.E13AttestationLifecycle(experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ItemsPerSec, "items/s")
+	b.ReportMetric(float64(last.Rotated), "devices-rotated")
+	b.ReportMetric(float64(last.ProbeRejected), "revocation-probes-rejected")
+}
+
 // --- substrate micro-benchmarks (wall-clock health of the simulator) ------------
 
 func BenchmarkSubstrateSMC(b *testing.B) {

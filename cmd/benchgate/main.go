@@ -1,0 +1,160 @@
+// Command benchgate is the CI bench-regression gate: it parses `go test
+// -bench` output for the fleet benchmarks' wall-clock `items/s` metric
+// and compares each benchmark family's best point against the committed
+// perf trajectory (BENCH_fleet.json's `items_per_sec`). A family whose
+// best point falls more than the allowed fraction below the baseline
+// fails the gate — the committed snapshot and the benchmarks measure the
+// same worker-bound fleet pipeline, so they track each other across
+// code changes on the same runner class.
+//
+//	go test -run '^$' -bench 'BenchmarkFleetThroughput$|BenchmarkFleetChurn$' -benchtime 3x . | tee bench.txt
+//	go run ./cmd/benchgate -bench bench.txt -baseline BENCH_fleet.json -max-regress 0.25
+//
+// The family *best* is gated, not every point: sub-benchmarks span
+// configurations (16-device fleets, 30% churn) whose throughput differs
+// by design, and a config's inherent cost is not a regression. With
+// -warn-only (pull requests from forks, whose runners we do not control)
+// regressions are reported but the exit code stays 0. If the gate fires
+// on an intentional perf change, regenerate the baseline:
+//
+//	go run ./cmd/periguard-fleet -devices 1000 -shards 8 -json BENCH_fleet.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	benchPath := fs.String("bench", "", "path to captured `go test -bench` output")
+	basePath := fs.String("baseline", "BENCH_fleet.json", "committed snapshot holding the items_per_sec baseline")
+	maxRegress := fs.Float64("max-regress", 0.25, "allowed fractional drop below the baseline")
+	warnOnly := fs.Bool("warn-only", false, "report regressions without failing (forked-PR runners)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchPath == "" {
+		return fmt.Errorf("-bench is required")
+	}
+	benchOut, err := os.ReadFile(*benchPath)
+	if err != nil {
+		return err
+	}
+	baseline, err := readBaseline(*basePath)
+	if err != nil {
+		return err
+	}
+	results, err := gate(benchOut, baseline, *maxRegress)
+	if err != nil {
+		return err
+	}
+	failed := false
+	for _, r := range results {
+		status := "ok"
+		if r.Regressed {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s best %8.1f items/s  baseline %8.1f  floor %8.1f  %s\n",
+			r.Family, r.Best, baseline, baseline*(1-*maxRegress), status)
+	}
+	if failed {
+		if *warnOnly {
+			fmt.Println("bench regression detected (warn-only: not failing a forked-PR run)")
+			return nil
+		}
+		return fmt.Errorf("throughput regressed more than %.0f%% below %s; if intentional, regenerate the baseline (see command doc)",
+			*maxRegress*100, *basePath)
+	}
+	return nil
+}
+
+// families are the gated benchmark name prefixes (everything before the
+// first '/').
+var families = []string{"BenchmarkFleetThroughput", "BenchmarkFleetChurn"}
+
+// familyResult is one gated family's verdict.
+type familyResult struct {
+	Family    string
+	Best      float64 // best items/s across the family's sub-benchmarks
+	Regressed bool
+}
+
+// readBaseline extracts items_per_sec from the committed snapshot.
+func readBaseline(path string) (float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var snap struct {
+		ItemsPerSec float64 `json:"items_per_sec"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return 0, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if snap.ItemsPerSec <= 0 {
+		return 0, fmt.Errorf("baseline %s has no items_per_sec", path)
+	}
+	return snap.ItemsPerSec, nil
+}
+
+// gate parses the bench output and judges each family's best items/s
+// against the baseline floor. A family with no parsed points is an
+// error — a renamed or silently-skipped benchmark must not pass the
+// gate by absence.
+func gate(benchOut []byte, baseline, maxRegress float64) ([]familyResult, error) {
+	best := parseItemsPerSec(benchOut)
+	floor := baseline * (1 - maxRegress)
+	out := make([]familyResult, 0, len(families))
+	for _, fam := range families {
+		v, ok := best[fam]
+		if !ok {
+			return nil, fmt.Errorf("no %s items/s points in the bench output", fam)
+		}
+		out = append(out, familyResult{Family: fam, Best: v, Regressed: v < floor})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out, nil
+}
+
+// parseItemsPerSec scans `go test -bench` output lines for the items/s
+// ReportMetric and keeps the best value per benchmark family.
+func parseItemsPerSec(benchOut []byte) map[string]float64 {
+	best := make(map[string]float64)
+	for _, line := range strings.Split(string(benchOut), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		family := fields[0]
+		if i := strings.IndexByte(family, '/'); i >= 0 {
+			family = family[:i]
+		}
+		for i := 1; i < len(fields); i++ {
+			if fields[i] != "items/s" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			if v > best[family] {
+				best[family] = v
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFleetThroughput/devices=16/shards=2     3   31591668 ns/op   948.0 items/s   2138 virtual-us-p99/item
+BenchmarkFleetThroughput/devices=64/shards=8     3  120105906 ns/op   1083 items/s    2161 virtual-us-p99/item
+BenchmarkFleetChurn/churn=0%                     3  121848393 ns/op   1056 items/s    11.00 priority-frames
+BenchmarkFleetChurn/churn=30%                    3  146768288 ns/op   934.0 items/s   12.00 priority-frames
+BenchmarkSubstrateSMC-16                  1000000  100 ns/op
+PASS
+`
+
+func TestParseItemsPerSecKeepsFamilyBest(t *testing.T) {
+	best := parseItemsPerSec([]byte(sampleBench))
+	if got := best["BenchmarkFleetThroughput"]; got != 1083 {
+		t.Fatalf("throughput best = %v, want 1083", got)
+	}
+	if got := best["BenchmarkFleetChurn"]; got != 1056 {
+		t.Fatalf("churn best = %v, want 1056", got)
+	}
+	if _, ok := best["BenchmarkSubstrateSMC-16"]; ok {
+		t.Fatal("picked up an items/s value from a benchmark that reports none")
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	// Baseline 1200, 25% slack → floor 900: both families pass.
+	results, err := gate([]byte(sampleBench), 1200, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Regressed {
+			t.Fatalf("%s flagged at floor 900: %+v", r.Family, r)
+		}
+	}
+	// Tighter slack → floor 1068: the churn family (best 1056) fails,
+	// the throughput family (best 1083) still clears it.
+	results, err = gate([]byte(sampleBench), 1200, 0.11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[string]bool{}
+	for _, r := range results {
+		verdicts[r.Family] = r.Regressed
+	}
+	if verdicts["BenchmarkFleetChurn"] != true || verdicts["BenchmarkFleetThroughput"] != false {
+		t.Fatalf("verdicts at floor 1068: %v", verdicts)
+	}
+	// A family absent from the output is an error, not a silent pass.
+	if _, err := gate([]byte("BenchmarkFleetChurn/churn=0% 3 1 ns/op 1000 items/s\n"), 1200, 0.25); err == nil {
+		t.Fatal("missing family must fail the gate")
+	}
+}
+
+func TestRunAgainstCommittedBaseline(t *testing.T) {
+	baseline := filepath.Join("..", "..", "BENCH_fleet.json")
+	base, err := readBaseline(baseline)
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	// Synthesize bench output 10% below the committed trajectory: inside
+	// the shipped 25% slack, outside a 5% one — both exits exercised
+	// against the real baseline file.
+	lines := fmt.Sprintf(
+		"BenchmarkFleetThroughput/devices=64/shards=8 3 1 ns/op %.1f items/s\n"+
+			"BenchmarkFleetChurn/churn=0%% 3 1 ns/op %.1f items/s\n",
+		base*0.9, base*0.9)
+	bench := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(bench, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", bench, "-baseline", baseline}); err != nil {
+		t.Fatalf("gate at default slack: %v", err)
+	}
+	if err := run([]string{"-bench", bench, "-baseline", baseline, "-max-regress", "0.05"}); err == nil {
+		t.Fatal("a 10% drop must fail a 5% gate")
+	}
+	if err := run([]string{"-bench", bench, "-baseline", baseline, "-max-regress", "0.05", "-warn-only"}); err != nil {
+		t.Fatalf("warn-only must not fail: %v", err)
+	}
+}

@@ -45,6 +45,9 @@ func run(args []string) error {
 	rollout := fs.Bool("rollout", false, "stage an online model rollout during the run (implies -attest)")
 	canary := fs.Float64("canary", 0.1, "canary fraction of the secure population for -rollout")
 	rogues := fs.Int("rogues", 0, "unattested adversarial clients to throw at the ingest tier")
+	rotate := fs.Float64("rotate", 0, "fraction of the population whose attestation keys rotate mid-run (implies -attest)")
+	revoke := fs.Float64("revoke", 0, "fraction of the population revoked after completing, with probe frames that must be rejected (implies -attest)")
+	federate := fs.Bool("federate", false, "give every tenant its own attestation verifier, routed by the frame's tenant label (implies -attest)")
 	churn := fs.Float64("churn", 0, "mid-run churn rate: fraction of the population that joins AND leaves (0 = static)")
 	rebalance := fs.Bool("rebalance", false, "mid-run tier rebalance: drain shard-00 and add a weight-2 shard at 50% completion")
 	policy := fs.String("policy", "fixed", "admission policy: fixed (blocking queue), shed (load-shedding), fair (per-tenant fair share)")
@@ -84,9 +87,13 @@ func run(args []string) error {
 		Rogues:           *rogues,
 		Policy:           *policy,
 		Tenants:          *tenants,
+		Federate:         *federate,
 	}
 	if *rollout {
 		cfg.Rollout = &fleet.RolloutSpec{CanaryFraction: *canary}
+	}
+	if *rotate > 0 || *revoke > 0 {
+		cfg.Lifecycle = &fleet.LifecycleSpec{RotateFraction: *rotate, RevokeFraction: *revoke}
 	}
 	if *churn > 0 {
 		cfg.Churn = &fleet.ChurnSpec{JoinFraction: *churn, LeaveFraction: *churn}
@@ -145,6 +152,24 @@ func run(args []string) error {
 			"rogue frames %d/%d rejected, %d unattested events ingested\n",
 			res.AttestedDevices, versionString(res.ModelVersions),
 			res.RogueRejected, res.RogueAttempts, res.UnattestedIngested)
+	}
+	if res.Rotated > 0 || res.Revoked > 0 {
+		fmt.Printf("lifecycle: %d keys rotated (epochs %s), %d devices revoked, "+
+			"%d/%d post-revocation probes rejected\n",
+			res.Rotated, epochString(res.KeyEpochs),
+			res.Revoked, res.RevokeRejected, res.RevokeProbes)
+	}
+	if len(res.TenantAttested) > 0 {
+		tenants := make([]string, 0, len(res.TenantAttested))
+		for tnt := range res.TenantAttested {
+			tenants = append(tenants, tnt)
+		}
+		sort.Strings(tenants)
+		parts := make([]string, len(tenants))
+		for i, tnt := range tenants {
+			parts[i] = fmt.Sprintf("%s:%d", tnt, res.TenantAttested[tnt])
+		}
+		fmt.Printf("federation: attested per tenant %s\n", strings.Join(parts, " "))
 	}
 	if r := res.Rollout; r != nil {
 		fmt.Printf("rollout: v%d -> v%d, canary %d, converged %v, ingest minimum v%d\n",
@@ -207,6 +232,23 @@ type snapshot struct {
 	RogueAttempts      int            `json:"rogue_attempts,omitempty"`
 	RogueRejected      int            `json:"rogue_rejected,omitempty"`
 	UnattestedIngested int            `json:"unattested_ingested,omitempty"`
+
+	// Lifecycle/federation fields (omitted outside -rotate/-revoke and
+	// -federate runs respectively).
+	Lifecycle      *lifecycleJS   `json:"lifecycle,omitempty"`
+	TenantAttested map[string]int `json:"tenant_attested,omitempty"`
+}
+
+// lifecycleJS summarizes mid-run key rotation and revocation: rotated
+// devices re-attested per key epoch, revoked devices, and how many of
+// the post-revocation probe frames the frontend rejected (a correct gate
+// rejects all of them).
+type lifecycleJS struct {
+	Rotated       int            `json:"rotated"`
+	KeyEpochs     map[string]int `json:"key_epochs"`
+	Revoked       int            `json:"revoked"`
+	ProbeAttempts int            `json:"probe_attempts"`
+	ProbeRejected int            `json:"probe_rejected"`
 }
 
 type groupJS struct {
@@ -283,18 +325,23 @@ func versionKeys(in map[uint64]int) map[string]int {
 }
 
 // versionString renders a tally like "v1:3 v2:61" in version order.
-func versionString(in map[uint64]int) string {
+func versionString(in map[uint64]int) string { return tallyString(in, "v") }
+
+// epochString renders a key-epoch tally like "e0:53 e1:11".
+func epochString(in map[uint64]int) string { return tallyString(in, "e") }
+
+func tallyString(in map[uint64]int, prefix string) string {
 	if len(in) == 0 {
 		return "-"
 	}
-	versions := make([]uint64, 0, len(in))
-	for v := range in {
-		versions = append(versions, v)
+	keys := make([]uint64, 0, len(in))
+	for k := range in {
+		keys = append(keys, k)
 	}
-	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
-	parts := make([]string, len(versions))
-	for i, v := range versions {
-		parts[i] = fmt.Sprintf("v%d:%d", v, in[v])
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s%d:%d", prefix, k, in[k])
 	}
 	return strings.Join(parts, " ")
 }
@@ -327,6 +374,18 @@ func writeSnapshot(path string, res *fleet.Result) error {
 	}
 	if res.Joined > 0 || res.Left > 0 {
 		snap.Churn = &churnJS{Joined: res.Joined, Left: res.Left}
+	}
+	if res.Rotated > 0 || res.Revoked > 0 {
+		snap.Lifecycle = &lifecycleJS{
+			Rotated:       res.Rotated,
+			KeyEpochs:     versionKeys(res.KeyEpochs),
+			Revoked:       res.Revoked,
+			ProbeAttempts: res.RevokeProbes,
+			ProbeRejected: res.RevokeRejected,
+		}
+	}
+	if len(res.TenantAttested) > 0 {
+		snap.TenantAttested = res.TenantAttested
 	}
 	if rb := res.Rebalance; rb != nil {
 		snap.Rebalance = &rebalJS{

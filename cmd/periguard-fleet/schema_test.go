@@ -102,6 +102,7 @@ func TestSnapshotSmoke(t *testing.T) {
 	err := run([]string{
 		"-devices", "12", "-shards", "2", "-utterances", "2", "-frames", "2",
 		"-rollout", "-rogues", "2", "-churn", "0.3", "-rebalance",
+		"-rotate", "0.25", "-revoke", "0.15", "-federate", "-tenants", "2",
 		"-policy", "shed", "-json", path,
 	})
 	if err != nil {
@@ -139,5 +140,15 @@ func TestSnapshotSmoke(t *testing.T) {
 	}
 	if snap.Rollout == nil || snap.Rollout.Rollbacks == nil {
 		t.Fatalf("rollout block incomplete: %+v", snap.Rollout)
+	}
+	if snap.Lifecycle == nil || snap.Lifecycle.Rotated == 0 || snap.Lifecycle.Revoked == 0 {
+		t.Fatalf("lifecycle block missing or empty: %+v", snap.Lifecycle)
+	}
+	if snap.Lifecycle.ProbeRejected != snap.Lifecycle.ProbeAttempts {
+		t.Fatalf("revocation probes: %d/%d rejected",
+			snap.Lifecycle.ProbeRejected, snap.Lifecycle.ProbeAttempts)
+	}
+	if len(snap.TenantAttested) != 2 {
+		t.Fatalf("tenant_attested: %v", snap.TenantAttested)
 	}
 }

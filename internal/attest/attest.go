@@ -57,6 +57,16 @@ var (
 	ErrBadManifest = errors.New("attest: bad manifest")
 	// ErrBadPack is returned for undecodable or digest-mismatched packs.
 	ErrBadPack = errors.New("attest: bad model pack")
+	// ErrRevoked is returned by the admission gate (and by Verify) for
+	// devices on the revocation list: a revoked identity may not ingest,
+	// attest or rotate until it is reinstated.
+	ErrRevoked = errors.New("attest: device revoked")
+	// ErrKeyEpoch is returned when a report is signed under a key epoch
+	// the verifier no longer (or does not yet) accept.
+	ErrKeyEpoch = errors.New("attest: key epoch rejected")
+	// ErrBadRotation is returned for rotation tokens that fail to verify
+	// or do not advance the device's key epoch by exactly one.
+	ErrBadRotation = errors.New("attest: bad rotation token")
 )
 
 // DeviceKey is a device's symmetric attestation key, shared between the
@@ -64,12 +74,31 @@ var (
 type DeviceKey [32]byte
 
 // KeyFromSeed expands a derived seed (core.DeriveSeed output) into a
-// DeviceKey. Both the device and the verifier derive the same key from
-// the same enrollment seed.
+// DeviceKey — the device's epoch-0 enrollment key. Both the device and
+// the verifier derive the same key from the same enrollment seed.
 func KeyFromSeed(seed uint64) DeviceKey {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], seed)
 	return DeviceKey(sha256.Sum256(append([]byte("periguard-attest-key-v1:"), buf[:]...)))
+}
+
+// KeyForEpoch derives the attestation key for a key epoch from the
+// enrollment (epoch-0) key. Rotation advances a device one epoch at a
+// time: a leaked epoch key signs only until the next rotation, while the
+// enrollment key itself never travels — it lives with the device's
+// hardware unique key and the provisioning authority that enrolled it.
+func KeyForEpoch(base DeviceKey, epoch uint64) DeviceKey {
+	if epoch == 0 {
+		return base
+	}
+	h := hmac.New(sha256.New, base[:])
+	h.Write([]byte("periguard-key-epoch-v1"))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], epoch)
+	h.Write(buf[:])
+	var out DeviceKey
+	copy(out[:], h.Sum(nil))
+	return out
 }
 
 // Digest identifies a measured code image (a TA binary).
@@ -100,23 +129,29 @@ type Measurement struct {
 }
 
 // Report is one piece of attestation evidence: a measurement bound to a
-// challenge nonce and a device identity under the device key.
+// challenge nonce and a device identity under the device key. KeyEpoch
+// names the key epoch the MAC was produced under, so the verifier knows
+// which derived key to check — and can keep honoring the previous epoch
+// for the grace window a rotation opens.
 type Report struct {
 	DeviceID string
 	Nonce    Nonce
 	Measurement
-	MAC [32]byte
+	KeyEpoch uint64
+	MAC      [32]byte
 }
 
 // reportMAC computes the evidence MAC.
-func reportMAC(key DeviceKey, deviceID string, nonce Nonce, m Measurement) [32]byte {
+func reportMAC(key DeviceKey, deviceID string, nonce Nonce, m Measurement, epoch uint64) [32]byte {
 	h := hmac.New(sha256.New, key[:])
-	h.Write([]byte("periguard-report-v1"))
+	h.Write([]byte("periguard-report-v2"))
 	h.Write(nonce[:])
 	h.Write(m.Code[:])
-	var ver [8]byte
-	binary.LittleEndian.PutUint64(ver[:], m.ModelVersion)
-	h.Write(ver[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], m.ModelVersion)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], epoch)
+	h.Write(buf[:])
 	h.Write([]byte(deviceID))
 	var mac [32]byte
 	copy(mac[:], h.Sum(nil))
@@ -124,12 +159,14 @@ func reportMAC(key DeviceKey, deviceID string, nonce Nonce, m Measurement) [32]b
 }
 
 // Marshal serializes the report for transport through a TEE memref
-// parameter: nonce(16) | code(32) | version(8) | idlen(2) | id | mac(32).
+// parameter: nonce(16) | code(32) | version(8) | epoch(8) | idlen(2) |
+// id | mac(32).
 func (r Report) Marshal() []byte {
-	out := make([]byte, 0, 16+32+8+2+len(r.DeviceID)+32)
+	out := make([]byte, 0, 16+32+8+8+2+len(r.DeviceID)+32)
 	out = append(out, r.Nonce[:]...)
 	out = append(out, r.Code[:]...)
 	out = binary.LittleEndian.AppendUint64(out, r.ModelVersion)
+	out = binary.LittleEndian.AppendUint64(out, r.KeyEpoch)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(r.DeviceID)))
 	out = append(out, r.DeviceID...)
 	out = append(out, r.MAC[:]...)
@@ -139,14 +176,15 @@ func (r Report) Marshal() []byte {
 // UnmarshalReport parses a Marshal-ed report.
 func UnmarshalReport(b []byte) (Report, error) {
 	var r Report
-	const fixed = 16 + 32 + 8 + 2
+	const fixed = 16 + 32 + 8 + 8 + 2
 	if len(b) < fixed+32 {
 		return r, fmt.Errorf("%w: %d bytes", ErrBadReport, len(b))
 	}
 	copy(r.Nonce[:], b[:16])
 	copy(r.Code[:], b[16:48])
 	r.ModelVersion = binary.LittleEndian.Uint64(b[48:56])
-	idLen := int(binary.LittleEndian.Uint16(b[56:58]))
+	r.KeyEpoch = binary.LittleEndian.Uint64(b[56:64])
+	idLen := int(binary.LittleEndian.Uint16(b[64:66]))
 	if len(b) != fixed+idLen+32 {
 		return r, fmt.Errorf("%w: length mismatch", ErrBadReport)
 	}
@@ -162,25 +200,66 @@ func UnmarshalReport(b []byte) (Report, error) {
 // verifier's digest policy makes explicit).
 type Attestor struct {
 	deviceID string
-	key      DeviceKey
+	base     DeviceKey // epoch-0 enrollment key (stands in for the HUK)
+	epoch    uint64
+	key      DeviceKey // KeyForEpoch(base, epoch)
 }
 
-// NewAttestor binds a device identity to its key.
+// NewAttestor binds a device identity to its enrollment key (epoch 0).
 func NewAttestor(deviceID string, key DeviceKey) *Attestor {
-	return &Attestor{deviceID: deviceID, key: key}
+	return &Attestor{deviceID: deviceID, base: key, key: key}
+}
+
+// NewAttestorAtEpoch binds a device identity to its enrollment key with
+// the key already rotated to the given epoch (a device restoring a
+// sealed epoch record at boot).
+func NewAttestorAtEpoch(deviceID string, base DeviceKey, epoch uint64) *Attestor {
+	return &Attestor{deviceID: deviceID, base: base, epoch: epoch, key: KeyForEpoch(base, epoch)}
 }
 
 // DeviceID returns the bound identity.
 func (a *Attestor) DeviceID() string { return a.deviceID }
 
-// Attest signs the measurement over the challenge nonce.
+// Epoch returns the key epoch the attestor currently signs under.
+func (a *Attestor) Epoch() uint64 { return a.epoch }
+
+// AtEpoch returns the attestor advanced (or rewound) to the given
+// epoch's key — how a TA restores a sealed key-epoch record at boot.
+func (a *Attestor) AtEpoch(epoch uint64) *Attestor {
+	if epoch == a.epoch {
+		return a
+	}
+	return NewAttestorAtEpoch(a.deviceID, a.base, epoch)
+}
+
+// Attest signs the measurement over the challenge nonce with the current
+// epoch key.
 func (a *Attestor) Attest(nonce Nonce, m Measurement) Report {
 	return Report{
 		DeviceID:    a.deviceID,
 		Nonce:       nonce,
 		Measurement: m,
-		MAC:         reportMAC(a.key, a.deviceID, nonce, m),
+		KeyEpoch:    a.epoch,
+		MAC:         reportMAC(a.key, a.deviceID, nonce, m, a.epoch),
 	}
+}
+
+// Rotated redeems a rotation token: the token must MAC-verify under the
+// attestor's *current* key and advance the epoch by exactly one. The
+// attestor is immutable; the caller (a TA, under its own lock) swaps in
+// the returned successor so concurrent report signing never observes a
+// half-rotated key.
+func (a *Attestor) Rotated(tok RotationToken) (*Attestor, error) {
+	if tok.DeviceID != a.deviceID {
+		return nil, fmt.Errorf("%w: token for %q, device is %q", ErrBadRotation, tok.DeviceID, a.deviceID)
+	}
+	if tok.NewEpoch != a.epoch+1 {
+		return nil, fmt.Errorf("%w: token epoch %d, device at %d", ErrBadRotation, tok.NewEpoch, a.epoch)
+	}
+	if !hmac.Equal(tok.MAC[:], rotationMAC(a.key, a.deviceID, tok.NewEpoch)) {
+		return nil, fmt.Errorf("%w: bad MAC", ErrBadRotation)
+	}
+	return NewAttestorAtEpoch(a.deviceID, a.base, tok.NewEpoch), nil
 }
 
 // VerifyManifest checks a rollout manifest token against the device key

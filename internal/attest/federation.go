@@ -1,0 +1,106 @@
+package attest
+
+// Per-tenant verifier federation. A multi-tenant provider cannot run one
+// trust root for everyone: tenants enroll their own devices, accept
+// different TA builds, raise their model-version floor on their own
+// schedule and revoke their own compromised devices. Federation is the
+// routing layer that gives each tenant its own Verifier — digest policy,
+// minimum version, key epochs and revocation list all tenant-owned —
+// while presenting the ingest tier with a single admission gate keyed by
+// the tenant label the frontend already reads from the connection
+// (cloud.FrameMeta.Tenant; sealed frame content never drives routing).
+//
+// Frames with no tenant label (or a label no verifier claims) fall back
+// to the fallback verifier. The fleet wires an empty verifier there, so
+// an unlabelled or mislabelled client is rejected as unattested rather
+// than silently admitted under someone else's policy.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Federation routes attestation and admission by tenant. It implements
+// cloud.AdmissionGate (Admit, via the fallback) and the tenant-aware
+// extension cloud.TenantAdmissionGate (AdmitTenant).
+type Federation struct {
+	mu       sync.RWMutex
+	tenants  map[string]*Verifier
+	fallback *Verifier
+}
+
+// NewFederation creates a federation with the given fallback verifier
+// for unlabelled or unclaimed tenants (nil installs an empty verifier
+// that admits nothing).
+func NewFederation(fallback *Verifier) *Federation {
+	if fallback == nil {
+		fallback = NewVerifier(0, func(string) (DeviceKey, bool) { return DeviceKey{}, false })
+	}
+	return &Federation{tenants: make(map[string]*Verifier), fallback: fallback}
+}
+
+// AddTenant installs (or replaces) a tenant's verifier.
+func (f *Federation) AddTenant(tenant string, v *Verifier) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tenants[tenant] = v
+}
+
+// Tenant returns the verifier owning the tenant label, falling back for
+// labels no tenant claims.
+func (f *Federation) Tenant(tenant string) *Verifier {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if v, ok := f.tenants[tenant]; ok {
+		return v
+	}
+	return f.fallback
+}
+
+// Tenants returns the claimed tenant labels in sorted order.
+func (f *Federation) Tenants() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.tenants))
+	for t := range f.tenants {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Admit implements cloud.AdmissionGate for frames that carry no tenant
+// metadata: only the fallback verifier's state applies.
+func (f *Federation) Admit(deviceID string) error {
+	return f.Tenant("").Admit(deviceID)
+}
+
+// AdmitTenant implements cloud.TenantAdmissionGate: the frame is judged
+// by its tenant's verifier alone — one tenant's revocations, minimum
+// version or digest policy never leak into another's admission.
+func (f *Federation) AdmitTenant(deviceID, tenant string) error {
+	return f.Tenant(tenant).Admit(deviceID)
+}
+
+// AttestedCount sums attested devices across every tenant verifier and
+// the fallback.
+func (f *Federation) AttestedCount() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := f.fallback.AttestedCount()
+	for _, v := range f.tenants {
+		n += v.AttestedCount()
+	}
+	return n
+}
+
+// AttestedByTenant tallies attested devices per tenant label.
+func (f *Federation) AttestedByTenant() map[string]int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]int, len(f.tenants))
+	for t, v := range f.tenants {
+		out[t] = v.AttestedCount()
+	}
+	return out
+}

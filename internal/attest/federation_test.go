@@ -1,0 +1,111 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+)
+
+func testFederation(t *testing.T) (map[string]DeviceKey, *Federation) {
+	t.Helper()
+	keys, lookup := testRegistry(t)
+	code := MeasureCode("ta.voice.guard")
+	fed := NewFederation(nil)
+	for _, tenant := range []string{"tenant-a", "tenant-b"} {
+		v := NewVerifier(7, lookup)
+		v.AllowMeasurement(code, true)
+		fed.AddTenant(tenant, v)
+	}
+	return keys, fed
+}
+
+// TestFederationRoutesByTenant: a device attested with its tenant's
+// verifier is admitted under that tenant label only — another tenant's
+// verifier has never seen it.
+func TestFederationRoutesByTenant(t *testing.T) {
+	keys, fed := testFederation(t)
+	code := MeasureCode("ta.voice.guard")
+	m := Measurement{Code: code, ModelVersion: 1}
+	a := NewAttestor("device-00000", keys["device-00000"])
+	va := fed.Tenant("tenant-a")
+	if err := va.Verify(a.Attest(va.Challenge("device-00000"), m)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fed.AdmitTenant("device-00000", "tenant-a"); err != nil {
+		t.Fatalf("own tenant: %v", err)
+	}
+	if err := fed.AdmitTenant("device-00000", "tenant-b"); !errors.Is(err, ErrUnattested) {
+		t.Fatalf("foreign tenant: got %v, want ErrUnattested", err)
+	}
+	// Unlabelled or unclaimed traffic falls back to admit-nothing.
+	if err := fed.Admit("device-00000"); !errors.Is(err, ErrUnattested) {
+		t.Fatalf("unlabelled: got %v, want ErrUnattested", err)
+	}
+	if err := fed.AdmitTenant("device-00000", "tenant-zz"); !errors.Is(err, ErrUnattested) {
+		t.Fatalf("unclaimed tenant: got %v, want ErrUnattested", err)
+	}
+	if got := fed.Tenants(); len(got) != 2 || got[0] != "tenant-a" || got[1] != "tenant-b" {
+		t.Fatalf("tenants: %v", got)
+	}
+}
+
+// TestFederationPoliciesIndependent: one tenant's revocation list and
+// minimum-version floor never leak into another tenant's admission.
+func TestFederationPoliciesIndependent(t *testing.T) {
+	keys, fed := testFederation(t)
+	code := MeasureCode("ta.voice.guard")
+	m := Measurement{Code: code, ModelVersion: 1}
+	va, vb := fed.Tenant("tenant-a"), fed.Tenant("tenant-b")
+
+	a := NewAttestor("device-00000", keys["device-00000"])
+	b := NewAttestor("device-00001", keys["device-00001"])
+	if err := va.Verify(a.Attest(va.Challenge("device-00000"), m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vb.Verify(b.Attest(vb.Challenge("device-00001"), m)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant A revokes its device: only tenant A's admission changes.
+	va.Revoke("device-00000", "compromised")
+	if err := fed.AdmitTenant("device-00000", "tenant-a"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked in own tenant: got %v, want ErrRevoked", err)
+	}
+	if err := fed.AdmitTenant("device-00001", "tenant-b"); err != nil {
+		t.Fatalf("tenant B unaffected by A's revocation: %v", err)
+	}
+
+	// Tenant B raises its model-version floor: tenant A's devices keep
+	// their own floor.
+	vb.SetMinVersion(2)
+	if err := fed.AdmitTenant("device-00001", "tenant-b"); !errors.Is(err, ErrStaleModel) {
+		t.Fatalf("stale under B's floor: got %v, want ErrStaleModel", err)
+	}
+	va.Reinstate("device-00000")
+	if err := va.Verify(a.Attest(va.Challenge("device-00000"), m)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.AdmitTenant("device-00000", "tenant-a"); err != nil {
+		t.Fatalf("tenant A floor must be its own: %v", err)
+	}
+
+	// Key epochs are tenant-owned too: A rotates its device, B's epoch
+	// expectations are untouched.
+	if _, err := va.Rotate("device-00000"); err != nil {
+		t.Fatal(err)
+	}
+	if got := va.KeyEpoch("device-00000"); got != 1 {
+		t.Fatalf("tenant A epoch %d, want 1", got)
+	}
+	if got := vb.KeyEpoch("device-00000"); got != 0 {
+		t.Fatalf("tenant B epoch %d, want 0", got)
+	}
+
+	if n := fed.AttestedCount(); n != 2 {
+		t.Fatalf("attested count %d, want 2", n)
+	}
+	by := fed.AttestedByTenant()
+	if by["tenant-a"] != 1 || by["tenant-b"] != 1 {
+		t.Fatalf("attested by tenant: %v", by)
+	}
+}

@@ -1,0 +1,77 @@
+package attest
+
+// Attestation lifecycle: key rotation and revocation.
+//
+// Enrollment is no longer forever. The verifier (the provisioning
+// authority) can advance a device's attestation key one *epoch* at a
+// time: Rotate mints a RotationToken MACed under the device's current
+// epoch key, the device redeems it inside its TEE (CmdRotateKey), and
+// from then on evidence is signed under KeyForEpoch(base, epoch+1). The
+// old epoch stays honored for one grace window — until the device's
+// first successful verification at the new epoch — so a handshake in
+// flight when the rotation was issued never fails. A leaked epoch key is
+// therefore only useful until the next rotation; the enrollment key
+// itself (the HUK-derived epoch-0 key) never travels.
+//
+// Revocation is the stronger hammer: Revoke puts a device on the
+// verifier's revocation list, which the per-frame admission gate checks
+// first — a revoked device's frames are *rejected* (ErrRevoked through
+// cloud.ErrRejected, counted in ShardStats.Rejected), never merely shed,
+// and the device cannot re-attest or rotate until Reinstate lifts the
+// entry and a fresh handshake restores admission.
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// RotationToken authorizes one key-epoch advance for one device. It is
+// MACed under the device's *current* epoch key (only the provisioning
+// authority — which tracks the device's epoch — can mint one), and names
+// the epoch the device must advance to.
+type RotationToken struct {
+	DeviceID string
+	NewEpoch uint64
+	MAC      [32]byte
+}
+
+// rotationMAC binds (device, new epoch) under the current-epoch key.
+func rotationMAC(current DeviceKey, deviceID string, newEpoch uint64) []byte {
+	h := hmac.New(sha256.New, current[:])
+	h.Write([]byte("periguard-rotate-v1"))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], newEpoch)
+	h.Write(buf[:])
+	h.Write([]byte(deviceID))
+	return h.Sum(nil)
+}
+
+// Marshal serializes the token for transport through a TEE memref
+// parameter: epoch(8) | idlen(2) | id | mac(32).
+func (t RotationToken) Marshal() []byte {
+	out := make([]byte, 0, 8+2+len(t.DeviceID)+32)
+	out = binary.LittleEndian.AppendUint64(out, t.NewEpoch)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(t.DeviceID)))
+	out = append(out, t.DeviceID...)
+	out = append(out, t.MAC[:]...)
+	return out
+}
+
+// UnmarshalRotationToken parses a Marshal-ed token.
+func UnmarshalRotationToken(b []byte) (RotationToken, error) {
+	var t RotationToken
+	const fixed = 8 + 2
+	if len(b) < fixed+32 {
+		return t, fmt.Errorf("%w: %d bytes", ErrBadRotation, len(b))
+	}
+	t.NewEpoch = binary.LittleEndian.Uint64(b[:8])
+	idLen := int(binary.LittleEndian.Uint16(b[8:10]))
+	if len(b) != fixed+idLen+32 {
+		return t, fmt.Errorf("%w: length mismatch", ErrBadRotation)
+	}
+	t.DeviceID = string(b[fixed : fixed+idLen])
+	copy(t.MAC[:], b[fixed+idLen:])
+	return t, nil
+}

@@ -1,0 +1,303 @@
+package attest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestKeyRotationGraceWindow: after Rotate the verifier expects the new
+// epoch but honors the old one until the device's first successful
+// verification at the new epoch — an in-flight handshake never fails —
+// after which the old epoch key is dead.
+func TestKeyRotationGraceWindow(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	code := MeasureCode("ta.voice.guard")
+	v.AllowMeasurement(code, true)
+	m := Measurement{Code: code, ModelVersion: 1}
+	old := NewAttestor("device-00000", keys["device-00000"])
+
+	tok, err := v.Rotate("device-00000")
+	if err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if tok.NewEpoch != 1 || v.KeyEpoch("device-00000") != 1 {
+		t.Fatalf("epoch after rotate: token %d, verifier %d", tok.NewEpoch, v.KeyEpoch("device-00000"))
+	}
+	// The handshake in flight at the old epoch still verifies (grace).
+	if err := v.Verify(old.Attest(v.Challenge("device-00000"), m)); err != nil {
+		t.Fatalf("old-epoch report in grace window: %v", err)
+	}
+	if err := v.Admit("device-00000"); err != nil {
+		t.Fatalf("admit during grace: %v", err)
+	}
+
+	// The device redeems the token and re-attests at the new epoch.
+	rotated, err := old.Rotated(tok)
+	if err != nil {
+		t.Fatalf("redeem: %v", err)
+	}
+	if rotated.Epoch() != 1 {
+		t.Fatalf("rotated epoch %d, want 1", rotated.Epoch())
+	}
+	if err := v.Verify(rotated.Attest(v.Challenge("device-00000"), m)); err != nil {
+		t.Fatalf("new-epoch report: %v", err)
+	}
+
+	// The grace window is closed: old-epoch evidence is dead.
+	if err := v.Verify(old.Attest(v.Challenge("device-00000"), m)); !errors.Is(err, ErrKeyEpoch) {
+		t.Fatalf("old-epoch report after grace closed: got %v, want ErrKeyEpoch", err)
+	}
+
+	// Rotations chain: the next epoch's token verifies only under the
+	// current (epoch-1) key.
+	tok2, err := v.Rotate("device-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Rotated(tok2); !errors.Is(err, ErrBadRotation) {
+		t.Fatalf("epoch-0 attestor redeeming epoch-2 token: got %v, want ErrBadRotation", err)
+	}
+	rotated2, err := rotated.Rotated(tok2)
+	if err != nil {
+		t.Fatalf("chained redeem: %v", err)
+	}
+	if rotated2.Epoch() != 2 {
+		t.Fatalf("chained epoch %d, want 2", rotated2.Epoch())
+	}
+}
+
+// TestRotateRetryReusesOutstandingToken: while a rotation is
+// unredeemed (grace window open), a retried Rotate re-mints the same
+// token instead of advancing the epoch again — a retried campaign can
+// neither wedge the device past what it can redeem nor kill the grace
+// window its in-flight evidence relies on.
+func TestRotateRetryReusesOutstandingToken(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	code := MeasureCode("ta.voice.guard")
+	v.AllowMeasurement(code, true)
+	m := Measurement{Code: code, ModelVersion: 1}
+	a := NewAttestor("device-00000", keys["device-00000"])
+
+	tok1, err := v.Rotate("device-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok2, err := v.Rotate("device-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok2 != tok1 {
+		t.Fatalf("retried rotate minted a different token: %+v vs %+v", tok2, tok1)
+	}
+	if v.KeyEpoch("device-00000") != 1 {
+		t.Fatalf("epoch advanced to %d across a retry", v.KeyEpoch("device-00000"))
+	}
+	// In-flight old-epoch evidence still verifies after the retry.
+	if err := v.Verify(a.Attest(v.Challenge("device-00000"), m)); err != nil {
+		t.Fatalf("grace window lost to a retried rotate: %v", err)
+	}
+	// The retried token redeems, and once the device verifies at the new
+	// epoch a further Rotate advances again.
+	rotated, err := a.Rotated(tok2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(rotated.Attest(v.Challenge("device-00000"), m)); err != nil {
+		t.Fatal(err)
+	}
+	tok3, err := v.Rotate("device-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok3.NewEpoch != 2 {
+		t.Fatalf("post-redeem rotate minted epoch %d, want 2", tok3.NewEpoch)
+	}
+}
+
+// TestRotationTokenForgery: a token MACed under the wrong key, replayed
+// for the wrong device, or skipping an epoch is rejected.
+func TestRotationTokenForgery(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	a := NewAttestor("device-00000", keys["device-00000"])
+
+	// Forged MAC (another device's key).
+	forged := RotationToken{DeviceID: "device-00000", NewEpoch: 1}
+	copy(forged.MAC[:], rotationMAC(keys["device-00001"], "device-00000", 1))
+	if _, err := a.Rotated(forged); !errors.Is(err, ErrBadRotation) {
+		t.Fatalf("forged MAC: got %v, want ErrBadRotation", err)
+	}
+
+	tok, err := v.Rotate("device-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong device.
+	other := NewAttestor("device-00001", keys["device-00001"])
+	if _, err := other.Rotated(tok); !errors.Is(err, ErrBadRotation) {
+		t.Fatalf("cross-device token: got %v, want ErrBadRotation", err)
+	}
+	// Replay after redeeming: the attestor has advanced, the token names
+	// a stale epoch.
+	rotated, err := a.Rotated(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rotated.Rotated(tok); !errors.Is(err, ErrBadRotation) {
+		t.Fatalf("token replay: got %v, want ErrBadRotation", err)
+	}
+	// Unknown device at the authority.
+	if _, err := v.Rotate("device-99999"); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("unknown device: got %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestRotationTokenMarshalRoundTrip(t *testing.T) {
+	tok := RotationToken{DeviceID: "device-00000", NewEpoch: 3}
+	copy(tok.MAC[:], rotationMAC(KeyFromSeed(1), "device-00000", 3))
+	got, err := UnmarshalRotationToken(tok.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tok {
+		t.Fatalf("round trip: got %+v, want %+v", got, tok)
+	}
+	if _, err := UnmarshalRotationToken(tok.Marshal()[:5]); !errors.Is(err, ErrBadRotation) {
+		t.Fatalf("truncated: got %v, want ErrBadRotation", err)
+	}
+}
+
+// TestRevocationLifecycle: revocation kills admission immediately and
+// blocks re-attestation and rotation until Reinstate; a reinstated
+// device stays unadmitted until a fresh handshake.
+func TestRevocationLifecycle(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	code := MeasureCode("ta.voice.guard")
+	v.AllowMeasurement(code, true)
+	m := Measurement{Code: code, ModelVersion: 1}
+	a := NewAttestor("device-00000", keys["device-00000"])
+
+	if err := v.Verify(a.Attest(v.Challenge("device-00000"), m)); err != nil {
+		t.Fatal(err)
+	}
+	v.Revoke("device-00000", "exfiltrated key suspected")
+
+	if err := v.Admit("device-00000"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("admit after revoke: got %v, want ErrRevoked", err)
+	}
+	if err := v.Verify(a.Attest(v.Challenge("device-00000"), m)); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("re-attest while revoked: got %v, want ErrRevoked", err)
+	}
+	if _, err := v.Rotate("device-00000"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("rotate while revoked: got %v, want ErrRevoked", err)
+	}
+	if reason, ok := v.Revoked("device-00000"); !ok || reason != "exfiltrated key suspected" {
+		t.Fatalf("revocation entry: %q, %v", reason, ok)
+	}
+	if v.RevokedCount() != 1 {
+		t.Fatalf("revoked count %d", v.RevokedCount())
+	}
+
+	// Reinstate lifts the entry but does not re-admit: the device must
+	// produce fresh evidence first (the re-admit drill).
+	v.Reinstate("device-00000")
+	if err := v.Admit("device-00000"); !errors.Is(err, ErrUnattested) {
+		t.Fatalf("admit after reinstate, before re-attest: got %v, want ErrUnattested", err)
+	}
+	if err := v.Verify(a.Attest(v.Challenge("device-00000"), m)); err != nil {
+		t.Fatalf("re-attest after reinstate: %v", err)
+	}
+	if err := v.Admit("device-00000"); err != nil {
+		t.Fatalf("re-admit: %v", err)
+	}
+}
+
+// TestAdmissionLifecycleRace hammers the per-frame admission path while
+// Release, Revoke, Reinstate, Rotate and re-attestation run concurrently
+// — the -race coverage the sequential TestReleaseRevokesAdmission never
+// had. The assertion is freedom from data races plus a consistent final
+// state once the writers settle.
+func TestAdmissionLifecycleRace(t *testing.T) {
+	keys, lookup := testRegistry(t)
+	v := NewVerifier(7, lookup)
+	code := MeasureCode("ta.voice.guard")
+	v.AllowMeasurement(code, true)
+	m := Measurement{Code: code, ModelVersion: 1}
+	const id = "device-00000"
+	a := NewAttestor(id, keys[id])
+	if err := v.Verify(a.Attest(v.Challenge(id), m)); err != nil {
+		t.Fatal(err)
+	}
+
+	var readers, writers sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: the per-frame ingest path.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := v.Admit(id)
+				if err != nil && !errors.Is(err, ErrUnattested) && !errors.Is(err, ErrRevoked) &&
+					!errors.Is(err, ErrStaleModel) {
+					t.Errorf("admit: unexpected %v", err)
+					return
+				}
+				_, _ = v.Attested(id)
+				_ = v.EpochCounts()
+				_, _ = v.Revoked(id)
+			}
+		}()
+	}
+	// Writers: the lifecycle control plane.
+	for g := 0; g < 2; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			cur := a
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					v.Release(id)
+				case 1:
+					v.Revoke(id, "race drill")
+					v.Reinstate(id)
+				case 2:
+					// Rotation may race another writer's rotation; only a
+					// token that still matches the attestor's epoch redeems.
+					if tok, err := v.Rotate(id); err == nil {
+						if next, err := cur.Rotated(tok); err == nil {
+							cur = next
+						}
+					}
+				case 3:
+					// Re-attest; rejection is fine (epoch may have moved).
+					_ = v.Verify(cur.Attest(v.Challenge(id), m))
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	// Settle: a final handshake at the verifier's current epoch must
+	// restore admission regardless of how the race interleaved.
+	v.Reinstate(id)
+	epoch := v.KeyEpoch(id)
+	fresh := NewAttestorAtEpoch(id, keys[id], epoch)
+	if err := v.Verify(fresh.Attest(v.Challenge(id), m)); err != nil {
+		t.Fatalf("settling handshake at epoch %d: %v", epoch, err)
+	}
+	if err := v.Admit(id); err != nil {
+		t.Fatalf("settling admit: %v", err)
+	}
+}

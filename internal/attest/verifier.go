@@ -27,6 +27,15 @@ type Verifier struct {
 	allowed    map[Digest]bool  // digest -> versioned (subject to min-version policy)
 	attested   map[string]Measurement
 	minVersion uint64
+	// Lifecycle state: the key epoch each device is expected to sign
+	// under (absent = 0), the epoch its last successful verification
+	// actually used (the rotation-progress signal), the previous epoch
+	// still honored while a rotation's grace window is open, and the
+	// revocation list.
+	epochs   map[string]uint64
+	verified map[string]uint64
+	grace    map[string]uint64
+	revoked  map[string]string // deviceID -> reason
 }
 
 // NewVerifier creates a verifier over an enrollment registry. The seed
@@ -39,6 +48,10 @@ func NewVerifier(seed uint64, lookup func(deviceID string) (DeviceKey, bool)) *V
 		issued:   make(map[string]Nonce),
 		allowed:  make(map[Digest]bool),
 		attested: make(map[string]Measurement),
+		epochs:   make(map[string]uint64),
+		verified: make(map[string]uint64),
+		grace:    make(map[string]uint64),
+		revoked:  make(map[string]string),
 	}
 }
 
@@ -69,32 +82,149 @@ func (v *Verifier) Challenge(deviceID string) Nonce {
 	return n
 }
 
-// Verify checks one report: the nonce must be the device's outstanding
-// challenge (consumed on success *and* on MAC failure, so evidence cannot
-// be retried offline), the MAC must verify under the enrolled key, and
-// the code digest must be in the allowed set. On success the measurement
-// becomes the device's current attested state.
+// Verify checks one report: the device must not be revoked, the nonce
+// must be the device's outstanding challenge (consumed on success *and*
+// on MAC failure, so evidence cannot be retried offline), the report's
+// key epoch must be the device's current epoch — or the previous one
+// while a rotation's grace window is open — the MAC must verify under
+// that epoch's key, and the code digest must be in the allowed set. On
+// success the measurement becomes the device's current attested state;
+// a success at the current epoch closes the grace window.
 func (v *Verifier) Verify(r Report) error {
-	key, ok := v.lookup(r.DeviceID)
+	base, ok := v.lookup(r.DeviceID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDevice, r.DeviceID)
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if reason, ok := v.revoked[r.DeviceID]; ok {
+		return fmt.Errorf("%w: %q (%s)", ErrRevoked, r.DeviceID, reason)
+	}
 	nonce, ok := v.issued[r.DeviceID]
 	if !ok || nonce != r.Nonce {
 		return fmt.Errorf("%w: %q", ErrReplay, r.DeviceID)
 	}
 	delete(v.issued, r.DeviceID) // single use
-	want := reportMAC(key, r.DeviceID, r.Nonce, r.Measurement)
+	expected := v.epochs[r.DeviceID]
+	graced, inGrace := v.grace[r.DeviceID]
+	if r.KeyEpoch != expected && !(inGrace && r.KeyEpoch == graced) {
+		return fmt.Errorf("%w: %q signed at epoch %d, verifier expects %d",
+			ErrKeyEpoch, r.DeviceID, r.KeyEpoch, expected)
+	}
+	want := reportMAC(KeyForEpoch(base, r.KeyEpoch), r.DeviceID, r.Nonce, r.Measurement, r.KeyEpoch)
 	if !hmac.Equal(want[:], r.MAC[:]) {
 		return fmt.Errorf("%w: %q MAC", ErrBadReport, r.DeviceID)
 	}
 	if _, ok := v.allowed[r.Code]; !ok {
 		return fmt.Errorf("%w: %q", ErrMeasurement, r.DeviceID)
 	}
+	if r.KeyEpoch == expected {
+		// The device has caught up with the rotation: the grace window
+		// closes and the old epoch key is dead.
+		delete(v.grace, r.DeviceID)
+	}
 	v.attested[r.DeviceID] = r.Measurement
+	v.verified[r.DeviceID] = r.KeyEpoch
 	return nil
+}
+
+// Rotate advances the device's key epoch and mints the rotation token
+// the device redeems in its TEE (core.CmdRotateKey). The token is MACed
+// under the device's current epoch key; from this call on the verifier
+// expects evidence at the new epoch, while honoring the old epoch for
+// one grace window — until the device's first successful verification at
+// the new epoch — so a handshake in flight when the rotation was issued
+// never fails. The device's admitted (attested) state is untouched:
+// rotation is a control-plane event, its frames keep flowing.
+func (v *Verifier) Rotate(deviceID string) (RotationToken, error) {
+	base, ok := v.lookup(deviceID)
+	if !ok {
+		return RotationToken{}, fmt.Errorf("%w: %q", ErrUnknownDevice, deviceID)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if reason, ok := v.revoked[deviceID]; ok {
+		return RotationToken{}, fmt.Errorf("%w: %q (%s)", ErrRevoked, deviceID, reason)
+	}
+	cur := v.epochs[deviceID]
+	if g, open := v.grace[deviceID]; open {
+		// The previous rotation is still outstanding (the device has not
+		// verified at the current epoch yet): re-mint the same token
+		// instead of advancing again. A retried rotation campaign must
+		// not widen the epoch gap past what the device can redeem, nor
+		// close the grace window its in-flight evidence relies on.
+		tok := RotationToken{DeviceID: deviceID, NewEpoch: cur}
+		copy(tok.MAC[:], rotationMAC(KeyForEpoch(base, g), deviceID, cur))
+		return tok, nil
+	}
+	tok := RotationToken{DeviceID: deviceID, NewEpoch: cur + 1}
+	copy(tok.MAC[:], rotationMAC(KeyForEpoch(base, cur), deviceID, tok.NewEpoch))
+	v.epochs[deviceID] = tok.NewEpoch
+	v.grace[deviceID] = cur
+	return tok, nil
+}
+
+// KeyEpoch returns the key epoch the verifier currently expects the
+// device to sign under.
+func (v *Verifier) KeyEpoch(deviceID string) uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.epochs[deviceID]
+}
+
+// EpochCounts tallies attested devices per the key epoch their last
+// successful verification actually used — the rotation-progress signal:
+// a device still signing at the old epoch under the grace window counts
+// at the old epoch, not at the one the verifier already expects.
+func (v *Verifier) EpochCounts() map[uint64]int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[uint64]int)
+	for id := range v.attested {
+		out[v.verified[id]]++
+	}
+	return out
+}
+
+// Revoke puts the device on the revocation list: its attested state and
+// any outstanding challenge are dropped immediately, and from the next
+// frame on the admission gate rejects it with ErrRevoked — a rejection,
+// not a shed, so the counter that moves is ShardStats.Rejected. A
+// revoked device cannot re-attest or rotate until Reinstate.
+func (v *Verifier) Revoke(deviceID, reason string) {
+	if reason == "" {
+		reason = "revoked"
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.revoked[deviceID] = reason
+	delete(v.attested, deviceID)
+	delete(v.verified, deviceID)
+	delete(v.issued, deviceID)
+}
+
+// Reinstate lifts a revocation. The device stays unadmitted until a
+// fresh challenge/verify handshake restores its attested state — the
+// re-admit half of the compromised-device drill.
+func (v *Verifier) Reinstate(deviceID string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.revoked, deviceID)
+}
+
+// Revoked reports whether the device is on the revocation list, and why.
+func (v *Verifier) Revoked(deviceID string) (string, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	reason, ok := v.revoked[deviceID]
+	return reason, ok
+}
+
+// RevokedCount returns the size of the revocation list.
+func (v *Verifier) RevokedCount() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.revoked)
 }
 
 // SetMinVersion raises the fleet's minimum admitted model version for
@@ -107,10 +237,16 @@ func (v *Verifier) SetMinVersion(min uint64) {
 }
 
 // Admit implements the ingest admission gate (cloud.AdmissionGate): one
-// cheap policy check per frame.
+// cheap policy check per frame, read-lock only, so the sharded frontend
+// never serializes on the verifier. The revocation list is consulted
+// first: a revoked device is rejected even if its attested state were
+// somehow still present.
 func (v *Verifier) Admit(deviceID string) error {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
+	if reason, ok := v.revoked[deviceID]; ok {
+		return fmt.Errorf("%w: %q (%s)", ErrRevoked, deviceID, reason)
+	}
 	m, ok := v.attested[deviceID]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnattested, deviceID)
@@ -130,6 +266,7 @@ func (v *Verifier) Release(deviceID string) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	delete(v.attested, deviceID)
+	delete(v.verified, deviceID)
 	delete(v.issued, deviceID)
 }
 
@@ -174,11 +311,16 @@ func (v *Verifier) Manifest(deviceID string, p Pack) (ManifestToken, error) {
 // ManifestForDigest is Manifest for an already-computed pack digest:
 // packs are immutable once published, so fleet-scale provisioning
 // hashes each pack once and signs per device from the cached digest.
+// The token is MACed under the device's current-epoch key — a device
+// that has redeemed a rotation verifies manifests under the same epoch.
 func (v *Verifier) ManifestForDigest(deviceID string, version uint64, d Digest) (ManifestToken, error) {
-	key, ok := v.lookup(deviceID)
+	base, ok := v.lookup(deviceID)
 	if !ok {
 		return ManifestToken{}, fmt.Errorf("%w: %q", ErrUnknownDevice, deviceID)
 	}
+	v.mu.RLock()
+	key := KeyForEpoch(base, v.epochs[deviceID])
+	v.mu.RUnlock()
 	return ManifestToken{
 		DeviceID: deviceID,
 		Version:  version,

@@ -64,6 +64,20 @@ type AdmissionGate interface {
 	Admit(deviceID string) error
 }
 
+// TenantAdmissionGate is an AdmissionGate that routes the admission
+// decision by the tenant label the frontend reads from the connection
+// (FrameMeta.Tenant) — attest.Federation implements it, giving every
+// tenant its own digest policy, minimum version and revocation list. A
+// gate that implements this interface is consulted through AdmitTenant
+// on every frame; plain gates keep the identity-only Admit path. Like
+// the admission policy, the gate sees only cleartext connection
+// metadata, never sealed frame content.
+type TenantAdmissionGate interface {
+	AdmissionGate
+	// AdmitTenant judges the device's frame by its tenant's policy.
+	AdmitTenant(deviceID, tenant string) error
+}
+
 // Errors returned by the ingest tier.
 var (
 	// ErrUnknownDevice is returned for frames from unregistered devices.
@@ -126,6 +140,7 @@ type Shard struct {
 
 	mu          sync.Mutex
 	gate        AdmissionGate
+	tenantGate  TenantAdmissionGate // gate, when it routes by tenant (cached assertion)
 	policy      AdmissionPolicy
 	endpoints   map[string]Provider
 	closed      bool
@@ -249,11 +264,14 @@ func (s *Shard) endpointsSnapshot() map[string]Provider {
 	return out
 }
 
-// SetGate installs (or clears, with nil) the admission gate.
+// SetGate installs (or clears, with nil) the admission gate. A gate
+// that routes by tenant (TenantAdmissionGate) is detected here once, so
+// the per-frame path pays no type assertion.
 func (s *Shard) SetGate(g AdmissionGate) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gate = g
+	s.tenantGate, _ = g.(TenantAdmissionGate)
 }
 
 // SetPolicy installs (or clears, with nil) the admission policy.
@@ -294,10 +312,16 @@ func (s *Shard) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byt
 		return nil, fmt.Errorf("%w: %q on shard %s", ErrUnknownDevice, deviceID, s.name)
 	}
 	if s.gate != nil {
-		if err := s.gate.Admit(deviceID); err != nil {
+		var gateErr error
+		if s.tenantGate != nil {
+			gateErr = s.tenantGate.AdmitTenant(deviceID, meta.Tenant)
+		} else {
+			gateErr = s.gate.Admit(deviceID)
+		}
+		if gateErr != nil {
 			s.rejected++
 			s.mu.Unlock()
-			return nil, fmt.Errorf("%w: %q on shard %s: %v", ErrRejected, deviceID, s.name, err)
+			return nil, fmt.Errorf("%w: %q on shard %s: %w", ErrRejected, deviceID, s.name, gateErr)
 		}
 	}
 	// The priority lane is enforced here, not in the policy: ShouldShed

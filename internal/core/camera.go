@@ -9,6 +9,7 @@ package core
 // (§IV.4): there is no transcription stage.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,15 +40,20 @@ const (
 	// CmdProcessFrame (TA): grab, classify and relay-or-block one frame;
 	// params[0].A returns 1 if forwarded.
 	CmdProcessFrame uint32 = 0x31
-	// CmdCameraAttest / CmdCameraUpdateModel: the camera twins of the
-	// voice TA's CmdAttest / CmdUpdateModel, same parameter layouts.
+	// CmdCameraAttest / CmdCameraUpdateModel / CmdCameraRotateKey: the
+	// camera twins of the voice TA's CmdAttest / CmdUpdateModel /
+	// CmdRotateKey, same parameter layouts.
 	CmdCameraAttest      uint32 = 0x32
 	CmdCameraUpdateModel uint32 = 0x33
+	CmdCameraRotateKey   uint32 = 0x34
 
 	cameraFrameSide  = 24
 	cameraFrameBytes = cameraFrameSide * cameraFrameSide
 	// cameraWeightsID is the secure-storage object of the image model.
 	cameraWeightsID = "camera-ta/classifier-weights"
+	// cameraKeyEpochID is the sealed key-epoch record; see the voice TA's
+	// keyEpochObjectID.
+	cameraKeyEpochID = "camera-ta/key-epoch"
 	// NameFrame is the relay event name for camera frames.
 	NameFrame = "Camera.Frame"
 )
@@ -238,7 +244,10 @@ type CameraTA struct {
 var _ optee.TA = (*CameraTA)(nil)
 
 // NewCameraTA constructs the TA. attestor may be nil outside attested
-// fleets; modelVersion is the provisioned pack version the TA boots with.
+// fleets; modelVersion is the provisioned pack version the TA boots
+// with. A sealed key-epoch record left by an earlier instance's
+// CmdCameraRotateKey is restored, so a restart resumes signing at the
+// rotated epoch.
 func NewCameraTA(tee *optee.OS, storage *optee.Storage, id *relay.Identity, cloudPub []byte, clock *tz.Clock, cost tz.CostModel, seed uint64, attestor *attest.Attestor, modelVersion uint64) (*CameraTA, error) {
 	ch, err := relay.NewChannel(id, cloudPub, true)
 	if err != nil {
@@ -246,7 +255,8 @@ func NewCameraTA(tee *optee.OS, storage *optee.Storage, id *relay.Identity, clou
 	}
 	return &CameraTA{
 		tee: tee, storage: storage, channel: ch, clock: clock, cost: cost,
-		seed: seed, attestor: attestor, modelVersion: modelVersion,
+		seed: seed, attestor: restoreKeyEpoch(storage, cameraKeyEpochID, attestor),
+		modelVersion: modelVersion,
 	}, nil
 }
 
@@ -271,6 +281,40 @@ func (t *CameraTA) attestReport(nonce attest.Nonce) (attest.Report, error) {
 	}
 	t.clock.Advance(2000) // HMAC evidence; see VoiceTA.attestReport
 	return attestor.Attest(nonce, attest.Measurement{Code: CameraTADigest, ModelVersion: version}), nil
+}
+
+// KeyEpoch returns the key epoch the TA currently signs evidence under.
+func (t *CameraTA) KeyEpoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attestor == nil {
+		return 0
+	}
+	return t.attestor.Epoch()
+}
+
+// rotateKey redeems a key-rotation token; the camera twin of
+// VoiceTA.rotateKey (same verify → seal epoch → swap-signer sequence).
+func (t *CameraTA) rotateKey(tokenBytes []byte) (uint64, error) {
+	tok, err := attest.UnmarshalRotationToken(tokenBytes)
+	if err != nil {
+		return 0, fmt.Errorf("camera ta rotate: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.attestor == nil {
+		return 0, errors.New("camera ta: attestation not provisioned")
+	}
+	next, err := t.attestor.Rotated(tok)
+	if err != nil {
+		return 0, fmt.Errorf("camera ta rotate: %w", err)
+	}
+	var rec [8]byte
+	binary.LittleEndian.PutUint64(rec[:], next.Epoch())
+	t.storage.Put(cameraKeyEpochID, rec[:])
+	t.clock.Advance(4000) // MAC verify + key derivation; see VoiceTA.rotateKey
+	t.attestor = next
+	return next.Epoch(), nil
 }
 
 // updateModel authenticates a published pack against the per-device
@@ -419,6 +463,17 @@ func (t *CameraTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) er
 		}
 		params[2].Type = optee.ValueOut
 		params[2].A = version
+		return nil
+	case CmdCameraRotateKey:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 {
+			return fmt.Errorf("%w: CmdCameraRotateKey needs a MemrefIn token", optee.ErrBadParam)
+		}
+		epoch, err := t.rotateKey(params[0].Buf)
+		if err != nil {
+			return err
+		}
+		params[1].Type = optee.ValueOut
+		params[1].A = epoch
 		return nil
 	default:
 		return fmt.Errorf("%w: camera ta cmd %#x", optee.ErrBadParam, cmd)
@@ -697,6 +752,30 @@ func (s *CameraSystem) UpdateModel(pack attest.Pack, tok attest.ManifestToken) e
 		}
 		return sess.InvokeCommand(CmdCameraUpdateModel, p)
 	})
+}
+
+// RotateKey redeems a key-rotation token in the camera TA; see
+// System.RotateKey.
+func (s *CameraSystem) RotateKey(tok attest.RotationToken) (uint64, error) {
+	var epoch uint64
+	err := s.withTA(func(sess *teec.Session) error {
+		p := &optee.Params{{Type: optee.MemrefIn, Buf: tok.Marshal()}, {}}
+		if err := sess.InvokeCommand(CmdCameraRotateKey, p); err != nil {
+			return err
+		}
+		epoch = p[1].A
+		return nil
+	})
+	return epoch, err
+}
+
+// KeyEpoch returns the key epoch the doorbell signs evidence under
+// (0 for baseline doorbells, which have no TA).
+func (s *CameraSystem) KeyEpoch() uint64 {
+	if s.TA == nil {
+		return 0
+	}
+	return s.TA.KeyEpoch()
 }
 
 // ModelVersion returns the model-pack version the doorbell holds (0 for

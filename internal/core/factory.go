@@ -243,6 +243,43 @@ func (d *Device) ModelVersion() uint64 {
 	return d.Doorbell.ModelVersion()
 }
 
+// RotateKey redeems a verifier-issued key-rotation token: secure devices
+// verify and redeem it inside their TA (sealing the new epoch next to
+// their model weights); baseline devices rotate the software agent's
+// signer. Returns the key epoch the device signs under after the
+// rotation.
+func (d *Device) RotateKey(tok attest.RotationToken) (uint64, error) {
+	if d.Spec.Mode == ModeBaseline {
+		if d.softAttestor == nil {
+			return 0, fmt.Errorf("device %s: attestation not provisioned", d.Spec.DeviceID)
+		}
+		next, err := d.softAttestor.Rotated(tok)
+		if err != nil {
+			return 0, fmt.Errorf("device %s: %w", d.Spec.DeviceID, err)
+		}
+		d.softAttestor = next
+		return next.Epoch(), nil
+	}
+	if d.Speaker != nil {
+		return d.Speaker.RotateKey(tok)
+	}
+	return d.Doorbell.RotateKey(tok)
+}
+
+// KeyEpoch returns the attestation key epoch the device signs under.
+func (d *Device) KeyEpoch() uint64 {
+	if d.Spec.Mode == ModeBaseline {
+		if d.softAttestor == nil {
+			return 0
+		}
+		return d.softAttestor.Epoch()
+	}
+	if d.Speaker != nil {
+		return d.Speaker.KeyEpoch()
+	}
+	return d.Doorbell.KeyEpoch()
+}
+
 // SetUplink reroutes the device's cloud-bound traffic through sink.
 func (d *Device) SetUplink(sink supplicant.NetSink) {
 	if d.Speaker != nil {

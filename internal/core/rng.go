@@ -36,6 +36,9 @@ const (
 	// SaltChurn derives the fleet churn arrival stream (joiner arrival
 	// placement, leaver selection) from the fleet root seed.
 	SaltChurn uint64 = 0xc40a9
+	// SaltLifecycle derives the attestation-lifecycle selection stream
+	// (which devices rotate keys or are revoked mid-run).
+	SaltLifecycle uint64 = 0x11f3c
 )
 
 // NewRNG returns the deterministic PCG stream for the pair. It is the

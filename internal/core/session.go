@@ -84,6 +84,31 @@ func (s *System) ModelVersion() uint64 {
 	return s.VoiceTA.ModelVersion()
 }
 
+// RotateKey redeems a verifier-issued key-rotation token in the TA,
+// which verifies it under the current attestation key, seals the new
+// epoch and swaps the evidence signer. Returns the new key epoch.
+func (s *System) RotateKey(tok attest.RotationToken) (uint64, error) {
+	var epoch uint64
+	err := s.withTA(func(sess *teec.Session) error {
+		p := &optee.Params{{Type: optee.MemrefIn, Buf: tok.Marshal()}, {}}
+		if err := sess.InvokeCommand(CmdRotateKey, p); err != nil {
+			return err
+		}
+		epoch = p[1].A
+		return nil
+	})
+	return epoch, err
+}
+
+// KeyEpoch returns the attestation key epoch the device signs evidence
+// under (0 for baseline systems).
+func (s *System) KeyEpoch() uint64 {
+	if s.cfg.Mode == ModeBaseline {
+		return 0
+	}
+	return s.VoiceTA.KeyEpoch()
+}
+
 // SnoopSummary aggregates the compromised-OS adversary's results.
 type SnoopSummary struct {
 	Attempts       int

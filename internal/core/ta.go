@@ -27,6 +27,11 @@ func packObjectID(version uint64) string {
 	return fmt.Sprintf("voice-ta/model-pack-v%d", version)
 }
 
+// keyEpochObjectID is the secure-storage id of the sealed key-epoch
+// record, kept next to the current-weights object so a TA restart
+// resumes signing at the rotated epoch.
+const keyEpochObjectID = "voice-ta/key-epoch"
+
 // VoiceTADigest is the measured code identity of the voice TA — what a
 // loader hashing the TA image would report, and what the fleet verifier
 // expects from secure speakers.
@@ -151,6 +156,13 @@ const (
 	// into secure storage and hot-swaps the classifier without disturbing
 	// in-flight batches; params[2].A (ValueOut) returns the new version.
 	CmdUpdateModel uint32 = 0x23
+	// CmdRotateKey redeems a verifier-issued key-rotation token:
+	// params[0] is a MemrefIn marshalled attest.RotationToken. The TA
+	// verifies the token under its current attestation key, derives the
+	// next epoch key, seals the epoch record to secure storage (next to
+	// current-weights) and swaps the signer without disturbing in-flight
+	// work; params[1].A (ValueOut) returns the new key epoch.
+	CmdRotateKey uint32 = 0x24
 )
 
 // MaxBatch bounds one CmdProcessBatch invocation; it keeps the batch's
@@ -227,18 +239,35 @@ type VoiceTA struct {
 
 var _ optee.TA = (*VoiceTA)(nil)
 
-// NewVoiceTA constructs the TA (registered but not yet opened).
+// NewVoiceTA constructs the TA (registered but not yet opened). A
+// sealed key-epoch record left by an earlier instance's CmdRotateKey is
+// restored here, so a TA restart resumes signing at the rotated epoch
+// instead of falling back to the provisioning key.
 func NewVoiceTA(cfg VoiceTAConfig) (*VoiceTA, error) {
 	ch, err := relay.NewChannel(cfg.Identity, cfg.CloudPub, true)
 	if err != nil {
 		return nil, fmt.Errorf("voice ta channel: %w", err)
 	}
+	cfg.Attestor = restoreKeyEpoch(cfg.Storage, keyEpochObjectID, cfg.Attestor)
 	return &VoiceTA{
 		cfg:          cfg,
 		channel:      ch,
 		modelVersion: cfg.ModelVersion,
 		modelSeed:    cfg.Seed,
 	}, nil
+}
+
+// restoreKeyEpoch advances an attestor to the key epoch sealed in
+// secure storage (no record, or no attestor, leaves it untouched).
+func restoreKeyEpoch(storage *optee.Storage, objectID string, a *attest.Attestor) *attest.Attestor {
+	if a == nil || storage == nil {
+		return a
+	}
+	blob, err := storage.Get(objectID)
+	if err != nil || len(blob) < 8 {
+		return a
+	}
+	return a.AtEpoch(binary.LittleEndian.Uint64(blob))
 }
 
 // UUID implements optee.TA.
@@ -378,24 +407,78 @@ func (t *VoiceTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) err
 		params[2].Type = optee.ValueOut
 		params[2].A = version
 		return nil
+	case CmdRotateKey:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 {
+			return fmt.Errorf("%w: CmdRotateKey needs a MemrefIn token", optee.ErrBadParam)
+		}
+		epoch, err := t.rotateKey(params[0].Buf)
+		if err != nil {
+			return err
+		}
+		params[1].Type = optee.ValueOut
+		params[1].A = epoch
+		return nil
 	default:
 		return fmt.Errorf("%w: ta cmd %#x", optee.ErrBadParam, cmd)
 	}
 }
 
 // attestReport signs the TA's current measurement — its code digest and
-// the model-pack version it holds — over the verifier's challenge.
+// the model-pack version it holds — over the verifier's challenge. The
+// attestor pointer is read under the TA lock: a concurrent CmdRotateKey
+// swaps it, and a report must be signed entirely under one epoch key.
 func (t *VoiceTA) attestReport(nonce attest.Nonce) (attest.Report, error) {
-	if t.cfg.Attestor == nil {
-		return attest.Report{}, errors.New("voice ta: attestation not provisioned")
-	}
 	t.mu.Lock()
+	attestor := t.cfg.Attestor
 	m := attest.Measurement{Code: VoiceTADigest, ModelVersion: t.modelVersion}
 	t.mu.Unlock()
+	if attestor == nil {
+		return attest.Report{}, errors.New("voice ta: attestation not provisioned")
+	}
 	// HMAC evidence over the measurement (~1k cycles of SHA-256 on a
 	// NEON-class core, rounded up for the report assembly).
 	t.cfg.Clock.Advance(2000)
-	return t.cfg.Attestor.Attest(nonce, m), nil
+	return attestor.Attest(nonce, m), nil
+}
+
+// KeyEpoch returns the key epoch the TA currently signs evidence under.
+func (t *VoiceTA) KeyEpoch() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.Attestor == nil {
+		return 0
+	}
+	return t.cfg.Attestor.Epoch()
+}
+
+// rotateKey redeems a key-rotation token: the token must verify under
+// the TA's current attestation key and advance the epoch by exactly one.
+// The epoch record is sealed to secure storage next to current-weights —
+// a TA restart resumes signing at the rotated epoch — and the signer is
+// swapped under the TA lock, so a concurrent attestReport signs either
+// wholly under the old epoch (honored by the verifier's grace window) or
+// wholly under the new one; in-flight work is never disturbed.
+func (t *VoiceTA) rotateKey(tokenBytes []byte) (uint64, error) {
+	tok, err := attest.UnmarshalRotationToken(tokenBytes)
+	if err != nil {
+		return 0, fmt.Errorf("voice ta rotate: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.Attestor == nil {
+		return 0, errors.New("voice ta: attestation not provisioned")
+	}
+	next, err := t.cfg.Attestor.Rotated(tok)
+	if err != nil {
+		return 0, fmt.Errorf("voice ta rotate: %w", err)
+	}
+	var rec [8]byte
+	binary.LittleEndian.PutUint64(rec[:], next.Epoch())
+	t.cfg.Storage.Put(keyEpochObjectID, rec[:])
+	// MAC verification plus one HMAC key derivation; see attestReport.
+	t.cfg.Clock.Advance(4000)
+	t.cfg.Attestor = next
+	return next.Epoch(), nil
 }
 
 // updateModel is the online-rollout sink: it authenticates a published

@@ -203,6 +203,124 @@ func E12ElasticFleet(seed uint64) (*metrics.Table, E12Result, error) {
 	return tbl, out, nil
 }
 
+// E13Result is the attestation-lifecycle experiment outcome.
+type E13Result struct {
+	Devices int
+	// Rotation leg: RotateFraction of the fleet's keys rotate mid-run.
+	Rotated int
+	// Compared non-rotated AND rotated devices bit-identical to a static
+	// run (rotation is control plane; the data plane must not notice).
+	Compared       int
+	AuditIdentical bool
+	KeyEpochs      map[uint64]int
+	// Revocation leg: devices revoked mid-run, probe frames fired under
+	// their identities; every probe must be rejected (not shed).
+	Revoked       int
+	ProbeAttempts int
+	ProbeRejected int
+	LostFrames    int
+	ItemsPerSec   float64
+	// Federation leg: per-tenant verifiers over the same population.
+	Tenants        int
+	TenantAttested map[string]int
+	FederationOK   bool
+}
+
+// E13AttestationLifecycle is the attestation-lifecycle experiment.
+// Leg one: an attested 64-device fleet runs once statically and once
+// with 20% of its keys rotated mid-run (tokens issued before the
+// handshake so the whole workload flows inside the rotation's grace
+// window) plus 10% of devices revoked after completing; the claims under
+// test are zero lost frames, every device's audit counters bit-identical
+// to the static run, every rotated device re-attested at epoch 1, and
+// every post-revocation probe rejected — not shed — within one frame.
+// Leg two: the same population under a per-tenant verifier federation;
+// each tenant's verifier must attest exactly its own stripe and the
+// frame-conservation invariant must hold unchanged.
+func E13AttestationLifecycle(seed uint64) (*metrics.Table, E13Result, error) {
+	base := fleet.Config{
+		Devices:    64,
+		Shards:     4,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       seed,
+		FreqHz:     FreqHz,
+		Attest:     true,
+	}
+	static, err := fleet.Run(base)
+	if err != nil {
+		return nil, E13Result{}, fmt.Errorf("static fleet: %w", err)
+	}
+	lifecycle := base
+	lifecycle.Lifecycle = &fleet.LifecycleSpec{RotateFraction: 0.2, RevokeFraction: 0.1}
+	res, err := fleet.Run(lifecycle)
+	if err != nil {
+		return nil, E13Result{}, fmt.Errorf("lifecycle fleet: %w", err)
+	}
+
+	out := E13Result{
+		Devices:        base.Devices,
+		Rotated:        res.Rotated,
+		AuditIdentical: true,
+		KeyEpochs:      res.KeyEpochs,
+		Revoked:        res.Revoked,
+		ProbeAttempts:  res.RevokeProbes,
+		ProbeRejected:  res.RevokeRejected,
+		LostFrames:     res.LostFrames(),
+		ItemsPerSec:    res.Throughput(),
+	}
+	for i := 0; i < base.Devices; i++ {
+		if e12Fingerprint(res.DeviceResults[i]) != e12Fingerprint(static.DeviceResults[i]) {
+			out.AuditIdentical = false
+			break
+		}
+		out.Compared++
+	}
+
+	// Leg two: per-tenant federation over the same population.
+	federated := base
+	federated.Tenants = 4
+	federated.Federate = true
+	fres, err := fleet.Run(federated)
+	if err != nil {
+		return nil, E13Result{}, fmt.Errorf("federated fleet: %w", err)
+	}
+	out.Tenants = federated.Tenants
+	out.TenantAttested = fres.TenantAttested
+	sum := 0
+	for _, n := range fres.TenantAttested {
+		sum += n
+	}
+	out.FederationOK = len(fres.TenantAttested) == federated.Tenants &&
+		sum == fres.AttestedDevices && fres.LostFrames() == 0
+
+	tbl := metrics.NewTable("E13: attestation lifecycle (20% rotation, 10% revocation, 4-tenant federation)",
+		"devices", "rotated", "epoch tally", "revoked", "probes rejected",
+		"audit identical", "lost", "items/s(wall)", "tenants", "federation ok")
+	tbl.AddRow(out.Devices, out.Rotated, fmt.Sprintf("%v", out.KeyEpochs), out.Revoked,
+		fmt.Sprintf("%d/%d", out.ProbeRejected, out.ProbeAttempts),
+		fmt.Sprintf("%v (%d compared)", out.AuditIdentical, out.Compared),
+		out.LostFrames, out.ItemsPerSec, out.Tenants, out.FederationOK)
+	switch {
+	case !out.AuditIdentical:
+		return tbl, out, fmt.Errorf("lifecycle fleet: audits diverged from the static run")
+	case out.LostFrames != 0:
+		return tbl, out, fmt.Errorf("lifecycle fleet: lost %d frames", out.LostFrames)
+	case out.ProbeRejected != out.ProbeAttempts:
+		return tbl, out, fmt.Errorf("lifecycle fleet: %d/%d revocation probes rejected",
+			out.ProbeRejected, out.ProbeAttempts)
+	case res.RevokeDelivered != 0:
+		return tbl, out, fmt.Errorf("lifecycle fleet: %d revocation probes reached an endpoint (gate bypass)",
+			res.RevokeDelivered)
+	case out.KeyEpochs[1] != out.Rotated:
+		return tbl, out, fmt.Errorf("lifecycle fleet: epoch tally %v for %d rotations",
+			out.KeyEpochs, out.Rotated)
+	case !out.FederationOK:
+		return tbl, out, fmt.Errorf("federated fleet: tenant tallies %v inconsistent", out.TenantAttested)
+	}
+	return tbl, out, nil
+}
+
 // E11Result is the attested-rollout experiment outcome.
 type E11Result struct {
 	Devices         int

@@ -67,9 +67,13 @@ type RollbackRecord struct {
 	Reason string
 }
 
-// attestState bundles the run's attestation/rollout machinery.
+// attestState bundles the run's attestation/rollout machinery. Exactly
+// one of verifier (single trust root) and fed (per-tenant federation) is
+// non-nil; authority() routes every control-plane call to the right
+// verifier by the device's tenant label.
 type attestState struct {
 	verifier *attest.Verifier
+	fed      *attest.Federation
 	rollout  *attest.Rollout
 	canary   int
 	base     attest.Pack
@@ -83,24 +87,106 @@ type attestState struct {
 	rollbacks []RollbackRecord
 }
 
-// newAttestState enrolls the population's keys, builds the verifier and
-// its measurement policy, and — when a rollout is staged — trains and
-// publishes the packs. Pack training hits the same shared-model caches
-// the device constructors use, so it belongs to the build phase.
+// authority returns the verifier owning the tenant (the single verifier
+// on non-federated runs).
+func (st *attestState) authority(tenant string) *attest.Verifier {
+	if st.fed != nil {
+		return st.fed.Tenant(tenant)
+	}
+	return st.verifier
+}
+
+// gate returns the ingest admission gate: the federation on federated
+// runs (per-frame routing by FrameMeta.Tenant), the verifier otherwise.
+func (st *attestState) gate() cloud.AdmissionGate {
+	if st.fed != nil {
+		return st.fed
+	}
+	return st.verifier
+}
+
+// eachAuthority visits every verifier (all tenants, or the single one).
+func (st *attestState) eachAuthority(fn func(v *attest.Verifier)) {
+	if st.fed == nil {
+		fn(st.verifier)
+		return
+	}
+	for _, t := range st.fed.Tenants() {
+		fn(st.fed.Tenant(t))
+	}
+}
+
+// setMinVersion raises the ingest floor on every authority.
+func (st *attestState) setMinVersion(v uint64) {
+	st.eachAuthority(func(a *attest.Verifier) { a.SetMinVersion(v) })
+}
+
+// attestedCount sums attested devices across authorities.
+func (st *attestState) attestedCount() int {
+	if st.fed != nil {
+		return st.fed.AttestedCount()
+	}
+	return st.verifier.AttestedCount()
+}
+
+// versionCounts merges the per-authority model-version tallies.
+func (st *attestState) versionCounts() map[uint64]int {
+	out := make(map[uint64]int)
+	st.eachAuthority(func(a *attest.Verifier) {
+		for v, n := range a.VersionCounts() {
+			out[v] += n
+		}
+	})
+	return out
+}
+
+// epochCounts merges the per-authority key-epoch tallies.
+func (st *attestState) epochCounts() map[uint64]int {
+	out := make(map[uint64]int)
+	st.eachAuthority(func(a *attest.Verifier) {
+		for e, n := range a.EpochCounts() {
+			out[e] += n
+		}
+	})
+	return out
+}
+
+// newAttestState enrolls the population's keys, builds the verifier —
+// or, on federated runs, one verifier per tenant plus an admit-nothing
+// fallback for unlabelled traffic — and the measurement policy, and,
+// when a rollout is staged, trains and publishes the packs. Pack
+// training hits the same shared-model caches the device constructors
+// use, so it belongs to the build phase.
 func newAttestState(cfg Config, specs []core.DeviceSpec) (*attestState, error) {
 	keys := make(map[string]attest.DeviceKey, len(specs))
 	for i := range specs {
 		keys[specs[i].DeviceID] = attest.KeyFromSeed(specs[i].AttestKeySeed)
 	}
-	v := attest.NewVerifier(cfg.Seed, func(id string) (attest.DeviceKey, bool) {
+	lookup := func(id string) (attest.DeviceKey, bool) {
 		k, ok := keys[id]
 		return k, ok
-	})
-	v.AllowMeasurement(core.VoiceTADigest, true)
-	v.AllowMeasurement(core.CameraTADigest, true)
-	v.AllowMeasurement(core.BaselineAgentDigest, false)
+	}
+	allow := func(v *attest.Verifier) {
+		v.AllowMeasurement(core.VoiceTADigest, true)
+		v.AllowMeasurement(core.CameraTADigest, true)
+		v.AllowMeasurement(core.BaselineAgentDigest, false)
+	}
 
-	st := &attestState{verifier: v}
+	st := &attestState{}
+	if cfg.Federate {
+		// The fallback admits nothing: a frame with no tenant label (or a
+		// label no tenant claims) is rejected as unattested rather than
+		// silently judged under someone else's policy.
+		st.fed = attest.NewFederation(nil)
+		for t := 0; t < cfg.Tenants; t++ {
+			v := attest.NewVerifier(cfg.Seed, lookup)
+			allow(v)
+			st.fed.AddTenant(tenantName(t), v)
+		}
+	} else {
+		st.verifier = attest.NewVerifier(cfg.Seed, lookup)
+		allow(st.verifier)
+	}
 	if cfg.Rollout == nil {
 		return st, nil
 	}
@@ -177,13 +263,15 @@ func buildPack(version, modelSeed uint64, needText, needImage bool) (attest.Pack
 }
 
 // manifest signs the per-device token for one of the run's two packs,
-// reusing the digest computed once at publish time.
-func (st *attestState) manifest(id string, pack attest.Pack) (attest.ManifestToken, error) {
+// reusing the digest computed once at publish time. The token comes
+// from the device's own authority, so it is MACed under the key epoch
+// that authority currently expects of the device.
+func (st *attestState) manifest(id, tenant string, pack attest.Pack) (attest.ManifestToken, error) {
 	d := st.nextDigest
 	if pack.Version == st.base.Version {
 		d = st.baseDigest
 	}
-	return st.verifier.ManifestForDigest(id, pack.Version, d)
+	return st.authority(tenant).ManifestForDigest(id, pack.Version, d)
 }
 
 // provision brings the device to its current rollout target. Devices
@@ -194,7 +282,7 @@ func (st *attestState) manifest(id string, pack attest.Pack) (attest.ManifestTok
 // run the classifier (nofilter speakers) sit outside the staging — the
 // new pack cannot misbehave on them, so they take it at once and the
 // canary verdict stays meaningful.
-func (st *attestState) provision(d *core.Device, id string) error {
+func (st *attestState) provision(d *core.Device, id, tenant string) error {
 	if st.rollout == nil || d.Spec.Mode == core.ModeBaseline {
 		return nil
 	}
@@ -205,7 +293,7 @@ func (st *attestState) provision(d *core.Device, id string) error {
 	if pack.Version <= d.ModelVersion() {
 		return nil
 	}
-	tok, err := st.manifest(id, pack)
+	tok, err := st.manifest(id, tenant, pack)
 	if err != nil {
 		return err
 	}
@@ -213,14 +301,15 @@ func (st *attestState) provision(d *core.Device, id string) error {
 }
 
 // handshake runs the challenge/report/verify exchange that admits the
-// device's traffic at the ingest tier.
-func (st *attestState) handshake(d *core.Device, id string) error {
-	nonce := st.verifier.Challenge(id)
+// device's traffic at the ingest tier, against the device's authority.
+func (st *attestState) handshake(d *core.Device, id, tenant string) error {
+	auth := st.authority(tenant)
+	nonce := auth.Challenge(id)
 	rep, err := d.Attest(nonce)
 	if err != nil {
 		return fmt.Errorf("attest %s: %w", id, err)
 	}
-	if err := st.verifier.Verify(rep); err != nil {
+	if err := auth.Verify(rep); err != nil {
 		return fmt.Errorf("verify %s: %w", id, err)
 	}
 	return nil
@@ -237,7 +326,7 @@ func (st *attestState) handshake(d *core.Device, id string) error {
 // A leaving device reports its outcome (its truncated workload did
 // complete on its granted version) but never waits for the verdict —
 // it is departing, and a blocked leaver could wedge the worker pool.
-func (st *attestState) converge(d *core.Device, id string, leaving bool) error {
+func (st *attestState) converge(d *core.Device, id, tenant string, leaving bool) error {
 	if st.rollout == nil || d.Spec.Mode != core.ModeSecureFilter {
 		return nil
 	}
@@ -255,10 +344,10 @@ func (st *attestState) converge(d *core.Device, id string, leaving bool) error {
 		st.recordRollback(id, d.ModelVersion(), st.rollout.LatestVersion(), reason)
 		return nil
 	}
-	if err := st.provision(d, id); err != nil {
+	if err := st.provision(d, id, tenant); err != nil {
 		return err
 	}
-	return st.handshake(d, id)
+	return st.handshake(d, id, tenant)
 }
 
 // recordRollback appends one abort-attributed rollback record.
@@ -301,17 +390,24 @@ func (r *rogueEndpoint) Reset() {
 
 // fillAttestResult derives the attested-run observability fields: the
 // fleet-wide and per-shard model-version tallies (for model-bearing
-// devices, as the verifier recorded them) and the rollout report.
+// devices, as the verifier recorded them), the lifecycle/federation
+// tallies and the rollout report.
 func fillAttestResult(res *Result, cfg Config, specs []core.DeviceSpec, st *attestState, router *cloud.Router) {
-	res.AttestedDevices = st.verifier.AttestedCount()
-	res.ModelVersions = st.verifier.VersionCounts()
+	res.AttestedDevices = st.attestedCount()
+	res.ModelVersions = st.versionCounts()
+	if cfg.Lifecycle != nil {
+		res.KeyEpochs = st.epochCounts()
+	}
+	if st.fed != nil {
+		res.TenantAttested = st.fed.AttestedByTenant()
+	}
 	res.ShardModelVersions = make(map[string]map[uint64]int)
 	for i := range specs {
 		if specs[i].Mode == core.ModeBaseline {
 			continue // no model pack; excluded from version tallies
 		}
 		id := specs[i].DeviceID
-		m, ok := st.verifier.Attested(id)
+		m, ok := st.authority(tenantFor(cfg, i)).Attested(id)
 		if !ok {
 			continue
 		}

@@ -336,8 +336,12 @@ type RebalanceReport struct {
 	DrainedShard string
 }
 
+// tenantName renders the label of billing tenant t.
+func tenantName(t int) string { return fmt.Sprintf("tenant-%02d", t) }
+
 // tenantFor stripes device traffic across the configured tenant count —
-// the cleartext billing label the fair-share admission policy sees.
+// the cleartext billing label the fair-share admission policy and the
+// per-tenant verifier federation see.
 func tenantFor(cfg Config, deviceIndex int) string {
-	return fmt.Sprintf("tenant-%02d", deviceIndex%cfg.Tenants)
+	return tenantName(deviceIndex % cfg.Tenants)
 }

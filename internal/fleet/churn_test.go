@@ -234,14 +234,14 @@ func TestRolloutAbortEmitsRollbacks(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := specs[0].DeviceID
-	if err := st.provision(d, id); err != nil {
+	if err := st.provision(d, id, tenantFor(cfg, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if got := d.ModelVersion(); got != st.base.Version {
 		t.Fatalf("held device at v%d, want base v%d", got, st.base.Version)
 	}
 	st.rollout.Abort("canary failed healthcheck")
-	if err := st.converge(d, id, false); err != nil {
+	if err := st.converge(d, id, tenantFor(cfg, 0), false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -260,10 +260,10 @@ func TestRolloutAbortEmitsRollbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.provision(d2, specs[1].DeviceID); err != nil {
+	if err := st.provision(d2, specs[1].DeviceID, tenantFor(cfg, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.converge(d2, specs[1].DeviceID, true); err != nil {
+	if err := st.converge(d2, specs[1].DeviceID, tenantFor(cfg, 1), true); err != nil {
 		t.Fatal(err)
 	}
 	if len(st.rollbacks) != 1 {

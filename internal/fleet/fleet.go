@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/attest"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -116,6 +117,19 @@ type Config struct {
 	// without attesting; the admission gate must reject every frame they
 	// send. Setting Rogues implies Attest.
 	Rogues int
+	// Lifecycle drives mid-run attestation-lifecycle events: key
+	// rotations issued while the rotating devices' frames are in flight
+	// (the verifier honors the old epoch under a grace window until the
+	// device redeems the token in its TEE and re-attests), and
+	// revocations of completed devices followed by probe frames that the
+	// ingest tier must reject — not shed. Implies Attest.
+	Lifecycle *LifecycleSpec
+	// Federate gives every tenant its own attestation verifier: digest
+	// policy, minimum model version, key epochs and revocation list are
+	// tenant-owned, and the ingest tier routes every frame's admission
+	// by the tenant label the frontend reads from the connection.
+	// Implies Attest.
+	Federate bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -212,6 +226,15 @@ func (c *Config) fillDefaults() error {
 	// Rogue clients only make sense against an admission gate; asking
 	// for them turns the gate on rather than silently doing nothing.
 	if c.Rogues > 0 {
+		c.Attest = true
+	}
+	if c.Lifecycle != nil {
+		if err := c.Lifecycle.fillDefaults(c.Seed); err != nil {
+			return err
+		}
+		c.Attest = true
+	}
+	if c.Federate {
 		c.Attest = true
 	}
 	return nil
@@ -383,6 +406,28 @@ type Result struct {
 	RogueAttempts      int
 	RogueRejected      int
 	UnattestedIngested int
+
+	// Lifecycle observability (zero values outside Lifecycle mode).
+
+	// Rotated counts devices that redeemed a key rotation in their TEE
+	// and re-attested at the new epoch; KeyEpochs tallies attested
+	// devices per key epoch at run end (revoked devices excluded — their
+	// attested state is gone).
+	Rotated   int
+	KeyEpochs map[uint64]int
+	// Revoked counts devices put on the revocation list mid-run;
+	// RevokeProbes frames were then fired under their identities and
+	// RevokeRejected of them were rejected (not shed) at the frontend —
+	// a correct gate keeps the two equal. RevokeDelivered counts probes
+	// that reached an endpoint anyway: a gate bypass, which must be 0.
+	Revoked         int
+	RevokeProbes    int
+	RevokeRejected  int
+	RevokeDelivered int
+
+	// TenantAttested tallies attested devices per tenant verifier
+	// (federated runs only).
+	TenantAttested map[string]int
 }
 
 // IngestedFrames sums frames processed across shards (drained shards
@@ -525,7 +570,7 @@ func Run(cfg Config) (*Result, error) {
 	policy, _ := cloud.PolicyByName(cfg.Policy) // validated in fillDefaults
 	router.SetPolicy(policy)
 	if st != nil {
-		router.SetGate(st.verifier)
+		router.SetGate(st.gate())
 		if st.rollout != nil {
 			// Wake any waiter on early return.
 			defer st.rollout.Abort("run ended before the rollout opened")
@@ -537,6 +582,12 @@ func Run(cfg Config) (*Result, error) {
 	// endpoints stay registered for the post-run audit (leavers excepted:
 	// their audit is folded into the run accounting at departure).
 	r := &runner{cfg: cfg, st: st, router: router, results: make([]*core.DeviceResult, len(all))}
+	if cfg.Lifecycle != nil {
+		// Lifecycle targets are drawn from the base population only, so
+		// the selection (and every non-churned device's behaviour) is
+		// independent of whether joiners exist.
+		r.lc = newLifecyclePlan(cfg, specs)
+	}
 	order := make([]int, len(all))
 	for i := range order {
 		order[i] = i
@@ -569,10 +620,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// The rollout completed: raise the fleet's minimum admitted model
-	// version, so from here on a straggler still attested at the base
-	// version would be rejected at ingest (attest.ErrStaleModel).
+	// version (on every tenant's authority), so from here on a straggler
+	// still attested at the base version would be rejected at ingest
+	// (attest.ErrStaleModel).
 	if st != nil && st.rollout != nil && st.rollout.Full() {
-		st.verifier.SetMinVersion(st.next.Version)
+		st.setMinVersion(st.next.Version)
 	}
 
 	// Rogue traffic fires before the audit snapshot so the per-shard
@@ -587,6 +639,9 @@ func Run(cfg Config) (*Result, error) {
 		res.RogueAttempts, res.RogueRejected, res.UnattestedIngested = rogueAttempts, rogueRejected, unattestedIngested
 		fillAttestResult(res, cfg, all, st, router)
 	}
+	if r.lc != nil {
+		r.lc.fill(res)
+	}
 	return res, nil
 }
 
@@ -598,11 +653,14 @@ type runner struct {
 	results []*core.DeviceResult
 	churn   *churnPlan
 	reb     *rebalancer
+	lc      *lifecyclePlan
 }
 
 // runOne is the per-worker pipeline: workload → build → provision to the
-// rollout target → attested handshake → register → process → rollout
-// convergence → (leavers) clean release.
+// rollout target → (lifecycle) rotation issued → attested handshake →
+// register → process → rotation redeemed + re-attested → rollout
+// convergence → (lifecycle) revocation + probes → (leavers) clean
+// release.
 func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 	w, err := workloadFor(r.cfg, spec, i)
 	if err != nil {
@@ -617,36 +675,65 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 		return fmt.Errorf("device %d: %w", i, err)
 	}
 	id := spec.DeviceID
+	tenant := tenantFor(r.cfg, i)
 	ep := d.CloudEndpoint()
+	// The frontend reads tenant and traffic class from the connection,
+	// never from sealed content: doorbell events are the fleet's
+	// flagged/security traffic and ride the priority lane; speaker
+	// telemetry is bulk.
+	meta := cloud.FrameMeta{Tenant: tenant, Priority: spec.Kind == core.DeviceDoorbell}
+	rotating := r.lc != nil && r.lc.rotate[i] && ep != nil
+	var rotTok attest.RotationToken
 	if r.st != nil {
-		if err := r.st.provision(d, id); err != nil {
+		if err := r.st.provision(d, id, tenant); err != nil {
 			return fmt.Errorf("device %d provision: %w", i, err)
 		}
+		if rotating {
+			// Rotation is issued *before* the handshake: the verifier
+			// already expects the next epoch while the device still signs
+			// at the old one, so this device's handshake — and its whole
+			// workload — runs inside the grace window, exactly the
+			// in-flight case rotation must never break.
+			if rotTok, err = r.st.authority(tenant).Rotate(id); err != nil {
+				return fmt.Errorf("device %d rotate: %w", i, err)
+			}
+		}
 		if ep != nil {
-			if err := r.st.handshake(d, id); err != nil {
+			if err := r.st.handshake(d, id, tenant); err != nil {
 				return fmt.Errorf("device %d: %w", i, err)
 			}
 		}
 	}
 	if ep != nil {
 		r.router.Register(id, ep)
-		d.SetUplink(&cloud.Uplink{DeviceID: id, Router: r.router, Meta: cloud.FrameMeta{
-			// The frontend reads tenant and traffic class from the
-			// connection, never from sealed content: doorbell events are
-			// the fleet's flagged/security traffic and ride the priority
-			// lane; speaker telemetry is bulk.
-			Tenant:   tenantFor(r.cfg, i),
-			Priority: spec.Kind == core.DeviceDoorbell,
-		}})
+		d.SetUplink(&cloud.Uplink{DeviceID: id, Router: r.router, Meta: meta})
 	}
 	res, err := d.Run(w)
 	if err != nil {
 		return fmt.Errorf("device %d: %w", i, err)
 	}
 	if r.st != nil {
-		if err := r.st.converge(d, id, leaving); err != nil {
+		if rotating && !leaving {
+			// Redeem inside the TEE, then re-attest at the new epoch —
+			// closing the grace window — before any rollout convergence
+			// mints manifests for this device at the rotated epoch.
+			if _, err := d.RotateKey(rotTok); err != nil {
+				return fmt.Errorf("device %d rotate redeem: %w", i, err)
+			}
+			if err := r.st.handshake(d, id, tenant); err != nil {
+				return fmt.Errorf("device %d re-attest: %w", i, err)
+			}
+			r.lc.noteRotated()
+		}
+		if err := r.st.converge(d, id, tenant, leaving); err != nil {
 			return fmt.Errorf("device %d converge: %w", i, err)
 		}
+	}
+	if r.lc != nil && r.lc.revoke[i] && ep != nil && !leaving {
+		// The compromised-device drill: revoke the completed device while
+		// the rest of the fleet is still processing, then prove its
+		// identity is cut off at the frontend within one frame.
+		r.lc.probeRevoked(r, id, tenant, meta)
 	}
 	if leaving {
 		// Clean departure: account for what the provider saw from this
@@ -657,7 +744,7 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 			r.router.Deregister(id)
 		}
 		if r.st != nil {
-			r.st.verifier.Release(id)
+			r.st.authority(tenant).Release(id)
 		}
 		r.churn.noteLeft()
 	}
