@@ -294,6 +294,39 @@ func BenchmarkFleetThroughputAttested(b *testing.B) {
 	b.ReportMetric(last.Latency.Percentile(99)/1e3, "virtual-us-p99/item")
 }
 
+// BenchmarkFleetThroughputTraced is the observability overhead probe:
+// the same fleet as BenchmarkFleetThroughput's 64/8 point with frame
+// telemetry at 1-in-1 sampling — every device traced, every span
+// exported. The items/s it reports must stay within ~3% of the untraced
+// figure (docs/PERFORMANCE.md); the benchgate regression family
+// deliberately excludes it so tracing cost is visible but never gated.
+func BenchmarkFleetThroughputTraced(b *testing.B) {
+	var last *fleet.Result
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Run(fleet.Config{
+			Devices:    64,
+			Shards:     8,
+			Utterances: 2,
+			Frames:     2,
+			Seed:       experiments.DefaultSeed,
+			Trace:      &fleet.TraceSpec{SampleEvery: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LostFrames() != 0 {
+			b.Fatalf("lost %d frames", res.LostFrames())
+		}
+		if res.Telemetry == nil || res.Telemetry.SpanCount() == 0 {
+			b.Fatal("traced run exported no spans")
+		}
+		last = res
+	}
+	b.ReportMetric(last.Throughput(), "items/s")
+	b.ReportMetric(float64(last.Telemetry.SpanCount()), "spans")
+	b.ReportMetric(last.Latency.Percentile(99)/1e3, "virtual-us-p99/item")
+}
+
 // BenchmarkFleetChurn measures elasticity overhead: the same 64-device
 // attested fleet at 0%, 10% and 30% churn (joins + leaves at the same
 // rate) with a mid-run shard drain and a weighted shard addition. The

@@ -19,8 +19,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cloud"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -52,6 +54,8 @@ func run(args []string) error {
 	rebalance := fs.Bool("rebalance", false, "mid-run tier rebalance: drain shard-00 and add a weight-2 shard at 50% completion")
 	policy := fs.String("policy", "fixed", "admission policy: fixed (blocking queue), shed (load-shedding), fair (per-tenant fair share)")
 	tenants := fs.Int("tenants", 4, "tenant count device traffic is striped across (fair-share accounting)")
+	traceOn := fs.Bool("trace", false, "enable frame telemetry (virtual-time spans, flight recorders) and print the trace dump")
+	traceSample := fs.Int("trace-sample", 64, "with -trace, trace 1 in N devices (1 = every device)")
 	jsonPath := fs.String("json", "", "write a JSON snapshot to this path")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +105,9 @@ func run(args []string) error {
 	if *rebalance {
 		cfg.Rebalance = &fleet.RebalanceSpec{AtFraction: 0.5, DrainShard: 0, AddShards: 1, AddWeight: 2}
 	}
+	if *traceOn {
+		cfg.Trace = &fleet.TraceSpec{SampleEvery: *traceSample}
+	}
 	fmt.Printf("PeriGuard fleet: %d devices, %d shards, batch %d, seed %d (attest %v, rollout %v)\n",
 		*devices, *shards, *batch, *seed, *attestOn || *rollout || *rogues > 0, *rollout)
 	start := time.Now()
@@ -128,11 +135,11 @@ func run(args []string) error {
 	fmt.Println(groups)
 
 	shardsTbl := metrics.NewTable("Ingest shards",
-		"shard", "w", "devices", "frames", "errors", "rejected", "shed", "prio",
+		"shard", "w", "devices", "frames", "errors", "rejected", "rej why", "shed", "prio",
 		"rebal", "queue peak", "drained", "model versions")
 	for _, s := range res.ShardStats {
 		shardsTbl.AddRow(s.Name, s.Weight, s.Devices, s.Frames, s.Errors, s.Rejected,
-			s.Shed, s.Prioritized, s.Rebalanced, s.QueuePeak, s.Drained,
+			rejectReasons(s), s.Shed, s.Prioritized, s.Rebalanced, s.QueuePeak, s.Drained,
 			versionString(res.ShardModelVersions[s.Name]))
 	}
 	fmt.Println(shardsTbl)
@@ -193,7 +200,44 @@ func run(args []string) error {
 		}
 		fmt.Printf("snapshot written to %s\n", *jsonPath)
 	}
+
+	if tel := res.Telemetry; tel != nil {
+		fmt.Printf("telemetry: 1-in-%d sampling, %d devices traced (%d skipped), %d spans, %d anomalies\n",
+			tel.SampleEvery, tel.SampledDevices(), tel.UnsampledDevices,
+			tel.SpanCount(), len(tel.Anomalies))
+		for _, a := range tel.Anomalies {
+			fmt.Printf("  anomaly %s: %s\n", a.Kind, a.Detail)
+		}
+		// The dump goes last so `periguard-fleet -trace | periguard-trace
+		// -timeline` works: ParseDump skips everything before the header.
+		if err := tel.WriteDump(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// rejectReasons renders a shard's per-reason rejection split like
+// "rev:4 pol:2" (zero reasons omitted, "-" when nothing was rejected).
+func rejectReasons(s cloud.ShardStats) string {
+	parts := make([]string, 0, 4)
+	for _, r := range []struct {
+		label string
+		n     uint64
+	}{
+		{"rev", s.RejectedRevoked},
+		{"stale", s.RejectedStale},
+		{"forged", s.RejectedForged},
+		{"pol", s.RejectedPolicy},
+	} {
+		if r.n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", r.label, r.n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
 }
 
 // snapshot is the stable JSON shape later PRs benchmark against; the
@@ -237,6 +281,45 @@ type snapshot struct {
 	// -federate runs respectively).
 	Lifecycle      *lifecycleJS   `json:"lifecycle,omitempty"`
 	TenantAttested map[string]int `json:"tenant_attested,omitempty"`
+
+	// Telemetry fields (omitted outside -trace runs). ItemsPerSecTraced
+	// duplicates items_per_sec so the tracing-overhead trajectory is
+	// benchmarkable without perturbing the untraced benchgate family.
+	ItemsPerSecTraced float64      `json:"items_per_sec_traced,omitempty"`
+	Telemetry         *telemetryJS `json:"telemetry,omitempty"`
+}
+
+// telemetryJS is the schema-checked telemetry block of a traced run:
+// sampling accounting, per-stage virtual-cycle latency quantiles, queue
+// and batch occupancy, terminal verdicts, attestation verbs, and the
+// flight-recorder anomaly log. Metadata only — no transcript tokens or
+// sealed bytes ever appear here.
+type telemetryJS struct {
+	SampleEvery       int                `json:"sample_every"`
+	SampledDevices    int                `json:"sampled_devices"`
+	UnsampledDevices  int                `json:"unsampled_devices"`
+	Spans             uint64             `json:"spans"`
+	Stages            map[string]stageJS `json:"stages"`
+	QueueDepthP99     float64            `json:"queue_depth_p99"`
+	BatchOccupancyP99 float64            `json:"batch_occupancy_p99"`
+	Verdicts          map[string]uint64  `json:"verdicts"`
+	Verbs             map[string]uint64  `json:"verbs,omitempty"`
+	Anomalies         []anomalyJS        `json:"anomalies,omitempty"`
+}
+
+// stageJS is one pipeline stage's latency histogram summary (virtual
+// cycles at 1 GHz).
+type stageJS struct {
+	Count     uint64  `json:"count"`
+	P50Cycles float64 `json:"p50_cycles"`
+	P99Cycles float64 `json:"p99_cycles"`
+}
+
+// anomalyJS is one flight-recorder dump trigger (the ring contents stay
+// in the text dump; the snapshot records what fired and why).
+type anomalyJS struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
 }
 
 // lifecycleJS summarizes mid-run key rotation and revocation: rotated
@@ -266,18 +349,23 @@ type groupJS struct {
 // that makes rollout progress observable from the snapshot. Drained
 // shards appear with drained=true and their final (retired) counters.
 type shardJS struct {
-	Name          string         `json:"name"`
-	Devices       int            `json:"devices"`
-	Weight        int            `json:"weight"`
-	Frames        uint64         `json:"frames"`
-	Errors        uint64         `json:"errors"`
-	Rejected      uint64         `json:"rejected"`
-	Shed          uint64         `json:"shed"`
-	Prioritized   uint64         `json:"prioritized"`
-	Rebalanced    uint64         `json:"rebalanced"`
-	QueuePeak     int            `json:"queue_peak"`
-	Drained       bool           `json:"drained"`
-	ModelVersions map[string]int `json:"model_versions,omitempty"`
+	Name     string `json:"name"`
+	Devices  int    `json:"devices"`
+	Weight   int    `json:"weight"`
+	Frames   uint64 `json:"frames"`
+	Errors   uint64 `json:"errors"`
+	Rejected uint64 `json:"rejected"`
+	// Per-reason split of Rejected (the four sum to it exactly).
+	RejectedRevoked uint64         `json:"rejected_revoked,omitempty"`
+	RejectedStale   uint64         `json:"rejected_stale,omitempty"`
+	RejectedForged  uint64         `json:"rejected_forged,omitempty"`
+	RejectedPolicy  uint64         `json:"rejected_policy,omitempty"`
+	Shed            uint64         `json:"shed"`
+	Prioritized     uint64         `json:"prioritized"`
+	Rebalanced      uint64         `json:"rebalanced"`
+	QueuePeak       int            `json:"queue_peak"`
+	Drained         bool           `json:"drained"`
+	ModelVersions   map[string]int `json:"model_versions,omitempty"`
 }
 
 // churnJS summarizes mid-run population churn.
@@ -346,6 +434,48 @@ func tallyString(in map[uint64]int, prefix string) string {
 	return strings.Join(parts, " ")
 }
 
+// telemetryBlock renders the aggregated obs.Telemetry into the snapshot
+// schema: stage histograms collapse to count/p50/p99, verdict and verb
+// maps re-key by name, anomalies keep kind+detail only.
+func telemetryBlock(tel *obs.Telemetry) *telemetryJS {
+	tj := &telemetryJS{
+		SampleEvery:       tel.SampleEvery,
+		SampledDevices:    tel.SampledDevices(),
+		UnsampledDevices:  tel.UnsampledDevices,
+		Spans:             tel.SpanCount(),
+		Stages:            map[string]stageJS{},
+		QueueDepthP99:     tel.Queue.Quantile(0.99),
+		BatchOccupancyP99: tel.Batch.Quantile(0.99),
+		Verdicts:          map[string]uint64{},
+	}
+	for _, s := range obs.Stages() {
+		h := tel.Stages[s]
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		tj.Stages[s.String()] = stageJS{
+			Count:     h.Count(),
+			P50Cycles: h.Quantile(0.5),
+			P99Cycles: h.Quantile(0.99),
+		}
+	}
+	for _, v := range obs.Verdicts() {
+		if n := tel.Verdicts[v]; n > 0 {
+			tj.Verdicts[v.String()] = n
+		}
+	}
+	if len(tel.Verbs) > 0 {
+		tj.Verbs = make(map[string]uint64, len(tel.Verbs))
+		for k, n := range tel.Verbs {
+			tj.Verbs[k] = n
+		}
+	}
+	for _, a := range tel.Anomalies {
+		tj.Anomalies = append(tj.Anomalies, anomalyJS{Kind: a.Kind, Detail: a.Detail})
+	}
+	return tj
+}
+
 func writeSnapshot(path string, res *fleet.Result) error {
 	snap := snapshot{
 		Devices:            res.Config.Devices,
@@ -408,18 +538,22 @@ func writeSnapshot(path string, res *fleet.Result) error {
 	}
 	for _, s := range res.ShardStats {
 		snap.ShardStats = append(snap.ShardStats, shardJS{
-			Name:          s.Name,
-			Devices:       s.Devices,
-			Weight:        s.Weight,
-			Frames:        s.Frames,
-			Errors:        s.Errors,
-			Rejected:      s.Rejected,
-			Shed:          s.Shed,
-			Prioritized:   s.Prioritized,
-			Rebalanced:    s.Rebalanced,
-			QueuePeak:     s.QueuePeak,
-			Drained:       s.Drained,
-			ModelVersions: versionKeys(res.ShardModelVersions[s.Name]),
+			Name:            s.Name,
+			Devices:         s.Devices,
+			Weight:          s.Weight,
+			Frames:          s.Frames,
+			Errors:          s.Errors,
+			Rejected:        s.Rejected,
+			RejectedRevoked: s.RejectedRevoked,
+			RejectedStale:   s.RejectedStale,
+			RejectedForged:  s.RejectedForged,
+			RejectedPolicy:  s.RejectedPolicy,
+			Shed:            s.Shed,
+			Prioritized:     s.Prioritized,
+			Rebalanced:      s.Rebalanced,
+			QueuePeak:       s.QueuePeak,
+			Drained:         s.Drained,
+			ModelVersions:   versionKeys(res.ShardModelVersions[s.Name]),
 		})
 	}
 	if r := res.Rollout; r != nil {
@@ -440,6 +574,10 @@ func writeSnapshot(path string, res *fleet.Result) error {
 				Reason:      rb.Reason,
 			})
 		}
+	}
+	if tel := res.Telemetry; tel != nil {
+		snap.ItemsPerSecTraced = res.Throughput()
+		snap.Telemetry = telemetryBlock(tel)
 	}
 	blob, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -103,7 +103,7 @@ func TestSnapshotSmoke(t *testing.T) {
 		"-devices", "12", "-shards", "2", "-utterances", "2", "-frames", "2",
 		"-rollout", "-rogues", "2", "-churn", "0.3", "-rebalance",
 		"-rotate", "0.25", "-revoke", "0.15", "-federate", "-tenants", "2",
-		"-policy", "shed", "-json", path,
+		"-policy", "shed", "-trace", "-trace-sample", "1", "-json", path,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -150,5 +150,35 @@ func TestSnapshotSmoke(t *testing.T) {
 	}
 	if len(snap.TenantAttested) != 2 {
 		t.Fatalf("tenant_attested: %v", snap.TenantAttested)
+	}
+	tel := snap.Telemetry
+	if tel == nil || tel.SampleEvery != 1 {
+		t.Fatalf("telemetry block missing or wrong rate: %+v", tel)
+	}
+	if tel.Spans == 0 || len(tel.Stages) == 0 {
+		t.Fatalf("traced run exported no spans: %+v", tel)
+	}
+	if tel.SampledDevices+tel.UnsampledDevices == 0 || tel.UnsampledDevices != 0 {
+		t.Fatalf("1-in-1 sampling skipped devices: %+v", tel)
+	}
+	var rejected uint64
+	for name, n := range tel.Verdicts {
+		if strings.HasPrefix(name, "rejected-") {
+			rejected += n
+		}
+	}
+	var shardRejected, byReason uint64
+	for _, s := range snap.ShardStats {
+		shardRejected += s.Rejected
+		byReason += s.RejectedRevoked + s.RejectedStale + s.RejectedForged + s.RejectedPolicy
+	}
+	if byReason != shardRejected {
+		t.Fatalf("per-reason rejects %d != total rejects %d", byReason, shardRejected)
+	}
+	if rejected != shardRejected {
+		t.Fatalf("rejected spans %d != shard rejects %d", rejected, shardRejected)
+	}
+	if snap.ItemsPerSecTraced == 0 {
+		t.Fatal("items_per_sec_traced missing on a traced run")
 	}
 }

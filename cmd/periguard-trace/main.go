@@ -1,15 +1,27 @@
-// Command periguard-trace runs the paper's §IV.2 TCB-minimization
-// workflow: trace one capture task, print the minimal function set, the
-// image size reductions, and the conditional-compilation directives that
-// would strip the unused driver code from the OP-TEE image.
+// Command periguard-trace has two modes. By default it runs the paper's
+// §IV.2 TCB-minimization workflow: trace one capture task, print the
+// minimal function set, the image size reductions, and the
+// conditional-compilation directives that would strip the unused driver
+// code from the OP-TEE image.
+//
+// With -timeline it is the fleet-telemetry viewer instead: it reads a
+// frame-trace dump (stdin, or a file via -in) and renders per-device
+// span timelines in virtual time, so
+//
+//	periguard-fleet -devices 64 -trace -trace-sample 1 | periguard-trace -timeline
+//
+// prints what every sampled frame did at each pipeline stage and which
+// verdict terminated it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -22,8 +34,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("periguard-trace", flag.ContinueOnError)
 	showDirectives := fs.Bool("directives", false, "print the exclude directives")
+	timeline := fs.Bool("timeline", false, "render a fleet frame-trace dump as per-device timelines")
+	inPath := fs.String("in", "", "trace dump to read with -timeline (default: stdin)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *timeline {
+		return renderTimeline(*inPath)
 	}
 
 	report, err := repro.MinimizeTCB()
@@ -50,4 +67,24 @@ func run(args []string) error {
 			len(report.ExcludeDirectives))
 	}
 	return nil
+}
+
+// renderTimeline parses a trace dump and renders it. ParseDump skips any
+// preamble before the dump header, so piping the whole periguard-fleet
+// stdout through works without cleanup.
+func renderTimeline(path string) error {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tel, err := obs.ParseDump(r)
+	if err != nil {
+		return err
+	}
+	return tel.RenderTimeline(os.Stdout)
 }

@@ -27,6 +27,8 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/attest"
+	"repro/internal/obs"
 	"repro/internal/supplicant"
 )
 
@@ -124,6 +126,30 @@ type ShardStats struct {
 	Rebalanced  uint64 // frames redirected here after a ring change
 	QueuePeak   int    // high-water mark of admitted-but-not-yet-served frames
 	Drained     bool   // shard was drained out of the ring
+
+	// Per-reason split of Rejected, classified from the gate error's
+	// %w chain (RejectVerdict). The four always sum to Rejected.
+	RejectedRevoked uint64 // revocation-list hits (attest.ErrRevoked)
+	RejectedStale   uint64 // model/epoch floor (attest.ErrStaleModel, ErrKeyEpoch)
+	RejectedForged  uint64 // forged or replayed evidence (attest.ErrBadReport, ErrReplay)
+	RejectedPolicy  uint64 // everything else (unattested, measurement, unknown)
+}
+
+// RejectVerdict classifies an admission-gate rejection by the %w-wrapped
+// cause chain the gate returned, mapping it onto the telemetry verdict
+// that names the reason. Anything the chain does not identify is a
+// policy rejection.
+func RejectVerdict(gateErr error) obs.Verdict {
+	switch {
+	case errors.Is(gateErr, attest.ErrRevoked):
+		return obs.VerdictRejectedRevoked
+	case errors.Is(gateErr, attest.ErrStaleModel), errors.Is(gateErr, attest.ErrKeyEpoch):
+		return obs.VerdictRejectedStale
+	case errors.Is(gateErr, attest.ErrReplay), errors.Is(gateErr, attest.ErrBadReport):
+		return obs.VerdictRejectedForged
+	default:
+		return obs.VerdictRejectedPolicy
+	}
 }
 
 // Shard is one ingest partition: a set of device endpoints plus a bounded
@@ -142,11 +168,16 @@ type Shard struct {
 	gate        AdmissionGate
 	tenantGate  TenantAdmissionGate // gate, when it routes by tenant (cached assertion)
 	policy      AdmissionPolicy
+	flight      *obs.FlightRecorder // nil outside traced runs (nil-safe Note)
 	endpoints   map[string]Provider
 	closed      bool
 	frames      uint64
 	errs        uint64
 	rejected    uint64
+	rejRevoked  uint64
+	rejStale    uint64
+	rejForged   uint64
+	rejPolicy   uint64
 	shed        uint64
 	prioritized uint64
 	rebalanced  uint64
@@ -281,6 +312,16 @@ func (s *Shard) SetPolicy(p AdmissionPolicy) {
 	s.policy = p
 }
 
+// SetFlightRecorder installs (or clears, with nil) the shard's telemetry
+// flight recorder. Every admission verdict — delivered, shed, rejected —
+// is noted with the queue depth at decision time; a nil recorder keeps
+// the path free of telemetry work.
+func (s *Shard) SetFlightRecorder(f *obs.FlightRecorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flight = f
+}
+
 // noteRebalanced counts a frame that reached this shard only after a
 // ring change redirected it away from its previously resolved owner.
 func (s *Shard) noteRebalanced() {
@@ -320,7 +361,20 @@ func (s *Shard) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byt
 		}
 		if gateErr != nil {
 			s.rejected++
+			verdict := RejectVerdict(gateErr)
+			switch verdict {
+			case obs.VerdictRejectedRevoked:
+				s.rejRevoked++
+			case obs.VerdictRejectedStale:
+				s.rejStale++
+			case obs.VerdictRejectedForged:
+				s.rejForged++
+			default:
+				s.rejPolicy++
+			}
+			flight, depth := s.flight, s.pending
 			s.mu.Unlock()
+			flight.Note(deviceID, meta.Tenant, verdict, depth)
 			return nil, fmt.Errorf("%w: %q on shard %s: %w", ErrRejected, deviceID, s.name, gateErr)
 		}
 	}
@@ -332,7 +386,9 @@ func (s *Shard) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byt
 	// an empty bulk queue.
 	if s.policy != nil && !meta.Priority && s.policy.ShouldShed(meta, s.bulkPending, s.depth) {
 		s.shed++
+		flight, depth := s.flight, s.bulkPending
 		s.mu.Unlock()
+		flight.Note(deviceID, meta.Tenant, obs.VerdictShed, depth)
 		return nil, fmt.Errorf("%w: %q on shard %s", ErrShed, deviceID, s.name)
 	}
 	if meta.Priority {
@@ -352,8 +408,10 @@ func (s *Shard) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byt
 		s.queuePeak = s.pending
 	}
 	s.inflight.Add(1)
+	flight, depth := s.flight, s.pending
 	s.mu.Unlock()
 	defer s.inflight.Done()
+	flight.Note(deviceID, meta.Tenant, obs.VerdictDelivered, depth)
 
 	reply := make(chan ingestReply, 1)
 	job := ingestJob{endpoint: endpoint, frame: frame, meta: meta, reply: reply}
@@ -386,15 +444,19 @@ func (s *Shard) Stats() ShardStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ShardStats{
-		Name:        s.name,
-		Devices:     len(s.endpoints),
-		Frames:      s.frames,
-		Errors:      s.errs,
-		Rejected:    s.rejected,
-		Shed:        s.shed,
-		Prioritized: s.prioritized,
-		Rebalanced:  s.rebalanced,
-		QueuePeak:   s.queuePeak,
+		Name:            s.name,
+		Devices:         len(s.endpoints),
+		Frames:          s.frames,
+		Errors:          s.errs,
+		Rejected:        s.rejected,
+		RejectedRevoked: s.rejRevoked,
+		RejectedStale:   s.rejStale,
+		RejectedForged:  s.rejForged,
+		RejectedPolicy:  s.rejPolicy,
+		Shed:            s.shed,
+		Prioritized:     s.prioritized,
+		Rebalanced:      s.rebalanced,
+		QueuePeak:       s.queuePeak,
 	}
 }
 
@@ -424,6 +486,7 @@ type Router struct {
 	replicas int
 	gate     AdmissionGate
 	policy   AdmissionPolicy
+	flight   func(string) *obs.FlightRecorder // per-shard recorder source (nil untraced)
 	shards   []*Shard
 	weights  map[string]int
 	ring     []ringPoint // sorted by hash
@@ -539,6 +602,9 @@ func (r *Router) AddShard(s *Shard, weight int) {
 	defer r.mu.Unlock()
 	s.SetGate(r.gate)
 	s.SetPolicy(r.policy)
+	if r.flight != nil {
+		s.SetFlightRecorder(r.flight(s.Name()))
+	}
 	r.shards = append(r.shards, s)
 	r.weights[s.Name()] = weight
 	r.rebuildRingLocked()
@@ -650,6 +716,22 @@ func (r *Router) SetPolicy(p AdmissionPolicy) {
 	r.policy = p
 	for _, s := range r.shards {
 		s.SetPolicy(p)
+	}
+}
+
+// SetFlight installs a per-shard flight-recorder source (obs.Tracer's
+// Flight method fits) on every shard, including shards added later. A
+// nil source clears the recorders.
+func (r *Router) SetFlight(fn func(string) *obs.FlightRecorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flight = fn
+	for _, s := range r.shards {
+		if fn == nil {
+			s.SetFlightRecorder(nil)
+		} else {
+			s.SetFlightRecorder(fn(s.Name()))
+		}
 	}
 }
 

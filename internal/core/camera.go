@@ -21,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ml/classify"
 	"repro/internal/ml/train"
+	"repro/internal/obs"
 	"repro/internal/optee"
 	"repro/internal/peripheral"
 	"repro/internal/power"
@@ -217,6 +218,12 @@ type ProcessedFrame struct {
 	// queue pressure (cloud.ErrShed); see ProcessedUtterance.Shed.
 	Shed   bool
 	Cycles tz.Cycles
+	// Stage decomposition of Cycles (the camera path has no transcribe
+	// stage) plus the sealed event size, for telemetry spans.
+	Grab       tz.Cycles
+	Classify   tz.Cycles
+	Relay      tz.Cycles
+	SealedSize int
 }
 
 // CameraTA classifies frames in the TEE and relays only benign ones.
@@ -495,6 +502,8 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 	if p[1].A == 0 {
 		return rec, false, nil
 	}
+	rec.Grab = t.clock.Now() - start
+	classifyStart := t.clock.Now()
 	clf, err := t.loadedClassifier()
 	if err != nil {
 		return rec, false, err
@@ -509,6 +518,8 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 	}
 	t.clock.Advance(tz.Cycles(clf.EstimateMACs() / 4))
 	rec.Flagged = cls == 1
+	rec.Classify = t.clock.Now() - classifyStart
+	relayStart := t.clock.Now()
 
 	if !rec.Flagged {
 		t.mu.Lock()
@@ -525,6 +536,7 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 			return rec, false, err
 		}
 		sealed := t.channel.Seal(payload)
+		rec.SealedSize = len(sealed)
 		resp, err := t.tee.RPC(optee.RPCRequest{
 			Kind: optee.RPCNetSend, Target: CloudTarget, Payload: sealed,
 		})
@@ -543,6 +555,7 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 		}
 		rec.Forwarded = true
 	}
+	rec.Relay = t.clock.Now() - relayStart
 	rec.Cycles = t.clock.Now() - start
 	t.mu.Lock()
 	t.processed = append(t.processed, rec)
@@ -593,6 +606,10 @@ type CameraSystem struct {
 	PTA        *CameraPTA
 	TA         *CameraTA
 	Cloud      *cloud.Service
+
+	// trace is the doorbell's sampled telemetry context (nil outside
+	// traced runs); see System.SetTrace.
+	trace *obs.TraceContext
 
 	// Baseline parts.
 	frameBuf   uint64
@@ -684,6 +701,10 @@ func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
 	sys.TEE.RegisterTA(ta)
 	return sys, nil
 }
+
+// SetTrace installs the doorbell's telemetry trace context (nil clears);
+// see System.SetTrace.
+func (s *CameraSystem) SetTrace(tc *obs.TraceContext) { s.trace = tc }
 
 // SetUplink reroutes the doorbell's sealed traffic through sink; see
 // System.SetUplink. Baseline doorbells never uplink (raw frames stay on
@@ -865,6 +886,11 @@ func (s *CameraSystem) runBaseline(scenes []peripheral.Scene, res *CameraSession
 		if scene.Sensitive() {
 			res.ForwardedPersons++
 		}
+		// Baseline doorbells never uplink, so the trace is capture-only.
+		if tc := s.trace; tc.Enabled() {
+			tc.NextItem()
+			tc.Emit(obs.StageCapture, obs.VerdictNone, start, s.Clock.Now()-start, len(im.Pix), 0)
+		}
 		res.Latency.Observe(float64(s.Clock.Now() - start))
 	}
 	return nil
@@ -882,6 +908,8 @@ func (s *CameraSystem) runSecure(scenes []peripheral.Scene, res *CameraSessionRe
 	if err := s.PTA.Open(0); err != nil {
 		return err
 	}
+	traceBefore := len(s.TA.Processed())
+	traceStart := s.Clock.Now()
 	for range scenes {
 		start := s.Clock.Now()
 		p := &optee.Params{{}, {}}
@@ -904,6 +932,28 @@ func (s *CameraSystem) runSecure(scenes []peripheral.Scene, res *CameraSessionRe
 	// Correlate TA verdicts with PTA ground truth.
 	truth := s.PTA.Truth()
 	records := s.TA.Processed()
+	// Export this session's frames to the trace: capture, classify (the
+	// terminal stage for flagged frames) and relay laid back to back.
+	if tc := s.trace; tc.Enabled() {
+		cursor := traceStart
+		for _, rec := range records[traceBefore:] {
+			tc.NextItem()
+			tc.Emit(obs.StageCapture, obs.VerdictNone, cursor, rec.Grab, cameraFrameBytes, 0)
+			v := obs.VerdictNone
+			if !rec.Forwarded {
+				v = obs.VerdictBlocked
+			}
+			tc.Emit(obs.StageClassify, v, cursor+rec.Grab, rec.Classify, 0, 1)
+			if rec.Forwarded {
+				rv := obs.VerdictDelivered
+				if rec.Shed {
+					rv = obs.VerdictShed
+				}
+				tc.Emit(obs.StageRelay, rv, cursor+rec.Grab+rec.Classify, rec.Relay, rec.SealedSize, 0)
+			}
+			cursor += rec.Cycles
+		}
+	}
 	for i, rec := range records {
 		if i >= len(truth) {
 			break

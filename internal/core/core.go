@@ -33,6 +33,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/ml/classify"
 	"repro/internal/ml/train"
+	"repro/internal/obs"
 	"repro/internal/optee"
 	"repro/internal/peripheral"
 	"repro/internal/relay"
@@ -200,6 +201,10 @@ type System struct {
 	Vocab      *sensitive.Vocabulary
 	ASRModel   *asr.Model
 	Recognizer *asr.Session // device-side (TA) recognizer session
+
+	// trace is the device's sampled telemetry context (nil outside traced
+	// runs and for sampled-out devices — the zero-cost path).
+	trace *obs.TraceContext
 
 	radioBytes uint64
 	mu         sync.Mutex
@@ -372,6 +377,12 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Config returns the system's configuration (defaults filled).
 func (s *System) Config() Config { return s.cfg }
+
+// SetTrace installs the device's telemetry trace context (nil clears).
+// Spans carry stage timings, sealed sizes and admission verdicts only —
+// never transcript tokens. Install before RunSession; the hot path reads
+// the pointer without locking.
+func (s *System) SetTrace(tc *obs.TraceContext) { s.trace = tc }
 
 // buildBaseline registers the normal-world char device and the plain cloud.
 func (s *System) buildBaseline() error {

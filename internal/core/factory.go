@@ -13,6 +13,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/metrics"
 	"repro/internal/ml/classify"
+	"repro/internal/obs"
 	"repro/internal/peripheral"
 	"repro/internal/relay"
 	"repro/internal/sensitive"
@@ -278,6 +279,16 @@ func (d *Device) KeyEpoch() uint64 {
 		return d.Speaker.KeyEpoch()
 	}
 	return d.Doorbell.KeyEpoch()
+}
+
+// SetTrace installs the device's sampled telemetry trace context (nil
+// for untraced runs and sampled-out devices — the zero-cost path).
+func (d *Device) SetTrace(tc *obs.TraceContext) {
+	if d.Speaker != nil {
+		d.Speaker.SetTrace(tc)
+		return
+	}
+	d.Doorbell.SetTrace(tc)
 }
 
 // SetUplink reroutes the device's cloud-bound traffic through sink.

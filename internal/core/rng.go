@@ -39,6 +39,9 @@ const (
 	// SaltLifecycle derives the attestation-lifecycle selection stream
 	// (which devices rotate keys or are revoked mid-run).
 	SaltLifecycle uint64 = 0x11f3c
+	// SaltTrace derives per-device telemetry sampling seeds (internal/obs
+	// decides from this seed alone whether a device's frames are traced).
+	SaltTrace uint64 = 0x7ace
 )
 
 // NewRNG returns the deterministic PCG stream for the pair. It is the

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/i2s"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/optee"
 	"repro/internal/power"
 	"repro/internal/sensitive"
@@ -290,6 +291,40 @@ func (s *System) finalizeSession(res *SessionResult, startCycles tz.Cycles) {
 	})
 }
 
+// emitUtteranceSpans exports one processed utterance's stage timeline to
+// the device's trace context. Stage starts are laid out back to back from
+// start, so the timeline is a pure function of the virtual clock. The
+// terminal span carries the admission verdict: a withheld utterance ends
+// at classify (blocked), a forwarded one at relay (delivered or shed).
+// Only sizes, timings and verdicts are exported — never transcripts.
+func (s *System) emitUtteranceSpans(start tz.Cycles, rec ProcessedUtterance, batch int) {
+	tc := s.trace
+	if !tc.Enabled() {
+		return
+	}
+	tc.NextItem()
+	t := start
+	tc.Emit(obs.StageCapture, obs.VerdictNone, t, rec.Stages.Capture, 0, 0)
+	t += rec.Stages.Capture
+	tc.Emit(obs.StageTranscribe, obs.VerdictNone, t, rec.Stages.Transcribe, 0, 0)
+	t += rec.Stages.Transcribe
+	if s.cfg.Mode == ModeSecureFilter {
+		v := obs.VerdictNone
+		if !rec.Forwarded {
+			v = obs.VerdictBlocked
+		}
+		tc.Emit(obs.StageClassify, v, t, rec.Stages.Classify, 0, batch)
+	}
+	t += rec.Stages.Classify
+	if rec.Forwarded {
+		v := obs.VerdictDelivered
+		if rec.Shed {
+			v = obs.VerdictShed
+		}
+		tc.Emit(obs.StageRelay, v, t, rec.Stages.Relay, rec.SealedSize, 0)
+	}
+}
+
 // runBaselineUtterance: mic -> untrusted driver -> user app -> raw audio
 // to the cloud, which transcribes server-side.
 func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (UtteranceOutcome, error) {
@@ -350,6 +385,7 @@ func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (Utt
 		payload[2*j+1] = byte(u >> 8)
 	}
 	s.Clock.Advance(tz.Cycles(len(payload)) * s.Cost.CopyPerByte)
+	relayStart := s.Clock.Now()
 	s.mu.Lock()
 	s.radioBytes += uint64(len(payload))
 	sink := s.uplink
@@ -365,6 +401,15 @@ func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (Utt
 	out.Forwarded = true
 	out.Cycles = s.Clock.Now() - start
 	out.Stages.Capture = out.Cycles // single-stage path
+	if tc := s.trace; tc.Enabled() {
+		tc.NextItem()
+		tc.Emit(obs.StageCapture, obs.VerdictNone, start, relayStart-start, len(payload), 0)
+		v := obs.VerdictDelivered
+		if out.Shed {
+			v = obs.VerdictShed
+		}
+		tc.Emit(obs.StageRelay, v, relayStart, s.Clock.Now()-relayStart, len(payload), 0)
+	}
 	return out, nil
 }
 
@@ -407,6 +452,7 @@ func (s *System) runSecureUtterance(sess *teec.Session, i int, u sensitive.Utter
 		s.mu.Unlock()
 	}
 	out.Cycles = s.Clock.Now() - start
+	s.emitUtteranceSpans(start, rec, 1)
 	return out, nil
 }
 
@@ -439,6 +485,7 @@ func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) 
 	for lo := 0; lo < len(utterances); lo += batch {
 		hi := min(lo+batch, len(utterances))
 		group := utterances[lo:hi]
+		groupStart := s.Clock.Now()
 
 		// Queue the whole group onto the bus; the mic appends signals, so
 		// the FIFO holds the utterances back to back.
@@ -465,7 +512,10 @@ func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) 
 		if len(records) != before+len(group) {
 			return nil, fmt.Errorf("batch at %d: %d records for %d utterances", lo, len(records)-before, len(group))
 		}
+		cursor := groupStart
 		for i, rec := range records[before:] {
+			s.emitUtteranceSpans(cursor, rec, len(group))
+			cursor += rec.Stages.Total()
 			out := UtteranceOutcome{
 				Truth:      group[i],
 				Transcript: rec.Transcript,

@@ -363,6 +363,37 @@ func TestE12ShapesHold(t *testing.T) {
 	}
 }
 
+// TestE14ShapesHold asserts the frame-telemetry acceptance claims: at
+// 1-in-1 sampling every client is traced, the per-verdict span tallies
+// equal the audit counters bit-exactly (E14FrameTelemetry errors out on
+// any divergence), the revocation drill leaves an anomaly with its
+// flight-recorder dump, and the exported trace survives the strict
+// metadata-only grammar round trip.
+func TestE14ShapesHold(t *testing.T) {
+	tbl, res, err := E14FrameTelemetry(DefaultSeed)
+	if err != nil {
+		t.Fatalf("E14: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if res.Spans == 0 || res.Delivered == 0 {
+		t.Fatalf("telemetry empty: %+v", res)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("lifecycle probes and rogues produced no rejection spans")
+	}
+	if res.Anomalies == 0 {
+		t.Fatal("no anomaly recorded despite revocations")
+	}
+	if !res.RoundTrip {
+		t.Fatal("dump round trip diverged")
+	}
+	if res.DumpBytes == 0 {
+		t.Fatal("empty trace dump")
+	}
+}
+
 func TestDriverRigCaptureBytes(t *testing.T) {
 	rig, err := newDriverRig(tz.WorldNormal, 4096)
 	if err != nil {

@@ -10,11 +10,13 @@ package experiments
 // preserved (and auditable) at fleet scale.
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // E10Point is one fleet size in the sweep.
@@ -317,6 +319,139 @@ func E13AttestationLifecycle(seed uint64) (*metrics.Table, E13Result, error) {
 			out.KeyEpochs, out.Rotated)
 	case !out.FederationOK:
 		return tbl, out, fmt.Errorf("federated fleet: tenant tallies %v inconsistent", out.TenantAttested)
+	}
+	return tbl, out, nil
+}
+
+// E14Result is the frame-telemetry experiment outcome.
+type E14Result struct {
+	Devices        int
+	SampledDevices int
+	Spans          uint64
+	// Terminal-span tallies at 1-in-1 sampling, which must equal the
+	// audit counters bit-exactly (every frame's fate is witnessed by
+	// exactly one verdict-bearing span).
+	Delivered uint64
+	Shed      uint64
+	Rejected  uint64
+	// The audit side of the equalities.
+	IngestedFrames uint64
+	ShedFrames     uint64
+	RejectedFrames uint64
+	// Control-plane telemetry.
+	Verbs     map[string]uint64
+	Anomalies int
+	DumpBytes int
+	// RoundTrip reports whether the exported dump parses back into the
+	// same verdict counters under the strict grammar.
+	RoundTrip   bool
+	ItemsPerSec float64
+}
+
+// E14FrameTelemetry is the end-to-end telemetry experiment: an attested
+// 64-device fleet with mid-run key rotation, revocations (probe frames
+// fired under revoked identities), rogue unattested clients and a
+// load-shedding admission policy, traced at 1-in-1 sampling. The claim
+// under test is trace↔audit consistency: with every device sampled,
+// exactly one verdict-bearing span witnesses each frame's fate, so the
+// per-verdict span tallies equal the ingest tier's audit counters
+// bit-exactly — delivered spans == ingested frames, shed spans == shed
+// frames, rejection spans == per-reason rejection counters — and the
+// equalities survive a dump/parse round trip under the strict
+// metadata-only grammar.
+func E14FrameTelemetry(seed uint64) (*metrics.Table, E14Result, error) {
+	res, err := fleet.Run(fleet.Config{
+		Devices:      64,
+		Shards:       4,
+		ShardWorkers: 2,
+		ShardQueue:   2,
+		Utterances:   2,
+		Frames:       2,
+		Seed:         seed,
+		FreqHz:       FreqHz,
+		Policy:       "shed",
+		Lifecycle:    &fleet.LifecycleSpec{RotateFraction: 0.2, RevokeFraction: 0.1},
+		Rogues:       4,
+		Trace:        &fleet.TraceSpec{SampleEvery: 1},
+	})
+	if err != nil {
+		return nil, E14Result{}, fmt.Errorf("traced fleet: %w", err)
+	}
+	tel := res.Telemetry
+	if tel == nil {
+		return nil, E14Result{}, fmt.Errorf("traced fleet returned no telemetry block")
+	}
+	out := E14Result{
+		Devices:        res.Config.Devices,
+		SampledDevices: tel.SampledDevices(),
+		Spans:          tel.SpanCount(),
+		Delivered:      tel.VerdictCount(obs.VerdictDelivered),
+		Shed:           tel.VerdictCount(obs.VerdictShed),
+		Rejected:       tel.RejectedCount(),
+		IngestedFrames: res.IngestedFrames(),
+		ShedFrames:     res.ShedFrames(),
+		Verbs:          tel.Verbs,
+		Anomalies:      len(tel.Anomalies),
+		ItemsPerSec:    res.Throughput(),
+	}
+	var rejRevoked, rejStale, rejForged, rejPolicy uint64
+	for _, s := range res.ShardStats {
+		out.RejectedFrames += s.Rejected
+		rejRevoked += s.RejectedRevoked
+		rejStale += s.RejectedStale
+		rejForged += s.RejectedForged
+		rejPolicy += s.RejectedPolicy
+	}
+
+	var dump bytes.Buffer
+	if err := tel.WriteDump(&dump); err != nil {
+		return nil, E14Result{}, fmt.Errorf("trace dump: %w", err)
+	}
+	out.DumpBytes = dump.Len()
+	parsed, err := obs.ParseDump(&dump)
+	if err != nil {
+		return nil, E14Result{}, fmt.Errorf("trace dump does not parse under the strict grammar: %w", err)
+	}
+	out.RoundTrip = parsed.VerdictCount(obs.VerdictDelivered) == out.Delivered &&
+		parsed.VerdictCount(obs.VerdictShed) == out.Shed &&
+		parsed.RejectedCount() == out.Rejected
+
+	tbl := metrics.NewTable("E14: frame telemetry (1-in-1 sampling, shed policy, lifecycle + rogues)",
+		"devices", "sampled", "spans", "delivered==ingested", "shed==shed",
+		"rejected==rejected", "verbs", "anomalies", "dump bytes", "items/s(wall)")
+	tbl.AddRow(out.Devices, out.SampledDevices, out.Spans,
+		fmt.Sprintf("%d==%d", out.Delivered, out.IngestedFrames),
+		fmt.Sprintf("%d==%d", out.Shed, out.ShedFrames),
+		fmt.Sprintf("%d==%d", out.Rejected, out.RejectedFrames),
+		fmt.Sprintf("%v", out.Verbs), out.Anomalies, out.DumpBytes, out.ItemsPerSec)
+	switch {
+	case out.SampledDevices != res.Config.Devices+res.Config.Rogues:
+		return tbl, out, fmt.Errorf("telemetry: sampled %d of %d clients at 1-in-1",
+			out.SampledDevices, res.Config.Devices+res.Config.Rogues)
+	case out.Delivered != out.IngestedFrames:
+		return tbl, out, fmt.Errorf("telemetry: %d delivered spans vs %d ingested frames",
+			out.Delivered, out.IngestedFrames)
+	case out.Shed != out.ShedFrames:
+		return tbl, out, fmt.Errorf("telemetry: %d shed spans vs %d shed frames",
+			out.Shed, out.ShedFrames)
+	case out.Rejected != out.RejectedFrames:
+		return tbl, out, fmt.Errorf("telemetry: %d rejection spans vs %d rejected frames",
+			out.Rejected, out.RejectedFrames)
+	case tel.VerdictCount(obs.VerdictRejectedRevoked) != rejRevoked ||
+		tel.VerdictCount(obs.VerdictRejectedStale) != rejStale ||
+		tel.VerdictCount(obs.VerdictRejectedForged) != rejForged ||
+		tel.VerdictCount(obs.VerdictRejectedPolicy) != rejPolicy:
+		return tbl, out, fmt.Errorf("telemetry: per-reason rejection spans diverge from shard counters")
+	case out.Verbs[obs.VerbRotate] != uint64(res.Rotated):
+		return tbl, out, fmt.Errorf("telemetry: %d rotate verbs vs %d rotations",
+			out.Verbs[obs.VerbRotate], res.Rotated)
+	case out.Verbs[obs.VerbRevoke] != uint64(res.Revoked):
+		return tbl, out, fmt.Errorf("telemetry: %d revoke verbs vs %d revocations",
+			out.Verbs[obs.VerbRevoke], res.Revoked)
+	case res.Revoked > 0 && out.Anomalies == 0:
+		return tbl, out, fmt.Errorf("telemetry: revocations occurred but no anomaly was recorded")
+	case !out.RoundTrip:
+		return tbl, out, fmt.Errorf("telemetry: dump round trip changed the verdict tallies")
 	}
 	return tbl, out, nil
 }

@@ -17,10 +17,13 @@ import (
 	"fmt"
 	"sync"
 
+	"errors"
+
 	"repro/internal/attest"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/ml/classify"
+	"repro/internal/obs"
 	"repro/internal/sensitive"
 )
 
@@ -82,6 +85,9 @@ type attestState struct {
 	// device, and reused for every per-device manifest.
 	baseDigest attest.Digest
 	nextDigest attest.Digest
+	// tracer counts attestation verbs (nil on untraced runs; every
+	// method on a nil tracer no-ops).
+	tracer *obs.Tracer
 
 	mu        sync.Mutex
 	rollbacks []RollbackRecord
@@ -312,6 +318,7 @@ func (st *attestState) handshake(d *core.Device, id, tenant string) error {
 	if err := auth.Verify(rep); err != nil {
 		return fmt.Errorf("verify %s: %w", id, err)
 	}
+	st.tracer.Verb(obs.VerbVerify)
 	return nil
 }
 
@@ -447,15 +454,34 @@ func fillAttestResult(res *Result, cfg Config, specs []core.DeviceSpec, st *atte
 // ring, tallying attempts, gate rejections, and (what must stay zero)
 // frames that reached an endpoint. The rogue endpoints are deregistered
 // afterwards so the audited shard stats describe the real population.
-func runRogues(cfg Config, router *cloud.Router) (attempts, rejected, ingested int) {
+// Rogues sample like real devices (trace seeds continue the population's
+// index space from seedBase), and each attempt's admission outcome is a
+// zero-duration StageAdmit span — no device virtual clock runs for an
+// off-fleet client.
+func runRogues(cfg Config, router *cloud.Router, tracer *obs.Tracer, seedBase int) (attempts, rejected, ingested int) {
 	for i := 0; i < cfg.Rogues; i++ {
 		id := fmt.Sprintf("rogue-%03d", i)
+		// Rogues carry no real billing label; the dump grammar demands an
+		// identifier, so their spans are labelled "unattested".
+		tc := tracer.Device(id, "unattested", core.DeriveSeed(cfg.Seed, core.SaltTrace, seedBase+i))
 		ep := &rogueEndpoint{}
 		router.Register(id, ep)
 		for j := 0; j < cfg.Utterances; j++ {
 			attempts++
-			if _, err := router.Ingest(id, []byte("unattested payload")); err != nil {
+			_, err := router.Ingest(id, []byte("unattested payload"))
+			if err != nil {
 				rejected++
+			}
+			if tc.Enabled() {
+				tc.NextItem()
+				switch {
+				case err == nil:
+					tc.Emit(obs.StageAdmit, obs.VerdictDelivered, 0, 0, 0, 0)
+				case errors.Is(err, cloud.ErrShed):
+					tc.Emit(obs.StageAdmit, obs.VerdictShed, 0, 0, 0, 0)
+				default:
+					tc.Emit(obs.StageAdmit, cloud.RejectVerdict(err), 0, 0, 0, 0)
+				}
 			}
 		}
 		ingested += ep.Audit().Events

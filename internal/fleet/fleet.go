@@ -34,6 +34,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/peripheral"
 	"repro/internal/sensitive"
 )
@@ -130,6 +131,32 @@ type Config struct {
 	// by the tenant label the frontend reads from the connection.
 	// Implies Attest.
 	Federate bool
+
+	// Trace enables end-to-end frame telemetry: virtual-time tracing
+	// spans on a deterministic 1-in-N device sample, per-shard flight
+	// recorders dumped on anomaly, and the aggregated histogram registry
+	// in Result.Telemetry. Nil disables telemetry entirely — untraced
+	// runs pay nothing on the hot path.
+	Trace *TraceSpec
+}
+
+// TraceSpec parameterizes the run's frame telemetry.
+type TraceSpec struct {
+	// SampleEvery traces 1 in N devices; the decision is a pure function
+	// of each device's trace seed (core.SaltTrace off the root seed), so
+	// the sampled set — and the exported dump — is bit-reproducible.
+	// Default 64; 1 traces every device.
+	SampleEvery int
+}
+
+func (t *TraceSpec) fillDefaults() error {
+	if t.SampleEvery < 0 {
+		return fmt.Errorf("%w: trace sample rate %d", ErrBadConfig, t.SampleEvery)
+	}
+	if t.SampleEvery == 0 {
+		t.SampleEvery = 64
+	}
+	return nil
 }
 
 func (c *Config) fillDefaults() error {
@@ -236,6 +263,11 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Federate {
 		c.Attest = true
+	}
+	if c.Trace != nil {
+		if err := c.Trace.fillDefaults(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -428,6 +460,13 @@ type Result struct {
 	// TenantAttested tallies attested devices per tenant verifier
 	// (federated runs only).
 	TenantAttested map[string]int
+
+	// Telemetry is the run's aggregated telemetry block — per-stage
+	// latency histograms, queue-depth and batch-occupancy histograms,
+	// verdict and attestation-verb counters, anomalies with their
+	// flight-recorder dumps, and the sampled traces themselves. Nil on
+	// untraced runs.
+	Telemetry *obs.Telemetry
 }
 
 // IngestedFrames sums frames processed across shards (drained shards
@@ -569,11 +608,24 @@ func Run(cfg Config) (*Result, error) {
 	defer router.Close()
 	policy, _ := cloud.PolicyByName(cfg.Policy) // validated in fillDefaults
 	router.SetPolicy(policy)
+	var tracer *obs.Tracer
+	if cfg.Trace != nil {
+		tracer = obs.NewTracer(cfg.Trace.SampleEvery)
+		// Every shard admission outcome — all devices, not just sampled
+		// ones — lands in that shard's flight recorder.
+		router.SetFlight(tracer.Flight)
+	}
 	if st != nil {
+		st.tracer = tracer
 		router.SetGate(st.gate())
 		if st.rollout != nil {
 			// Wake any waiter on early return.
-			defer st.rollout.Abort("run ended before the rollout opened")
+			defer func() {
+				if !st.rollout.Full() {
+					tracer.Anomaly("rollout-abort", "run ended before the rollout opened")
+				}
+				st.rollout.Abort("run ended before the rollout opened")
+			}()
 		}
 	}
 
@@ -581,7 +633,7 @@ func Run(cfg Config) (*Result, error) {
 	// its endpoint on the ring, process, and drop the pipeline. The
 	// endpoints stay registered for the post-run audit (leavers excepted:
 	// their audit is folded into the run accounting at departure).
-	r := &runner{cfg: cfg, st: st, router: router, results: make([]*core.DeviceResult, len(all))}
+	r := &runner{cfg: cfg, st: st, router: router, tracer: tracer, results: make([]*core.DeviceResult, len(all))}
 	if cfg.Lifecycle != nil {
 		// Lifecycle targets are drawn from the base population only, so
 		// the selection (and every non-churned device's behaviour) is
@@ -603,7 +655,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := eachDevice(order, cfg.DeviceWorkers, func(i int) error {
 		err := r.runOne(all[i], i)
 		if err != nil && st != nil && st.rollout != nil {
-			st.rollout.Abort(fmt.Sprintf("device failure: %v", err))
+			reason := fmt.Sprintf("device failure: %v", err)
+			tracer.Anomaly("rollout-abort", reason)
+			st.rollout.Abort(reason)
 		}
 		return err
 	}); err != nil {
@@ -631,9 +685,16 @@ func Run(cfg Config) (*Result, error) {
 	// rejection counters it provokes are visible in the result.
 	var rogueAttempts, rogueRejected, unattestedIngested int
 	if st != nil {
-		rogueAttempts, rogueRejected, unattestedIngested = runRogues(cfg, router)
+		rogueAttempts, rogueRejected, unattestedIngested = runRogues(cfg, router, tracer, len(all))
 	}
 	res := aggregate(cfg, buildWall, runWall, r, router)
+	if tracer != nil {
+		tel, err := tracer.Summary()
+		if err != nil {
+			return nil, err
+		}
+		res.Telemetry = tel
+	}
 	res.Joined = len(joiners)
 	if st != nil {
 		res.RogueAttempts, res.RogueRejected, res.UnattestedIngested = rogueAttempts, rogueRejected, unattestedIngested
@@ -650,6 +711,7 @@ type runner struct {
 	cfg     Config
 	st      *attestState
 	router  *cloud.Router
+	tracer  *obs.Tracer
 	results []*core.DeviceResult
 	churn   *churnPlan
 	reb     *rebalancer
@@ -676,6 +738,11 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 	}
 	id := spec.DeviceID
 	tenant := tenantFor(r.cfg, i)
+	// The sampling decision is a pure function of the device's trace
+	// seed; sampled-out devices thread a nil context (the zero-cost
+	// path) through their whole pipeline.
+	tc := r.tracer.Device(id, tenant, core.DeriveSeed(r.cfg.Seed, core.SaltTrace, i))
+	d.SetTrace(tc)
 	ep := d.CloudEndpoint()
 	// The frontend reads tenant and traffic class from the connection,
 	// never from sealed content: doorbell events are the fleet's
@@ -697,6 +764,7 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 			if rotTok, err = r.st.authority(tenant).Rotate(id); err != nil {
 				return fmt.Errorf("device %d rotate: %w", i, err)
 			}
+			r.tracer.Verb(obs.VerbRotate)
 		}
 		if ep != nil {
 			if err := r.st.handshake(d, id, tenant); err != nil {
@@ -733,7 +801,7 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 		// The compromised-device drill: revoke the completed device while
 		// the rest of the fleet is still processing, then prove its
 		// identity is cut off at the frontend within one frame.
-		r.lc.probeRevoked(r, id, tenant, meta)
+		r.lc.probeRevoked(r, id, tenant, meta, tc)
 	}
 	if leaving {
 		// Clean departure: account for what the provider saw from this

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // LifecycleSpec drives mid-run key rotation and revocation.
@@ -136,13 +137,31 @@ func (p *lifecyclePlan) noteRotated() {
 // frames that must all be rejected. The rejection must be the admission
 // gate's (ErrRejected, counted in ShardStats.Rejected): a shed or — far
 // worse — a delivery is a gate bypass.
-func (p *lifecyclePlan) probeRevoked(r *runner, id, tenant string, meta cloud.FrameMeta) {
+func (p *lifecyclePlan) probeRevoked(r *runner, id, tenant string, meta cloud.FrameMeta, tc *obs.TraceContext) {
 	r.st.authority(tenant).Revoke(id, "lifecycle drill: compromised device")
+	r.tracer.Verb(obs.VerbRevoke)
+	// The first revocation of the run dumps every shard's flight
+	// recorder: the admission timeline that led up to the cut-off.
+	r.tracer.Anomaly("first-revocation", fmt.Sprintf("device %s revoked", id))
 	p.mu.Lock()
 	p.revoked++
 	p.mu.Unlock()
 	for j := 0; j < p.probes; j++ {
 		_, err := r.router.IngestMeta(id, []byte("post-revocation probe"), meta)
+		// Probes are observed off-device, so their spans carry no device
+		// virtual time — StageAdmit with zero start and duration, one
+		// terminal verdict per probe, mirroring the accounting below.
+		if tc.Enabled() {
+			tc.NextItem()
+			switch {
+			case err == nil:
+				tc.Emit(obs.StageAdmit, obs.VerdictDelivered, 0, 0, 0, 0)
+			case errors.Is(err, cloud.ErrShed):
+				tc.Emit(obs.StageAdmit, obs.VerdictShed, 0, 0, 0, 0)
+			default:
+				tc.Emit(obs.StageAdmit, cloud.RejectVerdict(err), 0, 0, 0, 0)
+			}
+		}
 		p.mu.Lock()
 		p.probeAttempts++
 		switch {

@@ -1,0 +1,150 @@
+package fleet
+
+// Telemetry properties the tentpole promises: the exported trace dump is
+// a pure function of seed and config (bit-reproducible across runs), the
+// dump carries metadata only (the strict grammar parses every line and
+// no transcript token leaks into it), tracing at the default sampling
+// rate does not perturb a single audit counter, and the sampler's
+// decisions partition the population exactly.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sensitive"
+)
+
+// tracedLifecycleConfig is a fully-featured deterministic run: attested
+// handshakes, key rotation, revocation probes, rogue clients — but the
+// fixed (never-shed) admission policy and no rollout, so every span is a
+// pure function of the root seed.
+func tracedLifecycleConfig(sampleEvery int) Config {
+	return Config{
+		Devices:    48,
+		Shards:     4,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       7,
+		Lifecycle:  &LifecycleSpec{RotateFraction: 0.25, RevokeFraction: 0.125},
+		Rogues:     3,
+		Trace:      &TraceSpec{SampleEvery: sampleEvery},
+	}
+}
+
+func dumpOf(t *testing.T, res *Result) []byte {
+	t.Helper()
+	if res.Telemetry == nil {
+		t.Fatal("traced run returned no telemetry block")
+	}
+	var buf bytes.Buffer
+	if err := res.Telemetry.WriteDump(&buf); err != nil {
+		t.Fatalf("trace dump: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDumpDeterministic: two runs of the same seed and config
+// produce byte-identical trace dumps, lifecycle drills and rogues
+// included.
+func TestTraceDumpDeterministic(t *testing.T) {
+	first, err := Run(tracedLifecycleConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(tracedLifecycleConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := dumpOf(t, first), dumpOf(t, second)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace dumps differ across identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+	if first.Telemetry.SpanCount() == 0 {
+		t.Fatal("no spans at 1-in-1 sampling")
+	}
+}
+
+// TestTraceDumpMetadataOnly is the leak guard: an all-sensitive workload
+// is traced at 1-in-1 sampling and the dump must still parse under the
+// strict span grammar, with not one private lexicon token anywhere in
+// it — a span has no field that could carry payload, and this pins it.
+func TestTraceDumpMetadataOnly(t *testing.T) {
+	cfg := tracedLifecycleConfig(1)
+	cfg.SensitiveFraction = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := dumpOf(t, res)
+	if _, err := obs.ParseDump(bytes.NewReader(dump)); err != nil {
+		t.Fatalf("dump violates the strict grammar: %v", err)
+	}
+	words := strings.FieldsFunc(string(dump), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z')
+	})
+	for _, w := range words {
+		if sensitive.IsSensitiveWord(w) {
+			t.Fatalf("private token %q leaked into the trace dump", w)
+		}
+	}
+	if res.Audit.SensitiveTokens == 0 {
+		t.Fatal("workload carried no sensitive tokens; leak check is vacuous")
+	}
+}
+
+// TestTracedRunLeavesAuditUnchanged: tracing at the default sampling
+// rate is observability, not behaviour — cloud events, sensitive tokens
+// and frame conservation are bit-identical to the untraced run.
+func TestTracedRunLeavesAuditUnchanged(t *testing.T) {
+	plain := tracedLifecycleConfig(0)
+	plain.Trace = nil
+	untraced, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(tracedLifecycleConfig(0)) // default 1-in-64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Telemetry == nil || traced.Telemetry.SampleEvery != 64 {
+		t.Fatalf("default sampling not applied: %+v", traced.Telemetry)
+	}
+	if got, want := traced.Audit, untraced.Audit; got.Events != want.Events ||
+		got.TokensSeen != want.TokensSeen || got.SensitiveTokens != want.SensitiveTokens ||
+		got.AudioBytes != want.AudioBytes {
+		t.Fatalf("tracing changed the audit: %+v vs %+v", got, want)
+	}
+	if got, want := traced.IngestedFrames(), untraced.IngestedFrames(); got != want {
+		t.Fatalf("tracing changed ingested frames: %d vs %d", got, want)
+	}
+	if got, want := traced.LostFrames(), untraced.LostFrames(); got != 0 || want != 0 {
+		t.Fatalf("lost frames: traced %d, untraced %d", got, want)
+	}
+	if got, want := traced.RevokeRejected, untraced.RevokeRejected; got != want {
+		t.Fatalf("tracing changed probe rejections: %d vs %d", got, want)
+	}
+}
+
+// TestTraceSamplingPartitionsPopulation: every client is either sampled
+// (its trace is exported) or counted unsampled — nothing is dropped on
+// the floor, at any rate.
+func TestTraceSamplingPartitionsPopulation(t *testing.T) {
+	for _, every := range []int{1, 4, 1 << 20} {
+		cfg := tracedLifecycleConfig(every)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel := res.Telemetry
+		clients := cfg.Devices + cfg.Rogues
+		if got := tel.SampledDevices() + tel.UnsampledDevices; got != clients {
+			t.Fatalf("sample-every=%d: %d sampled + %d unsampled != %d clients",
+				every, tel.SampledDevices(), tel.UnsampledDevices, clients)
+		}
+		if every == 1 && tel.SampledDevices() != clients {
+			t.Fatalf("1-in-1 sampling skipped clients: %d of %d", tel.SampledDevices(), clients)
+		}
+	}
+}

@@ -45,6 +45,64 @@ func TestPercentileProperty(t *testing.T) {
 	}
 }
 
+// Property: merging per-shard histograms of a partitioned event stream
+// yields bit-identical bucket counts to one histogram observing the
+// whole stream — the same associativity Recorder.Merge has for samples,
+// here checked down to the individual bucket counters.
+func TestHistogramMergeProperty(t *testing.T) {
+	bounds := ExpBuckets(1, 4, 10)
+	prop := func(raw []float64, shardsRaw uint8) bool {
+		var vals []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			vals = append(vals, v)
+		}
+		shards := int(shardsRaw%7) + 1
+		single, err := NewHistogram(bounds...)
+		if err != nil {
+			return false
+		}
+		parts := make([]*Histogram, shards)
+		for i := range parts {
+			if parts[i], err = NewHistogram(bounds...); err != nil {
+				return false
+			}
+		}
+		for i, v := range vals {
+			single.Observe(v)
+			parts[i%shards].Observe(v)
+		}
+		merged, err := NewHistogram(bounds...)
+		if err != nil {
+			return false
+		}
+		if err := merged.Merge(parts...); err != nil {
+			return false
+		}
+		if merged.Count() != single.Count() {
+			return false
+		}
+		for i, c := range merged.Buckets() {
+			if c != single.Buckets()[i] {
+				return false
+			}
+		}
+		// Quantile estimates come straight from the counts, so they must
+		// agree too.
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if merged.Quantile(q) != single.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: stddev is zero iff all samples are equal (within float64).
 func TestStddevProperty(t *testing.T) {
 	prop := func(v float64, n uint8) bool {

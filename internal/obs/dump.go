@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/tz"
+)
+
+// dumpHeader is the first line of every trace dump; the parser keys on
+// it, so a CLI can skip any human-readable preamble printed before it.
+const dumpHeader = "# periguard trace v1"
+
+// WriteDump renders the deterministic part of the telemetry block: the
+// header, the run's sampling parameters, and every sampled span sorted
+// by device (Traces order) with emission order preserved per device.
+// Spans are stamped in virtual cycles, so the dump is byte-identical
+// across runs of the same seed and config. Flight-recorder rings and
+// the queue-depth histogram depend on goroutine arrival order and are
+// deliberately absent.
+func (t *Telemetry) WriteDump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, dumpHeader)
+	fmt.Fprintf(bw, "# sample-every %d sampled %d spans %d\n",
+		t.SampleEvery, t.SampledDevices(), t.SpanCount())
+	for _, tr := range t.Traces {
+		for _, sp := range tr.Spans {
+			fmt.Fprintf(bw, "span device=%s tenant=%s seq=%d stage=%s verdict=%s start=%d dur=%d bytes=%d batch=%d\n",
+				sp.Device, sp.Tenant, sp.Seq, sp.Stage, sp.Verdict,
+				uint64(sp.Start), uint64(sp.Dur), sp.Bytes, sp.Batch)
+		}
+	}
+	return bw.Flush()
+}
+
+// parseStage / parseVerdict invert the String tokens.
+func parseStage(tok string) (Stage, error) {
+	for _, s := range Stages() {
+		if s.String() == tok {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown stage %q", tok)
+}
+
+func parseVerdict(tok string) (Verdict, error) {
+	if tok == VerdictNone.String() {
+		return VerdictNone, nil
+	}
+	for _, v := range Verdicts() {
+		if v.String() == tok {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown verdict %q", tok)
+}
+
+// labelOK enforces the identity-label charset: device and tenant names
+// are machine identifiers, so any free text in a label field is a
+// grammar violation, not data.
+func labelOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// spanFields is the exact field order of a span line.
+var spanFields = []string{"device", "tenant", "seq", "stage", "verdict", "start", "dur", "bytes", "batch"}
+
+// parseSpanLine parses one "span ..." line under the strict grammar:
+// the nine known key=value fields, in order, with validated values.
+func parseSpanLine(line string) (Span, error) {
+	fields := strings.Fields(line)
+	if len(fields) != len(spanFields)+1 || fields[0] != "span" {
+		return Span{}, fmt.Errorf("obs: malformed span line %q", line)
+	}
+	vals := make(map[string]string, len(spanFields))
+	for i, key := range spanFields {
+		kv := fields[i+1]
+		prefix := key + "="
+		if !strings.HasPrefix(kv, prefix) {
+			return Span{}, fmt.Errorf("obs: span line field %d: want %s=..., got %q", i+1, key, kv)
+		}
+		vals[key] = kv[len(prefix):]
+	}
+	var sp Span
+	sp.Device, sp.Tenant = vals["device"], vals["tenant"]
+	if !labelOK(sp.Device) || !labelOK(sp.Tenant) {
+		return Span{}, fmt.Errorf("obs: span line carries a non-identifier label: %q", line)
+	}
+	var err error
+	if sp.Seq, err = strconv.Atoi(vals["seq"]); err != nil {
+		return Span{}, fmt.Errorf("obs: bad seq: %w", err)
+	}
+	if sp.Stage, err = parseStage(vals["stage"]); err != nil {
+		return Span{}, err
+	}
+	if sp.Verdict, err = parseVerdict(vals["verdict"]); err != nil {
+		return Span{}, err
+	}
+	start, err := strconv.ParseUint(vals["start"], 10, 64)
+	if err != nil {
+		return Span{}, fmt.Errorf("obs: bad start: %w", err)
+	}
+	dur, err := strconv.ParseUint(vals["dur"], 10, 64)
+	if err != nil {
+		return Span{}, fmt.Errorf("obs: bad dur: %w", err)
+	}
+	sp.Start, sp.Dur = tz.Cycles(start), tz.Cycles(dur)
+	if sp.Bytes, err = strconv.Atoi(vals["bytes"]); err != nil {
+		return Span{}, fmt.Errorf("obs: bad bytes: %w", err)
+	}
+	if sp.Batch, err = strconv.Atoi(vals["batch"]); err != nil {
+		return Span{}, fmt.Errorf("obs: bad batch: %w", err)
+	}
+	return sp, nil
+}
+
+// ParseDump reads a trace dump back into a Telemetry block (traces,
+// stage/batch histograms and verdict counters rebuilt from the spans).
+// Input before the header line is skipped, so the CLI output of
+// periguard-fleet pipes in directly. The grammar is strict: after the
+// header, every non-comment line must be a well-formed span line —
+// that strictness is the dump's leak guard, since no field can carry
+// free text.
+func ParseDump(r io.Reader) (*Telemetry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	started := false
+	sampleEvery := 1
+	var spans []Span
+	for sc.Scan() {
+		line := sc.Text()
+		if !started {
+			if strings.TrimSpace(line) == dumpHeader {
+				started = true
+			}
+			continue
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "# sample-every ") {
+			fields := strings.Fields(trimmed)
+			if len(fields) >= 3 {
+				if n, err := strconv.Atoi(fields[2]); err == nil && n > 0 {
+					sampleEvery = n
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		sp, err := parseSpanLine(trimmed)
+		if err != nil {
+			return nil, err
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !started {
+		return nil, fmt.Errorf("obs: no %q header in input", dumpHeader)
+	}
+	tel, err := NewTelemetry(sampleEvery)
+	if err != nil {
+		return nil, err
+	}
+	var cur *DeviceTrace
+	for _, sp := range spans {
+		if cur == nil || cur.Device != sp.Device {
+			tel.Traces = append(tel.Traces, DeviceTrace{Device: sp.Device, Tenant: sp.Tenant})
+			cur = &tel.Traces[len(tel.Traces)-1]
+		}
+		cur.Spans = append(cur.Spans, sp)
+	}
+	if err := tel.foldTraces(); err != nil {
+		return nil, err
+	}
+	return tel, nil
+}
+
+// RenderTimeline renders the per-device span timelines as aligned text
+// (virtual microseconds at 1 GHz) followed by the per-stage latency
+// summary — the human view of a dump, shared by cmd/periguard-trace
+// and the experiment harness.
+func (t *Telemetry) RenderTimeline(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "== frame trace: %d sampled device(s), %d spans (1-in-%d sampling) ==\n",
+		t.SampledDevices(), t.SpanCount(), t.SampleEvery)
+	for _, tr := range t.Traces {
+		fmt.Fprintf(bw, "%s  tenant=%s\n", tr.Device, tr.Tenant)
+		for _, sp := range tr.Spans {
+			verdict := ""
+			if sp.Verdict != VerdictNone {
+				verdict = "  -> " + sp.Verdict.String()
+			}
+			extra := ""
+			if sp.Batch > 0 {
+				extra = fmt.Sprintf("  batch=%d", sp.Batch)
+			}
+			if sp.Bytes > 0 {
+				extra += fmt.Sprintf("  bytes=%d", sp.Bytes)
+			}
+			fmt.Fprintf(bw, "  item %2d  %-10s %10.1f +%9.1f vus%s%s\n",
+				sp.Seq, sp.Stage, float64(sp.Start)/1e3, float64(sp.Dur)/1e3, extra, verdict)
+		}
+	}
+	fmt.Fprintln(bw, "per-stage latency (virtual us):")
+	for _, s := range Stages() {
+		h := t.Stages[s]
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "  %-10s n=%-6d p50=%10.1f p99=%10.1f\n",
+			s, h.Count(), h.Quantile(0.5)/1e3, h.Quantile(0.99)/1e3)
+	}
+	verdicts := "verdicts:"
+	for _, v := range Verdicts() {
+		if n := t.Verdicts[v]; n > 0 {
+			verdicts += fmt.Sprintf(" %s=%d", v, n)
+		}
+	}
+	fmt.Fprintln(bw, verdicts)
+	for _, a := range t.Anomalies {
+		fmt.Fprintf(bw, "anomaly %s: %s\n", a.Kind, a.Detail)
+	}
+	return bw.Flush()
+}

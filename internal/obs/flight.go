@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// DefaultFlightCap is the per-shard flight-recorder ring capacity.
+const DefaultFlightCap = 256
+
+// FlightEvent is one admission outcome in a shard's flight recorder:
+// cleartext connection metadata plus the queue depth the frontend saw
+// when it decided — exactly what an operator needs to diagnose a slow
+// or shedding shard, and nothing a provider does not already learn.
+type FlightEvent struct {
+	Device  string
+	Tenant  string
+	Verdict Verdict
+	Depth   int // admitted-but-unserved frames at decision time
+}
+
+// FlightRecorder is a bounded ring of the most recent admission
+// outcomes on one shard. Note is allocation-free (the ring and the
+// depth histogram are preallocated) and safe under the shard lock: its
+// own mutex is a leaf, and the first-shed trigger runs after the lock
+// is released. Ring contents depend on arrival order across device
+// workers and are therefore diagnostic, never part of the
+// deterministic trace dump.
+type FlightRecorder struct {
+	shard  string
+	onShed func() // first-shed anomaly trigger (runs unlocked)
+
+	mu       sync.Mutex
+	ring     []FlightEvent
+	next     int
+	total    uint64
+	depth    *metrics.Histogram
+	shedSeen bool
+}
+
+// newFlightRecorder preallocates the ring and the queue-depth
+// histogram; capacity is floored at 1.
+func newFlightRecorder(shard string, capacity int, onShed func()) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	depth, err := metrics.NewHistogram(metrics.ExpBuckets(1, 2, 10)...)
+	if err != nil {
+		panic(err) // static bounds; unreachable
+	}
+	return &FlightRecorder{
+		shard:  shard,
+		onShed: onShed,
+		ring:   make([]FlightEvent, capacity),
+		depth:  depth,
+	}
+}
+
+// Shard returns the shard this recorder rides on.
+func (f *FlightRecorder) Shard() string {
+	if f == nil {
+		return ""
+	}
+	return f.shard
+}
+
+// Note records one admission outcome. Nil-safe and allocation-free, so
+// the shard ingest path calls it unconditionally. The first shed seen
+// fires the anomaly trigger exactly once, outside the recorder lock.
+func (f *FlightRecorder) Note(device, tenant string, verdict Verdict, depth int) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = FlightEvent{Device: device, Tenant: tenant, Verdict: verdict, Depth: depth}
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	f.total++
+	f.depth.Observe(float64(depth))
+	fire := false
+	if verdict == VerdictShed && !f.shedSeen {
+		f.shedSeen = true
+		fire = f.onShed != nil
+	}
+	f.mu.Unlock()
+	if fire {
+		f.onShed()
+	}
+}
+
+// Total returns how many outcomes were noted (including overwritten
+// ones).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Events snapshots the ring oldest-first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.ring)
+	if f.total < uint64(n) {
+		n = int(f.total)
+		return append([]FlightEvent(nil), f.ring[:n]...)
+	}
+	out := make([]FlightEvent, 0, n)
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// DepthHistogram returns a copy of the queue-depth histogram.
+func (f *FlightRecorder) DepthHistogram() *metrics.Histogram {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.depth.Clone()
+}

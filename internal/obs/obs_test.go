@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tz"
+)
+
+// Sampling is a pure function of the seed: same seed, same fate, and a
+// 1-in-N rate actually fires even though DeriveSeed only produces odd
+// seeds (the finalizer must avalanche before the modulo).
+func TestSampledDeterministicAndNonDegenerate(t *testing.T) {
+	hits := 0
+	for i := 0; i < 64*64; i++ {
+		seed := uint64(i)*0x9e3779b97f4a7c15 | 1 // odd, like DeriveSeed outputs
+		a, b := Sampled(seed, 64), Sampled(seed, 64)
+		if a != b {
+			t.Fatalf("sampling not deterministic for seed %#x", seed)
+		}
+		if a {
+			hits++
+		}
+	}
+	// 4096 odd seeds at 1/64: expect ~64 hits; degenerate implementations
+	// (bare modulo on odd seeds) give 0.
+	if hits < 16 || hits > 256 {
+		t.Fatalf("1/64 sampling hit %d of 4096 odd seeds; want roughly 64", hits)
+	}
+	if !Sampled(12345, 1) || !Sampled(12345, 0) {
+		t.Fatal("rate <= 1 must sample everything")
+	}
+}
+
+// A sampled-out device's nil TraceContext must cost zero allocations on
+// every hot-path entry point — the PR-2 discipline applied to telemetry.
+func TestNilTraceContextZeroAlloc(t *testing.T) {
+	var tc *TraceContext
+	var f *FlightRecorder
+	allocs := testing.AllocsPerRun(200, func() {
+		tc.NextItem()
+		tc.Emit(StageCapture, VerdictNone, 1, 2, 3, 0)
+		tc.Emit(StageRelay, VerdictDelivered, 4, 5, 6, 0)
+		f.Note("device-00001", "tenant-00", VerdictDelivered, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil telemetry path allocated %.1f times per run; want 0", allocs)
+	}
+}
+
+// A live flight recorder must also be allocation-free per Note: the ring
+// and histogram are preallocated.
+func TestFlightRecorderNoteZeroAlloc(t *testing.T) {
+	f := newFlightRecorder("shard-00", 8, nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Note("device-00001", "tenant-00", VerdictDelivered, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("FlightRecorder.Note allocated %.1f times per run; want 0", allocs)
+	}
+}
+
+func TestFlightRecorderRingWrapsOldestFirst(t *testing.T) {
+	f := newFlightRecorder("shard-00", 4, nil)
+	for i := 0; i < 10; i++ {
+		f.Note("device", "tenant", VerdictDelivered, i)
+	}
+	ev := f.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.Depth != 6+i {
+			t.Fatalf("event %d depth %d, want %d (oldest-first)", i, e.Depth, 6+i)
+		}
+	}
+	if f.Total() != 10 {
+		t.Fatalf("total %d, want 10", f.Total())
+	}
+}
+
+func TestFirstShedTriggersAnomalyOnce(t *testing.T) {
+	tr := NewTracer(1)
+	f := tr.Flight("shard-00")
+	f.Note("device-00001", "tenant-00", VerdictDelivered, 1)
+	f.Note("device-00002", "tenant-00", VerdictShed, 5)
+	f.Note("device-00003", "tenant-00", VerdictShed, 6)
+	an := tr.Anomalies()
+	if len(an) != 1 || an[0].Kind != "first-shed" {
+		t.Fatalf("anomalies = %+v, want exactly one first-shed", an)
+	}
+	if len(an[0].Flight["shard-00"]) != 2 {
+		t.Fatalf("anomaly snapshot has %d events, want the 2 noted before the trigger ran", len(an[0].Flight["shard-00"]))
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	tr := NewTracer(1)
+	a := tr.Device("device-00002", "tenant-01", 7)
+	b := tr.Device("device-00001", "tenant-00", 9)
+	for _, tc := range []*TraceContext{a, b} {
+		tc.NextItem()
+		tc.Emit(StageCapture, VerdictNone, 100, 200, 0, 0)
+		tc.Emit(StageClassify, VerdictNone, 300, 400, 0, 4)
+		tc.Emit(StageRelay, VerdictDelivered, 700, 50, 640, 0)
+		tc.NextItem()
+		tc.Emit(StageClassify, VerdictBlocked, 800, 90, 0, 4)
+	}
+	tr.Verb(VerbVerify)
+	tel, err := tr.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Traces[0].Device != "device-00001" {
+		t.Fatalf("summary traces not sorted by device: %q first", tel.Traces[0].Device)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("human preamble the parser must skip\n")
+	if err := tel.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	got, err := ParseDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleEvery != 1 || got.SampledDevices() != 2 || got.SpanCount() != 8 {
+		t.Fatalf("round-trip lost shape: every=%d devices=%d spans=%d",
+			got.SampleEvery, got.SampledDevices(), got.SpanCount())
+	}
+	if got.VerdictCount(VerdictDelivered) != 2 || got.VerdictCount(VerdictBlocked) != 2 {
+		t.Fatalf("round-trip verdicts: %+v", got.Verdicts)
+	}
+	for i, tr2 := range got.Traces {
+		if len(tr2.Spans) != len(tel.Traces[i].Spans) {
+			t.Fatalf("device %s span count changed", tr2.Device)
+		}
+		for j, sp := range tr2.Spans {
+			if sp != tel.Traces[i].Spans[j] {
+				t.Fatalf("span %d/%d changed across round-trip: %+v vs %+v",
+					i, j, sp, tel.Traces[i].Spans[j])
+			}
+		}
+	}
+	// Two dumps of the same block are byte-identical.
+	var second bytes.Buffer
+	if err := tel.WriteDump(&second); err != nil {
+		t.Fatal(err)
+	}
+	first = first[strings.Index(first, dumpHeader):]
+	if first != second.String() {
+		t.Fatal("WriteDump is not deterministic for the same block")
+	}
+	var tl bytes.Buffer
+	if err := got.RenderTimeline(&tl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tl.String(), "device-00001") || !strings.Contains(tl.String(), "delivered") {
+		t.Fatalf("timeline rendering lost content:\n%s", tl.String())
+	}
+}
+
+func TestParseDumpRejectsFreeText(t *testing.T) {
+	for _, bad := range []string{
+		dumpHeader + "\nspan device=device-1 tenant=tenant-0 seq=0 stage=capture verdict=- start=1 dur=2 bytes=0 batch=0 secret=hello\n",
+		dumpHeader + "\nspan device=the alarm code tenant=tenant-0 seq=0 stage=capture verdict=- start=1 dur=2 bytes=0 batch=0\n",
+		dumpHeader + "\ntranscript: my alarm code is 4711\n",
+		"no header at all\n",
+	} {
+		if _, err := ParseDump(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseDump accepted malformed input:\n%s", bad)
+		}
+	}
+}
+
+// Merge of per-shard telemetry blocks == one block observing the whole
+// stream, bucket counts bit-identical (the Audit.Merge property).
+func TestTelemetryMergeMatchesSingle(t *testing.T) {
+	mkTracer := func(ids []string) *Tracer {
+		tr := NewTracer(1)
+		for i, id := range ids {
+			tc := tr.Device(id, "tenant-00", uint64(i+1))
+			tc.NextItem()
+			// Duration keyed to the device identity, so the same device
+			// observes the same value whichever tracer it lands in.
+			dur := tz.Cycles(1000 * uint64(id[len(id)-1]-'0'))
+			tc.Emit(StageCapture, VerdictNone, 0, dur, 0, 0)
+			tc.Emit(StageRelay, VerdictDelivered, 2000, 500, 64, 0)
+		}
+		tr.Verb(VerbVerify)
+		return tr
+	}
+	all := mkTracer([]string{"device-00001", "device-00002", "device-00003", "device-00004"})
+	p1 := mkTracer([]string{"device-00001", "device-00002"})
+	p2 := mkTracer([]string{"device-00003", "device-00004"})
+	single, err := all.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := p1.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p2.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := NewTelemetry(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(t1); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Stages() {
+		a, b := merged.Stages[s].Buckets(), single.Stages[s].Buckets()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("stage %s bucket %d: merged %d vs single %d", s, i, a[i], b[i])
+			}
+		}
+	}
+	if merged.Verdicts[VerdictDelivered] != single.Verdicts[VerdictDelivered] {
+		t.Fatalf("merged verdict count %d vs single %d",
+			merged.Verdicts[VerdictDelivered], single.Verdicts[VerdictDelivered])
+	}
+	if merged.Verbs[VerbVerify] != 2 {
+		t.Fatalf("merged verbs %v", merged.Verbs)
+	}
+}

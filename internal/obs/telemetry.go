@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Histogram bucket layouts. Stage durations are virtual cycles (1 GHz:
+// 1e3 = 1 virtual µs); queue depth and batch occupancy are small
+// integers. Fixed layouts are what make Merge a pure bucket addition.
+var (
+	stageBounds = metrics.ExpBuckets(1_000, 4, 12)
+	queueBounds = metrics.ExpBuckets(1, 2, 10)
+	batchBounds = metrics.ExpBuckets(1, 2, 4)
+)
+
+// DeviceTrace is one sampled device's exported span list (emission
+// order).
+type DeviceTrace struct {
+	Device string
+	Tenant string
+	Spans  []Span
+}
+
+// Telemetry is the aggregated telemetry block of one fleet run: the
+// histogram/counter registry plus the sampled traces it was folded
+// from. It merges like cloud.Audit.Merge — per-shard or per-run blocks
+// fold into a fleet view with bit-identical counters regardless of
+// order.
+type Telemetry struct {
+	// SampleEvery is the 1-in-N device sampling rate the run traced at.
+	SampleEvery int
+	// UnsampledDevices counts devices the sampler skipped.
+	UnsampledDevices int
+
+	// Stages holds per-stage latency histograms in virtual cycles.
+	Stages map[Stage]*metrics.Histogram
+	// Queue is the shard queue-depth histogram (from flight recorders;
+	// every frame, not only sampled devices).
+	Queue *metrics.Histogram
+	// Batch is the TA batch-occupancy histogram (classify spans).
+	Batch *metrics.Histogram
+	// Verdicts counts terminal spans per verdict.
+	Verdicts map[Verdict]uint64
+	// Verbs counts attestation-protocol verbs (verify/rotate/revoke).
+	Verbs map[string]uint64
+	// Anomalies is the flight-recorder dump log, trigger order.
+	Anomalies []Anomaly
+	// Traces are the sampled devices' spans, sorted by device ID.
+	Traces []DeviceTrace
+}
+
+// NewTelemetry builds an empty block with the registry's fixed bucket
+// layouts.
+func NewTelemetry(sampleEvery int) (*Telemetry, error) {
+	t := &Telemetry{
+		SampleEvery: sampleEvery,
+		Stages:      make(map[Stage]*metrics.Histogram, len(Stages())),
+		Verdicts:    make(map[Verdict]uint64),
+		Verbs:       make(map[string]uint64),
+	}
+	var err error
+	for _, s := range Stages() {
+		if t.Stages[s], err = metrics.NewHistogram(stageBounds...); err != nil {
+			return nil, err
+		}
+	}
+	if t.Queue, err = metrics.NewHistogram(queueBounds...); err != nil {
+		return nil, err
+	}
+	if t.Batch, err = metrics.NewHistogram(batchBounds...); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SampledDevices counts the devices whose spans are in Traces.
+func (t *Telemetry) SampledDevices() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Traces)
+}
+
+// SpanCount counts all exported spans.
+func (t *Telemetry) SpanCount() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for _, tr := range t.Traces {
+		n += uint64(len(tr.Spans))
+	}
+	return n
+}
+
+// foldTraces replays Traces into the stage/batch histograms and verdict
+// counters (idempotent only on a fresh block; callers fold once).
+func (t *Telemetry) foldTraces() error {
+	for _, tr := range t.Traces {
+		for _, sp := range tr.Spans {
+			h, ok := t.Stages[sp.Stage]
+			if !ok {
+				return fmt.Errorf("obs: span with unknown stage %d", sp.Stage)
+			}
+			h.Observe(float64(sp.Dur))
+			if sp.Batch > 0 && sp.Stage == StageClassify {
+				t.Batch.Observe(float64(sp.Batch))
+			}
+			if sp.Verdict != VerdictNone {
+				t.Verdicts[sp.Verdict]++
+			}
+		}
+	}
+	return nil
+}
+
+// Merge folds o into t: histogram buckets add, counters add, anomalies
+// and traces append (traces re-sorted by the caller if needed). Bucket
+// layouts are fixed package-wide, so merging is bit-exact in any order.
+func (t *Telemetry) Merge(o *Telemetry) error {
+	if o == nil {
+		return nil
+	}
+	for _, s := range Stages() {
+		if err := t.Stages[s].Merge(o.Stages[s]); err != nil {
+			return fmt.Errorf("obs: merge stage %s: %w", s, err)
+		}
+	}
+	if err := t.Queue.Merge(o.Queue); err != nil {
+		return fmt.Errorf("obs: merge queue depth: %w", err)
+	}
+	if err := t.Batch.Merge(o.Batch); err != nil {
+		return fmt.Errorf("obs: merge batch occupancy: %w", err)
+	}
+	for v, n := range o.Verdicts {
+		t.Verdicts[v] += n
+	}
+	for k, n := range o.Verbs {
+		t.Verbs[k] += n
+	}
+	t.UnsampledDevices += o.UnsampledDevices
+	t.Anomalies = append(t.Anomalies, o.Anomalies...)
+	t.Traces = append(t.Traces, o.Traces...)
+	return nil
+}
+
+// VerdictCount returns the terminal-span count for one verdict.
+func (t *Telemetry) VerdictCount(v Verdict) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.Verdicts[v]
+}
+
+// RejectedCount sums the terminal spans across all rejection verdicts.
+func (t *Telemetry) RejectedCount() uint64 {
+	if t == nil {
+		return 0
+	}
+	var n uint64
+	for v, c := range t.Verdicts {
+		if v.Rejected() {
+			n += c
+		}
+	}
+	return n
+}

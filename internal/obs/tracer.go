@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Attestation verb names the tracer counts (Tracer.Verb).
+const (
+	VerbVerify = "verify"
+	VerbRotate = "rotate"
+	VerbRevoke = "revoke"
+)
+
+// Anomaly is one flight-recorder dump trigger: the first revocation,
+// the first shed frame, a rollout abort. The tracer snapshots every
+// shard's flight-recorder ring at trigger time, giving the operator the
+// admission timeline that led up to the event.
+type Anomaly struct {
+	Kind   string
+	Detail string
+	// Flight holds the per-shard ring snapshots (oldest-first), keyed by
+	// shard name.
+	Flight map[string][]FlightEvent
+}
+
+// Tracer is the fleet-level telemetry root: it owns the per-device
+// sampling decision, the sampled devices' trace contexts, the per-shard
+// flight recorders, the attestation verb counters and the anomaly log.
+// A nil *Tracer disables telemetry entirely — every method no-ops — so
+// the fleet threads it unconditionally.
+type Tracer struct {
+	every int
+
+	mu        sync.Mutex
+	devices   []*TraceContext
+	unsampled int
+	verbs     map[string]uint64
+	flights   map[string]*FlightRecorder
+	anomalies []Anomaly
+	seen      map[string]bool
+}
+
+// NewTracer starts a tracer sampling 1 in every devices (<=1 traces
+// everything).
+func NewTracer(sampleEvery int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Tracer{
+		every:   sampleEvery,
+		verbs:   make(map[string]uint64),
+		flights: make(map[string]*FlightRecorder),
+		seen:    make(map[string]bool),
+	}
+}
+
+// SampleEvery returns the sampling rate (0 on a nil tracer).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}
+
+// Device decides the device's sampling fate from its trace seed
+// (core.DeriveSeed(root, SaltTrace, i)) and returns its trace context —
+// nil for sampled-out devices, which is precisely the zero-cost path.
+func (t *Tracer) Device(id, tenant string, seed uint64) *TraceContext {
+	if t == nil {
+		return nil
+	}
+	if !Sampled(seed, t.every) {
+		t.mu.Lock()
+		t.unsampled++
+		t.mu.Unlock()
+		return nil
+	}
+	tc := newTraceContext(id, tenant)
+	t.mu.Lock()
+	t.devices = append(t.devices, tc)
+	t.mu.Unlock()
+	return tc
+}
+
+// Verb counts one attestation-protocol verb (verify, rotate, revoke).
+func (t *Tracer) Verb(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.verbs[name]++
+	t.mu.Unlock()
+}
+
+// Flight returns the shard's flight recorder, creating it (with
+// DefaultFlightCap) on first use. The recorder self-triggers the
+// first-shed anomaly.
+func (t *Tracer) Flight(shard string) *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.flights[shard]
+	if !ok {
+		f = newFlightRecorder(shard, DefaultFlightCap, func() {
+			t.Anomaly("first-shed", fmt.Sprintf("shard %s shed its first frame", shard))
+		})
+		t.flights[shard] = f
+	}
+	return f
+}
+
+// Anomaly records one anomaly, deduplicated by kind (only the *first*
+// revocation, shed or abort dumps the recorders), and snapshots every
+// shard's flight-recorder ring.
+func (t *Tracer) Anomaly(kind, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seen[kind] {
+		return
+	}
+	t.seen[kind] = true
+	a := Anomaly{Kind: kind, Detail: detail, Flight: make(map[string][]FlightEvent, len(t.flights))}
+	for name, f := range t.flights {
+		a.Flight[name] = f.Events()
+	}
+	t.anomalies = append(t.anomalies, a)
+}
+
+// Anomalies snapshots the anomaly log in trigger order.
+func (t *Tracer) Anomalies() []Anomaly {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Anomaly(nil), t.anomalies...)
+}
+
+// Summary folds everything the tracer observed into a Telemetry block:
+// per-stage latency histograms and verdict counters from the sampled
+// spans, queue-depth histograms from the flight recorders, verb
+// counters and anomalies. Traces are sorted by device ID so the
+// summary — and the dump rendered from it — is deterministic.
+func (t *Tracer) Summary() (*Telemetry, error) {
+	if t == nil {
+		return nil, nil
+	}
+	t.mu.Lock()
+	devices := append([]*TraceContext(nil), t.devices...)
+	unsampled := t.unsampled
+	verbs := make(map[string]uint64, len(t.verbs))
+	for k, v := range t.verbs {
+		verbs[k] = v
+	}
+	flights := make([]*FlightRecorder, 0, len(t.flights))
+	for _, f := range t.flights {
+		flights = append(flights, f)
+	}
+	anomalies := append([]Anomaly(nil), t.anomalies...)
+	t.mu.Unlock()
+
+	tel, err := NewTelemetry(t.every)
+	if err != nil {
+		return nil, err
+	}
+	tel.Verbs = verbs
+	tel.Anomalies = anomalies
+	tel.UnsampledDevices = unsampled
+	sort.Slice(devices, func(i, j int) bool { return devices[i].device < devices[j].device })
+	for _, tc := range devices {
+		tel.Traces = append(tel.Traces, DeviceTrace{
+			Device: tc.device, Tenant: tc.tenant, Spans: tc.Spans(),
+		})
+	}
+	if err := tel.foldTraces(); err != nil {
+		return nil, err
+	}
+	for _, f := range flights {
+		if err := tel.Queue.Merge(f.DepthHistogram()); err != nil {
+			return nil, err
+		}
+	}
+	return tel, nil
+}
