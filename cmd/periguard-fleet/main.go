@@ -54,6 +54,16 @@ func run(args []string) error {
 	rebalance := fs.Bool("rebalance", false, "mid-run tier rebalance: drain shard-00 and add a weight-2 shard at 50% completion")
 	policy := fs.String("policy", "fixed", "admission policy: fixed (blocking queue), shed (load-shedding), fair (per-tenant fair share)")
 	tenants := fs.Int("tenants", 4, "tenant count device traffic is striped across (fair-share accounting)")
+	faultsOn := fs.Bool("faults", false, "run a deterministic chaos plan: seeded uplink faults, shard crash/recovery, device-side retry")
+	faultTouch := fs.Float64("fault-touch", 0.25, "with -faults, fraction of the population subject to uplink injection")
+	faultDrop := fs.Float64("fault-drop", 0.1, "with -faults, per-delivery drop rate on touched devices (retried by the device)")
+	faultDup := fs.Float64("fault-dup", 0.05, "with -faults, per-delivery duplicate rate (deduplicated at the shard)")
+	faultDelay := fs.Float64("fault-delay", 0.05, "with -faults, per-delivery virtual-delay rate")
+	faultExpire := fs.Float64("fault-expire", 0, "with -faults, per-delivery expiry-blackhole rate (frame exhausts its retry budget)")
+	faultCrashes := fs.Int("fault-crashes", 0, "with -faults, shard crash/restart cycles fired at evenly spaced completion points")
+	faultSlowShard := fs.Int("fault-slow-shard", 0, "with -faults, 1-based index of a founding shard to slow for the whole run (0 = none)")
+	faultTEE := fs.Float64("fault-tee", 0, "with -faults, fraction of touched devices hitting a transient TEE error at provisioning")
+	faultSeed := fs.Uint64("fault-seed", 0, "with -faults, chaos plan seed (0 = derived from -seed)")
 	traceOn := fs.Bool("trace", false, "enable frame telemetry (virtual-time spans, flight recorders) and print the trace dump")
 	traceSample := fs.Int("trace-sample", 64, "with -trace, trace 1 in N devices (1 = every device)")
 	jsonPath := fs.String("json", "", "write a JSON snapshot to this path")
@@ -108,6 +118,19 @@ func run(args []string) error {
 	if *traceOn {
 		cfg.Trace = &fleet.TraceSpec{SampleEvery: *traceSample}
 	}
+	if *faultsOn {
+		cfg.Faults = &fleet.FaultSpec{
+			TouchFraction: *faultTouch,
+			DropRate:      *faultDrop,
+			DuplicateRate: *faultDup,
+			DelayRate:     *faultDelay,
+			ExpireRate:    *faultExpire,
+			Crashes:       *faultCrashes,
+			SlowShard:     *faultSlowShard,
+			TEEFraction:   *faultTEE,
+			Seed:          *faultSeed,
+		}
+	}
 	fmt.Printf("PeriGuard fleet: %d devices, %d shards, batch %d, seed %d (attest %v, rollout %v)\n",
 		*devices, *shards, *batch, *seed, *attestOn || *rollout || *rogues > 0, *rollout)
 	start := time.Now()
@@ -153,6 +176,15 @@ func run(args []string) error {
 	}
 	fmt.Printf("admission: policy %s, %d shed, %d priority-lane frames\n",
 		res.PolicyName, res.ShedFrames(), res.PriorityFrames())
+	if f := res.Faults; f != nil {
+		fmt.Printf("chaos: %d devices touched, %d faults injected "+
+			"(%d drops, %d dups, %d delays, %d blackholes), %d TEE faults\n",
+			f.Touched, f.Injected, f.Drops, f.Duplicates, f.Delays, f.Blackholes, f.TEEFaults)
+		fmt.Printf("recovery: %d crashes -> %d restarts replaying %d stranded frames; "+
+			"%d retries recovered %d frames, %d expired, %d duplicates deduplicated\n",
+			f.Crashes, f.Restarts, f.Recovered, f.Retries, f.RetryRecovered,
+			f.Expired, f.DuplicatesDropped)
+	}
 
 	if res.AttestedDevices > 0 {
 		fmt.Printf("attestation: %d devices attested; fleet model versions %s; "+
@@ -282,6 +314,9 @@ type snapshot struct {
 	Lifecycle      *lifecycleJS   `json:"lifecycle,omitempty"`
 	TenantAttested map[string]int `json:"tenant_attested,omitempty"`
 
+	// Chaos fields (omitted outside -faults runs).
+	Faults *faultJS `json:"faults,omitempty"`
+
 	// Telemetry fields (omitted outside -trace runs). ItemsPerSecTraced
 	// duplicates items_per_sec so the tracing-overhead trajectory is
 	// benchmarkable without perturbing the untraced benchgate family.
@@ -366,6 +401,22 @@ type shardJS struct {
 	QueuePeak       int            `json:"queue_peak"`
 	Drained         bool           `json:"drained"`
 	ModelVersions   map[string]int `json:"model_versions,omitempty"`
+	// Chaos counters (omitted when the shard saw no crash or duplicate).
+	Restarts          uint64 `json:"restarts,omitempty"`
+	Recovered         uint64 `json:"recovered,omitempty"`
+	DuplicatesDropped uint64 `json:"duplicates_dropped,omitempty"`
+}
+
+// faultJS summarizes a chaos run: what the plan injected and what the
+// recovery machinery did about it. The conservation identity behind it:
+// cloud_events + shed_frames + expired == the emitted total, so
+// lost_frames stays 0 through crashes, drops and duplicates.
+type faultJS struct {
+	Injected          uint64 `json:"injected"`
+	Recovered         uint64 `json:"recovered"`
+	Expired           int    `json:"expired"`
+	DuplicatesDropped uint64 `json:"duplicates_dropped"`
+	Restarts          uint64 `json:"restarts"`
 }
 
 // churnJS summarizes mid-run population churn.
@@ -517,6 +568,15 @@ func writeSnapshot(path string, res *fleet.Result) error {
 	if len(res.TenantAttested) > 0 {
 		snap.TenantAttested = res.TenantAttested
 	}
+	if f := res.Faults; f != nil {
+		snap.Faults = &faultJS{
+			Injected:          f.Injected,
+			Recovered:         f.Recovered,
+			Expired:           f.Expired,
+			DuplicatesDropped: f.DuplicatesDropped,
+			Restarts:          f.Restarts,
+		}
+	}
 	if rb := res.Rebalance; rb != nil {
 		snap.Rebalance = &rebalJS{
 			Fired:        rb.Fired,
@@ -538,22 +598,25 @@ func writeSnapshot(path string, res *fleet.Result) error {
 	}
 	for _, s := range res.ShardStats {
 		snap.ShardStats = append(snap.ShardStats, shardJS{
-			Name:            s.Name,
-			Devices:         s.Devices,
-			Weight:          s.Weight,
-			Frames:          s.Frames,
-			Errors:          s.Errors,
-			Rejected:        s.Rejected,
-			RejectedRevoked: s.RejectedRevoked,
-			RejectedStale:   s.RejectedStale,
-			RejectedForged:  s.RejectedForged,
-			RejectedPolicy:  s.RejectedPolicy,
-			Shed:            s.Shed,
-			Prioritized:     s.Prioritized,
-			Rebalanced:      s.Rebalanced,
-			QueuePeak:       s.QueuePeak,
-			Drained:         s.Drained,
-			ModelVersions:   versionKeys(res.ShardModelVersions[s.Name]),
+			Name:              s.Name,
+			Devices:           s.Devices,
+			Weight:            s.Weight,
+			Frames:            s.Frames,
+			Errors:            s.Errors,
+			Rejected:          s.Rejected,
+			RejectedRevoked:   s.RejectedRevoked,
+			RejectedStale:     s.RejectedStale,
+			RejectedForged:    s.RejectedForged,
+			RejectedPolicy:    s.RejectedPolicy,
+			Shed:              s.Shed,
+			Prioritized:       s.Prioritized,
+			Rebalanced:        s.Rebalanced,
+			QueuePeak:         s.QueuePeak,
+			Drained:           s.Drained,
+			ModelVersions:     versionKeys(res.ShardModelVersions[s.Name]),
+			Restarts:          s.Restarts,
+			Recovered:         s.Recovered,
+			DuplicatesDropped: s.DuplicatesDropped,
 		})
 	}
 	if r := res.Rollout; r != nil {

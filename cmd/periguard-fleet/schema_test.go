@@ -103,7 +103,10 @@ func TestSnapshotSmoke(t *testing.T) {
 		"-devices", "12", "-shards", "2", "-utterances", "2", "-frames", "2",
 		"-rollout", "-rogues", "2", "-churn", "0.3", "-rebalance",
 		"-rotate", "0.25", "-revoke", "0.15", "-federate", "-tenants", "2",
-		"-policy", "shed", "-trace", "-trace-sample", "1", "-json", path,
+		"-policy", "shed", "-trace", "-trace-sample", "1",
+		"-faults", "-fault-touch", "0.5", "-fault-drop", "0.2", "-fault-dup", "0.15",
+		"-fault-expire", "0.1", "-fault-crashes", "1", "-fault-slow-shard", "2",
+		"-fault-tee", "0.5", "-json", path,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -137,6 +140,9 @@ func TestSnapshotSmoke(t *testing.T) {
 	}
 	if snap.LostFrames != 0 {
 		t.Fatalf("lost %d frames", snap.LostFrames)
+	}
+	if snap.Faults == nil || snap.Faults.Injected == 0 {
+		t.Fatalf("faults block missing or inert: %+v", snap.Faults)
 	}
 	if snap.Rollout == nil || snap.Rollout.Rollbacks == nil {
 		t.Fatalf("rollout block incomplete: %+v", snap.Rollout)

@@ -33,6 +33,12 @@ type FrameMeta struct {
 	// ride the priority lane: served before bulk telemetry and never
 	// shed by an admission policy.
 	Priority bool
+	// Seq is the device-assigned frame sequence number (1-based; 0 means
+	// unsequenced, e.g. probe traffic). The shard dedups by (device, Seq)
+	// so a duplicated delivery can never double-count in the audit. Like
+	// the rest of FrameMeta it is cleartext connection metadata — it says
+	// nothing about frame content.
+	Seq uint64
 }
 
 // AdmissionPolicy decides, per non-priority frame, whether the shard

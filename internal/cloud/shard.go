@@ -26,6 +26,8 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/attest"
 	"repro/internal/obs"
@@ -93,6 +95,21 @@ var (
 	ErrShed = fmt.Errorf("cloud: frame shed by admission policy (%w)", supplicant.ErrShed)
 	// ErrShardClosed is returned for ingest after Close (or Drain).
 	ErrShardClosed = errors.New("cloud: shard closed")
+	// ErrShardCrashed is returned for ingest attempts while a shard is
+	// crashed and awaiting its supervisor restart. It wraps
+	// supplicant.ErrTransient: the ring still names this shard as the
+	// owner — it is briefly down, not gone — so senders retry with
+	// backoff instead of re-resolving.
+	ErrShardCrashed = fmt.Errorf("cloud: shard crashed (%w)", supplicant.ErrTransient)
+	// ErrExpired is returned for frames whose delivery was explicitly
+	// given up on: the device-side retry budget ran out, or the router's
+	// re-resolution stopped making progress. It wraps
+	// supplicant.ErrExpired so the RPC daemon and the device TA classify
+	// the frame as an explicit Expired outcome — accounted, never lost.
+	ErrExpired = fmt.Errorf("cloud: frame delivery expired (%w)", supplicant.ErrExpired)
+	// ErrDuplicate is returned for a frame the shard already served under
+	// the same (device, seq): deduplicated so audits never double-count.
+	ErrDuplicate = errors.New("cloud: duplicate frame")
 	// ErrNoShards is returned when a router is built without shards.
 	ErrNoShards = errors.New("cloud: router needs at least one shard")
 	// ErrLastShard is returned when draining would empty the ring.
@@ -102,6 +119,7 @@ var (
 // ingestJob carries one frame through a shard worker and its reply back
 // to the delivering goroutine.
 type ingestJob struct {
+	device   string
 	endpoint Provider
 	frame    []byte
 	meta     FrameMeta
@@ -126,6 +144,11 @@ type ShardStats struct {
 	Rebalanced  uint64 // frames redirected here after a ring change
 	QueuePeak   int    // high-water mark of admitted-but-not-yet-served frames
 	Drained     bool   // shard was drained out of the ring
+
+	// Crash/recovery counters (zero outside fault runs).
+	Restarts          uint64 // worker-pool restarts after a crash
+	Recovered         uint64 // in-queue frames replayed to completion after a restart
+	DuplicatesDropped uint64 // frames deduplicated by (device, seq)
 
 	// Per-reason split of Rejected, classified from the gate error's
 	// %w chain (RejectVerdict). The four always sum to Rejected.
@@ -169,8 +192,11 @@ type Shard struct {
 	tenantGate  TenantAdmissionGate // gate, when it routes by tenant (cached assertion)
 	policy      AdmissionPolicy
 	flight      *obs.FlightRecorder // nil outside traced runs (nil-safe Note)
+	sup         *Supervisor         // notified on Crash (nil unsupervised)
 	endpoints   map[string]Provider
 	closed      bool
+	crashed     bool          // worker pool down, awaiting Restart
+	quit        chan struct{} // closed to kill the current worker generation
 	frames      uint64
 	errs        uint64
 	rejected    uint64
@@ -181,9 +207,18 @@ type Shard struct {
 	shed        uint64
 	prioritized uint64
 	rebalanced  uint64
-	pending     int // admitted frames (both lanes) not yet picked up by a worker
-	bulkPending int // bulk-lane share of pending: the policy's occupancy signal
+	restarts    uint64
+	recovered   uint64
+	dupDropped  uint64
+	slowServe   time.Duration // fault-injected wall latency per served frame
+	replaying   int           // queued-at-crash frames the restarted generation still owes
+	pending     int           // admitted frames (both lanes) not yet picked up by a worker
+	bulkPending int           // bulk-lane share of pending: the policy's occupancy signal
 	queuePeak   int
+	// maxServed records the highest frame seq served per device, so a
+	// duplicate of an already-served frame is dropped at admission (a
+	// retried-but-never-served frame is not a duplicate).
+	maxServed map[string]uint64
 }
 
 // NewShard starts a shard with the given worker count and admission-queue
@@ -200,22 +235,31 @@ func NewShard(name string, workers, queueDepth int) *Shard {
 		jobs:      make(chan ingestJob, queueDepth),
 		prio:      make(chan ingestJob, queueDepth),
 		depth:     queueDepth,
+		quit:      make(chan struct{}),
 		endpoints: make(map[string]Provider),
+		maxServed: make(map[string]uint64),
 	}
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go s.worker()
+		go s.worker(s.quit)
 	}
 	return s
 }
 
 // worker drains the two lanes, always preferring the priority lane when
 // it has a frame ready. A closed lane is parked (nil channel) so the
-// loop exits only once both lanes are closed and empty.
-func (s *Shard) worker() {
+// loop exits only once both lanes are closed and empty; a closed quit
+// channel kills this worker generation immediately (Crash), leaving
+// queued jobs in the lanes for the restarted generation to replay.
+func (s *Shard) worker(quit chan struct{}) {
 	defer s.wg.Done()
 	prio, bulk := s.prio, s.jobs
 	for prio != nil || bulk != nil {
+		select {
+		case <-quit:
+			return
+		default:
+		}
 		if prio != nil {
 			select {
 			case job, ok := <-prio:
@@ -229,6 +273,8 @@ func (s *Shard) worker() {
 			}
 		}
 		select {
+		case <-quit:
+			return
 		case job, ok := <-prio:
 			if !ok {
 				prio = nil
@@ -254,13 +300,29 @@ func (s *Shard) serve(job ingestJob) {
 	if s.policy != nil {
 		s.policy.Served(job.meta)
 	}
+	if s.replaying > 0 {
+		// A frame that sat in the queue when the shard crashed: the
+		// restarted worker generation is replaying it now.
+		s.replaying--
+		s.recovered++
+	}
+	slow := s.slowServe
 	s.mu.Unlock()
+	if slow > 0 {
+		// Fault-injected straggler: the shard serves every frame late. Wall
+		// latency only — the device's virtual clock and the audit counters
+		// are untouched, so a slow shard degrades throughput, not accounting.
+		time.Sleep(slow)
+	}
 	directive, err := job.endpoint.Deliver(job.frame)
 	s.mu.Lock()
 	if err != nil {
 		s.errs++
 	} else {
 		s.frames++
+		if job.meta.Seq != 0 && job.meta.Seq > s.maxServed[job.device] {
+			s.maxServed[job.device] = job.meta.Seq
+		}
 	}
 	s.mu.Unlock()
 	job.reply <- ingestReply{directive: directive, err: err}
@@ -330,6 +392,72 @@ func (s *Shard) noteRebalanced() {
 	s.mu.Unlock()
 }
 
+// setSupervisor binds the shard to a supervisor notified on Crash.
+func (s *Shard) setSupervisor(sup *Supervisor) {
+	s.mu.Lock()
+	s.sup = sup
+	s.mu.Unlock()
+}
+
+// Crash kills the shard's worker pool mid-run, simulating a worker-tier
+// failure. Frames already admitted stay queued in the lanes (their
+// senders keep blocking on the reply — the queue survives the crash, the
+// workers do not) and are replayed by the restarted generation, counted
+// in ShardStats.Recovered. New ingest attempts while crashed fail with
+// ErrShardCrashed, a transient error senders retry with backoff. Returns
+// the number of queued frames owed to the restart; 0 if the shard was
+// already crashed or closed. A crashed shard must be Restarted before
+// Close — the Supervisor does this automatically.
+func (s *Shard) Crash() int {
+	s.mu.Lock()
+	if s.closed || s.crashed {
+		s.mu.Unlock()
+		return 0
+	}
+	s.crashed = true
+	queued := s.pending
+	s.replaying += queued
+	close(s.quit)
+	sup := s.sup
+	s.mu.Unlock()
+	s.wg.Wait() // the dying generation finishes in-service frames, then exits
+	if sup != nil {
+		sup.notifyCrash(s, queued)
+	}
+	return queued
+}
+
+// Restart brings a crashed shard back: a fresh worker generation (floored
+// at 1) drains the surviving queue — replaying the frames the crash
+// stranded — and new ingest is admitted again. No-op unless crashed.
+func (s *Shard) Restart(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	s.mu.Lock()
+	if s.closed || !s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = false
+	s.quit = make(chan struct{})
+	s.restarts++
+	quit := s.quit
+	s.wg.Add(workers)
+	s.mu.Unlock()
+	for i := 0; i < workers; i++ {
+		go s.worker(quit)
+	}
+}
+
+// SetServeDelay installs (or clears, with 0) a fault-injected wall-clock
+// delay per served frame, simulating a straggler shard.
+func (s *Shard) SetServeDelay(d time.Duration) {
+	s.mu.Lock()
+	s.slowServe = d
+	s.mu.Unlock()
+}
+
 // Ingest processes one bulk frame from the device; see IngestMeta.
 func (s *Shard) Ingest(deviceID string, frame []byte) ([]byte, error) {
 	return s.IngestMeta(deviceID, frame, FrameMeta{})
@@ -347,10 +475,22 @@ func (s *Shard) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byt
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrShardClosed, s.name)
 	}
+	if s.crashed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrShardCrashed, s.name)
+	}
 	endpoint, ok := s.endpoints[deviceID]
 	if !ok {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q on shard %s", ErrUnknownDevice, deviceID, s.name)
+	}
+	if meta.Seq != 0 && meta.Seq <= s.maxServed[deviceID] {
+		// A duplicate of a frame this shard already served under the same
+		// (device, seq): drop it before the gate and policy see it, so
+		// neither the audit nor the capacity counters double-count.
+		s.dupDropped++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q seq %d on shard %s", ErrDuplicate, deviceID, meta.Seq, s.name)
 	}
 	if s.gate != nil {
 		var gateErr error
@@ -414,7 +554,7 @@ func (s *Shard) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byt
 	flight.Note(deviceID, meta.Tenant, obs.VerdictDelivered, depth)
 
 	reply := make(chan ingestReply, 1)
-	job := ingestJob{endpoint: endpoint, frame: frame, meta: meta, reply: reply}
+	job := ingestJob{device: deviceID, endpoint: endpoint, frame: frame, meta: meta, reply: reply}
 	if meta.Priority {
 		s.prio <- job
 	} else {
@@ -444,19 +584,22 @@ func (s *Shard) Stats() ShardStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ShardStats{
-		Name:            s.name,
-		Devices:         len(s.endpoints),
-		Frames:          s.frames,
-		Errors:          s.errs,
-		Rejected:        s.rejected,
-		RejectedRevoked: s.rejRevoked,
-		RejectedStale:   s.rejStale,
-		RejectedForged:  s.rejForged,
-		RejectedPolicy:  s.rejPolicy,
-		Shed:            s.shed,
-		Prioritized:     s.prioritized,
-		Rebalanced:      s.rebalanced,
-		QueuePeak:       s.queuePeak,
+		Name:              s.name,
+		Devices:           len(s.endpoints),
+		Frames:            s.frames,
+		Errors:            s.errs,
+		Rejected:          s.rejected,
+		RejectedRevoked:   s.rejRevoked,
+		RejectedStale:     s.rejStale,
+		RejectedForged:    s.rejForged,
+		RejectedPolicy:    s.rejPolicy,
+		Shed:              s.shed,
+		Prioritized:       s.prioritized,
+		Rebalanced:        s.rebalanced,
+		QueuePeak:         s.queuePeak,
+		Restarts:          s.restarts,
+		Recovered:         s.recovered,
+		DuplicatesDropped: s.dupDropped,
 	}
 }
 
@@ -487,6 +630,7 @@ type Router struct {
 	gate     AdmissionGate
 	policy   AdmissionPolicy
 	flight   func(string) *obs.FlightRecorder // per-shard recorder source (nil untraced)
+	sup      *Supervisor                      // crash supervision (nil unsupervised)
 	shards   []*Shard
 	weights  map[string]int
 	ring     []ringPoint // sorted by hash
@@ -604,6 +748,9 @@ func (r *Router) AddShard(s *Shard, weight int) {
 	s.SetPolicy(r.policy)
 	if r.flight != nil {
 		s.SetFlightRecorder(r.flight(s.Name()))
+	}
+	if r.sup != nil {
+		s.setSupervisor(r.sup)
 	}
 	r.shards = append(r.shards, s)
 	r.weights[s.Name()] = weight
@@ -752,8 +899,13 @@ func (r *Router) Ingest(deviceID string, frame []byte) ([]byte, error) {
 // migrated before the frame arrived — the frame is re-resolved against
 // the current ring and redirected (counted in ShardStats.Rebalanced)
 // rather than dropped. The retry gives up when a re-resolution stops
-// making progress (same owner twice), so genuine unknown-device and
-// closed-tier errors still surface.
+// making progress (same owner twice); the give-up is classified as an
+// explicit ErrExpired wrapping the underlying cause, so the frame keeps
+// its accounting context (the device counts it expired — never lost)
+// while errors.Is still surfaces the genuine unknown-device or
+// closed-tier error underneath. A crashed shard is not re-resolved: the
+// ring is unchanged, the owner is briefly down, and ErrShardCrashed is
+// returned to the sender's retry layer as a transient failure.
 func (r *Router) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byte, error) {
 	var last *Shard
 	var lastErr error
@@ -763,7 +915,7 @@ func (r *Router) IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]by
 			return nil, ErrNoShards
 		}
 		if s == last {
-			return nil, lastErr
+			return nil, fmt.Errorf("%w: ingest of %q gave up after re-resolution stalled: %w", ErrExpired, deviceID, lastErr)
 		}
 		directive, err := s.IngestMeta(deviceID, frame, meta)
 		switch {
@@ -820,17 +972,41 @@ func (r *Router) Close() {
 	}
 }
 
+// Ingestor is the frame-ingest contract an Uplink delivers through.
+// Router implements it; fault injectors wrap it so chaos plans can drop,
+// delay or duplicate frames below the sequence-number assignment (an
+// injected duplicate carries the same seq and is deduplicated at the
+// shard).
+type Ingestor interface {
+	IngestMeta(deviceID string, frame []byte, meta FrameMeta) ([]byte, error)
+}
+
+var _ Ingestor = (*Router)(nil)
+
 // Uplink adapts one device's ID to the router's ingest so it can stand in
 // as the device's network sink (supplicant.NetSink without the import).
 // Meta is the cleartext connection metadata the frontend reads per frame
-// (tenant label, traffic class).
+// (tenant label, traffic class). Every Deliver stamps the frame with the
+// device's next sequence number — retried frames are new deliveries and
+// get fresh seqs; only an injected duplicate of the same delivery shares
+// one, which is what shard-side dedup keys on.
 type Uplink struct {
 	DeviceID string
 	Router   *Router
 	Meta     FrameMeta
+	// Ingest overrides Router as the delivery path when set (fault
+	// injectors wrap the router); nil delivers straight to Router.
+	Ingest Ingestor
+
+	seq atomic.Uint64
 }
 
 // Deliver implements the device-side sink by routing through the ring.
 func (u *Uplink) Deliver(frame []byte) ([]byte, error) {
-	return u.Router.IngestMeta(u.DeviceID, frame, u.Meta)
+	meta := u.Meta
+	meta.Seq = u.seq.Add(1)
+	if u.Ingest != nil {
+		return u.Ingest.IngestMeta(u.DeviceID, frame, meta)
+	}
+	return u.Router.IngestMeta(u.DeviceID, frame, meta)
 }

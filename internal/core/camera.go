@@ -216,8 +216,11 @@ type ProcessedFrame struct {
 	Forwarded bool
 	// Shed marks a forwarded frame the ingest frontend dropped under
 	// queue pressure (cloud.ErrShed); see ProcessedUtterance.Shed.
-	Shed   bool
-	Cycles tz.Cycles
+	Shed bool
+	// Expired marks a forwarded frame whose delivery retry budget ran out
+	// (cloud.ErrExpired); see ProcessedUtterance.Expired.
+	Expired bool
+	Cycles  tz.Cycles
 	// Stage decomposition of Cycles (the camera path has no transcribe
 	// stage) plus the sealed event size, for telemetry spans.
 	Grab       tz.Cycles
@@ -550,6 +553,10 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 			// dropped — not a fault. (Doorbell events ride the priority
 			// lane in the fleet, so this is the direct-ingest path only.)
 			rec.Shed = true
+		case errors.Is(err, cloud.ErrExpired):
+			// The uplink retry budget ran out: emitted, retried, given up
+			// explicitly. An accounting outcome, never a silent loss.
+			rec.Expired = true
 		default:
 			return rec, false, fmt.Errorf("camera ta relay: %w", err)
 		}
@@ -816,6 +823,7 @@ type CameraSessionResult struct {
 	ForwardedFrames   int
 	ForwardedPersons  int // person frames that reached the cloud (leak)
 	ShedFrames        int // forwarded frames the frontend dropped by admission policy
+	ExpiredFrames     int // forwarded frames whose delivery retry budget ran out
 	BlockedEmpties    int // empty frames wrongly withheld (usability cost)
 	Snoop             SnoopSummary
 	CloudFrames       int
@@ -949,6 +957,9 @@ func (s *CameraSystem) runSecure(scenes []peripheral.Scene, res *CameraSessionRe
 				if rec.Shed {
 					rv = obs.VerdictShed
 				}
+				if rec.Expired {
+					rv = obs.VerdictExpired
+				}
 				tc.Emit(obs.StageRelay, rv, cursor+rec.Grab+rec.Classify, rec.Relay, rec.SealedSize, 0)
 			}
 			cursor += rec.Cycles
@@ -964,9 +975,12 @@ func (s *CameraSystem) runSecure(scenes []peripheral.Scene, res *CameraSessionRe
 			if rec.Shed {
 				res.ShedFrames++
 			}
-			// A shed frame was emitted but never reached the provider,
-			// so it cannot count toward the leak metric.
-			if truth[i].Sensitive() && !rec.Shed {
+			if rec.Expired {
+				res.ExpiredFrames++
+			}
+			// A shed or expired frame was emitted but never reached the
+			// provider, so it cannot count toward the leak metric.
+			if truth[i].Sensitive() && !rec.Shed && !rec.Expired {
 				res.ForwardedPersons++
 			}
 		} else if !truth[i].Sensitive() {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/relay"
 	"repro/internal/sensitive"
 	"repro/internal/supplicant"
+	"repro/internal/tz"
 )
 
 // BaselineAgentDigest is the measured identity of the normal-world
@@ -289,6 +290,16 @@ func (d *Device) SetTrace(tc *obs.TraceContext) {
 		return
 	}
 	d.Doorbell.SetTrace(tc)
+}
+
+// Clock returns the device's virtual clock, so delivery-path wrappers
+// (retry backoff, fault injectors) charge their virtual time to the
+// right device.
+func (d *Device) Clock() *tz.Clock {
+	if d.Speaker != nil {
+		return d.Speaker.Clock
+	}
+	return d.Doorbell.Clock
 }
 
 // SetUplink reroutes the device's cloud-bound traffic through sink.

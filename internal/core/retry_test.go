@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/supplicant"
+	"repro/internal/tz"
+)
+
+// flakySink fails the first `failures` deliveries with err, then
+// succeeds, counting every call.
+type flakySink struct {
+	failures int
+	err      error
+	calls    int
+}
+
+func (f *flakySink) Deliver(frame []byte) ([]byte, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, f.err
+	}
+	return []byte("ok"), nil
+}
+
+var errTransientTest = fmt.Errorf("test: flaky (%w)", supplicant.ErrTransient)
+
+// TestRetryScheduleProperties is the retry property test: across seeded
+// randomized trials, the backoff schedule is a pure function of (seed,
+// failure pattern) — two sinks with the same seed charge their clocks
+// identically — the total charge never exceeds the budget, and a frame
+// that succeeds at attempt k is delivered exactly k times (an admitted
+// frame is never re-sent).
+func TestRetryScheduleProperties(t *testing.T) {
+	trials := NewRNG(DeriveSeed(7, SaltFault, 0), SaltFault)
+	for trial := 0; trial < 8; trial++ {
+		cfg := RetryConfig{
+			Attempts:    2 + trials.IntN(8),
+			BaseBackoff: tz.Cycles(1_000 + trials.Uint64N(20_000)),
+			Seed:        trials.Uint64() | 1,
+		}
+		failures := trials.IntN(cfg.Attempts) // succeed within the bound
+		run := func() (*flakySink, tz.Cycles, RetryStats, error) {
+			sink := &flakySink{failures: failures, err: errTransientTest}
+			clock := tz.NewClock()
+			r := NewRetrySink(sink, clock, cfg)
+			_, err := r.Deliver([]byte("frame"))
+			return sink, clock.Now(), r.Stats(), err
+		}
+		sinkA, chargedA, statsA, errA := run()
+		sinkB, chargedB, statsB, errB := run()
+		if errA != nil || errB != nil {
+			t.Fatalf("trial %d: deliver failed: %v / %v", trial, errA, errB)
+		}
+		if chargedA != chargedB {
+			t.Fatalf("trial %d: same seed charged %d vs %d cycles", trial, chargedA, chargedB)
+		}
+		if statsA != statsB {
+			t.Fatalf("trial %d: stats diverged: %+v vs %+v", trial, statsA, statsB)
+		}
+		if sinkA.calls != failures+1 || sinkB.calls != failures+1 {
+			t.Fatalf("trial %d: %d/%d deliveries for %d failures — an admitted frame was re-sent",
+				trial, sinkA.calls, sinkB.calls, failures)
+		}
+		if chargedA > statsA.BackoffCycles || statsA.BackoffCycles > 4_000_000 {
+			t.Fatalf("trial %d: charged %d, recorded %d, budget 4_000_000",
+				trial, chargedA, statsA.BackoffCycles)
+		}
+		if statsA.Retries != uint64(failures) {
+			t.Fatalf("trial %d: %d retries for %d failures", trial, statsA.Retries, failures)
+		}
+		if failures > 0 && statsA.Recovered != 1 {
+			t.Fatalf("trial %d: recovery not counted: %+v", trial, statsA)
+		}
+	}
+}
+
+// TestRetryExhaustionExpires asserts the give-up path: a sink that never
+// stops failing transiently yields an explicit expiry — the error chains
+// through cloud.ErrExpired to supplicant.ErrExpired, the attempt bound
+// is respected, and the virtual charge stays within the budget.
+func TestRetryExhaustionExpires(t *testing.T) {
+	sink := &flakySink{failures: 1 << 30, err: errTransientTest}
+	clock := tz.NewClock()
+	r := NewRetrySink(sink, clock, RetryConfig{Attempts: 5, Seed: 42})
+	_, err := r.Deliver([]byte("frame"))
+	if !errors.Is(err, cloud.ErrExpired) || !errors.Is(err, supplicant.ErrExpired) {
+		t.Fatalf("exhaustion error does not classify as expired: %v", err)
+	}
+	if sink.calls != 5 {
+		t.Fatalf("%d deliveries, want the attempt bound 5", sink.calls)
+	}
+	if st := r.Stats(); st.Expired != 1 || st.Deliveries != 0 {
+		t.Fatalf("exhaustion stats: %+v", st)
+	}
+	if clock.Now() > 4_000_000 {
+		t.Fatalf("charged %d cycles, budget 4_000_000", clock.Now())
+	}
+}
+
+// TestRetryBudgetBeatsAttempts: a tight budget expires the frame before
+// the attempt bound is reached, and the clock never charges past it.
+func TestRetryBudgetBeatsAttempts(t *testing.T) {
+	sink := &flakySink{failures: 1 << 30, err: errTransientTest}
+	clock := tz.NewClock()
+	r := NewRetrySink(sink, clock, RetryConfig{
+		Attempts: 64, BaseBackoff: 1_000, MaxBackoff: 1_000_000, Budget: 10_000, Seed: 3,
+	})
+	_, err := r.Deliver([]byte("frame"))
+	if !errors.Is(err, cloud.ErrExpired) {
+		t.Fatalf("budget exhaustion did not expire: %v", err)
+	}
+	if clock.Now() > 10_000 {
+		t.Fatalf("charged %d cycles past the 10_000 budget", clock.Now())
+	}
+	if sink.calls >= 64 {
+		t.Fatalf("%d deliveries — the budget should give up long before the attempt bound", sink.calls)
+	}
+}
+
+// TestRetryPassesNonTransient: anything outside the transient chain
+// returns unchanged on the first attempt, with no backoff charged.
+func TestRetryPassesNonTransient(t *testing.T) {
+	permanent := errors.New("test: permanent rejection")
+	sink := &flakySink{failures: 1 << 30, err: permanent}
+	clock := tz.NewClock()
+	r := NewRetrySink(sink, clock, RetryConfig{})
+	_, err := r.Deliver([]byte("frame"))
+	if !errors.Is(err, permanent) || errors.Is(err, cloud.ErrExpired) {
+		t.Fatalf("non-transient error mangled: %v", err)
+	}
+	if sink.calls != 1 || clock.Now() != 0 {
+		t.Fatalf("non-transient path retried: %d calls, %d cycles", sink.calls, clock.Now())
+	}
+}

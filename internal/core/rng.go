@@ -42,6 +42,10 @@ const (
 	// SaltTrace derives per-device telemetry sampling seeds (internal/obs
 	// decides from this seed alone whether a device's frames are traced).
 	SaltTrace uint64 = 0x7ace
+	// SaltFault derives the fault-plan streams (which devices a chaos plan
+	// touches, their per-frame injection decisions, retry jitter) so a
+	// fault run replays bit-for-bit from the root seed.
+	SaltFault uint64 = 0xfa17
 )
 
 // NewRNG returns the deterministic PCG stream for the pair. It is the

@@ -126,7 +126,10 @@ type UtteranceOutcome struct {
 	// Shed marks an emitted event the ingest frontend dropped under
 	// queue pressure (cloud.ErrShed): the device treats it as a
 	// retriable network drop, not a session fault.
-	Shed     bool
+	Shed bool
+	// Expired marks an emitted event whose uplink retry budget ran out
+	// (cloud.ErrExpired): retried deterministically, given up explicitly.
+	Expired  bool
 	Redacted int
 	Cycles   tz.Cycles
 	Stages   StageCycles
@@ -139,6 +142,9 @@ type SessionResult struct {
 	// ShedEvents counts emitted events the ingest frontend dropped by
 	// admission policy (per-utterance detail in Utterances[i].Shed).
 	ShedEvents int
+	// ExpiredEvents counts emitted events whose delivery retry budget ran
+	// out (per-utterance detail in Utterances[i].Expired).
+	ExpiredEvents int
 
 	// Privacy outcomes.
 	CloudAudit cloud.Audit
@@ -236,6 +242,9 @@ func (s *System) RunSession(utterances []sensitive.Utterance) (*SessionResult, e
 		if outcome.Shed {
 			res.ShedEvents++
 		}
+		if outcome.Expired {
+			res.ExpiredEvents++
+		}
 		res.Latency.Observe(float64(outcome.Cycles))
 
 		// The compromised OS sweeps the driver's capture buffer after
@@ -321,6 +330,9 @@ func (s *System) emitUtteranceSpans(start tz.Cycles, rec ProcessedUtterance, bat
 		if rec.Shed {
 			v = obs.VerdictShed
 		}
+		if rec.Expired {
+			v = obs.VerdictExpired
+		}
 		tc.Emit(obs.StageRelay, v, t, rec.Stages.Relay, rec.SealedSize, 0)
 	}
 }
@@ -391,12 +403,17 @@ func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (Utt
 	sink := s.uplink
 	s.mu.Unlock()
 	if _, err := sink.Deliver(payload); err != nil {
-		// A shed frame was emitted and paid for; the frontend dropped it
-		// under pressure. That is an admission outcome, not a fault.
-		if !errors.Is(err, cloud.ErrShed) {
+		// A shed or expired frame was emitted and paid for; the frontend
+		// dropped it under pressure (shed) or the retry budget ran out
+		// (expired). Both are accounting outcomes, not faults.
+		switch {
+		case errors.Is(err, cloud.ErrShed):
+			out.Shed = true
+		case errors.Is(err, cloud.ErrExpired):
+			out.Expired = true
+		default:
 			return out, fmt.Errorf("baseline deliver: %w", err)
 		}
-		out.Shed = true
 	}
 	out.Forwarded = true
 	out.Cycles = s.Clock.Now() - start
@@ -407,6 +424,9 @@ func (s *System) runBaselineUtterance(fd int, i int, u sensitive.Utterance) (Utt
 		v := obs.VerdictDelivered
 		if out.Shed {
 			v = obs.VerdictShed
+		}
+		if out.Expired {
+			v = obs.VerdictExpired
 		}
 		tc.Emit(obs.StageRelay, v, relayStart, s.Clock.Now()-relayStart, len(payload), 0)
 	}
@@ -444,6 +464,7 @@ func (s *System) runSecureUtterance(sess *teec.Session, i int, u sensitive.Utter
 	out.Flagged = rec.Flagged
 	out.Forwarded = rec.Forwarded
 	out.Shed = rec.Shed
+	out.Expired = rec.Expired
 	out.Redacted = rec.Redacted
 	out.Stages = rec.Stages
 	if rec.SealedSize > 0 {
@@ -522,6 +543,7 @@ func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) 
 				Flagged:    rec.Flagged,
 				Forwarded:  rec.Forwarded,
 				Shed:       rec.Shed,
+				Expired:    rec.Expired,
 				Redacted:   rec.Redacted,
 				Cycles:     rec.Stages.Total(),
 				Stages:     rec.Stages,
@@ -534,6 +556,9 @@ func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) 
 			res.Utterances = append(res.Utterances, out)
 			if out.Shed {
 				res.ShedEvents++
+			}
+			if out.Expired {
+				res.ExpiredEvents++
 			}
 			res.Latency.Observe(float64(out.Cycles))
 		}

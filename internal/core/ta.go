@@ -193,7 +193,12 @@ type ProcessedUtterance struct {
 	// queue pressure (the relay saw cloud.ErrShed instead of a sealed
 	// directive). The event was emitted and cost-accounted; it simply
 	// never reached the provider.
-	Shed       bool
+	Shed bool
+	// Expired marks a forwarded event whose delivery retry budget ran out
+	// (the relay saw cloud.ErrExpired): the uplink retried deterministically
+	// and gave up explicitly. Like Shed, the event was emitted and
+	// cost-accounted — it is an accounting outcome, never a silent loss.
+	Expired    bool
 	Redacted   int
 	Stages     StageCycles
 	SealedSize int
@@ -710,6 +715,12 @@ func (t *VoiceTA) relayStage(words []string, flagged bool, rec *ProcessedUtteran
 		// verify; the TA records the shed and moves on.
 		if errors.Is(err, cloud.ErrShed) {
 			rec.Shed = true
+			return nil
+		}
+		// The retry layer exhausted its budget: the frame expired. Same
+		// contract as a shed — emitted, paid for, explicitly not delivered.
+		if errors.Is(err, cloud.ErrExpired) {
+			rec.Expired = true
 			return nil
 		}
 		return fmt.Errorf("voice ta relay: %w", err)

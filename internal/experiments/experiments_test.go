@@ -394,6 +394,34 @@ func TestE14ShapesHold(t *testing.T) {
 	}
 }
 
+// TestE15ShapesHold asserts the deterministic-chaos acceptance claims:
+// the crash-free chaos plan bit-replays, the conservation identity
+// expected == ingested + shed + expired holds on every leg, crashes are
+// healed by supervised restarts that replay the stranded queues, and
+// zero-expiry devices are bit-identical to the fault-free run
+// (E15ChaosFleet errors out on any violation).
+func TestE15ShapesHold(t *testing.T) {
+	tbl, res, err := E15ChaosFleet(DefaultSeed)
+	if err != nil {
+		t.Fatalf("E15: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if res.Injected == 0 {
+		t.Fatalf("chaos plan injected nothing: %+v", res)
+	}
+	if res.Retries == 0 || res.RetryRecovered == 0 {
+		t.Fatalf("injected drops provoked no retry recoveries: %+v", res)
+	}
+	if res.DuplicatesDropped == 0 {
+		t.Fatalf("injected duplicates were never deduplicated: %+v", res)
+	}
+	if res.Compared == 0 {
+		t.Fatal("identity leg compared no devices")
+	}
+}
+
 func TestDriverRigCaptureBytes(t *testing.T) {
 	rig, err := newDriverRig(tz.WorldNormal, 4096)
 	if err != nil {

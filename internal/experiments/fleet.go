@@ -516,3 +516,214 @@ func E11AttestedRollout(seed uint64) (*metrics.Table, E11Result, error) {
 		fmt.Sprintf("%d/%d", out.RogueRejected, out.RogueAttempts), out.UnattestedIngested)
 	return tbl, out, nil
 }
+
+// E15Result is the deterministic-chaos experiment outcome.
+type E15Result struct {
+	Devices int
+	Touched int
+	// Replay leg: the same crash-free chaos plan run twice must produce
+	// bit-identical per-device audits and identical injection counters.
+	Replayable bool
+	Injected   uint64
+	Expired    int
+	// Conservation: expected == ingested + shed + expired on every leg
+	// (LostFrames stays 0 through the whole chaos plan).
+	LostCalm, LostReplay, LostCrash int
+	// Identity: devices with zero expired events must be bit-identical to
+	// the fault-free run (Compared of them were; includes every untouched
+	// device), and every expired device must be one the plan touches.
+	Compared              int
+	AuditIdentical        bool
+	ExpiredOutsideTouched int
+	// Crash leg: scheduled shard crashes healed by the supervisor.
+	Crashes           int
+	Restarts          uint64
+	QueuedAtCrash     int
+	Recovered         uint64
+	Duplicates        uint64
+	DuplicatesDropped uint64
+	Retries           uint64
+	RetryRecovered    uint64
+	TEEFaults         int
+	ItemsPerSec       float64
+}
+
+// expiredEvents counts one device's explicit expiries.
+func expiredEvents(r *core.DeviceResult) int {
+	if r == nil {
+		return 0
+	}
+	if r.Session != nil {
+		return r.Session.ExpiredEvents
+	}
+	return r.Camera.ExpiredFrames
+}
+
+// E15ChaosFleet is the deterministic-chaos experiment. A fault-free
+// attested fleet is the reference; leg one replays a crash-free chaos
+// plan (seeded uplink drops, duplicates, delays and expiry blackholes on
+// half the population, plus stragglers, a slow shard and transient TEE
+// provisioning errors) twice and demands bit-identical per-device audits
+// between the two runs; leg two adds scheduled shard crashes under live
+// traffic. The claims under test: the conservation identity expected ==
+// ingested + shed + expired holds on every leg (zero lost frames through
+// crashes, drops and duplicates), every crash is healed by exactly one
+// supervised restart that replays the frames stranded in the dead
+// shard's queue, injected duplicates never double-count an audit, only
+// plan-touched devices ever expire a frame, and every device with zero
+// expiries — the whole untouched sub-population included — is
+// bit-identical to the fault-free run.
+func E15ChaosFleet(seed uint64) (*metrics.Table, E15Result, error) {
+	base := fleet.Config{
+		Devices:    64,
+		Shards:     4,
+		Utterances: 3,
+		Frames:     3,
+		Seed:       seed,
+		FreqHz:     FreqHz,
+		Attest:     true,
+	}
+	calm, err := fleet.Run(base)
+	if err != nil {
+		return nil, E15Result{}, fmt.Errorf("fault-free fleet: %w", err)
+	}
+
+	// Leg one: crash-free chaos, twice. Without crashes every delivery
+	// decision is a pure function of per-device seeded streams, so the
+	// two runs must agree bit-for-bit.
+	spec := fleet.FaultSpec{
+		TouchFraction: 0.5,
+		DropRate:      0.2,
+		DuplicateRate: 0.15,
+		DelayRate:     0.1,
+		ExpireRate:    0.1,
+		SlowFraction:  0.25,
+		TEEFraction:   0.25,
+		SlowShard:     1,
+	}
+	chaos := base
+	chaos.Faults = &spec
+	replayA, err := fleet.Run(chaos)
+	if err != nil {
+		return nil, E15Result{}, fmt.Errorf("chaos fleet (replay A): %w", err)
+	}
+	chaos = base
+	specB := spec
+	chaos.Faults = &specB
+	replayB, err := fleet.Run(chaos)
+	if err != nil {
+		return nil, E15Result{}, fmt.Errorf("chaos fleet (replay B): %w", err)
+	}
+
+	// Leg two: the same injection mix with two scheduled shard crashes.
+	// Crash timing interleaves with live traffic under wall-clock
+	// scheduling, so this leg asserts the recovery invariants rather than
+	// bit-replay.
+	specC := spec
+	specC.Crashes = 2
+	chaos = base
+	chaos.Faults = &specC
+	crash, err := fleet.Run(chaos)
+	if err != nil {
+		return nil, E15Result{}, fmt.Errorf("chaos fleet (crashes): %w", err)
+	}
+	if replayA.Faults == nil || crash.Faults == nil {
+		return nil, E15Result{}, fmt.Errorf("chaos fleet returned no fault report")
+	}
+
+	out := E15Result{
+		Devices:           base.Devices,
+		Touched:           replayA.Faults.Touched,
+		Replayable:        true,
+		Injected:          replayA.Faults.Injected,
+		Expired:           replayA.Faults.Expired,
+		LostCalm:          calm.LostFrames(),
+		LostReplay:        replayA.LostFrames(),
+		LostCrash:         crash.LostFrames(),
+		AuditIdentical:    true,
+		Crashes:           crash.Faults.Crashes,
+		Restarts:          crash.Faults.Restarts,
+		QueuedAtCrash:     crash.Faults.QueuedAtCrash,
+		Recovered:         crash.Faults.Recovered,
+		Duplicates:        crash.Faults.Duplicates,
+		DuplicatesDropped: crash.Faults.DuplicatesDropped,
+		Retries:           crash.Faults.Retries,
+		RetryRecovered:    crash.Faults.RetryRecovered,
+		TEEFaults:         crash.Faults.TEEFaults,
+		ItemsPerSec:       crash.Throughput(),
+	}
+
+	// Bit-replay: every device, injected or not, agrees across the two
+	// crash-free chaos runs; the plan's counters agree too.
+	a, b := replayA.Faults, replayB.Faults
+	if a.Injected != b.Injected || a.Drops != b.Drops || a.Duplicates != b.Duplicates ||
+		a.Delays != b.Delays || a.Blackholes != b.Blackholes || a.Expired != b.Expired {
+		out.Replayable = false
+	}
+	for i := range replayA.DeviceResults {
+		if e12Fingerprint(replayA.DeviceResults[i]) != e12Fingerprint(replayB.DeviceResults[i]) {
+			out.Replayable = false
+			break
+		}
+	}
+
+	// Identity vs the fault-free run, and expiry containment, on both
+	// chaos legs.
+	touched := make(map[int]bool, len(replayA.Faults.TouchedDevices))
+	for _, i := range replayA.Faults.TouchedDevices {
+		touched[i] = true
+	}
+	for _, res := range []*fleet.Result{replayA, crash} {
+		for i := range res.DeviceResults {
+			if expiredEvents(res.DeviceResults[i]) > 0 {
+				if !touched[i] {
+					out.ExpiredOutsideTouched++
+				}
+				continue
+			}
+			if e12Fingerprint(res.DeviceResults[i]) != e12Fingerprint(calm.DeviceResults[i]) {
+				out.AuditIdentical = false
+			} else {
+				out.Compared++
+			}
+		}
+	}
+
+	tbl := metrics.NewTable("E15: deterministic chaos (50% touched, drops+dups+delays+expiries, 2 crashes)",
+		"devices", "touched", "replayable", "injected", "expired",
+		"lost calm/replay/crash", "identical", "crashes", "restarts",
+		"queued@crash", "recovered", "dups inj/dropped", "retries", "tee faults", "items/s(wall)")
+	tbl.AddRow(out.Devices, out.Touched, out.Replayable, out.Injected, out.Expired,
+		fmt.Sprintf("%d/%d/%d", out.LostCalm, out.LostReplay, out.LostCrash),
+		fmt.Sprintf("%v (%d compared)", out.AuditIdentical, out.Compared),
+		out.Crashes, out.Restarts, out.QueuedAtCrash, out.Recovered,
+		fmt.Sprintf("%d/%d", out.Duplicates, out.DuplicatesDropped),
+		out.Retries, out.TEEFaults, out.ItemsPerSec)
+
+	switch {
+	case !out.Replayable:
+		return tbl, out, fmt.Errorf("chaos: two runs of the same crash-free plan diverged")
+	case out.LostCalm != 0 || out.LostReplay != 0 || out.LostCrash != 0:
+		return tbl, out, fmt.Errorf("chaos: lost frames %d/%d/%d (calm/replay/crash), want 0",
+			out.LostCalm, out.LostReplay, out.LostCrash)
+	case out.ExpiredOutsideTouched != 0:
+		return tbl, out, fmt.Errorf("chaos: %d devices outside the plan's touched set expired frames",
+			out.ExpiredOutsideTouched)
+	case !out.AuditIdentical:
+		return tbl, out, fmt.Errorf("chaos: a zero-expiry device diverged from the fault-free run")
+	case out.Crashes != 2 || out.Restarts != uint64(out.Crashes):
+		return tbl, out, fmt.Errorf("chaos: %d crashes healed by %d restarts, want 2/2",
+			out.Crashes, out.Restarts)
+	case out.Recovered != uint64(out.QueuedAtCrash):
+		return tbl, out, fmt.Errorf("chaos: %d frames stranded at crash but %d replayed",
+			out.QueuedAtCrash, out.Recovered)
+	case out.DuplicatesDropped > out.Duplicates:
+		return tbl, out, fmt.Errorf("chaos: dedup dropped %d frames but only %d duplicates were injected",
+			out.DuplicatesDropped, out.Duplicates)
+	case out.Expired == 0:
+		return tbl, out, fmt.Errorf("chaos: expiry blackholes injected but no frame expired")
+	case out.TEEFaults == 0:
+		return tbl, out, fmt.Errorf("chaos: TEE fault fraction set but no device hit one")
+	}
+	return tbl, out, nil
+}

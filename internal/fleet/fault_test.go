@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultSpecValidation(t *testing.T) {
+	for name, spec := range map[string]*FaultSpec{
+		"negative crashes": {Crashes: -1},
+		"slow shard oob":   {SlowShard: 9},
+		"rates sum over 1": {DropRate: 0.7, DuplicateRate: 0.7},
+	} {
+		if _, err := Run(Config{Devices: 4, Shards: 2, Faults: spec}); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: want ErrBadConfig, got %v", name, err)
+		}
+	}
+}
+
+// TestChaosFleetChurn drives the chaos plan through an elastic run —
+// joiners and leavers churn while shards crash and the uplink drops,
+// duplicates and expires frames — and checks the conservation identity
+// and the fault report's internal consistency.
+func TestChaosFleetChurn(t *testing.T) {
+	res, err := Run(Config{
+		Devices:    24,
+		Shards:     3,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       7,
+		Churn:      &ChurnSpec{JoinFraction: 0.25, LeaveFraction: 0.25},
+		Faults: &FaultSpec{
+			TouchFraction: 0.5,
+			DropRate:      0.25,
+			DuplicateRate: 0.15,
+			DelayRate:     0.1,
+			ExpireRate:    0.1,
+			Crashes:       1,
+			SlowShard:     1,
+			TEEFraction:   0.5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil {
+		t.Fatal("chaos run returned no fault report")
+	}
+	rep := res.Faults
+	if got := res.LostFrames(); got != 0 {
+		t.Fatalf("lost %d frames under chaos+churn (expected == ingested + shed + expired broken)", got)
+	}
+	if rep.Expired != res.ExpiredFrames() {
+		t.Fatalf("report expired %d, device results say %d", rep.Expired, res.ExpiredFrames())
+	}
+	if rep.Crashes != 1 || rep.Restarts != 1 {
+		t.Fatalf("crashes/restarts %d/%d, want 1/1", rep.Crashes, rep.Restarts)
+	}
+	if rep.Recovered != uint64(rep.QueuedAtCrash) {
+		t.Fatalf("recovered %d, stranded at crash %d", rep.Recovered, rep.QueuedAtCrash)
+	}
+	if rep.Injected == 0 || rep.Touched == 0 {
+		t.Fatalf("chaos plan was inert: %+v", rep)
+	}
+	if rep.DuplicatesDropped > rep.Duplicates {
+		t.Fatalf("dedup dropped %d of %d injected duplicates", rep.DuplicatesDropped, rep.Duplicates)
+	}
+	if rep.TEEFaults == 0 {
+		t.Fatalf("TEE fraction 0.5 hit no device: %+v", rep)
+	}
+	if len(rep.TouchedDevices) != rep.Touched {
+		t.Fatalf("touched list %d entries, report says %d", len(rep.TouchedDevices), rep.Touched)
+	}
+}

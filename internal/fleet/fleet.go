@@ -132,6 +132,15 @@ type Config struct {
 	// Implies Attest.
 	Federate bool
 
+	// Faults compiles a deterministic chaos plan against the run: seeded
+	// uplink drops/duplicates/delays/expiries on a touched subset of the
+	// population, scheduled shard crash/restart cycles healed by a
+	// supervisor, a run-long slow shard, and transient TEE provisioning
+	// errors — all replayable from the plan seed. Nil disables chaos
+	// entirely (no injector, no retry layer, no supervisor on the hot
+	// path).
+	Faults *FaultSpec
+
 	// Trace enables end-to-end frame telemetry: virtual-time tracing
 	// spans on a deterministic 1-in-N device sample, per-shard flight
 	// recorders dumped on anomaly, and the aggregated histogram registry
@@ -266,6 +275,11 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Trace != nil {
 		if err := c.Trace.fillDefaults(); err != nil {
+			return err
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.fillDefaults(c.Seed, c.Shards); err != nil {
 			return err
 		}
 	}
@@ -412,6 +426,9 @@ type Result struct {
 	// Rebalance summarizes the scheduled mid-run rebalance, if one was
 	// configured.
 	Rebalance *RebalanceReport
+	// Faults summarizes the chaos plan's injections and the recovery
+	// machinery's response, if chaos was configured.
+	Faults *FaultReport
 
 	// ExpectedCloudEvents is the sum of per-device expectations; a lossless
 	// ingest tier has Audit.Events == ExpectedCloudEvents and zero shard
@@ -507,12 +524,32 @@ func (r *Result) RebalancedFrames() uint64 {
 	return n
 }
 
+// ExpiredFrames sums frames whose retry budget the device-side uplink
+// exhausted under a chaos plan — an explicit, per-device-accounted
+// outcome (SessionResult.ExpiredEvents / CameraSessionResult
+// .ExpiredFrames), never a silent loss.
+func (r *Result) ExpiredFrames() int {
+	n := 0
+	for _, res := range r.DeviceResults {
+		if res == nil {
+			continue
+		}
+		if res.Session != nil {
+			n += res.Session.ExpiredEvents
+		} else if res.Camera != nil {
+			n += res.Camera.ExpiredFrames
+		}
+	}
+	return n
+}
+
 // LostFrames is the gap between emitted and accounted-for cloud events:
-// every emitted frame must be either ingested by an endpoint or
-// explicitly shed by the admission policy. Anything else — e.g. a frame
-// dropped by a rebalance — is a loss.
+// every emitted frame must be either ingested by an endpoint, explicitly
+// shed by the admission policy, or explicitly expired by the device's
+// retry layer. Anything else — e.g. a frame dropped by a rebalance or a
+// crash — is a loss.
 func (r *Result) LostFrames() int {
-	return r.ExpectedCloudEvents - int(r.IngestedFrames()) - int(r.ShedFrames())
+	return r.ExpectedCloudEvents - int(r.IngestedFrames()) - int(r.ShedFrames()) - r.ExpiredFrames()
 }
 
 // Throughput returns items/s over the run phase.
@@ -629,11 +666,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	var fd *faultDriver
+	if cfg.Faults != nil {
+		if fd, err = newFaultDriver(cfg, router, len(all)); err != nil {
+			return nil, err
+		}
+		// The supervisor heals the crashes the driver fires. Its Close is
+		// deferred *after* router.Close so it winds down first (LIFO), and
+		// a closed supervisor still restarts inline — a late crash can
+		// never strand a queue.
+		defer fd.supervise(cfg.ShardWorkers, tracer).Close()
+	}
+
 	// Run phase: construct each device on first workload item, register
 	// its endpoint on the ring, process, and drop the pipeline. The
 	// endpoints stay registered for the post-run audit (leavers excepted:
 	// their audit is folded into the run accounting at departure).
-	r := &runner{cfg: cfg, st: st, router: router, tracer: tracer, results: make([]*core.DeviceResult, len(all))}
+	r := &runner{cfg: cfg, st: st, router: router, tracer: tracer, fd: fd, results: make([]*core.DeviceResult, len(all))}
 	if cfg.Lifecycle != nil {
 		// Lifecycle targets are drawn from the base population only, so
 		// the selection (and every non-churned device's behaviour) is
@@ -664,6 +713,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	runWall := time.Since(runStart)
+	if fd != nil {
+		// Drain pending supervision work now: a crash fired on the last
+		// completions may still be mid-restart, and the aggregate below
+		// must snapshot settled shard stats.
+		fd.settle()
+	}
 	if r.reb != nil {
 		r.reb.mu.Lock()
 		rebErr := r.reb.err
@@ -716,6 +771,7 @@ type runner struct {
 	churn   *churnPlan
 	reb     *rebalancer
 	lc      *lifecyclePlan
+	fd      *faultDriver
 }
 
 // runOne is the per-worker pipeline: workload → build → provision to the
@@ -749,6 +805,15 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 	// flagged/security traffic and ride the priority lane; speaker
 	// telemetry is bulk.
 	meta := cloud.FrameMeta{Tenant: tenant, Priority: spec.Kind == core.DeviceDoorbell}
+	if r.fd != nil && r.fd.plan.TEEFault(i) {
+		// Transient TEE fault at provisioning: the first sealed-storage
+		// access times out and is retried, so the device pays the penalty
+		// in virtual time before its handshake proceeds. Transient means
+		// transient — nothing else about the device's run changes.
+		d.Clock().Advance(r.fd.plan.Config().TEEPenalty)
+		r.fd.noteTEE()
+		r.tracer.Anomaly("tee-transient", fmt.Sprintf("%s: transient TEE error at provisioning, retried", id))
+	}
 	rotating := r.lc != nil && r.lc.rotate[i] && ep != nil
 	var rotTok attest.RotationToken
 	if r.st != nil {
@@ -774,7 +839,22 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 	}
 	if ep != nil {
 		r.router.Register(id, ep)
-		d.SetUplink(&cloud.Uplink{DeviceID: id, Router: r.router, Meta: meta})
+		up := &cloud.Uplink{DeviceID: id, Router: r.router, Meta: meta}
+		if r.fd == nil {
+			d.SetUplink(up)
+		} else {
+			// Chaos path: the plan's injector sits between the uplink and
+			// the router (untouched devices get the router back unchanged,
+			// so their delivery path shares no state with the chaos), and
+			// the retry layer wraps the whole delivery so transient faults
+			// back off in virtual cycles on this device's own clock.
+			up.Ingest = r.fd.plan.Injector(i, r.router, d.Clock())
+			rcfg := r.fd.spec.Retry
+			rcfg.Seed = core.DeriveSeed(r.fd.spec.Seed, core.SaltFault, i)
+			sink := core.NewRetrySink(up, d.Clock(), rcfg)
+			defer func() { r.fd.noteRetry(sink.Stats()) }()
+			d.SetUplink(sink)
+		}
 	}
 	res, err := d.Run(w)
 	if err != nil {
@@ -819,6 +899,9 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 	r.results[i] = res
 	if r.reb != nil {
 		r.reb.noteDone()
+	}
+	if r.fd != nil {
+		r.fd.noteDone()
 	}
 	return nil
 }
@@ -937,6 +1020,9 @@ func aggregate(cfg Config, buildWall, runWall time.Duration, r *runner, router *
 	}
 	if r.reb != nil {
 		out.Rebalance = r.reb.report()
+	}
+	if r.fd != nil {
+		out.Faults = r.fd.report(out)
 	}
 	return out
 }

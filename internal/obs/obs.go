@@ -90,11 +90,16 @@ const (
 	// VerdictRejectedPolicy: admission rejected for any other policy
 	// reason (unattested, bad measurement, unknown device).
 	VerdictRejectedPolicy
+	// VerdictExpired: the uplink retry budget ran out before the frame
+	// was admitted (deterministic give-up under a fault plan). Appended
+	// after the rejection block so Rejected()'s range stays contiguous.
+	VerdictExpired
 )
 
 var verdictNames = [...]string{
 	"-", "blocked", "delivered", "shed",
 	"rejected-revoked", "rejected-stale", "rejected-forged", "rejected-policy",
+	"expired",
 }
 
 // String returns the verdict's dump token.
@@ -115,6 +120,7 @@ func Verdicts() []Verdict {
 	return []Verdict{
 		VerdictBlocked, VerdictDelivered, VerdictShed,
 		VerdictRejectedRevoked, VerdictRejectedStale, VerdictRejectedForged, VerdictRejectedPolicy,
+		VerdictExpired,
 	}
 }
 

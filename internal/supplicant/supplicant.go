@@ -30,6 +30,16 @@ var (
 	// policy", and the daemon counts it as Stats.Shed rather than a
 	// transport error.
 	ErrShed = errors.New("supplicant: delivery shed by remote admission policy")
+	// ErrTransient marks a delivery failure the sender may retry: the
+	// frame was neither admitted nor refused by policy (a dropped uplink
+	// attempt, a crashed shard mid-restart). Sinks wrap it so retry layers
+	// can classify without importing them.
+	ErrTransient = errors.New("supplicant: transient delivery failure")
+	// ErrExpired marks a delivery whose retry budget ran out: the frame
+	// was never admitted, and the sender accounts it explicitly as
+	// expired — never silently lost. The daemon counts it as
+	// Stats.Expired, parallel to ErrShed/Stats.Shed.
+	ErrExpired = errors.New("supplicant: delivery expired after retry budget")
 )
 
 // NetSink receives payloads forwarded by the supplicant's network service
@@ -48,6 +58,10 @@ type Stats struct {
 	// policy (ErrShed) — payloads the daemon carried correctly, kept
 	// separate from transport Errors.
 	Shed uint64
+	// Expired counts deliveries whose retry budget ran out (ErrExpired):
+	// the frame was retried deterministically and given up on explicitly,
+	// kept separate from both Shed and transport Errors.
+	Expired uint64
 }
 
 // Supplicant is the RPC daemon instance.
@@ -128,9 +142,12 @@ func (s *Supplicant) netSend(req optee.RPCRequest) (optee.RPCResponse, error) {
 	reply, err := sink.Deliver(req.Payload)
 	if err != nil {
 		s.mu.Lock()
-		if errors.Is(err, ErrShed) {
+		switch {
+		case errors.Is(err, ErrShed):
 			s.stats.Shed++ // carried correctly, refused by policy — not a fault
-		} else {
+		case errors.Is(err, ErrExpired):
+			s.stats.Expired++ // retried, budget exhausted — explicit give-up
+		default:
 			s.stats.Errors++
 		}
 		s.mu.Unlock()
