@@ -372,6 +372,61 @@ func BenchmarkFleetChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetScheduled is the shared-scheduler throughput probe: the
+// CLI-default 1000-device/8-shard fleet with and without the
+// cross-device TEE batch scheduler, same seed, so the two sub-benchmarks'
+// items/s ratio is the scheduler's end-to-end delta at fleet scale
+// (docs/PERFORMANCE.md records the trajectory — on a single-CPU host the
+// legs sit at parity within run noise; the coalescing win needs
+// concurrent producers). The scheduled leg
+// asserts the invariants that make the numbers legitimate — nothing lost,
+// no flush mixing model versions; bit-identical audits are pinned by
+// TestSchedBatchEquivalenceProperty and the CI sched smoke.
+func BenchmarkFleetScheduled(b *testing.B) {
+	for _, scheduled := range []bool{false, true} {
+		name := "sched=off"
+		if scheduled {
+			name = "sched=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last *fleet.Result
+			for i := 0; i < b.N; i++ {
+				cfg := fleet.Config{
+					Devices:    1000,
+					Shards:     8,
+					Utterances: 4,
+					Frames:     6,
+					Seed:       1,
+				}
+				if scheduled {
+					cfg.Sched = &fleet.SchedSpec{}
+				}
+				res, err := fleet.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.LostFrames() != 0 {
+					b.Fatalf("lost %d frames", res.LostFrames())
+				}
+				if scheduled {
+					if res.Sched == nil || res.Sched.Items == 0 {
+						b.Fatal("scheduler classified nothing")
+					}
+					if res.Sched.MixedVersionFlushes != 0 {
+						b.Fatalf("%d flushes mixed model versions", res.Sched.MixedVersionFlushes)
+					}
+				}
+				last = res
+			}
+			b.ReportMetric(last.Throughput(), "items/s")
+			b.ReportMetric(last.Latency.Percentile(99)/1e3, "virtual-us-p99/item")
+			if scheduled {
+				b.ReportMetric(last.Sched.MeanOccupancy, "items/flush")
+			}
+		})
+	}
+}
+
 // BenchmarkE12ElasticFleet wraps the full elastic-churn experiment
 // (static-vs-churned invariant check included).
 func BenchmarkE12ElasticFleet(b *testing.B) {

@@ -14,6 +14,8 @@ BenchmarkFleetThroughput/devices=16/shards=2     3   31591668 ns/op   948.0 item
 BenchmarkFleetThroughput/devices=64/shards=8     3  120105906 ns/op   1083 items/s    2161 virtual-us-p99/item
 BenchmarkFleetChurn/churn=0%                     3  121848393 ns/op   1056 items/s    11.00 priority-frames
 BenchmarkFleetChurn/churn=30%                    3  146768288 ns/op   934.0 items/s   12.00 priority-frames
+BenchmarkFleetScheduled/sched=off                3  130105906 ns/op   1095 items/s    2366 virtual-us-p99/item
+BenchmarkFleetScheduled/sched=on                 3  110105906 ns/op   4.000 items/flush   1290 items/s   2638 virtual-us-p99/item
 BenchmarkSubstrateSMC-16                  1000000  100 ns/op
 PASS
 `
@@ -25,6 +27,9 @@ func TestParseItemsPerSecKeepsFamilyBest(t *testing.T) {
 	}
 	if got := best["BenchmarkFleetChurn"]; got != 1056 {
 		t.Fatalf("churn best = %v, want 1056", got)
+	}
+	if got := best["BenchmarkFleetScheduled"]; got != 1290 {
+		t.Fatalf("scheduled best = %v, want 1290 (the items/s metric, not items/flush)", got)
 	}
 	if _, ok := best["BenchmarkSubstrateSMC-16"]; ok {
 		t.Fatal("picked up an items/s value from a benchmark that reports none")
@@ -72,8 +77,9 @@ func TestRunAgainstCommittedBaseline(t *testing.T) {
 	// against the real baseline file.
 	lines := fmt.Sprintf(
 		"BenchmarkFleetThroughput/devices=64/shards=8 3 1 ns/op %.1f items/s\n"+
-			"BenchmarkFleetChurn/churn=0%% 3 1 ns/op %.1f items/s\n",
-		base*0.9, base*0.9)
+			"BenchmarkFleetChurn/churn=0%% 3 1 ns/op %.1f items/s\n"+
+			"BenchmarkFleetScheduled/sched=on 3 1 ns/op %.1f items/s\n",
+		base*0.9, base*0.9, base*0.9)
 	bench := filepath.Join(t.TempDir(), "bench.txt")
 	if err := os.WriteFile(bench, []byte(lines), 0o644); err != nil {
 		t.Fatal(err)

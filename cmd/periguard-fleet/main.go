@@ -23,6 +23,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/tz"
 )
 
 func main() {
@@ -64,6 +65,8 @@ func run(args []string) error {
 	faultSlowShard := fs.Int("fault-slow-shard", 0, "with -faults, 1-based index of a founding shard to slow for the whole run (0 = none)")
 	faultTEE := fs.Float64("fault-tee", 0, "with -faults, fraction of touched devices hitting a transient TEE error at provisioning")
 	faultSeed := fs.Uint64("fault-seed", 0, "with -faults, chaos plan seed (0 = derived from -seed)")
+	schedOn := fs.Bool("sched", false, "coalesce secure-speaker classification across devices through the shared TEE batch scheduler")
+	schedAge := fs.Uint64("sched-age", 0, "with -sched, flush deadline in virtual cycles for a partially filled batch (0 = library default)")
 	traceOn := fs.Bool("trace", false, "enable frame telemetry (virtual-time spans, flight recorders) and print the trace dump")
 	traceSample := fs.Int("trace-sample", 64, "with -trace, trace 1 in N devices (1 = every device)")
 	jsonPath := fs.String("json", "", "write a JSON snapshot to this path")
@@ -115,6 +118,9 @@ func run(args []string) error {
 	if *rebalance {
 		cfg.Rebalance = &fleet.RebalanceSpec{AtFraction: 0.5, DrainShard: 0, AddShards: 1, AddWeight: 2}
 	}
+	if *schedOn {
+		cfg.Sched = &fleet.SchedSpec{MaxAge: tz.Cycles(*schedAge)}
+	}
 	if *traceOn {
 		cfg.Trace = &fleet.TraceSpec{SampleEvery: *traceSample}
 	}
@@ -138,10 +144,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("completed in %v (build %v, run %v)\n\n",
+	fmt.Printf("completed in %v (build %v, run %v)\n",
 		time.Since(start).Round(time.Millisecond),
 		res.BuildWall.Round(time.Millisecond),
 		res.RunWall.Round(time.Millisecond))
+	if res.RequestedBatch != res.EffectiveBatch {
+		fmt.Printf("note: requested TA batch %d clamped to the enclave maximum %d\n",
+			res.RequestedBatch, res.EffectiveBatch)
+	}
+	fmt.Println()
 
 	// Latencies below are virtual milliseconds: cycles / 1e6 at 1 GHz.
 	groups := metrics.NewTable("Per-mode results",
@@ -176,6 +187,14 @@ func run(args []string) error {
 	}
 	fmt.Printf("admission: policy %s, %d shed, %d priority-lane frames\n",
 		res.PolicyName, res.ShedFrames(), res.PriorityFrames())
+	if sr := res.Sched; sr != nil {
+		fmt.Printf("scheduler: %d items in %d batches (occupancy mean %.2f, max %d), "+
+			"flushes %s, %d pressure-cut\n",
+			sr.Items, sr.Batches, sr.MeanOccupancy, sr.MaxOccupancy,
+			flushString(sr.Flushes), sr.PressureFlushes)
+		fmt.Printf("scheduler queues: items per model version %s, %d mixed-version flushes\n",
+			versionString(versionCounts(sr.ItemsByVersion)), sr.MixedVersionFlushes)
+	}
 	if f := res.Faults; f != nil {
 		fmt.Printf("chaos: %d devices touched, %d faults injected "+
 			"(%d drops, %d dups, %d delays, %d blackholes), %d TEE faults\n",
@@ -276,21 +295,25 @@ func rejectReasons(s cloud.ShardStats) string {
 // schema is documented field-for-field in docs/OPERATIONS.md ("snapshot
 // schema") and schema_test.go keeps the two from drifting.
 type snapshot struct {
-	Devices       int                `json:"devices"`
-	Shards        int                `json:"shards"`
-	Batch         int                `json:"batch"`
-	Seed          uint64             `json:"seed"`
-	BuildWallMs   float64            `json:"build_wall_ms"`
-	RunWallMs     float64            `json:"run_wall_ms"`
-	ItemsPerSec   float64            `json:"items_per_sec"`
-	TotalItems    int                `json:"total_items"`
-	CloudEvents   uint64             `json:"cloud_events"`
-	LostFrames    int                `json:"lost_frames"`
-	SensTokens    int                `json:"sensitive_tokens"`
-	LatencyP50Vms float64            `json:"latency_p50_vms"`
-	LatencyP99Vms float64            `json:"latency_p99_vms"`
-	Groups        map[string]groupJS `json:"groups"`
-	ShardStats    []shardJS          `json:"shard_stats"`
+	Devices int `json:"devices"`
+	Shards  int `json:"shards"`
+	// Batch is the TA batch size the invocation asked for;
+	// EffectiveBatch is what the enclave actually ran (clamped at
+	// core.MaxBatch). Equal unless the request exceeded the cap.
+	Batch          int                `json:"batch"`
+	EffectiveBatch int                `json:"effective_batch"`
+	Seed           uint64             `json:"seed"`
+	BuildWallMs    float64            `json:"build_wall_ms"`
+	RunWallMs      float64            `json:"run_wall_ms"`
+	ItemsPerSec    float64            `json:"items_per_sec"`
+	TotalItems     int                `json:"total_items"`
+	CloudEvents    uint64             `json:"cloud_events"`
+	LostFrames     int                `json:"lost_frames"`
+	SensTokens     int                `json:"sensitive_tokens"`
+	LatencyP50Vms  float64            `json:"latency_p50_vms"`
+	LatencyP99Vms  float64            `json:"latency_p99_vms"`
+	Groups         map[string]groupJS `json:"groups"`
+	ShardStats     []shardJS          `json:"shard_stats"`
 
 	// Admission/elasticity accounting (admission_policy always present;
 	// the counters are omitted when zero, churn/rebalance when inactive).
@@ -317,6 +340,9 @@ type snapshot struct {
 	// Chaos fields (omitted outside -faults runs).
 	Faults *faultJS `json:"faults,omitempty"`
 
+	// Scheduler fields (omitted outside -sched runs).
+	Sched *schedJS `json:"sched,omitempty"`
+
 	// Telemetry fields (omitted outside -trace runs). ItemsPerSecTraced
 	// duplicates items_per_sec so the tracing-overhead trajectory is
 	// benchmarkable without perturbing the untraced benchgate family.
@@ -339,6 +365,7 @@ type telemetryJS struct {
 	BatchOccupancyP99 float64            `json:"batch_occupancy_p99"`
 	Verdicts          map[string]uint64  `json:"verdicts"`
 	Verbs             map[string]uint64  `json:"verbs,omitempty"`
+	Flushes           map[string]uint64  `json:"flushes,omitempty"`
 	Anomalies         []anomalyJS        `json:"anomalies,omitempty"`
 }
 
@@ -419,6 +446,24 @@ type faultJS struct {
 	Restarts          uint64 `json:"restarts"`
 }
 
+// schedJS summarizes a -sched run's cross-device TEE batch scheduler:
+// the effective flush config, flush accounting by reason
+// (full/age/idle/drain), occupancy of the shared forward passes, and the
+// per-model-version item split. A correct scheduler never mixes model
+// versions inside one flush, so mixed_version_flushes must read 0.
+type schedJS struct {
+	Batch               int               `json:"batch"`
+	MaxAgeCycles        uint64            `json:"max_age_cycles"`
+	Batches             uint64            `json:"batches"`
+	Items               uint64            `json:"items"`
+	MeanOccupancy       float64           `json:"mean_occupancy"`
+	MaxOccupancy        int               `json:"max_occupancy"`
+	Flushes             map[string]uint64 `json:"flushes"`
+	ItemsByVersion      map[string]uint64 `json:"items_by_version"`
+	MixedVersionFlushes uint64            `json:"mixed_version_flushes"`
+	PressureFlushes     uint64            `json:"pressure_flushes"`
+}
+
 // churnJS summarizes mid-run population churn.
 type churnJS struct {
 	Joined int `json:"joined"`
@@ -461,6 +506,41 @@ func versionKeys(in map[uint64]int) map[string]int {
 		out[fmt.Sprintf("%d", v)] = n
 	}
 	return out
+}
+
+// versionKeys64 is versionKeys for uint64-valued tallies (the
+// scheduler's per-version item counts).
+func versionKeys64(in map[uint64]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(in))
+	for v, n := range in {
+		out[fmt.Sprintf("%d", v)] = n
+	}
+	return out
+}
+
+// versionCounts narrows a uint64-valued version tally for the int-based
+// render helpers (item counts fit comfortably).
+func versionCounts(in map[uint64]uint64) map[uint64]int {
+	out := make(map[uint64]int, len(in))
+	for v, n := range in {
+		out[v] = int(n)
+	}
+	return out
+}
+
+// flushString renders the scheduler's flush-reason tally like
+// "full:12 age:3" in fixed reason order.
+func flushString(in map[string]uint64) string {
+	parts := make([]string, 0, len(in))
+	for _, reason := range []string{"full", "age", "idle", "drain"} {
+		if n, ok := in[reason]; ok {
+			parts = append(parts, fmt.Sprintf("%s:%d", reason, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
 }
 
 // versionString renders a tally like "v1:3 v2:61" in version order.
@@ -521,6 +601,12 @@ func telemetryBlock(tel *obs.Telemetry) *telemetryJS {
 			tj.Verbs[k] = n
 		}
 	}
+	if len(tel.Flushes) > 0 {
+		tj.Flushes = make(map[string]uint64, len(tel.Flushes))
+		for k, n := range tel.Flushes {
+			tj.Flushes[k] = n
+		}
+	}
 	for _, a := range tel.Anomalies {
 		tj.Anomalies = append(tj.Anomalies, anomalyJS{Kind: a.Kind, Detail: a.Detail})
 	}
@@ -531,7 +617,8 @@ func writeSnapshot(path string, res *fleet.Result) error {
 	snap := snapshot{
 		Devices:            res.Config.Devices,
 		Shards:             res.Config.Shards,
-		Batch:              res.Config.Batch,
+		Batch:              res.RequestedBatch,
+		EffectiveBatch:     res.EffectiveBatch,
 		Seed:               res.Config.Seed,
 		BuildWallMs:        float64(res.BuildWall.Microseconds()) / 1e3,
 		RunWallMs:          float64(res.RunWall.Microseconds()) / 1e3,
@@ -567,6 +654,20 @@ func writeSnapshot(path string, res *fleet.Result) error {
 	}
 	if len(res.TenantAttested) > 0 {
 		snap.TenantAttested = res.TenantAttested
+	}
+	if sr := res.Sched; sr != nil {
+		snap.Sched = &schedJS{
+			Batch:               sr.Batch,
+			MaxAgeCycles:        uint64(sr.MaxAge),
+			Batches:             sr.Batches,
+			Items:               sr.Items,
+			MeanOccupancy:       sr.MeanOccupancy,
+			MaxOccupancy:        sr.MaxOccupancy,
+			Flushes:             sr.Flushes,
+			ItemsByVersion:      versionKeys64(sr.ItemsByVersion),
+			MixedVersionFlushes: sr.MixedVersionFlushes,
+			PressureFlushes:     sr.PressureFlushes,
+		}
 	}
 	if f := res.Faults; f != nil {
 		snap.Faults = &faultJS{

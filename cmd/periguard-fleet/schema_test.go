@@ -101,7 +101,7 @@ func TestSnapshotSmoke(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "snap.json")
 	err := run([]string{
 		"-devices", "12", "-shards", "2", "-utterances", "2", "-frames", "2",
-		"-rollout", "-rogues", "2", "-churn", "0.3", "-rebalance",
+		"-rollout", "-rogues", "2", "-churn", "0.3", "-rebalance", "-sched",
 		"-rotate", "0.25", "-revoke", "0.15", "-federate", "-tenants", "2",
 		"-policy", "shed", "-trace", "-trace-sample", "1",
 		"-faults", "-fault-touch", "0.5", "-fault-drop", "0.2", "-fault-dup", "0.15",
@@ -186,5 +186,28 @@ func TestSnapshotSmoke(t *testing.T) {
 	}
 	if snap.ItemsPerSecTraced == 0 {
 		t.Fatal("items_per_sec_traced missing on a traced run")
+	}
+	if snap.EffectiveBatch == 0 || snap.EffectiveBatch != snap.Batch {
+		t.Fatalf("unclamped run surfaced batch %d effective %d", snap.Batch, snap.EffectiveBatch)
+	}
+	sc := snap.Sched
+	if sc == nil || sc.Items == 0 || sc.Batches == 0 {
+		t.Fatalf("sched block missing or inert: %+v", sc)
+	}
+	if sc.MixedVersionFlushes != 0 {
+		t.Fatalf("%d flushes mixed model versions", sc.MixedVersionFlushes)
+	}
+	var flushed, telFlushed uint64
+	for _, n := range sc.Flushes {
+		flushed += n
+	}
+	if flushed != sc.Batches {
+		t.Fatalf("flush reasons account for %d of %d batches", flushed, sc.Batches)
+	}
+	for _, n := range tel.Flushes {
+		telFlushed += n
+	}
+	if telFlushed != flushed {
+		t.Fatalf("telemetry flushes %d != scheduler flushes %d", telFlushed, flushed)
 	}
 }

@@ -331,6 +331,25 @@ func (s *Shard) serve(job ingestJob) {
 // Name returns the shard's ring label.
 func (s *Shard) Name() string { return s.name }
 
+// Utilization reports the bulk-lane admission-queue occupancy in [0,1] —
+// the same pending/capacity signal the admission policy sheds on
+// (AdmissionPolicy.ShouldShed). Upstream batch schedulers consult it as
+// a backpressure gauge: above the policy's high-water mark they flush
+// smaller batches sooner instead of bursting into a queue that is about
+// to shed.
+func (s *Shard) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.depth <= 0 {
+		return 0
+	}
+	u := float64(s.bulkPending) / float64(s.depth)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
 // Register binds a device ID to its channel-terminating endpoint.
 func (s *Shard) Register(deviceID string, p Provider) {
 	s.mu.Lock()

@@ -112,6 +112,13 @@ type Config struct {
 	DeviceID      string
 	AttestKeySeed uint64
 	ModelVersion  uint64
+
+	// SharedClassify marks a secure-filter device whose classify stage is
+	// served by a shared cross-device scheduler (wired afterwards via
+	// SetClassifyService): the per-device classifier build and weight
+	// sealing are skipped, since the device never runs a forward pass
+	// itself. The caller must wire the service before the session runs.
+	SharedClassify bool
 }
 
 func (c *Config) fillDefaults() error {
@@ -485,7 +492,7 @@ func (s *System) buildSecure() error {
 	// storage; the TA unseals them at session open (paper §IV.4:
 	// "pre-trained ML classifier" shipped to the TA).
 	var clf *classify.Classifier
-	if s.cfg.Mode == ModeSecureFilter {
+	if s.cfg.Mode == ModeSecureFilter && !s.cfg.SharedClassify {
 		clf, err = TrainClassifier(s.cfg.Arch, s.Vocab, s.cfg.ModelSeed, s.cfg.TrainEpochs)
 		if err != nil {
 			return fmt.Errorf("core classifier: %w", err)

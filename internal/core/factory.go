@@ -78,6 +78,10 @@ type DeviceSpec struct {
 	DeviceID      string
 	AttestKeySeed uint64
 	ModelVersion  uint64
+	// SharedClassify marks a secure-filter speaker whose classify stage
+	// is served by a shared cross-device scheduler; the per-device
+	// classifier build is skipped. See Config.SharedClassify.
+	SharedClassify bool
 }
 
 // Pretrain warms every shared-model cache the given population needs —
@@ -163,17 +167,18 @@ func NewDevice(spec DeviceSpec) (*Device, error) {
 	switch spec.Kind {
 	case DeviceSpeaker:
 		sys, err := NewSystem(Config{
-			Mode:          spec.Mode,
-			Arch:          spec.Arch,
-			Policy:        spec.Policy,
-			BufBytes:      spec.BufBytes,
-			Seed:          spec.Seed,
-			ModelSeed:     spec.ModelSeed,
-			FreqHz:        spec.FreqHz,
-			NoiseAmp:      spec.NoiseAmp,
-			DeviceID:      spec.DeviceID,
-			AttestKeySeed: spec.AttestKeySeed,
-			ModelVersion:  spec.ModelVersion,
+			Mode:           spec.Mode,
+			Arch:           spec.Arch,
+			Policy:         spec.Policy,
+			BufBytes:       spec.BufBytes,
+			Seed:           spec.Seed,
+			ModelSeed:      spec.ModelSeed,
+			FreqHz:         spec.FreqHz,
+			NoiseAmp:       spec.NoiseAmp,
+			DeviceID:       spec.DeviceID,
+			AttestKeySeed:  spec.AttestKeySeed,
+			ModelVersion:   spec.ModelVersion,
+			SharedClassify: spec.SharedClassify,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("speaker: %w", err)
@@ -199,6 +204,14 @@ func NewDevice(spec DeviceSpec) (*Device, error) {
 		return d, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadKind, int(spec.Kind))
+	}
+}
+
+// SetClassifyService wires the shared cross-device classify service into
+// a secure speaker (no-op for doorbells and baseline devices).
+func (d *Device) SetClassifyService(svc ClassifyService) {
+	if d.Speaker != nil {
+		d.Speaker.SetClassifyService(svc)
 	}
 }
 

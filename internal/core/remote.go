@@ -1,0 +1,58 @@
+package core
+
+import "repro/internal/tz"
+
+// ClassifyService is the hook a shared cross-device inference scheduler
+// implements (see internal/sched). When a VoiceTA has a service wired,
+// its classify stage ships encoded token IDs to the shared enclave
+// instead of running the sealed per-device classifier, and charges the
+// returned virtual wait (queue time plus the device's share of the
+// batched forward pass) to its own clock. The interface lives in core so
+// the dependency points outward: core never imports the scheduler.
+//
+// Equivalence contract: the service must produce, for every item, the
+// same flag the device's own classifier would — predictions are
+// per-sample, so batching across devices is latency machinery only and
+// per-device transcripts and audit counters stay bit-identical to the
+// unbatched path.
+type ClassifyService interface {
+	ClassifyBatch(req ClassifyRequest) (ClassifyResponse, error)
+}
+
+// ClassifyRequest carries one device's pending utterances to the shared
+// classifier. Only encoded token IDs and queue metadata cross the
+// boundary — never transcript words or raw audio.
+type ClassifyRequest struct {
+	DeviceID     string
+	ModelVersion uint64    // routes the request to the right per-version queue
+	Tokens       [][]int   // vocabulary-encoded token sequences, one per utterance
+	Now          tz.Cycles // device virtual clock at submit
+}
+
+// ClassifyResponse returns per-item verdicts, the virtual cycles to
+// charge the device's classify stage, and the occupancy of the shared
+// batch the request rode in (exported on the classify trace span).
+type ClassifyResponse struct {
+	Flagged   []bool
+	Wait      tz.Cycles
+	Occupancy int
+}
+
+// SetClassifyService wires (or clears, with nil) the shared classify
+// service. Call before the session runs; the model version submitted
+// with each request is read at classify time, so a mid-run rollout
+// moves the device to the new version's queue.
+func (t *VoiceTA) SetClassifyService(deviceID string, svc ClassifyService) {
+	t.mu.Lock()
+	t.remote = svc
+	t.remoteDevice = deviceID
+	t.mu.Unlock()
+}
+
+// SetClassifyService wires the shared classify service into the voice TA
+// (no-op for systems without one, e.g. baseline mode).
+func (s *System) SetClassifyService(svc ClassifyService) {
+	if s.VoiceTA != nil {
+		s.VoiceTA.SetClassifyService(s.cfg.DeviceID, svc)
+	}
+}

@@ -311,6 +311,12 @@ func (s *System) emitUtteranceSpans(start tz.Cycles, rec ProcessedUtterance, bat
 	if !tc.Enabled() {
 		return
 	}
+	// The classify span reports the occupancy of the forward pass that
+	// actually served the utterance: with a shared classify service this
+	// is the cross-device flush size, not the device's own queue length.
+	if rec.ClassifyBatch > 0 {
+		batch = rec.ClassifyBatch
+	}
 	tc.NextItem()
 	t := start
 	tc.Emit(obs.StageCapture, obs.VerdictNone, t, rec.Stages.Capture, 0, 0)

@@ -202,6 +202,11 @@ type ProcessedUtterance struct {
 	Redacted   int
 	Stages     StageCycles
 	SealedSize int
+	// ClassifyBatch is the occupancy of the forward pass that classified
+	// this utterance: the device's own queue length on the local path, or
+	// the cross-device flush size when a shared classify service is
+	// wired (0 when the filter did not run).
+	ClassifyBatch int
 }
 
 // VoiceTAConfig wires the TA's dependencies.
@@ -235,6 +240,8 @@ type VoiceTA struct {
 
 	mu           sync.Mutex
 	classifier   *classify.Classifier // nil until first classify (unsealed from storage) or updateModel
+	remote       ClassifyService      // non-nil: classify via the shared cross-device scheduler
+	remoteDevice string               // device id submitted with shared-classify requests
 	opens        int                  // open-session refcount; capture runs while > 0
 	modelVersion uint64
 	modelSeed    uint64
@@ -506,8 +513,15 @@ func (t *VoiceTA) updateModel(packBytes, tokenBytes []byte) (uint64, error) {
 	if err := t.cfg.Attestor.VerifyManifest(tok, pack); err != nil {
 		return 0, fmt.Errorf("voice ta update: %w", err)
 	}
+	// With a shared classify service wired, the device never runs the
+	// pack's weights itself — the scheduler's per-version classifier
+	// does — so the per-device rebuild is skipped. The pack is still
+	// verified, sealed, and version-advanced below.
+	t.mu.Lock()
+	shared := t.remote != nil
+	t.mu.Unlock()
 	var clf *classify.Classifier
-	if t.cfg.Filter {
+	if t.cfg.Filter && !shared {
 		if clf, err = t.buildClassifier(pack.ModelSeed, pack.Text); err != nil {
 			return 0, fmt.Errorf("voice ta update: %w", err)
 		}
@@ -529,7 +543,9 @@ func (t *VoiceTA) updateModel(packBytes, tokenBytes []byte) (uint64, error) {
 	t.cfg.Storage.Put(packObjectID(pack.Version), packBytes)
 	if t.cfg.Filter {
 		t.cfg.Storage.Put(weightsObjectID, pack.Text)
-		t.classifier = clf
+		if clf != nil {
+			t.classifier = clf
+		}
 	}
 	// Charge the copy+seal of the pack through the TEE.
 	t.cfg.Clock.Advance(tz.Cycles(len(packBytes)) * t.cfg.Cost.CopyPerByte)
@@ -648,12 +664,41 @@ func (t *VoiceTA) loadedClassifier() (*classify.Classifier, error) {
 	return clf, nil
 }
 
-// classifyStage runs the ML filter over a batch of transcripts in one
-// forward pass, charging 4 MACs/cycle (NEON-class SIMD) per sample.
-func (t *VoiceTA) classifyStage(transcripts [][]string) ([]bool, error) {
+// classifyStage runs the ML filter over a batch of transcripts and
+// reports the occupancy of the forward pass that served it. On the local
+// path that is one pass over the device's own queue, charged at 4
+// MACs/cycle (NEON-class SIMD) per sample; with a shared classify
+// service wired, the encoded tokens ride a cross-device batch and the
+// device is charged the scheduler's queue wait plus its share of the
+// shared pass instead.
+func (t *VoiceTA) classifyStage(transcripts [][]string) ([]bool, int, error) {
+	t.mu.Lock()
+	remote, device, version := t.remote, t.remoteDevice, t.modelVersion
+	t.mu.Unlock()
+	if remote != nil {
+		tokens := make([][]int, len(transcripts))
+		for i, words := range transcripts {
+			tokens[i] = t.cfg.Vocab.Encode(words)
+		}
+		resp, err := remote.ClassifyBatch(ClassifyRequest{
+			DeviceID:     device,
+			ModelVersion: version,
+			Tokens:       tokens,
+			Now:          t.cfg.Clock.Now(),
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("voice ta classify (shared): %w", err)
+		}
+		if len(resp.Flagged) != len(transcripts) {
+			return nil, 0, fmt.Errorf("voice ta classify (shared): %d flags for %d transcripts",
+				len(resp.Flagged), len(transcripts))
+		}
+		t.cfg.Clock.Advance(resp.Wait)
+		return resp.Flagged, resp.Occupancy, nil
+	}
 	clf, err := t.loadedClassifier()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	batch := make([][]float32, len(transcripts))
 	for i, words := range transcripts {
@@ -661,14 +706,14 @@ func (t *VoiceTA) classifyStage(transcripts [][]string) ([]bool, error) {
 	}
 	classes, err := clf.PredictBatch(batch)
 	if err != nil {
-		return nil, fmt.Errorf("voice ta classify: %w", err)
+		return nil, 0, fmt.Errorf("voice ta classify: %w", err)
 	}
 	t.cfg.Clock.Advance(tz.Cycles(clf.EstimateMACs() * len(batch) / 4))
 	flagged := make([]bool, len(classes))
 	for i, cls := range classes {
 		flagged[i] = cls == 1
 	}
-	return flagged, nil
+	return flagged, len(batch), nil
 }
 
 // relayStage applies the filter policy and, when forwarding, seals the
@@ -756,11 +801,12 @@ func (t *VoiceTA) processUtterance(wantBytes int) (ProcessedUtterance, error) {
 	start = clock.Now()
 	flagged := false
 	if t.cfg.Filter {
-		flags, err := t.classifyStage([][]string{words})
+		flags, occupancy, err := t.classifyStage([][]string{words})
 		if err != nil {
 			return rec, err
 		}
 		flagged = flags[0]
+		rec.ClassifyBatch = occupancy
 	}
 	rec.Flagged = flagged
 	rec.Stages.Classify = clock.Now() - start
@@ -811,13 +857,14 @@ func (t *VoiceTA) processBatch(lengths []int) ([]ProcessedUtterance, error) {
 
 	if t.cfg.Filter {
 		start := clock.Now()
-		flags, err := t.classifyStage(transcripts)
+		flags, occupancy, err := t.classifyStage(transcripts)
 		if err != nil {
 			return nil, err
 		}
 		spent := clock.Now() - start
 		for i := range recs {
 			recs[i].Flagged = flags[i]
+			recs[i].ClassifyBatch = occupancy
 			// The batched forward pass is shared work; attribute it evenly.
 			recs[i].Stages.Classify = spent / tz.Cycles(len(recs))
 		}

@@ -451,3 +451,25 @@ func TestWorkloadAndHelpers(t *testing.T) {
 		t.Error("bad mode accepted")
 	}
 }
+
+// TestE16ShapesHold asserts the batch-scheduler acceptance claims: the
+// scheduled elastic fleet's per-device audits are bit-identical to the
+// per-device classify run, no flush mixes model versions, the scheduler
+// coalesces above occupancy 1, no frames are lost, and the rollout
+// converges (E16BatchScheduler errors out on any violation).
+func TestE16ShapesHold(t *testing.T) {
+	tbl, res, err := E16BatchScheduler(DefaultSeed)
+	if err != nil {
+		t.Fatalf("E16: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if res.Compared != res.Devices+res.Joined {
+		t.Fatalf("compared %d devices, want the whole population (%d)",
+			res.Compared, res.Devices+res.Joined)
+	}
+	if res.MeanOccupancy < 1 {
+		t.Fatalf("mean occupancy %.2f < 1", res.MeanOccupancy)
+	}
+}

@@ -727,3 +727,130 @@ func E15ChaosFleet(seed uint64) (*metrics.Table, E15Result, error) {
 	}
 	return tbl, out, nil
 }
+
+// E16Result is the cross-device batch-scheduler experiment outcome.
+type E16Result struct {
+	Devices int
+	Joined  int
+	Left    int
+	Rotated int
+	// Equivalence leg: every device of the scheduled run compared
+	// bit-for-bit against the per-device-classify run of the same seed.
+	Compared       int
+	AuditIdentical bool
+	// Scheduler accounting.
+	Batches             uint64
+	BatchedItems        uint64
+	MeanOccupancy       float64
+	MaxOccupancy        int
+	MixedVersionFlushes uint64
+	PressureFlushes     uint64
+	LostFrames          int
+	ItemsPerSec         float64
+	// Rollout leg: canaries classify on the target version's queue while
+	// the stable cohort stays on the base queue; the fleet still
+	// converges and the ingest floor rises.
+	RolloutConverged bool
+	MinVersion       uint64
+}
+
+// E16BatchScheduler is the shared-TEE batch-scheduler experiment. The
+// same elastic fleet — churn, mid-run key rotations, a staged model
+// rollout — runs twice: once on the per-device classify path and once
+// with every secure-filter speaker submitting to the shared cross-device
+// scheduler (per-model-version queues, flush on batch-full or max-age).
+// The claims under test: every device's audit counters are bit-identical
+// between the two runs (batching is latency machinery, never a
+// correctness knob), no flush ever mixes model versions, the scheduler
+// actually coalesces (flushes above occupancy 1), zero frames are lost,
+// and the rollout still converges with the ingest floor raised.
+func E16BatchScheduler(seed uint64) (*metrics.Table, E16Result, error) {
+	base := fleet.Config{
+		Devices:    48,
+		Shards:     4,
+		Utterances: 3,
+		Frames:     2,
+		Seed:       seed,
+		FreqHz:     FreqHz,
+		Rollout:    &fleet.RolloutSpec{CanaryFraction: 0.2},
+		Churn:      &fleet.ChurnSpec{JoinFraction: 0.25, LeaveFraction: 0.25},
+		Lifecycle:  &fleet.LifecycleSpec{RotateFraction: 0.25},
+	}
+	plain, err := fleet.Run(base)
+	if err != nil {
+		return nil, E16Result{}, fmt.Errorf("per-device fleet: %w", err)
+	}
+	scheduled := base
+	scheduled.Churn = &fleet.ChurnSpec{JoinFraction: 0.25, LeaveFraction: 0.25}
+	scheduled.Sched = &fleet.SchedSpec{}
+	res, err := fleet.Run(scheduled)
+	if err != nil {
+		return nil, E16Result{}, fmt.Errorf("scheduled fleet: %w", err)
+	}
+	if res.Sched == nil {
+		return nil, E16Result{}, fmt.Errorf("scheduled fleet returned no scheduler report")
+	}
+
+	out := E16Result{
+		Devices:             base.Devices,
+		Joined:              res.Joined,
+		Left:                res.Left,
+		Rotated:             res.Rotated,
+		AuditIdentical:      true,
+		Batches:             res.Sched.Batches,
+		BatchedItems:        res.Sched.Items,
+		MeanOccupancy:       res.Sched.MeanOccupancy,
+		MaxOccupancy:        res.Sched.MaxOccupancy,
+		MixedVersionFlushes: res.Sched.MixedVersionFlushes,
+		PressureFlushes:     res.Sched.PressureFlushes,
+		LostFrames:          res.LostFrames(),
+		ItemsPerSec:         res.Throughput(),
+	}
+	if res.Rollout != nil {
+		out.RolloutConverged = res.Rollout.Converged
+		out.MinVersion = res.Rollout.MinVersion
+	}
+	if len(res.DeviceResults) != len(plain.DeviceResults) {
+		return nil, out, fmt.Errorf("population diverged: %d vs %d devices",
+			len(res.DeviceResults), len(plain.DeviceResults))
+	}
+	for i := range plain.DeviceResults {
+		if e12Fingerprint(res.DeviceResults[i]) != e12Fingerprint(plain.DeviceResults[i]) {
+			out.AuditIdentical = false
+			continue
+		}
+		out.Compared++
+	}
+
+	tbl := metrics.NewTable("E16: cross-device batch scheduler (48 devices, churn + rotation + rollout)",
+		"devices", "joined/left/rotated", "identical", "batches", "items",
+		"occupancy mean/max", "mixed-version", "lost frames", "converged@floor", "items/s(wall)")
+	tbl.AddRow(out.Devices,
+		fmt.Sprintf("%d/%d/%d", out.Joined, out.Left, out.Rotated),
+		fmt.Sprintf("%v (%d compared)", out.AuditIdentical, out.Compared),
+		out.Batches, out.BatchedItems,
+		fmt.Sprintf("%.2f/%d", out.MeanOccupancy, out.MaxOccupancy),
+		out.MixedVersionFlushes, out.LostFrames,
+		fmt.Sprintf("%v@v%d", out.RolloutConverged, out.MinVersion),
+		out.ItemsPerSec)
+
+	switch {
+	case !out.AuditIdentical:
+		return tbl, out, fmt.Errorf("scheduler: a device's audit diverged from the per-device classify run")
+	case out.LostFrames != 0:
+		return tbl, out, fmt.Errorf("scheduler: lost %d frames, want 0", out.LostFrames)
+	case out.MixedVersionFlushes != 0:
+		return tbl, out, fmt.Errorf("scheduler: %d flushes mixed model versions", out.MixedVersionFlushes)
+	case out.Batches == 0 || out.BatchedItems == 0:
+		return tbl, out, fmt.Errorf("scheduler: classified nothing (%d batches, %d items)",
+			out.Batches, out.BatchedItems)
+	case out.MaxOccupancy <= 1:
+		return tbl, out, fmt.Errorf("scheduler: never coalesced (max occupancy %d)", out.MaxOccupancy)
+	case out.Joined == 0 || out.Left == 0 || out.Rotated == 0:
+		return tbl, out, fmt.Errorf("scheduler: churn/rotation did not fire (joined %d, left %d, rotated %d)",
+			out.Joined, out.Left, out.Rotated)
+	case !out.RolloutConverged:
+		return tbl, out, fmt.Errorf("scheduler: rollout did not converge")
+	}
+	return tbl, out, nil
+}

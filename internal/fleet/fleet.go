@@ -71,8 +71,18 @@ type Config struct {
 	// default GOMAXPROCS.
 	DeviceWorkers int
 	// Batch is the TA batch size for secure speakers (1 disables
-	// batching); default 4, capped at core.MaxBatch.
+	// batching); default 4, capped at core.MaxBatch. When the cap
+	// applies, the clamp is surfaced in Result.RequestedBatch vs
+	// Result.EffectiveBatch rather than silently rewriting the config.
 	Batch int
+
+	// Sched enables the shared cross-device TEE inference scheduler:
+	// secure-filter speakers submit their classify stage to per-model-
+	// version queues that flush on batch-full or max-age, replacing the
+	// per-device forward pass with one shared batched pass. Audits are
+	// bit-identical to the per-device path — the scheduler is latency
+	// machinery only. Nil keeps the per-device path.
+	Sched *SchedSpec
 
 	// Utterances per speaker (default 4) and Frames per doorbell
 	// (default 6).
@@ -207,8 +217,16 @@ func (c *Config) fillDefaults() error {
 	if c.Batch <= 0 {
 		c.Batch = 4
 	}
+	// The per-device clamp is kept for compatibility, but Run records the
+	// requested value and surfaces both in the Result so a bench config
+	// cannot silently claim a batch size the TA never ran.
 	if c.Batch > core.MaxBatch {
 		c.Batch = core.MaxBatch
+	}
+	if c.Sched != nil {
+		if err := c.Sched.fillDefaults(c.Batch); err != nil {
+			return err
+		}
 	}
 	if c.Utterances <= 0 {
 		c.Utterances = 4
@@ -437,6 +455,17 @@ type Result struct {
 	// TotalItems counts utterances + frames processed fleet-wide.
 	TotalItems int
 
+	// RequestedBatch is the per-device TA batch the config asked for
+	// (after defaulting); EffectiveBatch is what actually ran. They
+	// differ only when the request exceeded core.MaxBatch — the clamp is
+	// surfaced here so benches cannot report a batch size the TA never
+	// used.
+	RequestedBatch int
+	EffectiveBatch int
+	// Sched summarizes the cross-device scheduler's flush behavior (nil
+	// when the per-device classify path ran).
+	Sched *SchedReport
+
 	// Attested-run observability (zero values outside Attest mode).
 
 	// AttestedDevices counts devices holding a verified measurement.
@@ -607,7 +636,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	requestedBatch := cfg.Batch
 	_ = cfg.fillDefaults() // Plan validated; normalize our copy too
+	if requestedBatch <= 0 {
+		requestedBatch = cfg.Batch // defaulted, not clamped
+	}
 
 	var joiners []core.DeviceSpec
 	if cfg.Churn != nil {
@@ -666,6 +699,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	var sc *schedControl
+	if cfg.Sched != nil {
+		if sc, err = newSchedControl(cfg, st, shards); err != nil {
+			return nil, err
+		}
+	}
+
 	var fd *faultDriver
 	if cfg.Faults != nil {
 		if fd, err = newFaultDriver(cfg, router, len(all)); err != nil {
@@ -682,7 +722,7 @@ func Run(cfg Config) (*Result, error) {
 	// its endpoint on the ring, process, and drop the pipeline. The
 	// endpoints stay registered for the post-run audit (leavers excepted:
 	// their audit is folded into the run accounting at departure).
-	r := &runner{cfg: cfg, st: st, router: router, tracer: tracer, fd: fd, results: make([]*core.DeviceResult, len(all))}
+	r := &runner{cfg: cfg, st: st, router: router, tracer: tracer, fd: fd, sched: sc, results: make([]*core.DeviceResult, len(all))}
 	if cfg.Lifecycle != nil {
 		// Lifecycle targets are drawn from the base population only, so
 		// the selection (and every non-churned device's behaviour) is
@@ -701,7 +741,7 @@ func Run(cfg Config) (*Result, error) {
 		r.reb = newRebalancer(cfg, router, len(all))
 	}
 	runStart := time.Now()
-	if err := eachDevice(order, cfg.DeviceWorkers, func(i int) error {
+	runErr := eachDevice(order, cfg.DeviceWorkers, func(i int) error {
 		err := r.runOne(all[i], i)
 		if err != nil && st != nil && st.rollout != nil {
 			reason := fmt.Sprintf("device failure: %v", err)
@@ -709,8 +749,14 @@ func Run(cfg Config) (*Result, error) {
 			st.rollout.Abort(reason)
 		}
 		return err
-	}); err != nil {
-		return nil, err
+	})
+	if sc != nil {
+		// Drain on both paths: an errored run must not strand scheduler
+		// workers (or entries another still-healthy device is waiting on).
+		sc.scheduler.Drain()
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	runWall := time.Since(runStart)
 	if fd != nil {
@@ -743,6 +789,12 @@ func Run(cfg Config) (*Result, error) {
 		rogueAttempts, rogueRejected, unattestedIngested = runRogues(cfg, router, tracer, len(all))
 	}
 	res := aggregate(cfg, buildWall, runWall, r, router)
+	res.RequestedBatch = requestedBatch
+	res.EffectiveBatch = cfg.Batch
+	if sc != nil {
+		res.Sched = sc.report(cfg.Sched)
+		tracer.Flushes(res.Sched.Flushes)
+	}
 	if tracer != nil {
 		tel, err := tracer.Summary()
 		if err != nil {
@@ -772,6 +824,7 @@ type runner struct {
 	reb     *rebalancer
 	lc      *lifecyclePlan
 	fd      *faultDriver
+	sched   *schedControl
 }
 
 // runOne is the per-worker pipeline: workload → build → provision to the
@@ -788,9 +841,19 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 	if leaving {
 		w = r.churn.truncateWorkload(w)
 	}
+	// Scheduled mode: secure-filter speakers skip the per-device
+	// classifier build and submit classify batches to the shared
+	// scheduler instead. This covers base population and joiners alike —
+	// both funnel through runOne.
+	if r.sched != nil && spec.Kind == core.DeviceSpeaker && spec.Mode == core.ModeSecureFilter {
+		spec.SharedClassify = true
+	}
 	d, err := core.NewDevice(spec)
 	if err != nil {
 		return fmt.Errorf("device %d: %w", i, err)
+	}
+	if spec.SharedClassify {
+		d.SetClassifyService(r.sched)
 	}
 	id := spec.DeviceID
 	tenant := tenantFor(r.cfg, i)
@@ -856,7 +919,19 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 			d.SetUplink(sink)
 		}
 	}
+	// A shared-classify device is a scheduler producer exactly for the
+	// span of its run — the only window it can submit in. Registering the
+	// worker goroutine instead would deadlock: a worker parked in
+	// converge (AwaitFull) blocks on a canary's completion, the canary
+	// blocks in Classify on a flush, and the flush's idle rule would wait
+	// for the parked worker to block in Classify — which it never will.
+	if spec.SharedClassify {
+		r.sched.scheduler.AddProducer()
+	}
 	res, err := d.Run(w)
+	if spec.SharedClassify {
+		r.sched.scheduler.ProducerDone()
+	}
 	if err != nil {
 		return fmt.Errorf("device %d: %w", i, err)
 	}

@@ -1,0 +1,234 @@
+package fleet
+
+// Cross-device scheduler wiring: SchedSpec turns the per-device classify
+// stage of every secure-filter speaker into a submission to one shared
+// internal/sched scheduler. The fleet owns the per-model-version shared
+// classifiers (bit-identical to the ones each device would have built:
+// same memoized TrainClassifier weights, same architecture and vocabulary),
+// wires the ingest tier's queue utilization in as the scheduler's
+// backpressure gauge, and folds the scheduler's flush statistics into the
+// run result.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/ml/classify"
+	"repro/internal/sched"
+	"repro/internal/sensitive"
+	"repro/internal/tz"
+)
+
+// SchedSpec enables the shared cross-device TEE inference scheduler.
+// Nil keeps the per-device classify path.
+type SchedSpec struct {
+	// Batch is the cross-device flush size (items per shared forward
+	// pass); default core.MaxBatch. Requesting more than core.MaxBatch
+	// is ErrBadConfig — the cap is surfaced, never silently applied.
+	Batch int
+	// MaxAge is the deadline in virtual cycles a queued utterance may
+	// wait before its queue flushes regardless of occupancy; default
+	// sched.DefaultMaxAge.
+	MaxAge tz.Cycles
+	// Workers bounds concurrent shared forward passes; default
+	// sched.DefaultWorkers.
+	Workers int
+}
+
+func (s *SchedSpec) fillDefaults(deviceBatch int) error {
+	if s.Batch == 0 {
+		s.Batch = core.MaxBatch
+	}
+	if s.Batch < 0 || s.Batch > core.MaxBatch {
+		return fmt.Errorf("%w: scheduler batch %d (core.MaxBatch is %d)",
+			ErrBadConfig, s.Batch, core.MaxBatch)
+	}
+	if deviceBatch > s.Batch {
+		return fmt.Errorf("%w: device batch %d exceeds scheduler batch %d (a device's queue must fit one flush)",
+			ErrBadConfig, deviceBatch, s.Batch)
+	}
+	if s.MaxAge < 0 {
+		return fmt.Errorf("%w: scheduler max age %d", ErrBadConfig, s.MaxAge)
+	}
+	if s.MaxAge == 0 {
+		s.MaxAge = sched.DefaultMaxAge
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("%w: %d scheduler workers", ErrBadConfig, s.Workers)
+	}
+	if s.Workers == 0 {
+		s.Workers = sched.DefaultWorkers
+	}
+	return nil
+}
+
+// SchedReport summarizes the scheduler's behavior over one run.
+type SchedReport struct {
+	// Batch and MaxAge echo the effective scheduler config.
+	Batch  int
+	MaxAge tz.Cycles
+	// Flushes tallies flush count by reason (full/age/idle/drain).
+	Flushes map[string]uint64
+	// Batches and Items are totals; MeanOccupancy = Items/Batches.
+	Batches       uint64
+	Items         uint64
+	MeanOccupancy float64
+	MaxOccupancy  int
+	// ItemsByVersion splits classified items per model version — a
+	// rollout's canary cohort batches separately from the stable cohort.
+	ItemsByVersion map[uint64]uint64
+	// MixedVersionFlushes must be 0: no flush ever spans model versions.
+	MixedVersionFlushes uint64
+	// PressureFlushes counts deadline flushes cut early because the
+	// ingest tier's queue utilization was above the admission policy's
+	// high-water mark.
+	PressureFlushes uint64
+}
+
+// versionClassifier is one shared per-version classifier. PredictBatch
+// mutates layer activation state, so concurrent flushes of the same
+// version serialize on the slot lock (flushes of different versions run
+// in parallel).
+type versionClassifier struct {
+	mu  sync.Mutex
+	clf *classify.Classifier
+}
+
+// schedControl owns the run's scheduler: the executor's per-version
+// shared classifiers and the core.ClassifyService adapter devices submit
+// through.
+type schedControl struct {
+	scheduler *sched.Scheduler
+	vocab     *sensitive.Vocabulary
+
+	mu    sync.Mutex
+	seeds map[uint64]uint64 // model version -> model seed
+	clfs  map[uint64]*versionClassifier
+}
+
+// newSchedControl builds the scheduler for one run. Version seeds mirror
+// provisioning exactly: the base population's classifier comes from the
+// root seed (versions 0 and 1), and a staged rollout's target pack
+// registers its own seed — TrainClassifier memoizes, so these are the
+// same weights the attestState packs carry.
+func newSchedControl(cfg Config, st *attestState, shards []*cloud.Shard) (*schedControl, error) {
+	sc := &schedControl{
+		vocab: sensitive.NewVocabulary(),
+		seeds: map[uint64]uint64{0: cfg.Seed, 1: cfg.Seed},
+		clfs:  make(map[uint64]*versionClassifier),
+	}
+	if st != nil && st.rollout != nil {
+		sc.seeds[st.next.Version] = st.next.ModelSeed
+	}
+	// Backpressure gauge: the worst bulk-lane queue utilization across
+	// the ingest tier, the same signal the admission policy sheds on.
+	pressure := func() float64 {
+		worst := 0.0
+		for _, s := range shards {
+			if u := s.Utilization(); u > worst {
+				worst = u
+			}
+		}
+		return worst
+	}
+	s, err := sched.New(sched.Config{
+		Batch:     cfg.Sched.Batch,
+		MaxAge:    cfg.Sched.MaxAge,
+		Workers:   cfg.Sched.Workers,
+		Pressure:  pressure,
+		HighWater: cloud.DefaultHighWater,
+	}, sc.execute)
+	if err != nil {
+		return nil, err
+	}
+	sc.scheduler = s
+	return sc, nil
+}
+
+// classifierFor returns (building on first use) the shared classifier
+// for a model version. The build hits the memoized TrainClassifier
+// cache Pretrain warmed.
+func (sc *schedControl) classifierFor(version uint64) (*versionClassifier, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if vc, ok := sc.clfs[version]; ok {
+		return vc, nil
+	}
+	seed, ok := sc.seeds[version]
+	if !ok {
+		return nil, fmt.Errorf("fleet sched: no model provisioned for version %d", version)
+	}
+	clf, err := core.TrainClassifier(classify.ArchCNN, sc.vocab, seed, 8)
+	if err != nil {
+		return nil, fmt.Errorf("fleet sched: version %d classifier: %w", version, err)
+	}
+	vc := &versionClassifier{clf: clf}
+	sc.clfs[version] = vc
+	return vc, nil
+}
+
+// execute is the scheduler's executor: one shared forward pass over a
+// single version's flush, charged at the same 4 MACs/cycle the
+// per-device TA path charges.
+func (sc *schedControl) execute(version uint64, items [][]int) ([]bool, tz.Cycles, error) {
+	vc, err := sc.classifierFor(version)
+	if err != nil {
+		return nil, 0, err
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	batch := make([][]float32, len(items))
+	for i, toks := range items {
+		batch[i] = vc.clf.TokensToFeatures(toks)
+	}
+	classes, err := vc.clf.PredictBatch(batch)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet sched classify: %w", err)
+	}
+	flagged := make([]bool, len(classes))
+	for i, cls := range classes {
+		flagged[i] = cls == 1
+	}
+	return flagged, tz.Cycles(vc.clf.EstimateMACs() * len(items) / 4), nil
+}
+
+// ClassifyBatch implements core.ClassifyService: the adapter devices
+// submit their encoded tokens through.
+func (sc *schedControl) ClassifyBatch(req core.ClassifyRequest) (core.ClassifyResponse, error) {
+	resp, err := sc.scheduler.Classify(sched.Request{
+		DeviceID: req.DeviceID,
+		Version:  req.ModelVersion,
+		Items:    req.Tokens,
+		Now:      req.Now,
+	})
+	if err != nil {
+		return core.ClassifyResponse{}, err
+	}
+	return core.ClassifyResponse{
+		Flagged:   resp.Flagged,
+		Wait:      resp.Wait,
+		Occupancy: resp.Occupancy,
+	}, nil
+}
+
+// report drains the scheduler and snapshots its statistics.
+func (sc *schedControl) report(spec *SchedSpec) *SchedReport {
+	st := sc.scheduler.Stats()
+	rep := &SchedReport{
+		Batch:               spec.Batch,
+		MaxAge:              spec.MaxAge,
+		Flushes:             st.Flushes,
+		Batches:             st.Batches,
+		Items:               st.Items,
+		MaxOccupancy:        st.MaxOccupancy,
+		ItemsByVersion:      st.ItemsByVersion,
+		MixedVersionFlushes: st.MixedVersionFlushes,
+		PressureFlushes:     st.PressureFlushes,
+	}
+	if st.Batches > 0 {
+		rep.MeanOccupancy = float64(st.Items) / float64(st.Batches)
+	}
+	return rep
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tz"
+)
+
+// fuzzSeedDump renders a representative dump through the real writer so
+// the fuzzer starts from the grammar's happy path: multiple devices,
+// every stage, terminal verdicts, a skipped preamble and comments.
+func fuzzSeedDump(tb testing.TB) []byte {
+	tel, err := NewTelemetry(4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tel.Traces = []DeviceTrace{
+		{Device: "device-00001", Tenant: "tenant-0", Spans: []Span{
+			{Device: "device-00001", Tenant: "tenant-0", Seq: 0, Stage: StageCapture, Start: 10, Dur: 100},
+			{Device: "device-00001", Tenant: "tenant-0", Seq: 0, Stage: StageTranscribe, Start: 110, Dur: 4000},
+			{Device: "device-00001", Tenant: "tenant-0", Seq: 0, Stage: StageClassify, Start: 4110, Dur: 900, Batch: 4},
+			{Device: "device-00001", Tenant: "tenant-0", Seq: 0, Stage: StageRelay, Verdict: VerdictDelivered, Start: 5010, Dur: 50, Bytes: 640},
+		}},
+		{Device: "device-00002", Tenant: "tenant-1", Spans: []Span{
+			{Device: "device-00002", Tenant: "tenant-1", Seq: 3, Stage: StageClassify, Verdict: VerdictBlocked, Start: 800, Dur: 90, Batch: 8},
+			{Device: "device-00002", Tenant: "tenant-1", Seq: 4, Stage: StageAdmit, Verdict: VerdictRejectedRevoked, Start: 900, Dur: 0},
+		}},
+	}
+	if err := tel.foldTraces(); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("human preamble the parser skips\n")
+	if err := tel.WriteDump(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParseDump drives the strict dump grammar with arbitrary input.
+// ParseDump is the trust boundary a CLI crosses when it ingests a dump
+// from disk or a pipe, so it must never panic, and anything it accepts
+// must be well-formed enough to survive a write→parse round trip with
+// byte-identical output (the dump format is its own canonical form).
+func FuzzParseDump(f *testing.F) {
+	f.Add(fuzzSeedDump(f))
+	f.Add([]byte(dumpHeader + "\n"))
+	f.Add([]byte(dumpHeader + "\n# sample-every 64 sampled 0 spans 0\n"))
+	f.Add([]byte(dumpHeader + "\nspan device=d-1 tenant=t-0 seq=0 stage=classify verdict=none start=1 dur=2 bytes=0 batch=4\n"))
+	f.Add([]byte("no header at all\nspan device=d tenant=t\n"))
+	f.Add([]byte(dumpHeader + "\nspan device=../etc tenant=t seq=0 stage=classify verdict=none start=1 dur=2 bytes=0 batch=0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tel, err := ParseDump(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: every label obeys the identifier charset (the
+		// grammar is the dump's leak guard — no free text may ride a
+		// label field through a parse).
+		for _, tr := range tel.Traces {
+			if !labelOK(tr.Device) || !labelOK(tr.Tenant) {
+				t.Fatalf("parser accepted non-identifier labels %q/%q", tr.Device, tr.Tenant)
+			}
+			for _, sp := range tr.Spans {
+				if sp.Stage.String() == "unknown" {
+					t.Fatalf("parser accepted unknown stage %d", sp.Stage)
+				}
+				if sp.Start < 0 || sp.Dur < 0 {
+					t.Fatalf("parser accepted negative virtual time %d/%d", sp.Start, sp.Dur)
+				}
+				_ = tz.Cycles(sp.Dur)
+			}
+		}
+		// Round trip: what we parsed re-renders and re-parses to the
+		// same canonical bytes.
+		var first bytes.Buffer
+		if err := tel.WriteDump(&first); err != nil {
+			t.Fatalf("re-render of accepted dump failed: %v", err)
+		}
+		tel2, err := ParseDump(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("re-parse of rendered dump failed: %v\ndump:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := tel2.WriteDump(&second); err != nil {
+			t.Fatalf("second render failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("dump round trip not a fixpoint:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}

@@ -45,6 +45,9 @@ type Telemetry struct {
 	Verdicts map[Verdict]uint64
 	// Verbs counts attestation-protocol verbs (verify/rotate/revoke).
 	Verbs map[string]uint64
+	// Flushes counts shared-scheduler batch flushes by reason
+	// (full/age/idle/drain); empty when no batch scheduler ran.
+	Flushes map[string]uint64
 	// Anomalies is the flight-recorder dump log, trigger order.
 	Anomalies []Anomaly
 	// Traces are the sampled devices' spans, sorted by device ID.
@@ -59,6 +62,7 @@ func NewTelemetry(sampleEvery int) (*Telemetry, error) {
 		Stages:      make(map[Stage]*metrics.Histogram, len(Stages())),
 		Verdicts:    make(map[Verdict]uint64),
 		Verbs:       make(map[string]uint64),
+		Flushes:     make(map[string]uint64),
 	}
 	var err error
 	for _, s := range Stages() {
@@ -139,6 +143,9 @@ func (t *Telemetry) Merge(o *Telemetry) error {
 	}
 	for k, n := range o.Verbs {
 		t.Verbs[k] += n
+	}
+	for k, n := range o.Flushes {
+		t.Flushes[k] += n
 	}
 	t.UnsampledDevices += o.UnsampledDevices
 	t.Anomalies = append(t.Anomalies, o.Anomalies...)

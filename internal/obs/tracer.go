@@ -37,6 +37,7 @@ type Tracer struct {
 	devices   []*TraceContext
 	unsampled int
 	verbs     map[string]uint64
+	flushes   map[string]uint64
 	flights   map[string]*FlightRecorder
 	anomalies []Anomaly
 	seen      map[string]bool
@@ -51,6 +52,7 @@ func NewTracer(sampleEvery int) *Tracer {
 	return &Tracer{
 		every:   sampleEvery,
 		verbs:   make(map[string]uint64),
+		flushes: make(map[string]uint64),
 		flights: make(map[string]*FlightRecorder),
 		seen:    make(map[string]bool),
 	}
@@ -92,6 +94,21 @@ func (t *Tracer) Verb(name string) {
 	t.mu.Lock()
 	t.verbs[name]++
 	t.mu.Unlock()
+}
+
+// Flushes folds scheduler flush counts (keyed by flush reason:
+// full/age/idle/drain) into the tracer. The batch scheduler reports its
+// totals once at drain time rather than per flush, so the tracer holds
+// a plain additive map like the verb counters.
+func (t *Tracer) Flushes(byReason map[string]uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, n := range byReason {
+		t.flushes[k] += n
+	}
 }
 
 // Flight returns the shard's flight recorder, creating it (with
@@ -159,6 +176,10 @@ func (t *Tracer) Summary() (*Telemetry, error) {
 	for k, v := range t.verbs {
 		verbs[k] = v
 	}
+	flushes := make(map[string]uint64, len(t.flushes))
+	for k, v := range t.flushes {
+		flushes[k] = v
+	}
 	flights := make([]*FlightRecorder, 0, len(t.flights))
 	for _, f := range t.flights {
 		flights = append(flights, f)
@@ -171,6 +192,7 @@ func (t *Tracer) Summary() (*Telemetry, error) {
 		return nil, err
 	}
 	tel.Verbs = verbs
+	tel.Flushes = flushes
 	tel.Anomalies = anomalies
 	tel.UnsampledDevices = unsampled
 	sort.Slice(devices, func(i, j int) bool { return devices[i].device < devices[j].device })

@@ -1,0 +1,499 @@
+// Package sched implements the cross-device TEE inference scheduler:
+// pending utterances from many devices are coalesced into one batched
+// forward pass on a shared per-model-version enclave classifier, instead
+// of each device paying a per-device pass. Admission is deadline-aware —
+// a queue flushes when it reaches the configured batch size OR when its
+// oldest entry has waited the configured max age in virtual cycles — and
+// queues are segregated by model version, so a rollout's canary cohort
+// never shares a batch with the stable cohort.
+//
+// The scheduler is latency machinery only: it never drops, reorders
+// within a device, or re-labels work. Classifier predictions are
+// per-sample, so a device's flags (and therefore its transcripts, audit
+// counters, and cloud events) are bit-identical to the per-device
+// unbatched path no matter how flushes compose. Only virtual wait time
+// and batch occupancy differ — that is the invariant the fleet-level
+// batch-equivalence property suite pins.
+//
+// Trust boundary: the scheduler runs in the shared service enclave. It
+// sees encoded token IDs (already vocabulary-clamped inside the device
+// TA) and cleartext queue metadata (device ID, model version, virtual
+// timestamps) — never raw audio, transcript words, or sealed payloads.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/tz"
+)
+
+// ErrBadConfig is returned for invalid scheduler configurations.
+var ErrBadConfig = errors.New("sched: invalid config")
+
+// ErrClosed is returned for submissions after Close.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// DefaultMaxAge is the flush deadline when none is configured: 2 virtual
+// milliseconds at the 1 GHz cycle model — about the cost of one batched
+// forward pass, so deadline flushes do not dominate under light load.
+const DefaultMaxAge tz.Cycles = 2_000_000
+
+// DefaultWorkers bounds concurrent flush executions when unset.
+const DefaultWorkers = 2
+
+// Request is one device's pending classification work: the encoded token
+// sequences of its queued utterances plus the device's virtual clock at
+// submit time. Items from one request always ride the same flush.
+type Request struct {
+	DeviceID string
+	Version  uint64  // model version; selects the queue and shared classifier
+	Items    [][]int // encoded token sequences, one per utterance
+	Now      tz.Cycles
+}
+
+// Response carries the per-item verdicts back to the submitting device,
+// the virtual cycles its clock must advance (queue wait plus its share of
+// the shared forward pass), and the occupancy of the flush it rode in.
+type Response struct {
+	Flagged   []bool
+	Wait      tz.Cycles
+	Occupancy int
+}
+
+// Executor runs one batched forward pass over items of a single model
+// version, returning per-item flags and the total pass cost in cycles.
+// The scheduler never mixes versions in one call.
+type Executor func(version uint64, items [][]int) ([]bool, tz.Cycles, error)
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Batch is the flush occupancy cap (items per shared forward pass).
+	Batch int
+	// MaxAge is the deadline in virtual cycles: a queue whose oldest
+	// entry has waited this long flushes regardless of occupancy.
+	// Default DefaultMaxAge.
+	MaxAge tz.Cycles
+	// Workers bounds concurrent flush executions. Default DefaultWorkers.
+	Workers int
+	// Pressure, when set, reports downstream uplink utilization in
+	// [0,1] (the cloud admission policy's occupancy signal). At or above
+	// HighWater the scheduler halves its effective max age: it flushes
+	// smaller batches sooner, smoothing arrivals into a loaded uplink
+	// instead of bursting into queues the admission policy would shed.
+	Pressure func() float64
+	// HighWater is the pressure threshold; default 0.75, matching
+	// cloud.DefaultHighWater.
+	HighWater float64
+}
+
+// Flush reasons, tallied in Stats.Flushes.
+const (
+	ReasonFull  = "full"  // queue reached the batch size
+	ReasonAge   = "age"   // oldest entry exceeded max age
+	ReasonIdle  = "idle"  // deadline timer fired with all producers blocked
+	ReasonDrain = "drain" // end-of-run drain
+)
+
+// Stats is a snapshot of scheduler behavior for results and snapshots.
+type Stats struct {
+	Flushes        map[string]uint64 // flush count by reason
+	Batches        uint64            // total flushes
+	Items          uint64            // total items classified
+	ItemsByVersion map[uint64]uint64 // items per model version
+	Occupancy      map[int]uint64    // flush size -> count
+	MaxOccupancy   int
+	// MixedVersionFlushes counts flushes whose items spanned more than
+	// one model version. Per-version queues make this impossible by
+	// construction; it is tallied defensively and asserted zero in tests.
+	MixedVersionFlushes uint64
+	// PressureFlushes counts flushes cut under the halved deadline while
+	// downstream pressure was at or above the high-water mark.
+	PressureFlushes uint64
+}
+
+// entry is one queued request with its completion channel.
+type entry struct {
+	req   Request
+	stamp tz.Cycles // scheduler clock at enqueue
+	resp  Response
+	err   error
+	done  chan struct{}
+}
+
+// queue is the FIFO for one model version.
+type queue struct {
+	entries []*entry
+	items   int // sum of len(req.Items) over entries
+}
+
+// flushJob is one cut batch handed to the worker pool.
+type flushJob struct {
+	version    uint64
+	entries    []*entry
+	items      int
+	reason     string
+	flushClock tz.Cycles
+}
+
+// Scheduler coalesces classification requests across devices. Producers
+// (fleet device workers) register with AddProducer/ProducerDone and block
+// in Classify until their flush executes; a bounded worker pool runs the
+// shared forward passes.
+type Scheduler struct {
+	cfg  Config
+	exec Executor
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signals pending flush jobs to workers
+	clock     tz.Cycles  // scheduler virtual clock: max over submit stamps
+	queues    map[uint64]*queue
+	jobs      []*flushJob
+	producers int // registered, not yet done
+	blocked   int // producers currently waiting in Classify
+	inflight  int // flush jobs queued or executing
+	closed    bool
+
+	flushes        map[string]uint64
+	itemsByVersion map[uint64]uint64
+	occupancy      map[int]uint64
+	maxOccupancy   int
+	batches        uint64
+	totalItems     uint64
+	mixed          uint64
+	pressureCuts   uint64
+
+	wg sync.WaitGroup
+}
+
+// New validates the config and starts the flush worker pool.
+func New(cfg Config, exec Executor) (*Scheduler, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("%w: nil executor", ErrBadConfig)
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("%w: batch %d", ErrBadConfig, cfg.Batch)
+	}
+	if cfg.MaxAge <= 0 {
+		cfg.MaxAge = DefaultMaxAge
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.HighWater <= 0 || cfg.HighWater > 1 {
+		cfg.HighWater = 0.75
+	}
+	s := &Scheduler{
+		cfg:            cfg,
+		exec:           exec,
+		queues:         make(map[uint64]*queue),
+		flushes:        make(map[string]uint64),
+		itemsByVersion: make(map[uint64]uint64),
+		occupancy:      make(map[int]uint64),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// AddProducer registers a producer goroutine. The idle-flush rule fires
+// only when every registered producer is blocked in Classify, so
+// producers must deregister with ProducerDone when they exit.
+func (s *Scheduler) AddProducer() {
+	s.mu.Lock()
+	s.producers++
+	s.mu.Unlock()
+}
+
+// ProducerDone deregisters a producer and re-evaluates flush conditions:
+// the departing producer may have been the one the remaining queues were
+// waiting on.
+func (s *Scheduler) ProducerDone() {
+	s.mu.Lock()
+	s.producers--
+	s.maybeFlush()
+	s.mu.Unlock()
+}
+
+// Classify submits a device's pending utterances and blocks until the
+// flush carrying them has executed. A request never exceeds the flush
+// batch size (per-device batches are capped below it by the caller).
+func (s *Scheduler) Classify(req Request) (Response, error) {
+	if len(req.Items) == 0 {
+		return Response{}, nil
+	}
+	if len(req.Items) > s.cfg.Batch {
+		return Response{}, fmt.Errorf("%w: request of %d items exceeds batch %d",
+			ErrBadConfig, len(req.Items), s.cfg.Batch)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	if req.Now > s.clock {
+		s.clock = req.Now
+	}
+	e := &entry{req: req, stamp: s.clock, done: make(chan struct{})}
+	q := s.queues[req.Version]
+	if q == nil {
+		q = &queue{}
+		s.queues[req.Version] = q
+	}
+	q.entries = append(q.entries, e)
+	q.items += len(req.Items)
+	s.blocked++
+	s.maybeFlush()
+	s.mu.Unlock()
+
+	<-e.done
+
+	s.mu.Lock()
+	s.blocked--
+	s.mu.Unlock()
+	return e.resp, e.err
+}
+
+// Drain flushes every remaining queue and waits for all in-flight work,
+// then stops the worker pool. Call after all producers are done; further
+// Classify calls fail with ErrClosed.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	for version, q := range s.queues {
+		for len(q.entries) > 0 {
+			s.cut(version, q, ReasonDrain, s.clock)
+		}
+	}
+	for s.inflight > 0 {
+		// Workers broadcast on completion; wait for the tail.
+		s.cond.Wait()
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Pending returns the number of items currently queued (not yet cut
+// into a flush) across all version queues.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.queues {
+		n += q.items
+	}
+	return n
+}
+
+// Stats returns a copy of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Flushes:             make(map[string]uint64, len(s.flushes)),
+		Batches:             s.batches,
+		Items:               s.totalItems,
+		ItemsByVersion:      make(map[uint64]uint64, len(s.itemsByVersion)),
+		Occupancy:           make(map[int]uint64, len(s.occupancy)),
+		MaxOccupancy:        s.maxOccupancy,
+		MixedVersionFlushes: s.mixed,
+		PressureFlushes:     s.pressureCuts,
+	}
+	for k, v := range s.flushes {
+		st.Flushes[k] = v
+	}
+	for k, v := range s.itemsByVersion {
+		st.ItemsByVersion[k] = v
+	}
+	for k, v := range s.occupancy {
+		st.Occupancy[k] = v
+	}
+	return st
+}
+
+// effectiveMaxAge applies the backpressure coupling: at or above the
+// high-water mark the deadline halves, trading batch occupancy for
+// smoother arrival at the loaded uplink.
+func (s *Scheduler) effectiveMaxAge() (tz.Cycles, bool) {
+	if s.cfg.Pressure != nil && s.cfg.Pressure() >= s.cfg.HighWater {
+		return s.cfg.MaxAge / 2, true
+	}
+	return s.cfg.MaxAge, false
+}
+
+// maybeFlush cuts every batch the admission rules currently allow.
+// Called with s.mu held.
+func (s *Scheduler) maybeFlush() {
+	maxAge, pressured := s.effectiveMaxAge()
+	for {
+		cutAny := false
+		for version, q := range s.queues {
+			for q.items >= s.cfg.Batch {
+				s.cut(version, q, ReasonFull, s.clock)
+				cutAny = true
+			}
+			if len(q.entries) > 0 && s.clock-q.entries[0].stamp >= maxAge {
+				s.cut(version, q, ReasonAge, s.clock)
+				if pressured {
+					s.pressureCuts++
+				}
+				cutAny = true
+			}
+		}
+		if cutAny {
+			continue
+		}
+		// Idle rule: every registered producer is blocked waiting and no
+		// flush is in flight, so nothing can arrive to fill a batch —
+		// model the oldest queue's deadline timer firing. This is what
+		// makes the scheduler deadlock-free under a bounded worker pool
+		// and bounds a lone device's wait at max age.
+		if s.blocked < s.producers || s.producers == 0 || s.inflight > 0 {
+			return
+		}
+		var oldestQ *queue
+		var oldestV uint64
+		for version, q := range s.queues {
+			if len(q.entries) == 0 {
+				continue
+			}
+			if oldestQ == nil || q.entries[0].stamp < oldestQ.entries[0].stamp ||
+				(q.entries[0].stamp == oldestQ.entries[0].stamp && version < oldestV) {
+				oldestQ, oldestV = q, version
+			}
+		}
+		if oldestQ == nil {
+			return
+		}
+		deadline := oldestQ.entries[0].stamp + maxAge
+		if deadline > s.clock {
+			s.clock = deadline
+		}
+		s.cut(oldestV, oldestQ, ReasonIdle, s.clock)
+		if pressured {
+			s.pressureCuts++
+		}
+	}
+}
+
+// cut takes whole entries from the head of q up to the batch size and
+// enqueues the flush job. Entries are never split: a request's items all
+// ride one flush, so its occupancy and wait are well-defined. Called with
+// s.mu held.
+func (s *Scheduler) cut(version uint64, q *queue, reason string, flushClock tz.Cycles) {
+	job := &flushJob{version: version, reason: reason, flushClock: flushClock}
+	for len(q.entries) > 0 {
+		head := q.entries[0]
+		n := len(head.req.Items)
+		if job.items > 0 && job.items+n > s.cfg.Batch {
+			break
+		}
+		job.entries = append(job.entries, head)
+		job.items += n
+		q.entries = q.entries[1:]
+		q.items -= n
+	}
+	if len(job.entries) == 0 {
+		return
+	}
+	s.inflight++
+	s.jobs = append(s.jobs, job)
+	// Broadcast, not Signal: Drain waits on the same cond for the
+	// in-flight count, and a lone Signal could wake it instead of a
+	// worker, stalling the job.
+	s.cond.Broadcast()
+}
+
+// worker executes flush jobs until the scheduler closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.jobs) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.jobs) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		job := s.jobs[0]
+		s.jobs = s.jobs[1:]
+		s.mu.Unlock()
+
+		s.execute(job)
+
+		s.mu.Lock()
+		s.inflight--
+		// Completion may satisfy the idle rule for the remaining queues,
+		// and Drain waits on this broadcast for the in-flight tail.
+		s.maybeFlush()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// execute runs the shared forward pass for one flush and distributes
+// flags, wait cycles, and occupancy back to the blocked producers.
+func (s *Scheduler) execute(job *flushJob) {
+	items := make([][]int, 0, job.items)
+	for _, e := range job.entries {
+		items = append(items, e.req.Items...)
+	}
+	flagged, passCycles, err := s.exec(job.version, items)
+
+	s.mu.Lock()
+	s.batches++
+	s.flushes[job.reason]++
+	s.totalItems += uint64(job.items)
+	s.itemsByVersion[job.version] += uint64(job.items)
+	s.occupancy[job.items]++
+	if job.items > s.maxOccupancy {
+		s.maxOccupancy = job.items
+	}
+	versions := make(map[uint64]bool)
+	for _, e := range job.entries {
+		versions[e.req.Version] = true
+	}
+	if len(versions) > 1 {
+		s.mixed++
+	}
+	s.mu.Unlock()
+
+	if err == nil && len(flagged) != job.items {
+		err = fmt.Errorf("sched: executor returned %d flags for %d items", len(flagged), job.items)
+	}
+	// The pass cost is shared evenly per item, mirroring the per-item
+	// charge of the unbatched path; queue wait is capped at max age
+	// (the deadline would have fired by then).
+	perItem := tz.Cycles(0)
+	if err == nil && job.items > 0 {
+		perItem = passCycles / tz.Cycles(job.items)
+	}
+	off := 0
+	for _, e := range job.entries {
+		n := len(e.req.Items)
+		if err != nil {
+			e.err = err
+		} else {
+			wait := job.flushClock - e.stamp
+			if wait < 0 {
+				wait = 0
+			}
+			if wait > s.cfg.MaxAge {
+				wait = s.cfg.MaxAge
+			}
+			e.resp = Response{
+				Flagged:   append([]bool(nil), flagged[off:off+n]...),
+				Wait:      wait + perItem*tz.Cycles(n),
+				Occupancy: job.items,
+			}
+		}
+		off += n
+		close(e.done)
+	}
+}

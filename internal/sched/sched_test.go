@@ -1,0 +1,377 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tz"
+)
+
+// testExec flags items whose first token is odd and charges 100 cycles
+// per item, recording every (version, batch-size) call it serves.
+type testExec struct {
+	mu    sync.Mutex
+	calls []struct {
+		version uint64
+		items   int
+	}
+}
+
+func (x *testExec) run(version uint64, items [][]int) ([]bool, tz.Cycles, error) {
+	x.mu.Lock()
+	x.calls = append(x.calls, struct {
+		version uint64
+		items   int
+	}{version, len(items)})
+	x.mu.Unlock()
+	flagged := make([]bool, len(items))
+	for i, toks := range items {
+		flagged[i] = len(toks) > 0 && toks[0]%2 == 1
+	}
+	return flagged, tz.Cycles(100 * len(items)), nil
+}
+
+func item(tok int) []int { return []int{tok} }
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{Batch: 4}, nil); err == nil {
+		t.Fatal("nil executor accepted")
+	}
+	x := &testExec{}
+	if _, err := New(Config{Batch: 0}, x.run); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	s, err := New(Config{Batch: 2}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	s.AddProducer()
+	defer s.ProducerDone()
+	if _, err := s.Classify(Request{DeviceID: "d", Version: 1, Items: [][]int{item(1), item(2), item(3)}}); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+}
+
+// TestFlushOnFull: four producers fill the batch exactly; one full flush
+// serves all of them with correct per-item flags and occupancy.
+func TestFlushOnFull(t *testing.T) {
+	x := &testExec{}
+	s, err := New(Config{Batch: 4, MaxAge: 1 << 40}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	for i := 0; i < n; i++ {
+		s.AddProducer()
+	}
+	var wg sync.WaitGroup
+	resps := make([]Response, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer s.ProducerDone()
+			r, err := s.Classify(Request{
+				DeviceID: fmt.Sprintf("d%d", i), Version: 1,
+				Items: [][]int{item(i)}, Now: 0,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resps[i] = r
+		}(i)
+	}
+	wg.Wait()
+	s.Drain()
+	for i, r := range resps {
+		if len(r.Flagged) != 1 || r.Flagged[0] != (i%2 == 1) {
+			t.Errorf("producer %d: flags %v", i, r.Flagged)
+		}
+		if r.Occupancy != 4 {
+			t.Errorf("producer %d: occupancy %d, want 4", i, r.Occupancy)
+		}
+		if r.Wait < 100 {
+			t.Errorf("producer %d: wait %d missing the pass share", i, r.Wait)
+		}
+	}
+	st := s.Stats()
+	if st.Flushes[ReasonFull] != 1 || st.Batches != 1 || st.Items != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MaxOccupancy != 4 || st.Occupancy[4] != 1 {
+		t.Fatalf("occupancy: %+v", st)
+	}
+}
+
+// TestDeadlineStarvation: a lone device whose single utterance can never
+// fill the batch still flushes, charged exactly the deadline plus its
+// pass share — batch-full is not required for progress.
+func TestDeadlineStarvation(t *testing.T) {
+	x := &testExec{}
+	const maxAge = tz.Cycles(50_000)
+	s, err := New(Config{Batch: 8, MaxAge: maxAge}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddProducer()
+	r, err := s.Classify(Request{DeviceID: "lone", Version: 1, Items: [][]int{item(3)}, Now: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ProducerDone()
+	s.Drain()
+	if !r.Flagged[0] {
+		t.Fatal("odd token not flagged")
+	}
+	if want := maxAge + 100; r.Wait != want {
+		t.Fatalf("wait %d, want deadline+share %d", r.Wait, want)
+	}
+	st := s.Stats()
+	if st.Flushes[ReasonIdle] != 1 {
+		t.Fatalf("expected one idle flush: %+v", st.Flushes)
+	}
+}
+
+// TestFlushOnAge: a late submitter whose virtual clock is already past
+// the head entry's deadline triggers an age flush carrying both.
+func TestFlushOnAge(t *testing.T) {
+	x := &testExec{}
+	const maxAge = tz.Cycles(10_000)
+	s, err := New(Config{Batch: 8, MaxAge: maxAge}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddProducer()
+	s.AddProducer()
+	var wg sync.WaitGroup
+	var early Response
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer s.ProducerDone()
+		r, err := s.Classify(Request{DeviceID: "early", Version: 1, Items: [][]int{item(1)}, Now: 0})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		early = r
+	}()
+	waitPending(t, s, 1)
+	r, err := s.Classify(Request{DeviceID: "late", Version: 1, Items: [][]int{item(2)}, Now: maxAge})
+	s.ProducerDone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	s.Drain()
+	if early.Wait != maxAge+100 {
+		t.Fatalf("early wait %d, want %d", early.Wait, maxAge+100)
+	}
+	if r.Wait != 100 {
+		t.Fatalf("late wait %d, want pass share only", r.Wait)
+	}
+	st := s.Stats()
+	if st.Flushes[ReasonAge] != 1 {
+		t.Fatalf("expected one age flush: %+v", st.Flushes)
+	}
+}
+
+// TestPerVersionQueues: stable and canary cohorts flush separately even
+// when interleaved; no executor call ever spans versions.
+func TestPerVersionQueues(t *testing.T) {
+	x := &testExec{}
+	s, err := New(Config{Batch: 4, MaxAge: 1 << 40}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perVersion = 4
+	for i := 0; i < 2*perVersion; i++ {
+		s.AddProducer()
+	}
+	var wg sync.WaitGroup
+	for v := uint64(1); v <= 2; v++ {
+		for i := 0; i < perVersion; i++ {
+			wg.Add(1)
+			go func(v uint64, i int) {
+				defer wg.Done()
+				defer s.ProducerDone()
+				r, err := s.Classify(Request{
+					DeviceID: fmt.Sprintf("v%d-d%d", v, i), Version: v,
+					Items: [][]int{item(i)},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r.Flagged[0] != (i%2 == 1) {
+					t.Errorf("v%d d%d: wrong flag", v, i)
+				}
+			}(v, i)
+		}
+	}
+	wg.Wait()
+	s.Drain()
+	st := s.Stats()
+	if st.MixedVersionFlushes != 0 {
+		t.Fatalf("%d mixed-version flushes", st.MixedVersionFlushes)
+	}
+	if st.ItemsByVersion[1] != perVersion || st.ItemsByVersion[2] != perVersion {
+		t.Fatalf("items by version: %+v", st.ItemsByVersion)
+	}
+}
+
+// TestPressureHalvesDeadline: with downstream utilization above the
+// high-water mark, the idle deadline halves and the flush is tallied as
+// pressure-driven.
+func TestPressureHalvesDeadline(t *testing.T) {
+	x := &testExec{}
+	const maxAge = tz.Cycles(40_000)
+	s, err := New(Config{
+		Batch: 8, MaxAge: maxAge,
+		Pressure: func() float64 { return 0.9 },
+	}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddProducer()
+	r, err := s.Classify(Request{DeviceID: "d", Version: 1, Items: [][]int{item(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ProducerDone()
+	s.Drain()
+	if want := maxAge/2 + 100; r.Wait != want {
+		t.Fatalf("wait %d, want halved deadline %d", r.Wait, want)
+	}
+	if st := s.Stats(); st.PressureFlushes != 1 {
+		t.Fatalf("pressure flushes: %+v", st)
+	}
+}
+
+// TestDrainFlushesLeftovers: entries that neither fill a batch nor hit a
+// deadline are flushed by Drain with the drain reason.
+func TestDrainFlushesLeftovers(t *testing.T) {
+	x := &testExec{}
+	s, err := New(Config{Batch: 8, MaxAge: 1 << 40}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two registered producers, only one submits: the idle rule cannot
+	// fire, so the entry sits queued until Drain.
+	s.AddProducer()
+	s.AddProducer()
+	var wg sync.WaitGroup
+	var r Response
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var err error
+		r, err = s.Classify(Request{DeviceID: "d", Version: 1, Items: [][]int{item(5)}})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	waitPending(t, s, 1)
+	s.Drain()
+	wg.Wait()
+	if !r.Flagged[0] {
+		t.Fatal("flag lost in drain")
+	}
+	st := s.Stats()
+	if st.Flushes[ReasonDrain] != 1 {
+		t.Fatalf("expected one drain flush: %+v", st.Flushes)
+	}
+	if _, err := s.Classify(Request{DeviceID: "d", Version: 1, Items: [][]int{item(1)}}); err == nil {
+		t.Fatal("Classify after Drain must fail")
+	}
+}
+
+// TestSchedulerHammer drives many producers over mixed versions and
+// random item counts concurrently (meaningful under -race): every item's
+// flag must match the per-sample rule regardless of flush composition,
+// and no flush may mix versions.
+func TestSchedulerHammer(t *testing.T) {
+	x := &testExec{}
+	s, err := New(Config{Batch: 8, MaxAge: 5_000, Workers: 4}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 16
+	const rounds = 25
+	for i := 0; i < producers; i++ {
+		s.AddProducer()
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer s.ProducerDone()
+			for r := 0; r < rounds; r++ {
+				n := 1 + (p+r)%3
+				items := make([][]int, n)
+				for i := range items {
+					items[i] = item(p*1000 + r*10 + i)
+				}
+				resp, err := s.Classify(Request{
+					DeviceID: fmt.Sprintf("d%d", p),
+					Version:  uint64(1 + p%3),
+					Items:    items,
+					Now:      tz.Cycles(r * 1000),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range items {
+					if resp.Flagged[i] != (items[i][0]%2 == 1) {
+						t.Errorf("p%d r%d item %d: flag mismatch", p, r, i)
+					}
+				}
+				if resp.Occupancy < n || resp.Occupancy > 8 {
+					t.Errorf("occupancy %d out of range", resp.Occupancy)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	s.Drain()
+	st := s.Stats()
+	var want uint64
+	for p := 0; p < producers; p++ {
+		for r := 0; r < rounds; r++ {
+			want += uint64(1 + (p+r)%3)
+		}
+	}
+	if st.Items != want {
+		t.Fatalf("classified %d items, want %d", st.Items, want)
+	}
+	if st.MixedVersionFlushes != 0 {
+		t.Fatalf("%d mixed-version flushes", st.MixedVersionFlushes)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	for _, c := range x.calls {
+		if c.items > 8 {
+			t.Fatalf("executor saw a %d-item batch over the cap", c.items)
+		}
+	}
+}
+
+// waitPending spins until the scheduler holds n queued items (test
+// synchronization only; production code never polls).
+func waitPending(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Pending() == n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("scheduler never reached %d pending items", n)
+}
