@@ -427,6 +427,55 @@ func BenchmarkFleetScheduled(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetAsync is the event-driven engine's scale probe: 10⁴ and
+// 10⁵ devices through the async pipeline with the shared scheduler, one
+// utterance per speaker so every classified item reaches the scheduler as
+// a true single-item enqueue and all occupancy is cross-device. The
+// honest memory story is peak-live-pipelines (the most device pipelines
+// ever constructed at once) and allocs/op: the population costs a task
+// table, not a goroutine and pipeline per device. The 10⁵ leg is skipped
+// under -short; run it explicitly for the scaling table in
+// docs/PERFORMANCE.md.
+func BenchmarkFleetAsync(b *testing.B) {
+	for _, devices := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			if devices == 100_000 && testing.Short() {
+				b.Skip("100k-device leg (run without -short for the scaling table)")
+			}
+			b.ReportAllocs()
+			var last *fleet.Result
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(fleet.Config{
+					Devices:    devices,
+					Shards:     8,
+					Utterances: 1,
+					Frames:     1,
+					Seed:       1,
+					Sched:      &fleet.SchedSpec{},
+					Async:      &fleet.AsyncSpec{},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.LostFrames() != 0 {
+					b.Fatalf("lost %d frames", res.LostFrames())
+				}
+				if res.Async == nil || res.Async.PeakLive == 0 {
+					b.Fatal("async engine reported no live pipelines")
+				}
+				if res.Async.PeakLive > devices/10 {
+					b.Fatalf("peak live pipelines %d at %d devices — goroutine-per-device economics",
+						res.Async.PeakLive, devices)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Throughput(), "items/s")
+			b.ReportMetric(float64(last.Async.PeakLive), "peak-live-pipelines")
+			b.ReportMetric(last.Sched.MeanOccupancySteady, "items/flush")
+		})
+	}
+}
+
 // BenchmarkE12ElasticFleet wraps the full elastic-churn experiment
 // (static-vs-churned invariant check included).
 func BenchmarkE12ElasticFleet(b *testing.B) {

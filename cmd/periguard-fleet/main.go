@@ -67,6 +67,8 @@ func run(args []string) error {
 	faultSeed := fs.Uint64("fault-seed", 0, "with -faults, chaos plan seed (0 = derived from -seed)")
 	schedOn := fs.Bool("sched", false, "coalesce secure-speaker classification across devices through the shared TEE batch scheduler")
 	schedAge := fs.Uint64("sched-age", 0, "with -sched, flush deadline in virtual cycles for a partially filled batch (0 = library default)")
+	asyncOn := fs.Bool("async", false, "drive devices through the event-driven pipeline (bounded executor pool + task table instead of one goroutine per device)")
+	asyncExecutors := fs.Int("async-executors", 0, "with -async, executor pool size (0 = GOMAXPROCS)")
 	traceOn := fs.Bool("trace", false, "enable frame telemetry (virtual-time spans, flight recorders) and print the trace dump")
 	traceSample := fs.Int("trace-sample", 64, "with -trace, trace 1 in N devices (1 = every device)")
 	jsonPath := fs.String("json", "", "write a JSON snapshot to this path")
@@ -120,6 +122,9 @@ func run(args []string) error {
 	}
 	if *schedOn {
 		cfg.Sched = &fleet.SchedSpec{MaxAge: tz.Cycles(*schedAge)}
+	}
+	if *asyncOn {
+		cfg.Async = &fleet.AsyncSpec{Executors: *asyncExecutors}
 	}
 	if *traceOn {
 		cfg.Trace = &fleet.TraceSpec{SampleEvery: *traceSample}
@@ -187,10 +192,14 @@ func run(args []string) error {
 	}
 	fmt.Printf("admission: policy %s, %d shed, %d priority-lane frames\n",
 		res.PolicyName, res.ShedFrames(), res.PriorityFrames())
+	if ar := res.Async; ar != nil {
+		fmt.Printf("async engine: %d executors drove %d steps (%d groups parked), peak %d live pipelines\n",
+			ar.Executors, ar.Steps, ar.Parks, ar.PeakLive)
+	}
 	if sr := res.Sched; sr != nil {
-		fmt.Printf("scheduler: %d items in %d batches (occupancy mean %.2f, max %d), "+
+		fmt.Printf("scheduler: %d items in %d batches (occupancy mean %.2f, steady %.2f, max %d), "+
 			"flushes %s, %d pressure-cut\n",
-			sr.Items, sr.Batches, sr.MeanOccupancy, sr.MaxOccupancy,
+			sr.Items, sr.Batches, sr.MeanOccupancy, sr.MeanOccupancySteady, sr.MaxOccupancy,
 			flushString(sr.Flushes), sr.PressureFlushes)
 		fmt.Printf("scheduler queues: items per model version %s, %d mixed-version flushes\n",
 			versionString(versionCounts(sr.ItemsByVersion)), sr.MixedVersionFlushes)
@@ -343,6 +352,9 @@ type snapshot struct {
 	// Scheduler fields (omitted outside -sched runs).
 	Sched *schedJS `json:"sched,omitempty"`
 
+	// Async-engine fields (omitted outside -async runs).
+	Async *asyncJS `json:"async,omitempty"`
+
 	// Telemetry fields (omitted outside -trace runs). ItemsPerSecTraced
 	// duplicates items_per_sec so the tracing-overhead trajectory is
 	// benchmarkable without perturbing the untraced benchgate family.
@@ -451,17 +463,35 @@ type faultJS struct {
 // (full/age/idle/drain), occupancy of the shared forward passes, and the
 // per-model-version item split. A correct scheduler never mixes model
 // versions inside one flush, so mixed_version_flushes must read 0.
+// mean_occupancy averages over every flush including the end-of-run
+// drain tail (drain_batches flushes carrying drain_items items);
+// mean_occupancy_steady excludes the tail and is the figure to compare
+// across scheduling modes.
 type schedJS struct {
 	Batch               int               `json:"batch"`
 	MaxAgeCycles        uint64            `json:"max_age_cycles"`
 	Batches             uint64            `json:"batches"`
 	Items               uint64            `json:"items"`
 	MeanOccupancy       float64           `json:"mean_occupancy"`
+	MeanOccupancySteady float64           `json:"mean_occupancy_steady"`
+	DrainBatches        uint64            `json:"drain_batches"`
+	DrainItems          uint64            `json:"drain_items"`
 	MaxOccupancy        int               `json:"max_occupancy"`
 	Flushes             map[string]uint64 `json:"flushes"`
 	ItemsByVersion      map[string]uint64 `json:"items_by_version"`
 	MixedVersionFlushes uint64            `json:"mixed_version_flushes"`
 	PressureFlushes     uint64            `json:"pressure_flushes"`
+}
+
+// asyncJS summarizes an -async run's event-driven engine: the executor
+// pool size, executor dispatches, classify groups parked on the shared
+// scheduler, and the peak count of concurrently live device pipelines —
+// the honest memory figure for large populations.
+type asyncJS struct {
+	Executors int    `json:"executors"`
+	Steps     uint64 `json:"steps"`
+	Parks     uint64 `json:"parks"`
+	PeakLive  int    `json:"peak_live"`
 }
 
 // churnJS summarizes mid-run population churn.
@@ -662,11 +692,22 @@ func writeSnapshot(path string, res *fleet.Result) error {
 			Batches:             sr.Batches,
 			Items:               sr.Items,
 			MeanOccupancy:       sr.MeanOccupancy,
+			MeanOccupancySteady: sr.MeanOccupancySteady,
+			DrainBatches:        sr.DrainBatches,
+			DrainItems:          sr.DrainItems,
 			MaxOccupancy:        sr.MaxOccupancy,
 			Flushes:             sr.Flushes,
 			ItemsByVersion:      versionKeys64(sr.ItemsByVersion),
 			MixedVersionFlushes: sr.MixedVersionFlushes,
 			PressureFlushes:     sr.PressureFlushes,
+		}
+	}
+	if ar := res.Async; ar != nil {
+		snap.Async = &asyncJS{
+			Executors: ar.Executors,
+			Steps:     ar.Steps,
+			Parks:     ar.Parks,
+			PeakLive:  ar.PeakLive,
 		}
 	}
 	if f := res.Faults; f != nil {

@@ -211,3 +211,50 @@ func TestSnapshotSmoke(t *testing.T) {
 		t.Fatalf("telemetry flushes %d != scheduler flushes %d", telFlushed, flushed)
 	}
 }
+
+// TestSnapshotSmokeAsync drives the event-driven pipeline through the CLI
+// (-async composes with -sched, churn and key rotation, but not -rollout,
+// so it gets its own smoke) and round-trips the snapshot's async block.
+func TestSnapshotSmokeAsync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	err := run([]string{
+		"-devices", "12", "-shards", "2", "-utterances", "2", "-frames", "2",
+		"-sched", "-async", "-churn", "0.3", "-rotate", "0.25", "-json", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var snap snapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("snapshot does not match its schema: %v", err)
+	}
+	if snap.LostFrames != 0 {
+		t.Fatalf("lost %d frames", snap.LostFrames)
+	}
+	a := snap.Async
+	if a == nil || a.Executors == 0 || a.Steps == 0 || a.PeakLive == 0 {
+		t.Fatalf("async block missing or inert: %+v", a)
+	}
+	if a.Parks == 0 {
+		t.Fatal("async+sched run parked no classify groups")
+	}
+	sc := snap.Sched
+	if sc == nil || sc.Items == 0 {
+		t.Fatalf("sched block missing or inert: %+v", sc)
+	}
+	if sc.MeanOccupancySteady < sc.MeanOccupancy {
+		t.Fatalf("steady occupancy %v below raw %v", sc.MeanOccupancySteady, sc.MeanOccupancy)
+	}
+	if snap.Lifecycle == nil || snap.Lifecycle.Rotated == 0 {
+		t.Fatalf("lifecycle block missing or empty under -async: %+v", snap.Lifecycle)
+	}
+	if snap.Churn == nil || snap.Churn.Joined == 0 {
+		t.Fatalf("churn block missing or empty under -async: %+v", snap.Churn)
+	}
+}

@@ -163,6 +163,21 @@ const (
 	// current-weights) and swaps the signer without disturbing in-flight
 	// work; params[1].A (ValueOut) returns the new key epoch.
 	CmdRotateKey uint32 = 0x24
+	// CmdTranscribeBatch runs the front half of CmdProcessBatch — capture
+	// and in-TEE transcription for one queued group — then parks: the
+	// encoded token sequences are staged for an external shared-scheduler
+	// classification instead of classifying inline, so the calling thread
+	// can yield while the cross-device flush forms. params[0] is a
+	// MemrefIn of little-endian uint32 utterance byte lengths; params[1].A
+	// (ValueOut) returns the pending count.
+	CmdTranscribeBatch uint32 = 0x25
+	// CmdResumeBatch completes a staged batch with verdicts from the
+	// shared classifier: params[0] is a MemrefIn of 5 bytes per item
+	// (flag byte + little-endian uint32 flush occupancy), params[1].A
+	// (ValueIn) the virtual cycles the classification waited. The TA
+	// charges the wait, applies the relay policy and forwards survivors.
+	// Outputs: params[2] ValueOut A=forwarded count, B=redacted tokens.
+	CmdResumeBatch uint32 = 0x26
 )
 
 // MaxBatch bounds one CmdProcessBatch invocation; it keeps the batch's
@@ -247,6 +262,13 @@ type VoiceTA struct {
 	modelSeed    uint64
 	processed    []ProcessedUtterance
 	messageID    uint64
+	// Staged-batch state (CmdTranscribeBatch → CmdResumeBatch): records
+	// carrying the capture/transcribe halves, their transcripts, and the
+	// encoded tokens awaiting the shared classifier. At most one staged
+	// batch is pending per TA.
+	pendingRecs        []ProcessedUtterance
+	pendingTranscripts [][]string
+	pendingTokens      [][]int
 }
 
 var _ optee.TA = (*VoiceTA)(nil)
@@ -418,6 +440,50 @@ func (t *VoiceTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) err
 		}
 		params[2].Type = optee.ValueOut
 		params[2].A = version
+		return nil
+	case CmdTranscribeBatch:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 || len(params[0].Buf)%4 != 0 {
+			return fmt.Errorf("%w: CmdTranscribeBatch needs MemrefIn of uint32 lengths", optee.ErrBadParam)
+		}
+		lengths := make([]int, len(params[0].Buf)/4)
+		if len(lengths) > MaxBatch {
+			return fmt.Errorf("%w: batch of %d exceeds MaxBatch %d", optee.ErrBadParam, len(lengths), MaxBatch)
+		}
+		for i := range lengths {
+			lengths[i] = int(binary.LittleEndian.Uint32(params[0].Buf[4*i:]))
+		}
+		if err := t.transcribeBatch(lengths); err != nil {
+			return err
+		}
+		params[1].Type = optee.ValueOut
+		params[1].A = uint64(len(lengths))
+		return nil
+	case CmdResumeBatch:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 || len(params[0].Buf)%5 != 0 {
+			return fmt.Errorf("%w: CmdResumeBatch needs MemrefIn of 5-byte verdicts", optee.ErrBadParam)
+		}
+		if params[1].Type != optee.ValueIn {
+			return fmt.Errorf("%w: CmdResumeBatch needs ValueIn wait cycles", optee.ErrBadParam)
+		}
+		n := len(params[0].Buf) / 5
+		flags := make([]bool, n)
+		occs := make([]int, n)
+		for i := 0; i < n; i++ {
+			off := 5 * i
+			flags[i] = params[0].Buf[off] != 0
+			occs[i] = int(binary.LittleEndian.Uint32(params[0].Buf[off+1:]))
+		}
+		recs, err := t.resumeBatch(flags, occs, tz.Cycles(params[1].A))
+		if err != nil {
+			return err
+		}
+		params[2].Type = optee.ValueOut
+		for _, rec := range recs {
+			if rec.Forwarded {
+				params[2].A++
+			}
+			params[2].B += uint64(rec.Redacted)
+		}
 		return nil
 	case CmdRotateKey:
 		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 {
@@ -882,6 +948,113 @@ func (t *VoiceTA) processBatch(lengths []int) ([]ProcessedUtterance, error) {
 	t.processed = append(t.processed, recs...)
 	t.mu.Unlock()
 	return recs, nil
+}
+
+// transcribeBatch is the front half of processBatch: capture and
+// transcribe each queued utterance and stage the encoded tokens for an
+// external classification, leaving the invocation parked instead of
+// running the filter inline. The split is what lets an event-driven
+// caller release its executor while a cross-device flush forms.
+func (t *VoiceTA) transcribeBatch(lengths []int) error {
+	if !t.cfg.Filter {
+		return errors.New("voice ta: staged transcribe requires the filter")
+	}
+	t.mu.Lock()
+	busy := len(t.pendingRecs) > 0
+	t.mu.Unlock()
+	if busy {
+		return errors.New("voice ta: staged batch already pending")
+	}
+	clock := t.cfg.Clock
+	recs := make([]ProcessedUtterance, len(lengths))
+	transcripts := make([][]string, len(lengths))
+	tokens := make([][]int, len(lengths))
+	sc := taScratchPool.Get().(*taScratch)
+	defer taScratchPool.Put(sc)
+
+	for i, wantBytes := range lengths {
+		start := clock.Now()
+		pcmBytes, err := t.captureStage(sc, wantBytes)
+		if err != nil {
+			return fmt.Errorf("staged utterance %d: %w", i, err)
+		}
+		recs[i].Stages.Capture = clock.Now() - start
+
+		start = clock.Now()
+		words, err := t.transcribeStage(sc, pcmBytes)
+		if err != nil {
+			return fmt.Errorf("staged utterance %d: %w", i, err)
+		}
+		transcripts[i] = words
+		recs[i].Transcript = words
+		recs[i].Stages.Transcribe = clock.Now() - start
+		tokens[i] = t.cfg.Vocab.Encode(words)
+	}
+
+	t.mu.Lock()
+	t.pendingRecs = recs
+	t.pendingTranscripts = transcripts
+	t.pendingTokens = tokens
+	t.mu.Unlock()
+	return nil
+}
+
+// resumeBatch is the back half of processBatch for a staged group: the
+// caller brings the per-item verdicts and flush occupancies the shared
+// classifier computed plus the virtual cycles the classification waited
+// (the shared passes overlapped — the wait is when the last one
+// returned). The TA charges the wait, attributes it evenly like the
+// inline batched pass, relays survivors, and clears the staged state.
+func (t *VoiceTA) resumeBatch(flags []bool, occs []int, wait tz.Cycles) ([]ProcessedUtterance, error) {
+	t.mu.Lock()
+	recs := t.pendingRecs
+	transcripts := t.pendingTranscripts
+	t.pendingRecs, t.pendingTranscripts, t.pendingTokens = nil, nil, nil
+	t.mu.Unlock()
+	if len(recs) == 0 {
+		return nil, errors.New("voice ta: no staged batch pending")
+	}
+	if len(flags) != len(recs) || len(occs) != len(recs) {
+		return nil, fmt.Errorf("voice ta resume: %d flags / %d occupancies for %d pending",
+			len(flags), len(occs), len(recs))
+	}
+	clock := t.cfg.Clock
+	clock.Advance(wait)
+	for i := range recs {
+		recs[i].Flagged = flags[i]
+		recs[i].ClassifyBatch = occs[i]
+		// The shared classification is batch-level work; attribute it
+		// evenly, mirroring the inline batched pass.
+		recs[i].Stages.Classify = wait / tz.Cycles(len(recs))
+	}
+
+	for i := range recs {
+		start := clock.Now()
+		if err := t.relayStage(transcripts[i], recs[i].Flagged, &recs[i]); err != nil {
+			return nil, fmt.Errorf("staged utterance %d: %w", i, err)
+		}
+		recs[i].Stages.Relay = clock.Now() - start
+	}
+
+	t.mu.Lock()
+	t.processed = append(t.processed, recs...)
+	t.mu.Unlock()
+	return recs, nil
+}
+
+// PendingTokens returns copies of the encoded token sequences staged by
+// CmdTranscribeBatch and awaiting classification (empty when nothing is
+// pending). Token IDs are exactly what classifyStage submits to a shared
+// classify service — vocabulary-clamped in the TA, never transcript
+// words — so handing them to the scheduler keeps the trust boundary.
+func (t *VoiceTA) PendingTokens() [][]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([][]int, len(t.pendingTokens))
+	for i, seq := range t.pendingTokens {
+		out[i] = append([]int(nil), seq...)
+	}
+	return out
 }
 
 // Processed returns the TA's per-utterance records (trusted-side

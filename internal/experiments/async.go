@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+// E17Result is the event-driven pipeline experiment outcome.
+type E17Result struct {
+	Devices int
+	Joined  int
+	Left    int
+	Rotated int
+	// Equivalence leg: every device of the async run compared bit-for-bit
+	// against the synchronous scheduled run of the same seed.
+	Compared       int
+	AuditIdentical bool
+	// Executor-pool accounting: the memory claim is PeakLive — the
+	// high-water mark of concurrently live device pipelines, which must
+	// stay far below the population.
+	Executors int
+	Steps     uint64
+	Parks     uint64
+	PeakLive  int
+	// Occupancy legs: the same scheduler, fed by blocking producers and
+	// then by parked continuations. The async number is the one that must
+	// show cross-device coalescing.
+	SyncOccupancy  float64
+	AsyncOccupancy float64
+	LostFrames     int
+	ItemsPerSec    float64
+}
+
+// E17AsyncPipeline is the event-driven pipeline experiment. The same
+// elastic fleet — churn plus mid-run key rotations, with secure-filter
+// speakers classifying through the shared scheduler — runs twice: once
+// with the goroutine-per-device worker pool (a submitting speaker blocks
+// in Classify until its flush fires) and once under the bounded executor
+// pool, where a speaker reaching its classify stage parks an encoded
+// group and a continuation instead of a goroutine. The claims under
+// test: every device's audit counters are bit-identical between the two
+// runs (the engine moves where waiting happens, never what is computed),
+// zero frames are lost, groups actually park, peak live pipelines stay
+// far below the population, and scheduler occupancy does not regress —
+// parked continuations are what let flushes coalesce across devices.
+func E17AsyncPipeline(seed uint64) (*metrics.Table, E17Result, error) {
+	base := fleet.Config{
+		Devices:    48,
+		Shards:     4,
+		Utterances: 3,
+		Frames:     2,
+		Seed:       seed,
+		FreqHz:     FreqHz,
+		Churn:      &fleet.ChurnSpec{JoinFraction: 0.25, LeaveFraction: 0.25},
+		Lifecycle:  &fleet.LifecycleSpec{RotateFraction: 0.25},
+		Sched:      &fleet.SchedSpec{},
+	}
+	sync, err := fleet.Run(base)
+	if err != nil {
+		return nil, E17Result{}, fmt.Errorf("synchronous fleet: %w", err)
+	}
+	if sync.Sched == nil {
+		return nil, E17Result{}, fmt.Errorf("synchronous fleet returned no scheduler report")
+	}
+	asyncCfg := base
+	asyncCfg.Churn = &fleet.ChurnSpec{JoinFraction: 0.25, LeaveFraction: 0.25}
+	asyncCfg.Sched = &fleet.SchedSpec{}
+	asyncCfg.Async = &fleet.AsyncSpec{}
+	res, err := fleet.Run(asyncCfg)
+	if err != nil {
+		return nil, E17Result{}, fmt.Errorf("async fleet: %w", err)
+	}
+	if res.Async == nil || res.Sched == nil {
+		return nil, E17Result{}, fmt.Errorf("async fleet returned no engine/scheduler report")
+	}
+
+	out := E17Result{
+		Devices:        base.Devices,
+		Joined:         res.Joined,
+		Left:           res.Left,
+		Rotated:        res.Rotated,
+		AuditIdentical: true,
+		Executors:      res.Async.Executors,
+		Steps:          res.Async.Steps,
+		Parks:          res.Async.Parks,
+		PeakLive:       res.Async.PeakLive,
+		SyncOccupancy:  sync.Sched.MeanOccupancySteady,
+		AsyncOccupancy: res.Sched.MeanOccupancySteady,
+		LostFrames:     res.LostFrames(),
+		ItemsPerSec:    res.Throughput(),
+	}
+	if len(res.DeviceResults) != len(sync.DeviceResults) {
+		return nil, out, fmt.Errorf("population diverged: %d vs %d devices",
+			len(res.DeviceResults), len(sync.DeviceResults))
+	}
+	for i := range sync.DeviceResults {
+		if e12Fingerprint(res.DeviceResults[i]) != e12Fingerprint(sync.DeviceResults[i]) {
+			out.AuditIdentical = false
+			continue
+		}
+		out.Compared++
+	}
+
+	tbl := metrics.NewTable("E17: event-driven pipeline (48 devices, churn + rotation, shared scheduler)",
+		"devices", "joined/left/rotated", "identical", "executors", "steps", "parks",
+		"peak live", "occupancy sync/async", "lost frames", "items/s(wall)")
+	tbl.AddRow(out.Devices,
+		fmt.Sprintf("%d/%d/%d", out.Joined, out.Left, out.Rotated),
+		fmt.Sprintf("%v (%d compared)", out.AuditIdentical, out.Compared),
+		out.Executors, out.Steps, out.Parks, out.PeakLive,
+		fmt.Sprintf("%.2f/%.2f", out.SyncOccupancy, out.AsyncOccupancy),
+		out.LostFrames, out.ItemsPerSec)
+
+	switch {
+	case !out.AuditIdentical:
+		return tbl, out, fmt.Errorf("async: a device's audit diverged from the synchronous run")
+	case out.LostFrames != 0:
+		return tbl, out, fmt.Errorf("async: lost %d frames, want 0", out.LostFrames)
+	case out.Steps == 0 || out.Parks == 0:
+		return tbl, out, fmt.Errorf("async: engine inert (%d steps, %d parks)", out.Steps, out.Parks)
+	case out.PeakLive == 0 || out.PeakLive > out.Devices:
+		return tbl, out, fmt.Errorf("async: implausible peak of %d live pipelines (population %d)",
+			out.PeakLive, out.Devices)
+	case out.AsyncOccupancy < out.SyncOccupancy:
+		return tbl, out, fmt.Errorf("async: occupancy regressed (%.2f vs sync %.2f)",
+			out.AsyncOccupancy, out.SyncOccupancy)
+	case out.Joined == 0 || out.Left == 0 || out.Rotated == 0:
+		return tbl, out, fmt.Errorf("async: churn/rotation did not fire (joined %d, left %d, rotated %d)",
+			out.Joined, out.Left, out.Rotated)
+	}
+	return tbl, out, nil
+}

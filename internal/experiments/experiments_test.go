@@ -473,3 +473,26 @@ func TestE16ShapesHold(t *testing.T) {
 		t.Fatalf("mean occupancy %.2f < 1", res.MeanOccupancy)
 	}
 }
+
+// TestE17ShapesHold asserts the event-driven pipeline acceptance claims:
+// the async fleet's per-device audits are bit-identical to the
+// synchronous scheduled run, no frames are lost, groups actually park on
+// the executor pool, the live-pipeline high-water mark stays below the
+// population, and scheduler occupancy does not regress
+// (E17AsyncPipeline errors out on any violation).
+func TestE17ShapesHold(t *testing.T) {
+	tbl, res, err := E17AsyncPipeline(DefaultSeed)
+	if err != nil {
+		t.Fatalf("E17: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if res.Compared != res.Devices+res.Joined {
+		t.Fatalf("compared %d devices, want the whole population (%d)",
+			res.Compared, res.Devices+res.Joined)
+	}
+	if res.AsyncOccupancy < 1 {
+		t.Fatalf("async occupancy %.2f < 1", res.AsyncOccupancy)
+	}
+}

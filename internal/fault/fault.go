@@ -95,7 +95,9 @@ func (c *PlanConfig) fillDefaults() error {
 		{"ExpireRate", c.ExpireRate}, {"SlowFraction", c.SlowFraction},
 		{"TEEFraction", c.TEEFraction},
 	} {
-		if f.v < 0 || f.v > 1 {
+		// NaN compares false against both bounds — reject it explicitly,
+		// or int(NaN·Devices) would slice the permutation out of range.
+		if !(f.v >= 0 && f.v <= 1) {
 			return fmt.Errorf("%w: %s %v outside [0,1]", ErrBadPlan, f.name, f.v)
 		}
 	}
@@ -104,6 +106,16 @@ func (c *PlanConfig) fillDefaults() error {
 	}
 	if c.Crashes < 0 {
 		return fmt.Errorf("%w: Crashes must be >= 0", ErrBadPlan)
+	}
+	// Negative cycle counts would run injected delays backwards in
+	// virtual time; negative attempt bounds would size a blackhole that
+	// never closes.
+	if c.DelayCycles < 0 || c.SlowCycles < 0 || c.TEEPenalty < 0 {
+		return fmt.Errorf("%w: negative cycle counts %d/%d/%d",
+			ErrBadPlan, c.DelayCycles, c.SlowCycles, c.TEEPenalty)
+	}
+	if c.Attempts < 0 {
+		return fmt.Errorf("%w: Attempts must be >= 0", ErrBadPlan)
 	}
 	if c.DelayCycles == 0 {
 		c.DelayCycles = 50_000

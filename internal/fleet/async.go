@@ -1,0 +1,336 @@
+package fleet
+
+// Event-driven device pipeline: instead of one goroutine per device that
+// runs capture → transcribe → classify → uplink synchronously (parking in
+// sched.Classify while a shared flush forms), device state lives in a
+// task table and a bounded executor pool drives it. A scheduled
+// secure-filter speaker's run is sliced at the classify stage
+// (core.StagedSession): the executor captures and transcribes a group,
+// submits each encoded utterance as its own single-item asynchronous
+// scheduler enqueue, and releases the executor; the last completion
+// callback re-enqueues the task and a (possibly different) executor
+// resumes the group — charging the wait, relaying survivors — and
+// captures the next one. Every other device class runs its whole
+// pipeline as one executor step.
+//
+// Two properties fall out. Scale: a 10⁴–10⁵-device population costs
+// Executors goroutines plus the scheduler's workers, not one goroutine
+// per device, and at most ~Executors + a flush worth of device pipelines
+// are constructed at once. Coalescing: submissions are true concurrent
+// single-item enqueues, so scheduler occupancy comes from cross-device
+// batching rather than one device's whole queue entering as a multi-item
+// request. Audits stay bit-identical to the synchronous path — the
+// engine moves only where waiting happens, never what is computed.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tz"
+)
+
+// AsyncSpec enables the event-driven device pipeline. Nil keeps the
+// goroutine-per-device worker pool.
+type AsyncSpec struct {
+	// Executors bounds the pool driving device tasks; default GOMAXPROCS.
+	Executors int
+}
+
+func (a *AsyncSpec) fillDefaults() error {
+	if a.Executors < 0 {
+		return fmt.Errorf("%w: %d async executors", ErrBadConfig, a.Executors)
+	}
+	if a.Executors == 0 {
+		a.Executors = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// AsyncReport summarizes the event-driven engine's execution.
+type AsyncReport struct {
+	// Executors is the pool size that drove the run.
+	Executors int
+	// Steps counts executor dispatches (task admissions + resumptions).
+	Steps uint64
+	// Parks counts utterance groups parked awaiting a shared classify
+	// flush. Zero when no scheduler is wired.
+	Parks uint64
+	// PeakLive is the most device pipelines concurrently constructed —
+	// the honest memory figure for large populations (it stays near
+	// Executors plus a flush's worth of parked devices, not Devices).
+	PeakLive int
+}
+
+// devTask is one device's table entry: its pipeline context plus the
+// staged-session state a parked classify group needs to resume.
+type devTask struct {
+	idx int
+	dc  *devCtx
+	st  *core.StagedSession
+	pg  *core.PendingGroup
+
+	// Per-parked-group completion state, guarded by the engine mutex:
+	// the j-th submission's callback fills slot j; remaining counts
+	// outstanding callbacks plus one submitter hold.
+	flags     []bool
+	occs      []int
+	waits     []tz.Cycles
+	remaining int
+	failed    error
+}
+
+// asyncEngine drives the task table with a bounded executor pool.
+type asyncEngine struct {
+	r     *runner
+	specs []core.DeviceSpec
+	order []int
+	execs int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	ready    []*devTask
+	next     int // admission cursor into order
+	active   int // tasks admitted and not yet finished
+	peak     int
+	steps    uint64
+	parks    uint64
+	firstErr error
+}
+
+func newAsyncEngine(r *runner, specs []core.DeviceSpec, order []int) *asyncEngine {
+	e := &asyncEngine{r: r, specs: specs, order: order, execs: r.cfg.Async.Executors}
+	if e.execs > len(order) && len(order) > 0 {
+		e.execs = len(order)
+	}
+	if e.execs < 1 {
+		e.execs = 1
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// run blocks until every admitted task has finished (after an error, no
+// new tasks are admitted but in-flight ones complete, so no scheduler
+// entry is ever stranded) and returns the first error.
+func (e *asyncEngine) run() error {
+	var wg sync.WaitGroup
+	wg.Add(e.execs)
+	for i := 0; i < e.execs; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := e.nextTask()
+				if t == nil {
+					return
+				}
+				e.step(t)
+			}
+		}()
+	}
+	wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstErr
+}
+
+// nextTask returns the next runnable task — a resumed parked task first,
+// else a fresh admission — or nil when the run is over. With only parked
+// tasks outstanding it drives the scheduler's idle rule (NotifyIdle)
+// before sleeping: the executors collectively assert nothing new can
+// arrive, which is the event-driven analogue of every producer being
+// blocked.
+func (e *asyncEngine) nextTask() *devTask {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if len(e.ready) > 0 {
+			t := e.ready[0]
+			e.ready = e.ready[1:]
+			e.steps++
+			return t
+		}
+		if e.firstErr == nil && e.next < len(e.order) {
+			idx := e.order[e.next]
+			e.next++
+			e.active++
+			if e.active > e.peak {
+				e.peak = e.active
+			}
+			e.steps++
+			return &devTask{idx: idx}
+		}
+		if e.active == 0 {
+			return nil
+		}
+		if e.r.sched != nil {
+			// Outstanding tasks are parked. NotifyIdle cuts the oldest
+			// queue's deadline flush if nothing is in flight; either way a
+			// completion will enqueue work and broadcast. Probe off the
+			// engine lock, then re-check state before sleeping so the
+			// wakeup cannot be lost.
+			e.mu.Unlock()
+			cut := e.r.sched.scheduler.NotifyIdle()
+			e.mu.Lock()
+			if len(e.ready) > 0 || e.active == 0 || cut {
+				continue
+			}
+		}
+		e.cond.Wait()
+	}
+}
+
+// step advances one task: admission (setup, then either a full
+// synchronous run or the first staged capture) or resumption (feed the
+// shared classifier's verdicts back, capture the next group).
+func (e *asyncEngine) step(t *devTask) {
+	if t.dc == nil {
+		spec := e.specs[t.idx]
+		dc, err := e.r.setupOne(spec, t.idx)
+		if err != nil {
+			e.finish(t, err)
+			return
+		}
+		t.dc = dc
+		// Parkable work is exactly the shared-classify population:
+		// everything else has no external stage to park on and runs its
+		// whole pipeline as one executor step (still table-driven — no
+		// goroutine outlives the step).
+		if !dc.spec.SharedClassify || dc.d.Speaker == nil {
+			res, err := dc.d.Run(dc.w)
+			if err != nil {
+				e.finish(t, fmt.Errorf("device %d: %w", t.idx, err))
+				return
+			}
+			e.finish(t, e.r.finishOne(dc, res))
+			return
+		}
+		st, err := dc.d.Speaker.BeginStagedSession(dc.w.Utterances, dc.spec.Batch)
+		if err != nil {
+			e.finish(t, fmt.Errorf("device %d: %w", t.idx, err))
+			return
+		}
+		t.st = st
+		e.captureOrFinish(t)
+		return
+	}
+	// Resumption: the parked group's verdicts are in. The group's shared
+	// passes overlapped in virtual time — the classification is done when
+	// the last one returns, so the group waits the max, mirroring the
+	// single multi-item request of the synchronous path.
+	if t.failed != nil {
+		t.st.Abort()
+		e.finish(t, fmt.Errorf("device %d classify: %w", t.idx, t.failed))
+		return
+	}
+	var wait tz.Cycles
+	for _, w := range t.waits {
+		if w > wait {
+			wait = w
+		}
+	}
+	if err := t.st.ResumeGroup(t.pg, t.flags, t.occs, wait); err != nil {
+		t.st.Abort()
+		e.finish(t, fmt.Errorf("device %d: %w", t.idx, err))
+		return
+	}
+	e.captureOrFinish(t)
+}
+
+// captureOrFinish captures the task's next utterance group and parks it
+// on the scheduler, or — when the workload is exhausted — finalizes the
+// session and runs the device's finish flow.
+func (e *asyncEngine) captureOrFinish(t *devTask) {
+	pg, err := t.st.CaptureGroup()
+	if err != nil {
+		t.st.Abort()
+		e.finish(t, fmt.Errorf("device %d: %w", t.idx, err))
+		return
+	}
+	if pg == nil {
+		res, err := t.st.Finish()
+		if err != nil {
+			e.finish(t, fmt.Errorf("device %d: %w", t.idx, err))
+			return
+		}
+		e.finish(t, e.r.finishOne(t.dc, &core.DeviceResult{Spec: t.dc.spec, Session: res}))
+		return
+	}
+	n := len(pg.Tokens)
+	t.pg = pg
+	t.flags = make([]bool, n)
+	t.occs = make([]int, n)
+	t.waits = make([]tz.Cycles, n)
+	t.failed = nil
+	e.mu.Lock()
+	// n callbacks plus the submitter hold: the task re-enqueues only
+	// when the count drains, so an early callback cannot race the
+	// executor still submitting the rest of the group.
+	t.remaining = n + 1
+	e.parks++
+	e.mu.Unlock()
+	for j := 0; j < n; j++ {
+		j := j
+		err := e.r.sched.scheduler.SubmitAsync(sched.Request{
+			DeviceID: t.dc.id,
+			Version:  pg.Version,
+			Items:    [][]int{pg.Tokens[j]},
+			Now:      pg.Now,
+		}, func(resp sched.Response, err error) {
+			e.mu.Lock()
+			if err != nil {
+				t.failed = err
+			} else {
+				t.flags[j] = resp.Flagged[0]
+				t.occs[j] = resp.Occupancy
+				t.waits[j] = resp.Wait
+			}
+			e.release(t, 1)
+			e.mu.Unlock()
+		})
+		if err != nil {
+			// Submission failed: the unsubmitted tail (this item included)
+			// will never see callbacks.
+			e.mu.Lock()
+			t.failed = err
+			e.release(t, n-j)
+			e.mu.Unlock()
+			break
+		}
+	}
+	e.mu.Lock()
+	e.release(t, 1) // submitter hold
+	e.mu.Unlock()
+}
+
+// release drops k completion holds from a parked task and re-enqueues it
+// when the count drains. Called with the engine mutex held.
+func (e *asyncEngine) release(t *devTask, k int) {
+	t.remaining -= k
+	if t.remaining == 0 {
+		e.ready = append(e.ready, t)
+		e.cond.Broadcast()
+	}
+}
+
+// finish retires a task: settle its accounting, record the first error,
+// and wake executors re-checking the termination condition.
+func (e *asyncEngine) finish(t *devTask, err error) {
+	if t.dc != nil {
+		t.dc.close(e.r)
+	}
+	e.mu.Lock()
+	if err != nil && e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.active--
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// report snapshots the engine's counters after run returns.
+func (e *asyncEngine) report() *AsyncReport {
+	return &AsyncReport{Executors: e.execs, Steps: e.steps, Parks: e.parks, PeakLive: e.peak}
+}

@@ -1,0 +1,344 @@
+package fleet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tz"
+)
+
+// TestAsyncPipelineEquivalence is the event-driven tentpole's correctness
+// pin: across 8 randomized configurations (population size, executor pool
+// size, device batch, scheduler batch and deadline, churn, key rotation),
+// the async engine's per-device audit fingerprints are bit-identical to
+// the goroutine-per-device run of the same seed, with zero lost frames.
+// The engine may move where waiting happens — never what any device's
+// transcripts, verdicts or audit counters say.
+func TestAsyncPipelineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 8; trial++ {
+		schedOn := trial%4 != 3 // 6 of 8 trials exercise the shared scheduler
+		schedBatch := 2 + rng.Intn(core.MaxBatch-1)
+		cfg := Config{
+			Devices:    12 + rng.Intn(17), // 12..28
+			Shards:     2 + rng.Intn(3),
+			Utterances: 2,
+			Frames:     2,
+			Seed:       uint64(2000 + trial),
+		}
+		if schedOn {
+			cfg.Batch = 1 + rng.Intn(schedBatch) // device queue must fit one flush
+		} else {
+			cfg.Batch = 1 + rng.Intn(core.MaxBatch)
+		}
+		if rng.Intn(2) == 1 {
+			cfg.Churn = &ChurnSpec{JoinFraction: 0.25, LeaveFraction: 0.25}
+		}
+		if rng.Intn(2) == 1 {
+			cfg.Lifecycle = &LifecycleSpec{RotateFraction: 0.25}
+		}
+		maxAge := tz.Cycles(10_000 + rng.Intn(2_000_000))
+		if schedOn {
+			cfg.Sched = &SchedSpec{Batch: schedBatch, MaxAge: maxAge}
+		}
+		executors := 1 + rng.Intn(8)
+		t.Logf("trial %d: devices=%d shards=%d batch=%d sched=%v/%d maxAge=%d churn=%v rotate=%v executors=%d",
+			trial, cfg.Devices, cfg.Shards, cfg.Batch, schedOn, schedBatch, maxAge,
+			cfg.Churn != nil, cfg.Lifecycle != nil, executors)
+
+		plain, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("trial %d sync: %v", trial, err)
+		}
+		acfg := cfg
+		acfg.Async = &AsyncSpec{Executors: executors}
+		async, err := Run(acfg)
+		if err != nil {
+			t.Fatalf("trial %d async: %v", trial, err)
+		}
+
+		if async.LostFrames() != 0 {
+			t.Fatalf("trial %d: async run lost %d frames", trial, async.LostFrames())
+		}
+		if len(async.DeviceResults) != len(plain.DeviceResults) {
+			t.Fatalf("trial %d: population diverged: %d vs %d devices",
+				trial, len(async.DeviceResults), len(plain.DeviceResults))
+		}
+		for i := range plain.DeviceResults {
+			if got, want := fingerprint(async.DeviceResults[i]), fingerprint(plain.DeviceResults[i]); got != want {
+				t.Fatalf("trial %d device %d diverged under the async engine:\n async: %s\n  sync: %s",
+					trial, i, got, want)
+			}
+		}
+		if cfg.Lifecycle != nil && async.Rotated != plain.Rotated {
+			t.Fatalf("trial %d: rotation diverged: async %d, sync %d", trial, async.Rotated, plain.Rotated)
+		}
+		arep := async.Async
+		if arep == nil {
+			t.Fatalf("trial %d: async run has no engine report", trial)
+		}
+		if arep.Steps < uint64(len(async.DeviceResults)) {
+			t.Fatalf("trial %d: %d executor steps for %d devices (every device is at least one step)",
+				trial, arep.Steps, len(async.DeviceResults))
+		}
+		if arep.PeakLive < 1 || arep.PeakLive > len(async.DeviceResults) {
+			t.Fatalf("trial %d: peak live pipelines %d outside [1, %d]",
+				trial, arep.PeakLive, len(async.DeviceResults))
+		}
+		if !schedOn {
+			if arep.Parks != 0 {
+				t.Fatalf("trial %d: %d groups parked with no scheduler wired", trial, arep.Parks)
+			}
+			continue
+		}
+		if arep.Parks == 0 {
+			t.Fatalf("trial %d: scheduled async run parked no classify groups", trial)
+		}
+		rep := async.Sched
+		if rep == nil {
+			t.Fatalf("trial %d: scheduled async run has no scheduler report", trial)
+		}
+		if rep.Items == 0 || rep.Batches == 0 {
+			t.Fatalf("trial %d: scheduler classified nothing: %+v", trial, rep)
+		}
+		if rep.MixedVersionFlushes != 0 {
+			t.Fatalf("trial %d: %d flushes mixed model versions", trial, rep.MixedVersionFlushes)
+		}
+		if rep.MaxOccupancy > schedBatch {
+			t.Fatalf("trial %d: flush of %d items exceeds scheduler batch %d",
+				trial, rep.MaxOccupancy, schedBatch)
+		}
+		var flushed uint64
+		for _, n := range rep.Flushes {
+			flushed += n
+		}
+		if flushed != rep.Batches {
+			t.Fatalf("trial %d: flush reasons account for %d batches, ran %d", trial, flushed, rep.Batches)
+		}
+	}
+}
+
+// TestAsyncPipelineUnderChaosRace is the engine's -race suite: the
+// event-driven pipeline under a chaos plan (uplink drops, duplicates,
+// delays, expiry blackholes, a shard crash) with churn and a mid-run
+// ingest-tier rebalance, all flowing through the shared scheduler. The
+// conservation identity must hold exactly — every emitted frame is
+// ingested, shed, or expired, never silently lost — and the fault and
+// rebalance reports must stay internally consistent.
+func TestAsyncPipelineUnderChaosRace(t *testing.T) {
+	res, err := Run(Config{
+		Devices:    48,
+		Shards:     3,
+		Utterances: 2,
+		Frames:     2,
+		Seed:       11,
+		Churn:      &ChurnSpec{JoinFraction: 0.25, LeaveFraction: 0.25},
+		Sched:      &SchedSpec{Batch: 4, MaxAge: 200_000},
+		Async:      &AsyncSpec{Executors: 8},
+		// Drain a shard the crash schedule does not target (crash targets
+		// rotate from shard-00; a drained target would skip the crash).
+		Rebalance: &RebalanceSpec{AtFraction: 0.5, AddShards: 1, DrainShard: 2},
+		Faults: &FaultSpec{
+			TouchFraction: 0.5,
+			DropRate:      0.25,
+			DuplicateRate: 0.15,
+			DelayRate:     0.1,
+			ExpireRate:    0.1,
+			Crashes:       1,
+			TEEFraction:   0.5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.LostFrames(); got != 0 {
+		t.Fatalf("lost %d frames under async+chaos+rebalance (expected == ingested + shed + expired broken)", got)
+	}
+	if res.Async == nil || res.Async.Steps == 0 {
+		t.Fatalf("async engine report missing or inert: %+v", res.Async)
+	}
+	if res.Async.Parks == 0 {
+		t.Fatal("no classify group ever parked on the shared scheduler")
+	}
+	rep := res.Faults
+	if rep == nil {
+		t.Fatal("chaos run returned no fault report")
+	}
+	if rep.Injected == 0 || rep.Touched == 0 {
+		t.Fatalf("chaos plan was inert: %+v", rep)
+	}
+	if rep.Expired != res.ExpiredFrames() {
+		t.Fatalf("report expired %d, device results say %d", rep.Expired, res.ExpiredFrames())
+	}
+	if rep.Crashes != 1 || rep.Restarts != 1 {
+		t.Fatalf("crashes/restarts %d/%d, want 1/1", rep.Crashes, rep.Restarts)
+	}
+	if rep.Recovered != uint64(rep.QueuedAtCrash) {
+		t.Fatalf("recovered %d, stranded at crash %d", rep.Recovered, rep.QueuedAtCrash)
+	}
+	if rep.TEEFaults == 0 {
+		t.Fatalf("TEE fraction 0.5 hit no device: %+v", rep)
+	}
+	rb := res.Rebalance
+	if rb == nil || !rb.Fired {
+		t.Fatalf("mid-run rebalance did not fire: %+v", rb)
+	}
+	if rb.DrainedShard == "" || len(rb.AddedShards) != 1 {
+		t.Fatalf("rebalance did not drain+add as configured: %+v", rb)
+	}
+	if res.Sched == nil || res.Sched.MixedVersionFlushes != 0 {
+		t.Fatalf("scheduler report missing or version-mixed: %+v", res.Sched)
+	}
+	if res.Joined == 0 || res.Left == 0 {
+		t.Fatalf("churn did not churn: joined %d, left %d", res.Joined, res.Left)
+	}
+}
+
+// TestAsyncSchedOccupancy is the tentpole's perf acceptance pin: at 1000
+// devices the async engine's true concurrent single-item enqueues must
+// coalesce across devices into fuller shared flushes than the PR-8
+// synchronous-producer baseline (4.0 items/flush at this scale — see
+// docs/PERFORMANCE.md), and the task table must stay far below one live
+// pipeline per device.
+func TestAsyncSchedOccupancy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-device run")
+	}
+	// The PR-8 synchronous baseline at 1000 devices: producers block in
+	// Classify, so on small hosts flushes mostly carry one device's whole
+	// 4-item queue.
+	const syncBaseline = 4.0
+	res, err := Run(Config{
+		Devices: 1000,
+		Shards:  8,
+		Seed:    1,
+		Sched:   &SchedSpec{}, // defaults: batch core.MaxBatch
+		Async:   &AsyncSpec{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostFrames() != 0 {
+		t.Fatalf("lost %d frames", res.LostFrames())
+	}
+	rep := res.Sched
+	if rep == nil || rep.Items == 0 {
+		t.Fatalf("scheduler classified nothing: %+v", rep)
+	}
+	t.Logf("occupancy: raw %.2f steady %.2f (max %d, %d flushes, %d drain), parks %d, peak live %d",
+		rep.MeanOccupancy, rep.MeanOccupancySteady, rep.MaxOccupancy,
+		rep.Batches, rep.DrainBatches, res.Async.Parks, res.Async.PeakLive)
+	if rep.MeanOccupancy <= syncBaseline {
+		t.Fatalf("async mean occupancy %.2f items/flush does not beat the %.1f synchronous baseline",
+			rep.MeanOccupancy, syncBaseline)
+	}
+	if rep.MeanOccupancySteady < rep.MeanOccupancy {
+		t.Fatalf("steady occupancy %.2f below raw %.2f (drain tail can only drag the mean down)",
+			rep.MeanOccupancySteady, rep.MeanOccupancy)
+	}
+	if res.Async.PeakLive > 500 {
+		t.Fatalf("peak live pipelines %d at 1000 devices — the table is not bounding memory", res.Async.PeakLive)
+	}
+}
+
+// TestAsyncRolloutRejected: the async engine cannot compose with a staged
+// rollout (converge's full-population barrier would starve the bounded
+// executor pool), so the combination is ErrBadConfig up front — never a
+// deadlock. Bad executor counts are surfaced the same way.
+func TestAsyncRolloutRejected(t *testing.T) {
+	_, err := Run(Config{
+		Devices:    4,
+		Utterances: 1,
+		Seed:       3,
+		Rollout:    &RolloutSpec{CanaryFraction: 0.25},
+		Async:      &AsyncSpec{},
+	})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("rollout+async: got %v, want ErrBadConfig", err)
+	}
+	_, err = Run(Config{
+		Devices:    4,
+		Utterances: 1,
+		Seed:       3,
+		Async:      &AsyncSpec{Executors: -1},
+	})
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative executors: got %v, want ErrBadConfig", err)
+	}
+}
+
+// TestSchedReportSteadyOccupancy is the fleet-side regression for the
+// occupancy bugfix: SchedReport.MeanOccupancy averages over every flush
+// including end-of-run drain flushes of size 0–1, which understates
+// steady-state coalescing; MeanOccupancySteady excludes the drain tail.
+// One full flush of 4 plus a drain flush of 1 must report raw 2.5 and
+// steady 4.0 — and the raw figure alone would undersell the scheduler.
+func TestSchedReportSteadyOccupancy(t *testing.T) {
+	spec := &SchedSpec{Batch: 4, MaxAge: 1 << 40, Workers: 1}
+	sc, err := newSchedControl(Config{Seed: 5, Sched: spec}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 5)
+	cb := func(r sched.Response, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		fired <- struct{}{}
+	}
+	for i := 0; i < 4; i++ {
+		if err := sc.scheduler.SubmitAsync(sched.Request{
+			DeviceID: "d", Version: 0, Items: [][]int{{1, 2, 3}},
+		}, cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 4; k++ {
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Fatal("full flush callbacks missing")
+		}
+	}
+	if err := sc.scheduler.SubmitAsync(sched.Request{
+		DeviceID: "d", Version: 0, Items: [][]int{{4, 5}},
+	}, cb); err != nil {
+		t.Fatal(err)
+	}
+	sc.scheduler.Drain()
+	rep := sc.report(spec)
+	if rep.Batches != 2 || rep.Items != 5 {
+		t.Fatalf("report: %+v, want 2 batches / 5 items", rep)
+	}
+	if rep.DrainBatches != 1 || rep.DrainItems != 1 {
+		t.Fatalf("drain tally %d/%d, want 1 batch / 1 item", rep.DrainBatches, rep.DrainItems)
+	}
+	if rep.MeanOccupancy != 2.5 {
+		t.Fatalf("raw mean occupancy %v, want 2.5 (drain tail included)", rep.MeanOccupancy)
+	}
+	if rep.MeanOccupancySteady != 4 {
+		t.Fatalf("steady occupancy %v, want 4 (drain tail excluded)", rep.MeanOccupancySteady)
+	}
+
+	// All-drain degenerate run: the steady figure falls back to the raw
+	// mean instead of dividing by zero.
+	sc2, err := newSchedControl(Config{Seed: 5, Sched: spec}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc2.scheduler.SubmitAsync(sched.Request{
+		DeviceID: "d", Version: 0, Items: [][]int{{1}},
+	}, cb); err != nil {
+		t.Fatal(err)
+	}
+	sc2.scheduler.Drain()
+	rep2 := sc2.report(spec)
+	if rep2.MeanOccupancySteady != rep2.MeanOccupancy || rep2.MeanOccupancy != 1 {
+		t.Fatalf("all-drain fallback broken: raw %v steady %v, want 1/1",
+			rep2.MeanOccupancy, rep2.MeanOccupancySteady)
+	}
+}

@@ -86,12 +86,18 @@ func (f *FaultSpec) fillDefaults(root uint64, shards int) error {
 	// before the build phase trains any model.
 	for _, v := range []float64{f.TouchFraction, f.DropRate, f.DuplicateRate,
 		f.DelayRate, f.ExpireRate, f.SlowFraction, f.TEEFraction} {
-		if v < 0 || v > 1 {
+		// NaN compares false against both bounds — match fault.NewPlan's
+		// explicit rejection.
+		if !(v >= 0 && v <= 1) {
 			return fmt.Errorf("%w: fault rate %v outside [0,1]", ErrBadConfig, v)
 		}
 	}
 	if sum := f.DropRate + f.DuplicateRate + f.DelayRate + f.ExpireRate; sum > 1 {
 		return fmt.Errorf("%w: fault injection rates sum to %v > 1", ErrBadConfig, sum)
+	}
+	if f.DelayCycles < 0 || f.SlowCycles < 0 || f.TEEPenalty < 0 {
+		return fmt.Errorf("%w: negative fault cycle counts %d/%d/%d",
+			ErrBadConfig, f.DelayCycles, f.SlowCycles, f.TEEPenalty)
 	}
 	return nil
 }

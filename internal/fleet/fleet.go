@@ -84,6 +84,15 @@ type Config struct {
 	// machinery only. Nil keeps the per-device path.
 	Sched *SchedSpec
 
+	// Async replaces the goroutine-per-device worker pool with the
+	// event-driven continuation engine: device state lives in a task
+	// table driven by a bounded executor pool, and scheduled secure-filter
+	// speakers park between transcription and the shared classify flush
+	// (capture → enqueue → batched classify → uplink as continuations)
+	// instead of blocking a goroutine per device. Audits are bit-identical
+	// to the synchronous path. Nil keeps the per-device worker pool.
+	Async *AsyncSpec
+
 	// Utterances per speaker (default 4) and Frames per doorbell
 	// (default 6).
 	Utterances int
@@ -226,6 +235,18 @@ func (c *Config) fillDefaults() error {
 	if c.Sched != nil {
 		if err := c.Sched.fillDefaults(c.Batch); err != nil {
 			return err
+		}
+	}
+	if c.Async != nil {
+		if err := c.Async.fillDefaults(); err != nil {
+			return err
+		}
+		// Rollout convergence blocks in AwaitFull until the canary cohort
+		// reports; on a bounded executor pool the blocked non-canary tasks
+		// would occupy every executor and starve the canaries they wait
+		// for. The composition is rejected rather than allowed to deadlock.
+		if c.Rollout != nil {
+			return fmt.Errorf("%w: the async pipeline cannot compose with a staged rollout", ErrBadConfig)
 		}
 	}
 	if c.Utterances <= 0 {
@@ -465,6 +486,9 @@ type Result struct {
 	// Sched summarizes the cross-device scheduler's flush behavior (nil
 	// when the per-device classify path ran).
 	Sched *SchedReport
+	// Async summarizes the event-driven engine's execution (nil when the
+	// per-device worker pool ran).
+	Async *AsyncReport
 
 	// Attested-run observability (zero values outside Attest mode).
 
@@ -741,15 +765,26 @@ func Run(cfg Config) (*Result, error) {
 		r.reb = newRebalancer(cfg, router, len(all))
 	}
 	runStart := time.Now()
-	runErr := eachDevice(order, cfg.DeviceWorkers, func(i int) error {
-		err := r.runOne(all[i], i)
-		if err != nil && st != nil && st.rollout != nil {
-			reason := fmt.Sprintf("device failure: %v", err)
-			tracer.Anomaly("rollout-abort", reason)
-			st.rollout.Abort(reason)
-		}
-		return err
-	})
+	var runErr error
+	var eng *asyncEngine
+	if cfg.Async != nil {
+		// Event-driven mode: device state is table entries driven by the
+		// bounded executor pool; scheduled speakers park between
+		// transcription and the shared flush. Rollout is gated off in
+		// fillDefaults, so no abort hook is needed here.
+		eng = newAsyncEngine(r, all, order)
+		runErr = eng.run()
+	} else {
+		runErr = eachDevice(order, cfg.DeviceWorkers, func(i int) error {
+			err := r.runOne(all[i], i)
+			if err != nil && st != nil && st.rollout != nil {
+				reason := fmt.Sprintf("device failure: %v", err)
+				tracer.Anomaly("rollout-abort", reason)
+				st.rollout.Abort(reason)
+			}
+			return err
+		})
+	}
 	if sc != nil {
 		// Drain on both paths: an errored run must not strand scheduler
 		// workers (or entries another still-healthy device is waiting on).
@@ -791,6 +826,9 @@ func Run(cfg Config) (*Result, error) {
 	res := aggregate(cfg, buildWall, runWall, r, router)
 	res.RequestedBatch = requestedBatch
 	res.EffectiveBatch = cfg.Batch
+	if eng != nil {
+		res.Async = eng.report()
+	}
 	if sc != nil {
 		res.Sched = sc.report(cfg.Sched)
 		tracer.Flushes(res.Sched.Flushes)
@@ -827,15 +865,77 @@ type runner struct {
 	sched   *schedControl
 }
 
+// devCtx carries one device's constructed pipeline between the setup,
+// run and finish stages of the per-device flow. The synchronous path
+// composes the stages on one worker goroutine (runOne); the async engine
+// holds the context in its task table across classify parks instead of
+// on a stack frame.
+type devCtx struct {
+	i        int
+	spec     core.DeviceSpec
+	w        core.DeviceWorkload
+	d        *core.Device
+	id       string
+	tenant   string
+	meta     cloud.FrameMeta
+	ep       cloud.Provider
+	tc       *obs.TraceContext
+	leaving  bool
+	rotating bool
+	rotTok   attest.RotationToken
+	sink     *core.RetrySink
+
+	closeOnce sync.Once
+}
+
+// close settles the context's delivery-path accounting (retry stats).
+// Idempotent; it must fire on every exit path, success or failure, like
+// the deferred noteRetry of the pre-split pipeline.
+func (dc *devCtx) close(r *runner) {
+	dc.closeOnce.Do(func() {
+		if dc.sink != nil {
+			r.fd.noteRetry(dc.sink.Stats())
+		}
+	})
+}
+
 // runOne is the per-worker pipeline: workload → build → provision to the
 // rollout target → (lifecycle) rotation issued → attested handshake →
 // register → process → rotation redeemed + re-attested → rollout
 // convergence → (lifecycle) revocation + probes → (leavers) clean
 // release.
 func (r *runner) runOne(spec core.DeviceSpec, i int) error {
+	dc, err := r.setupOne(spec, i)
+	if err != nil {
+		return err
+	}
+	defer dc.close(r)
+	// A shared-classify device is a scheduler producer exactly for the
+	// span of its run — the only window it can submit in. Registering the
+	// worker goroutine instead would deadlock: a worker parked in
+	// converge (AwaitFull) blocks on a canary's completion, the canary
+	// blocks in Classify on a flush, and the flush's idle rule would wait
+	// for the parked worker to block in Classify — which it never will.
+	if dc.spec.SharedClassify {
+		r.sched.scheduler.AddProducer()
+	}
+	res, err := dc.d.Run(dc.w)
+	if dc.spec.SharedClassify {
+		r.sched.scheduler.ProducerDone()
+	}
+	if err != nil {
+		return fmt.Errorf("device %d: %w", i, err)
+	}
+	return r.finishOne(dc, res)
+}
+
+// setupOne is the front half of the per-device flow: derive the
+// workload, build the pipeline, provision/attest, register the endpoint
+// and wire the uplink. Everything up to — but not including — processing.
+func (r *runner) setupOne(spec core.DeviceSpec, i int) (*devCtx, error) {
 	w, err := workloadFor(r.cfg, spec, i)
 	if err != nil {
-		return fmt.Errorf("device %d workload: %w", i, err)
+		return nil, fmt.Errorf("device %d workload: %w", i, err)
 	}
 	leaving := r.churn != nil && r.churn.leaver[i]
 	if leaving {
@@ -850,7 +950,7 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 	}
 	d, err := core.NewDevice(spec)
 	if err != nil {
-		return fmt.Errorf("device %d: %w", i, err)
+		return nil, fmt.Errorf("device %d: %w", i, err)
 	}
 	if spec.SharedClassify {
 		d.SetClassifyService(r.sched)
@@ -881,7 +981,7 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 	var rotTok attest.RotationToken
 	if r.st != nil {
 		if err := r.st.provision(d, id, tenant); err != nil {
-			return fmt.Errorf("device %d provision: %w", i, err)
+			return nil, fmt.Errorf("device %d provision: %w", i, err)
 		}
 		if rotating {
 			// Rotation is issued *before* the handshake: the verifier
@@ -890,15 +990,19 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 			// workload — runs inside the grace window, exactly the
 			// in-flight case rotation must never break.
 			if rotTok, err = r.st.authority(tenant).Rotate(id); err != nil {
-				return fmt.Errorf("device %d rotate: %w", i, err)
+				return nil, fmt.Errorf("device %d rotate: %w", i, err)
 			}
 			r.tracer.Verb(obs.VerbRotate)
 		}
 		if ep != nil {
 			if err := r.st.handshake(d, id, tenant); err != nil {
-				return fmt.Errorf("device %d: %w", i, err)
+				return nil, fmt.Errorf("device %d: %w", i, err)
 			}
 		}
+	}
+	dc := &devCtx{
+		i: i, spec: spec, w: w, d: d, id: id, tenant: tenant, meta: meta,
+		ep: ep, tc: tc, leaving: leaving, rotating: rotating, rotTok: rotTok,
 	}
 	if ep != nil {
 		r.router.Register(id, ep)
@@ -915,32 +1019,25 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 			rcfg := r.fd.spec.Retry
 			rcfg.Seed = core.DeriveSeed(r.fd.spec.Seed, core.SaltFault, i)
 			sink := core.NewRetrySink(up, d.Clock(), rcfg)
-			defer func() { r.fd.noteRetry(sink.Stats()) }()
+			dc.sink = sink
 			d.SetUplink(sink)
 		}
 	}
-	// A shared-classify device is a scheduler producer exactly for the
-	// span of its run — the only window it can submit in. Registering the
-	// worker goroutine instead would deadlock: a worker parked in
-	// converge (AwaitFull) blocks on a canary's completion, the canary
-	// blocks in Classify on a flush, and the flush's idle rule would wait
-	// for the parked worker to block in Classify — which it never will.
-	if spec.SharedClassify {
-		r.sched.scheduler.AddProducer()
-	}
-	res, err := d.Run(w)
-	if spec.SharedClassify {
-		r.sched.scheduler.ProducerDone()
-	}
-	if err != nil {
-		return fmt.Errorf("device %d: %w", i, err)
-	}
+	return dc, nil
+}
+
+// finishOne is the back half of the per-device flow, run after the
+// workload: rotation redeemed + re-attested, rollout convergence,
+// revocation probes, leaver release, result recording.
+func (r *runner) finishOne(dc *devCtx, res *core.DeviceResult) error {
+	defer dc.close(r)
+	i, d, id, tenant, leaving := dc.i, dc.d, dc.id, dc.tenant, dc.leaving
 	if r.st != nil {
-		if rotating && !leaving {
+		if dc.rotating && !leaving {
 			// Redeem inside the TEE, then re-attest at the new epoch —
 			// closing the grace window — before any rollout convergence
 			// mints manifests for this device at the rotated epoch.
-			if _, err := d.RotateKey(rotTok); err != nil {
+			if _, err := d.RotateKey(dc.rotTok); err != nil {
 				return fmt.Errorf("device %d rotate redeem: %w", i, err)
 			}
 			if err := r.st.handshake(d, id, tenant); err != nil {
@@ -952,18 +1049,18 @@ func (r *runner) runOne(spec core.DeviceSpec, i int) error {
 			return fmt.Errorf("device %d converge: %w", i, err)
 		}
 	}
-	if r.lc != nil && r.lc.revoke[i] && ep != nil && !leaving {
+	if r.lc != nil && r.lc.revoke[i] && dc.ep != nil && !leaving {
 		// The compromised-device drill: revoke the completed device while
 		// the rest of the fleet is still processing, then prove its
 		// identity is cut off at the frontend within one frame.
-		r.lc.probeRevoked(r, id, tenant, meta, tc)
+		r.lc.probeRevoked(r, id, tenant, dc.meta, dc.tc)
 	}
 	if leaving {
 		// Clean departure: account for what the provider saw from this
 		// device, hand the ring back its slot, release the attested
 		// session so the identity cannot keep ingesting.
-		if ep != nil {
-			r.churn.depart(ep.Audit())
+		if dc.ep != nil {
+			r.churn.depart(dc.ep.Audit())
 			r.router.Deregister(id)
 		}
 		if r.st != nil {

@@ -71,11 +71,20 @@ type SchedReport struct {
 	MaxAge tz.Cycles
 	// Flushes tallies flush count by reason (full/age/idle/drain).
 	Flushes map[string]uint64
-	// Batches and Items are totals; MeanOccupancy = Items/Batches.
-	Batches       uint64
-	Items         uint64
-	MeanOccupancy float64
-	MaxOccupancy  int
+	// Batches and Items are totals; MeanOccupancy = Items/Batches over
+	// every flush, end-of-run drain flushes (size 0–1) included — which
+	// understates steady-state occupancy. MeanOccupancySteady excludes
+	// the drain tail (DrainBatches flushes carrying DrainItems items) and
+	// is the figure to compare across scheduling modes; it falls back to
+	// the raw mean when a run was all drain (nothing ever flushed on
+	// full/age/idle).
+	Batches             uint64
+	Items               uint64
+	MeanOccupancy       float64
+	MeanOccupancySteady float64
+	DrainBatches        uint64
+	DrainItems          uint64
+	MaxOccupancy        int
 	// ItemsByVersion splits classified items per model version — a
 	// rollout's canary cohort batches separately from the stable cohort.
 	ItemsByVersion map[uint64]uint64
@@ -222,6 +231,8 @@ func (sc *schedControl) report(spec *SchedSpec) *SchedReport {
 		Flushes:             st.Flushes,
 		Batches:             st.Batches,
 		Items:               st.Items,
+		DrainBatches:        st.DrainBatches,
+		DrainItems:          st.DrainItems,
 		MaxOccupancy:        st.MaxOccupancy,
 		ItemsByVersion:      st.ItemsByVersion,
 		MixedVersionFlushes: st.MixedVersionFlushes,
@@ -229,6 +240,10 @@ func (sc *schedControl) report(spec *SchedSpec) *SchedReport {
 	}
 	if st.Batches > 0 {
 		rep.MeanOccupancy = float64(st.Items) / float64(st.Batches)
+		rep.MeanOccupancySteady = rep.MeanOccupancy
+	}
+	if steady := st.Batches - st.DrainBatches; steady > 0 {
+		rep.MeanOccupancySteady = float64(st.Items-st.DrainItems) / float64(steady)
 	}
 	return rep
 }

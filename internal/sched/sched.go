@@ -111,15 +111,35 @@ type Stats struct {
 	// PressureFlushes counts flushes cut under the halved deadline while
 	// downstream pressure was at or above the high-water mark.
 	PressureFlushes uint64
+	// DrainBatches/DrainItems single out the end-of-run drain flushes
+	// (reason "drain", typically size 0–1), so steady-state occupancy can
+	// be reported without the drain tail dragging the mean down.
+	DrainBatches uint64
+	DrainItems   uint64
 }
 
-// entry is one queued request with its completion channel.
+// entry is one queued request with its completion hook: a channel for
+// blocking Classify callers, or a callback for SubmitAsync continuations.
+// Exactly one of done/cb is set.
 type entry struct {
 	req   Request
 	stamp tz.Cycles // scheduler clock at enqueue
 	resp  Response
 	err   error
 	done  chan struct{}
+	cb    func(Response, error)
+}
+
+// complete delivers the entry's outcome: wake the blocked producer or
+// run the continuation. Called off the scheduler lock, after the flush
+// job's inflight slot is released — so a continuation that re-submits
+// (or an idle probe racing it) always observes settled inflight state.
+func (e *entry) complete() {
+	if e.cb != nil {
+		e.cb(e.resp, e.err)
+		return
+	}
+	close(e.done)
 }
 
 // queue is the FIFO for one model version.
@@ -163,6 +183,8 @@ type Scheduler struct {
 	totalItems     uint64
 	mixed          uint64
 	pressureCuts   uint64
+	drainBatches   uint64
+	drainItems     uint64
 
 	wg sync.WaitGroup
 }
@@ -258,6 +280,86 @@ func (s *Scheduler) Classify(req Request) (Response, error) {
 	return e.resp, e.err
 }
 
+// SubmitAsync enqueues a request without blocking: cb fires exactly once
+// with the response once the flush carrying the request has executed.
+// Callbacks run on scheduler worker goroutines, never synchronously on
+// the submit path, and always after the flush's inflight slot has been
+// released — so a callback may safely re-submit or probe NotifyIdle.
+// Async submitters do not register as producers; the event-driven caller
+// drives idle cuts explicitly via NotifyIdle instead of the blocked-
+// producer rule.
+func (s *Scheduler) SubmitAsync(req Request, cb func(Response, error)) error {
+	if cb == nil {
+		return fmt.Errorf("%w: nil callback", ErrBadConfig)
+	}
+	if len(req.Items) == 0 {
+		return fmt.Errorf("%w: empty async request", ErrBadConfig)
+	}
+	if len(req.Items) > s.cfg.Batch {
+		return fmt.Errorf("%w: request of %d items exceeds batch %d",
+			ErrBadConfig, len(req.Items), s.cfg.Batch)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if req.Now > s.clock {
+		s.clock = req.Now
+	}
+	e := &entry{req: req, stamp: s.clock, cb: cb}
+	q := s.queues[req.Version]
+	if q == nil {
+		q = &queue{}
+		s.queues[req.Version] = q
+	}
+	q.entries = append(q.entries, e)
+	q.items += len(req.Items)
+	s.maybeFlush()
+	s.mu.Unlock()
+	return nil
+}
+
+// NotifyIdle is the event-driven analogue of the blocked-producer idle
+// rule: the caller (an executor pool with no runnable work) asserts that
+// nothing new can arrive until a pending flush completes. If no flush is
+// in flight and entries are queued, the scheduler advances its clock to
+// the oldest queue's deadline and cuts it (reason "idle"), returning
+// true. Returns false when there was nothing to cut — closed, a flush
+// already in flight (its completion will re-evaluate the queues), or no
+// queued entries.
+func (s *Scheduler) NotifyIdle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.inflight > 0 {
+		return false
+	}
+	maxAge, pressured := s.effectiveMaxAge()
+	var oldestQ *queue
+	var oldestV uint64
+	for version, q := range s.queues {
+		if len(q.entries) == 0 {
+			continue
+		}
+		if oldestQ == nil || q.entries[0].stamp < oldestQ.entries[0].stamp ||
+			(q.entries[0].stamp == oldestQ.entries[0].stamp && version < oldestV) {
+			oldestQ, oldestV = q, version
+		}
+	}
+	if oldestQ == nil {
+		return false
+	}
+	deadline := oldestQ.entries[0].stamp + maxAge
+	if deadline > s.clock {
+		s.clock = deadline
+	}
+	s.cut(oldestV, oldestQ, ReasonIdle, s.clock)
+	if pressured {
+		s.pressureCuts++
+	}
+	return true
+}
+
 // Drain flushes every remaining queue and waits for all in-flight work,
 // then stops the worker pool. Call after all producers are done; further
 // Classify calls fail with ErrClosed.
@@ -303,6 +405,8 @@ func (s *Scheduler) Stats() Stats {
 		MaxOccupancy:        s.maxOccupancy,
 		MixedVersionFlushes: s.mixed,
 		PressureFlushes:     s.pressureCuts,
+		DrainBatches:        s.drainBatches,
+		DrainItems:          s.drainItems,
 	}
 	for k, v := range s.flushes {
 		st.Flushes[k] = v
@@ -434,6 +538,15 @@ func (s *Scheduler) worker() {
 		s.maybeFlush()
 		s.cond.Broadcast()
 		s.mu.Unlock()
+
+		// Deliver completions only after the inflight slot is released:
+		// an async continuation that re-submits (or checks NotifyIdle)
+		// must not observe this flush as still in flight, or an executor
+		// pool could park forever waiting for a completion that already
+		// happened.
+		for _, e := range job.entries {
+			e.complete()
+		}
 	}
 }
 
@@ -454,6 +567,10 @@ func (s *Scheduler) execute(job *flushJob) {
 	s.occupancy[job.items]++
 	if job.items > s.maxOccupancy {
 		s.maxOccupancy = job.items
+	}
+	if job.reason == ReasonDrain {
+		s.drainBatches++
+		s.drainItems += uint64(job.items)
 	}
 	versions := make(map[uint64]bool)
 	for _, e := range job.entries {
@@ -494,6 +611,7 @@ func (s *Scheduler) execute(job *flushJob) {
 			}
 		}
 		off += n
-		close(e.done)
 	}
+	// Completion delivery (waking blocked producers / firing async
+	// callbacks) is the worker's job, after it releases the inflight slot.
 }

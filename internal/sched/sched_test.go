@@ -362,6 +362,173 @@ func TestSchedulerHammer(t *testing.T) {
 	}
 }
 
+// TestSubmitAsyncCoalesces: single-item asynchronous enqueues from one
+// logical caller coalesce into a full flush exactly like blocking
+// producers, the callbacks see the flush occupancy, and no callback runs
+// on the submit path.
+func TestSubmitAsyncCoalesces(t *testing.T) {
+	x := &testExec{}
+	s, err := New(Config{Batch: 4, MaxAge: 1 << 40}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	var mu sync.Mutex
+	resps := make([]Response, n)
+	fired := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		submitting := true
+		err := s.SubmitAsync(Request{
+			DeviceID: fmt.Sprintf("d%d", i), Version: 1, Items: [][]int{item(i)},
+		}, func(r Response, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			mu.Lock()
+			if submitting {
+				t.Error("callback fired synchronously on the submit path")
+			}
+			resps[i] = r
+			mu.Unlock()
+			fired <- i
+		})
+		mu.Lock()
+		submitting = false
+		mu.Unlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < n; k++ {
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("callback %d of %d never fired", k+1, n)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, r := range resps {
+		if len(r.Flagged) != 1 || r.Flagged[0] != (i%2 == 1) {
+			t.Errorf("submission %d: flags %v", i, r.Flagged)
+		}
+		if r.Occupancy != 4 {
+			t.Errorf("submission %d: occupancy %d, want the full flush", i, r.Occupancy)
+		}
+	}
+	st := s.Stats()
+	if st.Flushes[ReasonFull] != 1 || st.Batches != 1 || st.Items != 4 {
+		t.Fatalf("four single-item async submissions did not coalesce: %+v", st)
+	}
+	s.Drain()
+
+	// Invalid submissions are rejected up front, never via callback.
+	if err := s.SubmitAsync(Request{Items: [][]int{item(1)}}, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+}
+
+// TestNotifyIdleCutsStarvedQueue: with no flush in flight and no blocked
+// producers, NotifyIdle advances the virtual clock to the starved queue's
+// deadline and cuts it — the event-driven caller's replacement for the
+// blocked-producer idle rule.
+func TestNotifyIdleCutsStarvedQueue(t *testing.T) {
+	x := &testExec{}
+	s, err := New(Config{Batch: 8, MaxAge: 50_000}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NotifyIdle() {
+		t.Fatal("NotifyIdle cut an empty scheduler")
+	}
+	done := make(chan Response, 1)
+	if err := s.SubmitAsync(Request{DeviceID: "d", Version: 1, Items: [][]int{item(3)}},
+		func(r Response, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			done <- r
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.NotifyIdle() {
+		t.Fatal("NotifyIdle found nothing to cut with one item starved")
+	}
+	var r Response
+	select {
+	case r = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle cut never completed the submission")
+	}
+	if r.Wait < 50_000 {
+		t.Fatalf("idle-cut wait %d did not charge the deadline", r.Wait)
+	}
+	st := s.Stats()
+	if st.Flushes[ReasonIdle] != 1 {
+		t.Fatalf("expected one idle flush: %+v", st.Flushes)
+	}
+	s.Drain()
+	if s.NotifyIdle() {
+		t.Fatal("NotifyIdle cut a drained scheduler")
+	}
+}
+
+// TestDrainStatsSeparated is the occupancy bugfix's unit regression: the
+// raw mean occupancy averages over every flush including the end-of-run
+// drain tail, while DrainBatches/DrainItems let callers recover the
+// steady-state figure. One full flush of 4 plus a drain flush of 1 must
+// report raw mean 2.5 with exactly one drain batch carrying one item.
+func TestDrainStatsSeparated(t *testing.T) {
+	x := &testExec{}
+	s, err := New(Config{Batch: 4, MaxAge: 1 << 40}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 5)
+	cb := func(r Response, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		fired <- struct{}{}
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.SubmitAsync(Request{DeviceID: "d", Version: 1, Items: [][]int{item(i)}}, cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 4; k++ {
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Fatal("full flush callbacks missing")
+		}
+	}
+	if err := s.SubmitAsync(Request{DeviceID: "d", Version: 1, Items: [][]int{item(9)}}, cb); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	select {
+	case <-fired:
+	default:
+		t.Fatal("drain returned before the leftover's callback fired")
+	}
+	st := s.Stats()
+	if st.Batches != 2 || st.Items != 5 {
+		t.Fatalf("stats: %+v, want 2 batches / 5 items", st)
+	}
+	if st.DrainBatches != 1 || st.DrainItems != 1 {
+		t.Fatalf("drain tally %d batches / %d items, want 1/1: %+v",
+			st.DrainBatches, st.DrainItems, st)
+	}
+	if got := float64(st.Items) / float64(st.Batches); got != 2.5 {
+		t.Fatalf("raw mean occupancy %v, want 2.5 (drain tail included)", got)
+	}
+	if steady := float64(st.Items-st.DrainItems) / float64(st.Batches-st.DrainBatches); steady != 4 {
+		t.Fatalf("steady occupancy %v, want 4 (drain tail excluded)", steady)
+	}
+}
+
 // waitPending spins until the scheduler holds n queued items (test
 // synchronization only; production code never polls).
 func waitPending(t *testing.T, s *Scheduler, n int) {
