@@ -76,6 +76,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *asyncOn && *deviceWorkers != 0 {
+		return fmt.Errorf("-workers has no effect with -async (the executor pool drives devices); use -async-executors")
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {

@@ -215,6 +215,19 @@ func TestSnapshotSmoke(t *testing.T) {
 // TestSnapshotSmokeAsync drives the event-driven pipeline through the CLI
 // (-async composes with -sched, churn and key rotation, but not -rollout,
 // so it gets its own smoke) and round-trips the snapshot's async block.
+// TestAsyncWorkersFlagRejected: -workers sizes the goroutine-per-device
+// pool, which -async replaces with the executor table, so the combination
+// is refused up front instead of silently ignoring one flag.
+func TestAsyncWorkersFlagRejected(t *testing.T) {
+	err := run([]string{"-devices", "4", "-async", "-workers", "8"})
+	if err == nil {
+		t.Fatal("-async with -workers was accepted (the flag has no effect there)")
+	}
+	if !strings.Contains(err.Error(), "-async-executors") {
+		t.Fatalf("rejection does not point at -async-executors: %v", err)
+	}
+}
+
 func TestSnapshotSmokeAsync(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "snap.json")
 	err := run([]string{

@@ -173,10 +173,27 @@ func (e *asyncEngine) nextTask() *devTask {
 			// wakeup cannot be lost.
 			e.mu.Unlock()
 			cut := e.r.sched.scheduler.NotifyIdle()
+			pending := e.r.sched.scheduler.Pending() > 0
 			e.mu.Lock()
 			if len(e.ready) > 0 || e.active == 0 || cut {
 				continue
 			}
+			if pending {
+				// Entries are queued but could not be cut: a flush is in
+				// flight or its completions are still being delivered. A
+				// "full" flush cut mid-interleave can carry only partial
+				// groups (e.g. A0,B0,A1,B1 with A2,B2 left queued), whose
+				// callbacks drain no task — so no broadcast is guaranteed
+				// to follow. Sleeping here could be forever; keep
+				// re-probing until the leftovers are cut or a callback
+				// lands. The spin is bounded by the in-flight flush.
+				e.mu.Unlock()
+				runtime.Gosched()
+				e.mu.Lock()
+				continue
+			}
+			// Pending was zero: every outstanding entry rides an in-flight
+			// flush, so some task is guaranteed to drain and broadcast.
 		}
 		e.cond.Wait()
 	}
@@ -306,13 +323,17 @@ func (e *asyncEngine) captureOrFinish(t *devTask) {
 }
 
 // release drops k completion holds from a parked task and re-enqueues it
-// when the count drains. Called with the engine mutex held.
+// when the count drains. Called with the engine mutex held. It broadcasts
+// on every call, not only when a task drains: a flush completion that
+// delivers only partial groups readies no task, but sleeping executors
+// must still wake to re-probe NotifyIdle for the leftover entries the cut
+// stranded below the batch size.
 func (e *asyncEngine) release(t *devTask, k int) {
 	t.remaining -= k
 	if t.remaining == 0 {
 		e.ready = append(e.ready, t)
-		e.cond.Broadcast()
 	}
+	e.cond.Broadcast()
 }
 
 // finish retires a task: settle its accounting, record the first error,

@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -242,6 +243,190 @@ func TestAsyncSchedOccupancy(t *testing.T) {
 	}
 	if res.Async.PeakLive > 500 {
 		t.Fatalf("peak live pipelines %d at 1000 devices — the table is not bounding memory", res.Async.PeakLive)
+	}
+}
+
+// TestAsyncEngineWakeOnPartialGroupFlush is the deterministic lost-wakeup
+// regression, reproducing the reviewer scenario exactly at the engine
+// level: devices A and B interleave single-item submissions, the full
+// flush cuts A0,B0,A1,B1 leaving A2,B2 queued, and both executors probe
+// NotifyIdle while that flush is in flight (false) and go to sleep. The
+// flush's four callbacks drain neither task, so under the old wake
+// protocol — broadcast only when a group's count drained — no wakeup ever
+// followed, the A2,B2 leftovers sat below the batch size forever, and
+// run() hung. The fixed protocol broadcasts on every release and refuses
+// to sleep while the scheduler still holds queued entries, so both tasks
+// must resume.
+func TestAsyncEngineWakeOnPartialGroupFlush(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	first := true
+	s, err := sched.New(sched.Config{Batch: 4, MaxAge: 1 << 40, Workers: 1},
+		func(version uint64, items [][]int) ([]bool, tz.Cycles, error) {
+			if first { // pin the first flush in flight until the test releases it
+				first = false
+				close(started)
+				<-gate
+			}
+			return make([]bool, len(items)), tz.Cycles(100 * len(items)), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &asyncEngine{r: &runner{sched: &schedControl{scheduler: s}}, execs: 2, active: 2}
+	e.cond = sync.NewCond(&e.mu)
+
+	// Two parked tasks, each a group of three single-item submissions:
+	// remaining = 3 callbacks + 1 submitter hold, as captureOrFinish sets.
+	mk := func() *devTask {
+		return &devTask{flags: make([]bool, 3), occs: make([]int, 3),
+			waits: make([]tz.Cycles, 3), remaining: 4}
+	}
+	A, B := mk(), mk()
+	submit := func(id string, dt *devTask, j int) {
+		t.Helper()
+		err := s.SubmitAsync(sched.Request{DeviceID: id, Items: [][]int{{j}}},
+			func(resp sched.Response, err error) {
+				e.mu.Lock()
+				if err != nil {
+					dt.failed = err
+				} else {
+					dt.flags[j] = resp.Flagged[0]
+					dt.occs[j] = resp.Occupancy
+					dt.waits[j] = resp.Wait
+				}
+				e.release(dt, 1)
+				e.mu.Unlock()
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The mid-interleave cut: the fourth submission fills the batch, so
+	// the flush carries A0,B0,A1,B1 and blocks inside the classifier.
+	submit("A", A, 0)
+	submit("B", B, 0)
+	submit("A", A, 1)
+	submit("B", B, 1)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("full flush never started executing")
+	}
+	submit("A", A, 2) // the stranded leftovers: 2 items, below the batch of 4
+	submit("B", B, 2)
+	e.mu.Lock()
+	e.release(A, 1) // submitter holds, as captureOrFinish's tail drops them
+	e.release(B, 1)
+	e.mu.Unlock()
+
+	// Both executors run the production scheduling loop: with no ready
+	// task and no admissions they probe NotifyIdle (false — the flush is
+	// in flight) and park in cond.Wait.
+	resumed := make(chan *devTask, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			for {
+				dt := e.nextTask()
+				if dt == nil {
+					return
+				}
+				resumed <- dt
+				e.finish(dt, nil)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let both executors park behind the flush
+	close(gate)                       // flush completes; its callbacks drain neither task
+
+	for i := 0; i < 2; i++ {
+		select {
+		case dt := <-resumed:
+			if dt != A && dt != B {
+				t.Fatal("unknown task resumed")
+			}
+			if dt.failed != nil {
+				t.Fatalf("task resumed with error: %v", dt.failed)
+			}
+			if dt.remaining != 0 {
+				t.Fatalf("task resumed with %d holds outstanding", dt.remaining)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("executors slept through the partial-group flush: A2,B2 stranded (lost wakeup)")
+		}
+	}
+	s.Drain()
+	if st := s.Stats(); st.Items != 6 || st.Flushes[sched.ReasonIdle] == 0 {
+		t.Fatalf("expected all 6 items classified with an idle rescue cut: %+v", st)
+	}
+}
+
+// TestAsyncPartialGroupCutLiveness is the lost-wakeup regression: with a
+// scheduler batch (4) that does not divide the per-device group size (3),
+// "full" flushes routinely cut mid-interleave — e.g. A0,B0,A1,B1 with
+// A2,B2 left queued — delivering callbacks that drain no task. Under the
+// old wake protocol (broadcast only when a group's count drained) every
+// executor could probe NotifyIdle while that flush was still in flight,
+// find nothing to cut, and sleep with no wakeup ever coming: the leftover
+// entries sat below the batch size, the scheduler clock was frozen, and
+// run() hung forever. The async run must terminate and stay bit-identical
+// to the synchronous path.
+func TestAsyncPartialGroupCutLiveness(t *testing.T) {
+	for seed := uint64(0); seed < 24; seed++ {
+		// An all-secure-filter population whose admissions exhaust
+		// immediately, so the executors race to interleave their groups'
+		// single-item submissions and then have nothing left but the
+		// NotifyIdle probe; Workers:1 keeps exactly one flush in flight
+		// for them to sleep behind, and the effectively infinite deadline
+		// means only an idle cut can ever rescue stranded leftovers.
+		cfg := Config{
+			Devices:          4,
+			DoorbellFraction: -1,          // speakers only
+			Mix:              [3]int{0, 0, 1}, // every device secure-filter
+			Shards:           1,
+			Utterances:       3, // one parked group of 3 per device
+			Frames:           1,
+			Batch:            3,
+			Sched:            &SchedSpec{Batch: 4, MaxAge: 1 << 40, Workers: 1},
+			Seed:             7000 + seed,
+		}
+		plain, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d sync: %v", cfg.Seed, err)
+		}
+		acfg := cfg
+		acfg.Async = &AsyncSpec{Executors: 2}
+		type outcome struct {
+			res *Result
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := Run(acfg)
+			ch <- outcome{res, err}
+		}()
+		var async *Result
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				t.Fatalf("seed %d async: %v", cfg.Seed, o.err)
+			}
+			async = o.res
+		case <-time.After(60 * time.Second):
+			t.Fatalf("seed %d: async run deadlocked — executors slept through a partial-group flush completion", cfg.Seed)
+		}
+		if async.LostFrames() != 0 {
+			t.Fatalf("seed %d: async run lost %d frames", cfg.Seed, async.LostFrames())
+		}
+		if len(async.DeviceResults) != len(plain.DeviceResults) {
+			t.Fatalf("seed %d: population diverged: %d vs %d devices",
+				cfg.Seed, len(async.DeviceResults), len(plain.DeviceResults))
+		}
+		for i := range plain.DeviceResults {
+			if got, want := fingerprint(async.DeviceResults[i]), fingerprint(plain.DeviceResults[i]); got != want {
+				t.Fatalf("seed %d device %d diverged:\n async: %s\n  sync: %s", cfg.Seed, i, got, want)
+			}
+		}
 	}
 }
 

@@ -68,7 +68,10 @@ type Config struct {
 	HashReplicas int
 
 	// DeviceWorkers bounds concurrently running device pipelines;
-	// default GOMAXPROCS.
+	// default GOMAXPROCS. Ignored when Async is set: the event-driven
+	// engine's concurrency is bounded by Async.Executors instead (the
+	// periguard-fleet CLI rejects -workers combined with -async so the
+	// precedence cannot pass silently).
 	DeviceWorkers int
 	// Batch is the TA batch size for secure speakers (1 disables
 	// batching); default 4, capped at core.MaxBatch. When the cap

@@ -170,10 +170,11 @@ type Scheduler struct {
 	clock     tz.Cycles  // scheduler virtual clock: max over submit stamps
 	queues    map[uint64]*queue
 	jobs      []*flushJob
-	producers int // registered, not yet done
-	blocked   int // producers currently waiting in Classify
-	inflight  int // flush jobs queued or executing
-	closed    bool
+	producers  int // registered, not yet done
+	blocked    int // producers currently waiting in Classify
+	inflight   int // flush jobs queued or executing
+	delivering int // executed flushes whose completions are being delivered
+	closed     bool
 
 	flushes        map[string]uint64
 	itemsByVersion map[uint64]uint64
@@ -326,12 +327,15 @@ func (s *Scheduler) SubmitAsync(req Request, cb func(Response, error)) error {
 // in flight and entries are queued, the scheduler advances its clock to
 // the oldest queue's deadline and cuts it (reason "idle"), returning
 // true. Returns false when there was nothing to cut — closed, a flush
-// already in flight (its completion will re-evaluate the queues), or no
-// queued entries.
+// already in flight (its completion will re-evaluate the queues),
+// completions still being delivered (the continuations they fire may
+// submit the work that fills a batch, so cutting now would be premature
+// and would advance the clock on a false idle premise), or no queued
+// entries.
 func (s *Scheduler) NotifyIdle() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || s.inflight > 0 {
+	if s.closed || s.inflight > 0 || s.delivering > 0 {
 		return false
 	}
 	maxAge, pressured := s.effectiveMaxAge()
@@ -452,12 +456,14 @@ func (s *Scheduler) maybeFlush() {
 		if cutAny {
 			continue
 		}
-		// Idle rule: every registered producer is blocked waiting and no
-		// flush is in flight, so nothing can arrive to fill a batch —
-		// model the oldest queue's deadline timer firing. This is what
-		// makes the scheduler deadlock-free under a bounded worker pool
-		// and bounds a lone device's wait at max age.
-		if s.blocked < s.producers || s.producers == 0 || s.inflight > 0 {
+		// Idle rule: every registered producer is blocked waiting, no
+		// flush is in flight and no completions are pending delivery (a
+		// producer being woken right now is about to unblock and may
+		// resubmit), so nothing can arrive to fill a batch — model the
+		// oldest queue's deadline timer firing. This is what makes the
+		// scheduler deadlock-free under a bounded worker pool and bounds
+		// a lone device's wait at max age.
+		if s.blocked < s.producers || s.producers == 0 || s.inflight > 0 || s.delivering > 0 {
 			return
 		}
 		var oldestQ *queue
@@ -533,8 +539,12 @@ func (s *Scheduler) worker() {
 
 		s.mu.Lock()
 		s.inflight--
-		// Completion may satisfy the idle rule for the remaining queues,
-		// and Drain waits on this broadcast for the in-flight tail.
+		// The delivering count keeps the idle rule honest between the
+		// slot release and the completions below: an idle probe in that
+		// window would see inflight==0 while continuations that may
+		// immediately resubmit are still pending, and cut a spurious
+		// "idle" flush on a false premise.
+		s.delivering++
 		s.maybeFlush()
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -547,6 +557,15 @@ func (s *Scheduler) worker() {
 		for _, e := range job.entries {
 			e.complete()
 		}
+
+		s.mu.Lock()
+		s.delivering--
+		// Re-evaluate the idle rule the delivering count suppressed: if
+		// every producer is still blocked (nobody the completions woke
+		// resubmitted), the deferred idle cut fires now.
+		s.maybeFlush()
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
 }
 

@@ -529,6 +529,86 @@ func TestDrainStatsSeparated(t *testing.T) {
 	}
 }
 
+// TestNotifyIdleDefersToPendingDelivery is the idle-probe regression: an
+// executor pool probing between a flush's inflight release and its
+// completion delivery must not cut queued entries as "idle" — the
+// continuations being delivered may submit the work that fills the
+// batch, so the premature cut would advance the virtual clock and record
+// a spurious idle flush. NotifyIdle returns false while completions are
+// pending and the deferred cut fires once delivery has finished.
+func TestNotifyIdleDefersToPendingDelivery(t *testing.T) {
+	x := &testExec{}
+	s, err := New(Config{Batch: 2, MaxAge: 50_000, Workers: 1}, x.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan int, 3)
+	// A full flush of two whose first completion parks mid-delivery,
+	// pinning the lone worker inside the delivery loop.
+	if err := s.SubmitAsync(Request{DeviceID: "a", Version: 1, Items: [][]int{item(2)}},
+		func(Response, error) {
+			close(entered)
+			<-gate
+			done <- 1
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitAsync(Request{DeviceID: "b", Version: 1, Items: [][]int{item(4)}},
+		func(Response, error) { done <- 2 }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered: // the worker has released the inflight slot and is delivering
+	case <-time.After(5 * time.Second):
+		t.Fatal("full flush never started delivering")
+	}
+	if err := s.SubmitAsync(Request{DeviceID: "c", Version: 1, Items: [][]int{item(6)}},
+		func(Response, error) { done <- 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if s.NotifyIdle() {
+		t.Fatal("NotifyIdle cut while the full flush's completions were still being delivered")
+	}
+	if st := s.Stats(); st.Flushes[ReasonIdle] != 0 {
+		t.Fatalf("spurious idle flush during delivery: %+v", st.Flushes)
+	}
+	close(gate)
+	for _, want := range []int{1, 2} {
+		select {
+		case got := <-done:
+			if got != want {
+				t.Fatalf("completion %d delivered, want %d", got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("full-flush completions missing")
+		}
+	}
+	// The callbacks have run; once the worker retires its delivering
+	// count the deferred idle cut is allowed through.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.NotifyIdle() {
+		if time.Now().After(deadline) {
+			t.Fatal("NotifyIdle never cut the starved queue after delivery finished")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	select {
+	case got := <-done:
+		if got != 3 {
+			t.Fatalf("idle cut delivered completion %d, want 3", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle cut never delivered the queued entry")
+	}
+	st := s.Stats()
+	if st.Flushes[ReasonFull] != 1 || st.Flushes[ReasonIdle] != 1 {
+		t.Fatalf("flush tally %+v, want one full and one idle", st.Flushes)
+	}
+	s.Drain()
+}
+
 // waitPending spins until the scheduler holds n queued items (test
 // synchronization only; production code never polls).
 func waitPending(t *testing.T, s *Scheduler, n int) {
