@@ -476,6 +476,44 @@ func BenchmarkFleetAsync(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetHybridHE prices the hybrid HE+TEE split at fleet scale:
+// the 64-device fleet with every registered mode weighted equally, so a
+// quarter of the speaker cycle (and the doorbell cycle's third slot)
+// runs its first classifier layer homomorphically at the provider. The
+// wall-clock items/s joins the benchgate regression families; the run
+// fails if the handoff loses a frame.
+func BenchmarkFleetHybridHE(b *testing.B) {
+	mix := fleet.MixSpec{}
+	for _, m := range core.Modes() {
+		mix[m] = 1
+	}
+	b.Run("mix=all-modes", func(b *testing.B) {
+		var last *fleet.Result
+		for i := 0; i < b.N; i++ {
+			res, err := fleet.Run(fleet.Config{
+				Devices:    64,
+				Shards:     8,
+				Utterances: 2,
+				Frames:     2,
+				Seed:       experiments.DefaultSeed,
+				Mix:        mix,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.LostFrames() != 0 {
+				b.Fatalf("lost %d frames", res.LostFrames())
+			}
+			if g := res.Groups[fleet.GroupKey{Kind: core.DeviceSpeaker, Mode: core.ModeHybridHE}]; g == nil || g.Devices == 0 {
+				b.Fatal("no hybrid-he speakers in the mixed fleet")
+			}
+			last = res
+		}
+		b.ReportMetric(last.Throughput(), "items/s")
+		b.ReportMetric(last.Latency.Percentile(99)/1e3, "virtual-us-p99/item")
+	})
+}
+
 // BenchmarkE12ElasticFleet wraps the full elastic-churn experiment
 // (static-vs-churned invariant check included).
 func BenchmarkE12ElasticFleet(b *testing.B) {

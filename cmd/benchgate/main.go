@@ -7,7 +7,7 @@
 // same worker-bound fleet pipeline, so they track each other across
 // code changes on the same runner class.
 //
-//	go test -run '^$' -bench 'BenchmarkFleetThroughput$|BenchmarkFleetChurn$|BenchmarkFleetScheduled$' -benchtime 3x . | tee bench.txt
+//	go test -run '^$' -bench 'BenchmarkFleetThroughput$|BenchmarkFleetChurn$|BenchmarkFleetScheduled$|BenchmarkFleetHybridHE$' -benchtime 3x . | tee bench.txt
 //	go run ./cmd/benchgate -bench bench.txt -baseline BENCH_fleet.json -max-regress 0.25
 //
 // The family *best* is gated, not every point: sub-benchmarks span
@@ -84,7 +84,7 @@ func run(args []string) error {
 
 // families are the gated benchmark name prefixes (everything before the
 // first '/').
-var families = []string{"BenchmarkFleetThroughput", "BenchmarkFleetChurn", "BenchmarkFleetScheduled"}
+var families = []string{"BenchmarkFleetThroughput", "BenchmarkFleetChurn", "BenchmarkFleetScheduled", "BenchmarkFleetHybridHE"}
 
 // familyResult is one gated family's verdict.
 type familyResult struct {

@@ -16,6 +16,7 @@ BenchmarkFleetChurn/churn=0%                     3  121848393 ns/op   1056 items
 BenchmarkFleetChurn/churn=30%                    3  146768288 ns/op   934.0 items/s   12.00 priority-frames
 BenchmarkFleetScheduled/sched=off                3  130105906 ns/op   1095 items/s    2366 virtual-us-p99/item
 BenchmarkFleetScheduled/sched=on                 3  110105906 ns/op   4.000 items/flush   1290 items/s   2638 virtual-us-p99/item
+BenchmarkFleetHybridHE/mix=all-modes             3  146409797 ns/op   976.0 items/s   62364 virtual-us-p99/item
 BenchmarkSubstrateSMC-16                  1000000  100 ns/op
 PASS
 `
@@ -30,6 +31,9 @@ func TestParseItemsPerSecKeepsFamilyBest(t *testing.T) {
 	}
 	if got := best["BenchmarkFleetScheduled"]; got != 1290 {
 		t.Fatalf("scheduled best = %v, want 1290 (the items/s metric, not items/flush)", got)
+	}
+	if got := best["BenchmarkFleetHybridHE"]; got != 976 {
+		t.Fatalf("hybrid-he best = %v, want 976", got)
 	}
 	if _, ok := best["BenchmarkSubstrateSMC-16"]; ok {
 		t.Fatal("picked up an items/s value from a benchmark that reports none")
@@ -78,8 +82,9 @@ func TestRunAgainstCommittedBaseline(t *testing.T) {
 	lines := fmt.Sprintf(
 		"BenchmarkFleetThroughput/devices=64/shards=8 3 1 ns/op %.1f items/s\n"+
 			"BenchmarkFleetChurn/churn=0%% 3 1 ns/op %.1f items/s\n"+
-			"BenchmarkFleetScheduled/sched=on 3 1 ns/op %.1f items/s\n",
-		base*0.9, base*0.9, base*0.9)
+			"BenchmarkFleetScheduled/sched=on 3 1 ns/op %.1f items/s\n"+
+			"BenchmarkFleetHybridHE/mix=all-modes 3 1 ns/op %.1f items/s\n",
+		base*0.9, base*0.9, base*0.9, base*0.9)
 	bench := filepath.Join(t.TempDir(), "bench.txt")
 	if err := os.WriteFile(bench, []byte(lines), 0o644); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,6 @@
 // Command periguard-bench regenerates every table and figure of the
 // evaluation (DESIGN.md §5 / EXPERIMENTS.md): run it with no arguments for
-// the full suite, or name experiments (e1 e2 ... e17) to run a subset.
+// the full suite, or name experiments (e1 e2 ... e18) to run a subset.
 package main
 
 import (
@@ -183,6 +183,14 @@ func run(args []string) error {
 		}},
 		{"e17", func() error {
 			tbl, _, err := experiments.E17AsyncPipeline(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tbl)
+			return nil
+		}},
+		{"e18", func() error {
+			tbl, _, err := experiments.E18HybridHE(*seed)
 			if err != nil {
 				return err
 			}

@@ -43,6 +43,7 @@ func run(args []string) error {
 	utterances := fs.Int("utterances", 4, "utterances per speaker")
 	frames := fs.Int("frames", 6, "frames per doorbell")
 	doorbells := fs.Float64("doorbells", 0.25, "doorbell fraction of the population (0 = none)")
+	mixFlag := fs.String("mix", "", "speaker mode mix as mode=weight pairs, e.g. baseline=1,secure-filter=2,hybrid-he=1 (empty = 1:1:1 over baseline, secure-nofilter, secure-filter)")
 	seed := fs.Uint64("seed", 1, "root seed (devices, workloads and model derive from it)")
 	attestOn := fs.Bool("attest", false, "require attested handshakes before ingest")
 	rollout := fs.Bool("rollout", false, "stage an online model rollout during the run (implies -attest)")
@@ -95,7 +96,12 @@ func run(args []string) error {
 	if doorbellFrac == 0 {
 		doorbellFrac = -1 // flag 0 means "none", not "library default"
 	}
+	mix, err := fleet.ParseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
 	cfg := fleet.Config{
+		Mix:              mix,
 		Devices:          *devices,
 		Shards:           *shards,
 		ShardWorkers:     *shardWorkers,
@@ -312,20 +318,23 @@ type snapshot struct {
 	// Batch is the TA batch size the invocation asked for;
 	// EffectiveBatch is what the enclave actually ran (clamped at
 	// core.MaxBatch). Equal unless the request exceeded the cap.
-	Batch          int                `json:"batch"`
-	EffectiveBatch int                `json:"effective_batch"`
-	Seed           uint64             `json:"seed"`
-	BuildWallMs    float64            `json:"build_wall_ms"`
-	RunWallMs      float64            `json:"run_wall_ms"`
-	ItemsPerSec    float64            `json:"items_per_sec"`
-	TotalItems     int                `json:"total_items"`
-	CloudEvents    uint64             `json:"cloud_events"`
-	LostFrames     int                `json:"lost_frames"`
-	SensTokens     int                `json:"sensitive_tokens"`
-	LatencyP50Vms  float64            `json:"latency_p50_vms"`
-	LatencyP99Vms  float64            `json:"latency_p99_vms"`
-	Groups         map[string]groupJS `json:"groups"`
-	ShardStats     []shardJS          `json:"shard_stats"`
+	Batch          int    `json:"batch"`
+	EffectiveBatch int    `json:"effective_batch"`
+	Seed           uint64 `json:"seed"`
+	// Mix is the effective speaker mode mix, keyed by mode name (the
+	// defaults-filled spec, so a default run records the 1:1:1 split).
+	Mix           map[string]int     `json:"mix"`
+	BuildWallMs   float64            `json:"build_wall_ms"`
+	RunWallMs     float64            `json:"run_wall_ms"`
+	ItemsPerSec   float64            `json:"items_per_sec"`
+	TotalItems    int                `json:"total_items"`
+	CloudEvents   uint64             `json:"cloud_events"`
+	LostFrames    int                `json:"lost_frames"`
+	SensTokens    int                `json:"sensitive_tokens"`
+	LatencyP50Vms float64            `json:"latency_p50_vms"`
+	LatencyP99Vms float64            `json:"latency_p99_vms"`
+	Groups        map[string]groupJS `json:"groups"`
+	ShardStats    []shardJS          `json:"shard_stats"`
 
 	// Admission/elasticity accounting (admission_policy always present;
 	// the counters are omitted when zero, churn/rebalance when inactive).
@@ -653,6 +662,7 @@ func writeSnapshot(path string, res *fleet.Result) error {
 		Batch:              res.RequestedBatch,
 		EffectiveBatch:     res.EffectiveBatch,
 		Seed:               res.Config.Seed,
+		Mix:                res.Config.Mix.Named(),
 		BuildWallMs:        float64(res.BuildWall.Microseconds()) / 1e3,
 		RunWallMs:          float64(res.RunWall.Microseconds()) / 1e3,
 		ItemsPerSec:        res.Throughput(),

@@ -212,6 +212,53 @@ func TestSnapshotSmoke(t *testing.T) {
 	}
 }
 
+// TestSnapshotSmokeMix drives a named -mix run that weights every
+// registered mode — including hybrid-he — through the CLI, and checks
+// the snapshot's mode-name-keyed mix block records the effective spec.
+func TestSnapshotSmokeMix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	err := run([]string{
+		"-devices", "12", "-shards", "2", "-utterances", "2", "-frames", "2",
+		"-mix", "baseline=1,secure-nofilter=1,secure-filter=2,hybrid-he=1",
+		"-json", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var snap snapshot
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("snapshot does not match its schema: %v", err)
+	}
+	want := map[string]int{"baseline": 1, "secure-nofilter": 1, "secure-filter": 2, "hybrid-he": 1}
+	if !reflect.DeepEqual(snap.Mix, want) {
+		t.Fatalf("mix block %v, want %v", snap.Mix, want)
+	}
+	if snap.LostFrames != 0 {
+		t.Fatalf("lost %d frames", snap.LostFrames)
+	}
+	if snap.CloudEvents == 0 {
+		t.Fatal("hybrid-weighted fleet ingested nothing")
+	}
+}
+
+// TestMixFlagUnknownMode: a bad -mix surfaces the registered-mode
+// listing instead of a bare parse failure.
+func TestMixFlagUnknownMode(t *testing.T) {
+	err := run([]string{"-devices", "4", "-mix", "baseline=1,he-only=2"})
+	if err == nil {
+		t.Fatal("unknown mix mode was accepted")
+	}
+	if !strings.Contains(err.Error(), "hybrid-he") || !strings.Contains(err.Error(), "secure-filter") {
+		t.Fatalf("error does not list registered modes: %v", err)
+	}
+}
+
 // TestSnapshotSmokeAsync drives the event-driven pipeline through the CLI
 // (-async composes with -sched, churn and key rotation, but not -rollout,
 // so it gets its own smoke) and round-trips the snapshot's async block.

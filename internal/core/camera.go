@@ -16,10 +16,12 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/cloud"
+	"repro/internal/he"
 	"repro/internal/kernel"
 	"repro/internal/memory"
 	"repro/internal/metrics"
 	"repro/internal/ml/classify"
+	"repro/internal/ml/layers"
 	"repro/internal/ml/train"
 	"repro/internal/obs"
 	"repro/internal/optee"
@@ -47,11 +49,20 @@ const (
 	CmdCameraAttest      uint32 = 0x32
 	CmdCameraUpdateModel uint32 = 0x33
 	CmdCameraRotateKey   uint32 = 0x34
+	// CmdCameraFinishHE (TA, ModeHybridHE): complete one frame whose first
+	// conv layer the provider evaluated homomorphically. params[0] is the
+	// provider's result ciphertext (MemrefIn), params[1] the raw frame the
+	// normal world captured (MemrefIn, relayed sealed if the TA's tail
+	// clears it); params[2].A returns 1 if forwarded.
+	CmdCameraFinishHE uint32 = 0x35
 
 	cameraFrameSide  = 24
 	cameraFrameBytes = cameraFrameSide * cameraFrameSide
 	// cameraWeightsID is the secure-storage object of the image model.
 	cameraWeightsID = "camera-ta/classifier-weights"
+	// cameraHESecretKeyID is the sealed HE secret key (ModeHybridHE); the
+	// camera twin of the voice TA's heSecretKeyID.
+	cameraHESecretKeyID = "camera-ta/he-secret-key"
 	// cameraKeyEpochID is the sealed key-epoch record; see the voice TA's
 	// keyEpochObjectID.
 	cameraKeyEpochID = "camera-ta/key-epoch"
@@ -245,6 +256,12 @@ type CameraTA struct {
 	processed    []ProcessedFrame
 	messageID    uint64
 
+	// Hybrid HE+TEE split (ModeHybridHE): hybrid gates CmdCameraFinishHE
+	// and heParams parameterizes the in-TA evaluator that decrypts the
+	// provider's handoff under the sealed secret key.
+	hybrid   bool
+	heParams he.Params
+
 	// Per-TA frame scratch: invocations are serialized per device, so
 	// the grab buffer and feature vector are reused across frames.
 	frameBuf  []byte
@@ -272,6 +289,16 @@ func NewCameraTA(tee *optee.OS, storage *optee.Storage, id *relay.Identity, clou
 
 // UUID implements optee.TA.
 func (t *CameraTA) UUID() string { return UUIDCameraTA }
+
+// EnableHybridHE arms the HE→TEE handoff (ModeHybridHE): the TA will
+// accept CmdCameraFinishHE and decrypt provider results under the
+// sealed secret key using this parameter set.
+func (t *CameraTA) EnableHybridHE(p he.Params) {
+	t.mu.Lock()
+	t.hybrid = true
+	t.heParams = p
+	t.mu.Unlock()
+}
 
 // ModelVersion returns the version of the model pack the TA holds.
 func (t *CameraTA) ModelVersion() uint64 {
@@ -439,6 +466,22 @@ func (t *CameraTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) er
 			params[0].A = 1
 		}
 		return nil
+	case CmdCameraFinishHE:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 {
+			return fmt.Errorf("%w: CmdCameraFinishHE needs a MemrefIn ciphertext", optee.ErrBadParam)
+		}
+		if params[1].Type != optee.MemrefIn || len(params[1].Buf) != cameraFrameBytes {
+			return fmt.Errorf("%w: CmdCameraFinishHE needs a %d-byte MemrefIn frame", optee.ErrBadParam, cameraFrameBytes)
+		}
+		rec, err := t.finishFrameHE(params[0].Buf, params[1].Buf)
+		if err != nil {
+			return err
+		}
+		params[2].Type = optee.ValueOut
+		if rec.Forwarded {
+			params[2].A = 1
+		}
+		return nil
 	case CmdCameraAttest:
 		if params[0].Type != optee.MemrefIn || len(params[0].Buf) != len(attest.Nonce{}) {
 			return fmt.Errorf("%w: CmdCameraAttest needs a %d-byte MemrefIn nonce", optee.ErrBadParam, len(attest.Nonce{}))
@@ -525,42 +568,9 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 	relayStart := t.clock.Now()
 
 	if !rec.Flagged {
-		t.mu.Lock()
-		t.messageID++
-		mid := t.messageID
-		t.mu.Unlock()
-		payload, err := relay.EncodeEvent(relay.Event{
-			Namespace: relay.NamespaceSpeech, // same AVS-style envelope
-			Name:      NameFrame,
-			MessageID: mid,
-			Audio:     buf,
-		})
-		if err != nil {
+		if err := t.relayBenign(buf, &rec); err != nil {
 			return rec, false, err
 		}
-		sealed := t.channel.Seal(payload)
-		rec.SealedSize = len(sealed)
-		resp, err := t.tee.RPC(optee.RPCRequest{
-			Kind: optee.RPCNetSend, Target: CloudTarget, Payload: sealed,
-		})
-		switch {
-		case err == nil:
-			if _, err := t.channel.Open(resp.Payload); err != nil {
-				return rec, false, fmt.Errorf("camera ta directive: %w", err)
-			}
-		case errors.Is(err, cloud.ErrShed):
-			// Frontend shed the frame under pressure: emitted, accounted,
-			// dropped — not a fault. (Doorbell events ride the priority
-			// lane in the fleet, so this is the direct-ingest path only.)
-			rec.Shed = true
-		case errors.Is(err, cloud.ErrExpired):
-			// The uplink retry budget ran out: emitted, retried, given up
-			// explicitly. An accounting outcome, never a silent loss.
-			rec.Expired = true
-		default:
-			return rec, false, fmt.Errorf("camera ta relay: %w", err)
-		}
-		rec.Forwarded = true
 	}
 	rec.Relay = t.clock.Now() - relayStart
 	rec.Cycles = t.clock.Now() - start
@@ -568,6 +578,115 @@ func (t *CameraTA) processFrame() (ProcessedFrame, bool, error) {
 	t.processed = append(t.processed, rec)
 	t.mu.Unlock()
 	return rec, true, nil
+}
+
+// relayBenign seals a benign frame and sends it through the supplicant,
+// recording shed/expired admission outcomes; shared by the inline path
+// (CmdProcessFrame) and the hybrid handoff (CmdCameraFinishHE).
+func (t *CameraTA) relayBenign(buf []byte, rec *ProcessedFrame) error {
+	t.mu.Lock()
+	t.messageID++
+	mid := t.messageID
+	t.mu.Unlock()
+	payload, err := relay.EncodeEvent(relay.Event{
+		Namespace: relay.NamespaceSpeech, // same AVS-style envelope
+		Name:      NameFrame,
+		MessageID: mid,
+		Audio:     buf,
+	})
+	if err != nil {
+		return err
+	}
+	sealed := t.channel.Seal(payload)
+	rec.SealedSize = len(sealed)
+	resp, err := t.tee.RPC(optee.RPCRequest{
+		Kind: optee.RPCNetSend, Target: CloudTarget, Payload: sealed,
+	})
+	switch {
+	case err == nil:
+		if _, err := t.channel.Open(resp.Payload); err != nil {
+			return fmt.Errorf("camera ta directive: %w", err)
+		}
+	case errors.Is(err, cloud.ErrShed):
+		// Frontend shed the frame under pressure: emitted, accounted,
+		// dropped — not a fault. (Doorbell events ride the priority
+		// lane in the fleet, so this is the direct-ingest path only.)
+		rec.Shed = true
+	case errors.Is(err, cloud.ErrExpired):
+		// The uplink retry budget ran out: emitted, retried, given up
+		// explicitly. An accounting outcome, never a silent loss.
+		rec.Expired = true
+	default:
+		return fmt.Errorf("camera ta relay: %w", err)
+	}
+	rec.Forwarded = true
+	return nil
+}
+
+// finishFrameHE completes one hybrid frame: decrypt the provider's
+// first-conv result under the sealed secret key, run the non-linear
+// tail inside the TEE, and relay the raw frame (sealed) only when the
+// verdict is benign — the camera's person-blocking inversion of the
+// speaker filter.
+func (t *CameraTA) finishFrameHE(ctBlob, frame []byte) (ProcessedFrame, error) {
+	var rec ProcessedFrame
+	t.mu.Lock()
+	hybrid, params := t.hybrid, t.heParams
+	t.mu.Unlock()
+	if !hybrid {
+		return rec, errors.New("camera ta: HE handoff outside hybrid mode")
+	}
+	start := t.clock.Now()
+	skBlob, err := t.storage.Get(cameraHESecretKeyID)
+	if err != nil {
+		return rec, fmt.Errorf("camera ta he key: %w", err)
+	}
+	sk, err := he.ParseSecretKey(skBlob)
+	if err != nil {
+		return rec, fmt.Errorf("camera ta he key: %w", err)
+	}
+	eval, err := he.NewEvaluator(params, t.clock, t.cost)
+	if err != nil {
+		return rec, fmt.Errorf("camera ta he eval: %w", err)
+	}
+	clf, err := t.loadedClassifier()
+	if err != nil {
+		return rec, err
+	}
+	split, err := classify.SplitImage(clf)
+	if err != nil {
+		return rec, fmt.Errorf("camera ta he split: %w", err)
+	}
+	ct, err := eval.Unmarshal(ctBlob)
+	if err != nil {
+		return rec, fmt.Errorf("camera ta he: %w", err)
+	}
+	data, shape, err := eval.Decrypt(sk, ct)
+	if err != nil {
+		return rec, fmt.Errorf("camera ta he: %w", err)
+	}
+	cls, err := split.TailPredict(data, shape)
+	if err != nil {
+		return rec, fmt.Errorf("camera ta he tail: %w", err)
+	}
+	// The tail forward runs at the inline path's 4 MACs/cycle; the
+	// decrypt was charged by the evaluator.
+	t.clock.Advance(tz.Cycles(2 * layers.ParamCount([]layers.Layer{split.Tail}) / 4))
+	rec.Flagged = cls == 1
+	rec.Classify = t.clock.Now() - start
+
+	relayStart := t.clock.Now()
+	if !rec.Flagged {
+		if err := t.relayBenign(frame, &rec); err != nil {
+			return rec, err
+		}
+	}
+	rec.Relay = t.clock.Now() - relayStart
+	rec.Cycles = t.clock.Now() - start
+	t.mu.Lock()
+	t.processed = append(t.processed, rec)
+	t.mu.Unlock()
+	return rec, nil
 }
 
 // Processed returns the TA-side records.
@@ -580,7 +699,8 @@ func (t *CameraTA) Processed() []ProcessedFrame {
 // CameraConfig parameterizes a camera pipeline.
 type CameraConfig struct {
 	// Mode: ModeBaseline (frames straight to the cloud from normal-world
-	// memory) or ModeSecureFilter (the full in-TEE path). The
+	// memory), ModeSecureFilter (the full in-TEE path) or ModeHybridHE
+	// (first conv under HE at the provider, tail in the TEE). The
 	// no-filter middle deployment is meaningless for images — there is
 	// nothing to transcribe — so it is rejected.
 	Mode Mode
@@ -614,6 +734,13 @@ type CameraSystem struct {
 	TA         *CameraTA
 	Cloud      *cloud.Service
 
+	// Hybrid HE+TEE split (ModeHybridHE only; nil/zero otherwise); see
+	// the speaker System's twin fields.
+	HE      *cloud.HEService
+	HEPub   he.PublicKey
+	HEEval  *he.Evaluator
+	heSplit *classify.ImageSplit
+
 	// trace is the doorbell's sampled telemetry context (nil outside
 	// traced runs); see System.SetTrace.
 	trace *obs.TraceContext
@@ -628,9 +755,10 @@ type CameraSystem struct {
 // NewCameraSystem builds the camera pipeline.
 func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
 	switch cfg.Mode {
-	case ModeBaseline, ModeSecureFilter:
+	case ModeBaseline, ModeSecureFilter, ModeHybridHE:
 	default:
-		return nil, fmt.Errorf("%w: camera supports baseline and secure-filter, got %v", ErrBadMode, cfg.Mode)
+		return nil, fmt.Errorf("%w: camera supports %s, %s and %s, got %s",
+			ErrBadMode, ModeBaseline, ModeSecureFilter, ModeHybridHE, cfg.Mode)
 	}
 	if cfg.FreqHz == 0 {
 		cfg.FreqHz = 1_000_000_000
@@ -706,6 +834,44 @@ func NewCameraSystem(cfg CameraConfig) (*CameraSystem, error) {
 	}
 	sys.TA = ta
 	sys.TEE.RegisterTA(ta)
+
+	if cfg.Mode == ModeHybridHE {
+		// Hybrid capture lands in normal-world RAM (the features leave the
+		// device encrypted anyway), so the doorbell also needs the baseline
+		// frame buffer.
+		addr, err := plat.DMAHeap.Alloc(cameraFrameBytes)
+		if err != nil {
+			return nil, err
+		}
+		sys.frameBuf = addr
+
+		heParams := he.DefaultParams()
+		kp, err := he.KeyGen(heParams, cfg.ModelSeed)
+		if err != nil {
+			return nil, fmt.Errorf("camera he keygen: %w", err)
+		}
+		storage.Put(cameraHESecretKeyID, kp.Secret.Marshal())
+		sys.HEPub = kp.Public
+		if sys.HEEval, err = he.NewEvaluator(heParams, clock, cost); err != nil {
+			return nil, fmt.Errorf("camera he evaluator: %w", err)
+		}
+		providerEval, err := he.NewEvaluator(heParams, clock, cost)
+		if err != nil {
+			return nil, fmt.Errorf("camera he provider: %w", err)
+		}
+		sys.HE = cloud.NewHEService(providerEval)
+		split, err := classify.SplitImage(clf)
+		if err != nil {
+			return nil, fmt.Errorf("camera he split: %w", err)
+		}
+		sys.heSplit = split
+		ps := split.Conv.Params()
+		sys.HE.ProvisionImage(&he.Conv2D{
+			K: split.Conv.K, Cin: split.Conv.Cin, Cout: split.Conv.Cout,
+			W: ps[0].Value.Data, B: ps[1].Value.Data,
+		})
+		ta.EnableHybridHE(heParams)
+	}
 	return sys, nil
 }
 
@@ -844,12 +1010,19 @@ func (s *CameraSystem) RunSession(scenes []peripheral.Scene) (*CameraSessionResu
 		}
 	}
 
-	if s.cfg.Mode == ModeBaseline {
+	switch s.cfg.Mode {
+	case ModeBaseline:
 		if err := s.runBaseline(scenes, res); err != nil {
 			return nil, err
 		}
-	} else if err := s.runSecure(scenes, res); err != nil {
-		return nil, err
+	case ModeHybridHE:
+		if err := s.runHybrid(scenes, res); err != nil {
+			return nil, err
+		}
+	default:
+		if err := s.runSecure(scenes, res); err != nil {
+			return nil, err
+		}
 	}
 	res.Frames = len(scenes)
 	res.TotalCycles = s.Clock.Now() - startCycles
@@ -994,6 +1167,132 @@ func (s *CameraSystem) runSecure(scenes []peripheral.Scene, res *CameraSessionRe
 	}
 	// Audit the supplicant for raw pixel structure (sealed frames are
 	// ciphertext; plaintext frames would carry the bright-blob structure).
+	res.SupplicantPlainPx = false
+	return nil
+}
+
+// runHybrid is the ModeHybridHE frame loop: capture into normal-world
+// RAM (the compromised OS can snoop raw frames — hybrid trades that
+// local exposure for blinding the provider), normalize and encrypt the
+// pixels under the provider's HE key, let the provider evaluate the
+// first conv over the ciphertext, and finish in the TA — decrypt, tail,
+// and sealed relay of benign frames only.
+func (s *CameraSystem) runHybrid(scenes []peripheral.Scene, res *CameraSessionResult) error {
+	ctx := teec.InitializeContext(s.TEE)
+	sess, err := ctx.OpenSession(UUIDCameraTA)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ctx.FinalizeContext() }()
+
+	var truth []peripheral.Scene
+	before := len(s.TA.Processed())
+	traceStart := s.Clock.Now()
+	var grabs []tz.Cycles
+	frame := make([]byte, cameraFrameBytes)
+	feats := make([]float32, cameraFrameBytes)
+	for range scenes {
+		start := s.Clock.Now()
+		im, scene, ok := s.Camera.Capture()
+		if !ok {
+			break
+		}
+		// Sensor DMA into normal-world RAM, snooped like the baseline.
+		if err := s.Platform.Mem.WriteAt(tz.WorldNormal, s.frameBuf, im.Pix); err != nil {
+			return err
+		}
+		s.Clock.Advance(tz.Cycles(len(im.Pix)) * s.Cost.DMAPerByte)
+		got := s.Snooper.Capture(s.frameBuf, 64)
+		res.Snoop.Attempts++
+		if got.Blocked {
+			res.Snoop.Blocked++
+		} else {
+			res.Snoop.BytesRecovered += len(got.Got)
+		}
+		truth = append(truth, scene)
+		copy(frame, im.Pix)
+		for i, px := range frame {
+			feats[i] = float32(px) / 255
+		}
+		grabs = append(grabs, s.Clock.Now()-start)
+
+		ct, err := s.HEEval.Encrypt(s.HEPub, feats, []int{cameraFrameSide, cameraFrameSide, 1})
+		if err != nil {
+			return fmt.Errorf("camera hybrid encrypt: %w", err)
+		}
+		wire := ct.Marshal(s.HEEval.Params)
+		resBlob, err := s.HE.EvalImage(wire)
+		if err != nil {
+			return fmt.Errorf("camera hybrid eval: %w", err)
+		}
+		s.mu.Lock()
+		s.radioBytes += uint64(len(wire) + len(resBlob))
+		s.mu.Unlock()
+
+		p := &optee.Params{
+			{Type: optee.MemrefIn, Buf: resBlob},
+			{Type: optee.MemrefIn, Buf: frame},
+			{},
+		}
+		if err := sess.InvokeCommand(CmdCameraFinishHE, p); err != nil {
+			return err
+		}
+		res.Latency.Observe(float64(s.Clock.Now() - start))
+	}
+
+	records := s.TA.Processed()[before:]
+	if tc := s.trace; tc.Enabled() {
+		cursor := traceStart
+		for i, rec := range records {
+			tc.NextItem()
+			grab := rec.Grab
+			if i < len(grabs) {
+				grab = grabs[i]
+			}
+			tc.Emit(obs.StageCapture, obs.VerdictNone, cursor, grab, cameraFrameBytes, 0)
+			v := obs.VerdictNone
+			if !rec.Forwarded {
+				v = obs.VerdictBlocked
+			}
+			tc.Emit(obs.StageClassify, v, cursor+grab, rec.Classify, 0, 1)
+			if rec.Forwarded {
+				rv := obs.VerdictDelivered
+				if rec.Shed {
+					rv = obs.VerdictShed
+				}
+				if rec.Expired {
+					rv = obs.VerdictExpired
+				}
+				tc.Emit(obs.StageRelay, rv, cursor+grab+rec.Classify, rec.Relay, rec.SealedSize, 0)
+			}
+			cursor += grab + rec.Cycles
+		}
+	}
+	for i, rec := range records {
+		if i >= len(truth) {
+			break
+		}
+		if rec.Forwarded {
+			res.ForwardedFrames++
+			res.CloudFrames++
+			if rec.Shed {
+				res.ShedFrames++
+			}
+			if rec.Expired {
+				res.ExpiredFrames++
+			}
+			if truth[i].Sensitive() && !rec.Shed && !rec.Expired {
+				res.ForwardedPersons++
+			}
+		} else if !truth[i].Sensitive() {
+			res.BlockedEmpties++
+		}
+		if rec.Forwarded {
+			s.mu.Lock()
+			s.radioBytes += cameraFrameBytes
+			s.mu.Unlock()
+		}
+	}
 	res.SupplicantPlainPx = false
 	return nil
 }

@@ -3,7 +3,8 @@
 // relay → supplicant) → cloud, over the TrustZone/OP-TEE substrate, plus
 // the insecure baseline deployment used for comparison.
 //
-// Three deployment modes reproduce the paper's design space:
+// Four deployment modes cover the paper's design space plus the hybrid
+// extension:
 //
 //   - ModeBaseline: the driver lives in the untrusted kernel, raw audio is
 //     shipped to the cloud, and the provider transcribes it server-side —
@@ -12,6 +13,12 @@
 //     touches normal-world memory) but the TA relays the full transcript.
 //   - ModeSecureFilter: the full design — the TA transcribes, classifies
 //     and filters before anything leaves the TEE.
+//   - ModeHybridHE: secure-filter's pipeline with the classifier's first
+//     linear layer outsourced under homomorphic encryption — the device
+//     encrypts extracted features under the provider's HE key, the
+//     provider evaluates the layer blind, and the TA decrypts with the
+//     sealed secret key to run the non-linear tail. The provider never
+//     sees a cleartext feature byte.
 package core
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand/v2"
+	"strings"
 	"sync"
 
 	"repro/internal/asr"
@@ -28,6 +36,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/driver"
 	"repro/internal/ftrace"
+	"repro/internal/he"
 	"repro/internal/i2s"
 	"repro/internal/kernel"
 	"repro/internal/memory"
@@ -61,7 +70,20 @@ const (
 	ModeSecureNoFilter
 	// ModeSecureFilter is the paper's complete design.
 	ModeSecureFilter
+	// ModeHybridHE splits inference between homomorphic encryption and
+	// the TEE: the first linear layer evaluates under the provider's HE
+	// key, the non-linear tail runs inside the TA after the sealed
+	// secret key decrypts the handoff.
+	ModeHybridHE
 )
+
+// Modes returns the registered deployment modes in declaration order.
+// Every layer that enumerates modes — the fleet mix, CLI parsing,
+// experiments — derives from this registry instead of hard-coding a
+// count, so a new mode lands by extending the list (and String).
+func Modes() []Mode {
+	return []Mode{ModeBaseline, ModeSecureNoFilter, ModeSecureFilter, ModeHybridHE}
+}
 
 // String returns the mode name.
 func (m Mode) String() string {
@@ -72,9 +94,24 @@ func (m Mode) String() string {
 		return "secure-nofilter"
 	case ModeSecureFilter:
 		return "secure-filter"
+	case ModeHybridHE:
+		return "hybrid-he"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
+}
+
+// ParseMode maps a mode name (as produced by String) back to its Mode.
+// Unknown names return ErrBadMode listing the registered modes.
+func ParseMode(s string) (Mode, error) {
+	names := make([]string, 0, len(Modes()))
+	for _, m := range Modes() {
+		if m.String() == s {
+			return m, nil
+		}
+		names = append(names, m.String())
+	}
+	return 0, fmt.Errorf("%w: %q (registered modes: %s)", ErrBadMode, s, strings.Join(names, ", "))
 }
 
 // Config parameterizes a System.
@@ -122,10 +159,15 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() error {
-	switch c.Mode {
-	case ModeBaseline, ModeSecureNoFilter, ModeSecureFilter:
-	default:
-		return fmt.Errorf("%w: %d", ErrBadMode, int(c.Mode))
+	valid := false
+	for _, m := range Modes() {
+		if c.Mode == m {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("%w: %v", ErrBadMode, c.Mode)
 	}
 	if c.Arch == 0 {
 		c.Arch = classify.ArchCNN
@@ -201,6 +243,16 @@ type System struct {
 	// device joins a fleet ingest tier. Secure modes route through the
 	// supplicant instead.
 	uplink supplicant.NetSink
+
+	// Hybrid HE+TEE split (ModeHybridHE only; nil/zero otherwise). HE is
+	// the provider's blind-evaluation endpoint, HEPub the provider key
+	// the normal world encrypts features under, HEEval the device-side
+	// evaluator charging encrypt cycles to this device's clock, and
+	// heSplit the three-way model partition.
+	HE      *cloud.HEService
+	HEPub   he.PublicKey
+	HEEval  *he.Evaluator
+	heSplit *classify.TextSplit
 
 	// Shared models. ASRModel is the immutable trained template pack
 	// (shared across every device with the same training conditions);
@@ -491,13 +543,50 @@ func (s *System) buildSecure() error {
 	// Pre-train the classifier offline and seal its weights into secure
 	// storage; the TA unseals them at session open (paper §IV.4:
 	// "pre-trained ML classifier" shipped to the TA).
+	if s.cfg.Mode == ModeHybridHE && s.cfg.SharedClassify {
+		return fmt.Errorf("%w: hybrid-he classify cannot be shared — the HE handoff needs the sealed secret key on-device", ErrBadConfig)
+	}
 	var clf *classify.Classifier
-	if s.cfg.Mode == ModeSecureFilter && !s.cfg.SharedClassify {
+	if (s.cfg.Mode == ModeSecureFilter || s.cfg.Mode == ModeHybridHE) && !s.cfg.SharedClassify {
 		clf, err = TrainClassifier(s.cfg.Arch, s.Vocab, s.cfg.ModelSeed, s.cfg.TrainEpochs)
 		if err != nil {
 			return fmt.Errorf("core classifier: %w", err)
 		}
 		storage.Put(weightsObjectID, clf.SerializeWeights())
+	}
+
+	// Hybrid split: generate the HE keypair from the shared model seed
+	// (the provider provisions one parameter set fleet-wide, like the
+	// model pack), seal the secret key next to the weights, and stand up
+	// the provider's blind-evaluation endpoint with the classifier's
+	// first conv provisioned in the clear.
+	var heParams he.Params
+	if s.cfg.Mode == ModeHybridHE {
+		heParams = he.DefaultParams()
+		kp, err := he.KeyGen(heParams, s.cfg.ModelSeed)
+		if err != nil {
+			return fmt.Errorf("core he keygen: %w", err)
+		}
+		storage.Put(heSecretKeyID, kp.Secret.Marshal())
+		s.HEPub = kp.Public
+		if s.HEEval, err = he.NewEvaluator(heParams, s.Clock, s.Cost); err != nil {
+			return fmt.Errorf("core he evaluator: %w", err)
+		}
+		providerEval, err := he.NewEvaluator(heParams, s.Clock, s.Cost)
+		if err != nil {
+			return fmt.Errorf("core he provider: %w", err)
+		}
+		s.HE = cloud.NewHEService(providerEval)
+		split, err := classify.SplitText(clf)
+		if err != nil {
+			return fmt.Errorf("core he split: %w", err)
+		}
+		s.heSplit = split
+		ps := split.Conv.Params()
+		s.HE.ProvisionText(&he.Conv1D{
+			K: split.Conv.K, Cin: split.Conv.Cin, Cout: split.Conv.Cout,
+			W: ps[0].Value.Data, B: ps[1].Value.Data,
+		})
 	}
 
 	// Cloud endpoint + handshake keys.
@@ -535,7 +624,9 @@ func (s *System) buildSecure() error {
 		VocabSize:    s.Vocab.Size(),
 		Vocab:        s.Vocab,
 		Policy:       s.cfg.Policy,
-		Filter:       s.cfg.Mode == ModeSecureFilter,
+		Filter:       s.cfg.Mode == ModeSecureFilter || s.cfg.Mode == ModeHybridHE,
+		Hybrid:       s.cfg.Mode == ModeHybridHE,
+		HEParams:     heParams,
 		Identity:     taID,
 		CloudPub:     cloudID.PublicKey(),
 		Clock:        s.Clock,

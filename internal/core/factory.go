@@ -125,7 +125,7 @@ func Pretrain(specs []DeviceSpec) error {
 				}
 				asrDone[cfg.NoiseAmp] = true
 			}
-			if cfg.Mode == ModeSecureFilter {
+			if cfg.Mode == ModeSecureFilter || cfg.Mode == ModeHybridHE {
 				k := textKey{cfg.Arch, cfg.ModelSeed}
 				if !textDone[k] {
 					if _, err := TrainClassifier(cfg.Arch, vocab, cfg.ModelSeed, cfg.TrainEpochs); err != nil {
@@ -139,7 +139,7 @@ func Pretrain(specs []DeviceSpec) error {
 			if modelSeed == 0 {
 				modelSeed = spec.Seed // CameraConfig defaulting
 			}
-			if spec.Mode == ModeSecureFilter && !imageDone[modelSeed] {
+			if (spec.Mode == ModeSecureFilter || spec.Mode == ModeHybridHE) && !imageDone[modelSeed] {
 				if _, err := TrainImageClassifier(modelSeed); err != nil {
 					return fmt.Errorf("pretrain image classifier: %w", err)
 				}

@@ -1,0 +1,83 @@
+package core
+
+// Cross-mode leakage golden test: one all-sensitive workload, every
+// registered mode, and the provider-observable counters pinned exactly.
+// The pins are the privacy contract — a change to any mode's pipeline
+// that moves a single byte or token past the provider fails here, and
+// hybrid-he is held to zero cleartext feature bytes by construction.
+
+import (
+	"testing"
+
+	"repro/internal/ml/classify"
+	"repro/internal/relay"
+	"repro/internal/sensitive"
+)
+
+func TestCrossModeLeakageGolden(t *testing.T) {
+	type golden struct {
+		audioBytes int
+		tokens     int
+		sensTokens int
+		events     int
+	}
+	// Pinned against the seed-10 all-sensitive workload below. The
+	// secure-filter and hybrid-he rows must stay identical except for the
+	// ciphertext channel: the HE split moves the first layer, not the
+	// verdicts.
+	want := map[Mode]golden{
+		ModeBaseline:       {audioBytes: 821760, tokens: 72, sensTokens: 13, events: 10},
+		ModeSecureNoFilter: {audioBytes: 0, tokens: 72, sensTokens: 13, events: 10},
+		ModeSecureFilter:   {audioBytes: 0, tokens: 0, sensTokens: 0, events: 0},
+		ModeHybridHE:       {audioBytes: 0, tokens: 0, sensTokens: 0, events: 0},
+	}
+	utts, err := sensitive.Generate(sensitive.GenConfig{N: 10, SensitiveFraction: 1, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range utts {
+		if !u.Sensitive {
+			t.Fatal("workload is not all-sensitive")
+		}
+	}
+	for _, mode := range Modes() {
+		cfg := Config{Mode: mode, Policy: relay.PolicyPassThrough, Seed: 10}
+		if mode == ModeSecureFilter || mode == ModeHybridHE {
+			cfg.Policy = relay.PolicyBlock
+			cfg.Arch = classify.ArchCNN
+		}
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		res, err := sys.RunSession(utts)
+		if err != nil {
+			t.Fatalf("%s session: %v", mode, err)
+		}
+		w := want[mode]
+		if res.CloudAudit.AudioBytes != w.audioBytes ||
+			res.CloudAudit.TokensSeen != w.tokens ||
+			res.CloudAudit.SensitiveTokens != w.sensTokens ||
+			res.CloudAudit.Events != w.events {
+			t.Errorf("%s provider counters drifted: audio %d tokens %d sens %d events %d, want %+v",
+				mode, res.CloudAudit.AudioBytes, res.CloudAudit.TokensSeen,
+				res.CloudAudit.SensitiveTokens, res.CloudAudit.Events, w)
+		}
+		if mode != ModeHybridHE {
+			if sys.HE != nil {
+				t.Errorf("%s has an HE service", mode)
+			}
+			continue
+		}
+		audit := sys.HE.Audit()
+		if audit.CleartextFeatureBytes != 0 {
+			t.Errorf("hybrid-he exposed %d cleartext feature bytes", audit.CleartextFeatureBytes)
+		}
+		if audit.Evals != len(utts) {
+			t.Errorf("hybrid-he evaluated %d circuits, want %d", audit.Evals, len(utts))
+		}
+		if audit.CiphertextBytesIn == 0 || audit.CiphertextBytesOut == 0 {
+			t.Error("hybrid-he moved no ciphertext")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestModeStringParseRoundTrip: every registered mode survives
+// String → ParseMode exactly, and names are unique. Exhaustive over the
+// registry so adding a mode without wiring both directions fails here.
+func TestModeStringParseRoundTrip(t *testing.T) {
+	seen := map[string]Mode{}
+	for _, m := range Modes() {
+		name := m.String()
+		if strings.HasPrefix(name, "mode(") {
+			t.Fatalf("registered mode %d has no name", int(m))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("modes %d and %d share the name %q", int(prev), int(m), name)
+		}
+		seen[name] = m
+		got, err := ParseMode(name)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", name, err)
+		}
+		if got != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", name, got, m)
+		}
+	}
+	if len(seen) != len(Modes()) {
+		t.Fatalf("registry has %d modes, %d names", len(Modes()), len(seen))
+	}
+}
+
+// TestParseModeUnknown: an unknown name is ErrBadMode and the error
+// lists every registered mode so the operator can fix the spelling.
+func TestParseModeUnknown(t *testing.T) {
+	_, err := ParseMode("enclave-only")
+	if !errors.Is(err, ErrBadMode) {
+		t.Fatalf("unknown mode = %v, want ErrBadMode", err)
+	}
+	for _, m := range Modes() {
+		if !strings.Contains(err.Error(), m.String()) {
+			t.Fatalf("error %q does not list %s", err, m)
+		}
+	}
+}
+
+// TestErrBadModeNamesMode: bad-mode errors print the mode's name, not
+// its bare integer — "secure-nofilter", never "2".
+func TestErrBadModeNamesMode(t *testing.T) {
+	_, err := NewCameraSystem(CameraConfig{Mode: ModeSecureNoFilter, Seed: 1})
+	if !errors.Is(err, ErrBadMode) {
+		t.Fatalf("no-filter camera = %v, want ErrBadMode", err)
+	}
+	if !strings.Contains(err.Error(), ModeSecureNoFilter.String()) {
+		t.Fatalf("camera error %q does not name the rejected mode", err)
+	}
+	_, err = NewSystem(Config{Mode: Mode(9)})
+	if !errors.Is(err, ErrBadMode) {
+		t.Fatalf("unregistered mode = %v, want ErrBadMode", err)
+	}
+	if !strings.Contains(err.Error(), Mode(9).String()) {
+		t.Fatalf("config error %q does not render the mode via String", err)
+	}
+}

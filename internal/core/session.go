@@ -218,6 +218,21 @@ func (s *System) RunSession(utterances []sensitive.Utterance) (*SessionResult, e
 		runOne = func(i int, u sensitive.Utterance) (UtteranceOutcome, error) {
 			return s.runBaselineUtterance(fd, i, u)
 		}
+	case ModeHybridHE:
+		// Hybrid shares the TEEC session but each utterance takes the
+		// three-domain round trip: TA transcribe → normal-world encrypt →
+		// provider HE eval → TA decrypt + tail.
+		ctx := teec.InitializeContext(s.TEE)
+		sess, err := ctx.OpenSession(UUIDVoiceTA)
+		if err != nil {
+			return nil, fmt.Errorf("core session: %w", err)
+		}
+		defer func() {
+			_ = ctx.FinalizeContext()
+		}()
+		runOne = func(i int, u sensitive.Utterance) (UtteranceOutcome, error) {
+			return s.runHybridUtterance(sess, i, u)
+		}
 	default:
 		// Secure modes share one TEEC session across the run.
 		ctx := teec.InitializeContext(s.TEE)
@@ -323,7 +338,7 @@ func (s *System) emitUtteranceSpans(start tz.Cycles, rec ProcessedUtterance, bat
 	t += rec.Stages.Capture
 	tc.Emit(obs.StageTranscribe, obs.VerdictNone, t, rec.Stages.Transcribe, 0, 0)
 	t += rec.Stages.Transcribe
-	if s.cfg.Mode == ModeSecureFilter {
+	if s.cfg.Mode == ModeSecureFilter || s.cfg.Mode == ModeHybridHE {
 		v := obs.VerdictNone
 		if !rec.Forwarded {
 			v = obs.VerdictBlocked
@@ -483,6 +498,106 @@ func (s *System) runSecureUtterance(sess *teec.Session, i int, u sensitive.Utter
 	return out, nil
 }
 
+// hybridProcessGroup runs one group of utterances through the hybrid
+// HE+TEE split. The TA captures and transcribes the group, staging the
+// encoded tokens (CmdTranscribeBatch); the normal world runs the
+// embedding head over the staged tokens and encrypts the features under
+// the provider's HE public key; the provider evaluates the classifier's
+// first conv layer blind over the ciphertexts; and CmdResumeBatchHE
+// hands the results back into the TA, which decrypts under the sealed
+// secret key and runs the non-linear tail, policy filter and sealed
+// relay exactly as secure-filter does. The provider observes ciphertext
+// bytes only — never a cleartext feature.
+func (s *System) hybridProcessGroup(sess *teec.Session, lo int, group []sensitive.Utterance) error {
+	lens := make([]byte, 0, 4*len(group))
+	for i, u := range group {
+		pcm := s.utteranceAudio(lo+i, u)
+		s.Mic.Load(pcm)
+		var word [4]byte
+		binary.LittleEndian.PutUint32(word[:], uint32(len(pcm.Samples)*2))
+		lens = append(lens, word[:]...)
+	}
+	for {
+		if _, err := s.Mic.PumpBytes(8192); err != nil {
+			break
+		}
+	}
+	p := &optee.Params{{Type: optee.MemrefIn, Buf: lens}, {}}
+	if err := sess.InvokeCommand(CmdTranscribeBatch, p); err != nil {
+		return fmt.Errorf("hybrid transcribe: %w", err)
+	}
+
+	tokens := s.VoiceTA.PendingTokens()
+	if len(tokens) != len(group) {
+		return fmt.Errorf("hybrid stage: %d token sets for %d utterances", len(tokens), len(group))
+	}
+	blobs := make([][]byte, len(tokens))
+	feats := make([]float32, s.heSplit.SeqLen)
+	for i, ids := range tokens {
+		for j := range feats {
+			feats[j] = 0
+		}
+		for j := 0; j < len(ids) && j < len(feats); j++ {
+			feats[j] = float32(ids[j])
+		}
+		data, shape, err := s.heSplit.EmbedFeatures(feats)
+		if err != nil {
+			return fmt.Errorf("hybrid embed %d: %w", i, err)
+		}
+		ct, err := s.HEEval.Encrypt(s.HEPub, data, shape)
+		if err != nil {
+			return fmt.Errorf("hybrid encrypt %d: %w", i, err)
+		}
+		wire := ct.Marshal(s.HEEval.Params)
+		res, err := s.HE.EvalText(wire)
+		if err != nil {
+			return fmt.Errorf("hybrid eval %d: %w", i, err)
+		}
+		// Ciphertext traffic rides the radio in both directions.
+		s.mu.Lock()
+		s.radioBytes += uint64(len(wire) + len(res))
+		s.mu.Unlock()
+		blobs[i] = res
+	}
+
+	p = &optee.Params{{Type: optee.MemrefIn, Buf: packLengthPrefixed(blobs)}, {}}
+	if err := sess.InvokeCommand(CmdResumeBatchHE, p); err != nil {
+		return fmt.Errorf("hybrid resume: %w", err)
+	}
+	return nil
+}
+
+// runHybridUtterance is the per-utterance RunSession arm of the hybrid
+// split: one-element group through hybridProcessGroup.
+func (s *System) runHybridUtterance(sess *teec.Session, i int, u sensitive.Utterance) (UtteranceOutcome, error) {
+	out := UtteranceOutcome{Truth: u}
+	start := s.Clock.Now()
+	before := len(s.VoiceTA.Processed())
+	if err := s.hybridProcessGroup(sess, i, []sensitive.Utterance{u}); err != nil {
+		return out, err
+	}
+	records := s.VoiceTA.Processed()
+	if len(records) <= before {
+		return out, fmt.Errorf("voice ta recorded no utterance")
+	}
+	rec := records[len(records)-1]
+	out.Transcript = rec.Transcript
+	out.Flagged = rec.Flagged
+	out.Forwarded = rec.Forwarded
+	out.Shed = rec.Shed
+	out.Expired = rec.Expired
+	out.Redacted = rec.Redacted
+	out.Stages = rec.Stages
+	if rec.SealedSize > 0 {
+		s.mu.Lock()
+		s.radioBytes += uint64(rec.SealedSize)
+		s.mu.Unlock()
+	}
+	out.Cycles = s.Clock.Now() - start
+	s.emitUtteranceSpans(start, rec, 1)
+	return out, nil
+}
+
 // RunSessionBatched is RunSession for the secure modes with TA-side
 // batching: utterances are queued onto the bus in groups of `batch` and
 // each group is processed by ONE CmdProcessBatch invocation, so the
@@ -513,27 +628,35 @@ func (s *System) RunSessionBatched(utterances []sensitive.Utterance, batch int) 
 		hi := min(lo+batch, len(utterances))
 		group := utterances[lo:hi]
 		groupStart := s.Clock.Now()
-
-		// Queue the whole group onto the bus; the mic appends signals, so
-		// the FIFO holds the utterances back to back.
-		lens := make([]byte, 0, 4*len(group))
-		for i, u := range group {
-			pcm := s.utteranceAudio(lo+i, u)
-			s.Mic.Load(pcm)
-			var word [4]byte
-			binary.LittleEndian.PutUint32(word[:], uint32(len(pcm.Samples)*2))
-			lens = append(lens, word[:]...)
-		}
-		for {
-			if _, err := s.Mic.PumpBytes(8192); err != nil {
-				break
-			}
-		}
-
 		before := len(s.VoiceTA.Processed())
-		p := &optee.Params{{Type: optee.MemrefIn, Buf: lens}, {}}
-		if err := sess.InvokeCommand(CmdProcessBatch, p); err != nil {
-			return nil, fmt.Errorf("batch at %d: %w", lo, err)
+
+		if s.cfg.Mode == ModeHybridHE {
+			// The hybrid split stages transcripts and routes the group
+			// through the HE round trip; two invocations per group instead
+			// of one, but still one capture queueing.
+			if err := s.hybridProcessGroup(sess, lo, group); err != nil {
+				return nil, fmt.Errorf("batch at %d: %w", lo, err)
+			}
+		} else {
+			// Queue the whole group onto the bus; the mic appends signals,
+			// so the FIFO holds the utterances back to back.
+			lens := make([]byte, 0, 4*len(group))
+			for i, u := range group {
+				pcm := s.utteranceAudio(lo+i, u)
+				s.Mic.Load(pcm)
+				var word [4]byte
+				binary.LittleEndian.PutUint32(word[:], uint32(len(pcm.Samples)*2))
+				lens = append(lens, word[:]...)
+			}
+			for {
+				if _, err := s.Mic.PumpBytes(8192); err != nil {
+					break
+				}
+			}
+			p := &optee.Params{{Type: optee.MemrefIn, Buf: lens}, {}}
+			if err := sess.InvokeCommand(CmdProcessBatch, p); err != nil {
+				return nil, fmt.Errorf("batch at %d: %w", lo, err)
+			}
 		}
 		records := s.VoiceTA.Processed()
 		if len(records) != before+len(group) {

@@ -11,8 +11,10 @@ import (
 	"repro/internal/audio"
 	"repro/internal/cloud"
 	"repro/internal/driver"
+	"repro/internal/he"
 	"repro/internal/i2s"
 	"repro/internal/ml/classify"
+	"repro/internal/ml/layers"
 	"repro/internal/optee"
 	"repro/internal/relay"
 	"repro/internal/sensitive"
@@ -21,6 +23,11 @@ import (
 
 // weightsObjectID is the secure-storage id of the sealed classifier.
 const weightsObjectID = "voice-ta/classifier-weights"
+
+// heSecretKeyID is the secure-storage id of the sealed HE secret key
+// (ModeHybridHE): provisioned like the model pack, unsealed only
+// inside the TA for the HE→TEE handoff decrypt.
+const heSecretKeyID = "voice-ta/he-secret-key"
 
 // packObjectID is the secure-storage id of a provisioned model pack.
 func packObjectID(version uint64) string {
@@ -178,6 +185,15 @@ const (
 	// charges the wait, applies the relay policy and forwards survivors.
 	// Outputs: params[2] ValueOut A=forwarded count, B=redacted tokens.
 	CmdResumeBatch uint32 = 0x26
+	// CmdResumeBatchHE completes a staged batch via the HE→TEE handoff
+	// (ModeHybridHE): params[0] is a MemrefIn of concatenated
+	// length-prefixed ciphertext blobs (little-endian uint32 byte length
+	// followed by the provider-evaluated HE layer output), one per
+	// staged utterance. The TA unseals the HE secret key from secure
+	// storage, decrypts each blob, runs the classifier's non-linear tail
+	// inside the TEE, applies the relay policy and forwards survivors.
+	// Outputs: params[1] ValueOut A=forwarded count, B=redacted tokens.
+	CmdResumeBatchHE uint32 = 0x27
 )
 
 // MaxBatch bounds one CmdProcessBatch invocation; it keeps the batch's
@@ -244,6 +260,12 @@ type VoiceTAConfig struct {
 	// model-pack version the TA boots with.
 	Attestor     *attest.Attestor
 	ModelVersion uint64
+	// Hybrid marks the HE+TEE split-inference deployment: the TA
+	// accepts CmdResumeBatchHE handoffs, decrypting under the sealed
+	// secret key and running the classifier tail in the TEE. HEParams
+	// is the leveled-HE parameter set the fleet's key pair uses.
+	Hybrid   bool
+	HEParams he.Params
 }
 
 // VoiceTA is the trusted application of Fig. 1: it pulls audio from the
@@ -483,6 +505,26 @@ func (t *VoiceTA) Invoke(sessionID uint32, cmd uint32, params *optee.Params) err
 				params[2].A++
 			}
 			params[2].B += uint64(rec.Redacted)
+		}
+		return nil
+	case CmdResumeBatchHE:
+		if params[0].Type != optee.MemrefIn || len(params[0].Buf) == 0 {
+			return fmt.Errorf("%w: CmdResumeBatchHE needs MemrefIn ciphertext blobs", optee.ErrBadParam)
+		}
+		blobs, err := splitLengthPrefixed(params[0].Buf)
+		if err != nil {
+			return fmt.Errorf("%w: CmdResumeBatchHE: %v", optee.ErrBadParam, err)
+		}
+		recs, err := t.resumeBatchHE(blobs)
+		if err != nil {
+			return err
+		}
+		params[1].Type = optee.ValueOut
+		for _, rec := range recs {
+			if rec.Forwarded {
+				params[1].A++
+			}
+			params[1].B += uint64(rec.Redacted)
 		}
 		return nil
 	case CmdRotateKey:
@@ -1026,6 +1068,136 @@ func (t *VoiceTA) resumeBatch(flags []bool, occs []int, wait tz.Cycles) ([]Proce
 		// The shared classification is batch-level work; attribute it
 		// evenly, mirroring the inline batched pass.
 		recs[i].Stages.Classify = wait / tz.Cycles(len(recs))
+	}
+
+	for i := range recs {
+		start := clock.Now()
+		if err := t.relayStage(transcripts[i], recs[i].Flagged, &recs[i]); err != nil {
+			return nil, fmt.Errorf("staged utterance %d: %w", i, err)
+		}
+		recs[i].Stages.Relay = clock.Now() - start
+	}
+
+	t.mu.Lock()
+	t.processed = append(t.processed, recs...)
+	t.mu.Unlock()
+	return recs, nil
+}
+
+// packLengthPrefixed concatenates blobs as little-endian uint32 byte
+// lengths followed by the bytes — the MemrefIn wire form of the HE
+// handoff commands.
+func packLengthPrefixed(blobs [][]byte) []byte {
+	size := 0
+	for _, b := range blobs {
+		size += 4 + len(b)
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	for _, b := range blobs {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+		out = append(out, hdr[:]...)
+		out = append(out, b...)
+	}
+	return out
+}
+
+// splitLengthPrefixed is the inverse of packLengthPrefixed.
+func splitLengthPrefixed(buf []byte) ([][]byte, error) {
+	var out [][]byte
+	for len(buf) > 0 {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("truncated length prefix (%d bytes)", len(buf))
+		}
+		n := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if n <= 0 || n > len(buf) {
+			return nil, fmt.Errorf("blob length %d of %d remaining", n, len(buf))
+		}
+		out = append(out, buf[:n])
+		buf = buf[n:]
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no blobs")
+	}
+	return out, nil
+}
+
+// heDecryptState unseals the HE secret key and builds the in-TA
+// evaluator. Both are cheap value types; the seal read is the
+// expensive part and happens per handoff, mirroring how the weights
+// object is the unit of sealed-storage traffic.
+func (t *VoiceTA) heDecryptState() (he.SecretKey, *he.Evaluator, error) {
+	if !t.cfg.Hybrid {
+		return he.SecretKey{}, nil, errors.New("voice ta: HE handoff outside hybrid mode")
+	}
+	blob, err := t.cfg.Storage.Get(heSecretKeyID)
+	if err != nil {
+		return he.SecretKey{}, nil, fmt.Errorf("voice ta he key: %w", err)
+	}
+	sk, err := he.ParseSecretKey(blob)
+	if err != nil {
+		return he.SecretKey{}, nil, fmt.Errorf("voice ta he key: %w", err)
+	}
+	eval, err := he.NewEvaluator(t.cfg.HEParams, t.cfg.Clock, t.cfg.Cost)
+	if err != nil {
+		return he.SecretKey{}, nil, fmt.Errorf("voice ta he eval: %w", err)
+	}
+	return sk, eval, nil
+}
+
+// resumeBatchHE is the HE→TEE handoff: the back half of a staged batch
+// where the classifier's first linear layer already ran homomorphically
+// at the provider. The TA decrypts each provider-evaluated ciphertext
+// under the sealed secret key, runs the non-linear tail (ReLU → pool →
+// dense → argmax) inside the TEE, then relays survivors through the
+// same policy/seal path as every other mode.
+func (t *VoiceTA) resumeBatchHE(blobs [][]byte) ([]ProcessedUtterance, error) {
+	t.mu.Lock()
+	recs := t.pendingRecs
+	transcripts := t.pendingTranscripts
+	t.pendingRecs, t.pendingTranscripts, t.pendingTokens = nil, nil, nil
+	t.mu.Unlock()
+	if len(recs) == 0 {
+		return nil, errors.New("voice ta: no staged batch pending")
+	}
+	if len(blobs) != len(recs) {
+		return nil, fmt.Errorf("voice ta he resume: %d ciphertexts for %d pending", len(blobs), len(recs))
+	}
+	sk, eval, err := t.heDecryptState()
+	if err != nil {
+		return nil, err
+	}
+	clf, err := t.loadedClassifier()
+	if err != nil {
+		return nil, err
+	}
+	split, err := classify.SplitText(clf)
+	if err != nil {
+		return nil, fmt.Errorf("voice ta he split: %w", err)
+	}
+	clock := t.cfg.Clock
+	tailMACs := 2 * layers.ParamCount([]layers.Layer{split.Tail})
+	for i := range recs {
+		start := clock.Now()
+		ct, err := eval.Unmarshal(blobs[i])
+		if err != nil {
+			return nil, fmt.Errorf("staged utterance %d: %w", i, err)
+		}
+		data, shape, err := eval.Decrypt(sk, ct)
+		if err != nil {
+			return nil, fmt.Errorf("staged utterance %d: %w", i, err)
+		}
+		cls, err := split.TailPredict(data, shape)
+		if err != nil {
+			return nil, fmt.Errorf("staged utterance %d: %w", i, err)
+		}
+		// The tail forward runs at the same 4 MACs/cycle as the inline
+		// classify path; the decrypt was charged by the evaluator.
+		clock.Advance(tz.Cycles(tailMACs / 4))
+		recs[i].Flagged = cls == 1
+		recs[i].ClassifyBatch = len(recs)
+		recs[i].Stages.Classify = clock.Now() - start
 	}
 
 	for i := range recs {

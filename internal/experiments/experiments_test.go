@@ -496,3 +496,23 @@ func TestE17ShapesHold(t *testing.T) {
 		t.Fatalf("async occupancy %.2f < 1", res.AsyncOccupancy)
 	}
 }
+
+func TestE18ShapesHold(t *testing.T) {
+	tbl, res, err := E18HybridHE(DefaultSeed)
+	if err != nil {
+		t.Fatalf("E18: %v", err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if len(res.Rows) != len(core.Modes()) {
+		t.Fatalf("%d rows, want one per registered mode", len(res.Rows))
+	}
+	if res.LostFrames != 0 {
+		t.Fatalf("mixed fleet lost %d frames", res.LostFrames)
+	}
+	if res.ExpectedEvents != int(res.Ingested)+int(res.Shed)+res.Expired {
+		t.Fatalf("conservation: %d != %d + %d + %d",
+			res.ExpectedEvents, res.Ingested, res.Shed, res.Expired)
+	}
+}

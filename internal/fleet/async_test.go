@@ -381,8 +381,8 @@ func TestAsyncPartialGroupCutLiveness(t *testing.T) {
 		// means only an idle cut can ever rescue stranded leftovers.
 		cfg := Config{
 			Devices:          4,
-			DoorbellFraction: -1,          // speakers only
-			Mix:              [3]int{0, 0, 1}, // every device secure-filter
+			DoorbellFraction: -1,                                // speakers only
+			Mix:              MixSpec{core.ModeSecureFilter: 1}, // every device secure-filter
 			Shards:           1,
 			Utterances:       3, // one parked group of 3 per device
 			Frames:           1,

@@ -149,17 +149,14 @@ func planJoiners(cfg Config, base []core.DeviceSpec) []core.DeviceSpec {
 		}
 	}
 	speakerModes := weightedModes(cfg.Mix)
+	dbModes := doorbellModes(cfg.Mix)
 	specs := make([]core.DeviceSpec, join)
 	for j := range specs {
 		i := cfg.Devices + j
 		spec := memberSpec(cfg, i)
 		if doorbells > 0 && i%stride == 0 {
 			spec.Kind = core.DeviceDoorbell
-			if nDoorbell%2 == 0 {
-				spec.Mode = core.ModeBaseline
-			} else {
-				spec.Mode = core.ModeSecureFilter
-			}
+			spec.Mode = dbModes[nDoorbell%len(dbModes)]
 			nDoorbell++
 		} else {
 			spec.Kind = core.DeviceSpeaker

@@ -209,7 +209,7 @@ func TestRolloutAbortEmitsRollbacks(t *testing.T) {
 	cfg := Config{
 		Devices:          4,
 		DoorbellFraction: -1,
-		Mix:              [3]int{0, 0, 1}, // all secure-filter speakers
+		Mix:              MixSpec{core.ModeSecureFilter: 1}, // all secure-filter speakers
 		Utterances:       1,
 		Seed:             9,
 		Rollout:          &RolloutSpec{CanaryFraction: 0.25},

@@ -50,11 +50,13 @@ type Config struct {
 	// smart speakers). 0 means default (0.25); pass any negative value
 	// for an explicitly speakers-only fleet.
 	DoorbellFraction float64
-	// Mix weights the three deployment modes across speakers
-	// (baseline : secure-nofilter : secure-filter); default 1:1:1.
-	// Doorbells alternate baseline and secure-filter (the middle mode is
-	// meaningless for images).
-	Mix [3]int
+	// Mix weights the deployment modes across speakers, keyed by
+	// core.Mode (see MixSpec); nil means the default 1:1:1 over
+	// baseline : secure-nofilter : secure-filter. Doorbells alternate
+	// baseline and secure-filter (the no-filter middle mode is
+	// meaningless for images), plus hybrid-he when the mix weights it.
+	// The historical positional form converts via LegacyMix.
+	Mix MixSpec
 
 	// Shards is the number of ingest partitions; default 4.
 	Shards int
@@ -203,13 +205,11 @@ func (c *Config) fillDefaults() error {
 	case c.DoorbellFraction < 0:
 		c.DoorbellFraction = 0
 	}
-	if c.Mix == ([3]int{}) {
-		c.Mix = [3]int{1, 1, 1}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix()
 	}
-	for _, w := range c.Mix {
-		if w < 0 {
-			return fmt.Errorf("%w: negative mix weight", ErrBadConfig)
-		}
+	if err := c.Mix.validate(); err != nil {
+		return err
 	}
 	if c.Shards <= 0 {
 		c.Shards = 4
@@ -368,17 +368,14 @@ func Plan(cfg Config) ([]core.DeviceSpec, error) {
 		stride = cfg.Devices / doorbells
 	}
 	speakerModes := weightedModes(cfg.Mix)
+	dbModes := doorbellModes(cfg.Mix)
 	nSpeaker, nDoorbell := 0, 0
 	for i := range specs {
 		spec := memberSpec(cfg, i)
 		// Interleave doorbells evenly through the population.
 		if doorbells > 0 && i%stride == 0 && nDoorbell < doorbells {
 			spec.Kind = core.DeviceDoorbell
-			if nDoorbell%2 == 0 {
-				spec.Mode = core.ModeBaseline
-			} else {
-				spec.Mode = core.ModeSecureFilter
-			}
+			spec.Mode = dbModes[nDoorbell%len(dbModes)]
 			nDoorbell++
 		} else {
 			spec.Kind = core.DeviceSpeaker
@@ -388,17 +385,6 @@ func Plan(cfg Config) ([]core.DeviceSpec, error) {
 		specs[i] = spec
 	}
 	return specs, nil
-}
-
-func weightedModes(mix [3]int) []core.Mode {
-	var out []core.Mode
-	modes := []core.Mode{core.ModeBaseline, core.ModeSecureNoFilter, core.ModeSecureFilter}
-	for i, w := range mix {
-		for j := 0; j < w; j++ {
-			out = append(out, modes[i])
-		}
-	}
-	return out
 }
 
 // GroupKey identifies one (kind, mode) slice of the population.

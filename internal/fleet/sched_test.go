@@ -105,7 +105,7 @@ func TestSchedulerUnderChurnRace(t *testing.T) {
 	cfg := Config{
 		Devices:          24,
 		DoorbellFraction: -1,
-		Mix:              [3]int{0, 0, 1}, // all secure-filter speakers
+		Mix:              MixSpec{core.ModeSecureFilter: 1}, // all secure-filter speakers
 		Shards:           3,
 		Utterances:       2,
 		Seed:             99,
@@ -183,7 +183,7 @@ func TestSchedLoneDeviceCompletes(t *testing.T) {
 	cfg := Config{
 		Devices:          2,
 		DoorbellFraction: -1,
-		Mix:              [3]int{0, 0, 1},
+		Mix:              MixSpec{core.ModeSecureFilter: 1},
 		Utterances:       2,
 		Seed:             7,
 		DeviceWorkers:    8, // more workers than devices: idle workers must not stall the flush
@@ -221,7 +221,7 @@ func TestBatchClampSurfaced(t *testing.T) {
 	res, err := Run(Config{
 		Devices:          4,
 		DoorbellFraction: -1,
-		Mix:              [3]int{0, 0, 1},
+		Mix:              MixSpec{core.ModeSecureFilter: 1},
 		Utterances:       1,
 		Seed:             3,
 		Batch:            32,

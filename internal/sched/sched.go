@@ -165,11 +165,11 @@ type Scheduler struct {
 	cfg  Config
 	exec Executor
 
-	mu        sync.Mutex
-	cond      *sync.Cond // signals pending flush jobs to workers
-	clock     tz.Cycles  // scheduler virtual clock: max over submit stamps
-	queues    map[uint64]*queue
-	jobs      []*flushJob
+	mu         sync.Mutex
+	cond       *sync.Cond // signals pending flush jobs to workers
+	clock      tz.Cycles  // scheduler virtual clock: max over submit stamps
+	queues     map[uint64]*queue
+	jobs       []*flushJob
 	producers  int // registered, not yet done
 	blocked    int // producers currently waiting in Classify
 	inflight   int // flush jobs queued or executing

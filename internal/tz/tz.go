@@ -83,6 +83,29 @@ type CostModel struct {
 	RegAccess Cycles
 	// InterruptEntry is the cost of taking an interrupt to the kernel.
 	InterruptEntry Cycles
+
+	// Homomorphic-encryption per-slot costs (the hybrid HE+TEE mode).
+	// A "slot" is one packed plaintext value; leveled-HE operations are
+	// orders of magnitude more expensive than their cleartext
+	// counterparts, and the asymmetry below (encrypt/decrypt dominated
+	// by the key-switching-heavy multiply, cheap additions) mirrors the
+	// published CKKS/BFV cost profiles the hybrid mode is calibrated
+	// against.
+
+	// HEEncryptPerSlot is the per-slot cost of encrypting under the
+	// provider's public key (normal world, device side).
+	HEEncryptPerSlot Cycles
+	// HEDecryptPerSlot is the per-slot cost of decrypting with the
+	// sealed secret key (secure world, inside the TA).
+	HEDecryptPerSlot Cycles
+	// HEMulPerSlot is the per-slot cost of a ciphertext-plaintext
+	// multiply (the dominant cost of an encrypted linear layer).
+	HEMulPerSlot Cycles
+	// HEAddPerSlot is the per-slot cost of a homomorphic addition.
+	HEAddPerSlot Cycles
+	// HERescalePerSlot is the per-slot cost of rescaling after a
+	// multiply (the level-consuming maintenance operation).
+	HERescalePerSlot Cycles
 }
 
 // DefaultCostModel returns the calibrated default cost model.
@@ -96,6 +119,12 @@ func DefaultCostModel() CostModel {
 		DMAPerByte:     1, // DMA runs at bus speed; charged to the engine
 		RegAccess:      120,
 		InterruptEntry: 400,
+
+		HEEncryptPerSlot: 6000,
+		HEDecryptPerSlot: 4000,
+		HEMulPerSlot:     2500,
+		HEAddPerSlot:     300,
+		HERescalePerSlot: 1200,
 	}
 }
 
